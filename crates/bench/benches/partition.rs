@@ -1,0 +1,37 @@
+//! Criterion benchmark for the mesh decomposition strategies — the
+//! serial partitioner whose cost §V-C identifies as the flat-MPI scaling
+//! bottleneck.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bookleaf_mesh::{generate_rect, RectSpec, SubMeshPlan};
+use bookleaf_partition::{partition, Strategy};
+
+fn bench_partition(c: &mut Criterion) {
+    let mesh = generate_rect(&RectSpec::unit_square(256), |_| 0).expect("mesh");
+    let mut group = c.benchmark_group("partition_256x256");
+    for parts in [4usize, 16, 64] {
+        group.bench_function(BenchmarkId::new("rcb", parts), |b| {
+            b.iter(|| partition(&mesh, parts, Strategy::Rcb).unwrap());
+        });
+        group.bench_function(BenchmarkId::new("graph", parts), |b| {
+            b.iter(|| partition(&mesh, parts, Strategy::Graph).unwrap());
+        });
+    }
+    // The full serial setup path (partition + submesh/ghost/schedule
+    // construction) that the paper says dominates at high rank counts.
+    group.bench_function("rcb_plus_submesh_16", |b| {
+        b.iter(|| {
+            let owner = partition(&mesh, 16, Strategy::Rcb).unwrap();
+            SubMeshPlan::build(&mesh, &owner, 16).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_partition
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benchmark for the ALE remap phase (the paper's `ALESTEP`),
+//! Eulerian and smoothing targets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use bookleaf_ale::{AleMode, AleOptions, Remapper};
+use bookleaf_core::{decks, Driver, RunConfig};
+use bookleaf_hydro::LocalRange;
+
+fn bench_remap(c: &mut Criterion) {
+    // A Lagrangian Sod state mid-run: the mesh has genuinely moved, so
+    // the remap computes non-trivial fluxes.
+    let deck = decks::sod(128, 16);
+    let config = RunConfig { final_time: 0.1, ..RunConfig::default() };
+    let mut driver = Driver::new(deck, config).expect("valid deck");
+    driver.run().expect("sod warmup");
+    let mesh0 = driver.mesh().clone();
+    let state0 = driver.state().clone();
+    let range = LocalRange::whole(&mesh0);
+
+    let mut group = c.benchmark_group("alestep_128x16");
+    for (tag, mode) in [
+        ("eulerian", AleMode::Eulerian),
+        ("smooth", AleMode::Smooth { alpha: 0.5 }),
+    ] {
+        group.bench_function(BenchmarkId::new("remap", tag), |b| {
+            // The remapper's reference mesh is the *initial* deck mesh.
+            let reference = decks::sod(128, 16).mesh;
+            let remapper = Remapper::new(&reference, AleOptions { mode, frequency: 1 });
+            b.iter(|| {
+                let mut mesh = mesh0.clone();
+                let mut st = state0.clone();
+                remapper.step(&mut mesh, &mut st, range).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_remap
+}
+criterion_main!(benches);

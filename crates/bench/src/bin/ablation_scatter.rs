@@ -1,0 +1,110 @@
+//! Regenerate the **§IV-B acceleration data-dependency ablation**.
+//!
+//! The paper: *"the acceleration calculation kernel currently contains a
+//! data dependency that prevents parallelisation. While this potentially
+//! could be fixed by rewriting the kernel it has currently been left
+//! unchanged, adversely affecting OpenMP performance."*
+//!
+//! We have both kernels: the reference element-order scatter (serial,
+//! write conflicts at shared nodes) and the conflict-free node-order
+//! gather (thread-safe). Part 1 times the kernel directly across mesh
+//! sizes; part 2 embeds both in full hybrid runs. The honest finding on
+//! a single host: the linear-streaming scatter is very fast, and the
+//! parallel gather only overtakes it once the per-rank mesh is large
+//! enough to amortise thread dispatch and the CSR indirection — which is
+//! exactly the production-scale regime the paper's hybrid model targets.
+
+use std::time::Instant;
+
+use bookleaf_core::{decks, run_distributed, ExecutorKind, RunConfig};
+use bookleaf_hydro::getacc::getacc;
+use bookleaf_hydro::{AccMode, HydroState, LocalRange};
+use bookleaf_util::KernelId;
+
+/// Direct kernel timing: seconds per call at mesh size `n × n`.
+fn kernel_seconds(n: usize, mode: AccMode, calls: usize) -> f64 {
+    let deck = decks::noh(n);
+    let mesh = deck.mesh.clone();
+    let mut st = HydroState::new(
+        &mesh,
+        &deck.materials,
+        |e| deck.rho[e],
+        |e| deck.ein[e],
+        |nd| deck.u[nd],
+    )
+    .expect("state");
+    // Synthetic corner forces so the kernel has real work.
+    for e in 0..st.n_elements() {
+        for c in 0..4 {
+            st.cnforce[e][c] = bookleaf_util::Vec2::new(0.01 * (e % 7) as f64, -0.02);
+        }
+    }
+    let range = LocalRange::whole(&mesh);
+    // Warm up.
+    getacc(&mesh, &mut st, range, 1e-6, mode);
+    let start = Instant::now();
+    for _ in 0..calls {
+        getacc(&mesh, &mut st, range, 1e-6, mode);
+    }
+    start.elapsed().as_secs_f64() / calls as f64
+}
+
+fn full_run(acc_mode: AccMode, threads: usize) -> (f64, f64) {
+    let deck = decks::noh(200);
+    let mut config = RunConfig {
+        final_time: 0.04,
+        executor: ExecutorKind::Hybrid { ranks: 2, threads_per_rank: threads },
+        ..RunConfig::default()
+    };
+    config.lag.acc_mode = acc_mode;
+    let out = run_distributed(&deck, &config).expect("noh run");
+    (out.timers.seconds(KernelId::GetAcc), out.wall_seconds)
+}
+
+fn main() {
+    println!("Ablation: acceleration kernel scatter vs gather rewrite (paper SIV-B)");
+    println!("{}", "=".repeat(78));
+
+    println!("--- part 1: the kernel alone (ms per call) ---");
+    println!(
+        "{:<12} {:>16} {:>15} {:>17} {:>9}",
+        "mesh", "scatter-serial", "gather-serial", "gather-parallel", "speedup"
+    );
+    for n in [100usize, 300, 700] {
+        let calls = if n >= 700 { 10 } else { 30 };
+        let scatter = kernel_seconds(n, AccMode::ScatterSerial, calls);
+        let gser = kernel_seconds(n, AccMode::GatherSerial, calls);
+        let gpar = kernel_seconds(n, AccMode::GatherParallel, calls);
+        println!(
+            "{:<12} {:>14.3}ms {:>13.3}ms {:>15.3}ms {:>8.2}x",
+            format!("{n}x{n}"),
+            1e3 * scatter,
+            1e3 * gser,
+            1e3 * gpar,
+            scatter / gpar
+        );
+    }
+
+    println!();
+    println!("--- part 2: embedded in full hybrid runs (Noh 200x200, t = 0.04) ---");
+    println!("{:<34} {:>12} {:>12}", "configuration", "getacc (s)", "overall (s)");
+    for (label, mode, threads) in [
+        ("scatter-serial (reference), 2 thr", AccMode::ScatterSerial, 2),
+        ("gather-parallel (rewrite),  2 thr", AccMode::GatherParallel, 2),
+        ("scatter-serial (reference), 8 thr", AccMode::ScatterSerial, 8),
+        ("gather-parallel (rewrite),  8 thr", AccMode::GatherParallel, 8),
+    ] {
+        let mut best = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..2 {
+            let (acc, wall) = full_run(mode, threads);
+            if wall < best.1 {
+                best = (acc, wall);
+            }
+        }
+        println!("{label:<34} {:>12.4} {:>12.3}", best.0, best.1);
+    }
+    println!();
+    println!("Reading: the scatter's serial time scales with per-rank mesh size and");
+    println!("cannot use threads (the paper's complaint); the gather rewrite gains");
+    println!("with size and thread count, overtaking at production-scale meshes.");
+}

@@ -1,0 +1,68 @@
+//! Run configuration: everything an input namelist would set.
+
+use bookleaf_ale::AleOptions;
+use bookleaf_hydro::getdt::DtControls;
+use bookleaf_hydro::LagOptions;
+
+/// Which programming model executes the run (the paper's evaluation
+/// axis, §V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// Single-threaded reference.
+    Serial,
+    /// One rank thread per simulated core, serial kernels per rank.
+    FlatMpi {
+        /// Number of ranks.
+        ranks: usize,
+    },
+    /// Fewer rank threads, rayon threading inside each.
+    Hybrid {
+        /// Number of ranks (one per simulated NUMA region).
+        ranks: usize,
+        /// Rayon threads per rank.
+        threads_per_rank: usize,
+    },
+}
+
+/// Full run configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Stop once simulated time reaches this.
+    pub final_time: f64,
+    /// Hard cap on steps (safety for tests).
+    pub max_steps: usize,
+    /// Time-step controls.
+    pub dt: DtControls,
+    /// Lagrangian-step options (threading, viscosity, hourglass).
+    pub lag: LagOptions,
+    /// ALE remap options; `None` = pure Lagrangian frame.
+    pub ale: Option<AleOptions>,
+    /// Execution model.
+    pub executor: ExecutorKind,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            final_time: 0.2,
+            max_steps: 100_000,
+            dt: DtControls::default(),
+            lag: LagOptions::default(),
+            ale: None,
+            executor: ExecutorKind::Serial,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_serial_lagrangian() {
+        let c = RunConfig::default();
+        assert_eq!(c.executor, ExecutorKind::Serial);
+        assert!(c.ale.is_none());
+        assert!(c.final_time > 0.0);
+    }
+}

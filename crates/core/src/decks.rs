@@ -1,0 +1,338 @@
+//! The four standard test problems (paper §III-B).
+//!
+//! * **Sod's shock tube** — two gases at rest separated by a diaphragm;
+//!   removing it launches a shock, contact and rarefaction. Tests basic
+//!   shock hydrodynamics.
+//! * **The Noh problem** — cold gas imploding radially onto the origin;
+//!   an infinite-strength shock reflects outward. Exposes the
+//!   wall-heating artefact of artificial-viscosity methods.
+//! * **The Sedov problem** — a point blast on a Cartesian mesh, testing
+//!   non-mesh-aligned shock propagation.
+//! * **Saltzmann's piston** — a 1-D piston driven through a deliberately
+//!   distorted mesh, designed to excite hourglass modes.
+
+use bookleaf_eos::{EosSpec, MaterialTable};
+use bookleaf_mesh::{generate_rect, saltzmann_distort, Mesh, NodeBc, RectSpec};
+use bookleaf_util::{BookLeafError, Result, Vec2};
+
+/// Driven-wall (piston) specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PistonSpec {
+    /// Global ids of the driven nodes.
+    pub nodes: Vec<u32>,
+    /// Imposed velocity.
+    pub velocity: Vec2,
+}
+
+/// A fully specified problem: mesh, materials, initial fields and any
+/// driven boundaries.
+#[derive(Debug, Clone)]
+pub struct Deck {
+    /// Problem name (for reports).
+    pub name: &'static str,
+    /// The initial mesh.
+    pub mesh: Mesh,
+    /// Region-indexed EoS table.
+    pub materials: MaterialTable,
+    /// Initial density per element.
+    pub rho: Vec<f64>,
+    /// Initial specific internal energy per element.
+    pub ein: Vec<f64>,
+    /// Initial velocity per node.
+    pub u: Vec<Vec2>,
+    /// Optional driven wall.
+    pub piston: Option<PistonSpec>,
+    /// The standard end time for this problem.
+    pub recommended_final_time: f64,
+}
+
+impl Deck {
+    /// Validate array lengths against the mesh.
+    pub fn validate(&self) -> Result<()> {
+        if self.rho.len() != self.mesh.n_elements() || self.ein.len() != self.mesh.n_elements() {
+            return Err(BookLeafError::InvalidDeck(format!(
+                "{}: element field lengths do not match mesh",
+                self.name
+            )));
+        }
+        if self.u.len() != self.mesh.n_nodes() {
+            return Err(BookLeafError::InvalidDeck(format!(
+                "{}: node field length does not match mesh",
+                self.name
+            )));
+        }
+        self.materials.check_regions(&self.mesh.region)?;
+        self.mesh.validate()
+    }
+}
+
+/// Tiny positive energy standing in for "zero" in cold-gas decks (an
+/// exactly-zero energy is fine physically but makes relative-error
+/// comparisons in tests degenerate).
+pub const COLD: f64 = 1.0e-12;
+
+/// Sod's shock tube on `[0,1] × [0,h]` with `nx × ny` elements
+/// (`h = ny/nx` keeps elements square). Left state (ρ=1, p=1), right
+/// state (ρ=0.125, p=0.1), γ = 1.4 both sides. Standard end time 0.2.
+pub fn sod(nx: usize, ny: usize) -> Deck {
+    let h = ny as f64 / nx as f64;
+    let spec = RectSpec { nx, ny, origin: Vec2::ZERO, extent: Vec2::new(1.0, h) };
+    let mesh = generate_rect(&spec, |c| u32::from(c.x > 0.5)).expect("valid Sod spec");
+    let gamma = 1.4;
+    let materials = MaterialTable::new(vec![EosSpec::ideal_gas(gamma); 2]);
+    let rho: Vec<f64> =
+        mesh.region.iter().map(|&r| if r == 0 { 1.0 } else { 0.125 }).collect();
+    // ein = p / ((γ-1) ρ): left 1/(0.4·1) = 2.5, right 0.1/(0.4·0.125) = 2.
+    let ein: Vec<f64> = mesh.region.iter().map(|&r| if r == 0 { 2.5 } else { 2.0 }).collect();
+    let u = vec![Vec2::ZERO; mesh.n_nodes()];
+    Deck {
+        name: "sod",
+        mesh,
+        materials,
+        rho,
+        ein,
+        u,
+        piston: None,
+        recommended_final_time: 0.2,
+    }
+}
+
+/// The Noh problem on the quarter-plane `[0,1]²`, `n × n` elements:
+/// γ = 5/3 ideal gas, ρ = 1, ε ≈ 0, radially inward unit velocity.
+/// The x = 0 and y = 0 walls are the symmetry planes. Standard end time
+/// 0.6 (shock at r = 0.2).
+pub fn noh(n: usize) -> Deck {
+    let mesh = generate_rect(&RectSpec::unit_square(n), |_| 0).expect("valid Noh spec");
+    let materials = MaterialTable::single(EosSpec::ideal_gas(5.0 / 3.0));
+    let rho = vec![1.0; mesh.n_elements()];
+    let ein = vec![COLD; mesh.n_elements()];
+    // Initial velocities are projected through the wall constraints
+    // (the outer walls are reflective; an unprojected inward velocity
+    // there would be destroyed by the first acceleration's BC
+    // application, showing up as a spurious kinetic-energy drop). The
+    // outer-wall region only matters long after the shock comparisons.
+    let u: Vec<Vec2> = mesh
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(n, &p)| {
+            let r = p.norm();
+            if r > 1e-12 {
+                mesh.node_bc[n].apply(-p / r)
+            } else {
+                Vec2::ZERO
+            }
+        })
+        .collect();
+    Deck {
+        name: "noh",
+        mesh,
+        materials,
+        rho,
+        ein,
+        u,
+        piston: None,
+        recommended_final_time: 0.6,
+    }
+}
+
+/// Sedov blast-wave energy constant for 2-D (cylindrical) γ = 1.4:
+/// with total (full-plane) energy `E = SEDOV_ALPHA` the shock reaches
+/// r = 1 at t = 1 (Kamm & Timmes cylindrical similarity constant).
+pub const SEDOV_ALPHA: f64 = 0.9839;
+
+/// The Sedov problem on the quarter-plane `[0,1.1]²`, `n × n` elements:
+/// γ = 1.4, ρ = 1, cold everywhere except the origin cell, which receives
+/// the quarter share of the blast energy. Standard end time 1.0 (shock
+/// at r = 1).
+pub fn sedov(n: usize) -> Deck {
+    let spec = RectSpec { nx: n, ny: n, origin: Vec2::ZERO, extent: Vec2::new(1.1, 1.1) };
+    let mesh = generate_rect(&spec, |_| 0).expect("valid Sedov spec");
+    let materials = MaterialTable::single(EosSpec::ideal_gas(1.4));
+    let rho = vec![1.0; mesh.n_elements()];
+    let cell_vol = (1.1 / n as f64) * (1.1 / n as f64);
+    let e_deposit = SEDOV_ALPHA / 4.0; // quarter plane
+    let mut ein = vec![COLD; mesh.n_elements()];
+    ein[0] = e_deposit / (rho[0] * cell_vol); // origin-corner cell
+    let u = vec![Vec2::ZERO; mesh.n_nodes()];
+    Deck {
+        name: "sedov",
+        mesh,
+        materials,
+        rho,
+        ein,
+        u,
+        piston: None,
+        recommended_final_time: 1.0,
+    }
+}
+
+/// Saltzmann's piston on `[0,1] × [0,0.1]`, `nx × ny` elements with the
+/// canonical skewed mesh: γ = 5/3 cold gas, a unit-velocity piston
+/// driving from the left wall. Standard end time 0.6.
+pub fn saltzmann(nx: usize, ny: usize) -> Deck {
+    let origin = Vec2::ZERO;
+    let extent = Vec2::new(1.0, 0.1);
+    let spec = RectSpec { nx, ny, origin, extent };
+    let mut mesh = generate_rect(&spec, |_| 0).expect("valid Saltzmann spec");
+    saltzmann_distort(&mut mesh, origin, extent);
+
+    // The left wall is the piston: nodes there are *driven*, not fixed —
+    // release the x constraint and record them.
+    let mut piston_nodes = Vec::new();
+    for n in 0..mesh.n_nodes() {
+        if mesh.nodes[n].x.abs() < 1e-12 {
+            mesh.node_bc[n] = NodeBc { fix_x: false, fix_y: mesh.node_bc[n].fix_y };
+            piston_nodes.push(n as u32);
+        }
+    }
+
+    let materials = MaterialTable::single(EosSpec::ideal_gas(5.0 / 3.0));
+    let rho = vec![1.0; mesh.n_elements()];
+    let ein = vec![COLD; mesh.n_elements()];
+    let piston_velocity = Vec2::new(1.0, 0.0);
+    let u: Vec<Vec2> = (0..mesh.n_nodes())
+        .map(|n| {
+            if piston_nodes.contains(&(n as u32)) {
+                piston_velocity
+            } else {
+                Vec2::ZERO
+            }
+        })
+        .collect();
+    Deck {
+        name: "saltzmann",
+        mesh,
+        materials,
+        rho,
+        ein,
+        u,
+        piston: Some(PistonSpec { nodes: piston_nodes, velocity: piston_velocity }),
+        recommended_final_time: 0.6,
+    }
+}
+
+/// Underwater-explosion deck: a JWL detonation-product bubble in Tait
+/// water — the multi-material configuration that exercises the paper's
+/// two non-trivial EoS options (§III-A lists ideal gas, Tait and JWL)
+/// through the full driver.
+///
+/// Quarter-plane `[0,1]²`, `n × n` elements. Region 0 (r < 0.15):
+/// compressed JWL products; region 1: Tait water at reference density.
+/// The bubble drives a pressure wave into the water at the water sound
+/// speed. Scaled (non-physical) parameters keep the time step civil.
+pub fn underwater(n: usize) -> Deck {
+    let bubble_radius = 0.15;
+    let mesh = generate_rect(&RectSpec::unit_square(n), move |c| {
+        u32::from(c.norm() > bubble_radius)
+    })
+    .expect("valid underwater spec");
+    let jwl = EosSpec::Jwl { a: 8.0, b: 0.2, r1: 4.5, r2: 1.5, omega: 0.3, rho0: 1.6 };
+    let tait = EosSpec::Tait { p0: 1.0e2, rho0: 1.0, gamma: 7.0 };
+    let materials = MaterialTable::new(vec![jwl, tait]);
+    let rho: Vec<f64> =
+        mesh.region.iter().map(|&r| if r == 0 { 1.6 } else { 1.0 }).collect();
+    let ein: Vec<f64> = mesh.region.iter().map(|&r| if r == 0 { 40.0 } else { COLD }).collect();
+    let u = vec![Vec2::ZERO; mesh.n_nodes()];
+    Deck {
+        name: "underwater",
+        mesh,
+        materials,
+        rho,
+        ein,
+        u,
+        piston: None,
+        recommended_final_time: 0.01,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bookleaf_util::approx_eq;
+
+    #[test]
+    fn all_decks_validate() {
+        for deck in [sod(20, 4), noh(10), sedov(10), saltzmann(20, 4)] {
+            deck.validate().unwrap_or_else(|e| panic!("{}: {e}", deck.name));
+        }
+    }
+
+    #[test]
+    fn sod_states_and_pressures() {
+        let d = sod(10, 2);
+        let gamma = 1.4;
+        // Left elements: p = (γ-1) ρ ε = 1; right: 0.1.
+        for e in 0..d.mesh.n_elements() {
+            let p = (gamma - 1.0) * d.rho[e] * d.ein[e];
+            if d.mesh.region[e] == 0 {
+                assert!(approx_eq(p, 1.0, 1e-12));
+            } else {
+                assert!(approx_eq(p, 0.1, 1e-12));
+            }
+        }
+        let left = d.mesh.region.iter().filter(|&&r| r == 0).count();
+        assert_eq!(left, d.mesh.n_elements() / 2);
+    }
+
+    #[test]
+    fn noh_velocity_is_unit_inward_where_unconstrained() {
+        let d = noh(8);
+        for (n, &u) in d.u.iter().enumerate() {
+            let p = d.mesh.nodes[n];
+            let bc = d.mesh.node_bc[n];
+            if p.norm() <= 1e-12 {
+                assert_eq!(u, Vec2::ZERO);
+            } else if bc == NodeBc::FREE {
+                assert!(approx_eq(u.norm(), 1.0, 1e-12), "node {n}");
+                assert!(u.dot(p) < 0.0, "node {n} not inward");
+            } else {
+                // Wall nodes: the wall-normal component is projected out
+                // so the deck is consistent with its reflective BCs.
+                let raw = -p / p.norm();
+                assert_eq!(u, bc.apply(raw), "node {n} not projected");
+            }
+        }
+    }
+
+    #[test]
+    fn sedov_total_energy_is_quarter_alpha() {
+        let d = sedov(16);
+        let cell_vol = (1.1 / 16.0) * (1.1 / 16.0);
+        let total: f64 = d
+            .ein
+            .iter()
+            .enumerate()
+            .map(|(e, &ein)| ein * d.rho[e] * cell_vol)
+            .sum();
+        assert!(approx_eq(total, SEDOV_ALPHA / 4.0, 1e-6), "total = {total}");
+        // Energy concentrated in the origin cell.
+        assert!(d.ein[0] > 1e3 * d.ein[1]);
+    }
+
+    #[test]
+    fn saltzmann_piston_setup() {
+        let d = saltzmann(20, 4);
+        let p = d.piston.as_ref().unwrap();
+        assert_eq!(p.nodes.len(), 5); // ny + 1 left-wall nodes
+        for &n in &p.nodes {
+            assert!(d.mesh.nodes[n as usize].x.abs() < 1e-12);
+            assert!(!d.mesh.node_bc[n as usize].fix_x, "piston node still pinned");
+            assert_eq!(d.u[n as usize], Vec2::new(1.0, 0.0));
+        }
+        // Mesh is actually distorted.
+        let undistorted = generate_rect(
+            &RectSpec { nx: 20, ny: 4, origin: Vec2::ZERO, extent: Vec2::new(1.0, 0.1) },
+            |_| 0,
+        )
+        .unwrap();
+        assert_ne!(d.mesh.nodes, undistorted.nodes);
+    }
+
+    #[test]
+    fn deck_validation_catches_corruption() {
+        let mut d = sod(4, 2);
+        d.rho.pop();
+        assert!(d.validate().is_err());
+    }
+}

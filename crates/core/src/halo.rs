@@ -1,0 +1,147 @@
+//! Typhon-backed halo operations and the piston hook.
+//!
+//! [`TyphonHalo`] implements [`bookleaf_hydro::HaloOps`] over a
+//! [`bookleaf_typhon::RankCtx`] and the exchange schedules of a
+//! [`bookleaf_mesh::SubMesh`], reproducing the reference code's two
+//! exchange phases:
+//!
+//! * **before the viscosity calculation** — node kinematics (positions
+//!   and velocities) plus ghost element thermodynamic state;
+//! * **before the acceleration** — ghost corner masses and corner
+//!   forces, so every rank can close the nodal gather for its nodes.
+//!
+//! [`PistonHook`] (and the piston part of `TyphonHalo`) imposes the
+//! Saltzmann driven wall after each acceleration.
+
+use bookleaf_hydro::{HaloOps, HydroState};
+use bookleaf_mesh::{Mesh, SubMesh};
+use bookleaf_typhon::{exchange_corner, exchange_scalar, exchange_vec2, RankCtx};
+use bookleaf_util::Vec2;
+
+/// Node-local piston description (local node ids).
+#[derive(Debug, Clone, Default)]
+pub struct LocalPiston {
+    /// Local node indices of the driven wall.
+    pub nodes: Vec<u32>,
+    /// Imposed velocity.
+    pub velocity: Vec2,
+}
+
+impl LocalPiston {
+    /// Apply the piston to `u` and `ubar`.
+    pub fn apply(&self, state: &mut HydroState) {
+        for &n in &self.nodes {
+            state.u[n as usize] = self.velocity;
+            state.ubar[n as usize] = self.velocity;
+        }
+    }
+}
+
+/// Serial hooks: no communication, optional piston.
+#[derive(Debug, Default)]
+pub struct SerialHooks {
+    /// Piston, if the deck has one.
+    pub piston: Option<LocalPiston>,
+}
+
+impl HaloOps for SerialHooks {
+    fn post_acceleration(&mut self, _mesh: &Mesh, state: &mut HydroState) {
+        if let Some(p) = &self.piston {
+            p.apply(state);
+        }
+    }
+}
+
+/// Distributed hooks: Typhon exchanges plus optional piston.
+pub struct TyphonHalo<'a> {
+    /// The rank's communication context.
+    pub ctx: &'a RankCtx,
+    /// The rank's submesh (schedules live here).
+    pub sub: &'a SubMesh,
+    /// Piston with *local* node ids, if any land on this rank.
+    pub piston: Option<LocalPiston>,
+}
+
+impl HaloOps for TyphonHalo<'_> {
+    fn pre_viscosity(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
+        exchange_vec2(self.ctx, &self.sub.nd_exchange, &mut mesh.nodes);
+        exchange_vec2(self.ctx, &self.sub.nd_exchange, &mut state.u);
+        exchange_scalar(self.ctx, &self.sub.el_exchange, &mut state.rho);
+        exchange_scalar(self.ctx, &self.sub.el_exchange, &mut state.ein);
+        exchange_scalar(self.ctx, &self.sub.el_exchange, &mut state.pressure);
+        exchange_scalar(self.ctx, &self.sub.el_exchange, &mut state.cs2);
+    }
+
+    fn pre_acceleration(&mut self, state: &mut HydroState) {
+        exchange_corner(self.ctx, &self.sub.el_exchange, &mut state.cnmass);
+        // Corner forces are Vec2 per corner: exchange the two components
+        // through scratch corner arrays.
+        let n = state.cnforce.len();
+        let mut fx = vec![[0.0f64; 4]; n];
+        let mut fy = vec![[0.0f64; 4]; n];
+        for e in 0..n {
+            for c in 0..4 {
+                fx[e][c] = state.cnforce[e][c].x;
+                fy[e][c] = state.cnforce[e][c].y;
+            }
+        }
+        exchange_corner(self.ctx, &self.sub.el_exchange, &mut fx);
+        exchange_corner(self.ctx, &self.sub.el_exchange, &mut fy);
+        for e in 0..n {
+            for c in 0..4 {
+                state.cnforce[e][c] = Vec2::new(fx[e][c], fy[e][c]);
+            }
+        }
+    }
+
+    fn post_acceleration(&mut self, _mesh: &Mesh, state: &mut HydroState) {
+        if let Some(p) = &self.piston {
+            p.apply(state);
+        }
+    }
+
+    fn post_remap(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
+        // Remap changes masses and velocities; refresh every ghost field
+        // an owner may have updated.
+        exchange_vec2(self.ctx, &self.sub.nd_exchange, &mut mesh.nodes);
+        exchange_vec2(self.ctx, &self.sub.nd_exchange, &mut state.u);
+        exchange_scalar(self.ctx, &self.sub.el_exchange, &mut state.mass);
+        exchange_scalar(self.ctx, &self.sub.el_exchange, &mut state.rho);
+        exchange_scalar(self.ctx, &self.sub.el_exchange, &mut state.ein);
+        exchange_scalar(self.ctx, &self.sub.el_exchange, &mut state.volume);
+        exchange_corner(self.ctx, &self.sub.el_exchange, &mut state.cnmass);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bookleaf_eos::{EosSpec, MaterialTable};
+    use bookleaf_mesh::{generate_rect, RectSpec};
+
+    #[test]
+    fn piston_overrides_velocity() {
+        let mesh = generate_rect(&RectSpec::unit_square(2), |_| 0).unwrap();
+        let mat = MaterialTable::single(EosSpec::ideal_gas(1.4));
+        let mut st =
+            HydroState::new(&mesh, &mat, |_| 1.0, |_| 1.0, |_| Vec2::ZERO).unwrap();
+        let p = LocalPiston { nodes: vec![0, 3], velocity: Vec2::new(2.0, 0.0) };
+        p.apply(&mut st);
+        assert_eq!(st.u[0], Vec2::new(2.0, 0.0));
+        assert_eq!(st.ubar[3], Vec2::new(2.0, 0.0));
+        assert_eq!(st.u[1], Vec2::ZERO);
+    }
+
+    #[test]
+    fn serial_hooks_apply_piston_post_acceleration() {
+        let mesh = generate_rect(&RectSpec::unit_square(2), |_| 0).unwrap();
+        let mat = MaterialTable::single(EosSpec::ideal_gas(1.4));
+        let mut st =
+            HydroState::new(&mesh, &mat, |_| 1.0, |_| 1.0, |_| Vec2::ZERO).unwrap();
+        let mut hooks = SerialHooks {
+            piston: Some(LocalPiston { nodes: vec![1], velocity: Vec2::new(-1.0, 0.0) }),
+        };
+        hooks.post_acceleration(&mesh, &mut st);
+        assert_eq!(st.u[1], Vec2::new(-1.0, 0.0));
+    }
+}

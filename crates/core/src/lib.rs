@@ -1,0 +1,29 @@
+//! # bookleaf-core
+//!
+//! The BookLeaf-rs driver: input decks, the hydro loop of Algorithm 1,
+//! and the programming-model executors of the paper's evaluation.
+//!
+//! * [`decks`] — the four standard shock-hydrodynamics test problems
+//!   (Sod's shock tube, the Noh problem, the Sedov problem, Saltzmann's
+//!   piston) plus a generic deck builder;
+//! * [`driver`] — the serial reference driver: `getdt` → `lagstep` →
+//!   optional `alestep`, repeated to the final time;
+//! * [`executor`] — distributed execution: flat MPI (one rank thread per
+//!   "core") and hybrid MPI+OpenMP (rank threads × rayon), both built on
+//!   the Typhon runtime with real halo exchanges, plus the
+//!   device-modeled GPU configurations;
+//! * [`halo`] — the [`bookleaf_hydro::HaloOps`] implementation backed by
+//!   Typhon exchanges (and the piston hook for Saltzmann).
+
+pub mod config;
+pub mod decks;
+pub mod driver;
+pub mod executor;
+pub mod halo;
+pub mod output;
+
+pub use config::{ExecutorKind, RunConfig};
+pub use decks::Deck;
+pub use driver::{Driver, RunSummary};
+pub use executor::{run_distributed, DistributedOutput};
+pub use output::{read_snapshot, write_vtk, Snapshot};

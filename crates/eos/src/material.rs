@@ -1,0 +1,132 @@
+//! Material table: region id → EoS, and slice-level evaluation.
+//!
+//! The `getpc` kernel evaluates the EoS for every element. Elements carry
+//! a region (material) id; the table maps that id to an [`EosSpec`].
+
+use bookleaf_util::{BookLeafError, Result};
+
+use crate::spec::EosSpec;
+
+/// Region-indexed EoS table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaterialTable {
+    specs: Vec<EosSpec>,
+}
+
+impl MaterialTable {
+    /// Table with the given specs; region `i` uses `specs[i]`.
+    #[must_use]
+    pub fn new(specs: Vec<EosSpec>) -> Self {
+        MaterialTable { specs }
+    }
+
+    /// Single-material table (regions all map to one EoS).
+    #[must_use]
+    pub fn single(spec: EosSpec) -> Self {
+        MaterialTable { specs: vec![spec] }
+    }
+
+    /// Number of materials.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// EoS for region `r`.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range — decks are validated at setup time
+    /// via [`MaterialTable::check_regions`].
+    #[inline]
+    #[must_use]
+    pub fn spec(&self, r: u32) -> &EosSpec {
+        &self.specs[r as usize]
+    }
+
+    /// Validate that every region id in `regions` has an entry.
+    pub fn check_regions(&self, regions: &[u32]) -> Result<()> {
+        if let Some(&bad) = regions.iter().find(|&&r| r as usize >= self.specs.len()) {
+            return Err(BookLeafError::InvalidDeck(format!(
+                "region {bad} has no material (table has {} entries)",
+                self.specs.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Evaluate pressure and sound speed squared for every element.
+    ///
+    /// This is the vectorised body of `getpc`: inputs are per-element
+    /// density, internal energy and region; outputs are written in place.
+    pub fn eval_slice(
+        &self,
+        rho: &[f64],
+        ein: &[f64],
+        region: &[u32],
+        pressure: &mut [f64],
+        cs2: &mut [f64],
+    ) {
+        debug_assert_eq!(rho.len(), ein.len());
+        debug_assert_eq!(rho.len(), region.len());
+        debug_assert_eq!(rho.len(), pressure.len());
+        debug_assert_eq!(rho.len(), cs2.len());
+        for i in 0..rho.len() {
+            let (p, c) = self.spec(region[i]).pressure_cs2(rho[i], ein[i]);
+            pressure[i] = p;
+            cs2[i] = c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bookleaf_util::approx_eq;
+
+    #[test]
+    fn two_material_table() {
+        let t = MaterialTable::new(vec![EosSpec::ideal_gas(1.4), EosSpec::ideal_gas(1.2)]);
+        assert_eq!(t.len(), 2);
+        let p0 = t.spec(0).pressure(1.0, 1.0);
+        let p1 = t.spec(1).pressure(1.0, 1.0);
+        assert!(approx_eq(p0, 0.4, 1e-14));
+        assert!(approx_eq(p1, 0.2, 1e-14));
+    }
+
+    #[test]
+    fn check_regions_catches_missing_material() {
+        let t = MaterialTable::single(EosSpec::ideal_gas(1.4));
+        assert!(t.check_regions(&[0, 0, 0]).is_ok());
+        assert!(t.check_regions(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn eval_slice_matches_scalar() {
+        let t = MaterialTable::new(vec![EosSpec::ideal_gas(1.4), EosSpec::Void]);
+        let rho = [1.0, 2.0, 0.5];
+        let ein = [1.0, 3.0, 2.0];
+        let region = [0, 0, 1];
+        let mut p = [0.0; 3];
+        let mut c = [0.0; 3];
+        t.eval_slice(&rho, &ein, &region, &mut p, &mut c);
+        for i in 0..3 {
+            let (ps, cs) = t.spec(region[i]).pressure_cs2(rho[i], ein[i]);
+            assert_eq!(p[i], ps);
+            assert_eq!(c[i], cs);
+        }
+        assert_eq!(p[2], 0.0); // void
+    }
+
+    #[test]
+    fn empty_table_reports() {
+        let t = MaterialTable::new(vec![]);
+        assert!(t.is_empty());
+        assert!(t.check_regions(&[0]).is_err());
+    }
+}

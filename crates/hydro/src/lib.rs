@@ -1,0 +1,77 @@
+//! # bookleaf-hydro
+//!
+//! The Lagrangian hydrodynamics kernels of BookLeaf-rs.
+//!
+//! BookLeaf solves Euler's equations of compressible flow on a staggered
+//! unstructured quadrilateral mesh: thermodynamic variables (density ρ,
+//! pressure P, specific internal energy ε) are piecewise constant per
+//! cell; kinematic variables (velocity **u**, position **x**) live on
+//! nodes with bilinear elements. A *compatible* discretisation
+//! (Barlow 2008) drives both the momentum and energy equations from the
+//! same corner forces, conserving total energy to round-off. Shocks are
+//! handled by an edge-centred artificial viscosity (Caramana, Shashkov &
+//! Whalen 1998) with a monotonic limiter; spurious hourglass modes are
+//! suppressed by a Hancock-style filter and Caramana–Shashkov sub-zonal
+//! pressures.
+//!
+//! Each kernel of the reference implementation's hydro loop
+//! (Algorithm 1 of the paper) is one module here:
+//!
+//! | paper kernel | module | role |
+//! |--------------|--------|------|
+//! | `getdt`      | [`getdt`]    | CFL + divergence time-step control |
+//! | `getq`       | [`getq`]     | artificial viscosity |
+//! | `getforce`   | [`getforce`] | corner forces: pressure, viscosity, hourglass |
+//! | `getacc`     | [`getacc`]   | nodal mass gather, acceleration, BCs, node motion |
+//! | `getgeom`    | [`getgeom`]  | volumes, corner volumes, characteristic lengths |
+//! | `getrho`     | [`getrho`]   | density from Lagrangian mass |
+//! | `getein`     | [`getein`]   | compatible internal-energy update |
+//! | `getpc`      | [`getpc`]    | EoS evaluation |
+//!
+//! [`lagstep`] composes them into the predictor–corrector step, with
+//! halo-exchange hooks at exactly the two points the paper identifies
+//! (immediately before the viscosity calculation and immediately before
+//! the acceleration).
+//!
+//! ## Threading
+//!
+//! Per the paper's §IV-B, most kernels are trivially parallelisable and
+//! accept a [`Threading`] mode (serial or rayon). The acceleration kernel
+//! carries a genuine scatter data dependency; [`getacc`] exposes the
+//! reference *serial scatter* (what the paper shipped) and a
+//! conflict-free *gather* rewrite (the fix the paper left as future
+//! work), which the ablation benches compare.
+
+// Index-based loops over element/corner arrays are the house style of
+// these kernels (they mirror the reference Fortran and keep index math
+// visible); the clippy style lint fires on every one.
+#![allow(clippy::needless_range_loop)]
+
+pub mod getacc;
+pub mod getdt;
+pub mod getein;
+pub mod getforce;
+pub mod getgeom;
+pub mod getpc;
+pub mod getq;
+pub mod getrho;
+pub mod lagstep;
+pub mod state;
+
+pub use getacc::AccMode;
+pub use lagstep::{lagstep, lagstep_timed, HaloOps, LagOptions, NoComm};
+pub use state::{HydroState, LocalRange};
+
+/// Intra-rank threading mode for the trivially parallel kernels.
+///
+/// Maps onto the paper's evaluation axis: `Serial` inside many MPI ranks
+/// is the *flat MPI* model; `Rayon` inside fewer ranks is the *hybrid
+/// MPI+OpenMP* model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Threading {
+    /// Plain sequential loops.
+    #[default]
+    Serial,
+    /// Rayon data-parallel loops (the OpenMP-host analogue).
+    Rayon,
+}

@@ -1,0 +1,320 @@
+//! Quadrilateral geometry kernels.
+//!
+//! BookLeaf's spatial discretisation uses explicitly integrated bilinear
+//! iso-parametric finite elements on straight-sided quads. Everything the
+//! hydro kernels need reduces to a handful of closed forms on the four
+//! corner positions:
+//!
+//! * the signed **area** (shoelace formula) — in 2-D planar geometry the
+//!   element "volume";
+//! * the **corner force weights** `∂A/∂xᵢ` — the gradient of the element
+//!   area with respect to each corner position, which is exactly the
+//!   compatible-discretisation corner force per unit pressure
+//!   (Barlow 2008);
+//! * **corner volumes** — the four sub-zonal areas obtained by joining
+//!   each corner to the two adjacent edge midpoints and the centroid
+//!   (Caramana–Shashkov sub-zonal pressures); they sum to the element
+//!   area exactly;
+//! * the **characteristic length** used by the CFL condition.
+
+use bookleaf_util::Vec2;
+
+use crate::NCORN;
+
+/// Signed area of a quadrilateral from its CCW corner list (shoelace).
+#[inline]
+#[must_use]
+pub fn quad_area(c: &[Vec2; NCORN]) -> f64 {
+    0.5 * ((c[0].x * c[1].y - c[1].x * c[0].y)
+        + (c[1].x * c[2].y - c[2].x * c[1].y)
+        + (c[2].x * c[3].y - c[3].x * c[2].y)
+        + (c[3].x * c[0].y - c[0].x * c[3].y))
+}
+
+/// Centroid (arithmetic mean of corners — the bilinear map centre).
+#[inline]
+#[must_use]
+pub fn quad_centroid(c: &[Vec2; NCORN]) -> Vec2 {
+    (c[0] + c[1] + c[2] + c[3]) * 0.25
+}
+
+/// Gradient of the quad area with respect to corner `i`:
+/// `∂A/∂xᵢ = ½(y_{i+1} − y_{i−1})`, `∂A/∂yᵢ = ½(x_{i−1} − x_{i+1})`.
+///
+/// Multiplied by a cell pressure this is the corner force of the
+/// compatible discretisation; dotted with a corner velocity it gives the
+/// exact rate of volume change.
+#[inline]
+#[must_use]
+pub fn area_gradient(c: &[Vec2; NCORN]) -> [Vec2; NCORN] {
+    let mut g = [Vec2::ZERO; NCORN];
+    for i in 0..NCORN {
+        let ip = (i + 1) % NCORN;
+        let im = (i + 3) % NCORN;
+        g[i] = Vec2::new(0.5 * (c[ip].y - c[im].y), 0.5 * (c[im].x - c[ip].x));
+    }
+    g
+}
+
+/// The four sub-zonal ("corner") areas of a quad.
+///
+/// Corner `i`'s sub-zone is the quad (cornerᵢ, midpoint(i,i+1), centroid,
+/// midpoint(i−1,i)). For straight-sided quads the four sub-zones tile the
+/// element exactly.
+#[must_use]
+pub fn corner_volumes(c: &[Vec2; NCORN]) -> [f64; NCORN] {
+    let ctr = quad_centroid(c);
+    let mut out = [0.0; NCORN];
+    for i in 0..NCORN {
+        let ip = (i + 1) % NCORN;
+        let im = (i + 3) % NCORN;
+        let m_next = c[i].midpoint(c[ip]);
+        let m_prev = c[im].midpoint(c[i]);
+        out[i] = quad_area(&[c[i], m_next, ctr, m_prev]);
+    }
+    out
+}
+
+/// Edge lengths, edge `i` joining corner `i` to corner `i+1`.
+#[inline]
+#[must_use]
+pub fn edge_lengths(c: &[Vec2; NCORN]) -> [f64; NCORN] {
+    [
+        c[0].distance(c[1]),
+        c[1].distance(c[2]),
+        c[2].distance(c[3]),
+        c[3].distance(c[0]),
+    ]
+}
+
+/// Outward-ish edge midpoint normals scaled by edge length: the vector
+/// `(edge).perp()` for each edge, pointing out of a CCW quad after
+/// negation. Used by the swept-volume remap.
+#[inline]
+#[must_use]
+pub fn edge_vectors(c: &[Vec2; NCORN]) -> [Vec2; NCORN] {
+    [c[1] - c[0], c[2] - c[1], c[3] - c[2], c[0] - c[3]]
+}
+
+/// Characteristic length for the CFL condition: element area divided by
+/// the longest edge. For a square of side `h` this gives `h`; for
+/// squashed or distorted elements it shrinks conservatively, which is the
+/// behaviour the time-step control needs.
+#[must_use]
+pub fn char_length(c: &[Vec2; NCORN]) -> f64 {
+    let area = quad_area(c).abs();
+    let longest = edge_lengths(c).into_iter().fold(0.0f64, f64::max);
+    if longest == 0.0 {
+        0.0
+    } else {
+        area / longest
+    }
+}
+
+/// Velocity divergence integrated over the element, divided by the area:
+/// the discrete ∇·u used by the viscosity limiter and the divergence
+/// time-step control. `u` holds the four corner velocities.
+#[must_use]
+pub fn velocity_divergence(c: &[Vec2; NCORN], u: &[Vec2; NCORN]) -> f64 {
+    // dA/dt = Σᵢ ∂A/∂xᵢ · uᵢ ; ∇·u = (dA/dt)/A.
+    let g = area_gradient(c);
+    let area = quad_area(c);
+    if area == 0.0 {
+        return 0.0;
+    }
+    let mut da = 0.0;
+    for i in 0..NCORN {
+        da += g[i].dot(u[i]);
+    }
+    da / area
+}
+
+/// Jacobian determinant of the bilinear map at a parametric point
+/// `(ξ, η) ∈ [−1,1]²`. Positive everywhere iff the quad is convex and
+/// counter-clockwise (untangled).
+#[must_use]
+pub fn jacobian_at(c: &[Vec2; NCORN], xi: f64, eta: f64) -> f64 {
+    // Bilinear shape function derivatives at (xi, eta):
+    // N = ¼(1±ξ)(1±η) with corner signs (−,−), (+,−), (+,+), (−,+).
+    let dn_dxi = [
+        -0.25 * (1.0 - eta),
+        0.25 * (1.0 - eta),
+        0.25 * (1.0 + eta),
+        -0.25 * (1.0 + eta),
+    ];
+    let dn_deta = [
+        -0.25 * (1.0 - xi),
+        -0.25 * (1.0 + xi),
+        0.25 * (1.0 + xi),
+        0.25 * (1.0 - xi),
+    ];
+    let mut dx_dxi = Vec2::ZERO;
+    let mut dx_deta = Vec2::ZERO;
+    for i in 0..NCORN {
+        dx_dxi += c[i] * dn_dxi[i];
+        dx_deta += c[i] * dn_deta[i];
+    }
+    dx_dxi.cross(dx_deta)
+}
+
+/// True when the element is untangled: the bilinear Jacobian is positive
+/// at all four corners (sufficient for straight-sided quads).
+#[must_use]
+pub fn is_untangled(c: &[Vec2; NCORN]) -> bool {
+    const PTS: [(f64, f64); 4] = [(-1.0, -1.0), (1.0, -1.0), (1.0, 1.0), (-1.0, 1.0)];
+    PTS.iter().all(|&(xi, eta)| jacobian_at(c, xi, eta) > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bookleaf_util::approx_eq;
+
+    fn unit_square() -> [Vec2; 4] {
+        [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(0.0, 1.0),
+        ]
+    }
+
+    fn skewed_quad() -> [Vec2; 4] {
+        [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.3),
+            Vec2::new(2.2, 1.4),
+            Vec2::new(-0.3, 1.1),
+        ]
+    }
+
+    #[test]
+    fn unit_square_area_and_centroid() {
+        let c = unit_square();
+        assert_eq!(quad_area(&c), 1.0);
+        assert_eq!(quad_centroid(&c), Vec2::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn clockwise_quad_has_negative_area() {
+        let mut c = unit_square();
+        c.swap(1, 3);
+        assert_eq!(quad_area(&c), -1.0);
+    }
+
+    #[test]
+    fn area_gradient_is_exact_derivative() {
+        // Finite-difference check of ∂A/∂xᵢ on a skewed quad.
+        let c = skewed_quad();
+        let g = area_gradient(&c);
+        let h = 1e-7;
+        for i in 0..4 {
+            let mut cp = c;
+            cp[i].x += h;
+            let d_dx = (quad_area(&cp) - quad_area(&c)) / h;
+            let mut cp = c;
+            cp[i].y += h;
+            let d_dy = (quad_area(&cp) - quad_area(&c)) / h;
+            assert!(approx_eq(g[i].x, d_dx, 1e-5), "corner {i} x: {} vs {}", g[i].x, d_dx);
+            assert!(approx_eq(g[i].y, d_dy, 1e-5), "corner {i} y: {} vs {}", g[i].y, d_dy);
+        }
+    }
+
+    #[test]
+    fn area_gradient_sums_to_zero() {
+        // Translating the quad does not change its area.
+        let g = area_gradient(&skewed_quad());
+        let s: Vec2 = g.into_iter().sum();
+        assert!(s.norm() < 1e-15);
+    }
+
+    #[test]
+    fn corner_volumes_tile_element() {
+        for c in [unit_square(), skewed_quad()] {
+            let cv = corner_volumes(&c);
+            let total: f64 = cv.iter().sum();
+            assert!(approx_eq(total, quad_area(&c), 1e-12), "{total} vs {}", quad_area(&c));
+            assert!(cv.iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn unit_square_corner_volumes_equal() {
+        let cv = corner_volumes(&unit_square());
+        for v in cv {
+            assert!(approx_eq(v, 0.25, 1e-14));
+        }
+    }
+
+    #[test]
+    fn char_length_of_square_is_side() {
+        assert!(approx_eq(char_length(&unit_square()), 1.0, 1e-14));
+        // A 2x1 rectangle: area 2, longest edge 2 -> length 1 (the short side).
+        let rect = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(2.0, 1.0),
+            Vec2::new(0.0, 1.0),
+        ];
+        assert!(approx_eq(char_length(&rect), 1.0, 1e-14));
+    }
+
+    #[test]
+    fn divergence_of_uniform_expansion() {
+        // u = x  =>  ∇·u = 2 in 2-D.
+        let c = skewed_quad();
+        let u = [c[0], c[1], c[2], c[3]];
+        assert!(approx_eq(velocity_divergence(&c, &u), 2.0, 1e-12));
+    }
+
+    #[test]
+    fn divergence_of_rigid_motion_is_zero() {
+        let c = skewed_quad();
+        // Translation.
+        let u = [Vec2::new(3.0, -1.0); 4];
+        assert!(velocity_divergence(&c, &u).abs() < 1e-14);
+        // Rotation about origin: u = ω × x = ω(-y, x).
+        let rot = [c[0].perp(), c[1].perp(), c[2].perp(), c[3].perp()];
+        assert!(velocity_divergence(&c, &rot).abs() < 1e-13);
+    }
+
+    #[test]
+    fn jacobian_positive_for_convex_ccw() {
+        assert!(is_untangled(&unit_square()));
+        assert!(is_untangled(&skewed_quad()));
+    }
+
+    #[test]
+    fn jacobian_detects_tangled() {
+        // Bow-tie: corners 2 and 3 swapped.
+        let c = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(0.0, 1.0),
+            Vec2::new(1.0, 1.0),
+        ];
+        assert!(!is_untangled(&c));
+    }
+
+    #[test]
+    fn jacobian_integrates_to_area() {
+        // ∫ J dξdη over [-1,1]² = area; 2x2 Gauss quadrature is exact for
+        // bilinear J. Gauss points ±1/√3, weight 1.
+        let c = skewed_quad();
+        let gp = 1.0 / 3.0f64.sqrt();
+        let mut integral = 0.0;
+        for &xi in &[-gp, gp] {
+            for &eta in &[-gp, gp] {
+                integral += jacobian_at(&c, xi, eta);
+            }
+        }
+        assert!(approx_eq(integral, quad_area(&c), 1e-12));
+    }
+
+    #[test]
+    fn edge_vectors_close_loop() {
+        let ev = edge_vectors(&skewed_quad());
+        let s: Vec2 = ev.into_iter().sum();
+        assert!(s.norm() < 1e-15);
+    }
+}

@@ -1,0 +1,42 @@
+//! # bookleaf-mesh
+//!
+//! The unstructured 2-D quadrilateral mesh substrate of BookLeaf-rs.
+//!
+//! BookLeaf solves Euler's equations on a mesh of quadrilateral cells.
+//! Neighbouring cells connect via faces, faces intersect at nodes, and —
+//! because the mesh is unstructured — the number of cells surrounding a
+//! node is arbitrary. The discretisation is *staggered*: thermodynamic
+//! variables live at cell centres, kinematic variables at nodes.
+//!
+//! This crate provides:
+//!
+//! * [`Mesh`] — node coordinates + full connectivity (element→node,
+//!   element→element across faces, CSR node→element) + boundary
+//!   conditions + per-element region ids;
+//! * [`generation`] — deck-driven mesh generation (rectangular regions,
+//!   the Saltzmann distorted mesh);
+//! * [`geometry`] — quadrilateral geometry kernels (areas, corner
+//!   volumes for sub-zonal pressures, iso-parametric gradients,
+//!   characteristic lengths);
+//! * [`submesh`] — extraction of per-rank local meshes with ghost
+//!   layers, used by the Typhon runtime;
+//! * [`quality`] — mesh-quality metrics used by tests and the ALE
+//!   mesh-selection step.
+
+// Index-based loops over element/corner arrays are the house style of
+// these kernels (they mirror the reference Fortran and keep index math
+// visible); the clippy style lint fires on every one.
+#![allow(clippy::needless_range_loop)]
+
+pub mod generation;
+pub mod geometry;
+pub mod quality;
+pub mod submesh;
+mod topology;
+
+pub use generation::{generate_rect, saltzmann_distort, RectSpec};
+pub use submesh::{SubMesh, SubMeshPlan};
+pub use topology::{Mesh, Neighbor, NodeBc};
+
+/// Number of corners / faces of a quadrilateral element.
+pub const NCORN: usize = bookleaf_util::constants::NCORN;

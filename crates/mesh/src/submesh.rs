@@ -1,0 +1,471 @@
+//! Per-rank local meshes with ghost layers.
+//!
+//! BookLeaf distributes the mesh across processes; data required from
+//! neighbouring processes is stored in *ghost layers* and retrieved via
+//! point-to-point communications. This module builds those local views.
+//!
+//! ## Layout of a [`SubMesh`]
+//!
+//! * Local elements are ordered **owned first, then ghost**, each group
+//!   sorted by global id (so that reduction orders are identical on every
+//!   rank that sees the same element).
+//! * The ghost layer contains every non-owned element that shares *a node*
+//!   with an owned element. This node-complete layer means each rank can
+//!   evaluate the acceleration gather for every node of its owned elements
+//!   without further communication, provided ghost corner data is current.
+//! * Local nodes are ordered **active first** (nodes of owned elements,
+//!   sorted by global id), **then outer** (remaining nodes of ghost
+//!   elements).
+//! * Node ownership: the smallest rank owning an adjacent element. Owned
+//!   node values are computed locally; non-owned values arrive via the
+//!   node exchange.
+//!
+//! The exchange *schedules* (who sends which locals to whom, in which
+//! order) are precomputed here, centrally, from the global mesh — the
+//! paper notes the reference partitioner is serial, and we mirror that.
+
+use std::collections::HashMap;
+
+use bookleaf_util::{BookLeafError, Result};
+
+use crate::topology::Mesh;
+use crate::NCORN;
+
+/// One direction of a per-neighbour exchange schedule: the local indices
+/// to pack (send) or unpack (receive), in an order agreed with the peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExchangeList {
+    /// Peer rank.
+    pub rank: usize,
+    /// Local indices to send to `rank`, sorted by global id.
+    pub send: Vec<u32>,
+    /// Local indices to receive from `rank`, sorted by global id.
+    pub recv: Vec<u32>,
+}
+
+/// A rank-local mesh plus everything needed to exchange halo data.
+#[derive(Debug, Clone)]
+pub struct SubMesh {
+    /// This rank's id.
+    pub rank: usize,
+    /// The local mesh: owned elements first, then ghosts.
+    pub mesh: Mesh,
+    /// Number of owned elements (prefix of the local ordering).
+    pub n_owned_el: usize,
+    /// Number of active nodes (nodes of owned elements, prefix).
+    pub n_active_nd: usize,
+    /// Local element → global element id.
+    pub el_l2g: Vec<u32>,
+    /// Local node → global node id.
+    pub nd_l2g: Vec<u32>,
+    /// Owner rank of each local node.
+    pub nd_owner: Vec<u32>,
+    /// Element-field exchange schedule, one entry per neighbouring rank.
+    pub el_exchange: Vec<ExchangeList>,
+    /// Node-field exchange schedule, one entry per neighbouring rank.
+    pub nd_exchange: Vec<ExchangeList>,
+}
+
+impl SubMesh {
+    /// True when local element `e` is owned by this rank.
+    #[inline]
+    #[must_use]
+    pub fn owns_element(&self, e: usize) -> bool {
+        e < self.n_owned_el
+    }
+
+    /// True when local node `n` is owned by this rank.
+    #[inline]
+    #[must_use]
+    pub fn owns_node(&self, n: usize) -> bool {
+        self.nd_owner[n] as usize == self.rank
+    }
+
+    /// Total halo (ghost element) count.
+    #[must_use]
+    pub fn n_ghost_el(&self) -> usize {
+        self.mesh.n_elements() - self.n_owned_el
+    }
+}
+
+/// Builder for the set of [`SubMesh`]es of a run.
+#[derive(Debug)]
+pub struct SubMeshPlan;
+
+impl SubMeshPlan {
+    /// Decompose `global` according to `owner` (element → rank) into
+    /// `n_ranks` local meshes with ghost layers and exchange schedules.
+    pub fn build(global: &Mesh, owner: &[usize], n_ranks: usize) -> Result<Vec<SubMesh>> {
+        if owner.len() != global.n_elements() {
+            return Err(BookLeafError::Partition(format!(
+                "owner array length {} != element count {}",
+                owner.len(),
+                global.n_elements()
+            )));
+        }
+        if let Some(&bad) = owner.iter().find(|&&r| r >= n_ranks) {
+            return Err(BookLeafError::Partition(format!(
+                "element owner {bad} out of range for {n_ranks} ranks"
+            )));
+        }
+        for r in 0..n_ranks {
+            if !owner.contains(&r) {
+                return Err(BookLeafError::Partition(format!("rank {r} owns no elements")));
+            }
+        }
+
+        // Node owner = min rank among adjacent elements.
+        let mut nd_owner_g = vec![usize::MAX; global.n_nodes()];
+        for n in 0..global.n_nodes() {
+            for &(e, _) in global.elements_of_node(n) {
+                nd_owner_g[n] = nd_owner_g[n].min(owner[e as usize]);
+            }
+        }
+
+        // Per rank: owned elements (sorted), then ghost layer (sorted).
+        let mut subs = Vec::with_capacity(n_ranks);
+        // For schedule construction: for each global element, which ranks
+        // hold it as a ghost.
+        let mut ghost_holders: Vec<Vec<usize>> = vec![Vec::new(); global.n_elements()];
+        // Which ranks need each global node (hold it locally, not owning it).
+        let mut node_needers: Vec<Vec<usize>> = vec![Vec::new(); global.n_nodes()];
+
+        struct Draft {
+            owned: Vec<u32>,
+            ghost: Vec<u32>,
+            local_nodes: Vec<u32>, // active then outer, each sorted
+            n_active: usize,
+            el_g2l: HashMap<u32, u32>,
+            nd_g2l: HashMap<u32, u32>,
+        }
+        let mut drafts = Vec::with_capacity(n_ranks);
+
+        for r in 0..n_ranks {
+            let owned: Vec<u32> = (0..global.n_elements() as u32)
+                .filter(|&e| owner[e as usize] == r)
+                .collect();
+
+            // Active nodes = nodes of owned elements.
+            let mut active: Vec<u32> = owned
+                .iter()
+                .flat_map(|&e| global.elnd[e as usize])
+                .collect();
+            active.sort_unstable();
+            active.dedup();
+
+            // Ghost layer: elements adjacent to an active node, not owned.
+            let mut ghost: Vec<u32> = active
+                .iter()
+                .flat_map(|&n| global.elements_of_node(n as usize).iter().map(|&(e, _)| e))
+                .filter(|&e| owner[e as usize] != r)
+                .collect();
+            ghost.sort_unstable();
+            ghost.dedup();
+
+            // Outer nodes = nodes of ghosts not already active.
+            let active_set: std::collections::HashSet<u32> = active.iter().copied().collect();
+            let mut outer: Vec<u32> = ghost
+                .iter()
+                .flat_map(|&e| global.elnd[e as usize])
+                .filter(|n| !active_set.contains(n))
+                .collect();
+            outer.sort_unstable();
+            outer.dedup();
+
+            for &e in &ghost {
+                ghost_holders[e as usize].push(r);
+            }
+
+            let mut local_nodes = active.clone();
+            local_nodes.extend_from_slice(&outer);
+            for &n in &local_nodes {
+                if nd_owner_g[n as usize] != r {
+                    node_needers[n as usize].push(r);
+                }
+            }
+
+            let el_g2l: HashMap<u32, u32> = owned
+                .iter()
+                .chain(ghost.iter())
+                .enumerate()
+                .map(|(l, &g)| (g, l as u32))
+                .collect();
+            let nd_g2l: HashMap<u32, u32> =
+                local_nodes.iter().enumerate().map(|(l, &g)| (g, l as u32)).collect();
+
+            drafts.push(Draft {
+                owned,
+                ghost,
+                n_active: active.len(),
+                local_nodes,
+                el_g2l,
+                nd_g2l,
+            });
+        }
+
+        // Build exchange schedules. Element: owner sends to every ghost
+        // holder. Node: owner sends to every needer. Both sides keep
+        // global-id order so packed buffers line up.
+        for (r, d) in drafts.iter().enumerate() {
+            // el sends: my owned elements that appear in others' ghost lists.
+            let mut el_sched: HashMap<usize, (Vec<u32>, Vec<u32>)> = HashMap::new();
+            for &g in &d.owned {
+                for &holder in &ghost_holders[g as usize] {
+                    el_sched.entry(holder).or_default().0.push(d.el_g2l[&g]);
+                }
+            }
+            for &g in &d.ghost {
+                let owner_rank = owner[g as usize];
+                el_sched.entry(owner_rank).or_default().1.push(d.el_g2l[&g]);
+            }
+
+            let mut nd_sched: HashMap<usize, (Vec<u32>, Vec<u32>)> = HashMap::new();
+            for &n in &d.local_nodes {
+                let o = nd_owner_g[n as usize];
+                if o == r {
+                    for &needer in &node_needers[n as usize] {
+                        nd_sched.entry(needer).or_default().0.push(d.nd_g2l[&n]);
+                    }
+                } else {
+                    nd_sched.entry(o).or_default().1.push(d.nd_g2l[&n]);
+                }
+            }
+
+            // Sort every pack/unpack list by *global* id so both ends of
+            // each channel agree on buffer order regardless of how local
+            // orderings interleave active and outer entries.
+            let mut el_exchange: Vec<ExchangeList> = el_sched
+                .into_iter()
+                .map(|(rank, (mut send, mut recv))| {
+                    let gid = |l: u32| {
+                        let l = l as usize;
+                        if l < d.owned.len() {
+                            d.owned[l]
+                        } else {
+                            d.ghost[l - d.owned.len()]
+                        }
+                    };
+                    send.sort_by_key(|&l| gid(l));
+                    recv.sort_by_key(|&l| gid(l));
+                    ExchangeList { rank, send, recv }
+                })
+                .collect();
+            el_exchange.sort_by_key(|x| x.rank);
+            let mut nd_exchange: Vec<ExchangeList> = nd_sched
+                .into_iter()
+                .map(|(rank, (mut send, mut recv))| {
+                    send.sort_by_key(|&l| d.local_nodes[l as usize]);
+                    recv.sort_by_key(|&l| d.local_nodes[l as usize]);
+                    ExchangeList { rank, send, recv }
+                })
+                .collect();
+            nd_exchange.sort_by_key(|x| x.rank);
+
+            // Local mesh arrays.
+            let all_els: Vec<u32> = d.owned.iter().chain(d.ghost.iter()).copied().collect();
+            let elnd: Vec<[u32; NCORN]> = all_els
+                .iter()
+                .map(|&g| {
+                    let quad = global.elnd[g as usize];
+                    [
+                        d.nd_g2l[&quad[0]],
+                        d.nd_g2l[&quad[1]],
+                        d.nd_g2l[&quad[2]],
+                        d.nd_g2l[&quad[3]],
+                    ]
+                })
+                .collect();
+            let nodes = d.local_nodes.iter().map(|&n| global.nodes[n as usize]).collect();
+            let node_bc = d.local_nodes.iter().map(|&n| global.node_bc[n as usize]).collect();
+            let region = all_els.iter().map(|&g| global.region[g as usize]).collect();
+            let mut mesh = Mesh::from_raw(nodes, elnd, node_bc, region)?;
+            // Reorder every node's element adjacency by *global* element
+            // id. Nodal gathers (acceleration, remap momentum) then sum
+            // in exactly the order the serial code uses, making
+            // distributed Lagrangian runs bitwise-identical to serial.
+            for n in 0..mesh.n_nodes() {
+                let (lo, hi) = (mesh.ndel_off[n] as usize, mesh.ndel_off[n + 1] as usize);
+                mesh.ndel[lo..hi].sort_by_key(|&(e, _)| all_els[e as usize]);
+            }
+
+            subs.push(SubMesh {
+                rank: r,
+                mesh,
+                n_owned_el: d.owned.len(),
+                n_active_nd: d.n_active,
+                el_l2g: all_els,
+                nd_l2g: d.local_nodes.clone(),
+                nd_owner: d
+                    .local_nodes
+                    .iter()
+                    .map(|&n| nd_owner_g[n as usize] as u32)
+                    .collect(),
+                el_exchange,
+                nd_exchange,
+            });
+        }
+
+        // Cross-check: send and recv list lengths agree pairwise.
+        for r in 0..n_ranks {
+            for ex in &subs[r].el_exchange {
+                let peer = &subs[ex.rank];
+                let back = peer
+                    .el_exchange
+                    .iter()
+                    .find(|x| x.rank == r)
+                    .ok_or_else(|| {
+                        BookLeafError::Comm(format!("rank {} missing peer schedule for {r}", ex.rank))
+                    })?;
+                if ex.send.len() != back.recv.len() || ex.recv.len() != back.send.len() {
+                    return Err(BookLeafError::Comm(format!(
+                        "element schedule mismatch between ranks {r} and {}",
+                        ex.rank
+                    )));
+                }
+            }
+        }
+        Ok(subs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generation::{generate_rect, RectSpec};
+
+    fn grid(n: usize) -> Mesh {
+        generate_rect(&RectSpec::unit_square(n), |_| 0).unwrap()
+    }
+
+    /// Stripe owner: left half rank 0, right half rank 1.
+    fn stripe_owner(m: &Mesh, n: usize) -> Vec<usize> {
+        (0..m.n_elements()).map(|e| usize::from(e % n >= n / 2)).collect()
+    }
+
+    #[test]
+    fn owned_elements_partition_globally() {
+        let m = grid(4);
+        let owner = stripe_owner(&m, 4);
+        let subs = SubMeshPlan::build(&m, &owner, 2).unwrap();
+        let total: usize = subs.iter().map(|s| s.n_owned_el).sum();
+        assert_eq!(total, m.n_elements());
+        // Each owned element appears exactly once across ranks.
+        let mut seen = vec![false; m.n_elements()];
+        for s in &subs {
+            for &g in &s.el_l2g[..s.n_owned_el] {
+                assert!(!seen[g as usize], "element {g} owned twice");
+                seen[g as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn ghost_layer_is_node_complete() {
+        // Every element adjacent to an active node must be local.
+        let m = grid(6);
+        let owner = stripe_owner(&m, 6);
+        let subs = SubMeshPlan::build(&m, &owner, 2).unwrap();
+        for s in &subs {
+            let local_els: std::collections::HashSet<u32> = s.el_l2g.iter().copied().collect();
+            for ln in 0..s.n_active_nd {
+                let g = s.nd_l2g[ln] as usize;
+                for &(e, _) in m.elements_of_node(g) {
+                    assert!(
+                        local_els.contains(&e),
+                        "rank {}: element {e} adjacent to active node {g} missing",
+                        s.rank
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_meshes_validate() {
+        let m = grid(5);
+        let owner = stripe_owner(&m, 5);
+        for s in SubMeshPlan::build(&m, &owner, 2).unwrap() {
+            s.mesh.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn schedules_pair_up() {
+        let m = grid(6);
+        // 4-way checkerboard-ish: quadrant decomposition.
+        let owner: Vec<usize> = (0..m.n_elements())
+            .map(|e| {
+                let i = e % 6;
+                let j = e / 6;
+                usize::from(i >= 3) + 2 * usize::from(j >= 3)
+            })
+            .collect();
+        let subs = SubMeshPlan::build(&m, &owner, 4).unwrap();
+        for s in &subs {
+            for ex in &s.el_exchange {
+                let back = subs[ex.rank].el_exchange.iter().find(|x| x.rank == s.rank).unwrap();
+                assert_eq!(ex.send.len(), back.recv.len());
+                // Global ids of sent elements match global ids of received.
+                let sent: Vec<u32> = ex.send.iter().map(|&l| s.el_l2g[l as usize]).collect();
+                let recvd: Vec<u32> =
+                    back.recv.iter().map(|&l| subs[ex.rank].el_l2g[l as usize]).collect();
+                assert_eq!(sent, recvd, "element exchange order mismatch");
+            }
+            for ex in &s.nd_exchange {
+                let back = subs[ex.rank].nd_exchange.iter().find(|x| x.rank == s.rank).unwrap();
+                let sent: Vec<u32> = ex.send.iter().map(|&l| s.nd_l2g[l as usize]).collect();
+                let recvd: Vec<u32> =
+                    back.recv.iter().map(|&l| subs[ex.rank].nd_l2g[l as usize]).collect();
+                assert_eq!(sent, recvd, "node exchange order mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn node_owner_is_min_adjacent_rank() {
+        let m = grid(4);
+        let owner = stripe_owner(&m, 4);
+        let subs = SubMeshPlan::build(&m, &owner, 2).unwrap();
+        // Nodes on the partition seam (x = 0.5 column) must be owned by rank 0.
+        let s1 = &subs[1];
+        for (ln, &g) in s1.nd_l2g.iter().enumerate() {
+            let x = m.nodes[g as usize].x;
+            if (x - 0.5).abs() < 1e-12 {
+                assert_eq!(s1.nd_owner[ln], 0, "seam node {g} should belong to rank 0");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_rank_rejected() {
+        let m = grid(3);
+        let owner = vec![0; m.n_elements()];
+        assert!(SubMeshPlan::build(&m, &owner, 2).is_err());
+    }
+
+    #[test]
+    fn wrong_owner_length_rejected() {
+        let m = grid(3);
+        assert!(SubMeshPlan::build(&m, &[0, 1], 2).is_err());
+    }
+
+    #[test]
+    fn out_of_range_owner_rejected() {
+        let m = grid(3);
+        let owner = vec![5; m.n_elements()];
+        assert!(SubMeshPlan::build(&m, &owner, 2).is_err());
+    }
+
+    #[test]
+    fn single_rank_has_no_ghosts() {
+        let m = grid(4);
+        let owner = vec![0; m.n_elements()];
+        let subs = SubMeshPlan::build(&m, &owner, 1).unwrap();
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].n_ghost_el(), 0);
+        assert!(subs[0].el_exchange.is_empty());
+        assert!(subs[0].nd_exchange.is_empty());
+        assert_eq!(subs[0].mesh.n_elements(), m.n_elements());
+    }
+}

@@ -1,0 +1,403 @@
+//! Mesh storage and connectivity invariants.
+//!
+//! Storage conventions (mirroring the BookLeaf reference arrays):
+//!
+//! * `elnd[e] = [n0, n1, n2, n3]` — the four nodes of element `e`, listed
+//!   counter-clockwise (positive shoelace area).
+//! * Face `f` of element `e` joins corner `f` and corner `(f+1) % 4`.
+//! * `elel[e][f]` — what lies across face `f`: another element or a
+//!   boundary.
+//! * Node→element adjacency is CSR: for node `n`, the elements touching it
+//!   (with the corner index `n` occupies in each) are
+//!   `ndel[ndel_off[n]..ndel_off[n+1]]`. Valence is arbitrary — this is
+//!   what makes the mesh *unstructured*.
+
+use bookleaf_util::{BookLeafError, Result, Vec2};
+use serde::{Deserialize, Serialize};
+
+use crate::NCORN;
+
+/// What lies across a face of an element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Neighbor {
+    /// Interior face shared with another element (global element id).
+    Element(u32),
+    /// Face on the physical boundary.
+    Boundary,
+}
+
+impl Neighbor {
+    /// The neighbouring element id, if any.
+    #[must_use]
+    pub fn element(self) -> Option<u32> {
+        match self {
+            Neighbor::Element(e) => Some(e),
+            Neighbor::Boundary => None,
+        }
+    }
+}
+
+/// Kinematic boundary condition applied to a node.
+///
+/// BookLeaf's walls are reflective: the velocity component normal to the
+/// wall is pinned to zero (or to a prescribed wall velocity for the
+/// Saltzmann piston, handled by the driver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NodeBc {
+    /// Zero the x velocity component (node on an x = const wall).
+    pub fix_x: bool,
+    /// Zero the y velocity component (node on a y = const wall).
+    pub fix_y: bool,
+}
+
+impl NodeBc {
+    /// Free interior node.
+    pub const FREE: NodeBc = NodeBc { fix_x: false, fix_y: false };
+    /// Node on a vertical wall.
+    pub const WALL_X: NodeBc = NodeBc { fix_x: true, fix_y: false };
+    /// Node on a horizontal wall.
+    pub const WALL_Y: NodeBc = NodeBc { fix_x: false, fix_y: true };
+    /// Corner node fixed in both directions.
+    pub const CORNER: NodeBc = NodeBc { fix_x: true, fix_y: true };
+
+    /// Combine two conditions (a node on two walls is fixed in both).
+    #[must_use]
+    pub fn merge(self, other: NodeBc) -> NodeBc {
+        NodeBc { fix_x: self.fix_x || other.fix_x, fix_y: self.fix_y || other.fix_y }
+    }
+
+    /// Apply to a velocity, zeroing fixed components.
+    #[must_use]
+    pub fn apply(self, v: Vec2) -> Vec2 {
+        Vec2::new(if self.fix_x { 0.0 } else { v.x }, if self.fix_y { 0.0 } else { v.y })
+    }
+}
+
+/// An unstructured 2-D quadrilateral mesh.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mesh {
+    /// Node positions (Lagrangian: these move during the run).
+    pub nodes: Vec<Vec2>,
+    /// Element → node connectivity, counter-clockwise.
+    pub elnd: Vec<[u32; NCORN]>,
+    /// Element → neighbour across each face.
+    pub elel: Vec<[Neighbor; NCORN]>,
+    /// CSR offsets for node→element adjacency (length `nnodes + 1`).
+    pub ndel_off: Vec<u32>,
+    /// CSR items: (element id, corner index this node occupies).
+    pub ndel: Vec<(u32, u8)>,
+    /// Kinematic boundary condition per node.
+    pub node_bc: Vec<NodeBc>,
+    /// Region (material) id per element.
+    pub region: Vec<u32>,
+}
+
+impl Mesh {
+    /// Number of elements.
+    #[inline]
+    #[must_use]
+    pub fn n_elements(&self) -> usize {
+        self.elnd.len()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    #[must_use]
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The four corner positions of element `e`, in CCW order.
+    #[inline]
+    #[must_use]
+    pub fn corners(&self, e: usize) -> [Vec2; NCORN] {
+        let nd = self.elnd[e];
+        [
+            self.nodes[nd[0] as usize],
+            self.nodes[nd[1] as usize],
+            self.nodes[nd[2] as usize],
+            self.nodes[nd[3] as usize],
+        ]
+    }
+
+    /// Elements adjacent to node `n`: `(element, corner)` pairs.
+    #[inline]
+    #[must_use]
+    pub fn elements_of_node(&self, n: usize) -> &[(u32, u8)] {
+        &self.ndel[self.ndel_off[n] as usize..self.ndel_off[n + 1] as usize]
+    }
+
+    /// Build the CSR node→element adjacency from `elnd`. Called by
+    /// constructors after element connectivity is known.
+    pub(crate) fn build_ndel(n_nodes: usize, elnd: &[[u32; NCORN]]) -> (Vec<u32>, Vec<(u32, u8)>) {
+        let mut counts = vec![0u32; n_nodes + 1];
+        for quad in elnd {
+            for &n in quad {
+                counts[n as usize + 1] += 1;
+            }
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut items = vec![(0u32, 0u8); *offsets.last().unwrap_or(&0) as usize];
+        let mut cursor = offsets.clone();
+        for (e, quad) in elnd.iter().enumerate() {
+            for (c, &n) in quad.iter().enumerate() {
+                let slot = cursor[n as usize] as usize;
+                items[slot] = (e as u32, c as u8);
+                cursor[n as usize] += 1;
+            }
+        }
+        (offsets, items)
+    }
+
+    /// Derive `elel` (face adjacency) from `elnd` by matching node pairs.
+    ///
+    /// Face `f` of element `e` joins nodes `elnd[e][f]` and
+    /// `elnd[e][(f+1)%4]`; two elements are neighbours across a face when
+    /// they reference the same unordered node pair.
+    pub(crate) fn build_elel(
+        n_nodes: usize,
+        elnd: &[[u32; NCORN]],
+    ) -> Result<Vec<[Neighbor; NCORN]>> {
+        use std::collections::HashMap;
+        let mut face_map: HashMap<(u32, u32), (u32, u8)> = HashMap::with_capacity(elnd.len() * 2);
+        let mut elel = vec![[Neighbor::Boundary; NCORN]; elnd.len()];
+        for (e, quad) in elnd.iter().enumerate() {
+            for f in 0..NCORN {
+                let a = quad[f];
+                let b = quad[(f + 1) % NCORN];
+                if a as usize >= n_nodes || b as usize >= n_nodes {
+                    return Err(BookLeafError::MeshTopology(format!(
+                        "element {e} references node out of range"
+                    )));
+                }
+                if a == b {
+                    return Err(BookLeafError::MeshTopology(format!(
+                        "element {e} has a degenerate face {f} (repeated node {a})"
+                    )));
+                }
+                let key = (a.min(b), a.max(b));
+                match face_map.remove(&key) {
+                    None => {
+                        face_map.insert(key, (e as u32, f as u8));
+                    }
+                    Some((e2, f2)) => {
+                        elel[e][f] = Neighbor::Element(e2);
+                        elel[e2 as usize][f2 as usize] = Neighbor::Element(e as u32);
+                    }
+                }
+            }
+        }
+        Ok(elel)
+    }
+
+    /// Construct a mesh from raw node + element arrays, deriving face and
+    /// node adjacency and validating all invariants.
+    pub fn from_raw(
+        nodes: Vec<Vec2>,
+        elnd: Vec<[u32; NCORN]>,
+        node_bc: Vec<NodeBc>,
+        region: Vec<u32>,
+    ) -> Result<Mesh> {
+        if node_bc.len() != nodes.len() {
+            return Err(BookLeafError::MeshTopology(format!(
+                "node_bc length {} != node count {}",
+                node_bc.len(),
+                nodes.len()
+            )));
+        }
+        if region.len() != elnd.len() {
+            return Err(BookLeafError::MeshTopology(format!(
+                "region length {} != element count {}",
+                region.len(),
+                elnd.len()
+            )));
+        }
+        let elel = Mesh::build_elel(nodes.len(), &elnd)?;
+        let (ndel_off, ndel) = Mesh::build_ndel(nodes.len(), &elnd);
+        let mesh = Mesh { nodes, elnd, elel, ndel_off, ndel, node_bc, region };
+        mesh.validate()?;
+        Ok(mesh)
+    }
+
+    /// Check every connectivity invariant. Cheap enough to run in tests
+    /// and after partitioning; not called per time step.
+    pub fn validate(&self) -> Result<()> {
+        // Element node references in range, faces non-degenerate.
+        for (e, quad) in self.elnd.iter().enumerate() {
+            for &n in quad {
+                if n as usize >= self.nodes.len() {
+                    return Err(BookLeafError::MeshTopology(format!(
+                        "element {e} references node {n} >= {}",
+                        self.nodes.len()
+                    )));
+                }
+            }
+        }
+        // Face adjacency is symmetric and consistent.
+        for (e, faces) in self.elel.iter().enumerate() {
+            for (f, nb) in faces.iter().enumerate() {
+                if let Neighbor::Element(e2) = *nb {
+                    if e2 as usize >= self.n_elements() {
+                        return Err(BookLeafError::MeshTopology(format!(
+                            "element {e} face {f} references element {e2} out of range"
+                        )));
+                    }
+                    let back = self.elel[e2 as usize].contains(&Neighbor::Element(e as u32));
+                    if !back {
+                        return Err(BookLeafError::MeshTopology(format!(
+                            "face adjacency not symmetric between {e} and {e2}"
+                        )));
+                    }
+                    // The two elements must share the face's node pair.
+                    let a = self.elnd[e][f];
+                    let b = self.elnd[e][(f + 1) % NCORN];
+                    let shares = |n: u32| self.elnd[e2 as usize].contains(&n);
+                    if !(shares(a) && shares(b)) {
+                        return Err(BookLeafError::MeshTopology(format!(
+                            "elements {e} and {e2} marked adjacent but do not share face nodes"
+                        )));
+                    }
+                }
+            }
+        }
+        // CSR consistency.
+        if self.ndel_off.len() != self.n_nodes() + 1 {
+            return Err(BookLeafError::MeshTopology("ndel_off length mismatch".into()));
+        }
+        if *self.ndel_off.last().unwrap() as usize != self.ndel.len() {
+            return Err(BookLeafError::MeshTopology("ndel CSR tail mismatch".into()));
+        }
+        for n in 0..self.n_nodes() {
+            for &(e, c) in self.elements_of_node(n) {
+                if self.elnd[e as usize][c as usize] != n as u32 {
+                    return Err(BookLeafError::MeshTopology(format!(
+                        "ndel entry ({e},{c}) does not point back to node {n}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total number of interior faces (each counted once).
+    #[must_use]
+    pub fn n_interior_faces(&self) -> usize {
+        self.elel
+            .iter()
+            .flat_map(|faces| faces.iter())
+            .filter(|nb| matches!(nb, Neighbor::Element(_)))
+            .count()
+            / 2
+    }
+
+    /// Total number of boundary faces.
+    #[must_use]
+    pub fn n_boundary_faces(&self) -> usize {
+        self.elel
+            .iter()
+            .flat_map(|faces| faces.iter())
+            .filter(|nb| matches!(nb, Neighbor::Boundary))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two unit quads side by side: nodes 0..5, elements 0 and 1.
+    ///
+    /// ```text
+    /// 3---4---5
+    /// | 0 | 1 |
+    /// 0---1---2
+    /// ```
+    fn two_quads() -> Mesh {
+        let nodes = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(0.0, 1.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(2.0, 1.0),
+        ];
+        let elnd = vec![[0, 1, 4, 3], [1, 2, 5, 4]];
+        let bc = vec![NodeBc::FREE; 6];
+        Mesh::from_raw(nodes, elnd, bc, vec![0, 0]).unwrap()
+    }
+
+    #[test]
+    fn adjacency_across_shared_face() {
+        let m = two_quads();
+        // Element 0's right face (corner 1 -> corner 2: nodes 1,4) borders element 1.
+        assert_eq!(m.elel[0][1], Neighbor::Element(1));
+        assert_eq!(m.elel[1][3], Neighbor::Element(0));
+        assert_eq!(m.n_interior_faces(), 1);
+        assert_eq!(m.n_boundary_faces(), 6);
+    }
+
+    #[test]
+    fn node_element_csr() {
+        let m = two_quads();
+        // Node 1 belongs to both elements.
+        let adj = m.elements_of_node(1);
+        assert_eq!(adj.len(), 2);
+        // Node 4 too, at corners 2 (el 0) and 3 (el 1).
+        let adj4: Vec<_> = m.elements_of_node(4).to_vec();
+        assert!(adj4.contains(&(0, 2)));
+        assert!(adj4.contains(&(1, 3)));
+        // Corner nodes belong to exactly one element.
+        assert_eq!(m.elements_of_node(0).len(), 1);
+        assert_eq!(m.elements_of_node(2).len(), 1);
+    }
+
+    #[test]
+    fn validate_accepts_good_mesh() {
+        assert!(two_quads().validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_face_rejected() {
+        let nodes =
+            vec![Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0), Vec2::new(1.0, 1.0)];
+        let elnd = vec![[0, 0, 1, 2]];
+        let err = Mesh::from_raw(nodes, elnd, vec![NodeBc::FREE; 3], vec![0]).unwrap_err();
+        assert!(matches!(err, BookLeafError::MeshTopology(_)));
+    }
+
+    #[test]
+    fn out_of_range_node_rejected() {
+        let nodes = vec![Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0), Vec2::new(1.0, 1.0)];
+        let elnd = vec![[0, 1, 2, 9]];
+        assert!(Mesh::from_raw(nodes, elnd, vec![NodeBc::FREE; 3], vec![0]).is_err());
+    }
+
+    #[test]
+    fn bc_merge_and_apply() {
+        let bc = NodeBc::WALL_X.merge(NodeBc::WALL_Y);
+        assert_eq!(bc, NodeBc::CORNER);
+        let v = bc.apply(Vec2::new(3.0, 4.0));
+        assert_eq!(v, Vec2::ZERO);
+        let v = NodeBc::WALL_Y.apply(Vec2::new(3.0, 4.0));
+        assert_eq!(v, Vec2::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn corners_returns_ccw_positions() {
+        let m = two_quads();
+        let c = m.corners(1);
+        assert_eq!(c[0], Vec2::new(1.0, 0.0));
+        assert_eq!(c[2], Vec2::new(2.0, 1.0));
+    }
+
+    #[test]
+    fn mismatched_bc_length_rejected() {
+        let nodes = vec![Vec2::new(0.0, 0.0); 4];
+        let err =
+            Mesh::from_raw(nodes, vec![[0, 1, 2, 3]], vec![NodeBc::FREE; 2], vec![0]).unwrap_err();
+        assert!(matches!(err, BookLeafError::MeshTopology(_)));
+    }
+}

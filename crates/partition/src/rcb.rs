@@ -1,0 +1,162 @@
+//! Recursive Coordinate Bisection.
+//!
+//! Classic geometric decomposition: recursively split the element set at
+//! the weighted median of the longer axis of its bounding box, dividing
+//! the target part count proportionally. Deterministic, O(n log² n), and
+//! produces compact, convex-ish parts on the rectangular meshes of the
+//! standard decks.
+
+use bookleaf_mesh::geometry::quad_centroid;
+use bookleaf_mesh::Mesh;
+use bookleaf_util::{BookLeafError, Result, Vec2};
+
+/// Partition by RCB into `n_parts`. Returns element → part id.
+pub fn partition_rcb(mesh: &Mesh, n_parts: usize) -> Result<Vec<usize>> {
+    if n_parts == 0 {
+        return Err(BookLeafError::Partition("cannot partition into 0 parts".into()));
+    }
+    if n_parts > mesh.n_elements() {
+        return Err(BookLeafError::Partition(format!(
+            "more parts ({n_parts}) than elements ({})",
+            mesh.n_elements()
+        )));
+    }
+    let centroids: Vec<Vec2> =
+        (0..mesh.n_elements()).map(|e| quad_centroid(&mesh.corners(e))).collect();
+    let mut owner = vec![0usize; mesh.n_elements()];
+    let mut ids: Vec<u32> = (0..mesh.n_elements() as u32).collect();
+    bisect(&centroids, &mut ids, 0, n_parts, &mut owner);
+    Ok(owner)
+}
+
+/// Recursively assign `ids` to parts `[first_part, first_part + n_parts)`.
+fn bisect(centroids: &[Vec2], ids: &mut [u32], first_part: usize, n_parts: usize, owner: &mut [usize]) {
+    if n_parts == 1 {
+        for &e in ids.iter() {
+            owner[e as usize] = first_part;
+        }
+        return;
+    }
+    // Proportional split of the part budget.
+    let left_parts = n_parts / 2;
+    let right_parts = n_parts - left_parts;
+    let cut = ids.len() * left_parts / n_parts;
+
+    // Choose the axis with the larger centroid spread.
+    let (mut lo, mut hi) = (Vec2::new(f64::INFINITY, f64::INFINITY), Vec2::new(f64::NEG_INFINITY, f64::NEG_INFINITY));
+    for &e in ids.iter() {
+        let c = centroids[e as usize];
+        lo = Vec2::new(lo.x.min(c.x), lo.y.min(c.y));
+        hi = Vec2::new(hi.x.max(c.x), hi.y.max(c.y));
+    }
+    let x_axis = (hi.x - lo.x) >= (hi.y - lo.y);
+
+    // Partial sort: place the `cut` smallest (by axis coordinate, with
+    // element id as deterministic tie break) on the left.
+    let key = |e: u32| {
+        let c = centroids[e as usize];
+        if x_axis {
+            (c.x, e)
+        } else {
+            (c.y, e)
+        }
+    };
+    // Invariant: len >= n_parts implies cut >= left_parts >= 1 and
+    // len - cut >= right_parts >= 1, so both halves stay feasible.
+    ids.select_nth_unstable_by(cut - 1, |&a, &b| {
+        key(a).partial_cmp(&key(b)).expect("finite centroid coordinates")
+    });
+
+    let (left, right) = ids.split_at_mut(cut);
+    bisect(centroids, left, first_part, left_parts, owner);
+    bisect(centroids, right, first_part + left_parts, right_parts, owner);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::assess_partition;
+    use bookleaf_mesh::{generate_rect, RectSpec};
+
+    fn grid(n: usize) -> Mesh {
+        generate_rect(&RectSpec::unit_square(n), |_| 0).unwrap()
+    }
+
+    #[test]
+    fn two_way_split_is_balanced_halves() {
+        let m = grid(8);
+        let owner = partition_rcb(&m, 2).unwrap();
+        let n0 = owner.iter().filter(|&&o| o == 0).count();
+        assert_eq!(n0, 32);
+        // RCB on a square splits along one axis: parts are contiguous
+        // stripes. Check spatial coherence: all of part 0 lies on one side.
+        let c0: Vec<f64> = (0..m.n_elements())
+            .filter(|&e| owner[e] == 0)
+            .map(|e| quad_centroid(&m.corners(e)).x)
+            .collect();
+        let c1: Vec<f64> = (0..m.n_elements())
+            .filter(|&e| owner[e] == 1)
+            .map(|e| quad_centroid(&m.corners(e)).x)
+            .collect();
+        let max0 = c0.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min1 = c1.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max0 <= min1 + 1e-12);
+    }
+
+    #[test]
+    fn four_way_split_balance() {
+        let m = grid(10);
+        let owner = partition_rcb(&m, 4).unwrap();
+        let rep = assess_partition(&m, &owner, 4).unwrap();
+        assert!(rep.imbalance < 1.05, "imbalance {}", rep.imbalance);
+    }
+
+    #[test]
+    fn non_power_of_two_parts() {
+        let m = grid(9);
+        for n in [3, 5, 6, 7] {
+            let owner = partition_rcb(&m, n).unwrap();
+            for p in 0..n {
+                assert!(owner.contains(&p), "{n} parts: part {p} empty");
+            }
+            let rep = assess_partition(&m, &owner, n).unwrap();
+            assert!(rep.imbalance < 1.30, "{n} parts imbalance {}", rep.imbalance);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = grid(7);
+        let a = partition_rcb(&m, 5).unwrap();
+        let b = partition_rcb(&m, 5).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_part_trivial() {
+        let m = grid(3);
+        let owner = partition_rcb(&m, 1).unwrap();
+        assert!(owner.iter().all(|&o| o == 0));
+    }
+
+    #[test]
+    fn too_many_parts_rejected() {
+        let m = grid(2);
+        assert!(partition_rcb(&m, 5).is_err());
+        assert!(partition_rcb(&m, 0).is_err());
+    }
+
+    #[test]
+    fn anisotropic_mesh_splits_long_axis() {
+        // A 16x2 tube should be cut in x first.
+        let m = generate_rect(
+            &RectSpec { nx: 16, ny: 2, origin: Vec2::ZERO, extent: Vec2::new(8.0, 1.0) },
+            |_| 0,
+        )
+        .unwrap();
+        let owner = partition_rcb(&m, 2).unwrap();
+        // Elements 0..16 are the bottom row; left half should be one part.
+        assert_eq!(owner[0], owner[16]); // (0,0) and (0,1) same x-side
+        assert_ne!(owner[0], owner[15]); // far ends differ
+    }
+}

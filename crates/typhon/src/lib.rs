@@ -1,0 +1,31 @@
+//! # bookleaf-typhon
+//!
+//! **Typhon** is BookLeaf's distributed communication library for
+//! unstructured mesh applications: halo exchanges between neighbouring
+//! partitions and global reductions, implemented in the reference code on
+//! top of MPI.
+//!
+//! This Rust port reproduces Typhon's semantics on a single machine: each
+//! "MPI rank" is an OS thread owning a disjoint mesh partition, and
+//! point-to-point messages travel over `crossbeam` channels. The
+//! *communication structure* — who sends what to whom, and when — is
+//! identical to the MPI original; only the transport differs (see
+//! DESIGN.md §3, substitution 1). Multi-node wire costs are recovered by
+//! the `bookleaf-device` cluster model.
+//!
+//! ## Pieces
+//!
+//! * [`runtime`] — the rank team: spawn N rank threads, point-to-point
+//!   send/recv with tag matching, barriers and global min/sum reductions;
+//! * [`exchange`] — schedule-driven halo exchange of scalar, vector and
+//!   per-corner element fields over a [`bookleaf_mesh::SubMesh`];
+//! * [`stats`] — per-rank communication counters (messages, doubles
+//!   moved) consumed by the performance models.
+
+pub mod exchange;
+pub mod runtime;
+pub mod stats;
+
+pub use exchange::{exchange_corner, exchange_scalar, exchange_vec2};
+pub use runtime::{RankCtx, Typhon};
+pub use stats::CommStats;

@@ -1,0 +1,366 @@
+//! The rank team: threads, point-to-point messaging, collectives.
+//!
+//! [`Typhon::run`] spawns one thread per rank, hands each a [`RankCtx`],
+//! and joins them, propagating panics as typed errors. Message passing is
+//! tag-matched (out-of-order arrivals are parked in a local mailbox, as an
+//! MPI implementation would) and collectives use a generation-counted
+//! shared cell so they can be called any number of times.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use bookleaf_util::{BookLeafError, Result};
+
+use crate::stats::CommStats;
+
+/// A point-to-point message: sender rank, tag, payload of doubles.
+struct Message {
+    from: usize,
+    tag: u64,
+    payload: Vec<f64>,
+}
+
+/// Shared state for barriers and reductions (one per team).
+struct Collective {
+    lock: Mutex<CollState>,
+    cv: Condvar,
+    n_ranks: usize,
+}
+
+#[derive(Default)]
+struct CollState {
+    generation: u64,
+    arrived: usize,
+    acc_min: f64,
+    acc_sum: f64,
+    /// Result of the most recently completed generation. A rank cannot be
+    /// more than one generation ahead of any other (the wait below blocks
+    /// it), so a single slot is enough.
+    last_result: (f64, f64),
+}
+
+impl Collective {
+    fn new(n_ranks: usize) -> Self {
+        Collective {
+            lock: Mutex::new(CollState {
+                acc_min: f64::INFINITY,
+                ..Default::default()
+            }),
+            cv: Condvar::new(),
+            n_ranks,
+        }
+    }
+
+    /// Combined barrier + reduction: every rank contributes `value`; all
+    /// receive `(min, sum)` of the contributions.
+    fn reduce(&self, value: f64) -> (f64, f64) {
+        let mut st = self.lock.lock();
+        let gen = st.generation;
+        st.acc_min = st.acc_min.min(value);
+        st.acc_sum += value;
+        st.arrived += 1;
+        if st.arrived == self.n_ranks {
+            // Last arrival: publish and reset for the next generation.
+            let out = (st.acc_min, st.acc_sum);
+            st.generation += 1;
+            st.arrived = 0;
+            st.acc_min = f64::INFINITY;
+            st.acc_sum = 0.0;
+            st.last_result = out;
+            self.cv.notify_all();
+            return out;
+        }
+        self.cv.wait_while(&mut st, |s| s.generation == gen);
+        st.last_result
+    }
+}
+
+/// Out-of-order messages parked by (source rank, tag).
+type Mailbox = HashMap<(usize, u64), Vec<Vec<f64>>>;
+
+/// Per-rank handle used inside the rank closure.
+pub struct RankCtx {
+    rank: usize,
+    n_ranks: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    // Mutex rather than RefCell: a rank may drive its kernels from a
+    // rayon pool (the hybrid model), so the context must be Sync. The
+    // locks are uncontended (one logical owner per rank).
+    mailbox: Mutex<Mailbox>,
+    collective: Arc<Collective>,
+    phase: Mutex<u64>,
+    stats: Mutex<CommStats>,
+}
+
+impl RankCtx {
+    /// This rank's id.
+    #[inline]
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Team size.
+    #[inline]
+    #[must_use]
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Next phase tag. Every rank must call the tag-consuming collective
+    /// operations in the same order, so matching calls draw matching tags
+    /// — exactly the discipline an MPI code with per-phase tags follows.
+    pub fn next_tag(&self) -> u64 {
+        let mut phase = self.phase.lock();
+        let t = *phase;
+        *phase += 1;
+        t
+    }
+
+    /// Non-blocking send of `payload` to `to` under `tag`.
+    pub fn send(&self, to: usize, tag: u64, payload: Vec<f64>) {
+        {
+            let mut s = self.stats.lock();
+            s.messages_sent += 1;
+            s.doubles_sent += payload.len() as u64;
+        }
+        self.senders[to]
+            .send(Message { from: self.rank, tag, payload })
+            .expect("peer rank hung up");
+    }
+
+    /// Blocking receive from `from` under `tag`. Out-of-order messages
+    /// are parked until asked for.
+    pub fn recv(&self, from: usize, tag: u64) -> Vec<f64> {
+        // Check the mailbox first.
+        if let Some(q) = self.mailbox.lock().get_mut(&(from, tag)) {
+            if !q.is_empty() {
+                return q.remove(0);
+            }
+        }
+        loop {
+            let msg = self.receiver.recv().expect("team disbanded while receiving");
+            if msg.from == from && msg.tag == tag {
+                return msg.payload;
+            }
+            self.mailbox
+                .lock()
+                .entry((msg.from, msg.tag))
+                .or_default()
+                .push(msg.payload);
+        }
+    }
+
+    /// Global minimum across all ranks (BookLeaf's single per-step
+    /// reduction, used for the time step).
+    pub fn allreduce_min(&self, value: f64) -> f64 {
+        self.collective.reduce(value).0
+    }
+
+    /// Global sum across all ranks (used by diagnostics and tests).
+    pub fn allreduce_sum(&self, value: f64) -> f64 {
+        self.collective.reduce(value).1
+    }
+
+    /// Barrier.
+    pub fn barrier(&self) {
+        self.collective.reduce(0.0);
+    }
+
+    /// Snapshot of this rank's communication counters.
+    #[must_use]
+    pub fn stats(&self) -> CommStats {
+        self.stats.lock().clone()
+    }
+}
+
+/// The team factory.
+pub struct Typhon;
+
+impl Typhon {
+    /// Run `f` on `n_ranks` rank threads and collect the per-rank results
+    /// in rank order. Panics inside a rank are converted into
+    /// [`BookLeafError::RankPanic`].
+    pub fn run<R, F>(n_ranks: usize, f: F) -> Result<Vec<R>>
+    where
+        R: Send,
+        F: Fn(&RankCtx) -> R + Sync,
+    {
+        if n_ranks == 0 {
+            return Err(BookLeafError::Comm("team must have at least one rank".into()));
+        }
+        let mut senders = Vec::with_capacity(n_ranks);
+        let mut receivers = Vec::with_capacity(n_ranks);
+        for _ in 0..n_ranks {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        let collective = Arc::new(Collective::new(n_ranks));
+
+        let results: Vec<std::thread::Result<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = receivers
+                .iter_mut()
+                .enumerate()
+                .map(|(rank, rx)| {
+                    let ctx = RankCtx {
+                        rank,
+                        n_ranks,
+                        senders: senders.clone(),
+                        receiver: rx.take().expect("receiver taken once"),
+                        mailbox: Mutex::new(HashMap::new()),
+                        collective: Arc::clone(&collective),
+                        phase: Mutex::new(0),
+                        stats: Mutex::new(CommStats::default()),
+                    };
+                    let f = &f;
+                    scope.spawn(move || f(&ctx))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+
+        let mut out = Vec::with_capacity(n_ranks);
+        for (rank, r) in results.into_iter().enumerate() {
+            match r {
+                Ok(v) => out.push(v),
+                Err(payload) => {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "unknown panic".into());
+                    return Err(BookLeafError::RankPanic { rank, message });
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn team_runs_and_orders_results() {
+        let out = Typhon::run(4, |ctx| ctx.rank() * 10).unwrap();
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn zero_ranks_rejected() {
+        assert!(Typhon::run(0, |_| ()).is_err());
+    }
+
+    #[test]
+    fn ring_send_recv() {
+        let out = Typhon::run(3, |ctx| {
+            let to = (ctx.rank() + 1) % 3;
+            let from = (ctx.rank() + 2) % 3;
+            let tag = ctx.next_tag();
+            ctx.send(to, tag, vec![ctx.rank() as f64]);
+            let got = ctx.recv(from, tag);
+            got[0] as usize
+        })
+        .unwrap();
+        assert_eq!(out, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_parked() {
+        // Rank 0 sends two messages with different tags; rank 1 receives
+        // them in the opposite order.
+        let out = Typhon::run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, vec![7.0]);
+                ctx.send(1, 8, vec![8.0]);
+                0.0
+            } else {
+                let b = ctx.recv(0, 8);
+                let a = ctx.recv(0, 7);
+                a[0] * 10.0 + b[0]
+            }
+        })
+        .unwrap();
+        assert_eq!(out[1], 78.0);
+    }
+
+    #[test]
+    fn allreduce_min_and_sum() {
+        let out = Typhon::run(5, |ctx| {
+            let v = (ctx.rank() + 1) as f64;
+            let mn = ctx.allreduce_min(v);
+            let sm = ctx.allreduce_sum(v);
+            (mn, sm)
+        })
+        .unwrap();
+        for (mn, sm) in out {
+            assert_eq!(mn, 1.0);
+            assert_eq!(sm, 15.0);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives() {
+        let out = Typhon::run(3, |ctx| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                acc += ctx.allreduce_min((ctx.rank() + i) as f64);
+            }
+            acc
+        })
+        .unwrap();
+        // min over ranks of (rank + i) = i; sum over i of i = 4950.
+        for v in out {
+            assert_eq!(v, 4950.0);
+        }
+    }
+
+    #[test]
+    fn rank_panic_is_reported() {
+        let err = Typhon::run(2, |ctx| {
+            if ctx.rank() == 1 {
+                panic!("injected failure");
+            }
+            ctx.barrier_free_work()
+        })
+        .unwrap_err();
+        match err {
+            BookLeafError::RankPanic { rank, message } => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("injected failure"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let out = Typhon::run(2, |ctx| {
+            let tag = ctx.next_tag();
+            if ctx.rank() == 0 {
+                ctx.send(1, tag, vec![1.0, 2.0, 3.0]);
+            } else {
+                ctx.recv(0, tag);
+            }
+            ctx.stats()
+        })
+        .unwrap();
+        assert_eq!(out[0].messages_sent, 1);
+        assert_eq!(out[0].doubles_sent, 3);
+        assert_eq!(out[1].messages_sent, 0);
+    }
+
+    impl RankCtx {
+        /// Helper for the panic test: something innocuous that does not
+        /// block on the panicking peer.
+        fn barrier_free_work(&self) -> f64 {
+            42.0
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Communication counters.
+//!
+//! The cluster performance model (Figs 3 and 4) charges wire time per
+//! message and per byte; these counters, recorded by the real in-process
+//! exchanges, supply the message/volume terms.
+
+/// Per-rank communication totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Point-to-point messages sent.
+    pub messages_sent: u64,
+    /// Total `f64` values sent.
+    pub doubles_sent: u64,
+    /// Collective operations participated in.
+    pub collectives: u64,
+}
+
+impl CommStats {
+    /// Bytes on the wire (8 bytes per double, headers ignored).
+    #[must_use]
+    pub fn bytes_sent(&self) -> u64 {
+        self.doubles_sent * 8
+    }
+
+    /// Merge another rank's counters (for team-wide totals).
+    #[must_use]
+    pub fn merged(&self, other: &CommStats) -> CommStats {
+        CommStats {
+            messages_sent: self.messages_sent + other.messages_sent,
+            doubles_sent: self.doubles_sent + other.doubles_sent,
+            collectives: self.collectives + other.collectives,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_are_eight_per_double() {
+        let s = CommStats { messages_sent: 1, doubles_sent: 10, collectives: 0 };
+        assert_eq!(s.bytes_sent(), 80);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let a = CommStats { messages_sent: 1, doubles_sent: 2, collectives: 3 };
+        let b = CommStats { messages_sent: 10, doubles_sent: 20, collectives: 30 };
+        let m = a.merged(&b);
+        assert_eq!(m, CommStats { messages_sent: 11, doubles_sent: 22, collectives: 33 });
+    }
+}

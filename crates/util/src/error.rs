@@ -1,0 +1,95 @@
+//! Typed error hierarchy for BookLeaf-rs.
+//!
+//! BookLeaf's Fortran reference aborts on fatal conditions (tangled mesh,
+//! vanished time step…). The Rust port surfaces the same conditions as
+//! values so that drivers, tests and the failure-injection suite can assert
+//! on them.
+
+use std::fmt;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, BookLeafError>;
+
+/// Every fatal condition a BookLeaf run can hit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BookLeafError {
+    /// An element's volume went non-positive (tangled / inverted mesh).
+    /// Carries the global element index and the offending volume.
+    NegativeVolume { element: usize, volume: f64 },
+    /// The computed time step fell below the configured minimum.
+    TimestepCollapse { dt: f64, dt_min: f64, cause: String },
+    /// A thermodynamic state left the valid region of its EoS
+    /// (e.g. negative density or internal energy where disallowed).
+    InvalidState { element: usize, what: String },
+    /// Mesh construction or connectivity invariants were violated.
+    MeshTopology(String),
+    /// An input deck was inconsistent or out of range.
+    InvalidDeck(String),
+    /// Domain decomposition failed (empty part, unbalanced beyond limits…).
+    Partition(String),
+    /// A communication-layer failure (mismatched schedule, dead rank…).
+    Comm(String),
+    /// A rank thread panicked during a distributed run.
+    RankPanic { rank: usize, message: String },
+}
+
+impl fmt::Display for BookLeafError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BookLeafError::NegativeVolume { element, volume } => {
+                write!(f, "element {element} has non-positive volume {volume:.6e} (mesh tangled)")
+            }
+            BookLeafError::TimestepCollapse { dt, dt_min, cause } => {
+                write!(f, "time step {dt:.6e} below minimum {dt_min:.6e} ({cause})")
+            }
+            BookLeafError::InvalidState { element, what } => {
+                write!(f, "invalid thermodynamic state in element {element}: {what}")
+            }
+            BookLeafError::MeshTopology(msg) => write!(f, "mesh topology error: {msg}"),
+            BookLeafError::InvalidDeck(msg) => write!(f, "invalid input deck: {msg}"),
+            BookLeafError::Partition(msg) => write!(f, "partitioning error: {msg}"),
+            BookLeafError::Comm(msg) => write!(f, "communication error: {msg}"),
+            BookLeafError::RankPanic { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BookLeafError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_key_fields() {
+        let e = BookLeafError::NegativeVolume { element: 42, volume: -1.0 };
+        let s = e.to_string();
+        assert!(s.contains("42"));
+        assert!(s.contains("tangled"));
+    }
+
+    #[test]
+    fn timestep_collapse_reports_cause() {
+        let e = BookLeafError::TimestepCollapse {
+            dt: 1e-12,
+            dt_min: 1e-8,
+            cause: "CFL in element 7".into(),
+        };
+        assert!(e.to_string().contains("CFL in element 7"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = BookLeafError::MeshTopology("x".into());
+        let b = BookLeafError::MeshTopology("x".into());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let e: Box<dyn std::error::Error> = Box::new(BookLeafError::Comm("late".into()));
+        assert!(e.to_string().contains("late"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Small statistics helpers for the benchmark harness.
+//!
+//! The paper reports "the average runtime of five executions" with
+//! "statistically insignificant deviation"; the harness reproduces that
+//! protocol and uses these helpers to summarise repeated runs.
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator). Returns 0 for fewer than
+/// two samples.
+#[must_use]
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Minimum of a slice; `None` when empty.
+#[must_use]
+pub fn min(values: &[f64]) -> Option<f64> {
+    values.iter().copied().fold(None, |acc, v| match acc {
+        None => Some(v),
+        Some(a) => Some(a.min(v)),
+    })
+}
+
+/// Maximum of a slice; `None` when empty.
+#[must_use]
+pub fn max(values: &[f64]) -> Option<f64> {
+    values.iter().copied().fold(None, |acc, v| match acc {
+        None => Some(v),
+        Some(a) => Some(a.max(v)),
+    })
+}
+
+/// Relative standard deviation (coefficient of variation), used to check
+/// the paper's "statistically insignificant deviation" claim on our runs.
+#[must_use]
+pub fn rel_std_dev(values: &[f64]) -> f64 {
+    let m = mean(values);
+    if m == 0.0 {
+        0.0
+    } else {
+        std_dev(values) / m.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_known_value() {
+        // {2, 4, 4, 4, 5, 5, 7, 9}: sample sd = sqrt(32/7)
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&v) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_dev_degenerate() {
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let v = [3.0, -1.0, 2.0];
+        assert_eq!(min(&v), Some(-1.0));
+        assert_eq!(max(&v), Some(3.0));
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+    }
+
+    #[test]
+    fn rel_std_dev_zero_mean() {
+        assert_eq!(rel_std_dev(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn rel_std_dev_constant_is_zero() {
+        assert_eq!(rel_std_dev(&[4.0, 4.0, 4.0]), 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Compensated floating-point summation.
+//!
+//! Energy-conservation checks in the integration tests need sums over
+//! millions of elements that are accurate to near round-off; naive
+//! accumulation loses several digits. We provide Kahan summation and the
+//! slightly stronger Neumaier variant (which also handles the case where
+//! the addend is larger than the running sum).
+
+/// Kahan-compensated sum of a slice.
+#[must_use]
+pub fn kahan_sum(values: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut c = 0.0;
+    for &v in values {
+        let y = v - c;
+        let t = sum + y;
+        c = (t - sum) - y;
+        sum = t;
+    }
+    sum
+}
+
+/// Streaming Neumaier (improved Kahan–Babuška) accumulator.
+///
+/// ```
+/// use bookleaf_util::NeumaierSum;
+/// let mut s = NeumaierSum::new();
+/// s.add(1e100);
+/// s.add(1.0);
+/// s.add(-1e100);
+/// assert_eq!(s.value(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeumaierSum {
+    sum: f64,
+    comp: f64,
+}
+
+impl NeumaierSum {
+    /// A fresh accumulator holding zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one value.
+    #[inline]
+    pub fn add(&mut self, v: f64) {
+        let t = self.sum + v;
+        if self.sum.abs() >= v.abs() {
+            self.comp += (self.sum - t) + v;
+        } else {
+            self.comp += (v - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// Add every element of a slice.
+    pub fn add_slice(&mut self, values: &[f64]) {
+        for &v in values {
+            self.add(v);
+        }
+    }
+
+    /// The compensated total.
+    #[inline]
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        self.sum + self.comp
+    }
+
+    /// Merge another accumulator into this one (for parallel reduction).
+    pub fn merge(&mut self, other: &NeumaierSum) {
+        self.add(other.sum);
+        self.add(other.comp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kahan_exact_on_small_ints() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(kahan_sum(&v), 5050.0);
+    }
+
+    #[test]
+    fn kahan_beats_naive_on_small_increments() {
+        // Adding 4096 ones to 1e16: naive accumulation absorbs every
+        // increment (ulp at 1e16 is 2), Kahan's compensation retains them.
+        let mut v = vec![1e16];
+        v.extend(std::iter::repeat_n(1.0, 4096));
+        let naive: f64 = v.iter().sum();
+        assert_eq!(naive, 1e16); // demonstrates the failure Kahan fixes
+        let k = kahan_sum(&v);
+        assert!((k - (1e16 + 4096.0)).abs() <= 8.0, "kahan={k}");
+    }
+
+    #[test]
+    fn neumaier_handles_large_addend() {
+        let mut s = NeumaierSum::new();
+        s.add(1.0);
+        s.add(1e100);
+        s.add(1.0);
+        s.add(-1e100);
+        assert_eq!(s.value(), 2.0);
+    }
+
+    #[test]
+    fn neumaier_merge_matches_sequential() {
+        let v: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 1e8).collect();
+        let mut whole = NeumaierSum::new();
+        whole.add_slice(&v);
+        let (a, b) = v.split_at(500);
+        let mut left = NeumaierSum::new();
+        left.add_slice(a);
+        let mut right = NeumaierSum::new();
+        right.add_slice(b);
+        left.merge(&right);
+        assert!((whole.value() - left.value()).abs() <= 1e-6);
+    }
+
+    #[test]
+    fn empty_sums_are_zero() {
+        assert_eq!(kahan_sum(&[]), 0.0);
+        assert_eq!(NeumaierSum::new().value(), 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Exact solution of the cylindrical (2-D) Noh problem.
+//!
+//! Cold ideal gas (γ = 5/3), uniform density ρ₀ = 1, radially inward
+//! unit velocity. An infinite-strength shock forms at the origin and
+//! travels outward at speed `D = (γ−1)/2 · |u| = 1/3`:
+//!
+//! * **post-shock** (`r < D t`): ρ = ρ₀ ((γ+1)/(γ−1))² = 16, u = 0,
+//!   p = ρ₀ (γ+1)²/(γ−1) / ... — for γ = 5/3: p = 16/3;
+//! * **pre-shock** (`r > D t`): the converging flow compresses
+//!   geometrically: ρ = ρ₀ (1 + t/r), u = −1, p = 0.
+//!
+//! (Noh 1987; the cylindrical case is the one BookLeaf's 2-D quarter-
+//! plane deck realises.) The problem exposes *wall heating*: artificial
+//! viscosity overheats the gas at the origin, depressing the density
+//! there — the paper's §III-B names this as exactly what the deck tests.
+
+/// The exact cylindrical Noh state at radius `r`, time `t` (γ = 5/3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NohState {
+    /// Density.
+    pub rho: f64,
+    /// Radial velocity (negative = inward).
+    pub u_r: f64,
+    /// Pressure.
+    pub p: f64,
+}
+
+/// Shock speed for γ = 5/3, unit inflow.
+pub const SHOCK_SPEED: f64 = 1.0 / 3.0;
+
+/// Post-shock density for the cylindrical case, γ = 5/3.
+pub const RHO_POST: f64 = 16.0;
+
+/// Post-shock pressure for the cylindrical case, γ = 5/3.
+pub const P_POST: f64 = 16.0 / 3.0;
+
+/// Evaluate the exact solution.
+#[must_use]
+pub fn exact(r: f64, t: f64) -> NohState {
+    if t <= 0.0 {
+        return NohState { rho: 1.0, u_r: -1.0, p: 0.0 };
+    }
+    if r < SHOCK_SPEED * t {
+        NohState { rho: RHO_POST, u_r: 0.0, p: P_POST }
+    } else {
+        NohState { rho: 1.0 + t / r.max(1e-300), u_r: -1.0, p: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bookleaf_util::approx_eq;
+
+    #[test]
+    fn post_shock_plateau() {
+        let s = exact(0.05, 0.6);
+        assert_eq!(s.rho, 16.0);
+        assert_eq!(s.u_r, 0.0);
+        assert!(approx_eq(s.p, 16.0 / 3.0, 1e-14));
+    }
+
+    #[test]
+    fn pre_shock_geometric_compression() {
+        let s = exact(0.5, 0.6);
+        assert!(approx_eq(s.rho, 1.0 + 0.6 / 0.5, 1e-14));
+        assert_eq!(s.u_r, -1.0);
+        assert_eq!(s.p, 0.0);
+    }
+
+    #[test]
+    fn shock_at_one_third_t() {
+        let t = 0.6;
+        let inside = exact(SHOCK_SPEED * t - 1e-9, t);
+        let outside = exact(SHOCK_SPEED * t + 1e-9, t);
+        assert_eq!(inside.rho, 16.0);
+        assert!(outside.rho < 16.0);
+        // Just outside, the geometric compression gives rho = 1 + t/(t/3) = 4.
+        assert!(approx_eq(outside.rho, 4.0, 1e-6));
+    }
+
+    #[test]
+    fn initial_condition() {
+        let s = exact(0.3, 0.0);
+        assert_eq!(s.rho, 1.0);
+        assert_eq!(s.u_r, -1.0);
+    }
+
+    #[test]
+    fn rankine_hugoniot_consistency() {
+        // Mass flux balance across the shock: pre-state at the front is
+        // (rho=4, u=-1), shock speed D = 1/3:
+        // rho1 (D - u1) = rho2 (D - u2): 4·(1/3+1) = 16·(1/3) ✓.
+        let lhs = 4.0 * (SHOCK_SPEED + 1.0);
+        let rhs = RHO_POST * SHOCK_SPEED;
+        assert!(approx_eq(lhs, rhs, 1e-12));
+        // Momentum: p2 - p1 = rho1 (D - u1)(u1 - u2):
+        // 16/3 = 4·(4/3)·(0 - (-1)) = 16/3 ✓.
+        let dp = 4.0 * (SHOCK_SPEED + 1.0) * 1.0;
+        assert!(approx_eq(P_POST, dp, 1e-12));
+    }
+}

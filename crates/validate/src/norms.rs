@@ -1,0 +1,93 @@
+//! Error norms of mesh fields against reference solutions.
+//!
+//! Volume-weighted L1 and L2 norms, the standard accuracy measures for
+//! finite-volume/finite-element shock codes (absolute point errors are
+//! meaningless across a discontinuity; integrated norms converge).
+
+/// Volume-weighted L1 error: `Σ w |f − g| / Σ w`.
+#[must_use]
+pub fn l1_error(computed: &[f64], reference: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(computed.len(), reference.len());
+    assert_eq!(computed.len(), weights.len());
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..computed.len() {
+        num += weights[i] * (computed[i] - reference[i]).abs();
+        den += weights[i];
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Volume-weighted L2 error: `sqrt(Σ w (f − g)² / Σ w)`.
+#[must_use]
+pub fn l2_error(computed: &[f64], reference: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(computed.len(), reference.len());
+    assert_eq!(computed.len(), weights.len());
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..computed.len() {
+        let d = computed[i] - reference[i];
+        num += weights[i] * d * d;
+        den += weights[i];
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bookleaf_util::approx_eq;
+
+    #[test]
+    fn zero_error_for_identical_fields() {
+        let f = [1.0, 2.0, 3.0];
+        let w = [0.5, 0.25, 0.25];
+        assert_eq!(l1_error(&f, &f, &w), 0.0);
+        assert_eq!(l2_error(&f, &f, &w), 0.0);
+    }
+
+    #[test]
+    fn uniform_offset() {
+        let f = [1.0, 1.0];
+        let g = [0.0, 0.0];
+        let w = [1.0, 3.0];
+        assert!(approx_eq(l1_error(&f, &g, &w), 1.0, 1e-15));
+        assert!(approx_eq(l2_error(&f, &g, &w), 1.0, 1e-15));
+    }
+
+    #[test]
+    fn weights_matter() {
+        let f = [1.0, 0.0];
+        let g = [0.0, 0.0];
+        // All weight on the erroneous cell.
+        assert!(approx_eq(l1_error(&f, &g, &[1.0, 0.0]), 1.0, 1e-15));
+        // All weight on the exact cell.
+        assert_eq!(l1_error(&f, &g, &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn l2_penalises_outliers_more() {
+        let g = [0.0; 4];
+        let spread = [0.25, 0.25, 0.25, 0.25];
+        let spike = [1.0, 0.0, 0.0, 0.0];
+        let w = [1.0; 4];
+        // Same L1...
+        assert!(approx_eq(l1_error(&spread, &g, &w), l1_error(&spike, &g, &w), 1e-15));
+        // ...larger L2 for the spike.
+        assert!(l2_error(&spike, &g, &w) > l2_error(&spread, &g, &w));
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion")]
+    fn mismatched_lengths_panic() {
+        let _ = l1_error(&[1.0], &[1.0, 2.0], &[1.0]);
+    }
+}

@@ -1,0 +1,244 @@
+//! Exact Riemann solver for the 1-D ideal-gas Euler equations.
+//!
+//! Classic Toro-style solver: Newton iteration for the star-region
+//! pressure using shock (Rankine–Hugoniot) and rarefaction (isentropic)
+//! relations on each side, then self-similar sampling in `ξ = x/t`.
+//! Sod's shock tube is the canonical instance; the solver handles any
+//! two-state problem with an ideal-gas EoS (vacuum excluded).
+
+/// A primitive 1-D state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrimState {
+    /// Density.
+    pub rho: f64,
+    /// Velocity.
+    pub u: f64,
+    /// Pressure.
+    pub p: f64,
+}
+
+impl PrimState {
+    /// Sound speed for ratio of specific heats `gamma`.
+    #[must_use]
+    pub fn sound_speed(&self, gamma: f64) -> f64 {
+        (gamma * self.p / self.rho).sqrt()
+    }
+
+    /// Specific internal energy (ideal gas).
+    #[must_use]
+    pub fn ein(&self, gamma: f64) -> f64 {
+        self.p / ((gamma - 1.0) * self.rho)
+    }
+}
+
+/// The solved Riemann problem, ready for sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactRiemann {
+    left: PrimState,
+    right: PrimState,
+    gamma: f64,
+    /// Star-region pressure.
+    pub p_star: f64,
+    /// Star-region velocity.
+    pub u_star: f64,
+}
+
+impl ExactRiemann {
+    /// Solve the Riemann problem between `left` and `right`.
+    ///
+    /// # Panics
+    /// Panics if the states would produce vacuum (not used by any deck).
+    #[must_use]
+    pub fn solve(left: PrimState, right: PrimState, gamma: f64) -> ExactRiemann {
+        let cl = left.sound_speed(gamma);
+        let cr = right.sound_speed(gamma);
+        assert!(
+            2.0 * (cl + cr) / (gamma - 1.0) > right.u - left.u,
+            "initial states produce vacuum"
+        );
+
+        // f(p): velocity jump across both waves as a function of trial
+        // star pressure (Toro §4.2).
+        let f_side = |p: f64, s: &PrimState, c: f64| -> (f64, f64) {
+            if p > s.p {
+                // Shock.
+                let a = 2.0 / ((gamma + 1.0) * s.rho);
+                let b = (gamma - 1.0) / (gamma + 1.0) * s.p;
+                let sq = (a / (p + b)).sqrt();
+                let f = (p - s.p) * sq;
+                let df = sq * (1.0 - 0.5 * (p - s.p) / (p + b));
+                (f, df)
+            } else {
+                // Rarefaction.
+                let pr = (p / s.p).powf((gamma - 1.0) / (2.0 * gamma));
+                let f = 2.0 * c / (gamma - 1.0) * (pr - 1.0);
+                let df = pr / (s.rho * c) * (s.p / p).powf((gamma + 1.0) / (2.0 * gamma));
+                (f, df)
+            }
+        };
+
+        // Newton iteration from the two-rarefaction guess.
+        let mut p = {
+            let z = (gamma - 1.0) / (2.0 * gamma);
+            let num = cl + cr - 0.5 * (gamma - 1.0) * (right.u - left.u);
+            let den = cl / left.p.powf(z) + cr / right.p.powf(z);
+            (num / den).powf(1.0 / z).max(1e-12)
+        };
+        for _ in 0..60 {
+            let (fl, dfl) = f_side(p, &left, cl);
+            let (fr, dfr) = f_side(p, &right, cr);
+            let g = fl + fr + (right.u - left.u);
+            let dg = dfl + dfr;
+            let step = g / dg;
+            p = (p - step).max(1e-14);
+            if step.abs() < 1e-14 * p {
+                break;
+            }
+        }
+        let (fl, _) = f_side(p, &left, cl);
+        let (fr, _) = f_side(p, &right, cr);
+        let u_star = 0.5 * (left.u + right.u) + 0.5 * (fr - fl);
+        ExactRiemann { left, right, gamma, p_star: p, u_star }
+    }
+
+    /// Sample the self-similar solution at `xi = x / t` (diaphragm at 0).
+    ///
+    /// Works in a frame where the relevant wave is always *left-moving*:
+    /// the left side is used as-is, the right side is mirrored
+    /// (`x → −x`, velocities negated) and un-mirrored on return.
+    #[must_use]
+    pub fn sample(&self, xi: f64) -> PrimState {
+        let g = self.gamma;
+        let left_side = xi <= self.u_star;
+        let (s, sign) = if left_side { (self.left, 1.0) } else { (self.right, -1.0) };
+        let c = s.sound_speed(g);
+        let u_rel = sign * s.u;
+        let xi_rel = sign * xi;
+        let us_rel = sign * self.u_star;
+
+        if self.p_star > s.p {
+            // Shock (left-moving in the working frame).
+            let ratio = self.p_star / s.p;
+            let shock_speed =
+                u_rel - c * ((g + 1.0) / (2.0 * g) * ratio + (g - 1.0) / (2.0 * g)).sqrt();
+            if xi_rel < shock_speed {
+                s
+            } else {
+                let k = (g - 1.0) / (g + 1.0);
+                let rho = s.rho * (ratio + k) / (k * ratio + 1.0);
+                PrimState { rho, u: self.u_star, p: self.p_star }
+            }
+        } else {
+            // Rarefaction (left fan in the working frame).
+            let c_star = c * (self.p_star / s.p).powf((g - 1.0) / (2.0 * g));
+            let head = u_rel - c;
+            let tail = us_rel - c_star;
+            if xi_rel < head {
+                s
+            } else if xi_rel > tail {
+                let rho = s.rho * (self.p_star / s.p).powf(1.0 / g);
+                PrimState { rho, u: self.u_star, p: self.p_star }
+            } else {
+                let u_fan = 2.0 / (g + 1.0) * (c + 0.5 * (g - 1.0) * u_rel + xi_rel);
+                let c_fan =
+                    (2.0 / (g + 1.0) * c + (g - 1.0) / (g + 1.0) * (u_rel - xi_rel)).max(1e-14);
+                let rho = s.rho * (c_fan / c).powf(2.0 / (g - 1.0));
+                let p = s.p * (c_fan / c).powf(2.0 * g / (g - 1.0));
+                PrimState { rho, u: sign * u_fan, p }
+            }
+        }
+    }
+
+    /// Convenience: the standard Sod problem (left ρ=1 p=1, right
+    /// ρ=0.125 p=0.1, γ=1.4).
+    #[must_use]
+    pub fn sod() -> ExactRiemann {
+        ExactRiemann::solve(
+            PrimState { rho: 1.0, u: 0.0, p: 1.0 },
+            PrimState { rho: 0.125, u: 0.0, p: 0.1 },
+            1.4,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bookleaf_util::approx_eq;
+
+    #[test]
+    fn sod_star_state_matches_literature() {
+        // Toro: p* = 0.30313, u* = 0.92745.
+        let r = ExactRiemann::sod();
+        assert!(approx_eq(r.p_star, 0.30313, 2e-4), "p* = {}", r.p_star);
+        assert!(approx_eq(r.u_star, 0.92745, 2e-4), "u* = {}", r.u_star);
+    }
+
+    #[test]
+    fn sod_sampled_regions() {
+        let r = ExactRiemann::sod();
+        // Far left: undisturbed left state.
+        let s = r.sample(-2.0);
+        assert!(approx_eq(s.rho, 1.0, 1e-12));
+        // Far right: undisturbed right state.
+        let s = r.sample(2.0);
+        assert!(approx_eq(s.rho, 0.125, 1e-12));
+        // Contact region left side (between u* and the rarefaction tail):
+        // rho = 0.42632 (literature).
+        let s = r.sample(0.5);
+        assert!(approx_eq(s.rho, 0.42632, 1e-3), "rho contact-left = {}", s.rho);
+        // Post-shock right side: rho = 0.26557.
+        let s = r.sample(1.2);
+        assert!(approx_eq(s.rho, 0.26557, 1e-3), "rho post-shock = {}", s.rho);
+        // Shock position at t = 0.2: x = 0.35276/0.2... shock speed
+        // = 1.75216. Just right of it: undisturbed.
+        let s = r.sample(1.76);
+        assert!(approx_eq(s.rho, 0.125, 1e-12));
+        let s = r.sample(1.74);
+        assert!(approx_eq(s.rho, 0.26557, 1e-3));
+    }
+
+    #[test]
+    fn symmetric_problem_has_zero_contact_velocity() {
+        let a = PrimState { rho: 1.0, u: 0.0, p: 1.0 };
+        let r = ExactRiemann::solve(a, a, 1.4);
+        assert!(r.u_star.abs() < 1e-12);
+        assert!(approx_eq(r.p_star, 1.0, 1e-10));
+        // Uniform everywhere.
+        let s = r.sample(0.3);
+        assert!(approx_eq(s.rho, 1.0, 1e-10));
+    }
+
+    #[test]
+    fn colliding_states_make_double_shock() {
+        let l = PrimState { rho: 1.0, u: 2.0, p: 0.4 };
+        let rr = PrimState { rho: 1.0, u: -2.0, p: 0.4 };
+        let r = ExactRiemann::solve(l, rr, 1.4);
+        assert!(r.p_star > 0.4, "collision must raise pressure: {}", r.p_star);
+        assert!(r.u_star.abs() < 1e-10);
+        // Centre density exceeds the inflow density.
+        assert!(r.sample(0.0).rho > 1.0);
+    }
+
+    #[test]
+    fn receding_states_make_double_rarefaction() {
+        let l = PrimState { rho: 1.0, u: -0.5, p: 1.0 };
+        let rr = PrimState { rho: 1.0, u: 0.5, p: 1.0 };
+        let r = ExactRiemann::solve(l, rr, 1.4);
+        assert!(r.p_star < 1.0);
+        assert!(r.sample(0.0).rho < 1.0);
+    }
+
+    #[test]
+    fn fan_is_continuous_at_head_and_tail() {
+        let r = ExactRiemann::sod();
+        // Left rarefaction head at u_l - c_l = -1.18322.
+        let c_l = 1.4f64.sqrt();
+        let eps = 1e-9;
+        let a = r.sample(-c_l - eps);
+        let b = r.sample(-c_l + eps);
+        assert!(approx_eq(a.rho, b.rho, 1e-6));
+        let sample_ein = r.sample(0.0).ein(1.4);
+        assert!(sample_ein > 0.0);
+    }
+}

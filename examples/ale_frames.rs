@@ -1,0 +1,65 @@
+//! Lagrangian vs Eulerian frames on the same problem — BookLeaf's ALE
+//! bounding cases (paper §III-A): pure Lagrangian (never remap) against
+//! Eulerian (remap to the original mesh every step), validated against
+//! the exact Riemann solution.
+//!
+//! ```text
+//! cargo run --release --example ale_frames
+//! ```
+
+use bookleaf::ale::{AleMode, AleOptions};
+use bookleaf::core::{decks, Driver, RunConfig};
+use bookleaf::mesh::geometry::quad_centroid;
+use bookleaf::validate::norms::l1_error;
+use bookleaf::validate::riemann::ExactRiemann;
+
+fn run(ale: Option<AleOptions>) -> (Driver, f64) {
+    let deck = decks::sod(150, 3);
+    let t = deck.recommended_final_time;
+    let config = RunConfig { final_time: t, ale, ..RunConfig::default() };
+    let mut driver = Driver::new(deck, config).expect("valid deck");
+    driver.run().expect("sod run");
+    (driver, t)
+}
+
+fn report(label: &str, driver: &Driver, t: f64) {
+    let exact = ExactRiemann::sod();
+    let mesh = driver.mesh();
+    let st = driver.state();
+    let mut computed = Vec::new();
+    let mut reference = Vec::new();
+    let mut weights = Vec::new();
+    for e in 0..mesh.n_elements() {
+        let c = quad_centroid(&mesh.corners(e));
+        computed.push(st.rho[e]);
+        reference.push(exact.sample((c.x - 0.5) / t).rho);
+        weights.push(st.volume[e]);
+    }
+    let err = l1_error(&computed, &reference, &weights);
+    // How far has the mesh moved from its initial positions?
+    let x0 = decks::sod(150, 3).mesh;
+    let max_motion = mesh
+        .nodes
+        .iter()
+        .zip(&x0.nodes)
+        .map(|(a, b)| a.distance(*b))
+        .fold(0.0f64, f64::max);
+    println!(
+        "{label:<26} L1(rho) = {err:.4}   max node motion = {max_motion:.4}"
+    );
+}
+
+fn main() {
+    println!("ALE bounding cases on Sod's shock tube (150x3, t = 0.2)");
+    println!("{}", "=".repeat(72));
+    let (lagrangian, t) = run(None);
+    report("Lagrangian (never remap)", &lagrangian, t);
+    let (eulerian, t) = run(Some(AleOptions { mode: AleMode::Eulerian, frequency: 1 }));
+    report("Eulerian (remap every)", &eulerian, t);
+    let (ale, t) = run(Some(AleOptions { mode: AleMode::Smooth { alpha: 0.3 }, frequency: 5 }));
+    report("ALE (smooth every 5)", &ale, t);
+    println!();
+    println!("Lagrangian: zero numerical diffusion from advection, mesh follows the");
+    println!("flow (nodes pile into the shock). Eulerian: the mesh never moves, at");
+    println!("the cost of remap diffusion. ALE sits between — the method's point.");
+}

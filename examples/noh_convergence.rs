@@ -1,0 +1,78 @@
+//! The Noh implosion at three resolutions, compared against the exact
+//! solution — the wall-heating study of the paper's §III-B.
+//!
+//! ```text
+//! cargo run --release --example noh_convergence
+//! ```
+
+use bookleaf::core::{decks, Driver, RunConfig};
+use bookleaf::mesh::geometry::quad_centroid;
+use bookleaf::validate::noh;
+use bookleaf::validate::norms::l1_error;
+
+fn run(n: usize, t: f64) -> (f64, f64, f64) {
+    let deck = decks::noh(n);
+    let config = RunConfig { final_time: t, ..RunConfig::default() };
+    let mut driver = Driver::new(deck, config).expect("valid deck");
+    driver.run().expect("noh run");
+    let mesh = driver.mesh();
+    let st = driver.state();
+
+    // L1 density error vs the exact solution, restricted to r < 0.45
+    // (the outer boundary treatment differs from the infinite problem).
+    let mut computed = Vec::new();
+    let mut reference = Vec::new();
+    let mut weights = Vec::new();
+    for e in 0..mesh.n_elements() {
+        let r = quad_centroid(&mesh.corners(e)).norm();
+        if r < 0.45 {
+            computed.push(st.rho[e]);
+            reference.push(noh::exact(r, t).rho);
+            weights.push(st.volume[e]);
+        }
+    }
+    let err = l1_error(&computed, &reference, &weights);
+
+    // Wall-heating diagnostic: density deficit of the origin cell
+    // relative to the exact plateau.
+    let deficit = (noh::RHO_POST - st.rho[0]) / noh::RHO_POST;
+
+    // Plateau mean (0.06 < r < 0.16).
+    let plateau: Vec<f64> = (0..mesh.n_elements())
+        .filter(|&e| {
+            let r = quad_centroid(&mesh.corners(e)).norm();
+            (0.06..0.16).contains(&r)
+        })
+        .map(|e| st.rho[e])
+        .collect();
+    let plateau_mean = plateau.iter().sum::<f64>() / plateau.len().max(1) as f64;
+
+    (err, deficit, plateau_mean)
+}
+
+fn main() {
+    let t = 0.6;
+    println!("Noh implosion vs exact solution at t = {t}");
+    println!("(exact: plateau rho = 16, shock at r = 0.2, pre-shock rho = 1 + t/r)");
+    println!("{}", "=".repeat(72));
+    println!(
+        "{:<10} {:>12} {:>20} {:>16}",
+        "mesh", "L1(rho)", "wall-heating dip", "plateau mean"
+    );
+    let mut prev: Option<f64> = None;
+    for n in [30usize, 50, 80] {
+        let (err, deficit, plateau) = run(n, t);
+        let conv = prev.map(|p| format!(" ({:.2}x better)", p / err)).unwrap_or_default();
+        println!(
+            "{:<10} {:>12.4}{conv:<16} {:>9.1}% {:>16.2}",
+            format!("{n}x{n}"),
+            err,
+            100.0 * deficit,
+            plateau
+        );
+        prev = Some(err);
+    }
+    println!();
+    println!("The wall-heating dip persists at all resolutions — the artificial-");
+    println!("viscosity artefact this deck exists to expose (paper SIII-B).");
+}

@@ -1,0 +1,72 @@
+//! One deck, three programming models — the paper's evaluation axis in
+//! miniature: serial reference, flat MPI (rank threads), and hybrid
+//! MPI+OpenMP (rank threads x rayon), with an equivalence check.
+//!
+//! ```text
+//! cargo run --release --example programming_models
+//! ```
+
+use bookleaf::core::{decks, run_distributed, Driver, ExecutorKind, RunConfig};
+use bookleaf::util::KernelId;
+
+fn main() {
+    let deck = decks::noh(80);
+    let config = RunConfig { final_time: 0.15, ..RunConfig::default() };
+
+    println!("Programming models on the Noh problem (80x80, t = 0.15)");
+    println!("{}", "=".repeat(76));
+    println!(
+        "{:<22} {:>10} {:>11} {:>11} {:>11}",
+        "model", "wall (s)", "viscosity", "accel", "comms"
+    );
+
+    // Serial reference.
+    let mut serial = Driver::new(deck.clone(), config).expect("valid deck");
+    let s = serial.run().expect("serial run");
+    println!(
+        "{:<22} {:>10.3} {:>10.3}s {:>10.3}s {:>10.3}s",
+        "serial",
+        s.wall_seconds,
+        s.timers.seconds(KernelId::GetQ),
+        s.timers.seconds(KernelId::GetAcc),
+        s.timers.seconds(KernelId::Comms),
+    );
+
+    // Distributed models.
+    let mut outputs = Vec::new();
+    for (label, executor) in [
+        ("flat MPI (4 ranks)", ExecutorKind::FlatMpi { ranks: 4 }),
+        ("hybrid (2 x 2)", ExecutorKind::Hybrid { ranks: 2, threads_per_rank: 2 }),
+    ] {
+        let run_config = RunConfig { executor, ..config };
+        let out = run_distributed(&deck, &run_config).expect("distributed run");
+        println!(
+            "{:<22} {:>10.3} {:>10.3}s {:>10.3}s {:>10.3}s",
+            label,
+            out.wall_seconds,
+            out.timers.seconds(KernelId::GetQ),
+            out.timers.seconds(KernelId::GetAcc),
+            out.timers.seconds(KernelId::Comms),
+        );
+        outputs.push((label, out));
+    }
+
+    // Every model must produce the same physics.
+    println!();
+    for (label, out) in &outputs {
+        let max_diff = (0..deck.mesh.n_elements())
+            .map(|e| (serial.state().rho[e] - out.rho[e]).abs())
+            .fold(0.0f64, f64::max);
+        println!("max |rho - serial| for {label}: {max_diff:.2e}");
+        assert!(max_diff < 1e-9, "executors diverged!");
+    }
+    let (_, flat) = &outputs[0];
+    println!();
+    println!(
+        "halo traffic (flat MPI): {} messages, {:.2} MB",
+        flat.comm.messages_sent,
+        flat.comm.bytes_sent() as f64 / 1e6
+    );
+    println!("(two exchange phases per half-step plus one global dt reduction,");
+    println!(" exactly the communication structure of the reference code)");
+}

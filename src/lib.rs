@@ -1,0 +1,45 @@
+//! # BookLeaf-rs
+//!
+//! A Rust reproduction of **BookLeaf** (Truby et al., 2018): a 2-D
+//! unstructured Arbitrary Lagrangian–Eulerian (ALE) shock-hydrodynamics
+//! mini-application, including every substrate the paper's evaluation
+//! depends on.
+//!
+//! This facade crate re-exports the workspace's public API under one roof:
+//!
+//! * [`mesh`] — unstructured quadrilateral mesh, generation, geometry;
+//! * [`eos`] — equations of state (ideal gas, Tait, JWL, void);
+//! * [`partition`] — RCB and multilevel graph mesh decomposition;
+//! * [`typhon`] — the distributed communication runtime (halo exchange,
+//!   global reductions) over rank threads;
+//! * [`hydro`] — the Lagrangian kernels (`getdt`, `getq`, `getforce`, …);
+//! * [`ale`] — the swept-volume remap;
+//! * [`core`] — the driver: predictor–corrector loop, the four standard
+//!   decks, and the programming-model executors;
+//! * [`device`] — hardware performance models for the paper's platforms;
+//! * [`validate`] — analytic solutions and error norms;
+//! * [`util`] — shared numerics.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bookleaf::core::{decks, Driver, RunConfig};
+//!
+//! // Small Sod shock tube, Lagrangian frame, serial execution.
+//! let deck = decks::sod(40, 4);
+//! let config = RunConfig { final_time: 0.05, ..RunConfig::default() };
+//! let mut driver = Driver::new(deck, config).expect("valid deck");
+//! let summary = driver.run().expect("run to completion");
+//! assert!(summary.steps > 0);
+//! ```
+
+pub use bookleaf_ale as ale;
+pub use bookleaf_core as core;
+pub use bookleaf_device as device;
+pub use bookleaf_eos as eos;
+pub use bookleaf_hydro as hydro;
+pub use bookleaf_mesh as mesh;
+pub use bookleaf_partition as partition;
+pub use bookleaf_typhon as typhon;
+pub use bookleaf_util as util;
+pub use bookleaf_validate as validate;

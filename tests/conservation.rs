@@ -1,0 +1,137 @@
+//! Conservation and symmetry invariants over full runs — the properties
+//! the compatible discretisation (Barlow 2008) exists to guarantee.
+
+use bookleaf::core::{decks, Driver, ExecutorKind, RunConfig};
+use bookleaf::hydro::LocalRange;
+use bookleaf::util::{approx_eq, Vec2};
+
+#[test]
+fn every_standard_deck_conserves_energy() {
+    // (Saltzmann excluded: the driven piston does external work by
+    // design; its energy balance is tested separately below.)
+    for (deck, t) in [
+        (decks::sod(60, 3), 0.2),
+        (decks::noh(30), 0.3),
+        (decks::sedov(24), 0.3),
+        (decks::underwater(24), 0.004),
+    ] {
+        let name = deck.name;
+        let config = RunConfig { final_time: t, ..RunConfig::default() };
+        let mut driver = Driver::new(deck, config).unwrap();
+        let s = driver.run().unwrap();
+        assert!(
+            s.energy_drift() < 1e-8,
+            "{name}: energy drift {} over {} steps",
+            s.energy_drift(),
+            s.steps
+        );
+    }
+}
+
+#[test]
+fn piston_work_matches_energy_gain() {
+    // The Saltzmann piston does work W = integral F_piston . u_p dt on the
+    // gas; with u_p = 1 and the exact post-shock state, W(t) =
+    // rho0 * D * t * up^2 * (gamma+1)/2 / ... — rather than the closed
+    // form, check the energy *gain* equals the momentum-flux work to
+    // ~10% (discretisation + startup transient).
+    let deck = decks::saltzmann(100, 10);
+    let t = 0.3;
+    let config = RunConfig { final_time: t, ..RunConfig::default() };
+    let mut driver = Driver::new(deck, config).unwrap();
+    let s = driver.run().unwrap();
+    let gain = s.energy_end - s.energy_start;
+    // Exact: strong shock, up = 1, gamma = 5/3: post-shock plateau has
+    // rho2 = 4, e = up^2/2 = 0.5, speed D = 4/3. Energy per unit piston
+    // area per time = rho0 * D * (e + up^2/2) = 1 * 4/3 * 1 = 4/3.
+    // Tube height 0.1: dE/dt = 0.1333; at t = 0.3: 0.04.
+    let exact = 0.1 * (4.0 / 3.0) * t;
+    assert!(
+        (gain - exact).abs() < 0.1 * exact,
+        "piston work: gained {gain:.5}, exact {exact:.5}"
+    );
+}
+
+#[test]
+fn x_momentum_conserved_in_symmetric_collision() {
+    // Two equal gases colliding head-on inside a periodic-free box: net
+    // x momentum starts at 0 and must stay 0 (walls only absorb normal
+    // momentum symmetrically).
+    let mut deck = decks::sod(40, 4);
+    // Make states symmetric and give them opposing velocities.
+    for e in 0..deck.mesh.n_elements() {
+        deck.rho[e] = 1.0;
+        deck.ein[e] = 2.5;
+    }
+    let nodes = deck.mesh.nodes.clone();
+    for (n, u) in deck.u.iter_mut().enumerate() {
+        let bc = deck.mesh.node_bc[n];
+        // Antisymmetric about the collision plane; the plane itself is
+        // at rest (otherwise the initial momentum is not zero).
+        let dir = if (nodes[n].x - 0.5).abs() < 1e-12 {
+            0.0
+        } else if nodes[n].x < 0.5 {
+            1.0
+        } else {
+            -1.0
+        };
+        *u = bc.apply(Vec2::new(0.3 * dir, 0.0));
+    }
+    let config = RunConfig { final_time: 0.15, ..RunConfig::default() };
+    let mut driver = Driver::new(deck, config).unwrap();
+    driver.run().unwrap();
+
+    let mesh = driver.mesh();
+    let st = driver.state();
+    let mut px = 0.0;
+    for n in 0..mesh.n_nodes() {
+        px += st.nd_mass[n] * st.u[n].x;
+    }
+    assert!(px.abs() < 1e-7, "net x momentum {px:.3e}"); // round-off accumulation only
+    // And the collision really happened: centre compressed.
+    let mid = 20; // element at the collision plane, bottom row
+    assert!(st.rho[mid] > 1.05, "no collision compression: {}", st.rho[mid]);
+}
+
+#[test]
+fn rho_v_equals_mass_everywhere_always() {
+    // The mass-coordinate identity after an eventful run.
+    let deck = decks::sedov(20);
+    let config = RunConfig { final_time: 0.4, ..RunConfig::default() };
+    let mut driver = Driver::new(deck, config).unwrap();
+    driver.run().unwrap();
+    let st = driver.state();
+    for e in 0..st.rho.len() {
+        assert!(
+            approx_eq(st.rho[e] * st.volume[e], st.mass[e], 1e-12),
+            "identity broken at {e}"
+        );
+    }
+}
+
+#[test]
+fn distributed_conservation_matches_serial() {
+    let deck = decks::noh(24);
+    let config = RunConfig {
+        final_time: 0.1,
+        executor: ExecutorKind::FlatMpi { ranks: 3 },
+        ..RunConfig::default()
+    };
+    let out = bookleaf::core::run_distributed(&deck, &config).unwrap();
+    // Total mass assembled from the distributed run equals the deck's.
+    let mut mass = 0.0;
+    for e in 0..deck.mesh.n_elements() {
+        // rho * volume from final geometry: use rho and the serial
+        // volume identity via a serial rerun for the reference.
+        let _ = e;
+    }
+    let serial_config = RunConfig { final_time: 0.1, ..RunConfig::default() };
+    let mut serial = Driver::new(deck.clone(), serial_config).unwrap();
+    serial.run().unwrap();
+    let range = LocalRange::whole(serial.mesh());
+    let serial_mass = serial.state().total_mass(range);
+    for e in 0..deck.mesh.n_elements() {
+        mass += out.rho[e] * serial.state().volume[e];
+    }
+    assert!(approx_eq(mass, serial_mass, 1e-9), "{mass} vs {serial_mass}");
+}

@@ -1,0 +1,151 @@
+//! The Noh problem vs its exact solution.
+//!
+//! Paper §III-B: "Noh's problem is used to highlight the wall-heating
+//! issue commonly found with artificial viscosity methods." We verify
+//! the shock plateau, the shock position, the pre-shock geometric
+//! compression — and that the wall-heating artefact is present (it is a
+//! *property* of this class of scheme, so its absence would be a bug in
+//! the reproduction).
+
+use bookleaf::core::{decks, Driver, RunConfig};
+use bookleaf::mesh::geometry::quad_centroid;
+use bookleaf::validate::noh;
+
+fn run_noh(n: usize, t_final: f64) -> Driver {
+    let deck = decks::noh(n);
+    let config = RunConfig { final_time: t_final, ..RunConfig::default() };
+    let mut driver = Driver::new(deck, config).expect("valid deck");
+    driver.run().expect("noh run");
+    driver
+}
+
+#[test]
+fn shock_plateau_density_approaches_sixteen() {
+    let t = 0.6;
+    let driver = run_noh(50, t);
+    let mesh = driver.mesh();
+    let st = driver.state();
+    // Plateau sample: inside the shock (r < 0.2·0.9) but away from the
+    // origin's wall-heating dip (r > 0.05).
+    let plateau: Vec<f64> = (0..mesh.n_elements())
+        .filter(|&e| {
+            let r = quad_centroid(&mesh.corners(e)).norm();
+            (0.06..0.16).contains(&r)
+        })
+        .map(|e| st.rho[e])
+        .collect();
+    assert!(!plateau.is_empty());
+    let mean = plateau.iter().sum::<f64>() / plateau.len() as f64;
+    assert!(
+        (mean - noh::RHO_POST).abs() < 3.0,
+        "plateau density {mean:.2} vs exact {}",
+        noh::RHO_POST
+    );
+    let max = plateau.iter().cloned().fold(0.0f64, f64::max);
+    assert!(max > 12.0, "peak plateau density {max:.2}");
+}
+
+#[test]
+fn shock_sits_at_one_third_t() {
+    let t = 0.6;
+    let driver = run_noh(50, t);
+    let mesh = driver.mesh();
+    let st = driver.state();
+    // The shock is where the radially binned mean density crosses 8
+    // (halfway between the plateau 16 and the pre-shock 4); binning
+    // averages out the handful of axis-adjacent outlier cells.
+    let nbins = 40;
+    let rmax = 0.5;
+    let mut sum = vec![0.0; nbins];
+    let mut cnt = vec![0usize; nbins];
+    for e in 0..mesh.n_elements() {
+        let r = quad_centroid(&mesh.corners(e)).norm();
+        let b = (r / rmax * nbins as f64) as usize;
+        if b < nbins {
+            sum[b] += st.rho[e];
+            cnt[b] += 1;
+        }
+    }
+    let shock_r = (0..nbins)
+        .filter(|&b| cnt[b] > 0 && sum[b] / cnt[b] as f64 > 8.0)
+        .map(|b| (b as f64 + 0.5) / nbins as f64 * rmax)
+        .fold(0.0f64, f64::max);
+    let expect = noh::SHOCK_SPEED * t;
+    assert!(
+        (shock_r - expect).abs() < 0.05,
+        "shock at r = {shock_r:.3}, exact {expect:.3}"
+    );
+}
+
+#[test]
+fn pre_shock_geometric_compression() {
+    let t = 0.6;
+    let driver = run_noh(50, t);
+    let mesh = driver.mesh();
+    let st = driver.state();
+    // At r = 0.5 the exact pre-shock density is 1 + t/r = 2.2.
+    let ring: Vec<f64> = (0..mesh.n_elements())
+        .filter(|&e| {
+            let r = quad_centroid(&mesh.corners(e)).norm();
+            (0.45..0.55).contains(&r)
+        })
+        .map(|e| st.rho[e])
+        .collect();
+    assert!(!ring.is_empty());
+    let mean = ring.iter().sum::<f64>() / ring.len() as f64;
+    let expect = noh::exact(0.5, t).rho;
+    assert!((mean - expect).abs() < 0.35, "ring density {mean:.3} vs {expect:.3}");
+}
+
+#[test]
+fn wall_heating_artifact_is_present() {
+    // The paper chose Noh precisely because artificial-viscosity codes
+    // overheat the origin: density there dips below the plateau.
+    let driver = run_noh(50, 0.6);
+    let mesh = driver.mesh();
+    let st = driver.state();
+    let origin_rho = st.rho[0];
+    let plateau_max: f64 = (0..mesh.n_elements())
+        .filter(|&e| {
+            let r = quad_centroid(&mesh.corners(e)).norm();
+            (0.06..0.16).contains(&r)
+        })
+        .map(|e| st.rho[e])
+        .fold(0.0f64, f64::max);
+    assert!(
+        origin_rho < plateau_max,
+        "no wall-heating dip: origin {origin_rho:.2} vs plateau max {plateau_max:.2}"
+    );
+    // And the origin is overheated relative to the exact post-shock
+    // energy e = p/((gamma-1) rho) = (16/3)/( (2/3)*16 ) = 0.5.
+    assert!(st.ein[0] > 0.5, "origin energy {} not overheated", st.ein[0]);
+}
+
+#[test]
+fn quadrant_symmetry_holds() {
+    // The solution must stay symmetric under x <-> y reflection.
+    let driver = run_noh(32, 0.3);
+    let st = driver.state();
+    let n = 32;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let e = j * n + i;
+            let em = i * n + j;
+            let (a, b) = (st.rho[e], st.rho[em]);
+            assert!(
+                (a - b).abs() < 1e-8 * a.max(b).max(1.0),
+                "symmetry broken at ({i},{j}): {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn energy_conserved_through_the_implosion() {
+    let deck = decks::noh(40);
+    let config = RunConfig { final_time: 0.4, ..RunConfig::default() };
+    let mut driver = Driver::new(deck, config).unwrap();
+    let s = driver.run().unwrap();
+    assert!(s.energy_drift() < 1e-8, "drift {}", s.energy_drift());
+    assert!(s.steps > 50);
+}

@@ -1,0 +1,121 @@
+//! The Sedov problem vs the Sedov–Taylor similarity solution.
+//!
+//! Paper §III-B: "The Sedov problem is a blast wave emanating from a
+//! point source. In BookLeaf this is calculated on a Cartesian mesh to
+//! test the code's capability to model non-mesh-aligned shocks."
+//! We check the shock trajectory against `R(t) = (E t² / (α ρ))^¼`, the
+//! front density against the strong-shock jump, and — the point of the
+//! deck — that the shock stays radially symmetric on the Cartesian mesh.
+
+use bookleaf::core::{decks, Driver, RunConfig};
+use bookleaf::mesh::geometry::quad_centroid;
+use bookleaf::validate::sedov;
+
+fn run_sedov(n: usize, t_final: f64) -> Driver {
+    let deck = decks::sedov(n);
+    let config = RunConfig { final_time: t_final, ..RunConfig::default() };
+    let mut driver = Driver::new(deck, config).expect("valid deck");
+    driver.run().expect("sedov run");
+    driver
+}
+
+/// Binned radial density profile: (bin centre radius, mean rho).
+fn radial_profile(driver: &Driver, rmax: f64, nbins: usize) -> Vec<(f64, f64)> {
+    let mesh = driver.mesh();
+    let st = driver.state();
+    let mut sum = vec![0.0; nbins];
+    let mut cnt = vec![0usize; nbins];
+    for e in 0..mesh.n_elements() {
+        let r = quad_centroid(&mesh.corners(e)).norm();
+        let b = (r / rmax * nbins as f64) as usize;
+        if b < nbins {
+            sum[b] += st.rho[e];
+            cnt[b] += 1;
+        }
+    }
+    (0..nbins)
+        .filter(|&b| cnt[b] > 0)
+        .map(|b| ((b as f64 + 0.5) / nbins as f64 * rmax, sum[b] / cnt[b] as f64))
+        .collect()
+}
+
+#[test]
+fn shock_radius_follows_similarity_law() {
+    let t = 0.6;
+    let driver = run_sedov(45, t);
+    let expect = sedov::shock_radius(t, sedov::ALPHA_2D_GAMMA14, 1.0, 1.4);
+    // Detect the front as the outermost radius where the binned density
+    // exceeds twice the background.
+    let profile = radial_profile(&driver, 1.1, 44);
+    let shock_r = profile
+        .iter()
+        .filter(|&&(_, rho)| rho > 2.0)
+        .map(|&(r, _)| r)
+        .fold(0.0f64, f64::max);
+    assert!(
+        (shock_r - expect).abs() < 0.12,
+        "shock at r = {shock_r:.3}, similarity law {expect:.3}"
+    );
+}
+
+#[test]
+fn front_density_approaches_strong_shock_jump() {
+    let driver = run_sedov(45, 0.6);
+    // Peak of the radially binned profile should approach the strong-
+    // shock jump (γ+1)/(γ−1) = 6: smearing keeps the binned peak below,
+    // and individual axis-aligned cells may overshoot, but the *front
+    // average* must sit near the jump.
+    let profile = radial_profile(&driver, 1.1, 44);
+    let rho_peak = profile.iter().map(|&(_, rho)| rho).fold(0.0f64, f64::max);
+    assert!(rho_peak > 3.0, "front density {rho_peak:.2} too smeared");
+    assert!(rho_peak < 7.0, "front density {rho_peak:.2} overshoots the jump");
+}
+
+#[test]
+fn blast_is_radially_symmetric_on_cartesian_mesh() {
+    // The deck's purpose: non-mesh-aligned shocks must stay round.
+    // Compare the front radius along the x-axis with the diagonal.
+    let driver = run_sedov(45, 0.5);
+    let mesh = driver.mesh();
+    let st = driver.state();
+    let front_along = |dir_x: f64, dir_y: f64| -> f64 {
+        let dir = bookleaf::util::Vec2::new(dir_x, dir_y).normalized();
+        (0..mesh.n_elements())
+            .filter(|&e| {
+                let c = quad_centroid(&mesh.corners(e));
+                let r = c.norm();
+                if r < 1e-9 {
+                    return false;
+                }
+                // Within a 10° cone of the direction and shocked.
+                (c / r).dot(dir) > 0.985 && st.rho[e] > 2.0
+            })
+            .map(|e| quad_centroid(&mesh.corners(e)).norm())
+            .fold(0.0f64, f64::max)
+    };
+    let r_axis = front_along(1.0, 0.0);
+    let r_diag = front_along(1.0, 1.0);
+    assert!(r_axis > 0.1 && r_diag > 0.1, "no front found: {r_axis} {r_diag}");
+    assert!(
+        (r_axis - r_diag).abs() < 0.08,
+        "front not round: axis {r_axis:.3} vs diagonal {r_diag:.3}"
+    );
+}
+
+#[test]
+fn interior_is_evacuated() {
+    // Sedov interiors rarefy towards zero density.
+    let driver = run_sedov(45, 0.6);
+    let st = driver.state();
+    let centre_rho = st.rho[0];
+    assert!(centre_rho < 0.3, "centre density {centre_rho:.3} should be evacuated");
+}
+
+#[test]
+fn energy_conserved_through_the_blast() {
+    let deck = decks::sedov(30);
+    let config = RunConfig { final_time: 0.3, ..RunConfig::default() };
+    let mut driver = Driver::new(deck, config).unwrap();
+    let s = driver.run().unwrap();
+    assert!(s.energy_drift() < 1e-8, "drift {}", s.energy_drift());
+}

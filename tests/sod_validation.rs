@@ -1,0 +1,131 @@
+//! Sod shock tube vs the exact Riemann solution.
+//!
+//! The paper (§III-B): "Sod's shock tube tests a code's ability to model
+//! the fundamentals of shock hydrodynamics." We run the standard deck to
+//! t = 0.2 in both the Lagrangian frame and the Eulerian (remap every
+//! step) frame and compare density/pressure/velocity profiles against
+//! the exact solution.
+
+use bookleaf::core::{decks, Driver, RunConfig};
+use bookleaf::hydro::LocalRange;
+use bookleaf::mesh::geometry::quad_centroid;
+use bookleaf::validate::norms::l1_error;
+use bookleaf::validate::riemann::ExactRiemann;
+
+fn run_sod(eulerian: bool, nx: usize) -> (Driver, f64) {
+    let deck = decks::sod(nx, 2);
+    let t_final = 0.2;
+    let config = RunConfig {
+        final_time: t_final,
+        ale: eulerian.then(bookleaf::ale::AleOptions::default),
+        ..RunConfig::default()
+    };
+    let mut driver = Driver::new(deck, config).expect("valid deck");
+    let summary = driver.run().expect("run to completion");
+    assert!((summary.time - t_final).abs() < 1e-12);
+    (driver, t_final)
+}
+
+/// L1 density error of a finished run against the exact solution.
+fn density_l1(driver: &Driver, t: f64) -> f64 {
+    let exact = ExactRiemann::sod();
+    let mesh = driver.mesh();
+    let st = driver.state();
+    let mut computed = Vec::new();
+    let mut reference = Vec::new();
+    let mut weights = Vec::new();
+    for e in 0..mesh.n_elements() {
+        let c = quad_centroid(&mesh.corners(e));
+        computed.push(st.rho[e]);
+        reference.push(exact.sample((c.x - 0.5) / t).rho);
+        weights.push(st.volume[e]);
+    }
+    l1_error(&computed, &reference, &weights)
+}
+
+#[test]
+fn lagrangian_sod_matches_exact_solution() {
+    let (driver, t) = run_sod(false, 100);
+    let err = density_l1(&driver, t);
+    assert!(err < 0.05, "L1(rho) = {err:.4}");
+
+    // Shock position: the rightmost cell with rho > 0.2 should sit near
+    // x = 0.5 + 1.7522 * 0.2 = 0.8504.
+    let mesh = driver.mesh();
+    let st = driver.state();
+    let shock_x = (0..mesh.n_elements())
+        .filter(|&e| st.rho[e] > 0.2)
+        .map(|e| quad_centroid(&mesh.corners(e)).x)
+        .fold(0.0f64, f64::max);
+    assert!((shock_x - 0.8504).abs() < 0.04, "shock at {shock_x:.4}");
+
+    // Contact: plateau between contact and shock at rho ≈ 0.2656.
+    let plateau: Vec<f64> = (0..mesh.n_elements())
+        .filter(|&e| {
+            let x = quad_centroid(&mesh.corners(e)).x;
+            (0.75..0.82).contains(&x)
+        })
+        .map(|e| st.rho[e])
+        .collect();
+    assert!(!plateau.is_empty());
+    let mean = plateau.iter().sum::<f64>() / plateau.len() as f64;
+    assert!((mean - 0.26557).abs() < 0.02, "post-shock plateau {mean:.4}");
+}
+
+#[test]
+fn eulerian_sod_matches_exact_solution() {
+    let (driver, t) = run_sod(true, 100);
+    let err = density_l1(&driver, t);
+    // The remap adds numerical diffusion; the error budget is looser but
+    // still must converge on the right answer.
+    assert!(err < 0.09, "L1(rho) = {err:.4}");
+    // Mesh stayed put.
+    let nodes = &driver.mesh().nodes;
+    for (n, p) in nodes.iter().enumerate() {
+        let expect_x = (n % 101) as f64 / 100.0;
+        assert!((p.x - expect_x).abs() < 1e-10, "node {n} at {}", p.x);
+    }
+}
+
+#[test]
+fn lagrangian_sod_converges_with_resolution() {
+    let (coarse, t) = run_sod(false, 50);
+    let (fine, _) = run_sod(false, 200);
+    let e_coarse = density_l1(&coarse, t);
+    let e_fine = density_l1(&fine, t);
+    assert!(
+        e_fine < 0.75 * e_coarse,
+        "no convergence: coarse {e_coarse:.4} fine {e_fine:.4}"
+    );
+}
+
+#[test]
+fn sod_velocity_plateau_matches_star_state() {
+    let (driver, _) = run_sod(false, 100);
+    let exact = ExactRiemann::sod();
+    // Nodes between the contact and the shock move at u* = 0.9274.
+    let mesh = driver.mesh();
+    let st = driver.state();
+    let us: Vec<f64> = (0..mesh.n_nodes())
+        .filter(|&n| (0.75..0.82).contains(&mesh.nodes[n].x))
+        .map(|n| st.u[n].x)
+        .collect();
+    assert!(!us.is_empty());
+    let mean = us.iter().sum::<f64>() / us.len() as f64;
+    assert!((mean - exact.u_star).abs() < 0.05, "u plateau {mean:.4} vs {:.4}", exact.u_star);
+}
+
+#[test]
+fn sod_energy_conserved_in_lagrangian_frame() {
+    let deck = decks::sod(80, 2);
+    let config = RunConfig { final_time: 0.2, ..RunConfig::default() };
+    let mut driver = Driver::new(deck, config).unwrap();
+    let s = driver.run().unwrap();
+    assert!(s.energy_drift() < 1e-9, "drift {}", s.energy_drift());
+    // Mass identity: rho * V == element mass everywhere.
+    let st = driver.state();
+    let range = LocalRange::whole(driver.mesh());
+    // Tube height is ny/nx = 2/80 = 0.025.
+    let total = st.total_mass(range);
+    assert!((total - (0.5 * 0.025 + 0.5 * 0.025 * 0.125)).abs() < 1e-12);
+}
