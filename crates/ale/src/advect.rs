@@ -112,9 +112,9 @@ pub fn compute_fluxes(
             // (f+2)%4. When the donor is the neighbour we must find its
             // matching face first.
             let upstream = |d: usize, towards: usize| -> Option<usize> {
-                let fd = (0..4).find(|&g| {
-                    matches!(mesh.elel[d][g], Neighbor::Element(x) if x as usize == towards)
-                })?;
+                let fd = (0..4).find(
+                    |&g| matches!(mesh.elel[d][g], Neighbor::Element(x) if x as usize == towards),
+                )?;
                 match mesh.elel[d][(fd + 2) % 4] {
                     Neighbor::Element(u) => Some(u as usize),
                     Neighbor::Boundary => None,
@@ -133,16 +133,10 @@ pub fn compute_fluxes(
 
             // Momentum: the flux mass carries the limited face velocity
             // (component-wise limiting of the element-centred velocity).
-            let ux_face = limited_face_value(
-                cell_u[donor].x,
-                cell_u[receiver].x,
-                up.map(|u| cell_u[u].x),
-            );
-            let uy_face = limited_face_value(
-                cell_u[donor].y,
-                cell_u[receiver].y,
-                up.map(|u| cell_u[u].y),
-            );
+            let ux_face =
+                limited_face_value(cell_u[donor].x, cell_u[receiver].x, up.map(|u| cell_u[u].x));
+            let uy_face =
+                limited_face_value(cell_u[donor].y, cell_u[receiver].y, up.map(|u| cell_u[u].y));
             let dmom = Vec2::new(ux_face, uy_face) * dm;
             out.d_mom[donor] += dmom;
             out.d_mom[receiver] -= dmom;
@@ -184,7 +178,10 @@ mod tests {
         ] {
             let v = limited_face_value(donor, down, up);
             let (lo, hi) = (donor.min(down), donor.max(down));
-            assert!((lo..=hi).contains(&v), "face value {v} outside [{lo}, {hi}]");
+            assert!(
+                (lo..=hi).contains(&v),
+                "face value {v} outside [{lo}, {hi}]"
+            );
         }
     }
 
@@ -219,8 +216,16 @@ mod tests {
             .map(|(n, &p)| {
                 let bc = mesh.node_bc[n];
                 let d = Vec2::new(
-                    if bc.fix_x { 0.0 } else { 0.01 * (n as f64).sin() },
-                    if bc.fix_y { 0.0 } else { 0.01 * (n as f64).cos() },
+                    if bc.fix_x {
+                        0.0
+                    } else {
+                        0.01 * (n as f64).sin()
+                    },
+                    if bc.fix_y {
+                        0.0
+                    } else {
+                        0.01 * (n as f64).cos()
+                    },
                 );
                 p + d
             })

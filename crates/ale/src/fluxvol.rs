@@ -70,8 +70,16 @@ mod tests {
             .map(|(n, &p)| {
                 let bc = mesh.node_bc[n];
                 let d = Vec2::new(
-                    if bc.fix_x { 0.0 } else { 0.02 * (n as f64).sin() },
-                    if bc.fix_y { 0.0 } else { 0.02 * (n as f64 * 1.7).cos() },
+                    if bc.fix_x {
+                        0.0
+                    } else {
+                        0.02 * (n as f64).sin()
+                    },
+                    if bc.fix_y {
+                        0.0
+                    } else {
+                        0.02 * (n as f64 * 1.7).cos()
+                    },
                 );
                 p + d
             })
@@ -105,8 +113,16 @@ mod tests {
             .map(|(n, &p)| {
                 let bc = mesh.node_bc[n];
                 let d = Vec2::new(
-                    if bc.fix_x { 0.0 } else { 0.03 * ((n * 3) as f64).sin() },
-                    if bc.fix_y { 0.0 } else { 0.03 * ((n * 5) as f64).cos() },
+                    if bc.fix_x {
+                        0.0
+                    } else {
+                        0.03 * ((n * 3) as f64).sin()
+                    },
+                    if bc.fix_y {
+                        0.0
+                    } else {
+                        0.03 * ((n * 5) as f64).cos()
+                    },
                 );
                 p + d
             })

@@ -108,15 +108,26 @@ mod tests {
         // Must move back towards the regular position.
         let before = mesh.nodes[n].distance(x0[n]);
         let after = t[n].distance(x0[n]);
-        assert!(after < before, "smoothing must reduce displacement: {after} vs {before}");
+        assert!(
+            after < before,
+            "smoothing must reduce displacement: {after} vs {before}"
+        );
     }
 
     #[test]
     fn smooth_keeps_walls_on_walls() {
         let origin = Vec2::ZERO;
         let extent = Vec2::new(1.0, 0.1);
-        let mut mesh =
-            generate_rect(&RectSpec { nx: 20, ny: 4, origin, extent }, |_| 0).unwrap();
+        let mut mesh = generate_rect(
+            &RectSpec {
+                nx: 20,
+                ny: 4,
+                origin,
+                extent,
+            },
+            |_| 0,
+        )
+        .unwrap();
         saltzmann_distort(&mut mesh, origin, extent);
         let t = target_positions(&mesh, &mesh.nodes.clone(), AleMode::Smooth { alpha: 1.0 });
         for n in 0..mesh.n_nodes() {

@@ -34,7 +34,10 @@ pub struct AleOptions {
 
 impl Default for AleOptions {
     fn default() -> Self {
-        AleOptions { mode: AleMode::Eulerian, frequency: 1 }
+        AleOptions {
+            mode: AleMode::Eulerian,
+            frequency: 1,
+        }
     }
 }
 
@@ -51,7 +54,10 @@ impl Remapper {
     /// Capture the reference mesh at setup time.
     #[must_use]
     pub fn new(mesh: &Mesh, opts: AleOptions) -> Self {
-        Remapper { x_ref: mesh.nodes.clone(), opts }
+        Remapper {
+            x_ref: mesh.nodes.clone(),
+            opts,
+        }
     }
 
     /// Should a remap run after `step_index` (0-based)?
@@ -96,8 +102,7 @@ impl Remapper {
             .collect();
 
         // --- Move the mesh and update element extensive quantities. ---
-        mesh.nodes[..range.n_active_nd]
-            .copy_from_slice(&target[..range.n_active_nd]);
+        mesh.nodes[..range.n_active_nd].copy_from_slice(&target[..range.n_active_nd]);
         // Ghost nodes also move (their owners move them identically from
         // the same deterministic inputs).
         let nn = mesh.n_nodes();
@@ -123,7 +128,10 @@ impl Remapper {
             let corners = mesh.corners(e);
             let vol = quad_area(&corners);
             if vol <= 0.0 {
-                return Err(BookLeafError::NegativeVolume { element: e, volume: vol });
+                return Err(BookLeafError::NegativeVolume {
+                    element: e,
+                    volume: vol,
+                });
             }
             state.mass[e] = mass_new;
             state.volume[e] = vol;
@@ -197,9 +205,11 @@ mod tests {
     #[test]
     fn identity_remap_is_noop() {
         // Mesh already at reference: Eulerian remap changes nothing.
-        let (mut mesh, mut st) = setup(4, |e| 1.0 + 0.1 * e as f64, |n| {
-            Vec2::new((n as f64).sin(), (n as f64).cos())
-        });
+        let (mut mesh, mut st) = setup(
+            4,
+            |e| 1.0 + 0.1 * e as f64,
+            |n| Vec2::new((n as f64).sin(), (n as f64).cos()),
+        );
         let range = LocalRange::whole(&mesh);
         let remapper = Remapper::new(&mesh, AleOptions::default());
         let before = st.clone();
@@ -278,7 +288,10 @@ mod tests {
         remapper.step(&mut mesh, &mut st, range).unwrap();
 
         assert!(approx_eq(st.total_mass(range), mass0, 1e-12), "mass drift");
-        assert!(approx_eq(st.internal_energy(range), ie0, 1e-12), "energy drift");
+        assert!(
+            approx_eq(st.internal_energy(range), ie0, 1e-12),
+            "energy drift"
+        );
         let mut mom1 = Vec2::ZERO;
         for n in 0..mesh.n_nodes() {
             let m: f64 = mesh
@@ -300,8 +313,7 @@ mod tests {
     fn remap_keeps_density_bounds() {
         // Monotone limiter: remapping a step profile must not create new
         // extrema.
-        let (mut mesh, mut st) =
-            setup(8, |e| if e % 8 < 4 { 1.0 } else { 0.125 }, |_| Vec2::ZERO);
+        let (mut mesh, mut st) = setup(8, |e| if e % 8 < 4 { 1.0 } else { 0.125 }, |_| Vec2::ZERO);
         let range = LocalRange::whole(&mesh);
         let remapper = Remapper::new(&mesh, AleOptions::default());
         for n in 0..mesh.n_nodes() {
@@ -331,12 +343,24 @@ mod tests {
     #[test]
     fn due_respects_frequency() {
         let mesh = generate_rect(&RectSpec::unit_square(2), |_| 0).unwrap();
-        let r = Remapper::new(&mesh, AleOptions { mode: AleMode::Eulerian, frequency: 3 });
+        let r = Remapper::new(
+            &mesh,
+            AleOptions {
+                mode: AleMode::Eulerian,
+                frequency: 3,
+            },
+        );
         assert!(!r.due(0));
         assert!(!r.due(1));
         assert!(r.due(2));
         assert!(r.due(5));
-        let never = Remapper::new(&mesh, AleOptions { mode: AleMode::Eulerian, frequency: 0 });
+        let never = Remapper::new(
+            &mesh,
+            AleOptions {
+                mode: AleMode::Eulerian,
+                frequency: 0,
+            },
+        );
         assert!(!never.due(0));
         assert!(!never.due(99));
     }
@@ -348,7 +372,10 @@ mod tests {
         let range = LocalRange::whole(&mesh);
         let remapper = Remapper::new(
             &mesh,
-            AleOptions { mode: AleMode::Smooth { alpha: 0.8 }, frequency: 1 },
+            AleOptions {
+                mode: AleMode::Smooth { alpha: 0.8 },
+                frequency: 1,
+            },
         );
         for n in 0..mesh.n_nodes() {
             let bc = mesh.node_bc[n];

@@ -25,7 +25,10 @@ const N: usize = 128;
 fn snapshot() -> (Mesh, MaterialTable, HydroState) {
     let deck = decks::noh(N);
     let materials = deck.materials.clone();
-    let config = RunConfig { final_time: 0.1, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: 0.1,
+        ..RunConfig::default()
+    };
     let mut driver = Driver::new(deck, config).expect("valid deck");
     driver.run().expect("noh warmup");
     (driver.mesh().clone(), materials, driver.state().clone())
@@ -48,7 +51,14 @@ fn bench_kernels(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("getforce", tag), |b| {
             let mut st = state.clone();
             b.iter(|| {
-                getforce(&mesh, &mut st, range, HourglassControl::default(), 1e-4, threading)
+                getforce(
+                    &mesh,
+                    &mut st,
+                    range,
+                    HourglassControl::default(),
+                    1e-4,
+                    threading,
+                )
             });
         });
         group.bench_function(BenchmarkId::new("getgeom", tag), |b| {
@@ -62,7 +72,14 @@ fn bench_kernels(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("getein", tag), |b| {
             let mut st = state.clone();
             b.iter(|| {
-                getein(&mesh, &mut st, range, 1e-6, WorkVelocity::Current, threading);
+                getein(
+                    &mesh,
+                    &mut st,
+                    range,
+                    1e-6,
+                    WorkVelocity::Current,
+                    threading,
+                );
             });
         });
         group.bench_function(BenchmarkId::new("getpc", tag), |b| {
@@ -72,8 +89,15 @@ fn bench_kernels(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("getdt", tag), |b| {
             let mut st = state.clone();
             b.iter(|| {
-                getdt(&mesh, &mut st, range, &DtControls::default(), Some(1e-4), threading)
-                    .unwrap()
+                getdt(
+                    &mesh,
+                    &mut st,
+                    range,
+                    &DtControls::default(),
+                    Some(1e-4),
+                    threading,
+                )
+                .unwrap()
             });
         });
     }

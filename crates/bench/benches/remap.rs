@@ -11,7 +11,10 @@ fn bench_remap(c: &mut Criterion) {
     // A Lagrangian Sod state mid-run: the mesh has genuinely moved, so
     // the remap computes non-trivial fluxes.
     let deck = decks::sod(128, 16);
-    let config = RunConfig { final_time: 0.1, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: 0.1,
+        ..RunConfig::default()
+    };
     let mut driver = Driver::new(deck, config).expect("valid deck");
     driver.run().expect("sod warmup");
     let mesh0 = driver.mesh().clone();

@@ -18,7 +18,10 @@ fn run(hg: HourglassControl) -> std::result::Result<(f64, f64, f64, usize), Stri
     let deck = decks::saltzmann(100, 10);
     let config = RunConfig {
         final_time: 0.45,
-        lag: bookleaf_hydro::LagOptions { hourglass: hg, ..Default::default() },
+        lag: bookleaf_hydro::LagOptions {
+            hourglass: hg,
+            ..Default::default()
+        },
         ..RunConfig::default()
     };
     let mut driver = Driver::new(deck, config).map_err(|e| e.to_string())?;
@@ -42,14 +45,26 @@ fn main() {
     );
     for (label, hg) in [
         ("filter + sub-zonal (default)", HourglassControl::default()),
-        ("filter only", HourglassControl { kappa_filter: 0.7, zeta_subzonal: 0.0 }),
-        ("sub-zonal only", HourglassControl { kappa_filter: 0.0, zeta_subzonal: 0.3 }),
+        (
+            "filter only",
+            HourglassControl {
+                kappa_filter: 0.7,
+                zeta_subzonal: 0.0,
+            },
+        ),
+        (
+            "sub-zonal only",
+            HourglassControl {
+                kappa_filter: 0.0,
+                zeta_subzonal: 0.3,
+            },
+        ),
         ("no control", HourglassControl::none()),
     ] {
         match run(hg) {
-            Ok((skew, noise, wall, steps)) => println!(
-                "{label:<28} {skew:>10.4} {noise:>12.4} {wall:>10.3} {steps:>8}"
-            ),
+            Ok((skew, noise, wall, steps)) => {
+                println!("{label:<28} {skew:>10.4} {noise:>12.4} {wall:>10.3} {steps:>8}")
+            }
             Err(e) => println!("{label:<28} FAILED: {e}"),
         }
     }

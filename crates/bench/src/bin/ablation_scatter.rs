@@ -53,7 +53,10 @@ fn full_run(acc_mode: AccMode, threads: usize) -> (f64, f64) {
     let deck = decks::noh(200);
     let mut config = RunConfig {
         final_time: 0.04,
-        executor: ExecutorKind::Hybrid { ranks: 2, threads_per_rank: threads },
+        executor: ExecutorKind::Hybrid {
+            ranks: 2,
+            threads_per_rank: threads,
+        },
         ..RunConfig::default()
     };
     config.lag.acc_mode = acc_mode;
@@ -87,12 +90,31 @@ fn main() {
 
     println!();
     println!("--- part 2: embedded in full hybrid runs (Noh 200x200, t = 0.04) ---");
-    println!("{:<34} {:>12} {:>12}", "configuration", "getacc (s)", "overall (s)");
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "configuration", "getacc (s)", "overall (s)"
+    );
     for (label, mode, threads) in [
-        ("scatter-serial (reference), 2 thr", AccMode::ScatterSerial, 2),
-        ("gather-parallel (rewrite),  2 thr", AccMode::GatherParallel, 2),
-        ("scatter-serial (reference), 8 thr", AccMode::ScatterSerial, 8),
-        ("gather-parallel (rewrite),  8 thr", AccMode::GatherParallel, 8),
+        (
+            "scatter-serial (reference), 2 thr",
+            AccMode::ScatterSerial,
+            2,
+        ),
+        (
+            "gather-parallel (rewrite),  2 thr",
+            AccMode::GatherParallel,
+            2,
+        ),
+        (
+            "scatter-serial (reference), 8 thr",
+            AccMode::ScatterSerial,
+            8,
+        ),
+        (
+            "gather-parallel (rewrite),  8 thr",
+            AccMode::GatherParallel,
+            8,
+        ),
     ] {
         let mut best = (f64::INFINITY, f64::INFINITY);
         for _ in 0..2 {

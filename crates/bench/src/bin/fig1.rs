@@ -10,21 +10,55 @@ fn main() {
     let bdw = CpuModel::new(CpuPlatform::broadwell());
     let cuda = GpuExecution::Cuda { dope_fix: false };
     let bars: Vec<(&str, f64)> = vec![
-        ("Skylake MPI", skl.report(w, CpuExecution::FlatMpi).total_seconds()),
-        ("Skylake Hybrid", skl.report(w, CpuExecution::Hybrid).total_seconds()),
-        ("Broadwell MPI", bdw.report(w, CpuExecution::FlatMpi).total_seconds()),
-        ("Broadwell Hybrid", bdw.report(w, CpuExecution::Hybrid).total_seconds()),
-        ("P100 CUDA", GpuModel::p100().report(w, cuda).total_seconds()),
-        ("V100 CUDA", GpuModel::v100().report(w, cuda).total_seconds()),
-        ("P100 OpenMP", GpuModel::p100().report(w, GpuExecution::Offload).total_seconds()),
+        (
+            "Skylake MPI",
+            skl.report(w, CpuExecution::FlatMpi).total_seconds(),
+        ),
+        (
+            "Skylake Hybrid",
+            skl.report(w, CpuExecution::Hybrid).total_seconds(),
+        ),
+        (
+            "Broadwell MPI",
+            bdw.report(w, CpuExecution::FlatMpi).total_seconds(),
+        ),
+        (
+            "Broadwell Hybrid",
+            bdw.report(w, CpuExecution::Hybrid).total_seconds(),
+        ),
+        (
+            "P100 CUDA",
+            GpuModel::p100().report(w, cuda).total_seconds(),
+        ),
+        (
+            "V100 CUDA",
+            GpuModel::v100().report(w, cuda).total_seconds(),
+        ),
+        (
+            "P100 OpenMP",
+            GpuModel::p100()
+                .report(w, GpuExecution::Offload)
+                .total_seconds(),
+        ),
     ];
-    let paper: Vec<f64> = ["Skylake MPI", "Skylake Hybrid", "Broadwell MPI",
-        "Broadwell Hybrid", "P100 CUDA", "V100 CUDA", "P100 OpenMP"]
-        .iter()
-        .map(|name| {
-            PAPER_TABLE2.iter().find(|(l, _)| l == name).map(|(_, row)| row[0]).unwrap()
-        })
-        .collect();
+    let paper: Vec<f64> = [
+        "Skylake MPI",
+        "Skylake Hybrid",
+        "Broadwell MPI",
+        "Broadwell Hybrid",
+        "P100 CUDA",
+        "V100 CUDA",
+        "P100 OpenMP",
+    ]
+    .iter()
+    .map(|name| {
+        PAPER_TABLE2
+            .iter()
+            .find(|(l, _)| l == name)
+            .map(|(_, row)| row[0])
+            .unwrap()
+    })
+    .collect();
 
     println!("Figure 1: overall execution time, Noh problem, single node");
     println!("{}", "=".repeat(78));

@@ -23,7 +23,10 @@ fn reports() -> Vec<(&'static str, TimerReport)> {
         ("Broadwell Hybrid", bdw.report(w, CpuExecution::Hybrid)),
         ("P100 CUDA", GpuModel::p100().report(w, cuda)),
         ("V100 CUDA", GpuModel::v100().report(w, cuda)),
-        ("P100 OpenMP", GpuModel::p100().report(w, GpuExecution::Offload)),
+        (
+            "P100 OpenMP",
+            GpuModel::p100().report(w, GpuExecution::Offload),
+        ),
     ]
 }
 
@@ -31,7 +34,10 @@ fn panel(title: &str, kernel: KernelId, paper_col: usize) {
     println!("{title}");
     println!("{}", "-".repeat(78));
     let data = reports();
-    let max = data.iter().map(|(_, r)| r.seconds(kernel)).fold(0.0f64, f64::max);
+    let max = data
+        .iter()
+        .map(|(_, r)| r.seconds(kernel))
+        .fold(0.0f64, f64::max);
     for (label, rep) in &data {
         let t = rep.seconds(kernel);
         let paper = PAPER_TABLE2
@@ -40,7 +46,10 @@ fn panel(title: &str, kernel: KernelId, paper_col: usize) {
             .map(|(_, row)| row[paper_col])
             .unwrap();
         let width = (t / max * 50.0).round() as usize;
-        println!("{label:<18} {t:>8.1}s |{}  (paper: {paper:.1}s)", "#".repeat(width));
+        println!(
+            "{label:<18} {t:>8.1}s |{}  (paper: {paper:.1}s)",
+            "#".repeat(width)
+        );
     }
     println!();
 }
@@ -52,9 +61,8 @@ fn main() {
     panel("(b) Acceleration calculation kernel", KernelId::GetAcc, 2);
     // The §V-B shape statements, checked numerically.
     let data = reports();
-    let get = |label: &str, k: KernelId| {
-        data.iter().find(|(l, _)| *l == label).unwrap().1.seconds(k)
-    };
+    let get =
+        |label: &str, k: KernelId| data.iter().find(|(l, _)| *l == label).unwrap().1.seconds(k);
     let q_gap = get("Skylake Hybrid", KernelId::GetQ) / get("Skylake MPI", KernelId::GetQ);
     let acc_gap = get("Skylake Hybrid", KernelId::GetAcc) / get("Skylake MPI", KernelId::GetAcc);
     println!("Skylake hybrid/flat: viscosity x{q_gap:.2} (paper x1.14), acceleration x{acc_gap:.2} (paper x2.39)");

@@ -20,7 +20,10 @@ fn main() {
     println!("Figure 3: Sod strong scaling, overall time (hybrid MPI+OpenMP)");
     println!("{}", "=".repeat(78));
     println!("--- modeled Cray XC50 ---");
-    println!("{:<8} {:>14} {:>14} {:>10}", "nodes", "Skylake (s)", "Broadwell (s)", "S speedup");
+    println!(
+        "{:<8} {:>14} {:>14} {:>10}",
+        "nodes", "Skylake (s)", "Broadwell (s)", "S speedup"
+    );
     let skl = ClusterModel::xc50(CpuPlatform::skylake());
     let bdw = ClusterModel::xc50(CpuPlatform::broadwell());
     let mut prev: Option<f64> = None;

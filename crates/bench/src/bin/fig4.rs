@@ -12,13 +12,20 @@ use bookleaf_util::KernelId;
 
 fn panel(title: &str, kernel: KernelId) {
     println!("{title}");
-    println!("{:<8} {:>14} {:>14} {:>10}", "nodes", "Skylake (s)", "Broadwell (s)", "S speedup");
+    println!(
+        "{:<8} {:>14} {:>14} {:>10}",
+        "nodes", "Skylake (s)", "Broadwell (s)", "S speedup"
+    );
     let skl = ClusterModel::xc50(CpuPlatform::skylake());
     let bdw = ClusterModel::xc50(CpuPlatform::broadwell());
     let mut prev: Option<f64> = None;
     for nodes in [8usize, 16, 32, 64] {
-        let ts = skl.report(SOD_SCALING_WORKLOAD, nodes, CpuExecution::Hybrid).seconds(kernel);
-        let tb = bdw.report(SOD_SCALING_WORKLOAD, nodes, CpuExecution::Hybrid).seconds(kernel);
+        let ts = skl
+            .report(SOD_SCALING_WORKLOAD, nodes, CpuExecution::Hybrid)
+            .seconds(kernel);
+        let tb = bdw
+            .report(SOD_SCALING_WORKLOAD, nodes, CpuExecution::Hybrid)
+            .seconds(kernel);
         let speedup = prev.map(|p| p / ts).unwrap_or(1.0);
         println!("{nodes:<8} {ts:>14.2} {tb:>14.2} {speedup:>9.2}x");
         prev = Some(ts);

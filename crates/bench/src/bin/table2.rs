@@ -29,7 +29,10 @@ fn modeled_reports() -> Vec<(&'static str, TimerReport)> {
         ("Skylake Hybrid", skl.report(w, CpuExecution::Hybrid)),
         ("Broadwell MPI", bdw.report(w, CpuExecution::FlatMpi)),
         ("Broadwell Hybrid", bdw.report(w, CpuExecution::Hybrid)),
-        ("P100 OpenMP", GpuModel::p100().report(w, GpuExecution::Offload)),
+        (
+            "P100 OpenMP",
+            GpuModel::p100().report(w, GpuExecution::Offload),
+        ),
         ("P100 CUDA", GpuModel::p100().report(w, cuda)),
         ("V100 CUDA", GpuModel::v100().report(w, cuda)),
     ]
@@ -44,9 +47,16 @@ fn main() {
         assert_eq!(*label, plabel);
         let row = table2_row(rep);
         println!("{}", format_row(label, &row));
-        let ratio: Vec<String> =
-            row.iter().zip(paper).map(|(m, p)| format!("{:>9.2}", m / p)).collect();
-        println!("{:<18} {}   <- model / paper", "  paper ratio", ratio.join(" "));
+        let ratio: Vec<String> = row
+            .iter()
+            .zip(paper)
+            .map(|(m, p)| format!("{:>9.2}", m / p))
+            .collect();
+        println!(
+            "{:<18} {}   <- model / paper",
+            "  paper ratio",
+            ratio.join(" ")
+        );
     }
 
     println!();
@@ -55,7 +65,13 @@ fn main() {
     let configs = [
         ("host serial", ExecutorKind::Serial),
         ("host flat MPI x4", ExecutorKind::FlatMpi { ranks: 4 }),
-        ("host hybrid 2x2", ExecutorKind::Hybrid { ranks: 2, threads_per_rank: 2 }),
+        (
+            "host hybrid 2x2",
+            ExecutorKind::Hybrid {
+                ranks: 2,
+                threads_per_rank: 2,
+            },
+        ),
     ];
     for (label, exec) in configs {
         // The paper: "the results presented are the average runtime of
@@ -67,13 +83,16 @@ fn main() {
             rows.push(table2_row(&rep));
             walls.push(wall);
         }
-        let mean_row: [f64; 7] = std::array::from_fn(|i| {
-            rows.iter().map(|r| r[i]).sum::<f64>() / rows.len() as f64
-        });
+        let mean_row: [f64; 7] =
+            std::array::from_fn(|i| rows.iter().map(|r| r[i]).sum::<f64>() / rows.len() as f64);
         println!("{}", format_row(label, &mean_row));
         let rsd = bookleaf_util::stats::rel_std_dev(&walls);
-        println!("{:<18} wall {:>6.3}s, run-to-run rel. std dev {:.1}%", "",
-            bookleaf_util::stats::mean(&walls), 100.0 * rsd);
+        println!(
+            "{:<18} wall {:>6.3}s, run-to-run rel. std dev {:.1}%",
+            "",
+            bookleaf_util::stats::mean(&walls),
+            100.0 * rsd
+        );
     }
     println!();
     println!("Shape checks (paper's findings): flat MPI < hybrid overall; viscosity");

@@ -28,25 +28,51 @@ use bookleaf_util::{KernelId, TimerReport};
 /// The modeled workload standing in for the paper's (unpublished) Noh
 /// single-node problem size: chosen so the Skylake flat-MPI roofline
 /// lands near Table II's 76 s overall.
-pub const NOH_MODEL_WORKLOAD: WorkloadCount = WorkloadCount { elements: 4_000_000, steps: 930 };
+pub const NOH_MODEL_WORKLOAD: WorkloadCount = WorkloadCount {
+    elements: 4_000_000,
+    steps: 930,
+};
 
 /// The modeled workload for the Sod strong-scaling study (Fig 3):
 /// sized so the per-core working set crosses the cache boundary between
 /// 8 and 16 nodes, as the paper's super-linear regime requires.
-pub const SOD_SCALING_WORKLOAD: WorkloadCount =
-    WorkloadCount { elements: 6_000_000, steps: 12_000 };
+pub const SOD_SCALING_WORKLOAD: WorkloadCount = WorkloadCount {
+    elements: 6_000_000,
+    steps: 12_000,
+};
 
 /// Table II's published values (seconds), row-major by configuration.
 /// Columns: overall, viscosity, acceleration, getdt, getgeom, getforce,
 /// getpc.
 pub const PAPER_TABLE2: [(&str, [f64; 7]); 7] = [
-    ("Skylake MPI", [76.068, 46.365, 6.663, 8.880, 3.396, 5.364, 1.314]),
-    ("Skylake Hybrid", [168.633, 52.913, 15.923, 53.086, 26.654, 4.925, 2.054]),
-    ("Broadwell MPI", [108.978, 70.116, 8.386, 11.936, 4.834, 7.348, 1.390]),
-    ("Broadwell Hybrid", [180.438, 76.387, 16.142, 45.494, 20.764, 6.501, 2.108]),
-    ("P100 OpenMP", [186.506, 75.873, 26.806, 12.684, 16.784, 40.853, 3.608]),
-    ("P100 CUDA", [261.183, 97.445, 21.995, 40.433, 39.448, 0.536, 17.922]),
-    ("V100 CUDA", [191.636, 44.981, 11.442, 44.401, 14.789, 0.651, 10.051]),
+    (
+        "Skylake MPI",
+        [76.068, 46.365, 6.663, 8.880, 3.396, 5.364, 1.314],
+    ),
+    (
+        "Skylake Hybrid",
+        [168.633, 52.913, 15.923, 53.086, 26.654, 4.925, 2.054],
+    ),
+    (
+        "Broadwell MPI",
+        [108.978, 70.116, 8.386, 11.936, 4.834, 7.348, 1.390],
+    ),
+    (
+        "Broadwell Hybrid",
+        [180.438, 76.387, 16.142, 45.494, 20.764, 6.501, 2.108],
+    ),
+    (
+        "P100 OpenMP",
+        [186.506, 75.873, 26.806, 12.684, 16.784, 40.853, 3.608],
+    ),
+    (
+        "P100 CUDA",
+        [261.183, 97.445, 21.995, 40.433, 39.448, 0.536, 17.922],
+    ),
+    (
+        "V100 CUDA",
+        [191.636, 44.981, 11.442, 44.401, 14.789, 0.651, 10.051],
+    ),
 ];
 
 /// The kernels Table II reports, in column order.
@@ -93,7 +119,11 @@ pub fn table2_header() -> String {
 /// the per-kernel report and wall seconds. `n` is the mesh edge size.
 pub fn measured_noh(n: usize, t_final: f64, executor: ExecutorKind) -> (TimerReport, f64) {
     let deck = decks::noh(n);
-    let config = RunConfig { final_time: t_final, executor, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: t_final,
+        executor,
+        ..RunConfig::default()
+    };
     match executor {
         ExecutorKind::Serial => {
             let mut driver = Driver::new(deck, config).expect("valid deck");
@@ -110,7 +140,11 @@ pub fn measured_noh(n: usize, t_final: f64, executor: ExecutorKind) -> (TimerRep
 /// Run a measured Sod problem, used by the scaling figures.
 pub fn measured_sod(nx: usize, t_final: f64, executor: ExecutorKind) -> (TimerReport, f64) {
     let deck: Deck = decks::sod(nx, nx_over_8_at_least_2(nx));
-    let config = RunConfig { final_time: t_final, executor, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: t_final,
+        executor,
+        ..RunConfig::default()
+    };
     match executor {
         ExecutorKind::Serial => {
             let mut driver = Driver::new(deck, config).expect("valid deck");
@@ -139,7 +173,11 @@ mod tests {
         // Every published row's kernel columns must not exceed overall.
         for (label, row) in PAPER_TABLE2 {
             let sum: f64 = row[1..].iter().sum();
-            assert!(sum <= row[0] * 1.01, "{label}: kernels {sum} exceed overall {}", row[0]);
+            assert!(
+                sum <= row[0] * 1.01,
+                "{label}: kernels {sum} exceed overall {}",
+                row[0]
+            );
         }
     }
 

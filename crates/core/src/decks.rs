@@ -76,14 +76,26 @@ pub const COLD: f64 = 1.0e-12;
 /// state (ρ=0.125, p=0.1), γ = 1.4 both sides. Standard end time 0.2.
 pub fn sod(nx: usize, ny: usize) -> Deck {
     let h = ny as f64 / nx as f64;
-    let spec = RectSpec { nx, ny, origin: Vec2::ZERO, extent: Vec2::new(1.0, h) };
+    let spec = RectSpec {
+        nx,
+        ny,
+        origin: Vec2::ZERO,
+        extent: Vec2::new(1.0, h),
+    };
     let mesh = generate_rect(&spec, |c| u32::from(c.x > 0.5)).expect("valid Sod spec");
     let gamma = 1.4;
     let materials = MaterialTable::new(vec![EosSpec::ideal_gas(gamma); 2]);
-    let rho: Vec<f64> =
-        mesh.region.iter().map(|&r| if r == 0 { 1.0 } else { 0.125 }).collect();
+    let rho: Vec<f64> = mesh
+        .region
+        .iter()
+        .map(|&r| if r == 0 { 1.0 } else { 0.125 })
+        .collect();
     // ein = p / ((γ-1) ρ): left 1/(0.4·1) = 2.5, right 0.1/(0.4·0.125) = 2.
-    let ein: Vec<f64> = mesh.region.iter().map(|&r| if r == 0 { 2.5 } else { 2.0 }).collect();
+    let ein: Vec<f64> = mesh
+        .region
+        .iter()
+        .map(|&r| if r == 0 { 2.5 } else { 2.0 })
+        .collect();
     let u = vec![Vec2::ZERO; mesh.n_nodes()];
     Deck {
         name: "sod",
@@ -146,7 +158,12 @@ pub const SEDOV_ALPHA: f64 = 0.9839;
 /// the quarter share of the blast energy. Standard end time 1.0 (shock
 /// at r = 1).
 pub fn sedov(n: usize) -> Deck {
-    let spec = RectSpec { nx: n, ny: n, origin: Vec2::ZERO, extent: Vec2::new(1.1, 1.1) };
+    let spec = RectSpec {
+        nx: n,
+        ny: n,
+        origin: Vec2::ZERO,
+        extent: Vec2::new(1.1, 1.1),
+    };
     let mesh = generate_rect(&spec, |_| 0).expect("valid Sedov spec");
     let materials = MaterialTable::single(EosSpec::ideal_gas(1.4));
     let rho = vec![1.0; mesh.n_elements()];
@@ -173,7 +190,12 @@ pub fn sedov(n: usize) -> Deck {
 pub fn saltzmann(nx: usize, ny: usize) -> Deck {
     let origin = Vec2::ZERO;
     let extent = Vec2::new(1.0, 0.1);
-    let spec = RectSpec { nx, ny, origin, extent };
+    let spec = RectSpec {
+        nx,
+        ny,
+        origin,
+        extent,
+    };
     let mut mesh = generate_rect(&spec, |_| 0).expect("valid Saltzmann spec");
     saltzmann_distort(&mut mesh, origin, extent);
 
@@ -182,7 +204,10 @@ pub fn saltzmann(nx: usize, ny: usize) -> Deck {
     let mut piston_nodes = Vec::new();
     for n in 0..mesh.n_nodes() {
         if mesh.nodes[n].x.abs() < 1e-12 {
-            mesh.node_bc[n] = NodeBc { fix_x: false, fix_y: mesh.node_bc[n].fix_y };
+            mesh.node_bc[n] = NodeBc {
+                fix_x: false,
+                fix_y: mesh.node_bc[n].fix_y,
+            };
             piston_nodes.push(n as u32);
         }
     }
@@ -207,7 +232,10 @@ pub fn saltzmann(nx: usize, ny: usize) -> Deck {
         rho,
         ein,
         u,
-        piston: Some(PistonSpec { nodes: piston_nodes, velocity: piston_velocity }),
+        piston: Some(PistonSpec {
+            nodes: piston_nodes,
+            velocity: piston_velocity,
+        }),
         recommended_final_time: 0.6,
     }
 }
@@ -227,12 +255,30 @@ pub fn underwater(n: usize) -> Deck {
         u32::from(c.norm() > bubble_radius)
     })
     .expect("valid underwater spec");
-    let jwl = EosSpec::Jwl { a: 8.0, b: 0.2, r1: 4.5, r2: 1.5, omega: 0.3, rho0: 1.6 };
-    let tait = EosSpec::Tait { p0: 1.0e2, rho0: 1.0, gamma: 7.0 };
+    let jwl = EosSpec::Jwl {
+        a: 8.0,
+        b: 0.2,
+        r1: 4.5,
+        r2: 1.5,
+        omega: 0.3,
+        rho0: 1.6,
+    };
+    let tait = EosSpec::Tait {
+        p0: 1.0e2,
+        rho0: 1.0,
+        gamma: 7.0,
+    };
     let materials = MaterialTable::new(vec![jwl, tait]);
-    let rho: Vec<f64> =
-        mesh.region.iter().map(|&r| if r == 0 { 1.6 } else { 1.0 }).collect();
-    let ein: Vec<f64> = mesh.region.iter().map(|&r| if r == 0 { 40.0 } else { COLD }).collect();
+    let rho: Vec<f64> = mesh
+        .region
+        .iter()
+        .map(|&r| if r == 0 { 1.6 } else { 1.0 })
+        .collect();
+    let ein: Vec<f64> = mesh
+        .region
+        .iter()
+        .map(|&r| if r == 0 { 40.0 } else { COLD })
+        .collect();
     let u = vec![Vec2::ZERO; mesh.n_nodes()];
     Deck {
         name: "underwater",
@@ -254,7 +300,8 @@ mod tests {
     #[test]
     fn all_decks_validate() {
         for deck in [sod(20, 4), noh(10), sedov(10), saltzmann(20, 4)] {
-            deck.validate().unwrap_or_else(|e| panic!("{}: {e}", deck.name));
+            deck.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", deck.name));
         }
     }
 
@@ -317,12 +364,20 @@ mod tests {
         assert_eq!(p.nodes.len(), 5); // ny + 1 left-wall nodes
         for &n in &p.nodes {
             assert!(d.mesh.nodes[n as usize].x.abs() < 1e-12);
-            assert!(!d.mesh.node_bc[n as usize].fix_x, "piston node still pinned");
+            assert!(
+                !d.mesh.node_bc[n as usize].fix_x,
+                "piston node still pinned"
+            );
             assert_eq!(d.u[n as usize], Vec2::new(1.0, 0.0));
         }
         // Mesh is actually distorted.
         let undistorted = generate_rect(
-            &RectSpec { nx: 20, ny: 4, origin: Vec2::ZERO, extent: Vec2::new(1.0, 0.1) },
+            &RectSpec {
+                nx: 20,
+                ny: 4,
+                origin: Vec2::ZERO,
+                extent: Vec2::new(1.0, 0.1),
+            },
             |_| 0,
         )
         .unwrap();

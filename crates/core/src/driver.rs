@@ -93,7 +93,14 @@ pub fn run_loop<H: HaloOps>(
 
     while t < config.final_time - 1e-15 && steps < config.max_steps {
         let proposal = timers.time(KernelId::GetDt, || {
-            getdt(mesh, state, range, &config.dt, dt_prev, config.lag.threading)
+            getdt(
+                mesh,
+                state,
+                range,
+                &config.dt,
+                dt_prev,
+                config.lag.threading,
+            )
         })?;
         let mut dt = timers.time(KernelId::Comms, || reduce_dt(proposal.dt));
         dt = dt.min(config.final_time - t);
@@ -132,13 +139,22 @@ impl Driver {
     /// Build a driver from a deck and a configuration.
     pub fn new(deck: Deck, config: RunConfig) -> Result<Driver> {
         deck.validate()?;
-        let Deck { mesh, materials, rho, ein, u, piston, .. } = deck;
-        let state =
-            HydroState::new(&mesh, &materials, |e| rho[e], |e| ein[e], |n| u[n])?;
+        let Deck {
+            mesh,
+            materials,
+            rho,
+            ein,
+            u,
+            piston,
+            ..
+        } = deck;
+        let state = HydroState::new(&mesh, &materials, |e| rho[e], |e| ein[e], |n| u[n])?;
         let remapper = config.ale.map(|opts| Remapper::new(&mesh, opts));
         let hooks = SerialHooks {
-            piston: piston
-                .map(|p| LocalPiston { nodes: p.nodes, velocity: p.velocity }),
+            piston: piston.map(|p| LocalPiston {
+                nodes: p.nodes,
+                velocity: p.velocity,
+            }),
         };
         Ok(Driver {
             mesh,
@@ -265,7 +281,10 @@ mod tests {
     #[test]
     fn sod_runs_and_conserves_energy() {
         let deck = decks::sod(40, 4);
-        let config = RunConfig { final_time: 0.05, ..RunConfig::default() };
+        let config = RunConfig {
+            final_time: 0.05,
+            ..RunConfig::default()
+        };
         let mut driver = Driver::new(deck, config).unwrap();
         let s = driver.run().unwrap();
         assert!(s.steps > 10, "only {} steps", s.steps);
@@ -280,18 +299,28 @@ mod tests {
     #[test]
     fn noh_forms_a_shock() {
         let deck = decks::noh(16);
-        let config = RunConfig { final_time: 0.1, ..RunConfig::default() };
+        let config = RunConfig {
+            final_time: 0.1,
+            ..RunConfig::default()
+        };
         let mut driver = Driver::new(deck, config).unwrap();
         driver.run().unwrap();
         // Gas piles up near the origin: density at the origin cell grows
         // towards 16 (the analytic post-shock value for gamma = 5/3).
-        assert!(driver.state().rho[0] > 3.0, "rho[0] = {}", driver.state().rho[0]);
+        assert!(
+            driver.state().rho[0] > 3.0,
+            "rho[0] = {}",
+            driver.state().rho[0]
+        );
     }
 
     #[test]
     fn saltzmann_piston_compresses() {
         let deck = decks::saltzmann(40, 4);
-        let config = RunConfig { final_time: 0.1, ..RunConfig::default() };
+        let config = RunConfig {
+            final_time: 0.1,
+            ..RunConfig::default()
+        };
         let mut driver = Driver::new(deck, config).unwrap();
         let s = driver.run().unwrap();
         assert!(s.steps > 0);
@@ -314,7 +343,10 @@ mod tests {
         let x_ref = deck.mesh.nodes.clone();
         let config = RunConfig {
             final_time: 0.03,
-            ale: Some(AleOptions { mode: AleMode::Eulerian, frequency: 1 }),
+            ale: Some(AleOptions {
+                mode: AleMode::Eulerian,
+                frequency: 1,
+            }),
             ..RunConfig::default()
         };
         let mut driver = Driver::new(deck, config).unwrap();
@@ -331,10 +363,18 @@ mod tests {
     #[test]
     fn timers_populate_table_two_buckets() {
         let deck = decks::noh(12);
-        let config = RunConfig { final_time: 0.02, ..RunConfig::default() };
+        let config = RunConfig {
+            final_time: 0.02,
+            ..RunConfig::default()
+        };
         let mut driver = Driver::new(deck, config).unwrap();
         let s = driver.run().unwrap();
-        for k in [KernelId::GetQ, KernelId::GetAcc, KernelId::GetDt, KernelId::GetGeom] {
+        for k in [
+            KernelId::GetQ,
+            KernelId::GetAcc,
+            KernelId::GetDt,
+            KernelId::GetGeom,
+        ] {
             assert!(s.timers.calls(k) > 0, "{k:?} never timed");
         }
         // Two viscosity calls per step (predictor + corrector).
@@ -345,7 +385,11 @@ mod tests {
     #[test]
     fn max_steps_caps_the_run() {
         let deck = decks::sod(20, 2);
-        let config = RunConfig { final_time: 10.0, max_steps: 5, ..RunConfig::default() };
+        let config = RunConfig {
+            final_time: 10.0,
+            max_steps: 5,
+            ..RunConfig::default()
+        };
         let mut driver = Driver::new(deck, config).unwrap();
         let s = driver.run().unwrap();
         assert_eq!(s.steps, 5);
@@ -355,7 +399,10 @@ mod tests {
     #[test]
     fn final_time_hit_exactly() {
         let deck = decks::sod(20, 2);
-        let config = RunConfig { final_time: 0.01, ..RunConfig::default() };
+        let config = RunConfig {
+            final_time: 0.01,
+            ..RunConfig::default()
+        };
         let mut driver = Driver::new(deck, config).unwrap();
         let s = driver.run().unwrap();
         assert!((s.time - 0.01).abs() < 1e-14);

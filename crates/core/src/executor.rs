@@ -71,7 +71,10 @@ struct RankOut {
 pub fn run_distributed(deck: &Deck, config: &RunConfig) -> Result<DistributedOutput> {
     let (ranks, threads_per_rank) = match config.executor {
         ExecutorKind::FlatMpi { ranks } => (ranks, 0),
-        ExecutorKind::Hybrid { ranks, threads_per_rank } => (ranks, threads_per_rank),
+        ExecutorKind::Hybrid {
+            ranks,
+            threads_per_rank,
+        } => (ranks, threads_per_rank),
         ExecutorKind::Serial => {
             return Err(BookLeafError::InvalidDeck(
                 "run_distributed called with the serial executor; use Driver".into(),
@@ -83,15 +86,16 @@ pub fn run_distributed(deck: &Deck, config: &RunConfig) -> Result<DistributedOut
     let subs = SubMeshPlan::build(&deck.mesh, &owner, ranks)?;
 
     let mut rank_config = *config;
-    rank_config.lag.threading =
-        if threads_per_rank > 1 { Threading::Rayon } else { Threading::Serial };
+    rank_config.lag.threading = if threads_per_rank > 1 {
+        Threading::Rayon
+    } else {
+        Threading::Serial
+    };
 
     let start = std::time::Instant::now();
     let results: Vec<Result<RankOut>> = Typhon::run(ranks, |ctx| {
         let sub = &subs[ctx.rank()];
-        let body = || -> Result<RankOut> {
-            run_rank(ctx, sub, deck, &rank_config)
-        };
+        let body = || -> Result<RankOut> { run_rank(ctx, sub, deck, &rank_config) };
         if threads_per_rank > 1 {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(threads_per_rank)
@@ -156,12 +160,19 @@ fn run_rank(
         |e| deck.ein[sub.el_l2g[e] as usize],
         |n| deck.u[sub.nd_l2g[n] as usize],
     )?;
-    let range = LocalRange { n_owned_el: sub.n_owned_el, n_active_nd: sub.n_active_nd };
+    let range = LocalRange {
+        n_owned_el: sub.n_owned_el,
+        n_active_nd: sub.n_active_nd,
+    };
 
     // Map global piston nodes to local ids.
     let piston = deck.piston.as_ref().map(|p| {
-        let g2l: HashMap<u32, u32> =
-            sub.nd_l2g.iter().enumerate().map(|(l, &g)| (g, l as u32)).collect();
+        let g2l: HashMap<u32, u32> = sub
+            .nd_l2g
+            .iter()
+            .enumerate()
+            .map(|(l, &g)| (g, l as u32))
+            .collect();
         LocalPiston {
             nodes: p.nodes.iter().filter_map(|g| g2l.get(g).copied()).collect(),
             velocity: p.velocity,
@@ -220,7 +231,10 @@ mod tests {
     /// Serial vs distributed equivalence on the Sod problem.
     fn compare_with_serial(executor: ExecutorKind, tol: f64) {
         let deck = decks::sod(32, 4);
-        let config = RunConfig { final_time: 0.03, ..RunConfig::default() };
+        let config = RunConfig {
+            final_time: 0.03,
+            ..RunConfig::default()
+        };
 
         let mut serial = Driver::new(deck.clone(), config).unwrap();
         serial.run().unwrap();
@@ -260,7 +274,10 @@ mod tests {
     #[test]
     fn hybrid_matches_serial() {
         compare_with_serial(
-            ExecutorKind::Hybrid { ranks: 2, threads_per_rank: 2 },
+            ExecutorKind::Hybrid {
+                ranks: 2,
+                threads_per_rank: 2,
+            },
             1e-9,
         );
     }
@@ -284,7 +301,10 @@ mod tests {
     #[test]
     fn serial_executor_is_rejected() {
         let deck = decks::sod(8, 2);
-        let config = RunConfig { executor: ExecutorKind::Serial, ..RunConfig::default() };
+        let config = RunConfig {
+            executor: ExecutorKind::Serial,
+            ..RunConfig::default()
+        };
         assert!(run_distributed(&deck, &config).is_err());
     }
 
@@ -307,12 +327,18 @@ mod tests {
         let deck = decks::sod(24, 3);
         let base = RunConfig {
             final_time: 0.02,
-            ale: Some(AleOptions { mode: AleMode::Eulerian, frequency: 1 }),
+            ale: Some(AleOptions {
+                mode: AleMode::Eulerian,
+                frequency: 1,
+            }),
             ..RunConfig::default()
         };
         let mut serial = Driver::new(deck.clone(), base).unwrap();
         serial.run().unwrap();
-        let dist = RunConfig { executor: ExecutorKind::FlatMpi { ranks: 2 }, ..base };
+        let dist = RunConfig {
+            executor: ExecutorKind::FlatMpi { ranks: 2 },
+            ..base
+        };
         let out = run_distributed(&deck, &dist).unwrap();
         // ALE at partition boundaries falls back to first order for the
         // limiter stencil (see DESIGN.md), so agreement is looser.

@@ -123,9 +123,11 @@ mod tests {
     fn piston_overrides_velocity() {
         let mesh = generate_rect(&RectSpec::unit_square(2), |_| 0).unwrap();
         let mat = MaterialTable::single(EosSpec::ideal_gas(1.4));
-        let mut st =
-            HydroState::new(&mesh, &mat, |_| 1.0, |_| 1.0, |_| Vec2::ZERO).unwrap();
-        let p = LocalPiston { nodes: vec![0, 3], velocity: Vec2::new(2.0, 0.0) };
+        let mut st = HydroState::new(&mesh, &mat, |_| 1.0, |_| 1.0, |_| Vec2::ZERO).unwrap();
+        let p = LocalPiston {
+            nodes: vec![0, 3],
+            velocity: Vec2::new(2.0, 0.0),
+        };
         p.apply(&mut st);
         assert_eq!(st.u[0], Vec2::new(2.0, 0.0));
         assert_eq!(st.ubar[3], Vec2::new(2.0, 0.0));
@@ -136,10 +138,12 @@ mod tests {
     fn serial_hooks_apply_piston_post_acceleration() {
         let mesh = generate_rect(&RectSpec::unit_square(2), |_| 0).unwrap();
         let mat = MaterialTable::single(EosSpec::ideal_gas(1.4));
-        let mut st =
-            HydroState::new(&mesh, &mat, |_| 1.0, |_| 1.0, |_| Vec2::ZERO).unwrap();
+        let mut st = HydroState::new(&mesh, &mat, |_| 1.0, |_| 1.0, |_| Vec2::ZERO).unwrap();
         let mut hooks = SerialHooks {
-            piston: Some(LocalPiston { nodes: vec![1], velocity: Vec2::new(-1.0, 0.0) }),
+            piston: Some(LocalPiston {
+                nodes: vec![1],
+                velocity: Vec2::new(-1.0, 0.0),
+            }),
         };
         hooks.post_acceleration(&mesh, &mut st);
         assert_eq!(st.u[1], Vec2::new(-1.0, 0.0));

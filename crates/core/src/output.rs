@@ -17,7 +17,12 @@ use bookleaf_mesh::Mesh;
 use bookleaf_util::{BookLeafError, Result, Vec2};
 
 /// Write the current solution as a legacy ASCII VTK unstructured grid.
-pub fn write_vtk(w: &mut impl Write, mesh: &Mesh, state: &HydroState, title: &str) -> io::Result<()> {
+pub fn write_vtk(
+    w: &mut impl Write,
+    mesh: &Mesh,
+    state: &HydroState,
+    title: &str,
+) -> io::Result<()> {
     writeln!(w, "# vtk DataFile Version 3.0")?;
     writeln!(w, "{title}")?;
     writeln!(w, "ASCII")?;
@@ -152,7 +157,6 @@ impl Snapshot {
         }
         Ok(())
     }
-
 }
 
 /// Deserialise a snapshot from the binary format written by
@@ -205,7 +209,17 @@ pub fn read_snapshot(r: &mut impl Read) -> Result<Snapshot> {
         }
         cnmass.push(cm);
     }
-    Ok(Snapshot { time, steps, dt_prev, nodes, u, mass, rho, ein, cnmass })
+    Ok(Snapshot {
+        time,
+        steps,
+        dt_prev,
+        nodes,
+        u,
+        mass,
+        rho,
+        ein,
+        cnmass,
+    })
 }
 
 #[cfg(test)]
@@ -235,7 +249,11 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("# vtk DataFile"));
         assert!(text.contains(&format!("POINTS {} double", mesh.n_nodes())));
-        assert!(text.contains(&format!("CELLS {} {}", mesh.n_elements(), mesh.n_elements() * 5)));
+        assert!(text.contains(&format!(
+            "CELLS {} {}",
+            mesh.n_elements(),
+            mesh.n_elements() * 5
+        )));
         assert!(text.contains("SCALARS density double 1"));
         assert!(text.contains("VECTORS velocity double"));
         // One density line per element.

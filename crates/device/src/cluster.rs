@@ -54,12 +54,7 @@ impl ClusterModel {
     /// Per-kernel + comms report for `workload` on `nodes` nodes under
     /// `exec`.
     #[must_use]
-    pub fn report(
-        &self,
-        workload: WorkloadCount,
-        nodes: usize,
-        exec: CpuExecution,
-    ) -> TimerReport {
+    pub fn report(&self, workload: WorkloadCount, nodes: usize, exec: CpuExecution) -> TimerReport {
         let cpu = CpuModel::new(self.node);
         // Per-node slice of the problem.
         let slice = WorkloadCount {
@@ -71,7 +66,11 @@ impl ClusterModel {
         let cores = self.node.cores() as f64;
         let ws_per_core = slice.elements as f64 * STATE_BYTES_PER_ELEMENT / cores;
         let cache = self.node.cache_per_core_mib * 1024.0 * 1024.0;
-        let boost = if ws_per_core <= cache { self.node.cache_boost } else { 1.0 };
+        let boost = if ws_per_core <= cache {
+            self.node.cache_boost
+        } else {
+            1.0
+        };
 
         let mut rep = TimerReport::zero();
         for k in KernelId::ALL {
@@ -90,8 +89,7 @@ impl ClusterModel {
         let halo_elements = (workload.elements as f64 / total_ranks).sqrt().ceil() * 4.0;
         let halo_bytes = halo_elements * 8.0 * 12.0; // ~12 doubles per halo element
         let per_step = 2.0
-            * (4.0 * self.network.latency_us * 1e-6
-                + halo_bytes / (self.network.bandwidth * 1e9))
+            * (4.0 * self.network.latency_us * 1e-6 + halo_bytes / (self.network.bandwidth * 1e9))
             + (total_ranks.log2().ceil() * self.network.latency_us * 1e-6);
         rep.set_seconds(KernelId::Comms, workload.steps as f64 * per_step);
 
@@ -121,7 +119,10 @@ mod tests {
     /// ≈ 2 MB ≤ cache), putting the super-linear regime where Fig 3 has
     /// it, on both platforms.
     fn sod_like() -> WorkloadCount {
-        WorkloadCount { elements: 6_000_000, steps: 12_000 }
+        WorkloadCount {
+            elements: 6_000_000,
+            steps: 12_000,
+        }
     }
 
     #[test]
@@ -162,7 +163,10 @@ mod tests {
         for nodes in [8, 16, 32, 64] {
             let ts = s.overall(sod_like(), nodes, CpuExecution::Hybrid);
             let tb = b.overall(sod_like(), nodes, CpuExecution::Hybrid);
-            assert!(ts < tb, "{nodes} nodes: skylake {ts:.0} vs broadwell {tb:.0}");
+            assert!(
+                ts < tb,
+                "{nodes} nodes: skylake {ts:.0} vs broadwell {tb:.0}"
+            );
             ratios.push(tb / ts);
         }
         // "The scaling curve is similar": the platform gap stays within a
@@ -200,8 +204,15 @@ mod tests {
     fn flat_mpi_partitioner_term_grows_with_ranks() {
         // §V-C's reason for using hybrid in the scaling study.
         let m = ClusterModel::xc50(CpuPlatform::skylake());
-        let hybrid = m.report(sod_like(), 64, CpuExecution::Hybrid).seconds(KernelId::Other);
-        let flat = m.report(sod_like(), 64, CpuExecution::FlatMpi).seconds(KernelId::Other);
-        assert!(flat > 5.0 * hybrid, "flat {flat:.1}s vs hybrid {hybrid:.1}s");
+        let hybrid = m
+            .report(sod_like(), 64, CpuExecution::Hybrid)
+            .seconds(KernelId::Other);
+        let flat = m
+            .report(sod_like(), 64, CpuExecution::FlatMpi)
+            .seconds(KernelId::Other);
+        assert!(
+            flat > 5.0 * hybrid,
+            "flat {flat:.1}s vs hybrid {hybrid:.1}s"
+        );
     }
 }

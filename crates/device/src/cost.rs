@@ -165,7 +165,12 @@ mod tests {
     #[test]
     fn viscosity_is_the_heavy_kernel() {
         let q = KernelCost::of(KernelId::GetQ);
-        for k in [KernelId::GetAcc, KernelId::GetDt, KernelId::GetGeom, KernelId::GetPc] {
+        for k in [
+            KernelId::GetAcc,
+            KernelId::GetDt,
+            KernelId::GetGeom,
+            KernelId::GetPc,
+        ] {
             let other = KernelCost::of(k);
             assert!(
                 q.flops * q.calls_per_step > other.flops * other.calls_per_step,
@@ -185,7 +190,10 @@ mod tests {
 
     #[test]
     fn workload_counting() {
-        let w = WorkloadCount { elements: 1000, steps: 10 };
+        let w = WorkloadCount {
+            elements: 1000,
+            steps: 10,
+        };
         assert_eq!(w.element_calls(KernelId::GetQ), 20_000.0);
         assert_eq!(w.launches(KernelId::GetAcc), 10.0);
     }

@@ -40,7 +40,11 @@ impl CpuModel {
     /// Model with default overheads.
     #[must_use]
     pub fn new(platform: CpuPlatform) -> Self {
-        CpuModel { platform, thread_overhead: 1.06, solo_bw_factor: 2.0 }
+        CpuModel {
+            platform,
+            thread_overhead: 1.06,
+            solo_bw_factor: 2.0,
+        }
     }
 
     /// Seconds a kernel takes for `workload` under `exec` on one node.
@@ -70,8 +74,7 @@ impl CpuModel {
                 // rank's slice of the serial fraction at solo rate.
                 let solo_bw = self.platform.mem_bw_per_core * self.solo_bw_factor * 1e9;
                 let solo_fl = self.platform.gflops_per_core * 1e9;
-                let t_serial = (n * sf / ranks)
-                    * (cost.flops / solo_fl).max(cost.bytes / solo_bw);
+                let t_serial = (n * sf / ranks) * (cost.flops / solo_fl).max(cost.bytes / solo_bw);
                 (1.0 - sf) * t_par * self.thread_overhead + t_serial
             }
         }
@@ -96,7 +99,10 @@ mod tests {
     /// The paper's Noh single-node run: a workload sized so Skylake flat
     /// MPI lands near Table II's 76 s overall.
     fn noh_like() -> WorkloadCount {
-        WorkloadCount { elements: 4_000_000, steps: 930 }
+        WorkloadCount {
+            elements: 4_000_000,
+            steps: 930,
+        }
     }
 
     #[test]
@@ -120,7 +126,10 @@ mod tests {
         let flat = m.kernel_seconds(KernelId::GetQ, noh_like(), CpuExecution::FlatMpi);
         let hybrid = m.kernel_seconds(KernelId::GetQ, noh_like(), CpuExecution::Hybrid);
         let ratio = hybrid / flat;
-        assert!((1.0..1.25).contains(&ratio), "viscosity hybrid/flat = {ratio:.3}");
+        assert!(
+            (1.0..1.25).contains(&ratio),
+            "viscosity hybrid/flat = {ratio:.3}"
+        );
     }
 
     #[test]
@@ -130,7 +139,10 @@ mod tests {
         let flat = m.kernel_seconds(KernelId::GetAcc, noh_like(), CpuExecution::FlatMpi);
         let hybrid = m.kernel_seconds(KernelId::GetAcc, noh_like(), CpuExecution::Hybrid);
         let ratio = hybrid / flat;
-        assert!((1.8..3.5).contains(&ratio), "acceleration hybrid/flat = {ratio:.2}");
+        assert!(
+            (1.8..3.5).contains(&ratio),
+            "acceleration hybrid/flat = {ratio:.2}"
+        );
     }
 
     #[test]
@@ -141,7 +153,10 @@ mod tests {
             let flat = m.kernel_seconds(k, noh_like(), CpuExecution::FlatMpi);
             let hybrid = m.kernel_seconds(k, noh_like(), CpuExecution::Hybrid);
             let r = hybrid / flat;
-            assert!((lo..hi).contains(&r), "{k:?} ratio {r:.2} outside [{lo}, {hi}]");
+            assert!(
+                (lo..hi).contains(&r),
+                "{k:?} ratio {r:.2} outside [{lo}, {hi}]"
+            );
         }
     }
 
@@ -177,7 +192,13 @@ mod tests {
     #[test]
     fn zero_workload_zero_time() {
         let m = CpuModel::new(CpuPlatform::skylake());
-        let w = WorkloadCount { elements: 0, steps: 100 };
-        assert_eq!(m.kernel_seconds(KernelId::GetQ, w, CpuExecution::FlatMpi), 0.0);
+        let w = WorkloadCount {
+            elements: 0,
+            steps: 100,
+        };
+        assert_eq!(
+            m.kernel_seconds(KernelId::GetQ, w, CpuExecution::FlatMpi),
+            0.0
+        );
     }
 }

@@ -179,7 +179,10 @@ mod tests {
     use super::*;
 
     fn noh_like() -> WorkloadCount {
-        WorkloadCount { elements: 4_000_000, steps: 930 }
+        WorkloadCount {
+            elements: 4_000_000,
+            steps: 930,
+        }
     }
 
     const CUDA: GpuExecution = GpuExecution::Cuda { dope_fix: false };
@@ -189,8 +192,13 @@ mod tests {
         // Fig 1: P100 CUDA worst; P100 OpenMP between.
         let p100 = GpuModel::p100();
         let cuda = p100.report(noh_like(), CUDA).total_seconds();
-        let offload = p100.report(noh_like(), GpuExecution::Offload).total_seconds();
-        assert!(cuda > offload, "cuda {cuda:.0} should exceed offload {offload:.0}");
+        let offload = p100
+            .report(noh_like(), GpuExecution::Offload)
+            .total_seconds();
+        assert!(
+            cuda > offload,
+            "cuda {cuda:.0} should exceed offload {offload:.0}"
+        );
     }
 
     #[test]
@@ -207,7 +215,10 @@ mod tests {
         let q_cuda = m.kernel_seconds(KernelId::GetQ, noh_like(), CUDA);
         let q_off = m.kernel_seconds(KernelId::GetQ, noh_like(), GpuExecution::Offload);
         let ratio = q_cuda / q_off;
-        assert!((1.1..1.6).contains(&ratio), "cuda/offload viscosity = {ratio:.2}");
+        assert!(
+            (1.1..1.6).contains(&ratio),
+            "cuda/offload viscosity = {ratio:.2}"
+        );
     }
 
     #[test]
@@ -227,7 +238,10 @@ mod tests {
         // §IV-D: 4.23 s -> 2.2 s on "one problem set". Pick a small
         // problem where descriptors dominate, as in the paper's case.
         let m = GpuModel::p100();
-        let w = WorkloadCount { elements: 45_000, steps: 1_870 };
+        let w = WorkloadCount {
+            elements: 45_000,
+            steps: 1_870,
+        };
         let before = m.kernel_seconds(KernelId::GetQ, w, GpuExecution::Cuda { dope_fix: false });
         let after = m.kernel_seconds(KernelId::GetQ, w, GpuExecution::Cuda { dope_fix: true });
         let speedup = before / after;
@@ -241,10 +255,16 @@ mod tests {
     fn cuda_force_kernel_is_nearly_free() {
         // Table II: getforce 0.536 s under CUDA but 40.9 s under offload.
         let m = GpuModel::p100();
-        let f_cuda =
-            m.kernel_seconds(KernelId::GetForce, noh_like(), GpuExecution::Cuda { dope_fix: true });
+        let f_cuda = m.kernel_seconds(
+            KernelId::GetForce,
+            noh_like(),
+            GpuExecution::Cuda { dope_fix: true },
+        );
         let f_off = m.kernel_seconds(KernelId::GetForce, noh_like(), GpuExecution::Offload);
-        assert!(f_off > 20.0 * f_cuda, "offload {f_off:.1} vs cuda {f_cuda:.2}");
+        assert!(
+            f_off > 20.0 * f_cuda,
+            "offload {f_off:.1} vs cuda {f_cuda:.2}"
+        );
     }
 
     #[test]
@@ -257,10 +277,15 @@ mod tests {
             .total_seconds();
         for t in [
             GpuModel::p100().report(noh_like(), CUDA).total_seconds(),
-            GpuModel::p100().report(noh_like(), GpuExecution::Offload).total_seconds(),
+            GpuModel::p100()
+                .report(noh_like(), GpuExecution::Offload)
+                .total_seconds(),
             GpuModel::v100().report(noh_like(), CUDA).total_seconds(),
         ] {
-            assert!(t > cpu, "gpu {t:.0} should be slower than skylake flat {cpu:.0}");
+            assert!(
+                t > cpu,
+                "gpu {t:.0} should be slower than skylake flat {cpu:.0}"
+            );
         }
     }
 }

@@ -119,7 +119,10 @@ impl Interconnect {
     /// Cray Aries (XC50) class numbers.
     #[must_use]
     pub fn aries() -> Self {
-        Interconnect { latency_us: 1.3, bandwidth: 10.0 }
+        Interconnect {
+            latency_us: 1.3,
+            bandwidth: 10.0,
+        }
     }
 }
 

@@ -58,7 +58,14 @@ impl EosSpec {
         match *self {
             EosSpec::IdealGas { gamma } => (gamma - 1.0) * rho * ein,
             EosSpec::Tait { p0, rho0, gamma } => p0 * ((rho / rho0).powf(gamma) - 1.0),
-            EosSpec::Jwl { a, b, r1, r2, omega, rho0 } => {
+            EosSpec::Jwl {
+                a,
+                b,
+                r1,
+                r2,
+                omega,
+                rho0,
+            } => {
                 let v = rho0 / rho;
                 a * (1.0 - omega / (r1 * v)) * (-r1 * v).exp()
                     + b * (1.0 - omega / (r2 * v)) * (-r2 * v).exp()
@@ -73,10 +80,15 @@ impl EosSpec {
     pub fn dp_drho(&self, rho: f64, ein: f64) -> f64 {
         match *self {
             EosSpec::IdealGas { gamma } => (gamma - 1.0) * ein,
-            EosSpec::Tait { p0, rho0, gamma } => {
-                p0 * gamma * (rho / rho0).powf(gamma - 1.0) / rho0
-            }
-            EosSpec::Jwl { a, b, r1, r2, omega, rho0 } => {
+            EosSpec::Tait { p0, rho0, gamma } => p0 * gamma * (rho / rho0).powf(gamma - 1.0) / rho0,
+            EosSpec::Jwl {
+                a,
+                b,
+                r1,
+                r2,
+                omega,
+                rho0,
+            } => {
                 let v = rho0 / rho;
                 let dv_drho = -rho0 / (rho * rho);
                 // d/dv of each exponential term.
@@ -143,7 +155,11 @@ mod tests {
 
     #[test]
     fn tait_reference_density_zero_pressure() {
-        let eos = EosSpec::Tait { p0: 3.0e2, rho0: 1.0, gamma: 7.0 };
+        let eos = EosSpec::Tait {
+            p0: 3.0e2,
+            rho0: 1.0,
+            gamma: 7.0,
+        };
         assert!(approx_eq(eos.pressure(1.0, 99.0), 0.0, 1e-12));
         // Compression raises pressure steeply.
         assert!(eos.pressure(1.1, 0.0) > 2.0 * 3.0e2 * 0.1 * 7.0 * 0.5);
@@ -153,7 +169,11 @@ mod tests {
 
     #[test]
     fn tait_energy_independent() {
-        let eos = EosSpec::Tait { p0: 1.0, rho0: 1.0, gamma: 7.0 };
+        let eos = EosSpec::Tait {
+            p0: 1.0,
+            rho0: 1.0,
+            gamma: 7.0,
+        };
         assert_eq!(eos.pressure(1.2, 0.0), eos.pressure(1.2, 55.0));
         assert_eq!(eos.dp_dein(1.2), 0.0);
     }
@@ -193,21 +213,30 @@ mod tests {
     fn derivatives_match_finite_differences() {
         let specs = [
             EosSpec::ideal_gas(5.0 / 3.0),
-            EosSpec::Tait { p0: 2.0, rho0: 1.1, gamma: 7.15 },
-            EosSpec::Jwl { a: 6.0, b: 0.15, r1: 4.5, r2: 1.4, omega: 0.35, rho0: 1.6 },
+            EosSpec::Tait {
+                p0: 2.0,
+                rho0: 1.1,
+                gamma: 7.15,
+            },
+            EosSpec::Jwl {
+                a: 6.0,
+                b: 0.15,
+                r1: 4.5,
+                r2: 1.4,
+                omega: 0.35,
+                rho0: 1.6,
+            },
         ];
         let (rho, ein) = (1.3, 2.1);
         let h = 1e-6;
         for eos in specs {
-            let num_drho =
-                (eos.pressure(rho + h, ein) - eos.pressure(rho - h, ein)) / (2.0 * h);
+            let num_drho = (eos.pressure(rho + h, ein) - eos.pressure(rho - h, ein)) / (2.0 * h);
             assert!(
                 approx_eq(eos.dp_drho(rho, ein), num_drho, 1e-5),
                 "{eos:?}: dp/drho {} vs {num_drho}",
                 eos.dp_drho(rho, ein)
             );
-            let num_dein =
-                (eos.pressure(rho, ein + h) - eos.pressure(rho, ein - h)) / (2.0 * h);
+            let num_dein = (eos.pressure(rho, ein + h) - eos.pressure(rho, ein - h)) / (2.0 * h);
             assert!(
                 approx_eq(eos.dp_dein(rho), num_dein, 1e-5),
                 "{eos:?}: dp/dein {} vs {num_dein}",
@@ -218,7 +247,14 @@ mod tests {
 
     #[test]
     fn pressure_cs2_consistent_with_separate_calls() {
-        let eos = EosSpec::Jwl { a: 6.0, b: 0.15, r1: 4.5, r2: 1.4, omega: 0.35, rho0: 1.6 };
+        let eos = EosSpec::Jwl {
+            a: 6.0,
+            b: 0.15,
+            r1: 4.5,
+            r2: 1.4,
+            omega: 0.35,
+            rho0: 1.6,
+        };
         let (p, cs2) = eos.pressure_cs2(1.9, 3.0);
         assert_eq!(p, eos.pressure(1.9, 3.0));
         assert_eq!(cs2, eos.sound_speed2(1.9, 3.0));
@@ -226,7 +262,14 @@ mod tests {
 
     #[test]
     fn jwl_cs2_positive_in_expansion_and_compression() {
-        let eos = EosSpec::Jwl { a: 6.0, b: 0.15, r1: 4.5, r2: 1.4, omega: 0.35, rho0: 1.6 };
+        let eos = EosSpec::Jwl {
+            a: 6.0,
+            b: 0.15,
+            r1: 4.5,
+            r2: 1.4,
+            omega: 0.35,
+            rho0: 1.6,
+        };
         for rho in [0.5, 1.0, 1.6, 2.5] {
             assert!(eos.sound_speed2(rho, 4.0) > 0.0, "rho = {rho}");
         }

@@ -95,7 +95,11 @@ pub fn getacc(mesh: &Mesh, state: &mut HydroState, range: LocalRange, dt: f64, m
     for n in 0..nn {
         let bc = mesh.node_bc[n];
         let m = nd_mass[n];
-        let a = if m > 0.0 { bc.apply(nd_force[n] / m) } else { Vec2::ZERO };
+        let a = if m > 0.0 {
+            bc.apply(nd_force[n] / m)
+        } else {
+            Vec2::ZERO
+        };
         let u_old = bc.apply(state.u[n]);
         let u_new = u_old + a * dt;
         state.u[n] = u_new;
@@ -153,7 +157,11 @@ mod tests {
         let (mesh, st0) = setup(5);
         let range = LocalRange::whole(&mesh);
         let mut outputs = Vec::new();
-        for mode in [AccMode::ScatterSerial, AccMode::GatherSerial, AccMode::GatherParallel] {
+        for mode in [
+            AccMode::ScatterSerial,
+            AccMode::GatherSerial,
+            AccMode::GatherParallel,
+        ] {
             let mut st = st0.clone();
             for e in 0..st.n_elements() {
                 st.cnforce[e] = [
@@ -268,7 +276,10 @@ mod tests {
     fn active_range_limits_updates() {
         let (mesh, mut st) = setup(3);
         set_unit_forces(&mut st);
-        let range = LocalRange { n_owned_el: mesh.n_elements(), n_active_nd: 4 };
+        let range = LocalRange {
+            n_owned_el: mesh.n_elements(),
+            n_active_nd: 4,
+        };
         getacc(&mesh, &mut st, range, 0.1, AccMode::GatherSerial);
         // Nodes beyond the active range keep zero velocity.
         assert!(st.u[10..].iter().all(|u| *u == Vec2::ZERO));

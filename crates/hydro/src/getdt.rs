@@ -93,7 +93,10 @@ pub fn getdt(
     let n = range.n_owned_el;
     let dt_prev = match dt_prev {
         None => {
-            return Ok(DtProposal { dt: controls.dt_initial, cause: DtCause::Initial });
+            return Ok(DtProposal {
+                dt: controls.dt_initial,
+                cause: DtCause::Initial,
+            });
         }
         Some(d) => d,
     };
@@ -123,7 +126,10 @@ pub fn getdt(
             }
         }
         Threading::Rayon => {
-            state.div_u[..n].par_iter_mut().enumerate().for_each(|(e, d)| *d = eval(e).1);
+            state.div_u[..n]
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(e, d)| *d = eval(e).1);
         }
     }
 
@@ -144,7 +150,11 @@ pub fn getdt(
     }
 
     let dt_cfl = controls.cfl_sf * min_cfl.0.sqrt();
-    let dt_div = if max_div.0 > 0.0 { controls.div_sf / max_div.0 } else { f64::INFINITY };
+    let dt_div = if max_div.0 > 0.0 {
+        controls.div_sf / max_div.0
+    } else {
+        f64::INFINITY
+    };
     let dt_growth = controls.growth * dt_prev;
 
     let mut dt = dt_cfl;
@@ -189,8 +199,15 @@ mod tests {
     #[test]
     fn first_step_uses_initial_dt() {
         let (mesh, mut st) = setup(4);
-        let p = getdt(&mesh, &mut st, LocalRange::whole(&mesh), &DtControls::default(), None, Threading::Serial)
-            .unwrap();
+        let p = getdt(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            &DtControls::default(),
+            None,
+            Threading::Serial,
+        )
+        .unwrap();
         assert_eq!(p.dt, DtControls::default().dt_initial);
         assert_eq!(p.cause, DtCause::Initial);
     }
@@ -199,9 +216,20 @@ mod tests {
     fn cfl_limit_for_quiescent_gas() {
         let (mesh, mut st) = setup(10);
         // cs² = 1.4 * 1 / 1 = 1.4; l = 0.1 -> dt_cfl = 0.5 * 0.1/sqrt(1.4).
-        let ctrl = DtControls { growth: 1e9, dt_max: 1e9, ..DtControls::default() };
-        let p = getdt(&mesh, &mut st, LocalRange::whole(&mesh), &ctrl, Some(1.0), Threading::Serial)
-            .unwrap();
+        let ctrl = DtControls {
+            growth: 1e9,
+            dt_max: 1e9,
+            ..DtControls::default()
+        };
+        let p = getdt(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            &ctrl,
+            Some(1.0),
+            Threading::Serial,
+        )
+        .unwrap();
         let expect = 0.5 * 0.1 / 1.4f64.sqrt();
         assert!(approx_eq(p.dt, expect, 1e-12), "{} vs {expect}", p.dt);
         assert!(matches!(p.cause, DtCause::Cfl(_)));
@@ -211,8 +239,15 @@ mod tests {
     fn growth_cap_applies() {
         let (mesh, mut st) = setup(4);
         let ctrl = DtControls::default();
-        let p = getdt(&mesh, &mut st, LocalRange::whole(&mesh), &ctrl, Some(1e-6), Threading::Serial)
-            .unwrap();
+        let p = getdt(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            &ctrl,
+            Some(1e-6),
+            Threading::Serial,
+        )
+        .unwrap();
         assert!(approx_eq(p.dt, 1.02e-6, 1e-12));
         assert_eq!(p.cause, DtCause::Growth);
     }
@@ -224,9 +259,20 @@ mod tests {
         for n in 0..mesh.n_nodes() {
             st.u[n] = Vec2::new(-50.0 * mesh.nodes[n].x, -50.0 * mesh.nodes[n].y);
         }
-        let ctrl = DtControls { growth: 1e9, dt_max: 1e9, ..DtControls::default() };
-        let p = getdt(&mesh, &mut st, LocalRange::whole(&mesh), &ctrl, Some(1.0), Threading::Serial)
-            .unwrap();
+        let ctrl = DtControls {
+            growth: 1e9,
+            dt_max: 1e9,
+            ..DtControls::default()
+        };
+        let p = getdt(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            &ctrl,
+            Some(1.0),
+            Threading::Serial,
+        )
+        .unwrap();
         assert!(matches!(p.cause, DtCause::Divergence(_)));
         assert!(approx_eq(p.dt, 0.25 / 100.0, 1e-10), "dt = {}", p.dt);
     }
@@ -234,24 +280,52 @@ mod tests {
     #[test]
     fn viscosity_tightens_cfl() {
         let (mesh, mut st0) = setup(4);
-        let ctrl = DtControls { growth: 1e9, dt_max: 1e9, ..DtControls::default() };
-        let base = getdt(&mesh, &mut st0.clone(), LocalRange::whole(&mesh), &ctrl, Some(1.0), Threading::Serial)
-            .unwrap();
+        let ctrl = DtControls {
+            growth: 1e9,
+            dt_max: 1e9,
+            ..DtControls::default()
+        };
+        let base = getdt(
+            &mesh,
+            &mut st0.clone(),
+            LocalRange::whole(&mesh),
+            &ctrl,
+            Some(1.0),
+            Threading::Serial,
+        )
+        .unwrap();
         for q in &mut st0.q {
             *q = 5.0;
         }
-        let with_q =
-            getdt(&mesh, &mut st0, LocalRange::whole(&mesh), &ctrl, Some(1.0), Threading::Serial)
-                .unwrap();
+        let with_q = getdt(
+            &mesh,
+            &mut st0,
+            LocalRange::whole(&mesh),
+            &ctrl,
+            Some(1.0),
+            Threading::Serial,
+        )
+        .unwrap();
         assert!(with_q.dt < base.dt);
     }
 
     #[test]
     fn collapse_is_fatal() {
         let (mesh, mut st) = setup(4);
-        let ctrl = DtControls { dt_min: 1.0, growth: 1e9, ..DtControls::default() };
-        let err = getdt(&mesh, &mut st, LocalRange::whole(&mesh), &ctrl, Some(1.0), Threading::Serial)
-            .unwrap_err();
+        let ctrl = DtControls {
+            dt_min: 1.0,
+            growth: 1e9,
+            ..DtControls::default()
+        };
+        let err = getdt(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            &ctrl,
+            Some(1.0),
+            Threading::Serial,
+        )
+        .unwrap_err();
         assert!(matches!(err, BookLeafError::TimestepCollapse { .. }));
     }
 
@@ -262,11 +336,29 @@ mod tests {
             a.u[n] = Vec2::new((n as f64).sin(), -(n as f64).cos());
         }
         let mut b = a.clone();
-        let ctrl = DtControls { growth: 1e9, dt_max: 1e9, ..DtControls::default() };
-        let pa = getdt(&mesh, &mut a, LocalRange::whole(&mesh), &ctrl, Some(1.0), Threading::Serial)
-            .unwrap();
-        let pb = getdt(&mesh, &mut b, LocalRange::whole(&mesh), &ctrl, Some(1.0), Threading::Rayon)
-            .unwrap();
+        let ctrl = DtControls {
+            growth: 1e9,
+            dt_max: 1e9,
+            ..DtControls::default()
+        };
+        let pa = getdt(
+            &mesh,
+            &mut a,
+            LocalRange::whole(&mesh),
+            &ctrl,
+            Some(1.0),
+            Threading::Serial,
+        )
+        .unwrap();
+        let pb = getdt(
+            &mesh,
+            &mut b,
+            LocalRange::whole(&mesh),
+            &ctrl,
+            Some(1.0),
+            Threading::Rayon,
+        )
+        .unwrap();
         assert_eq!(pa.dt, pb.dt);
         assert_eq!(a.div_u, b.div_u);
     }

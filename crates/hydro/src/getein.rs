@@ -65,7 +65,10 @@ pub fn getein(
             }
         }
         Threading::Rayon => {
-            state.ein[..n].par_iter_mut().enumerate().for_each(|(e, ein)| body(e, ein));
+            state.ein[..n]
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(e, ein)| body(e, ein));
         }
     }
 }
@@ -92,7 +95,14 @@ mod tests {
             st.cnforce[e] = [Vec2::new(1.0, 1.0); 4];
         }
         let before = st.ein.clone();
-        getein(&mesh, &mut st, LocalRange::whole(&mesh), 0.1, WorkVelocity::Current, Threading::Serial);
+        getein(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            0.1,
+            WorkVelocity::Current,
+            Threading::Serial,
+        );
         assert_eq!(st.ein, before);
     }
 
@@ -113,10 +123,21 @@ mod tests {
         }
         let dt = 1e-3;
         let e0 = st.ein[0];
-        getein(&mesh, &mut st, LocalRange::whole(&mesh), dt, WorkVelocity::Current, Threading::Serial);
+        getein(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            dt,
+            WorkVelocity::Current,
+            Threading::Serial,
+        );
         // dV/dt = Σ g·u = 2A = 2 (unit square). m = 1.
         let expect = e0 - dt * p * 2.0;
-        assert!(approx_eq(st.ein[0], expect, 1e-12), "{} vs {expect}", st.ein[0]);
+        assert!(
+            approx_eq(st.ein[0], expect, 1e-12),
+            "{} vs {expect}",
+            st.ein[0]
+        );
     }
 
     #[test]
@@ -130,7 +151,14 @@ mod tests {
             st.u[n] = -mesh.nodes[n]; // converging flow
         }
         let e0 = st.ein[0];
-        getein(&mesh, &mut st, LocalRange::whole(&mesh), 1e-3, WorkVelocity::Current, Threading::Serial);
+        getein(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            1e-3,
+            WorkVelocity::Current,
+            Threading::Serial,
+        );
         assert!(st.ein[0] > e0);
     }
 
@@ -147,9 +175,23 @@ mod tests {
         }
         let e0 = st.ein[0];
         let mut st2 = st.clone();
-        getein(&mesh, &mut st, LocalRange::whole(&mesh), 0.1, WorkVelocity::Current, Threading::Serial);
+        getein(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            0.1,
+            WorkVelocity::Current,
+            Threading::Serial,
+        );
         assert_eq!(st.ein[0], e0);
-        getein(&mesh, &mut st2, LocalRange::whole(&mesh), 0.1, WorkVelocity::TimeCentred, Threading::Serial);
+        getein(
+            &mesh,
+            &mut st2,
+            LocalRange::whole(&mesh),
+            0.1,
+            WorkVelocity::TimeCentred,
+            Threading::Serial,
+        );
         // work = Σ F·ubar = 4 * 1 = 4; dε = -0.1 * 4 / m (m = 1).
         assert!(approx_eq(st2.ein[0], e0 - 0.4, 1e-12));
     }
@@ -169,8 +211,22 @@ mod tests {
             a.u[n] = Vec2::new((n as f64).sin(), (n as f64).cos());
         }
         let mut b = a.clone();
-        getein(&mesh, &mut a, LocalRange::whole(&mesh), 0.05, WorkVelocity::Current, Threading::Serial);
-        getein(&mesh, &mut b, LocalRange::whole(&mesh), 0.05, WorkVelocity::Current, Threading::Rayon);
+        getein(
+            &mesh,
+            &mut a,
+            LocalRange::whole(&mesh),
+            0.05,
+            WorkVelocity::Current,
+            Threading::Serial,
+        );
+        getein(
+            &mesh,
+            &mut b,
+            LocalRange::whole(&mesh),
+            0.05,
+            WorkVelocity::Current,
+            Threading::Rayon,
+        );
         assert_eq!(a.ein, b.ein);
     }
 }

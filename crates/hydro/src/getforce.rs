@@ -45,7 +45,10 @@ impl HourglassControl {
     /// Disable all hourglass control (for tests and ablations).
     #[must_use]
     pub fn none() -> Self {
-        HourglassControl { kappa_filter: 0.0, zeta_subzonal: 0.0 }
+        HourglassControl {
+            kappa_filter: 0.0,
+            zeta_subzonal: 0.0,
+        }
     }
 }
 
@@ -121,8 +124,16 @@ pub fn getforce(
                 // shock-transit forces stay below this cap and dissipate
                 // fully.
                 let (ma, mb) = (nd_mass[a], nd_mass[b]);
-                let mu = if ma + mb > 0.0 { ma * mb / (ma + mb) } else { 0.0 };
-                let cap = if dt > 0.0 { 0.25 * mu * du_mag / dt } else { f64::INFINITY };
+                let mu = if ma + mb > 0.0 {
+                    ma * mb / (ma + mb)
+                } else {
+                    0.0
+                };
+                let cap = if dt > 0.0 {
+                    0.25 * mu * du_mag / dt
+                } else {
+                    f64::INFINITY
+                };
                 let mag = (qf * dx.norm()).min(cap);
                 let pair = du * (mag / du_mag);
                 force[f] += pair;
@@ -200,7 +211,10 @@ pub fn getforce(
             }
         }
         Threading::Rayon => {
-            state.cnforce[..n].par_iter_mut().enumerate().for_each(|(e, f)| body(e, f));
+            state.cnforce[..n]
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(e, f)| body(e, f));
         }
     }
 }
@@ -222,7 +236,14 @@ mod tests {
     #[test]
     fn pressure_force_is_p_times_area_gradient() {
         let (mesh, mut st) = setup(2);
-        getforce(&mesh, &mut st, LocalRange::whole(&mesh), HourglassControl::none(), 1.0, Threading::Serial);
+        getforce(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            HourglassControl::none(),
+            1.0,
+            Threading::Serial,
+        );
         for e in 0..st.n_elements() {
             let g = area_gradient(&mesh.corners(e));
             for c in 0..4 {
@@ -236,7 +257,14 @@ mod tests {
     #[test]
     fn uniform_pressure_forces_sum_to_zero_per_element() {
         let (mesh, mut st) = setup(3);
-        getforce(&mesh, &mut st, LocalRange::whole(&mesh), HourglassControl::none(), 1.0, Threading::Serial);
+        getforce(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            HourglassControl::none(),
+            1.0,
+            Threading::Serial,
+        );
         for e in 0..st.n_elements() {
             let total: Vec2 = st.cnforce[e].into_iter().sum();
             assert!(total.norm() < 1e-13, "element {e}: net force {total:?}");
@@ -246,7 +274,14 @@ mod tests {
     #[test]
     fn interior_nodes_feel_no_net_force_at_uniform_pressure() {
         let (mesh, mut st) = setup(4);
-        getforce(&mesh, &mut st, LocalRange::whole(&mesh), HourglassControl::none(), 1.0, Threading::Serial);
+        getforce(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            HourglassControl::none(),
+            1.0,
+            Threading::Serial,
+        );
         // Gather at an interior node: contributions cancel.
         let n = 2 * 5 + 2; // interior node of the 5x5 node grid
         let mut f = Vec2::ZERO;
@@ -265,14 +300,27 @@ mod tests {
         st.edge_q[0] = [2.0, 0.0, 0.0, 0.0];
         st.pressure[0] = 0.0;
         // Small dt so the momentum cap does not bind here.
-        getforce(&mesh, &mut st, LocalRange::whole(&mesh), HourglassControl::none(), 0.01, Threading::Serial);
+        getforce(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            HourglassControl::none(),
+            0.01,
+            Threading::Serial,
+        );
         // du = (-2, 0), |du| = 2, edge length 1: pair = du/|du| * q * L
         // = (-2, 0). Corner 0 gets +pair, corner 1 gets -pair — each
         // force opposes that corner's motion.
         assert!(approx_eq(st.cnforce[0][0].x, -2.0, 1e-13));
         assert!(approx_eq(st.cnforce[0][1].x, 2.0, 1e-13));
-        assert!(st.cnforce[0][0].x * st.u[0].x < 0.0, "must decelerate corner 0");
-        assert!(st.cnforce[0][1].x * st.u[1].x < 0.0, "must decelerate corner 1");
+        assert!(
+            st.cnforce[0][0].x * st.u[0].x < 0.0,
+            "must decelerate corner 0"
+        );
+        assert!(
+            st.cnforce[0][1].x * st.u[1].x < 0.0,
+            "must decelerate corner 1"
+        );
         // Pair force: zero net on the element.
         let net: Vec2 = st.cnforce[0].into_iter().sum();
         assert!(net.norm() < 1e-13);
@@ -281,7 +329,14 @@ mod tests {
         // Expanding corners feel nothing even with q set.
         st.u[0] = Vec2::new(-1.0, 0.0);
         st.u[1] = Vec2::new(1.0, 0.0);
-        getforce(&mesh, &mut st, LocalRange::whole(&mesh), HourglassControl::none(), 0.01, Threading::Serial);
+        getforce(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            HourglassControl::none(),
+            0.01,
+            Threading::Serial,
+        );
         assert_eq!(st.cnforce[0][0], Vec2::ZERO);
     }
 
@@ -293,7 +348,14 @@ mod tests {
         st.edge_q[0] = [1e6, 0.0, 0.0, 0.0]; // absurdly stiff q
         st.pressure[0] = 0.0;
         let dt = 0.1;
-        getforce(&mesh, &mut st, LocalRange::whole(&mesh), HourglassControl::none(), dt, Threading::Serial);
+        getforce(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            HourglassControl::none(),
+            dt,
+            Threading::Serial,
+        );
         // Nodal masses on a single element are the corner masses (0.25);
         // mu = 0.125, cap = 0.25 * 0.125 * 2 / 0.1 = 0.625.
         let mag = st.cnforce[0][0].norm();
@@ -309,23 +371,44 @@ mod tests {
         // Hourglass velocity pattern: alternate +x/-x *in corner order*.
         // The single element's corners are nodes [0, 1, 3, 2].
         let corner_of_node = [0usize, 1, 3, 2]; // node -> corner
-        let mut st = HydroState::new(&mesh, &mat, |_| 1.0, |_| 2.5, |i| {
-            Vec2::new(GAMMA[corner_of_node[i]], 0.0)
-        })
+        let mut st = HydroState::new(
+            &mesh,
+            &mat,
+            |_| 1.0,
+            |_| 2.5,
+            |i| Vec2::new(GAMMA[corner_of_node[i]], 0.0),
+        )
         .unwrap();
         st.pressure[0] = 0.0;
-        let hg = HourglassControl { kappa_filter: 0.5, zeta_subzonal: 0.0 };
-        getforce(&mesh, &mut st, LocalRange::whole(&mesh), hg, 1.0, Threading::Serial);
+        let hg = HourglassControl {
+            kappa_filter: 0.5,
+            zeta_subzonal: 0.0,
+        };
+        getforce(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            hg,
+            1.0,
+            Threading::Serial,
+        );
         // Force must oppose the mode: sign opposite to GAMMA * u_hg.
         for c in 0..4 {
             assert!(st.cnforce[0][c].x * GAMMA[c] < 0.0, "corner {c} not damped");
             assert!(st.cnforce[0][c].y.abs() < 1e-13);
         }
         // And a rigid translation is untouched by the filter.
-        let mut st2 = HydroState::new(&mesh, &mat, |_| 1.0, |_| 2.5, |_| Vec2::new(1.0, 0.0))
-            .unwrap();
+        let mut st2 =
+            HydroState::new(&mesh, &mat, |_| 1.0, |_| 2.5, |_| Vec2::new(1.0, 0.0)).unwrap();
         st2.pressure[0] = 0.0;
-        getforce(&mesh, &mut st2, LocalRange::whole(&mesh), hg, 1.0, Threading::Serial);
+        getforce(
+            &mesh,
+            &mut st2,
+            LocalRange::whole(&mesh),
+            hg,
+            1.0,
+            Threading::Serial,
+        );
         for c in 0..4 {
             assert!(st2.cnforce[0][c].norm() < 1e-13);
         }
@@ -338,18 +421,34 @@ mod tests {
         // Pretend corner 0's sub-zone got compressed: its volume halved
         // while mass is fixed -> sub-zonal density doubled.
         st.cnvol[0][0] *= 0.5;
-        let hg = HourglassControl { kappa_filter: 0.0, zeta_subzonal: 0.5 };
-        getforce(&mesh, &mut st, LocalRange::whole(&mesh), hg, 1.0, Threading::Serial);
+        let hg = HourglassControl {
+            kappa_filter: 0.0,
+            zeta_subzonal: 0.5,
+        };
+        getforce(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            hg,
+            1.0,
+            Threading::Serial,
+        );
         // The restoring force must push corner 0 outward (towards -x,-y
         // for the bottom-left corner of a unit square).
         let f = st.cnforce[0][0];
-        assert!(f.x < 0.0 && f.y < 0.0, "restoring force {f:?} should point outward");
+        assert!(
+            f.x < 0.0 && f.y < 0.0,
+            "restoring force {f:?} should point outward"
+        );
         // The variational force distributes over all corners but sums to
         // zero (no net thrust on the element) and is dominated by the
         // compressed corner.
         let net: Vec2 = st.cnforce[0].into_iter().sum();
         assert!(net.norm() < 1e-13, "net subzonal force {net:?}");
-        assert!(st.cnforce[0][2].norm() < f.norm(), "far corner should feel less");
+        assert!(
+            st.cnforce[0][2].norm() < f.norm(),
+            "far corner should feel less"
+        );
     }
 
     #[test]
@@ -357,16 +456,34 @@ mod tests {
         let mesh = generate_rect(&RectSpec::unit_square(6), |_| 0).unwrap();
         let mat = MaterialTable::single(EosSpec::ideal_gas(1.4));
         let nodes = mesh.nodes.clone();
-        let mut a = HydroState::new(&mesh, &mat, |e| 1.0 + 0.01 * e as f64, |_| 2.0, |i| {
-            Vec2::new((3.0 * nodes[i].y).sin(), (2.0 * nodes[i].x).cos())
-        })
+        let mut a = HydroState::new(
+            &mesh,
+            &mat,
+            |e| 1.0 + 0.01 * e as f64,
+            |_| 2.0,
+            |i| Vec2::new((3.0 * nodes[i].y).sin(), (2.0 * nodes[i].x).cos()),
+        )
         .unwrap();
         for e in 0..a.n_elements() {
             a.edge_q[e] = [0.1, 0.0, 0.3, 0.05];
         }
         let mut b = a.clone();
-        getforce(&mesh, &mut a, LocalRange::whole(&mesh), HourglassControl::default(), 1.0, Threading::Serial);
-        getforce(&mesh, &mut b, LocalRange::whole(&mesh), HourglassControl::default(), 1.0, Threading::Rayon);
+        getforce(
+            &mesh,
+            &mut a,
+            LocalRange::whole(&mesh),
+            HourglassControl::default(),
+            1.0,
+            Threading::Serial,
+        );
+        getforce(
+            &mesh,
+            &mut b,
+            LocalRange::whole(&mesh),
+            HourglassControl::default(),
+            1.0,
+            Threading::Rayon,
+        );
         assert_eq!(a.cnforce, b.cnforce);
     }
 }

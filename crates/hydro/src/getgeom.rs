@@ -55,7 +55,10 @@ pub fn getgeom(
         // Locate the offender for the error message (serial rescan).
         for e in 0..n {
             if state.volume[e] <= 0.0 {
-                return Err(BookLeafError::NegativeVolume { element: e, volume: state.volume[e] });
+                return Err(BookLeafError::NegativeVolume {
+                    element: e,
+                    volume: state.volume[e],
+                });
             }
         }
     }
@@ -122,7 +125,10 @@ mod tests {
     #[test]
     fn respects_owned_range() {
         let (mut mesh, mut st) = setup(2);
-        let range = LocalRange { n_owned_el: 2, n_active_nd: mesh.n_nodes() };
+        let range = LocalRange {
+            n_owned_el: 2,
+            n_active_nd: mesh.n_nodes(),
+        };
         for p in &mut mesh.nodes {
             p.x *= 3.0;
         }

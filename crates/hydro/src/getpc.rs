@@ -65,9 +65,19 @@ mod tests {
         for e in 0..st.n_elements() {
             st.ein[e] = 2.0;
         }
-        getpc(&mesh, &mat, &mut st, LocalRange::whole(&mesh), Threading::Serial);
+        getpc(
+            &mesh,
+            &mat,
+            &mut st,
+            LocalRange::whole(&mesh),
+            Threading::Serial,
+        );
         for e in 0..st.n_elements() {
-            let expect = if mesh.region[e] == 0 { 0.4 * 2.0 } else { (2.0 / 3.0) * 2.0 };
+            let expect = if mesh.region[e] == 0 {
+                0.4 * 2.0
+            } else {
+                (2.0 / 3.0) * 2.0
+            };
             assert!(approx_eq(st.pressure[e], expect, 1e-12));
         }
     }
@@ -80,8 +90,20 @@ mod tests {
             a.ein[e] = 2.0 + 0.02 * e as f64;
         }
         let mut b = a.clone();
-        getpc(&mesh, &mat, &mut a, LocalRange::whole(&mesh), Threading::Serial);
-        getpc(&mesh, &mat, &mut b, LocalRange::whole(&mesh), Threading::Rayon);
+        getpc(
+            &mesh,
+            &mat,
+            &mut a,
+            LocalRange::whole(&mesh),
+            Threading::Serial,
+        );
+        getpc(
+            &mesh,
+            &mat,
+            &mut b,
+            LocalRange::whole(&mesh),
+            Threading::Rayon,
+        );
         assert_eq!(a.pressure, b.pressure);
         assert_eq!(a.cs2, b.cs2);
     }
@@ -92,7 +114,10 @@ mod tests {
         let sentinel = -99.0;
         let n = st.n_elements();
         st.pressure[n - 1] = sentinel;
-        let range = LocalRange { n_owned_el: n - 1, n_active_nd: mesh.n_nodes() };
+        let range = LocalRange {
+            n_owned_el: n - 1,
+            n_active_nd: mesh.n_nodes(),
+        };
         getpc(&mesh, &mat, &mut st, range, Threading::Serial);
         assert_eq!(st.pressure[n - 1], sentinel);
     }

@@ -69,7 +69,9 @@ pub fn getq(
     // Cell-averaged velocities for every local element (owned + ghost):
     // the limiter reaches across faces into the ghost layer.
     let cell_u: Vec<Vec2> = match threading {
-        Threading::Serial => (0..mesh.n_elements()).map(|e| cell_velocity(mesh, &state.u, e)).collect(),
+        Threading::Serial => (0..mesh.n_elements())
+            .map(|e| cell_velocity(mesh, &state.u, e))
+            .collect(),
         Threading::Rayon => (0..mesh.n_elements())
             .into_par_iter()
             .map(|e| cell_velocity(mesh, &state.u, e))
@@ -127,8 +129,7 @@ pub fn getq(
             // edge's jump with the opposite edge traversed in the same
             // sense (linear fields give ratio 1; oscillatory modes give
             // negative ratios and full viscosity).
-            let du_opp =
-                u[nd[(f + 3) % 4] as usize] - u[nd[(f + 2) % 4] as usize];
+            let du_opp = u[nd[(f + 3) % 4] as usize] - u[nd[(f + 2) % 4] as usize];
             let r2 = -du_opp.dot(du) / (du_mag * du_mag);
             let psi = psi_face.min(monotonic_limiter(r2));
 
@@ -196,7 +197,7 @@ mod tests {
         assert_eq!(monotonic_limiter(0.0), 0.0); // extremum
         assert_eq!(monotonic_limiter(-3.0), 0.0); // reversal
         assert_eq!(monotonic_limiter(100.0), 1.0); // capped
-        // Interior values stay within [0, 1].
+                                                   // Interior values stay within [0, 1].
         for i in 0..100 {
             let r = -2.0 + 0.05 * i as f64;
             let p = monotonic_limiter(r);
@@ -207,7 +208,13 @@ mod tests {
     #[test]
     fn quiescent_flow_has_zero_q() {
         let (mesh, mut st) = setup(4, |_| Vec2::ZERO);
-        getq(&mesh, &mut st, LocalRange::whole(&mesh), QCoeffs::default(), Threading::Serial);
+        getq(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            QCoeffs::default(),
+            Threading::Serial,
+        );
         assert!(st.q.iter().all(|&q| q == 0.0));
         assert!(st.edge_q.iter().flatten().all(|&q| q == 0.0));
     }
@@ -215,7 +222,13 @@ mod tests {
     #[test]
     fn uniform_translation_has_zero_q() {
         let (mesh, mut st) = setup(4, |_| Vec2::new(3.0, -1.0));
-        getq(&mesh, &mut st, LocalRange::whole(&mesh), QCoeffs::default(), Threading::Serial);
+        getq(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            QCoeffs::default(),
+            Threading::Serial,
+        );
         assert!(st.q.iter().all(|&q| q == 0.0));
     }
 
@@ -226,10 +239,21 @@ mod tests {
         let mesh = generate_rect(&RectSpec::unit_square(8), |_| 0).unwrap();
         let mat = MaterialTable::single(EosSpec::ideal_gas(5.0 / 3.0));
         let nodes = mesh.nodes.clone();
-        let mut st =
-            HydroState::new(&mesh, &mat, |_| 1.0, |_| 1.0, |i| Vec2::new(-0.05 * nodes[i].x, 0.0))
-                .unwrap();
-        getq(&mesh, &mut st, LocalRange::whole(&mesh), QCoeffs::default(), Threading::Serial);
+        let mut st = HydroState::new(
+            &mesh,
+            &mat,
+            |_| 1.0,
+            |_| 1.0,
+            |i| Vec2::new(-0.05 * nodes[i].x, 0.0),
+        )
+        .unwrap();
+        getq(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            QCoeffs::default(),
+            Threading::Serial,
+        );
         // Centre element (row 4ish, col 4ish) fully interior in x.
         let centre = 4 * 8 + 4;
         assert!(
@@ -245,14 +269,27 @@ mod tests {
         let mesh = generate_rect(&RectSpec::unit_square(8), |_| 0).unwrap();
         let mat = MaterialTable::single(EosSpec::ideal_gas(5.0 / 3.0));
         let nodes = mesh.nodes.clone();
-        let mut st = HydroState::new(&mesh, &mat, |_| 1.0, |_| 1.0, |i| {
-            Vec2::new(if nodes[i].x < 0.5 { 1.0 } else { -1.0 }, 0.0)
-        })
+        let mut st = HydroState::new(
+            &mesh,
+            &mat,
+            |_| 1.0,
+            |_| 1.0,
+            |i| Vec2::new(if nodes[i].x < 0.5 { 1.0 } else { -1.0 }, 0.0),
+        )
         .unwrap();
         // Nodes exactly on x=0.5 got u=-1; the jump sits at the interface.
-        getq(&mesh, &mut st, LocalRange::whole(&mesh), QCoeffs::default(), Threading::Serial);
+        getq(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            QCoeffs::default(),
+            Threading::Serial,
+        );
         let max_q = st.q.iter().cloned().fold(0.0f64, f64::max);
-        assert!(max_q > 0.1, "collision should trigger viscosity, got {max_q}");
+        assert!(
+            max_q > 0.1,
+            "collision should trigger viscosity, got {max_q}"
+        );
         // And q is localised near the collision plane: far-field zero.
         assert!(st.q[0] < 1e-12);
         assert!(st.q[7] < 1e-12);
@@ -264,10 +301,21 @@ mod tests {
         let mesh = generate_rect(&RectSpec::unit_square(6), |_| 0).unwrap();
         let mat = MaterialTable::single(EosSpec::ideal_gas(5.0 / 3.0));
         let nodes = mesh.nodes.clone();
-        let mut st =
-            HydroState::new(&mesh, &mat, |_| 1.0, |_| 1.0, |i| nodes[i] - Vec2::new(0.5, 0.5))
-                .unwrap();
-        getq(&mesh, &mut st, LocalRange::whole(&mesh), QCoeffs::default(), Threading::Serial);
+        let mut st = HydroState::new(
+            &mesh,
+            &mat,
+            |_| 1.0,
+            |_| 1.0,
+            |i| nodes[i] - Vec2::new(0.5, 0.5),
+        )
+        .unwrap();
+        getq(
+            &mesh,
+            &mut st,
+            LocalRange::whole(&mesh),
+            QCoeffs::default(),
+            Threading::Serial,
+        );
         let interior = 2 * 6 + 2;
         assert!(st.q[interior] < 1e-12);
     }
@@ -277,13 +325,34 @@ mod tests {
         let mesh = generate_rect(&RectSpec::unit_square(7), |_| 0).unwrap();
         let mat = MaterialTable::single(EosSpec::ideal_gas(1.4));
         let nodes = mesh.nodes.clone();
-        let mut a = HydroState::new(&mesh, &mat, |_| 1.0, |_| 1.0, |i| {
-            Vec2::new((7.0 * nodes[i].x).sin() * 0.3, (5.0 * nodes[i].y).cos() * 0.2)
-        })
+        let mut a = HydroState::new(
+            &mesh,
+            &mat,
+            |_| 1.0,
+            |_| 1.0,
+            |i| {
+                Vec2::new(
+                    (7.0 * nodes[i].x).sin() * 0.3,
+                    (5.0 * nodes[i].y).cos() * 0.2,
+                )
+            },
+        )
         .unwrap();
         let mut b = a.clone();
-        getq(&mesh, &mut a, LocalRange::whole(&mesh), QCoeffs::default(), Threading::Serial);
-        getq(&mesh, &mut b, LocalRange::whole(&mesh), QCoeffs::default(), Threading::Rayon);
+        getq(
+            &mesh,
+            &mut a,
+            LocalRange::whole(&mesh),
+            QCoeffs::default(),
+            Threading::Serial,
+        );
+        getq(
+            &mesh,
+            &mut b,
+            LocalRange::whole(&mesh),
+            QCoeffs::default(),
+            Threading::Rayon,
+        );
         assert_eq!(a.q, b.q);
         assert_eq!(a.edge_q, b.edge_q);
     }
@@ -294,15 +363,28 @@ mod tests {
         let mat = MaterialTable::single(EosSpec::ideal_gas(1.4));
         let nodes = mesh.nodes.clone();
         let mk = |rho: f64| {
-            let mut st = HydroState::new(&mesh, &mat, |_| rho, |_| 0.0, |i| {
-                Vec2::new(if nodes[i].x < 0.5 { 1.0 } else { -1.0 }, 0.0)
-            })
+            let mut st = HydroState::new(
+                &mesh,
+                &mat,
+                |_| rho,
+                |_| 0.0,
+                |i| Vec2::new(if nodes[i].x < 0.5 { 1.0 } else { -1.0 }, 0.0),
+            )
             .unwrap();
-            getq(&mesh, &mut st, LocalRange::whole(&mesh), QCoeffs::default(), Threading::Serial);
+            getq(
+                &mesh,
+                &mut st,
+                LocalRange::whole(&mesh),
+                QCoeffs::default(),
+                Threading::Serial,
+            );
             st.q.iter().cloned().fold(0.0f64, f64::max)
         };
         let q1 = mk(1.0);
         let q2 = mk(2.0);
-        assert!(approx_eq(q2, 2.0 * q1, 1e-10), "q should scale linearly: {q1} vs {q2}");
+        assert!(
+            approx_eq(q2, 2.0 * q1, 1e-10),
+            "q should scale linearly: {q1} vs {q2}"
+        );
     }
 }

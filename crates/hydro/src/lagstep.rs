@@ -76,7 +76,16 @@ pub fn lagstep<H: HaloOps>(
     opts: &LagOptions,
     halo: &mut H,
 ) -> Result<()> {
-    lagstep_timed(mesh, materials, state, range, dt, opts, halo, &TimerRegistry::new())
+    lagstep_timed(
+        mesh,
+        materials,
+        state,
+        range,
+        dt,
+        opts,
+        halo,
+        &TimerRegistry::new(),
+    )
 }
 
 /// Advance `state` by one Lagrangian step, recording per-kernel wall
@@ -103,7 +112,9 @@ pub fn lagstep_timed<H: HaloOps>(
     // ---- Predictor: advance thermodynamic state to t + dt/2 ----
     timers.time(KernelId::Comms, || halo.pre_viscosity(mesh, state));
     timers.time(KernelId::GetQ, || getq(mesh, state, range, opts.q, th));
-    timers.time(KernelId::GetForce, || getforce(mesh, state, range, opts.hourglass, dt, th));
+    timers.time(KernelId::GetForce, || {
+        getforce(mesh, state, range, opts.hourglass, dt, th)
+    });
     // Move nodes a half step with the start-of-step velocity.
     state.ubar[..range.n_active_nd].copy_from_slice(&state.u[..range.n_active_nd]);
     move_nodes(mesh, state, range, 0.5 * dt);
@@ -117,7 +128,9 @@ pub fn lagstep_timed<H: HaloOps>(
     // ---- Corrector: full step with time-centred quantities ----
     timers.time(KernelId::Comms, || halo.pre_viscosity(mesh, state));
     timers.time(KernelId::GetQ, || getq(mesh, state, range, opts.q, th));
-    timers.time(KernelId::GetForce, || getforce(mesh, state, range, opts.hourglass, dt, th));
+    timers.time(KernelId::GetForce, || {
+        getforce(mesh, state, range, opts.hourglass, dt, th)
+    });
     timers.time(KernelId::Comms, || halo.pre_acceleration(state));
     timers.time(KernelId::GetAcc, || {
         getacc(mesh, state, range, dt, opts.acc_mode);
@@ -160,8 +173,16 @@ mod tests {
         let ein0 = st.ein.clone();
         let x0 = mesh.nodes.clone();
         for _ in 0..5 {
-            lagstep(&mut mesh, &mat, &mut st, range, 1e-3, &LagOptions::default(), &mut NoComm)
-                .unwrap();
+            lagstep(
+                &mut mesh,
+                &mat,
+                &mut st,
+                range,
+                1e-3,
+                &LagOptions::default(),
+                &mut NoComm,
+            )
+            .unwrap();
         }
         for e in 0..st.n_elements() {
             assert!(approx_eq(st.rho[e], rho0[e], 1e-12));
@@ -217,8 +238,16 @@ mod tests {
         .unwrap();
         let m0 = st.total_mass(range);
         for _ in 0..20 {
-            lagstep(&mut mesh, &mat, &mut st, range, 1e-3, &LagOptions::default(), &mut NoComm)
-                .unwrap();
+            lagstep(
+                &mut mesh,
+                &mat,
+                &mut st,
+                range,
+                1e-3,
+                &LagOptions::default(),
+                &mut NoComm,
+            )
+            .unwrap();
         }
         // Lagrangian masses never change at all.
         assert_eq!(st.total_mass(range), m0);
@@ -247,8 +276,16 @@ mod tests {
         let mut mesh = mesh0;
         let range = LocalRange::whole(&mesh);
         for _ in 0..20 {
-            lagstep(&mut mesh, &mat, &mut st, range, 1e-3, &LagOptions::default(), &mut NoComm)
-                .unwrap();
+            lagstep(
+                &mut mesh,
+                &mat,
+                &mut st,
+                range,
+                1e-3,
+                &LagOptions::default(),
+                &mut NoComm,
+            )
+            .unwrap();
         }
         // Mirror pairs across the vertical centre line.
         for row in 0..n {
@@ -289,8 +326,16 @@ mod tests {
         let (mut mesh, mat, mut st) = setup(4);
         let range = LocalRange::whole(&mesh);
         let m0 = st.total_mass(range);
-        lagstep(&mut mesh, &mat, &mut st, range, 1e-2, &LagOptions::default(), &mut Piston)
-            .unwrap();
+        lagstep(
+            &mut mesh,
+            &mat,
+            &mut st,
+            range,
+            1e-2,
+            &LagOptions::default(),
+            &mut Piston,
+        )
+        .unwrap();
         // Left wall moved right by dt * 1.
         let left_x = mesh.nodes[0].x;
         assert!(approx_eq(left_x, 1e-2, 1e-12), "piston wall at {left_x}");
@@ -324,7 +369,16 @@ mod tests {
         };
         for _ in 0..5 {
             lagstep(&mut mesh_a, &mat, &mut a, range, 1e-3, &serial, &mut NoComm).unwrap();
-            lagstep(&mut mesh_b, &mat, &mut b, range, 1e-3, &threaded, &mut NoComm).unwrap();
+            lagstep(
+                &mut mesh_b,
+                &mat,
+                &mut b,
+                range,
+                1e-3,
+                &threaded,
+                &mut NoComm,
+            )
+            .unwrap();
         }
         for e in 0..a.n_elements() {
             assert!(approx_eq(a.rho[e], b.rho[e], 1e-12));

@@ -24,7 +24,10 @@ impl LocalRange {
     /// A serial range covering the whole mesh.
     #[must_use]
     pub fn whole(mesh: &Mesh) -> Self {
-        LocalRange { n_owned_el: mesh.n_elements(), n_active_nd: mesh.n_nodes() }
+        LocalRange {
+            n_owned_el: mesh.n_elements(),
+            n_active_nd: mesh.n_nodes(),
+        }
     }
 }
 
@@ -111,7 +114,10 @@ impl HydroState {
             let c = mesh.corners(e);
             let vol = quad_area(&c);
             if vol <= 0.0 {
-                return Err(BookLeafError::NegativeVolume { element: e, volume: vol });
+                return Err(BookLeafError::NegativeVolume {
+                    element: e,
+                    volume: vol,
+                });
             }
             let rho = rho_of(e);
             let ein = ein_of(e);
@@ -247,8 +253,7 @@ mod tests {
     fn energies() {
         let mesh = generate_rect(&RectSpec::unit_square(4), |_| 0).unwrap();
         let mat = MaterialTable::single(EosSpec::ideal_gas(1.4));
-        let st = HydroState::new(&mesh, &mat, |_| 2.0, |_| 1.5, |_| Vec2::new(3.0, 4.0))
-            .unwrap();
+        let st = HydroState::new(&mesh, &mat, |_| 2.0, |_| 1.5, |_| Vec2::new(3.0, 4.0)).unwrap();
         let range = LocalRange::whole(&mesh);
         // IE = m*ein = 2*1.5 = 3 ; KE = ½ * 2 * 25 = 25.
         assert!(approx_eq(st.internal_energy(range), 3.0, 1e-12));
@@ -260,8 +265,7 @@ mod tests {
     fn negative_density_rejected() {
         let mesh = generate_rect(&RectSpec::unit_square(2), |_| 0).unwrap();
         let mat = MaterialTable::single(EosSpec::ideal_gas(1.4));
-        let err =
-            HydroState::new(&mesh, &mat, |_| -1.0, |_| 1.0, |_| Vec2::ZERO).unwrap_err();
+        let err = HydroState::new(&mesh, &mat, |_| -1.0, |_| 1.0, |_| Vec2::ZERO).unwrap_err();
         assert!(matches!(err, BookLeafError::InvalidState { .. }));
     }
 
@@ -286,6 +290,10 @@ mod tests {
         )
         .unwrap();
         let range = LocalRange::whole(&mesh);
-        assert!(approx_eq(st.total_mass(range), 0.5 * 1.0 + 0.5 * 0.125, 1e-12));
+        assert!(approx_eq(
+            st.total_mass(range),
+            0.5 * 1.0 + 0.5 * 0.125,
+            1e-12
+        ));
     }
 }

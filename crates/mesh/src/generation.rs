@@ -28,7 +28,12 @@ impl RectSpec {
     /// A unit-square mesh `n × n`.
     #[must_use]
     pub fn unit_square(n: usize) -> Self {
-        RectSpec { nx: n, ny: n, origin: Vec2::ZERO, extent: Vec2::new(1.0, 1.0) }
+        RectSpec {
+            nx: n,
+            ny: n,
+            origin: Vec2::ZERO,
+            extent: Vec2::new(1.0, 1.0),
+        }
     }
 
     /// Mesh spacing in x and y.
@@ -51,10 +56,14 @@ impl RectSpec {
 /// element's centroid.
 pub fn generate_rect(spec: &RectSpec, region_of: impl Fn(Vec2) -> u32) -> Result<Mesh> {
     if spec.nx == 0 || spec.ny == 0 {
-        return Err(BookLeafError::InvalidDeck("mesh must have nx, ny >= 1".into()));
+        return Err(BookLeafError::InvalidDeck(
+            "mesh must have nx, ny >= 1".into(),
+        ));
     }
     if spec.extent.x <= spec.origin.x || spec.extent.y <= spec.origin.y {
-        return Err(BookLeafError::InvalidDeck("mesh extent must exceed origin".into()));
+        return Err(BookLeafError::InvalidDeck(
+            "mesh extent must exceed origin".into(),
+        ));
     }
     let (nx, ny) = (spec.nx, spec.ny);
     let d = spec.spacing();
@@ -171,7 +180,9 @@ mod tests {
     fn neighbor_structure_of_grid() {
         let m = generate_rect(&RectSpec::unit_square(3), |_| 0).unwrap();
         // Element 4 is the centre: all four faces interior.
-        assert!(m.elel[4].iter().all(|nb| matches!(nb, Neighbor::Element(_))));
+        assert!(m.elel[4]
+            .iter()
+            .all(|nb| matches!(nb, Neighbor::Element(_))));
         // Element 0 is the corner: faces 0 (bottom) and 3 (left) boundary.
         assert_eq!(m.elel[0][0], Neighbor::Boundary);
         assert_eq!(m.elel[0][3], Neighbor::Boundary);
@@ -182,7 +193,12 @@ mod tests {
     #[test]
     fn zero_size_rejected() {
         assert!(generate_rect(
-            &RectSpec { nx: 0, ny: 2, origin: Vec2::ZERO, extent: Vec2::new(1.0, 1.0) },
+            &RectSpec {
+                nx: 0,
+                ny: 2,
+                origin: Vec2::ZERO,
+                extent: Vec2::new(1.0, 1.0)
+            },
             |_| 0
         )
         .is_err());
@@ -191,7 +207,12 @@ mod tests {
     #[test]
     fn inverted_extent_rejected() {
         assert!(generate_rect(
-            &RectSpec { nx: 2, ny: 2, origin: Vec2::new(1.0, 0.0), extent: Vec2::new(0.0, 1.0) },
+            &RectSpec {
+                nx: 2,
+                ny: 2,
+                origin: Vec2::new(1.0, 0.0),
+                extent: Vec2::new(0.0, 1.0)
+            },
             |_| 0
         )
         .is_err());
@@ -201,7 +222,12 @@ mod tests {
     fn saltzmann_mesh_stays_untangled_and_valid() {
         let origin = Vec2::ZERO;
         let extent = Vec2::new(1.0, 0.1);
-        let spec = RectSpec { nx: 100, ny: 10, origin, extent };
+        let spec = RectSpec {
+            nx: 100,
+            ny: 10,
+            origin,
+            extent,
+        };
         let mut m = generate_rect(&spec, |_| 0).unwrap();
         saltzmann_distort(&mut m, origin, extent);
         m.validate().unwrap();
@@ -215,7 +241,12 @@ mod tests {
     fn saltzmann_preserves_walls() {
         let origin = Vec2::ZERO;
         let extent = Vec2::new(1.0, 0.1);
-        let spec = RectSpec { nx: 20, ny: 4, origin, extent };
+        let spec = RectSpec {
+            nx: 20,
+            ny: 4,
+            origin,
+            extent,
+        };
         let mut m = generate_rect(&spec, |_| 0).unwrap();
         let before = m.nodes.clone();
         saltzmann_distort(&mut m, origin, extent);
@@ -236,7 +267,12 @@ mod tests {
     fn saltzmann_distorts_interior() {
         let origin = Vec2::ZERO;
         let extent = Vec2::new(1.0, 0.1);
-        let spec = RectSpec { nx: 10, ny: 2, origin, extent };
+        let spec = RectSpec {
+            nx: 10,
+            ny: 2,
+            origin,
+            extent,
+        };
         let mut m = generate_rect(&spec, |_| 0).unwrap();
         let before = m.nodes.clone();
         saltzmann_distort(&mut m, origin, extent);

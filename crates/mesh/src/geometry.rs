@@ -215,8 +215,18 @@ mod tests {
             let mut cp = c;
             cp[i].y += h;
             let d_dy = (quad_area(&cp) - quad_area(&c)) / h;
-            assert!(approx_eq(g[i].x, d_dx, 1e-5), "corner {i} x: {} vs {}", g[i].x, d_dx);
-            assert!(approx_eq(g[i].y, d_dy, 1e-5), "corner {i} y: {} vs {}", g[i].y, d_dy);
+            assert!(
+                approx_eq(g[i].x, d_dx, 1e-5),
+                "corner {i} x: {} vs {}",
+                g[i].x,
+                d_dx
+            );
+            assert!(
+                approx_eq(g[i].y, d_dy, 1e-5),
+                "corner {i} y: {} vs {}",
+                g[i].y,
+                d_dy
+            );
         }
     }
 
@@ -233,7 +243,11 @@ mod tests {
         for c in [unit_square(), skewed_quad()] {
             let cv = corner_volumes(&c);
             let total: f64 = cv.iter().sum();
-            assert!(approx_eq(total, quad_area(&c), 1e-12), "{total} vs {}", quad_area(&c));
+            assert!(
+                approx_eq(total, quad_area(&c), 1e-12),
+                "{total} vs {}",
+                quad_area(&c)
+            );
             assert!(cv.iter().all(|&v| v > 0.0));
         }
     }

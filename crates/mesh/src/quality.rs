@@ -131,8 +131,16 @@ mod tests {
     fn saltzmann_grid_is_worse_but_untangled() {
         let origin = Vec2::ZERO;
         let extent = Vec2::new(1.0, 0.1);
-        let mut m =
-            generate_rect(&RectSpec { nx: 100, ny: 10, origin, extent }, |_| 0).unwrap();
+        let mut m = generate_rect(
+            &RectSpec {
+                nx: 100,
+                ny: 10,
+                origin,
+                extent,
+            },
+            |_| 0,
+        )
+        .unwrap();
         let before = assess(&m);
         saltzmann_distort(&mut m, origin, extent);
         let after = assess(&m);

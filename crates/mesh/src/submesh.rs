@@ -110,7 +110,9 @@ impl SubMeshPlan {
         }
         for r in 0..n_ranks {
             if !owner.contains(&r) {
-                return Err(BookLeafError::Partition(format!("rank {r} owns no elements")));
+                return Err(BookLeafError::Partition(format!(
+                    "rank {r} owns no elements"
+                )));
             }
         }
 
@@ -190,8 +192,11 @@ impl SubMeshPlan {
                 .enumerate()
                 .map(|(l, &g)| (g, l as u32))
                 .collect();
-            let nd_g2l: HashMap<u32, u32> =
-                local_nodes.iter().enumerate().map(|(l, &g)| (g, l as u32)).collect();
+            let nd_g2l: HashMap<u32, u32> = local_nodes
+                .iter()
+                .enumerate()
+                .map(|(l, &g)| (g, l as u32))
+                .collect();
 
             drafts.push(Draft {
                 owned,
@@ -275,8 +280,16 @@ impl SubMeshPlan {
                     ]
                 })
                 .collect();
-            let nodes = d.local_nodes.iter().map(|&n| global.nodes[n as usize]).collect();
-            let node_bc = d.local_nodes.iter().map(|&n| global.node_bc[n as usize]).collect();
+            let nodes = d
+                .local_nodes
+                .iter()
+                .map(|&n| global.nodes[n as usize])
+                .collect();
+            let node_bc = d
+                .local_nodes
+                .iter()
+                .map(|&n| global.node_bc[n as usize])
+                .collect();
             let region = all_els.iter().map(|&g| global.region[g as usize]).collect();
             let mut mesh = Mesh::from_raw(nodes, elnd, node_bc, region)?;
             // Reorder every node's element adjacency by *global* element
@@ -314,7 +327,10 @@ impl SubMeshPlan {
                     .iter()
                     .find(|x| x.rank == r)
                     .ok_or_else(|| {
-                        BookLeafError::Comm(format!("rank {} missing peer schedule for {r}", ex.rank))
+                        BookLeafError::Comm(format!(
+                            "rank {} missing peer schedule for {r}",
+                            ex.rank
+                        ))
                     })?;
                 if ex.send.len() != back.recv.len() || ex.recv.len() != back.send.len() {
                     return Err(BookLeafError::Comm(format!(
@@ -339,7 +355,9 @@ mod tests {
 
     /// Stripe owner: left half rank 0, right half rank 1.
     fn stripe_owner(m: &Mesh, n: usize) -> Vec<usize> {
-        (0..m.n_elements()).map(|e| usize::from(e % n >= n / 2)).collect()
+        (0..m.n_elements())
+            .map(|e| usize::from(e % n >= n / 2))
+            .collect()
     }
 
     #[test]
@@ -404,19 +422,33 @@ mod tests {
         let subs = SubMeshPlan::build(&m, &owner, 4).unwrap();
         for s in &subs {
             for ex in &s.el_exchange {
-                let back = subs[ex.rank].el_exchange.iter().find(|x| x.rank == s.rank).unwrap();
+                let back = subs[ex.rank]
+                    .el_exchange
+                    .iter()
+                    .find(|x| x.rank == s.rank)
+                    .unwrap();
                 assert_eq!(ex.send.len(), back.recv.len());
                 // Global ids of sent elements match global ids of received.
                 let sent: Vec<u32> = ex.send.iter().map(|&l| s.el_l2g[l as usize]).collect();
-                let recvd: Vec<u32> =
-                    back.recv.iter().map(|&l| subs[ex.rank].el_l2g[l as usize]).collect();
+                let recvd: Vec<u32> = back
+                    .recv
+                    .iter()
+                    .map(|&l| subs[ex.rank].el_l2g[l as usize])
+                    .collect();
                 assert_eq!(sent, recvd, "element exchange order mismatch");
             }
             for ex in &s.nd_exchange {
-                let back = subs[ex.rank].nd_exchange.iter().find(|x| x.rank == s.rank).unwrap();
+                let back = subs[ex.rank]
+                    .nd_exchange
+                    .iter()
+                    .find(|x| x.rank == s.rank)
+                    .unwrap();
                 let sent: Vec<u32> = ex.send.iter().map(|&l| s.nd_l2g[l as usize]).collect();
-                let recvd: Vec<u32> =
-                    back.recv.iter().map(|&l| subs[ex.rank].nd_l2g[l as usize]).collect();
+                let recvd: Vec<u32> = back
+                    .recv
+                    .iter()
+                    .map(|&l| subs[ex.rank].nd_l2g[l as usize])
+                    .collect();
                 assert_eq!(sent, recvd, "node exchange order mismatch");
             }
         }

@@ -52,24 +52,42 @@ pub struct NodeBc {
 
 impl NodeBc {
     /// Free interior node.
-    pub const FREE: NodeBc = NodeBc { fix_x: false, fix_y: false };
+    pub const FREE: NodeBc = NodeBc {
+        fix_x: false,
+        fix_y: false,
+    };
     /// Node on a vertical wall.
-    pub const WALL_X: NodeBc = NodeBc { fix_x: true, fix_y: false };
+    pub const WALL_X: NodeBc = NodeBc {
+        fix_x: true,
+        fix_y: false,
+    };
     /// Node on a horizontal wall.
-    pub const WALL_Y: NodeBc = NodeBc { fix_x: false, fix_y: true };
+    pub const WALL_Y: NodeBc = NodeBc {
+        fix_x: false,
+        fix_y: true,
+    };
     /// Corner node fixed in both directions.
-    pub const CORNER: NodeBc = NodeBc { fix_x: true, fix_y: true };
+    pub const CORNER: NodeBc = NodeBc {
+        fix_x: true,
+        fix_y: true,
+    };
 
     /// Combine two conditions (a node on two walls is fixed in both).
     #[must_use]
     pub fn merge(self, other: NodeBc) -> NodeBc {
-        NodeBc { fix_x: self.fix_x || other.fix_x, fix_y: self.fix_y || other.fix_y }
+        NodeBc {
+            fix_x: self.fix_x || other.fix_x,
+            fix_y: self.fix_y || other.fix_y,
+        }
     }
 
     /// Apply to a velocity, zeroing fixed components.
     #[must_use]
     pub fn apply(self, v: Vec2) -> Vec2 {
-        Vec2::new(if self.fix_x { 0.0 } else { v.x }, if self.fix_y { 0.0 } else { v.y })
+        Vec2::new(
+            if self.fix_x { 0.0 } else { v.x },
+            if self.fix_y { 0.0 } else { v.y },
+        )
     }
 }
 
@@ -217,7 +235,15 @@ impl Mesh {
         }
         let elel = Mesh::build_elel(nodes.len(), &elnd)?;
         let (ndel_off, ndel) = Mesh::build_ndel(nodes.len(), &elnd);
-        let mesh = Mesh { nodes, elnd, elel, ndel_off, ndel, node_bc, region };
+        let mesh = Mesh {
+            nodes,
+            elnd,
+            elel,
+            ndel_off,
+            ndel,
+            node_bc,
+            region,
+        };
         mesh.validate()?;
         Ok(mesh)
     }
@@ -265,7 +291,9 @@ impl Mesh {
         }
         // CSR consistency.
         if self.ndel_off.len() != self.n_nodes() + 1 {
-            return Err(BookLeafError::MeshTopology("ndel_off length mismatch".into()));
+            return Err(BookLeafError::MeshTopology(
+                "ndel_off length mismatch".into(),
+            ));
         }
         if *self.ndel_off.last().unwrap() as usize != self.ndel.len() {
             return Err(BookLeafError::MeshTopology("ndel CSR tail mismatch".into()));
@@ -361,8 +389,11 @@ mod tests {
 
     #[test]
     fn degenerate_face_rejected() {
-        let nodes =
-            vec![Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0), Vec2::new(1.0, 1.0)];
+        let nodes = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(1.0, 1.0),
+        ];
         let elnd = vec![[0, 0, 1, 2]];
         let err = Mesh::from_raw(nodes, elnd, vec![NodeBc::FREE; 3], vec![0]).unwrap_err();
         assert!(matches!(err, BookLeafError::MeshTopology(_)));
@@ -370,7 +401,11 @@ mod tests {
 
     #[test]
     fn out_of_range_node_rejected() {
-        let nodes = vec![Vec2::new(0.0, 0.0), Vec2::new(1.0, 0.0), Vec2::new(1.0, 1.0)];
+        let nodes = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(1.0, 1.0),
+        ];
         let elnd = vec![[0, 1, 2, 9]];
         assert!(Mesh::from_raw(nodes, elnd, vec![NodeBc::FREE; 3], vec![0]).is_err());
     }

@@ -25,7 +25,9 @@ use bookleaf_util::{BookLeafError, Result};
 /// Partition `mesh`'s dual graph into `n_parts`. Returns element → part.
 pub fn partition_graph(mesh: &Mesh, n_parts: usize) -> Result<Vec<usize>> {
     if n_parts == 0 {
-        return Err(BookLeafError::Partition("cannot partition into 0 parts".into()));
+        return Err(BookLeafError::Partition(
+            "cannot partition into 0 parts".into(),
+        ));
     }
     let n = mesh.n_elements();
     if n_parts > n {
@@ -109,7 +111,9 @@ pub fn partition_graph(mesh: &Mesh, n_parts: usize) -> Result<Vec<usize>> {
 
     // Ensure no part emptied (refinement respects a floor, but be safe).
     if let Some(p) = sizes.iter().position(|&s| s == 0) {
-        return Err(BookLeafError::Partition(format!("graph partition left part {p} empty")));
+        return Err(BookLeafError::Partition(format!(
+            "graph partition left part {p} empty"
+        )));
     }
     Ok(owner)
 }
@@ -236,7 +240,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let m = grid(9);
-        assert_eq!(partition_graph(&m, 5).unwrap(), partition_graph(&m, 5).unwrap());
+        assert_eq!(
+            partition_graph(&m, 5).unwrap(),
+            partition_graph(&m, 5).unwrap()
+        );
     }
 
     #[test]
@@ -246,8 +253,7 @@ mod tests {
         let m = grid(8);
         let owner = partition_graph(&m, 4).unwrap();
         for p in 0..4 {
-            let members: Vec<usize> =
-                (0..m.n_elements()).filter(|&e| owner[e] == p).collect();
+            let members: Vec<usize> = (0..m.n_elements()).filter(|&e| owner[e] == p).collect();
             // BFS within the part from its first member.
             let mut seen = std::collections::HashSet::new();
             let mut queue = std::collections::VecDeque::new();

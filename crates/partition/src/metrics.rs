@@ -33,7 +33,9 @@ pub fn assess_partition(mesh: &Mesh, owner: &[usize], n_parts: usize) -> Result<
     let mut sizes = vec![0usize; n_parts];
     for &o in owner {
         if o >= n_parts {
-            return Err(BookLeafError::Partition(format!("part id {o} out of range")));
+            return Err(BookLeafError::Partition(format!(
+                "part id {o} out of range"
+            )));
         }
         sizes[o] += 1;
     }
@@ -58,7 +60,12 @@ pub fn assess_partition(mesh: &Mesh, owner: &[usize], n_parts: usize) -> Result<
     }
     edge_cut /= 2; // each cut face counted from both sides
 
-    Ok(PartitionReport { sizes, imbalance, edge_cut, boundary_elements })
+    Ok(PartitionReport {
+        sizes,
+        imbalance,
+        edge_cut,
+        boundary_elements,
+    })
 }
 
 #[cfg(test)]

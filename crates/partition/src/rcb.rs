@@ -13,7 +13,9 @@ use bookleaf_util::{BookLeafError, Result, Vec2};
 /// Partition by RCB into `n_parts`. Returns element → part id.
 pub fn partition_rcb(mesh: &Mesh, n_parts: usize) -> Result<Vec<usize>> {
     if n_parts == 0 {
-        return Err(BookLeafError::Partition("cannot partition into 0 parts".into()));
+        return Err(BookLeafError::Partition(
+            "cannot partition into 0 parts".into(),
+        ));
     }
     if n_parts > mesh.n_elements() {
         return Err(BookLeafError::Partition(format!(
@@ -21,8 +23,9 @@ pub fn partition_rcb(mesh: &Mesh, n_parts: usize) -> Result<Vec<usize>> {
             mesh.n_elements()
         )));
     }
-    let centroids: Vec<Vec2> =
-        (0..mesh.n_elements()).map(|e| quad_centroid(&mesh.corners(e))).collect();
+    let centroids: Vec<Vec2> = (0..mesh.n_elements())
+        .map(|e| quad_centroid(&mesh.corners(e)))
+        .collect();
     let mut owner = vec![0usize; mesh.n_elements()];
     let mut ids: Vec<u32> = (0..mesh.n_elements() as u32).collect();
     bisect(&centroids, &mut ids, 0, n_parts, &mut owner);
@@ -30,7 +33,13 @@ pub fn partition_rcb(mesh: &Mesh, n_parts: usize) -> Result<Vec<usize>> {
 }
 
 /// Recursively assign `ids` to parts `[first_part, first_part + n_parts)`.
-fn bisect(centroids: &[Vec2], ids: &mut [u32], first_part: usize, n_parts: usize, owner: &mut [usize]) {
+fn bisect(
+    centroids: &[Vec2],
+    ids: &mut [u32],
+    first_part: usize,
+    n_parts: usize,
+    owner: &mut [usize],
+) {
     if n_parts == 1 {
         for &e in ids.iter() {
             owner[e as usize] = first_part;
@@ -43,7 +52,10 @@ fn bisect(centroids: &[Vec2], ids: &mut [u32], first_part: usize, n_parts: usize
     let cut = ids.len() * left_parts / n_parts;
 
     // Choose the axis with the larger centroid spread.
-    let (mut lo, mut hi) = (Vec2::new(f64::INFINITY, f64::INFINITY), Vec2::new(f64::NEG_INFINITY, f64::NEG_INFINITY));
+    let (mut lo, mut hi) = (
+        Vec2::new(f64::INFINITY, f64::INFINITY),
+        Vec2::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+    );
     for &e in ids.iter() {
         let c = centroids[e as usize];
         lo = Vec2::new(lo.x.min(c.x), lo.y.min(c.y));
@@ -64,12 +76,20 @@ fn bisect(centroids: &[Vec2], ids: &mut [u32], first_part: usize, n_parts: usize
     // Invariant: len >= n_parts implies cut >= left_parts >= 1 and
     // len - cut >= right_parts >= 1, so both halves stay feasible.
     ids.select_nth_unstable_by(cut - 1, |&a, &b| {
-        key(a).partial_cmp(&key(b)).expect("finite centroid coordinates")
+        key(a)
+            .partial_cmp(&key(b))
+            .expect("finite centroid coordinates")
     });
 
     let (left, right) = ids.split_at_mut(cut);
     bisect(centroids, left, first_part, left_parts, owner);
-    bisect(centroids, right, first_part + left_parts, right_parts, owner);
+    bisect(
+        centroids,
+        right,
+        first_part + left_parts,
+        right_parts,
+        owner,
+    );
 }
 
 #[cfg(test)]
@@ -120,7 +140,11 @@ mod tests {
                 assert!(owner.contains(&p), "{n} parts: part {p} empty");
             }
             let rep = assess_partition(&m, &owner, n).unwrap();
-            assert!(rep.imbalance < 1.30, "{n} parts imbalance {}", rep.imbalance);
+            assert!(
+                rep.imbalance < 1.30,
+                "{n} parts imbalance {}",
+                rep.imbalance
+            );
         }
     }
 
@@ -150,7 +174,12 @@ mod tests {
     fn anisotropic_mesh_splits_long_axis() {
         // A 16x2 tube should be cut in x first.
         let m = generate_rect(
-            &RectSpec { nx: 16, ny: 2, origin: Vec2::ZERO, extent: Vec2::new(8.0, 1.0) },
+            &RectSpec {
+                nx: 16,
+                ny: 2,
+                origin: Vec2::ZERO,
+                extent: Vec2::new(8.0, 1.0),
+            },
             |_| 0,
         )
         .unwrap();

@@ -88,7 +88,9 @@ mod tests {
         f: impl Fn(&RankCtx, &bookleaf_mesh::SubMesh) -> R + Sync,
     ) -> Vec<R> {
         let m = generate_rect(&RectSpec::unit_square(6), |_| 0).unwrap();
-        let owner: Vec<usize> = (0..m.n_elements()).map(|e| usize::from(e % 6 >= 3)).collect();
+        let owner: Vec<usize> = (0..m.n_elements())
+            .map(|e| usize::from(e % 6 >= 3))
+            .collect();
         let subs = SubMeshPlan::build(&m, &owner, 2).unwrap();
         Typhon::run(2, |ctx| f(ctx, &subs[ctx.rank()])).unwrap()
     }
@@ -176,9 +178,10 @@ mod tests {
                     })
                     .collect();
                 exchange_scalar(ctx, &sub.el_exchange, &mut field);
-                ok &= field.iter().enumerate().all(|(e, &v)| {
-                    v == (sub.el_l2g[e] as f64) + 1000.0 * round as f64
-                });
+                ok &= field
+                    .iter()
+                    .enumerate()
+                    .all(|(e, &v)| v == (sub.el_l2g[e] as f64) + 1000.0 * round as f64);
             }
             ok
         });
@@ -199,10 +202,19 @@ mod tests {
         let out = Typhon::run(4, |ctx| {
             let sub = &subs[ctx.rank()];
             let mut field: Vec<f64> = (0..sub.mesh.n_elements())
-                .map(|e| if sub.owns_element(e) { sub.el_l2g[e] as f64 } else { -1.0 })
+                .map(|e| {
+                    if sub.owns_element(e) {
+                        sub.el_l2g[e] as f64
+                    } else {
+                        -1.0
+                    }
+                })
                 .collect();
             exchange_scalar(ctx, &sub.el_exchange, &mut field);
-            field.iter().enumerate().all(|(e, &v)| v == sub.el_l2g[e] as f64)
+            field
+                .iter()
+                .enumerate()
+                .all(|(e, &v)| v == sub.el_l2g[e] as f64)
         })
         .unwrap();
         assert!(out.into_iter().all(|ok| ok));

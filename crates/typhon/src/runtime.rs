@@ -129,7 +129,11 @@ impl RankCtx {
             s.doubles_sent += payload.len() as u64;
         }
         self.senders[to]
-            .send(Message { from: self.rank, tag, payload })
+            .send(Message {
+                from: self.rank,
+                tag,
+                payload,
+            })
             .expect("peer rank hung up");
     }
 
@@ -143,7 +147,10 @@ impl RankCtx {
             }
         }
         loop {
-            let msg = self.receiver.recv().expect("team disbanded while receiving");
+            let msg = self
+                .receiver
+                .recv()
+                .expect("team disbanded while receiving");
             if msg.from == from && msg.tag == tag {
                 return msg.payload;
             }
@@ -191,7 +198,9 @@ impl Typhon {
         F: Fn(&RankCtx) -> R + Sync,
     {
         if n_ranks == 0 {
-            return Err(BookLeafError::Comm("team must have at least one rank".into()));
+            return Err(BookLeafError::Comm(
+                "team must have at least one rank".into(),
+            ));
         }
         let mut senders = Vec::with_capacity(n_ranks);
         let mut receivers = Vec::with_capacity(n_ranks);

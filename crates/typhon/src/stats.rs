@@ -39,15 +39,34 @@ mod tests {
 
     #[test]
     fn bytes_are_eight_per_double() {
-        let s = CommStats { messages_sent: 1, doubles_sent: 10, collectives: 0 };
+        let s = CommStats {
+            messages_sent: 1,
+            doubles_sent: 10,
+            collectives: 0,
+        };
         assert_eq!(s.bytes_sent(), 80);
     }
 
     #[test]
     fn merge_adds() {
-        let a = CommStats { messages_sent: 1, doubles_sent: 2, collectives: 3 };
-        let b = CommStats { messages_sent: 10, doubles_sent: 20, collectives: 30 };
+        let a = CommStats {
+            messages_sent: 1,
+            doubles_sent: 2,
+            collectives: 3,
+        };
+        let b = CommStats {
+            messages_sent: 10,
+            doubles_sent: 20,
+            collectives: 30,
+        };
         let m = a.merged(&b);
-        assert_eq!(m, CommStats { messages_sent: 11, doubles_sent: 22, collectives: 33 });
+        assert_eq!(
+            m,
+            CommStats {
+                messages_sent: 11,
+                doubles_sent: 22,
+                collectives: 33
+            }
+        );
     }
 }

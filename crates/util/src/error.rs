@@ -37,13 +37,19 @@ impl fmt::Display for BookLeafError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BookLeafError::NegativeVolume { element, volume } => {
-                write!(f, "element {element} has non-positive volume {volume:.6e} (mesh tangled)")
+                write!(
+                    f,
+                    "element {element} has non-positive volume {volume:.6e} (mesh tangled)"
+                )
             }
             BookLeafError::TimestepCollapse { dt, dt_min, cause } => {
                 write!(f, "time step {dt:.6e} below minimum {dt_min:.6e} ({cause})")
             }
             BookLeafError::InvalidState { element, what } => {
-                write!(f, "invalid thermodynamic state in element {element}: {what}")
+                write!(
+                    f,
+                    "invalid thermodynamic state in element {element}: {what}"
+                )
             }
             BookLeafError::MeshTopology(msg) => write!(f, "mesh topology error: {msg}"),
             BookLeafError::InvalidDeck(msg) => write!(f, "invalid input deck: {msg}"),
@@ -64,7 +70,10 @@ mod tests {
 
     #[test]
     fn display_contains_key_fields() {
-        let e = BookLeafError::NegativeVolume { element: 42, volume: -1.0 };
+        let e = BookLeafError::NegativeVolume {
+            element: 42,
+            volume: -1.0,
+        };
         let s = e.to_string();
         assert!(s.contains("42"));
         assert!(s.contains("tangled"));

@@ -75,7 +75,10 @@ impl KernelId {
     }
 
     fn index(self) -> usize {
-        Self::ALL.iter().position(|&k| k == self).expect("kernel id in ALL")
+        Self::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("kernel id in ALL")
     }
 }
 
@@ -142,7 +145,10 @@ impl TimerReport {
     /// An all-zero report.
     #[must_use]
     pub fn zero() -> Self {
-        TimerReport { seconds: [0.0; 11], calls: [0; 11] }
+        TimerReport {
+            seconds: [0.0; 11],
+            calls: [0; 11],
+        }
     }
 
     /// Seconds accumulated under `id`.

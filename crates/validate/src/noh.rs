@@ -38,12 +38,24 @@ pub const P_POST: f64 = 16.0 / 3.0;
 #[must_use]
 pub fn exact(r: f64, t: f64) -> NohState {
     if t <= 0.0 {
-        return NohState { rho: 1.0, u_r: -1.0, p: 0.0 };
+        return NohState {
+            rho: 1.0,
+            u_r: -1.0,
+            p: 0.0,
+        };
     }
     if r < SHOCK_SPEED * t {
-        NohState { rho: RHO_POST, u_r: 0.0, p: P_POST }
+        NohState {
+            rho: RHO_POST,
+            u_r: 0.0,
+            p: P_POST,
+        }
     } else {
-        NohState { rho: 1.0 + t / r.max(1e-300), u_r: -1.0, p: 0.0 }
+        NohState {
+            rho: 1.0 + t / r.max(1e-300),
+            u_r: -1.0,
+            p: 0.0,
+        }
     }
 }
 

@@ -80,7 +80,11 @@ mod tests {
         let spike = [1.0, 0.0, 0.0, 0.0];
         let w = [1.0; 4];
         // Same L1...
-        assert!(approx_eq(l1_error(&spread, &g, &w), l1_error(&spike, &g, &w), 1e-15));
+        assert!(approx_eq(
+            l1_error(&spread, &g, &w),
+            l1_error(&spike, &g, &w),
+            1e-15
+        ));
         // ...larger L2 for the spike.
         assert!(l2_error(&spike, &g, &w) > l2_error(&spread, &g, &w));
     }

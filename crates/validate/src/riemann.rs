@@ -98,7 +98,13 @@ impl ExactRiemann {
         let (fl, _) = f_side(p, &left, cl);
         let (fr, _) = f_side(p, &right, cr);
         let u_star = 0.5 * (left.u + right.u) + 0.5 * (fr - fl);
-        ExactRiemann { left, right, gamma, p_star: p, u_star }
+        ExactRiemann {
+            left,
+            right,
+            gamma,
+            p_star: p,
+            u_star,
+        }
     }
 
     /// Sample the self-similar solution at `xi = x / t` (diaphragm at 0).
@@ -110,7 +116,11 @@ impl ExactRiemann {
     pub fn sample(&self, xi: f64) -> PrimState {
         let g = self.gamma;
         let left_side = xi <= self.u_star;
-        let (s, sign) = if left_side { (self.left, 1.0) } else { (self.right, -1.0) };
+        let (s, sign) = if left_side {
+            (self.left, 1.0)
+        } else {
+            (self.right, -1.0)
+        };
         let c = s.sound_speed(g);
         let u_rel = sign * s.u;
         let xi_rel = sign * xi;
@@ -126,7 +136,11 @@ impl ExactRiemann {
             } else {
                 let k = (g - 1.0) / (g + 1.0);
                 let rho = s.rho * (ratio + k) / (k * ratio + 1.0);
-                PrimState { rho, u: self.u_star, p: self.p_star }
+                PrimState {
+                    rho,
+                    u: self.u_star,
+                    p: self.p_star,
+                }
             }
         } else {
             // Rarefaction (left fan in the working frame).
@@ -137,14 +151,22 @@ impl ExactRiemann {
                 s
             } else if xi_rel > tail {
                 let rho = s.rho * (self.p_star / s.p).powf(1.0 / g);
-                PrimState { rho, u: self.u_star, p: self.p_star }
+                PrimState {
+                    rho,
+                    u: self.u_star,
+                    p: self.p_star,
+                }
             } else {
                 let u_fan = 2.0 / (g + 1.0) * (c + 0.5 * (g - 1.0) * u_rel + xi_rel);
                 let c_fan =
                     (2.0 / (g + 1.0) * c + (g - 1.0) / (g + 1.0) * (u_rel - xi_rel)).max(1e-14);
                 let rho = s.rho * (c_fan / c).powf(2.0 / (g - 1.0));
                 let p = s.p * (c_fan / c).powf(2.0 * g / (g - 1.0));
-                PrimState { rho, u: sign * u_fan, p }
+                PrimState {
+                    rho,
+                    u: sign * u_fan,
+                    p,
+                }
             }
         }
     }
@@ -154,8 +176,16 @@ impl ExactRiemann {
     #[must_use]
     pub fn sod() -> ExactRiemann {
         ExactRiemann::solve(
-            PrimState { rho: 1.0, u: 0.0, p: 1.0 },
-            PrimState { rho: 0.125, u: 0.0, p: 0.1 },
+            PrimState {
+                rho: 1.0,
+                u: 0.0,
+                p: 1.0,
+            },
+            PrimState {
+                rho: 0.125,
+                u: 0.0,
+                p: 0.1,
+            },
             1.4,
         )
     }
@@ -186,10 +216,18 @@ mod tests {
         // Contact region left side (between u* and the rarefaction tail):
         // rho = 0.42632 (literature).
         let s = r.sample(0.5);
-        assert!(approx_eq(s.rho, 0.42632, 1e-3), "rho contact-left = {}", s.rho);
+        assert!(
+            approx_eq(s.rho, 0.42632, 1e-3),
+            "rho contact-left = {}",
+            s.rho
+        );
         // Post-shock right side: rho = 0.26557.
         let s = r.sample(1.2);
-        assert!(approx_eq(s.rho, 0.26557, 1e-3), "rho post-shock = {}", s.rho);
+        assert!(
+            approx_eq(s.rho, 0.26557, 1e-3),
+            "rho post-shock = {}",
+            s.rho
+        );
         // Shock position at t = 0.2: x = 0.35276/0.2... shock speed
         // = 1.75216. Just right of it: undisturbed.
         let s = r.sample(1.76);
@@ -200,7 +238,11 @@ mod tests {
 
     #[test]
     fn symmetric_problem_has_zero_contact_velocity() {
-        let a = PrimState { rho: 1.0, u: 0.0, p: 1.0 };
+        let a = PrimState {
+            rho: 1.0,
+            u: 0.0,
+            p: 1.0,
+        };
         let r = ExactRiemann::solve(a, a, 1.4);
         assert!(r.u_star.abs() < 1e-12);
         assert!(approx_eq(r.p_star, 1.0, 1e-10));
@@ -211,10 +253,22 @@ mod tests {
 
     #[test]
     fn colliding_states_make_double_shock() {
-        let l = PrimState { rho: 1.0, u: 2.0, p: 0.4 };
-        let rr = PrimState { rho: 1.0, u: -2.0, p: 0.4 };
+        let l = PrimState {
+            rho: 1.0,
+            u: 2.0,
+            p: 0.4,
+        };
+        let rr = PrimState {
+            rho: 1.0,
+            u: -2.0,
+            p: 0.4,
+        };
         let r = ExactRiemann::solve(l, rr, 1.4);
-        assert!(r.p_star > 0.4, "collision must raise pressure: {}", r.p_star);
+        assert!(
+            r.p_star > 0.4,
+            "collision must raise pressure: {}",
+            r.p_star
+        );
         assert!(r.u_star.abs() < 1e-10);
         // Centre density exceeds the inflow density.
         assert!(r.sample(0.0).rho > 1.0);
@@ -222,8 +276,16 @@ mod tests {
 
     #[test]
     fn receding_states_make_double_rarefaction() {
-        let l = PrimState { rho: 1.0, u: -0.5, p: 1.0 };
-        let rr = PrimState { rho: 1.0, u: 0.5, p: 1.0 };
+        let l = PrimState {
+            rho: 1.0,
+            u: -0.5,
+            p: 1.0,
+        };
+        let rr = PrimState {
+            rho: 1.0,
+            u: 0.5,
+            p: 1.0,
+        };
         let r = ExactRiemann::solve(l, rr, 1.4);
         assert!(r.p_star < 1.0);
         assert!(r.sample(0.0).rho < 1.0);

@@ -48,12 +48,22 @@ pub fn shock_radius(t: f64, e: f64, rho0: f64, gamma: f64) -> f64 {
 pub fn front(t: f64, e: f64, rho0: f64, gamma: f64) -> SedovFront {
     let radius = shock_radius(t, e, rho0, gamma);
     // dR/dt = R / (2t) in 2-D.
-    let speed = if t > 0.0 { 0.5 * radius / t } else { f64::INFINITY };
+    let speed = if t > 0.0 {
+        0.5 * radius / t
+    } else {
+        f64::INFINITY
+    };
     // Strong-shock jumps.
     let rho = rho0 * (gamma + 1.0) / (gamma - 1.0);
     let u_r = 2.0 / (gamma + 1.0) * speed;
     let p = 2.0 / (gamma + 1.0) * rho0 * speed * speed;
-    SedovFront { radius, speed, rho, u_r, p }
+    SedovFront {
+        radius,
+        speed,
+        rho,
+        u_r,
+        p,
+    }
 }
 
 #[cfg(test)]

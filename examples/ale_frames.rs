@@ -16,7 +16,11 @@ use bookleaf::validate::riemann::ExactRiemann;
 fn run(ale: Option<AleOptions>) -> (Driver, f64) {
     let deck = decks::sod(150, 3);
     let t = deck.recommended_final_time;
-    let config = RunConfig { final_time: t, ale, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: t,
+        ale,
+        ..RunConfig::default()
+    };
     let mut driver = Driver::new(deck, config).expect("valid deck");
     driver.run().expect("sod run");
     (driver, t)
@@ -44,9 +48,7 @@ fn report(label: &str, driver: &Driver, t: f64) {
         .zip(&x0.nodes)
         .map(|(a, b)| a.distance(*b))
         .fold(0.0f64, f64::max);
-    println!(
-        "{label:<26} L1(rho) = {err:.4}   max node motion = {max_motion:.4}"
-    );
+    println!("{label:<26} L1(rho) = {err:.4}   max node motion = {max_motion:.4}");
 }
 
 fn main() {
@@ -54,9 +56,15 @@ fn main() {
     println!("{}", "=".repeat(72));
     let (lagrangian, t) = run(None);
     report("Lagrangian (never remap)", &lagrangian, t);
-    let (eulerian, t) = run(Some(AleOptions { mode: AleMode::Eulerian, frequency: 1 }));
+    let (eulerian, t) = run(Some(AleOptions {
+        mode: AleMode::Eulerian,
+        frequency: 1,
+    }));
     report("Eulerian (remap every)", &eulerian, t);
-    let (ale, t) = run(Some(AleOptions { mode: AleMode::Smooth { alpha: 0.3 }, frequency: 5 }));
+    let (ale, t) = run(Some(AleOptions {
+        mode: AleMode::Smooth { alpha: 0.3 },
+        frequency: 5,
+    }));
     report("ALE (smooth every 5)", &ale, t);
     println!();
     println!("Lagrangian: zero numerical diffusion from advection, mesh follows the");

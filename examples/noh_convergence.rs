@@ -12,7 +12,10 @@ use bookleaf::validate::norms::l1_error;
 
 fn run(n: usize, t: f64) -> (f64, f64, f64) {
     let deck = decks::noh(n);
-    let config = RunConfig { final_time: t, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: t,
+        ..RunConfig::default()
+    };
     let mut driver = Driver::new(deck, config).expect("valid deck");
     driver.run().expect("noh run");
     let mesh = driver.mesh();
@@ -62,7 +65,9 @@ fn main() {
     let mut prev: Option<f64> = None;
     for n in [30usize, 50, 80] {
         let (err, deficit, plateau) = run(n, t);
-        let conv = prev.map(|p| format!(" ({:.2}x better)", p / err)).unwrap_or_default();
+        let conv = prev
+            .map(|p| format!(" ({:.2}x better)", p / err))
+            .unwrap_or_default();
         println!(
             "{:<10} {:>12.4}{conv:<16} {:>9.1}% {:>16.2}",
             format!("{n}x{n}"),

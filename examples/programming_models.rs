@@ -11,7 +11,10 @@ use bookleaf::util::KernelId;
 
 fn main() {
     let deck = decks::noh(80);
-    let config = RunConfig { final_time: 0.15, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: 0.15,
+        ..RunConfig::default()
+    };
 
     println!("Programming models on the Noh problem (80x80, t = 0.15)");
     println!("{}", "=".repeat(76));
@@ -36,7 +39,13 @@ fn main() {
     let mut outputs = Vec::new();
     for (label, executor) in [
         ("flat MPI (4 ranks)", ExecutorKind::FlatMpi { ranks: 4 }),
-        ("hybrid (2 x 2)", ExecutorKind::Hybrid { ranks: 2, threads_per_rank: 2 }),
+        (
+            "hybrid (2 x 2)",
+            ExecutorKind::Hybrid {
+                ranks: 2,
+                threads_per_rank: 2,
+            },
+        ),
     ] {
         let run_config = RunConfig { executor, ..config };
         let out = run_distributed(&deck, &run_config).expect("distributed run");

@@ -11,7 +11,10 @@ fn main() {
     // The standard Sod deck: 200 x 4 elements, gamma = 1.4 both sides.
     let deck = decks::sod(200, 4);
     let final_time = deck.recommended_final_time;
-    let config = RunConfig { final_time, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time,
+        ..RunConfig::default()
+    };
 
     let mut driver = Driver::new(deck, config).expect("valid deck");
     let summary = driver.run().expect("run to completion");
@@ -21,13 +24,21 @@ fn main() {
     println!("steps:           {}", summary.steps);
     println!("simulated time:  {:.4}", summary.time);
     println!("wall time:       {:.3} s", summary.wall_seconds);
-    println!("energy drift:    {:.2e} (compatible discretisation)", summary.energy_drift());
+    println!(
+        "energy drift:    {:.2e} (compatible discretisation)",
+        summary.energy_drift()
+    );
     println!();
     println!("per-kernel profile (the paper's Table II buckets):");
     for k in KernelId::ALL {
         let s = summary.timers.seconds(k);
         if s > 0.0 {
-            println!("  {:<14} {:>8.4} s  ({:>4.1}%)", k.label(), s, 100.0 * summary.timers.fraction(k));
+            println!(
+                "  {:<14} {:>8.4} s  ({:>4.1}%)",
+                k.label(),
+                s,
+                100.0 * summary.timers.fraction(k)
+            );
         }
     }
 

@@ -13,7 +13,10 @@ use bookleaf::core::{decks, write_vtk, Driver, RunConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let deck = decks::sedov(40);
-    let config = RunConfig { final_time: 0.8, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: 0.8,
+        ..RunConfig::default()
+    };
     let mut driver = Driver::new(deck, config)?;
 
     let frames = 8;

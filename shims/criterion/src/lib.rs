@@ -1,0 +1,152 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use —
+//! [`Criterion`], `benchmark_group`, [`BenchmarkId`], `Bencher::iter`,
+//! [`black_box`], [`criterion_group!`] and [`criterion_main!`] — as a
+//! plain wall-clock harness: each benchmark runs `sample_size` samples
+//! and prints min/mean per-iteration times. No statistics, plots or
+//! `target/criterion` output; swapping in the real criterion is a
+//! one-line manifest change and the benches compile unchanged.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export mirror of `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Mirror of `criterion::Criterion`: holds harness settings.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("\ngroup {name}");
+        BenchmarkGroup { harness: self }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        run_one(self.sample_size, &id.to_string(), f);
+    }
+}
+
+/// Mirror of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    harness: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        run_one(self.harness.sample_size, &id.to_string(), f);
+    }
+
+    /// End the group (prints nothing; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Mirror of `criterion::BenchmarkId`: a function name plus a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Mirror of `criterion::Bencher`: `iter` times the closure.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `sample_size` runs of `routine` (after one untimed warm-up).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+fn run_one(sample_size: usize, id: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {id:<40} (no samples)");
+        return;
+    }
+    let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    println!(
+        "  {id:<40} min {:>10.3} µs   mean {:>10.3} µs   ({} samples)",
+        min * 1e6,
+        mean * 1e6,
+        b.samples.len()
+    );
+}
+
+/// Mirror of `criterion_group!` (both the `name =`/`config =`/`targets =`
+/// form and the positional form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Mirror of `criterion_main!`: emits `fn main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

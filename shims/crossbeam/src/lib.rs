@@ -1,0 +1,58 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the [`channel`] module is provided — an unbounded MPSC channel
+//! backed by `std::sync::mpsc` (whose implementation is itself derived
+//! from crossbeam's since Rust 1.67, so the semantics match).
+
+pub mod channel {
+    //! Mirror of `crossbeam::channel` (unbounded flavour only).
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Mirror of `crossbeam::channel::unbounded`.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    /// Sending half; cloneable, one per producer.
+    pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn send_recv_roundtrip() {
+            let (tx, rx) = super::unbounded();
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx2.send(41).unwrap());
+            tx.send(1).unwrap();
+            assert_eq!(rx.recv().unwrap() + rx.recv().unwrap(), 42);
+        }
+    }
+}

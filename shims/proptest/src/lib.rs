@@ -1,0 +1,232 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset the workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` inner
+//! attribute, numeric-range strategies (`lo..hi` on `f64`/integer
+//! types), and `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Unlike the real proptest there is no shrinking and no persisted
+//! failure seeds: each test draws `cases` inputs from a deterministic
+//! per-test RNG (seeded from the test's name), so runs are reproducible
+//! across machines and CI. `prop_assume!` skips the offending case
+//! rather than redrawing.
+
+use std::ops::Range;
+
+/// Mirror of `proptest::prelude` — everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Mirror of `proptest::test_runner::Config` (field subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+    /// Accepted for compatibility with real proptest configs; this shim
+    /// never shrinks, so the value is unused.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 1024,
+        }
+    }
+}
+
+/// Deterministic xorshift64* generator, seeded from the test name so
+/// every test sees its own reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name; avoid a zero state.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(h | 1)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A source of random values for one macro argument (`x in strategy`).
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(
+            self.start < self.end,
+            "empty or inverted f64 range strategy: {}..{}",
+            self.start,
+            self.end
+        );
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "empty or inverted integer range strategy: {}..{}",
+                    self.start,
+                    self.end
+                );
+                let span = self.end - self.start;
+                self.start + (rng.next_u64() % span as u64) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8);
+
+/// Mirror of `proptest::proptest!`: expands each property into a plain
+/// `#[test]` that loops over sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($config:expr) ) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::from_name(stringify!($name));
+            for case in 0..config.cases {
+                $( let $arg = $crate::Strategy::sample(&($strategy), &mut rng); )*
+                let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!(
+                        "property {} failed on case {}/{}: {}\n  inputs: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        message,
+                        [$( format!("{} = {:?}", stringify!($arg), $arg) ),*].join(", "),
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+}
+
+/// Mirror of `prop_assert!`: fails the current case without panicking
+/// through foreign frames.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Mirror of `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Mirror of `prop_assume!`: in this shim an unmet assumption skips the
+/// remainder of the case instead of redrawing inputs.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respected(x in 0.25f64..1.75, n in 3usize..9) {
+            prop_assert!((0.25..1.75).contains(&x), "x out of range: {x}");
+            prop_assert!((3..9).contains(&n), "n out of range: {n}");
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_name("t");
+        let mut b = TestRng::from_name("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

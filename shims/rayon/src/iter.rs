@@ -1,0 +1,126 @@
+//! Sequential "parallel" iterators: [`ParIter`] wraps a std iterator and
+//! exposes the rayon combinator surface the workspace uses, including the
+//! two-argument `reduce(identity, op)`.
+
+/// A wrapped std iterator with rayon-flavoured combinators.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter(self.0.zip(other.0))
+    }
+
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f);
+    }
+
+    /// Rayon-style reduce: fold from `identity()` with `op`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// No-op in the sequential shim (rayon uses it to bound splitting).
+    #[must_use]
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelIterator`, implemented for every
+/// `IntoIterator` (ranges, vectors, ...).
+pub trait IntoParallelIterator {
+    type SeqIter: Iterator;
+    fn into_par_iter(self) -> ParIter<Self::SeqIter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type SeqIter = T::IntoIter;
+    fn into_par_iter(self) -> ParIter<Self::SeqIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelRefIterator` (`.par_iter()`).
+pub trait IntoParallelRefIterator<'data> {
+    type SeqIter: Iterator;
+    fn par_iter(&'data self) -> ParIter<Self::SeqIter>;
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+    type SeqIter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> ParIter<Self::SeqIter> {
+        ParIter(self.iter())
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelRefMutIterator` (`.par_iter_mut()`).
+pub trait IntoParallelRefMutIterator<'data> {
+    type SeqIter: Iterator;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::SeqIter>;
+}
+
+impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type SeqIter = std::slice::IterMut<'data, T>;
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::SeqIter> {
+        ParIter(self.iter_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chains_match_rayon_semantics() {
+        let mut a = [1.0f64, 2.0, 3.0];
+        let mut b = [10.0f64, 20.0, 30.0];
+        a.par_iter_mut()
+            .zip(b.par_iter_mut())
+            .enumerate()
+            .for_each(|(i, (x, y))| {
+                *x += i as f64;
+                *y -= *x;
+            });
+        assert_eq!(a, [1.0, 3.0, 5.0]);
+        assert_eq!(b, [9.0, 17.0, 25.0]);
+
+        let all = a
+            .par_iter_mut()
+            .map(|x| *x > 0.0)
+            .reduce(|| true, |p, q| p && q);
+        assert!(all);
+
+        let sq: Vec<usize> = (0..4usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(sq, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn pool_installs_on_calling_thread() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        assert_eq!(pool.install(|| 7), 7);
+    }
+}

@@ -1,0 +1,91 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the exact API subset the workspace uses — `par_iter()`,
+//! `par_iter_mut()`, `into_par_iter()`, the chain combinators
+//! (`zip`/`enumerate`/`map`/`for_each`/`reduce`/`collect`) and
+//! [`ThreadPoolBuilder`] — with a **sequential** implementation on std
+//! iterators. Call sites compile unchanged; swapping in the real rayon
+//! is a one-line change in the workspace manifest.
+//!
+//! Consequence for the hybrid executor: `Threading::Rayon` currently
+//! executes each rank's kernels on the rank thread itself (correctness
+//! is identical, thread-level speedup is deferred until real rayon is
+//! vendored). The flat-MPI executor's rank threads are real threads and
+//! are unaffected.
+
+pub mod iter;
+
+pub mod prelude {
+    //! Mirror of `rayon::prelude`.
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+    };
+}
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`ThreadPoolBuilder::build`]. Never produced by the
+/// shim; it exists so `?`/`map_err` call sites typecheck.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build failed")
+    }
+}
+
+impl Error for ThreadPoolBuildError {}
+
+/// Mirror of `rayon::ThreadPoolBuilder`; records the requested width but
+/// builds a pool that runs closures on the calling thread.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+}
+
+/// Mirror of `rayon::ThreadPool`: `install` runs the closure immediately
+/// on the current thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The width the pool was configured with.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+}
+
+/// The number of threads the default pool would use (always 1 here).
+#[must_use]
+pub fn current_num_threads() -> usize {
+    1
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` crate: the `Serialize`/`Deserialize`
+//! trait names plus no-op derive macros of the same names, so
+//! `use serde::{Deserialize, Serialize};` and
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. No serializer
+//! backends exist; the workspace's I/O is hand-rolled (VTK text, binary
+//! snapshots) and never consumes these traits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker mirror of `serde::Serialize` (no methods; never implemented by
+/// the no-op derive).
+pub trait Serialize {}
+
+/// Marker mirror of `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde_derive`: the derives parse nothing and
+//! emit nothing, so `#[derive(Serialize, Deserialize)]` compiles without
+//! generating trait impls. Nothing in the workspace consumes the traits
+//! as bounds (I/O is hand-rolled VTK/binary), so empty expansions are
+//! sufficient until the real serde is vendored.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -16,7 +16,10 @@ fn every_standard_deck_conserves_energy() {
         (decks::underwater(24), 0.004),
     ] {
         let name = deck.name;
-        let config = RunConfig { final_time: t, ..RunConfig::default() };
+        let config = RunConfig {
+            final_time: t,
+            ..RunConfig::default()
+        };
         let mut driver = Driver::new(deck, config).unwrap();
         let s = driver.run().unwrap();
         assert!(
@@ -37,7 +40,10 @@ fn piston_work_matches_energy_gain() {
     // ~10% (discretisation + startup transient).
     let deck = decks::saltzmann(100, 10);
     let t = 0.3;
-    let config = RunConfig { final_time: t, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: t,
+        ..RunConfig::default()
+    };
     let mut driver = Driver::new(deck, config).unwrap();
     let s = driver.run().unwrap();
     let gain = s.energy_end - s.energy_start;
@@ -77,7 +83,10 @@ fn x_momentum_conserved_in_symmetric_collision() {
         };
         *u = bc.apply(Vec2::new(0.3 * dir, 0.0));
     }
-    let config = RunConfig { final_time: 0.15, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: 0.15,
+        ..RunConfig::default()
+    };
     let mut driver = Driver::new(deck, config).unwrap();
     driver.run().unwrap();
 
@@ -88,16 +97,23 @@ fn x_momentum_conserved_in_symmetric_collision() {
         px += st.nd_mass[n] * st.u[n].x;
     }
     assert!(px.abs() < 1e-7, "net x momentum {px:.3e}"); // round-off accumulation only
-    // And the collision really happened: centre compressed.
+                                                         // And the collision really happened: centre compressed.
     let mid = 20; // element at the collision plane, bottom row
-    assert!(st.rho[mid] > 1.05, "no collision compression: {}", st.rho[mid]);
+    assert!(
+        st.rho[mid] > 1.05,
+        "no collision compression: {}",
+        st.rho[mid]
+    );
 }
 
 #[test]
 fn rho_v_equals_mass_everywhere_always() {
     // The mass-coordinate identity after an eventful run.
     let deck = decks::sedov(20);
-    let config = RunConfig { final_time: 0.4, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: 0.4,
+        ..RunConfig::default()
+    };
     let mut driver = Driver::new(deck, config).unwrap();
     driver.run().unwrap();
     let st = driver.state();
@@ -125,7 +141,10 @@ fn distributed_conservation_matches_serial() {
         // volume identity via a serial rerun for the reference.
         let _ = e;
     }
-    let serial_config = RunConfig { final_time: 0.1, ..RunConfig::default() };
+    let serial_config = RunConfig {
+        final_time: 0.1,
+        ..RunConfig::default()
+    };
     let mut serial = Driver::new(deck.clone(), serial_config).unwrap();
     serial.run().unwrap();
     let range = LocalRange::whole(serial.mesh());
@@ -133,5 +152,8 @@ fn distributed_conservation_matches_serial() {
     for e in 0..deck.mesh.n_elements() {
         mass += out.rho[e] * serial.state().volume[e];
     }
-    assert!(approx_eq(mass, serial_mass, 1e-9), "{mass} vs {serial_mass}");
+    assert!(
+        approx_eq(mass, serial_mass, 1e-9),
+        "{mass} vs {serial_mass}"
+    );
 }

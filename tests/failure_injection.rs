@@ -34,12 +34,18 @@ fn dt_collapse_is_a_typed_error() {
     let deck = decks::sod(16, 2);
     let config = RunConfig {
         final_time: 0.2,
-        dt: DtControls { dt_min: 0.1, ..DtControls::default() },
+        dt: DtControls {
+            dt_min: 0.1,
+            ..DtControls::default()
+        },
         ..RunConfig::default()
     };
     let mut driver = Driver::new(deck, config).unwrap();
     let err = driver.run().unwrap_err();
-    assert!(matches!(err, BookLeafError::TimestepCollapse { .. }), "{err}");
+    assert!(
+        matches!(err, BookLeafError::TimestepCollapse { .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -62,11 +68,18 @@ fn deck_with_unknown_material_is_rejected() {
 fn negative_initial_density_is_rejected() {
     let mesh = generate_rect(&RectSpec::unit_square(2), |_| 0).unwrap();
     let mat = MaterialTable::single(EosSpec::ideal_gas(1.4));
-    let err = HydroState::new(&mesh, &mat, |e| if e == 1 { -2.0 } else { 1.0 }, |_| 1.0, |_| {
-        Vec2::ZERO
-    })
+    let err = HydroState::new(
+        &mesh,
+        &mat,
+        |e| if e == 1 { -2.0 } else { 1.0 },
+        |_| 1.0,
+        |_| Vec2::ZERO,
+    )
     .unwrap_err();
-    assert!(matches!(err, BookLeafError::InvalidState { element: 1, .. }), "{err}");
+    assert!(
+        matches!(err, BookLeafError::InvalidState { element: 1, .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -91,8 +104,8 @@ fn rank_panic_surfaces_with_rank_id() {
 fn infeasible_partitions_are_rejected() {
     let mesh = generate_rect(&RectSpec::unit_square(2), |_| 0).unwrap();
     // More ranks than elements.
-    let err = bookleaf::partition::partition(&mesh, 9, bookleaf::partition::Strategy::Rcb)
-        .unwrap_err();
+    let err =
+        bookleaf::partition::partition(&mesh, 9, bookleaf::partition::Strategy::Rcb).unwrap_err();
     assert!(matches!(err, BookLeafError::Partition(_)), "{err}");
     // Poisoned owner array: element assigned to a missing rank.
     let err = SubMeshPlan::build(&mesh, &[0, 0, 0, 7], 2).unwrap_err();
@@ -130,17 +143,26 @@ fn distributed_run_propagates_rank_errors() {
     let deck = decks::sod(16, 2);
     let config = RunConfig {
         final_time: 0.2,
-        dt: DtControls { dt_min: 0.1, ..DtControls::default() },
+        dt: DtControls {
+            dt_min: 0.1,
+            ..DtControls::default()
+        },
         executor: ExecutorKind::FlatMpi { ranks: 2 },
         ..RunConfig::default()
     };
     let err = bookleaf::core::run_distributed(&deck, &config).unwrap_err();
-    assert!(matches!(err, BookLeafError::TimestepCollapse { .. }), "{err}");
+    assert!(
+        matches!(err, BookLeafError::TimestepCollapse { .. }),
+        "{err}"
+    );
 }
 
 #[test]
 fn error_messages_locate_the_offender() {
-    let e = BookLeafError::NegativeVolume { element: 1234, volume: -3.5e-9 };
+    let e = BookLeafError::NegativeVolume {
+        element: 1234,
+        volume: -3.5e-9,
+    };
     let msg = e.to_string();
     assert!(msg.contains("1234"));
     assert!(msg.contains("-3.5"));

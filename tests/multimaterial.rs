@@ -8,7 +8,10 @@ use bookleaf::mesh::geometry::quad_centroid;
 #[test]
 fn underwater_blast_runs_and_conserves() {
     let deck = decks::underwater(40);
-    let config = RunConfig { final_time: 0.004, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: 0.004,
+        ..RunConfig::default()
+    };
     let mut driver = Driver::new(deck, config).unwrap();
     let s = driver.run().unwrap();
     assert!(s.steps > 20, "only {} steps", s.steps);
@@ -21,7 +24,10 @@ fn pressure_wave_propagates_at_water_sound_speed() {
     // t = 0.008 the acoustic front should be near r = 0.15 + 0.21.
     let deck = decks::underwater(50);
     let t = 0.008;
-    let config = RunConfig { final_time: t, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: t,
+        ..RunConfig::default()
+    };
     let mut driver = Driver::new(deck, config).unwrap();
     driver.run().unwrap();
     let mesh = driver.mesh();
@@ -43,7 +49,10 @@ fn pressure_wave_propagates_at_water_sound_speed() {
 #[test]
 fn bubble_expands_and_water_resists() {
     let deck = decks::underwater(40);
-    let config = RunConfig { final_time: 0.006, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: 0.006,
+        ..RunConfig::default()
+    };
     let mut driver = Driver::new(deck, config).unwrap();
     driver.run().unwrap();
     let mesh = driver.mesh();
@@ -62,9 +71,15 @@ fn bubble_expands_and_water_resists() {
     }
     bubble_rho /= nb as f64;
     water_rho /= nw as f64;
-    assert!(bubble_rho < 1.57, "bubble should expand: mean rho {bubble_rho:.3}");
+    assert!(
+        bubble_rho < 1.57,
+        "bubble should expand: mean rho {bubble_rho:.3}"
+    );
     // Nearly incompressible water: mean density stays within ~2%.
-    assert!((water_rho - 1.0).abs() < 0.03, "water mean rho {water_rho:.4}");
+    assert!(
+        (water_rho - 1.0).abs() < 0.03,
+        "water mean rho {water_rho:.4}"
+    );
 }
 
 #[test]
@@ -73,7 +88,10 @@ fn materials_keep_their_identity() {
     // cells stay JWL however far the mesh moves.
     let deck = decks::underwater(30);
     let regions0 = deck.mesh.region.clone();
-    let config = RunConfig { final_time: 0.004, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: 0.004,
+        ..RunConfig::default()
+    };
     let mut driver = Driver::new(deck, config).unwrap();
     driver.run().unwrap();
     assert_eq!(driver.mesh().region, regions0);

@@ -13,16 +13,30 @@ use bookleaf::validate::noh;
 
 fn run_noh(n: usize, t_final: f64) -> Driver {
     let deck = decks::noh(n);
-    let config = RunConfig { final_time: t_final, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: t_final,
+        ..RunConfig::default()
+    };
     let mut driver = Driver::new(deck, config).expect("valid deck");
     driver.run().expect("noh run");
     driver
 }
 
+/// Final time of the shared reference run; the analytic expectations in
+/// the tests below are all derived from this value.
+const T_REF: f64 = 0.6;
+
+/// The 50×50, t=[`T_REF`] reference run is the workhorse of this file;
+/// four tests inspect it read-only, so it is computed once and shared
+/// (it costs ~15 s in debug builds).
+fn reference_run() -> &'static Driver {
+    static RUN: std::sync::OnceLock<Driver> = std::sync::OnceLock::new();
+    RUN.get_or_init(|| run_noh(50, T_REF))
+}
+
 #[test]
 fn shock_plateau_density_approaches_sixteen() {
-    let t = 0.6;
-    let driver = run_noh(50, t);
+    let driver = reference_run();
     let mesh = driver.mesh();
     let st = driver.state();
     // Plateau sample: inside the shock (r < 0.2·0.9) but away from the
@@ -47,8 +61,8 @@ fn shock_plateau_density_approaches_sixteen() {
 
 #[test]
 fn shock_sits_at_one_third_t() {
-    let t = 0.6;
-    let driver = run_noh(50, t);
+    let t = T_REF;
+    let driver = reference_run();
     let mesh = driver.mesh();
     let st = driver.state();
     // The shock is where the radially binned mean density crosses 8
@@ -79,8 +93,8 @@ fn shock_sits_at_one_third_t() {
 
 #[test]
 fn pre_shock_geometric_compression() {
-    let t = 0.6;
-    let driver = run_noh(50, t);
+    let t = T_REF;
+    let driver = reference_run();
     let mesh = driver.mesh();
     let st = driver.state();
     // At r = 0.5 the exact pre-shock density is 1 + t/r = 2.2.
@@ -94,14 +108,17 @@ fn pre_shock_geometric_compression() {
     assert!(!ring.is_empty());
     let mean = ring.iter().sum::<f64>() / ring.len() as f64;
     let expect = noh::exact(0.5, t).rho;
-    assert!((mean - expect).abs() < 0.35, "ring density {mean:.3} vs {expect:.3}");
+    assert!(
+        (mean - expect).abs() < 0.35,
+        "ring density {mean:.3} vs {expect:.3}"
+    );
 }
 
 #[test]
 fn wall_heating_artifact_is_present() {
     // The paper chose Noh precisely because artificial-viscosity codes
     // overheat the origin: density there dips below the plateau.
-    let driver = run_noh(50, 0.6);
+    let driver = reference_run();
     let mesh = driver.mesh();
     let st = driver.state();
     let origin_rho = st.rho[0];
@@ -118,7 +135,11 @@ fn wall_heating_artifact_is_present() {
     );
     // And the origin is overheated relative to the exact post-shock
     // energy e = p/((gamma-1) rho) = (16/3)/( (2/3)*16 ) = 0.5.
-    assert!(st.ein[0] > 0.5, "origin energy {} not overheated", st.ein[0]);
+    assert!(
+        st.ein[0] > 0.5,
+        "origin energy {} not overheated",
+        st.ein[0]
+    );
 }
 
 #[test]
@@ -143,7 +164,10 @@ fn quadrant_symmetry_holds() {
 #[test]
 fn energy_conserved_through_the_implosion() {
     let deck = decks::noh(40);
-    let config = RunConfig { final_time: 0.4, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: 0.4,
+        ..RunConfig::default()
+    };
     let mut driver = Driver::new(deck, config).unwrap();
     let s = driver.run().unwrap();
     assert!(s.energy_drift() < 1e-8, "drift {}", s.energy_drift());

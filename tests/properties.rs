@@ -60,7 +60,7 @@ proptest! {
     #[test]
     fn remap_conserves_and_stays_monotone(
         amp in 0.001f64..0.012,
-        phase in 0.0f64..6.28,
+        phase in 0.0f64..std::f64::consts::TAU,
         rho_hi in 1.5f64..4.0,
     ) {
         let mesh0 = generate_rect(&RectSpec::unit_square(6), |_| 0).unwrap();

@@ -8,7 +8,10 @@ use bookleaf::util::approx_eq;
 #[test]
 fn restart_continues_the_trajectory() {
     let deck = decks::sod(60, 3);
-    let config = RunConfig { final_time: 0.1, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: 0.1,
+        ..RunConfig::default()
+    };
 
     // Reference: one uninterrupted run.
     let mut reference = Driver::new(deck.clone(), config).unwrap();
@@ -40,7 +43,10 @@ fn restart_continues_the_trajectory() {
         &resumed.state().rho,
         &reference.state().volume,
     );
-    assert!(l1 < 5e-4, "L1(rho) between reference and resumed runs = {l1:.2e}");
+    assert!(
+        l1 < 5e-4,
+        "L1(rho) between reference and resumed runs = {l1:.2e}"
+    );
     let max_node_shift = reference
         .mesh()
         .nodes
@@ -48,7 +54,10 @@ fn restart_continues_the_trajectory() {
         .zip(&resumed.mesh().nodes)
         .map(|(a, b)| a.distance(*b))
         .fold(0.0f64, f64::max);
-    assert!(max_node_shift < 5e-4, "mesh shifted by {max_node_shift:.2e}");
+    assert!(
+        max_node_shift < 5e-4,
+        "mesh shifted by {max_node_shift:.2e}"
+    );
     // Conserved quantities are exact regardless of dt sequencing.
     use bookleaf::hydro::LocalRange;
     let range = LocalRange::whole(reference.mesh());
@@ -67,7 +76,10 @@ fn restart_continues_the_trajectory() {
 #[test]
 fn advance_to_is_equivalent_to_run() {
     let deck = decks::noh(20);
-    let config = RunConfig { final_time: 0.06, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: 0.06,
+        ..RunConfig::default()
+    };
 
     let mut whole = Driver::new(deck.clone(), config).unwrap();
     whole.run().unwrap();
@@ -92,15 +104,21 @@ fn advance_to_is_equivalent_to_run() {
 #[test]
 fn vtk_dump_of_a_real_run() {
     let deck = decks::sedov(16);
-    let config = RunConfig { final_time: 0.05, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: 0.05,
+        ..RunConfig::default()
+    };
     let mut driver = Driver::new(deck, config).unwrap();
     driver.run().unwrap();
     let mut out = Vec::new();
-    bookleaf::core::write_vtk(&mut out, driver.mesh(), driver.state(), "sedov t=0.05")
-        .unwrap();
+    bookleaf::core::write_vtk(&mut out, driver.mesh(), driver.state(), "sedov t=0.05").unwrap();
     let text = String::from_utf8(out).unwrap();
     // Spot-check structure and that the blast is in the data.
     assert!(text.contains("CELL_TYPES 256"));
     let rho_section = text.split("SCALARS density").nth(1).unwrap();
-    assert!(rho_section.lines().skip(2).take(256).all(|l| l.trim().parse::<f64>().is_ok()));
+    assert!(rho_section
+        .lines()
+        .skip(2)
+        .take(256)
+        .all(|l| l.trim().parse::<f64>().is_ok()));
 }

@@ -15,7 +15,10 @@ fn run_saltzmann(t_final: f64, hg: HourglassControl) -> Result<Driver, String> {
     let deck = decks::saltzmann(100, 10);
     let config = RunConfig {
         final_time: t_final,
-        lag: bookleaf::hydro::LagOptions { hourglass: hg, ..Default::default() },
+        lag: bookleaf::hydro::LagOptions {
+            hourglass: hg,
+            ..Default::default()
+        },
         ..RunConfig::default()
     };
     let mut driver = Driver::new(deck, config).map_err(|e| e.to_string())?;
@@ -66,8 +69,16 @@ fn mesh_survives_untangled() {
 fn piston_wall_tracks_prescribed_motion() {
     let t = 0.3;
     let driver = run_saltzmann(t, HourglassControl::default()).expect("run");
-    let min_x = driver.mesh().nodes.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
-    assert!((min_x - t).abs() < 1e-6, "piston wall at {min_x:.4}, expected {t}");
+    let min_x = driver
+        .mesh()
+        .nodes
+        .iter()
+        .map(|p| p.x)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        (min_x - t).abs() < 1e-6,
+        "piston wall at {min_x:.4}, expected {t}"
+    );
 }
 
 #[test]

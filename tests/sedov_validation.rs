@@ -13,7 +13,10 @@ use bookleaf::validate::sedov;
 
 fn run_sedov(n: usize, t_final: f64) -> Driver {
     let deck = decks::sedov(n);
-    let config = RunConfig { final_time: t_final, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: t_final,
+        ..RunConfig::default()
+    };
     let mut driver = Driver::new(deck, config).expect("valid deck");
     driver.run().expect("sedov run");
     driver
@@ -35,7 +38,12 @@ fn radial_profile(driver: &Driver, rmax: f64, nbins: usize) -> Vec<(f64, f64)> {
     }
     (0..nbins)
         .filter(|&b| cnt[b] > 0)
-        .map(|b| ((b as f64 + 0.5) / nbins as f64 * rmax, sum[b] / cnt[b] as f64))
+        .map(|b| {
+            (
+                (b as f64 + 0.5) / nbins as f64 * rmax,
+                sum[b] / cnt[b] as f64,
+            )
+        })
         .collect()
 }
 
@@ -68,7 +76,10 @@ fn front_density_approaches_strong_shock_jump() {
     let profile = radial_profile(&driver, 1.1, 44);
     let rho_peak = profile.iter().map(|&(_, rho)| rho).fold(0.0f64, f64::max);
     assert!(rho_peak > 3.0, "front density {rho_peak:.2} too smeared");
-    assert!(rho_peak < 7.0, "front density {rho_peak:.2} overshoots the jump");
+    assert!(
+        rho_peak < 7.0,
+        "front density {rho_peak:.2} overshoots the jump"
+    );
 }
 
 #[test]
@@ -95,7 +106,10 @@ fn blast_is_radially_symmetric_on_cartesian_mesh() {
     };
     let r_axis = front_along(1.0, 0.0);
     let r_diag = front_along(1.0, 1.0);
-    assert!(r_axis > 0.1 && r_diag > 0.1, "no front found: {r_axis} {r_diag}");
+    assert!(
+        r_axis > 0.1 && r_diag > 0.1,
+        "no front found: {r_axis} {r_diag}"
+    );
     assert!(
         (r_axis - r_diag).abs() < 0.08,
         "front not round: axis {r_axis:.3} vs diagonal {r_diag:.3}"
@@ -108,13 +122,19 @@ fn interior_is_evacuated() {
     let driver = run_sedov(45, 0.6);
     let st = driver.state();
     let centre_rho = st.rho[0];
-    assert!(centre_rho < 0.3, "centre density {centre_rho:.3} should be evacuated");
+    assert!(
+        centre_rho < 0.3,
+        "centre density {centre_rho:.3} should be evacuated"
+    );
 }
 
 #[test]
 fn energy_conserved_through_the_blast() {
     let deck = decks::sedov(30);
-    let config = RunConfig { final_time: 0.3, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: 0.3,
+        ..RunConfig::default()
+    };
     let mut driver = Driver::new(deck, config).unwrap();
     let s = driver.run().unwrap();
     assert!(s.energy_drift() < 1e-8, "drift {}", s.energy_drift());

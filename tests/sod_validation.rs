@@ -69,7 +69,10 @@ fn lagrangian_sod_matches_exact_solution() {
         .collect();
     assert!(!plateau.is_empty());
     let mean = plateau.iter().sum::<f64>() / plateau.len() as f64;
-    assert!((mean - 0.26557).abs() < 0.02, "post-shock plateau {mean:.4}");
+    assert!(
+        (mean - 0.26557).abs() < 0.02,
+        "post-shock plateau {mean:.4}"
+    );
 }
 
 #[test]
@@ -112,13 +115,20 @@ fn sod_velocity_plateau_matches_star_state() {
         .collect();
     assert!(!us.is_empty());
     let mean = us.iter().sum::<f64>() / us.len() as f64;
-    assert!((mean - exact.u_star).abs() < 0.05, "u plateau {mean:.4} vs {:.4}", exact.u_star);
+    assert!(
+        (mean - exact.u_star).abs() < 0.05,
+        "u plateau {mean:.4} vs {:.4}",
+        exact.u_star
+    );
 }
 
 #[test]
 fn sod_energy_conserved_in_lagrangian_frame() {
     let deck = decks::sod(80, 2);
-    let config = RunConfig { final_time: 0.2, ..RunConfig::default() };
+    let config = RunConfig {
+        final_time: 0.2,
+        ..RunConfig::default()
+    };
     let mut driver = Driver::new(deck, config).unwrap();
     let s = driver.run().unwrap();
     assert!(s.energy_drift() < 1e-9, "drift {}", s.energy_drift());

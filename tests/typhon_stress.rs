@@ -35,11 +35,12 @@ fn all_to_all_storm_with_interleaved_reductions() {
         checksum
     })
     .unwrap();
-    // Every rank received the same set of payloads.
+    // Every rank received the same set of payloads, minus its own
+    // contribution (for rank 0 that is `0 * 1000 + r`, i.e. just `r`).
     let expect: f64 = (0..8)
         .flat_map(|from| (0..rounds).map(move |r| (from * 1000 + r) as f64))
         .sum::<f64>()
-        - (0..rounds).map(|r| (0 * 1000 + r) as f64).sum::<f64>();
+        - (0..rounds).map(|r| r as f64).sum::<f64>();
     assert_eq!(out[0], expect);
     for w in out.windows(2) {
         // Checksums differ only by each rank's own excluded contribution.

@@ -86,8 +86,16 @@ fn uniform_state_is_steady_on_irregular_valence() {
     let range = LocalRange::whole(&mesh);
     let x0 = mesh.nodes[0];
     for _ in 0..10 {
-        lagstep(&mut mesh, &mat, &mut st, range, 1e-3, &LagOptions::default(), &mut NoComm)
-            .unwrap();
+        lagstep(
+            &mut mesh,
+            &mat,
+            &mut st,
+            range,
+            1e-3,
+            &LagOptions::default(),
+            &mut NoComm,
+        )
+        .unwrap();
     }
     assert!(mesh.nodes[0].distance(x0) < 1e-13, "centre node drifted");
     assert!(st.u[0].norm() < 1e-13);
@@ -102,18 +110,29 @@ fn pressure_imbalance_moves_the_valence5_node_correctly() {
     // it, and total energy stays conserved through the irregular gather.
     let mut mesh = pinwheel();
     let mat = MaterialTable::single(EosSpec::ideal_gas(1.4));
-    let mut st =
-        HydroState::new(&mesh, &mat, |_| 1.0, |e| if e == 0 { 10.0 } else { 1.0 }, |_| {
-            Vec2::ZERO
-        })
-        .unwrap();
+    let mut st = HydroState::new(
+        &mesh,
+        &mat,
+        |_| 1.0,
+        |e| if e == 0 { 10.0 } else { 1.0 },
+        |_| Vec2::ZERO,
+    )
+    .unwrap();
     let range = LocalRange::whole(&mesh);
     let e0 = st.total_energy(&mesh, range);
     // Element 0 spans angles [0, 72deg]; its centroid direction:
     let hot_dir = Vec2::new(36f64.to_radians().cos(), 36f64.to_radians().sin());
     for _ in 0..20 {
-        lagstep(&mut mesh, &mat, &mut st, range, 5e-4, &LagOptions::default(), &mut NoComm)
-            .unwrap();
+        lagstep(
+            &mut mesh,
+            &mat,
+            &mut st,
+            range,
+            5e-4,
+            &LagOptions::default(),
+            &mut NoComm,
+        )
+        .unwrap();
     }
     let disp = mesh.nodes[0];
     assert!(disp.norm() > 1e-6, "centre node should move");

@@ -1,0 +1,61 @@
+//! Workspace smoke test: the Sod deck end-to-end through the serial
+//! [`Driver`], reached exclusively via the `bookleaf` facade crate's
+//! re-exports. This is the cheapest full-stack exercise of the build:
+//! deck construction (`core::decks`), mesh generation (`mesh`), the
+//! material table (`eos`), every Lagrangian kernel (`hydro`) and the
+//! timer/error plumbing (`util`) all have to work for it to pass.
+
+use bookleaf::core::{decks, Driver, RunConfig};
+use bookleaf::hydro::LocalRange;
+
+#[test]
+fn sod_runs_end_to_end_with_physical_bounds() {
+    let deck = decks::sod(60, 3);
+    let config = RunConfig {
+        final_time: 0.1,
+        ..RunConfig::default()
+    };
+    let mut driver = Driver::new(deck, config).expect("valid deck");
+    let summary = driver.run().expect("run to completion");
+
+    assert!(
+        summary.steps > 10,
+        "suspiciously few steps: {}",
+        summary.steps
+    );
+    assert!(
+        (summary.time - 0.1).abs() < 1e-12,
+        "stopped at t = {}",
+        summary.time
+    );
+
+    // Density stays inside the physical envelope of the Sod problem:
+    // between the driven-side and ambient initial states (1.0 / 0.125),
+    // with a small tolerance for shock overshoot.
+    let st = driver.state();
+    for (e, &rho) in st.rho.iter().enumerate() {
+        assert!(rho.is_finite(), "non-finite density in element {e}");
+        assert!(
+            (0.1..=1.2).contains(&rho),
+            "density out of bounds in element {e}: {rho}"
+        );
+    }
+
+    // Internal energy stays positive and bounded; total energy is
+    // conserved to round-off by the compatible-hydro discretisation.
+    for (e, &ein) in st.ein.iter().enumerate() {
+        assert!(
+            ein.is_finite() && ein > 0.0 && ein < 10.0,
+            "internal energy out of bounds in element {e}: {ein}"
+        );
+    }
+    assert!(
+        summary.energy_drift() < 1e-9,
+        "energy drift {}",
+        summary.energy_drift()
+    );
+
+    // The facade's sibling re-exports agree about the run's extents.
+    let range = LocalRange::whole(driver.mesh());
+    assert!(st.total_mass(range) > 0.0);
+}
