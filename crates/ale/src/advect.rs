@@ -11,12 +11,18 @@
 //! weight, which conserves total momentum and leaves nodal velocities
 //! untouched in the zero-motion limit.
 //!
-//! All fluxes are computed once per face (from the element with the
-//! lower id) and applied antisymmetrically, so conservation of mass,
-//! energy and momentum is exact by construction.
+//! Swept volumes are **bitwise antisymmetric** across faces (the
+//! canonical side computes, the other mirrors — see [`crate::fluxvol`]),
+//! so the two elements sharing a face derive bitwise-identical fluxes
+//! with exactly opposite signs and conservation of mass, energy and
+//! momentum is exact by construction. That also makes the accumulation
+//! element-local, which is what lets [`compute_fluxes`] run
+//! element-parallel under `Threading::Rayon`.
 
+use bookleaf_hydro::Threading;
 use bookleaf_mesh::{Mesh, Neighbor};
 use bookleaf_util::Vec2;
+use rayon::prelude::*;
 
 /// Van Leer flux limiter: `φ(r) = (r + |r|) / (1 + |r|)`.
 ///
@@ -72,10 +78,32 @@ fn limited_face_value(donor: f64, down: f64, upstream: Option<f64>) -> f64 {
     }
 }
 
+/// Upstream of the donor: its neighbour across the face opposite the
+/// one joining it to `towards`.
+#[inline]
+fn upstream_of(mesh: &Mesh, donor: usize, towards: usize) -> Option<usize> {
+    let fd = mesh.face_towards(donor, towards)?;
+    match mesh.elel[donor][(fd + 2) % 4] {
+        Neighbor::Element(u) => Some(u as usize),
+        Neighbor::Boundary => None,
+    }
+}
+
 /// Compute all advective fluxes given face swept volumes `fvol`
-/// (positive = leaving the element, antisymmetric across faces).
+/// (positive = leaving the element, **bitwise** antisymmetric across
+/// faces — what [`crate::fluxvol::face_flux_volumes`] now guarantees).
 ///
 /// `cell_u[e]` is the donor-cell velocity used for momentum advection.
+///
+/// The accumulation is *element-order*: every element walks its own
+/// four faces and sums the signed flux each contributes. Because the
+/// `(donor, receiver, vol)` triple derived from `fvol[e][f]` is bitwise
+/// identical from either side of a face, both sides compute bitwise-
+/// identical `dm`/`de`/`dmom` with exactly opposite signs — so
+/// conservation stays exact by construction *and* every element's
+/// output is independent of every other's, which is what lets the
+/// `Threading::Rayon` path fan elements out across the pool (and makes
+/// serial and threaded results bitwise identical).
 #[must_use]
 pub fn compute_fluxes(
     mesh: &Mesh,
@@ -83,6 +111,7 @@ pub fn compute_fluxes(
     ein: &[f64],
     cell_u: &[Vec2],
     fvol: &[[f64; 4]],
+    threading: Threading,
 ) -> AdvectFluxes {
     let ne = mesh.n_elements();
     let mut out = AdvectFluxes {
@@ -91,46 +120,26 @@ pub fn compute_fluxes(
         d_mom: vec![Vec2::ZERO; ne],
     };
 
-    for e in 0..ne {
+    let eval = |e: usize, d_mass: &mut f64, d_energy: &mut f64, d_mom: &mut Vec2| {
         for f in 0..4 {
             let nb = match mesh.elel[e][f] {
                 Neighbor::Element(n) => n as usize,
                 Neighbor::Boundary => continue, // walls are impermeable
             };
-            // Visit each interior face once, from the lower element id.
-            if nb < e {
-                continue;
-            }
             let v = fvol[e][f];
             if v == 0.0 {
                 continue;
             }
-            // Donor = the element losing volume through this face.
+            // Donor = the element losing volume through this face. The
+            // triple is a pure function of the face, not of which side
+            // evaluates it.
             let (donor, receiver, vol) = if v > 0.0 { (e, nb, v) } else { (nb, e, -v) };
-            // Upstream of the donor: its neighbour across the opposite
-            // face. For the lower-id element the face is `f`; opposite is
-            // (f+2)%4. When the donor is the neighbour we must find its
-            // matching face first.
-            let upstream = |d: usize, towards: usize| -> Option<usize> {
-                let fd = (0..4).find(
-                    |&g| matches!(mesh.elel[d][g], Neighbor::Element(x) if x as usize == towards),
-                )?;
-                match mesh.elel[d][(fd + 2) % 4] {
-                    Neighbor::Element(u) => Some(u as usize),
-                    Neighbor::Boundary => None,
-                }
-            };
-            let up = upstream(donor, receiver);
+            let up = upstream_of(mesh, donor, receiver);
 
             let rho_face = limited_face_value(rho[donor], rho[receiver], up.map(|u| rho[u]));
             let ein_face = limited_face_value(ein[donor], ein[receiver], up.map(|u| ein[u]));
             let dm = vol * rho_face;
             let de = dm * ein_face;
-            out.d_mass[donor] += dm;
-            out.d_mass[receiver] -= dm;
-            out.d_energy[donor] += de;
-            out.d_energy[receiver] -= de;
-
             // Momentum: the flux mass carries the limited face velocity
             // (component-wise limiting of the element-centred velocity).
             let ux_face =
@@ -138,8 +147,31 @@ pub fn compute_fluxes(
             let uy_face =
                 limited_face_value(cell_u[donor].y, cell_u[receiver].y, up.map(|u| cell_u[u].y));
             let dmom = Vec2::new(ux_face, uy_face) * dm;
-            out.d_mom[donor] += dmom;
-            out.d_mom[receiver] -= dmom;
+
+            let sign = if donor == e { 1.0 } else { -1.0 };
+            *d_mass += sign * dm;
+            *d_energy += sign * de;
+            *d_mom += dmom * sign;
+        }
+    };
+
+    match threading {
+        Threading::Serial => {
+            for e in 0..ne {
+                let (mut dm, mut de, mut dp) = (0.0, 0.0, Vec2::ZERO);
+                eval(e, &mut dm, &mut de, &mut dp);
+                out.d_mass[e] = dm;
+                out.d_energy[e] = de;
+                out.d_mom[e] = dp;
+            }
+        }
+        Threading::Rayon => {
+            out.d_mass
+                .par_iter_mut()
+                .zip(out.d_energy.par_iter_mut())
+                .zip(out.d_mom.par_iter_mut())
+                .enumerate()
+                .for_each(|(e, ((dm, de), dp))| eval(e, dm, de, dp));
         }
     }
     out
@@ -197,7 +229,7 @@ mod tests {
         let ein = vec![2.0; 9];
         let u = vec![Vec2::ZERO; 9];
         let fvol = vec![[0.0; 4]; 9];
-        let fx = compute_fluxes(&mesh, &rho, &ein, &u, &fvol);
+        let fx = compute_fluxes(&mesh, &rho, &ein, &u, &fvol, Threading::Serial);
         assert!(fx.d_mass.iter().all(|&m| m == 0.0));
         assert!(fx.d_energy.iter().all(|&e| e == 0.0));
     }
@@ -230,8 +262,8 @@ mod tests {
                 p + d
             })
             .collect();
-        let fvol = crate::fluxvol::face_flux_volumes(&mesh, &target);
-        let fx = compute_fluxes(&mesh, &rho, &ein, &u, &fvol);
+        let fvol = crate::fluxvol::face_flux_volumes(&mesh, &target, Threading::Serial);
+        let fx = compute_fluxes(&mesh, &rho, &ein, &u, &fvol, Threading::Serial);
         let total_dm: f64 = fx.d_mass.iter().sum();
         let total_de: f64 = fx.d_energy.iter().sum();
         let total_dp: Vec2 = fx.d_mom.iter().copied().sum();
@@ -260,8 +292,8 @@ mod tests {
                 p + d
             })
             .collect();
-        let fvol = crate::fluxvol::face_flux_volumes(&mesh, &target);
-        let fx = compute_fluxes(&mesh, &rho, &ein, &u, &fvol);
+        let fvol = crate::fluxvol::face_flux_volumes(&mesh, &target, Threading::Serial);
+        let fx = compute_fluxes(&mesh, &rho, &ein, &u, &fvol, Threading::Serial);
         for e in 0..9 {
             let net_v: f64 = fvol[e].iter().sum();
             assert!(approx_eq(fx.d_mass[e], 2.0 * net_v, 1e-12));

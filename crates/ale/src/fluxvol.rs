@@ -13,29 +13,70 @@
 //! module pins them with tests: `fvol[e][f] > 0` ⇔ element `e` *loses*
 //! volume through face `f` (the face moved inward).
 
+use bookleaf_hydro::Threading;
 use bookleaf_mesh::geometry::quad_area;
-use bookleaf_mesh::Mesh;
+use bookleaf_mesh::{Mesh, Neighbor};
 use bookleaf_util::Vec2;
+use rayon::prelude::*;
 
 /// Swept volumes per element face. `fvol[e][f]` is the volume leaving
 /// element `e` through face `f` (negative = volume entering).
-/// Antisymmetric across interior faces.
+/// **Bitwise** antisymmetric across interior faces: every interior face
+/// is evaluated once, from its lower-id element, and mirrored with an
+/// exact sign flip to the other side. (Evaluating the shoelace formula
+/// from each side independently agrees only to round-off; the advection
+/// step's exact conservation relies on the bitwise guarantee.)
 #[must_use]
-pub fn face_flux_volumes(mesh: &Mesh, target: &[Vec2]) -> Vec<[f64; 4]> {
-    let mut fvol = vec![[0.0; 4]; mesh.n_elements()];
-    for e in 0..mesh.n_elements() {
+pub fn face_flux_volumes(mesh: &Mesh, target: &[Vec2], threading: Threading) -> Vec<[f64; 4]> {
+    let ne = mesh.n_elements();
+    // Pass 1: canonical faces only (boundary faces, and interior faces
+    // seen from the lower element id).
+    let canonical = |e: usize| -> [f64; 4] {
+        let mut row = [0.0; 4];
         for f in 0..4 {
+            let is_canonical = match mesh.elel[e][f] {
+                Neighbor::Boundary => true,
+                Neighbor::Element(nb) => e < nb as usize,
+            };
+            if !is_canonical {
+                continue;
+            }
             let a = mesh.elnd[e][f] as usize;
             let b = mesh.elnd[e][(f + 1) % 4] as usize;
             // Swept quad (a_old, b_old, b_new, a_new): for a CCW element
             // this winds CCW (positive area) exactly when the face moves
             // *inward* — the element shrinks and volume leaves through
             // the face — which is the positive-out convention we want.
-            let swept = quad_area(&[mesh.nodes[a], mesh.nodes[b], target[b], target[a]]);
-            fvol[e][f] = swept;
+            row[f] = quad_area(&[mesh.nodes[a], mesh.nodes[b], target[b], target[a]]);
         }
+        row
+    };
+    let canon: Vec<[f64; 4]> = match threading {
+        Threading::Serial => (0..ne).map(canonical).collect(),
+        Threading::Rayon => (0..ne).into_par_iter().map(canonical).collect(),
+    };
+    // Pass 2: mirror the canonical value onto the higher-id side. Reads
+    // only pass-1 (canonical) entries, writes only non-canonical ones,
+    // so the element-parallel version is race-free.
+    let mirror = |e: usize| -> [f64; 4] {
+        let mut row = canon[e];
+        for f in 0..4 {
+            if let Neighbor::Element(nb) = mesh.elel[e][f] {
+                let nb = nb as usize;
+                if nb < e {
+                    let back = mesh
+                        .face_towards(nb, e)
+                        .expect("elel adjacency must be symmetric");
+                    row[f] = -canon[nb][back];
+                }
+            }
+        }
+        row
+    };
+    match threading {
+        Threading::Serial => (0..ne).map(mirror).collect(),
+        Threading::Rayon => (0..ne).into_par_iter().map(mirror).collect(),
     }
-    fvol
 }
 
 /// Sum of the four face fluxes of an element = exact volume it loses,
@@ -55,7 +96,7 @@ mod tests {
     #[test]
     fn stationary_mesh_zero_flux() {
         let mesh = generate_rect(&RectSpec::unit_square(3), |_| 0).unwrap();
-        let fvol = face_flux_volumes(&mesh, &mesh.nodes);
+        let fvol = face_flux_volumes(&mesh, &mesh.nodes, Threading::Serial);
         assert!(fvol.iter().flatten().all(|&v| v == 0.0));
     }
 
@@ -84,7 +125,7 @@ mod tests {
                 p + d
             })
             .collect();
-        let fvol = face_flux_volumes(&mesh, &target);
+        let fvol = face_flux_volumes(&mesh, &target, Threading::Serial);
         for e in 0..mesh.n_elements() {
             for f in 0..4 {
                 if let Neighbor::Element(e2) = mesh.elel[e][f] {
@@ -127,7 +168,7 @@ mod tests {
                 p + d
             })
             .collect();
-        let fvol = face_flux_volumes(&mesh, &target);
+        let fvol = face_flux_volumes(&mesh, &target, Threading::Serial);
         for e in 0..mesh.n_elements() {
             let v_old = quad_area(&mesh.corners(e));
             let c = mesh.elnd[e];
@@ -154,7 +195,7 @@ mod tests {
         // Nodes 1 (1,0) and 3 (1,1) move to x = 0.8.
         target[1].x = 0.8;
         target[3].x = 0.8;
-        let fvol = face_flux_volumes(&mesh, &target);
+        let fvol = face_flux_volumes(&mesh, &target, Threading::Serial);
         // Face 1 is the right edge: element shrinks, volume leaves => +0.2.
         assert!(approx_eq(fvol[0][1], 0.2, 1e-13), "fvol = {}", fvol[0][1]);
         // Other faces: nodes a/b displaced only along the face or not at
@@ -182,7 +223,7 @@ mod tests {
                 t
             })
             .collect();
-        let fvol = face_flux_volumes(&mesh, &target);
+        let fvol = face_flux_volumes(&mesh, &target, Threading::Serial);
         for e in 0..mesh.n_elements() {
             for f in 0..4 {
                 if mesh.elel[e][f] == Neighbor::Boundary {
@@ -191,6 +232,46 @@ mod tests {
                         "boundary face leaked volume: {}",
                         fvol[e][f]
                     );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn antisymmetry_is_bitwise_and_threading_agnostic() {
+        let mesh = generate_rect(&RectSpec::unit_square(6), |_| 0).unwrap();
+        let target: Vec<Vec2> = mesh
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(n, &p)| {
+                let bc = mesh.node_bc[n];
+                let d = Vec2::new(
+                    if bc.fix_x {
+                        0.0
+                    } else {
+                        0.015 * ((n * 7) as f64).sin()
+                    },
+                    if bc.fix_y {
+                        0.0
+                    } else {
+                        0.015 * ((n * 5) as f64).cos()
+                    },
+                );
+                p + d
+            })
+            .collect();
+        let serial = face_flux_volumes(&mesh, &target, Threading::Serial);
+        let rayon = face_flux_volumes(&mesh, &target, Threading::Rayon);
+        assert_eq!(serial, rayon, "threading changed swept volumes");
+        for e in 0..mesh.n_elements() {
+            for f in 0..4 {
+                if let Neighbor::Element(e2) = mesh.elel[e][f] {
+                    let f2 = (0..4)
+                        .find(|&g| mesh.elel[e2 as usize][g] == Neighbor::Element(e as u32))
+                        .unwrap();
+                    // Exact, not approximate: the mirror guarantees it.
+                    assert_eq!(serial[e][f], -serial[e2 as usize][f2]);
                 }
             }
         }

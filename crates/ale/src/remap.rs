@@ -16,8 +16,10 @@
 use bookleaf_mesh::geometry::{char_length, corner_volumes, quad_area};
 use bookleaf_mesh::Mesh;
 use bookleaf_util::{BookLeafError, Result, Vec2};
+use rayon::prelude::*;
 
 use bookleaf_hydro::state::{HydroState, LocalRange};
+use bookleaf_hydro::Threading;
 
 use crate::advect::compute_fluxes;
 use crate::fluxvol::face_flux_volumes;
@@ -66,40 +68,52 @@ impl Remapper {
         self.opts.frequency > 0 && (step_index + 1).is_multiple_of(self.opts.frequency)
     }
 
-    /// Perform one remap over the owned range.
+    /// Perform one remap over the owned range, serial (see
+    /// [`Remapper::step_threaded`]).
     pub fn step(&self, mesh: &mut Mesh, state: &mut HydroState, range: LocalRange) -> Result<()> {
+        self.step_threaded(mesh, state, range, Threading::Serial)
+    }
+
+    /// Perform one remap over the owned range. Under
+    /// [`Threading::Rayon`] every phase (swept volumes, advective
+    /// fluxes, the element update and the nodal velocity distribution)
+    /// runs element- or node-parallel across the current rayon pool;
+    /// the per-index arithmetic is identical to the serial path, so
+    /// both produce bitwise-identical results.
+    pub fn step_threaded(
+        &self,
+        mesh: &mut Mesh,
+        state: &mut HydroState,
+        range: LocalRange,
+        threading: Threading,
+    ) -> Result<()> {
         let target = target_positions(mesh, &self.x_ref, self.opts.mode);
-        let fvol = face_flux_volumes(mesh, &target);
+        let fvol = face_flux_volumes(mesh, &target, threading);
 
         // Element-centred (mass-weighted corner) velocities for momentum.
-        let cell_u: Vec<Vec2> = (0..mesh.n_elements())
-            .map(|e| {
-                let mut p = Vec2::ZERO;
-                let mut m = 0.0;
-                for c in 0..4 {
-                    let nd = mesh.elnd[e][c] as usize;
-                    p += state.u[nd] * state.cnmass[e][c];
-                    m += state.cnmass[e][c];
-                }
-                if m > 0.0 {
-                    p / m
-                } else {
-                    Vec2::ZERO
-                }
-            })
-            .collect();
+        let u = &state.u;
+        let cnmass = &state.cnmass;
+        let element_velocity = |e: usize| {
+            let mut p = Vec2::ZERO;
+            let mut m = 0.0;
+            for c in 0..4 {
+                let nd = mesh.elnd[e][c] as usize;
+                p += u[nd] * cnmass[e][c];
+                m += cnmass[e][c];
+            }
+            if m > 0.0 {
+                p / m
+            } else {
+                Vec2::ZERO
+            }
+        };
+        let ne = mesh.n_elements();
+        let cell_u: Vec<Vec2> = match threading {
+            Threading::Serial => (0..ne).map(element_velocity).collect(),
+            Threading::Rayon => (0..ne).into_par_iter().map(element_velocity).collect(),
+        };
 
-        let fx = compute_fluxes(mesh, &state.rho, &state.ein, &cell_u, &fvol);
-
-        // Old nodal masses (for the velocity update).
-        let nd_mass_old: Vec<f64> = (0..range.n_active_nd)
-            .map(|n| {
-                mesh.elements_of_node(n)
-                    .iter()
-                    .map(|&(e, c)| state.cnmass[e as usize][c as usize])
-                    .sum()
-            })
-            .collect();
+        let fx = compute_fluxes(mesh, &state.rho, &state.ein, &cell_u, &fvol, threading);
 
         // --- Move the mesh and update element extensive quantities. ---
         mesh.nodes[..range.n_active_nd].copy_from_slice(&target[..range.n_active_nd]);
@@ -108,43 +122,59 @@ impl Remapper {
         let nn = mesh.n_nodes();
         mesh.nodes[range.n_active_nd..nn].copy_from_slice(&target[range.n_active_nd..nn]);
 
-        let ne = mesh.n_elements();
         let mut mom_change = vec![Vec2::ZERO; ne];
-        for e in 0..ne {
-            let mass_old = state.mass[e];
-            let energy_old = mass_old * state.ein[e];
+        /// What went wrong in one element's update, if anything.
+        #[derive(Clone, Copy, PartialEq, Eq)]
+        enum Fail {
+            Mass,
+            Volume,
+        }
+        // Per-element update: reads only element-local state (plus the
+        // frozen nodal velocities), writes only element-local state —
+        // safe to fan out. Failures (non-positive mass or volume) are
+        // returned, not raised, so the parallel path needs no early
+        // return; the lowest failing element is reported below. Failed
+        // elements are left untouched, so the error values can be
+        // re-derived from their (still original) state.
+        #[allow(clippy::too_many_arguments)]
+        let update = |e: usize,
+                      mass: &mut f64,
+                      volume: &mut f64,
+                      length: &mut f64,
+                      rho: &mut f64,
+                      ein: &mut f64,
+                      cnvol: &mut [f64; 4],
+                      cnmass: &mut [f64; 4],
+                      mom: &mut Vec2|
+         -> Option<(usize, Fail)> {
+            let mass_old = *mass;
+            let energy_old = mass_old * *ein;
             let mom_old = cell_u[e] * mass_old;
 
             let mass_new = mass_old - fx.d_mass[e];
             let energy_new = energy_old - fx.d_energy[e];
             let mom_new = mom_old - fx.d_mom[e];
             if mass_new <= 0.0 {
-                return Err(BookLeafError::InvalidState {
-                    element: e,
-                    what: format!("remap drove mass non-positive: {mass_new}"),
-                });
+                return Some((e, Fail::Mass));
             }
 
             let corners = mesh.corners(e);
             let vol = quad_area(&corners);
             if vol <= 0.0 {
-                return Err(BookLeafError::NegativeVolume {
-                    element: e,
-                    volume: vol,
-                });
+                return Some((e, Fail::Volume));
             }
-            state.mass[e] = mass_new;
-            state.volume[e] = vol;
-            state.length[e] = char_length(&corners);
-            state.rho[e] = mass_new / vol;
-            state.ein[e] = energy_new / mass_new;
+            *mass = mass_new;
+            *volume = vol;
+            *length = char_length(&corners);
+            *rho = mass_new / vol;
+            *ein = energy_new / mass_new;
             let cv = corner_volumes(&corners);
-            state.cnvol[e] = cv;
+            *cnvol = cv;
             // Uniform sub-zonal density on the fresh mesh: the remap
             // resets sub-zonal pressure deviations (standard for
             // single-material swept remaps; see DESIGN.md).
             for c in 0..4 {
-                state.cnmass[e][c] = state.rho[e] * cv[c];
+                cnmass[c] = *rho * cv[c];
             }
             // Momentum deficit: what the element's corners must gain so
             // that the new-mass-weighted nodal momentum matches the
@@ -152,9 +182,71 @@ impl Remapper {
             let nd = mesh.elnd[e];
             let mut carried = Vec2::ZERO;
             for c in 0..4 {
-                carried += state.u[nd[c] as usize] * state.cnmass[e][c];
+                carried += u[nd[c] as usize] * cnmass[c];
             }
-            mom_change[e] = mom_new - carried;
+            *mom = mom_new - carried;
+            None
+        };
+
+        // Keep the lowest-element failure (deterministic, and the same
+        // element the old early-returning serial loop would have named).
+        let first_fail = |a: Option<(usize, Fail)>, b: Option<(usize, Fail)>| match (a, b) {
+            (Some(x), Some(y)) => Some(if x.0 <= y.0 { x } else { y }),
+            (x, None) => x,
+            (None, y) => y,
+        };
+        let failure = match threading {
+            Threading::Serial => {
+                let mut failure = None;
+                for e in 0..ne {
+                    let f = update(
+                        e,
+                        &mut state.mass[e],
+                        &mut state.volume[e],
+                        &mut state.length[e],
+                        &mut state.rho[e],
+                        &mut state.ein[e],
+                        &mut state.cnvol[e],
+                        &mut state.cnmass[e],
+                        &mut mom_change[e],
+                    );
+                    failure = first_fail(failure, f);
+                }
+                failure
+            }
+            Threading::Rayon => state.mass[..ne]
+                .par_iter_mut()
+                .zip(state.volume[..ne].par_iter_mut())
+                .zip(state.length[..ne].par_iter_mut())
+                .zip(state.rho[..ne].par_iter_mut())
+                .zip(state.ein[..ne].par_iter_mut())
+                .zip(state.cnvol[..ne].par_iter_mut())
+                .zip(state.cnmass[..ne].par_iter_mut())
+                .zip(mom_change.par_iter_mut())
+                .enumerate()
+                .map(
+                    |(e, (((((((mass, volume), length), rho), ein), cnvol), cnmass), mom))| {
+                        update(e, mass, volume, length, rho, ein, cnvol, cnmass, mom)
+                    },
+                )
+                .reduce(|| None, first_fail),
+        };
+        if let Some((e, kind)) = failure {
+            // The failing element was left untouched, so its original
+            // quantities reproduce the offending values exactly.
+            return Err(match kind {
+                Fail::Mass => BookLeafError::InvalidState {
+                    element: e,
+                    what: format!(
+                        "remap drove mass non-positive: {}",
+                        state.mass[e] - fx.d_mass[e]
+                    ),
+                },
+                Fail::Volume => BookLeafError::NegativeVolume {
+                    element: e,
+                    volume: quad_area(&mesh.corners(e)),
+                },
+            });
         }
 
         // --- Distribute momentum deficits to nodal velocities. ---
@@ -164,21 +256,36 @@ impl Remapper {
         // Σ_n m_n^new u_n^new = Σ_e mom_new[e], so total momentum is
         // conserved to round-off. Boundary conditions are *not* applied
         // here — the next `getacc` projects wall-normal components, as in
-        // the reference code.
+        // the reference code. Node-order gather (like `getacc`'s rewrite):
+        // each node owns its own velocity slot, so this fans out too.
         let u_old: Vec<Vec2> = state.u[..range.n_active_nd].to_vec();
-        for n in 0..range.n_active_nd {
+        let cnmass = &state.cnmass;
+        let mass = &state.mass;
+        let node_update = |n: usize, un: &mut Vec2| {
             let mut dp = Vec2::ZERO;
             let mut m_new = 0.0;
             for &(e, c) in mesh.elements_of_node(n) {
                 let (e, c) = (e as usize, c as usize);
-                let w = state.cnmass[e][c] / state.mass[e].max(1e-300);
+                let w = cnmass[e][c] / mass[e].max(1e-300);
                 dp += mom_change[e] * w;
-                m_new += state.cnmass[e][c];
+                m_new += cnmass[e][c];
             }
             if m_new > 0.0 {
-                state.u[n] = u_old[n] + dp / m_new;
+                *un = u_old[n] + dp / m_new;
             }
-            let _ = nd_mass_old; // old masses retained for diagnostics
+        };
+        match threading {
+            Threading::Serial => {
+                for (n, un) in state.u[..range.n_active_nd].iter_mut().enumerate() {
+                    node_update(n, un);
+                }
+            }
+            Threading::Rayon => {
+                state.u[..range.n_active_nd]
+                    .par_iter_mut()
+                    .enumerate()
+                    .for_each(|(n, un)| node_update(n, un));
+            }
         }
         Ok(())
     }
@@ -395,5 +502,53 @@ mod tests {
         remapper.step(&mut mesh, &mut st, range).unwrap();
         let after = assess(&mesh);
         assert!(after.max_skew <= before.max_skew + 1e-12);
+    }
+
+    #[test]
+    fn threaded_remap_is_bitwise_identical_to_serial() {
+        let make = || {
+            let (mut mesh, mut st) = setup(
+                8,
+                |e| if e % 3 == 0 { 1.0 } else { 2.5 },
+                |n| Vec2::new(0.07 * (n % 5) as f64, -0.03 * (n % 7) as f64),
+            );
+            for n in 0..mesh.n_nodes() {
+                let bc = mesh.node_bc[n];
+                if !bc.fix_x {
+                    mesh.nodes[n].x += 0.006 * ((n * 7) as f64).sin();
+                }
+                if !bc.fix_y {
+                    mesh.nodes[n].y += 0.006 * ((n * 11) as f64).cos();
+                }
+            }
+            for e in 0..mesh.n_elements() {
+                let c = mesh.corners(e);
+                st.volume[e] = quad_area(&c);
+                st.rho[e] = st.mass[e] / st.volume[e];
+                let cv = corner_volumes(&c);
+                st.cnvol[e] = cv;
+                for k in 0..4 {
+                    st.cnmass[e][k] = st.rho[e] * cv[k];
+                }
+            }
+            (mesh, st)
+        };
+        use bookleaf_hydro::Threading;
+        let (mut mesh_s, mut st_s) = make();
+        let range = LocalRange::whole(&mesh_s);
+        let remapper = Remapper::new(&mesh_s, AleOptions::default());
+        remapper
+            .step_threaded(&mut mesh_s, &mut st_s, range, Threading::Serial)
+            .unwrap();
+        let (mut mesh_p, mut st_p) = make();
+        remapper
+            .step_threaded(&mut mesh_p, &mut st_p, range, Threading::Rayon)
+            .unwrap();
+        assert_eq!(st_s.rho, st_p.rho);
+        assert_eq!(st_s.ein, st_p.ein);
+        assert_eq!(st_s.mass, st_p.mass);
+        assert_eq!(st_s.cnmass, st_p.cnmass);
+        assert!(st_s.u.iter().zip(&st_p.u).all(|(a, b)| a == b));
+        assert!(mesh_s.nodes.iter().zip(&mesh_p.nodes).all(|(a, b)| a == b));
     }
 }

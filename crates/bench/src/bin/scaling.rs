@@ -1,0 +1,355 @@
+//! Measured **hybrid-vs-flat intra-rank strong scaling** on this host:
+//! the first real (non-modeled) BENCH baseline of the repository.
+//!
+//! Runs Noh and Sod under the hybrid executor at a fixed rank count
+//! while sweeping `threads_per_rank` (default 1/2/4 — the paper's §V
+//! hybrid axis, with `threads_per_rank = 1` degenerating to flat-MPI
+//! kernels), plus a flat-MPI reference at the matching total core
+//! count. Reports wall-clock and the **parallelized kernel section**
+//! (the sum of the eight hydro kernel timers — the code region the
+//! rayon pool actually fans out), and emits everything as
+//! `BENCH_scaling.json` for trend tracking and the CI artifact.
+//!
+//! The speedup that matters (the acceptance bar for the pool rewrite)
+//! is `kernel_section(threads=1) / kernel_section(threads=4)` at equal
+//! rank count: on a multi-core host it should approach the thread
+//! count; on a single-core host (some CI sandboxes) it stays ≈ 1 and
+//! the JSON records `host_cores` so readers can tell the difference.
+//!
+//! ```text
+//! scaling [--problems noh,sod] [--mesh 96] [--final-time 0.02]
+//!         [--ranks 1] [--threads 1,2,4] [--repeats 3]
+//!         [--out BENCH_scaling.json]
+//! ```
+
+use std::fmt::Write as _;
+
+use bookleaf_core::{decks, run_distributed, Deck, ExecutorKind, RunConfig};
+use bookleaf_hydro::AccMode;
+use bookleaf_util::{KernelId, TimerReport};
+
+/// The kernels the pool parallelizes — the "kernel section" of the
+/// acceptance criterion. (Comms, ALE setup and I/O are excluded; ALE is
+/// also parallel now but the default decks run pure Lagrangian.)
+const PARALLEL_KERNELS: [KernelId; 8] = [
+    KernelId::GetDt,
+    KernelId::GetQ,
+    KernelId::GetForce,
+    KernelId::GetAcc,
+    KernelId::GetGeom,
+    KernelId::GetRho,
+    KernelId::GetEin,
+    KernelId::GetPc,
+];
+
+fn kernel_section_seconds(rep: &TimerReport) -> f64 {
+    PARALLEL_KERNELS.iter().map(|&k| rep.seconds(k)).sum()
+}
+
+#[derive(Clone, Copy)]
+struct Args {
+    mesh: usize,
+    final_time: f64,
+    ranks: usize,
+    repeats: usize,
+    run_noh: bool,
+    run_sod: bool,
+}
+
+struct RunResult {
+    label: String,
+    executor: &'static str,
+    threads_per_rank: usize,
+    total_threads: usize,
+    wall_s: f64,
+    kernel_s: f64,
+    per_kernel: Vec<(KernelId, f64)>,
+    steps: usize,
+}
+
+fn deck_for(problem: &str, mesh: usize) -> Deck {
+    match problem {
+        "noh" => decks::noh(mesh),
+        "sod" => decks::sod(mesh, (mesh / 8).max(2)),
+        other => panic!("unknown problem {other:?} (expected noh or sod)"),
+    }
+}
+
+/// Run one configuration `repeats` times; keep the fastest run (the
+/// usual strong-scaling convention — least perturbed by the OS).
+fn measure(
+    problem: &str,
+    args: Args,
+    executor: ExecutorKind,
+    label: String,
+    exec_name: &'static str,
+) -> RunResult {
+    let deck = deck_for(problem, args.mesh);
+    let mut config = RunConfig {
+        final_time: args.final_time,
+        executor,
+        ..RunConfig::default()
+    };
+    let (threads_per_rank, total_threads) = match executor {
+        ExecutorKind::Hybrid {
+            ranks,
+            threads_per_rank,
+        } => (threads_per_rank, ranks * threads_per_rank),
+        ExecutorKind::FlatMpi { ranks } => (1, ranks),
+        ExecutorKind::Serial => (1, 1),
+    };
+    // The conflict-free gather rewrite is what makes the acceleration
+    // kernel threadable (§IV-B); enable it whenever a pool exists. The
+    // arithmetic is identical to the serial gather, so baselines stay
+    // comparable.
+    config.lag.acc_mode = if threads_per_rank > 1 {
+        AccMode::GatherParallel
+    } else {
+        AccMode::GatherSerial
+    };
+
+    let mut best: Option<RunResult> = None;
+    for _ in 0..args.repeats.max(1) {
+        let out = run_distributed(&deck, &config).expect("scaling run failed");
+        let kernel_s = kernel_section_seconds(&out.timers);
+        let candidate = RunResult {
+            label: label.clone(),
+            executor: exec_name,
+            threads_per_rank,
+            total_threads,
+            wall_s: out.wall_seconds,
+            kernel_s,
+            per_kernel: PARALLEL_KERNELS
+                .iter()
+                .map(|&k| (k, out.timers.seconds(k)))
+                .collect(),
+            steps: out.steps,
+        };
+        let better = best
+            .as_ref()
+            .is_none_or(|b| candidate.kernel_s < b.kernel_s);
+        if better {
+            best = Some(candidate);
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+fn json_escape_kernel(k: KernelId) -> String {
+    format!("{k:?}").to_lowercase()
+}
+
+/// The speedup reference: the *narrowest* hybrid run measured, so a
+/// sweep that omits `--threads 1` still gets meaningful ratios instead
+/// of zeros.
+fn baseline(runs: &[RunResult]) -> Option<&RunResult> {
+    runs.iter()
+        .filter(|r| r.executor == "hybrid")
+        .min_by_key(|r| r.threads_per_rank)
+}
+
+fn speedup_vs(base: Option<&RunResult>, r: &RunResult) -> f64 {
+    match base {
+        Some(b) if r.kernel_s > 0.0 => b.kernel_s / r.kernel_s,
+        _ => 0.0,
+    }
+}
+
+fn emit_json(
+    out_path: &str,
+    args: Args,
+    host_cores: usize,
+    problems: &[(String, Vec<RunResult>)],
+) -> std::io::Result<()> {
+    let mut j = String::new();
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"schema\": \"bookleaf-scaling-v1\",");
+    let _ = writeln!(j, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(j, "  \"mesh\": {},", args.mesh);
+    let _ = writeln!(j, "  \"final_time\": {},", args.final_time);
+    let _ = writeln!(j, "  \"ranks\": {},", args.ranks);
+    let _ = writeln!(j, "  \"repeats\": {},", args.repeats);
+    let _ = writeln!(j, "  \"problems\": [");
+    for (pi, (problem, runs)) in problems.iter().enumerate() {
+        let _ = writeln!(j, "    {{");
+        let _ = writeln!(j, "      \"problem\": \"{problem}\",");
+        let _ = writeln!(j, "      \"runs\": [");
+        for (ri, r) in runs.iter().enumerate() {
+            let _ = writeln!(j, "        {{");
+            let _ = writeln!(j, "          \"label\": \"{}\",", r.label);
+            let _ = writeln!(j, "          \"executor\": \"{}\",", r.executor);
+            let _ = writeln!(j, "          \"threads_per_rank\": {},", r.threads_per_rank);
+            let _ = writeln!(j, "          \"total_threads\": {},", r.total_threads);
+            let _ = writeln!(j, "          \"steps\": {},", r.steps);
+            let _ = writeln!(j, "          \"wall_s\": {:.6},", r.wall_s);
+            let _ = writeln!(j, "          \"kernel_section_s\": {:.6},", r.kernel_s);
+            let _ = writeln!(j, "          \"kernels\": {{");
+            for (ki, (k, s)) in r.per_kernel.iter().enumerate() {
+                let comma = if ki + 1 < r.per_kernel.len() { "," } else { "" };
+                let _ = writeln!(
+                    j,
+                    "            \"{}\": {:.6}{comma}",
+                    json_escape_kernel(*k),
+                    s
+                );
+            }
+            let _ = writeln!(j, "          }}");
+            let comma = if ri + 1 < runs.len() { "," } else { "" };
+            let _ = writeln!(j, "        }}{comma}");
+        }
+        let _ = writeln!(j, "      ],");
+        // Speedups of the kernel section relative to the narrowest
+        // hybrid configuration measured (threads_per_rank = 1 in the
+        // default sweep).
+        let base = baseline(runs);
+        let _ = writeln!(
+            j,
+            "      \"speedup_baseline_threads_per_rank\": {},",
+            base.map_or(0, |b| b.threads_per_rank)
+        );
+        let _ = writeln!(j, "      \"kernel_section_speedup_vs_baseline\": {{");
+        let hybrid: Vec<&RunResult> = runs.iter().filter(|r| r.executor == "hybrid").collect();
+        for (hi, r) in hybrid.iter().enumerate() {
+            let comma = if hi + 1 < hybrid.len() { "," } else { "" };
+            let _ = writeln!(
+                j,
+                "        \"{}\": {:.3}{comma}",
+                r.threads_per_rank,
+                speedup_vs(base, r)
+            );
+        }
+        let _ = writeln!(j, "      }}");
+        let comma = if pi + 1 < problems.len() { "," } else { "" };
+        let _ = writeln!(j, "    }}{comma}");
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "}}");
+    std::fs::write(out_path, j)
+}
+
+fn parse_args() -> (Args, Vec<usize>, String) {
+    let mut args = Args {
+        mesh: 96,
+        final_time: 0.02,
+        ranks: 1,
+        repeats: 3,
+        run_noh: true,
+        run_sod: true,
+    };
+    let mut threads = vec![1, 2, 4];
+    let mut out_path = "BENCH_scaling.json".to_string();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i].as_str();
+        let val = argv.get(i + 1).unwrap_or_else(|| {
+            eprintln!("missing value for {key}");
+            std::process::exit(2);
+        });
+        match key {
+            "--mesh" => args.mesh = val.parse().expect("--mesh N"),
+            "--final-time" => args.final_time = val.parse().expect("--final-time T"),
+            "--ranks" => args.ranks = val.parse().expect("--ranks N"),
+            "--repeats" => args.repeats = val.parse().expect("--repeats N"),
+            "--threads" => {
+                threads = val
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads csv of ints"))
+                    .collect();
+            }
+            "--problems" => {
+                args.run_noh = false;
+                args.run_sod = false;
+                for p in val.split(',').map(str::trim) {
+                    match p {
+                        "noh" => args.run_noh = true,
+                        "sod" => args.run_sod = true,
+                        other => {
+                            eprintln!("unknown problem {other:?} (expected noh and/or sod)");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            }
+            "--out" => out_path = val.clone(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    (args, threads, out_path)
+}
+
+fn main() {
+    let (args, threads, out_path) = parse_args();
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    println!("Intra-rank strong scaling (work-stealing rayon shim)");
+    println!(
+        "host cores: {host_cores} | mesh {0}x{0}-ish | t_final {1} | ranks {2} | best of {3}",
+        args.mesh, args.final_time, args.ranks, args.repeats
+    );
+    println!("{}", "=".repeat(76));
+
+    let mut problems: Vec<(String, Vec<RunResult>)> = Vec::new();
+    let selected: Vec<&str> = [("noh", args.run_noh), ("sod", args.run_sod)]
+        .into_iter()
+        .filter_map(|(p, on)| on.then_some(p))
+        .collect();
+
+    for problem in selected {
+        println!("--- {problem} ---");
+        println!(
+            "{:<22} {:>8} {:>12} {:>12} {:>9}",
+            "configuration", "steps", "wall (s)", "kernels (s)", "speedup"
+        );
+        let mut runs: Vec<RunResult> = Vec::new();
+        for &t in &threads {
+            let label = format!("hybrid {}x{t}", args.ranks);
+            let r = measure(
+                problem,
+                args,
+                ExecutorKind::Hybrid {
+                    ranks: args.ranks,
+                    threads_per_rank: t,
+                },
+                label,
+                "hybrid",
+            );
+            runs.push(r);
+        }
+        // Flat-MPI at the same total core count as the widest hybrid,
+        // the paper's §V comparison axis.
+        let max_threads = threads.iter().copied().max().unwrap_or(1);
+        let flat_ranks = args.ranks * max_threads;
+        runs.push(measure(
+            problem,
+            args,
+            ExecutorKind::FlatMpi { ranks: flat_ranks },
+            format!("flat-mpi x{flat_ranks}"),
+            "flat_mpi",
+        ));
+
+        let base = baseline(&runs).map(|b| (b.label.clone(), b.kernel_s));
+        for r in &runs {
+            let speedup = match &base {
+                Some((_, b)) if r.kernel_s > 0.0 => b / r.kernel_s,
+                _ => 0.0,
+            };
+            println!(
+                "{:<22} {:>8} {:>12.4} {:>12.4} {:>8.2}x",
+                r.label, r.steps, r.wall_s, r.kernel_s, speedup
+            );
+        }
+        if let Some((label, _)) = &base {
+            println!("(speedup baseline: {label})");
+        }
+        problems.push((problem.to_string(), runs));
+    }
+
+    emit_json(&out_path, args, host_cores, &problems).expect("write BENCH json");
+    println!("{}", "=".repeat(76));
+    println!("wrote {out_path}");
+}

@@ -109,7 +109,9 @@ pub fn run_loop<H: HaloOps>(
 
         if let (Some(remapper), true) = (remapper, config.ale.is_some()) {
             if remapper.due(steps) {
-                timers.time(KernelId::Ale, || remapper.step(mesh, state, range))?;
+                timers.time(KernelId::Ale, || {
+                    remapper.step_threaded(mesh, state, range, config.lag.threading)
+                })?;
                 timers.time(KernelId::Comms, || halo.post_remap(mesh, state));
             }
         }

@@ -145,6 +145,16 @@ impl Mesh {
         &self.ndel[self.ndel_off[n] as usize..self.ndel_off[n + 1] as usize]
     }
 
+    /// The face of `e` that joins it to neighbour `nb`, if the two
+    /// elements share a face. The single source of the
+    /// "find-the-matching-face" adjacency scan the ALE kernels need in
+    /// several places.
+    #[inline]
+    #[must_use]
+    pub fn face_towards(&self, e: usize, nb: usize) -> Option<usize> {
+        (0..NCORN).find(|&f| matches!(self.elel[e][f], Neighbor::Element(x) if x as usize == nb))
+    }
+
     /// Build the CSR node→element adjacency from `elnd`. Called by
     /// constructors after element connectivity is known.
     pub(crate) fn build_ndel(n_nodes: usize, elnd: &[[u32; NCORN]]) -> (Vec<u32>, Vec<(u32, u8)>) {

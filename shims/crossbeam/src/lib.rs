@@ -13,7 +13,7 @@ pub mod channel {
     #[must_use]
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = std::sync::mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        (Sender(tx), Receiver(std::sync::Mutex::new(rx)))
     }
 
     /// Sending half; cloneable, one per producer.
@@ -31,21 +31,45 @@ pub mod channel {
         }
     }
 
-    /// Receiving half.
-    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+    /// Receiving half. Unlike `std::sync::mpsc::Receiver`, crossbeam's
+    /// receiver is `Sync` (receive-side sharing is allowed), and code in
+    /// this workspace relies on that — e.g. a Typhon rank context moved
+    /// into a rayon pool via `install` must be `Sync`. The `std`
+    /// receiver is wrapped in a mutex to provide the same guarantee; the
+    /// lock is uncontended in practice (one logical consumer per rank).
+    pub struct Receiver<T>(std::sync::Mutex<std::sync::mpsc::Receiver<T>>);
 
     impl<T> Receiver<T> {
+        /// Blocking receive. Waits in bounded slices, releasing the
+        /// internal lock between them, so a concurrent `try_recv` on
+        /// another thread keeps crossbeam's non-blocking contract
+        /// (worst case it waits one slice, never until a message
+        /// arrives for the blocked receiver).
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv()
+            use std::sync::mpsc::RecvTimeoutError;
+            loop {
+                let guard = self.0.lock().expect("receiver poisoned");
+                match guard.recv_timeout(std::time::Duration::from_millis(1)) {
+                    Ok(v) => return Ok(v),
+                    Err(RecvTimeoutError::Disconnected) => return Err(RecvError),
+                    Err(RecvTimeoutError::Timeout) => {
+                        drop(guard);
+                        std::thread::yield_now();
+                    }
+                }
+            }
         }
 
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv()
+            self.0.lock().expect("receiver poisoned").try_recv()
         }
     }
 
     #[cfg(test)]
     mod tests {
+        use std::sync::Arc;
+        use std::time::Duration;
+
         #[test]
         fn send_recv_roundtrip() {
             let (tx, rx) = super::unbounded();
@@ -53,6 +77,28 @@ pub mod channel {
             std::thread::spawn(move || tx2.send(41).unwrap());
             tx.send(1).unwrap();
             assert_eq!(rx.recv().unwrap() + rx.recv().unwrap(), 42);
+        }
+
+        #[test]
+        fn try_recv_does_not_block_behind_a_blocked_recv() {
+            let (tx, rx) = super::unbounded::<u32>();
+            let rx = Arc::new(rx);
+            let rx2 = Arc::clone(&rx);
+            // Park a thread in a blocking recv on the empty channel.
+            let blocked = std::thread::spawn(move || rx2.recv());
+            std::thread::sleep(Duration::from_millis(5));
+            // try_recv from another thread must come back promptly with
+            // Empty, not wait for the blocked receiver's message.
+            let start = std::time::Instant::now();
+            let r = rx.try_recv();
+            assert!(r.is_err(), "channel is empty");
+            assert!(
+                start.elapsed() < Duration::from_millis(250),
+                "try_recv blocked behind recv for {:?}",
+                start.elapsed()
+            );
+            tx.send(7).unwrap();
+            assert_eq!(blocked.join().unwrap().unwrap(), 7);
         }
     }
 }

@@ -1,88 +1,584 @@
-//! Sequential "parallel" iterators: [`ParIter`] wraps a std iterator and
-//! exposes the rayon combinator surface the workspace uses, including the
-//! two-argument `reduce(identity, op)`.
+//! Indexed parallel iterators that genuinely split and execute across
+//! the pool.
+//!
+//! The model is a simplified rayon: every iterator here is *indexed* —
+//! it knows its exact [`len`](ParallelIterator::len) and can
+//! [`split_at`](ParallelIterator::split_at) any index into two disjoint
+//! halves. Consumers ([`for_each`](ParallelIterator::for_each),
+//! [`reduce`](ParallelIterator::reduce), [`sum`](ParallelIterator::sum),
+//! [`collect`](ParallelIterator::collect)) recursively halve the
+//! iterator down to roughly `4 × pool width` leaves (never below
+//! [`with_min_len`](ParallelIterator::with_min_len)), forking at each
+//! level with [`crate::join`] so idle workers steal the larger pending
+//! halves. Leaves run as ordinary sequential iterators.
+//!
+//! Determinism: the split tree depends only on the length, the minimum
+//! leaf length and the pool width — never on runtime stealing — so
+//! `reduce`/`sum` combine in a fixed order and repeated runs are
+//! bitwise identical (the property the hybrid-executor determinism test
+//! pins).
 
-/// A wrapped std iterator with rayon-flavoured combinators.
-pub struct ParIter<I>(I);
+use std::mem::MaybeUninit;
 
-impl<I: Iterator> ParIter<I> {
-    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
-        ParIter(self.0.zip(other.0))
+use crate::pool;
+
+/// How many leaves to aim for: enough surplus over the worker count
+/// that stealing can balance uneven leaf costs, few enough that
+/// per-leaf overhead stays negligible.
+fn split_budget() -> usize {
+    4 * pool::current_num_threads()
+}
+
+// ---------------------------------------------------------------------------
+// The core trait
+
+/// An indexed, splittable parallel iterator (rayon's
+/// `IndexedParallelIterator`, collapsed into a single trait covering the
+/// API subset this workspace uses).
+pub trait ParallelIterator: Sized + Send {
+    /// Item produced (must be sendable to the worker that processes it).
+    type Item: Send;
+    /// The sequential iterator a leaf runs.
+    type Seq: Iterator<Item = Self::Item>;
+
+    /// Exact number of items.
+    fn len(&self) -> usize;
+
+    /// `true` when no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
+    /// Minimum leaf length splitting must respect (see
+    /// [`with_min_len`](ParallelIterator::with_min_len)).
+    fn min_len(&self) -> usize {
+        1
     }
 
-    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
+    /// Split into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Degenerate into the sequential iterator for leaf execution.
+    fn seq(self) -> Self::Seq;
+
+    // -- combinators --------------------------------------------------
+
+    /// Pair up with `other` index-by-index (truncating to the shorter).
+    fn zip<J: ParallelIterator>(self, other: J) -> Zip<Self, J> {
+        Zip { a: self, b: other }
     }
 
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f);
+    /// Attach the global index to every item.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate {
+            base: self,
+            offset: 0,
+        }
     }
 
-    /// Rayon-style reduce: fold from `identity()` with `op`.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    /// Transform every item with `f`.
+    fn map<B, F>(self, f: F) -> Map<Self, F>
     where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+        B: Send,
+        F: Fn(Self::Item) -> B + Clone + Send,
     {
-        self.0.fold(identity(), op)
+        Map { base: self, f }
     }
 
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
+    /// Never split below `len` items per leaf (rayon's splitting bound;
+    /// use it to keep per-item work amortised over chunks).
+    fn with_min_len(self, len: usize) -> MinLen<Self> {
+        MinLen {
+            base: self,
+            min: len.max(1),
+        }
     }
 
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
+    // -- consumers ----------------------------------------------------
+
+    /// Run `op` on every item, in parallel across the pool.
+    fn for_each<OP>(self, op: OP)
+    where
+        OP: Fn(Self::Item) + Send + Sync,
+    {
+        pool::in_pool(|| {
+            drive(
+                self,
+                &|part: Self| part.seq().for_each(&op),
+                &|(), ()| (),
+                split_budget(),
+            );
+        });
     }
 
-    /// No-op in the sequential shim (rayon uses it to bound splitting).
-    #[must_use]
-    pub fn with_min_len(self, _len: usize) -> Self {
-        self
+    /// Rayon-style reduce: leaves fold from `identity()` with `op`;
+    /// sibling results combine with `op` up a fixed tree.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        pool::in_pool(|| {
+            drive(
+                self,
+                &|part: Self| part.seq().fold(identity(), &op),
+                &|a, b| op(a, b),
+                split_budget(),
+            )
+        })
+    }
+
+    /// Sum the items (leaf sums combined pairwise).
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        pool::in_pool(|| {
+            drive(
+                self,
+                &|part: Self| part.seq().sum::<S>(),
+                &|a, b| [a, b].into_iter().sum(),
+                split_budget(),
+            )
+        })
+    }
+
+    /// Collect into a container (only `Vec` is provided, which is what
+    /// the workspace uses — the exact length is known up front, so every
+    /// leaf writes its slice of the output in place).
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
     }
 }
 
-/// Mirror of `rayon::iter::IntoParallelIterator`, implemented for every
-/// `IntoIterator` (ranges, vectors, ...).
+/// Recursive fork-join driver: halve until the split budget or the
+/// minimum leaf length is exhausted, then run `leaf`; combine sibling
+/// results with `merge`. The shape of this recursion is a pure function
+/// of `(len, min_len, splits)` — see the module docs on determinism.
+fn drive<P, R, L, M>(part: P, leaf: &L, merge: &M, splits: usize) -> R
+where
+    P: ParallelIterator,
+    R: Send,
+    L: Fn(P) -> R + Sync,
+    M: Fn(R, R) -> R + Sync,
+{
+    let len = part.len();
+    let min = part.min_len().max(1);
+    if splits <= 1 || len < 2 * min || len < 2 {
+        return leaf(part);
+    }
+    let mid = len / 2;
+    let (left, right) = part.split_at(mid);
+    let (ra, rb) = crate::join(
+        || drive(left, leaf, merge, splits / 2),
+        || drive(right, leaf, merge, splits - splits / 2),
+    );
+    merge(ra, rb)
+}
+
+// ---------------------------------------------------------------------------
+// collect
+
+/// Mirror of `rayon::iter::FromParallelIterator`.
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<P>(par_iter: P) -> Self
+    where
+        P: ParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P>(par_iter: P) -> Self
+    where
+        P: ParallelIterator<Item = T>,
+    {
+        let len = par_iter.len();
+        let mut out: Vec<T> = Vec::with_capacity(len);
+        let written = {
+            let spare = &mut out.spare_capacity_mut()[..len];
+            pool::in_pool(|| fill(par_iter, spare, split_budget()))
+        };
+        // The iterator and the slot slice are split in lockstep, so a
+        // *consistent* ParallelIterator wrote every slot. The trait is
+        // safe and public, though: a third-party impl whose `seq()`
+        // yields fewer items than `len()` must abort here rather than
+        // expose uninitialised memory (the written prefix then leaks,
+        // which is safe).
+        assert_eq!(
+            written, len,
+            "ParallelIterator produced {written} items but reported len {len}"
+        );
+        // SAFETY: exactly `len` slots were initialised, checked above.
+        // On panic we never get here and the written items leak inside
+        // the still-empty Vec, which is safe.
+        unsafe { out.set_len(len) };
+        out
+    }
+}
+
+/// Split the iterator and the output slice in lockstep; leaves write
+/// items into their slots in order. Returns how many slots were
+/// initialised, so the caller can refuse `set_len` on an iterator
+/// whose `seq()` under-delivers its declared `len()`.
+fn fill<P>(part: P, slots: &mut [MaybeUninit<P::Item>], splits: usize) -> usize
+where
+    P: ParallelIterator,
+{
+    let len = part.len();
+    let min = part.min_len().max(1);
+    if splits <= 1 || len < 2 * min || len < 2 {
+        let mut written = 0;
+        for (slot, item) in slots.iter_mut().zip(part.seq()) {
+            slot.write(item);
+            written += 1;
+        }
+        return written;
+    }
+    let mid = len / 2;
+    let (pl, pr) = part.split_at(mid);
+    let (sl, sr) = slots.split_at_mut(mid);
+    let (wl, wr) = crate::join(
+        || fill(pl, sl, splits / 2),
+        || fill(pr, sr, splits - splits / 2),
+    );
+    wl + wr
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+
+/// Parallel iterator over a `usize` range.
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+    type Seq = std::ops::Range<usize>;
+
+    fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = self.start + index;
+        (
+            ParRange {
+                start: self.start,
+                end: mid,
+            },
+            ParRange {
+                start: mid,
+                end: self.end,
+            },
+        )
+    }
+
+    fn seq(self) -> Self::Seq {
+        self.start..self.end
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParSlice<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for ParSlice<'data, T> {
+    type Item = &'data T;
+    type Seq = std::slice::Iter<'data, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (ParSlice { slice: l }, ParSlice { slice: r })
+    }
+
+    fn seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct ParSliceMut<'data, T> {
+    slice: &'data mut [T],
+}
+
+impl<'data, T: Send> ParallelIterator for ParSliceMut<'data, T> {
+    type Item = &'data mut T;
+    type Seq = std::slice::IterMut<'data, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (ParSliceMut { slice: l }, ParSliceMut { slice: r })
+    }
+
+    fn seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptors
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type Seq = std::iter::Zip<A::Seq, B::Seq>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn min_len(&self) -> usize {
+        self.a.min_len().max(self.b.min_len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+
+    fn seq(self) -> Self::Seq {
+        self.a.seq().zip(self.b.seq())
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+    type Seq = std::iter::Zip<std::ops::Range<usize>, P::Seq>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Enumerate {
+                base: l,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: r,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn seq(self) -> Self::Seq {
+        let start = self.offset;
+        let end = start + self.base.len();
+        (start..end).zip(self.base.seq())
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, B, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    B: Send,
+    F: Fn(P::Item) -> B + Clone + Send,
+{
+    type Item = B;
+    type Seq = std::iter::Map<P::Seq, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            Map {
+                base: l,
+                f: self.f.clone(),
+            },
+            Map { base: r, f: self.f },
+        )
+    }
+
+    fn seq(self) -> Self::Seq {
+        self.base.seq().map(self.f)
+    }
+}
+
+/// See [`ParallelIterator::with_min_len`].
+pub struct MinLen<P> {
+    base: P,
+    min: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for MinLen<P> {
+    type Item = P::Item;
+    type Seq = P::Seq;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn min_len(&self) -> usize {
+        self.min.max(self.base.min_len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            MinLen {
+                base: l,
+                min: self.min,
+            },
+            MinLen {
+                base: r,
+                min: self.min,
+            },
+        )
+    }
+
+    fn seq(self) -> Self::Seq {
+        self.base.seq()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits
+
+/// Mirror of `rayon::iter::IntoParallelIterator` for the owned sources
+/// the workspace uses (index ranges).
 pub trait IntoParallelIterator {
-    type SeqIter: Iterator;
-    fn into_par_iter(self) -> ParIter<Self::SeqIter>;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send;
+    fn into_par_iter(self) -> Self::Iter;
 }
 
-impl<T: IntoIterator> IntoParallelIterator for T {
-    type SeqIter = T::IntoIter;
-    fn into_par_iter(self) -> ParIter<Self::SeqIter> {
-        ParIter(self.into_iter())
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            end: self.end.max(self.start),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = ParVec<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { vec: self }
+    }
+}
+
+/// Parallel iterator draining an owned `Vec` (splits cost a
+/// reallocation of the tail half; fine for the coarse splits the driver
+/// performs).
+pub struct ParVec<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+    type Seq = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(index);
+        (self, ParVec { vec: tail })
+    }
+
+    fn seq(self) -> Self::Seq {
+        self.vec.into_iter()
     }
 }
 
 /// Mirror of `rayon::iter::IntoParallelRefIterator` (`.par_iter()`).
 pub trait IntoParallelRefIterator<'data> {
-    type SeqIter: Iterator;
-    fn par_iter(&'data self) -> ParIter<Self::SeqIter>;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send + 'data;
+    fn par_iter(&'data self) -> Self::Iter;
 }
 
-impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-    type SeqIter = std::slice::Iter<'data, T>;
-    fn par_iter(&'data self) -> ParIter<Self::SeqIter> {
-        ParIter(self.iter())
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = ParSlice<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = ParSlice<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { slice: self }
     }
 }
 
 /// Mirror of `rayon::iter::IntoParallelRefMutIterator` (`.par_iter_mut()`).
 pub trait IntoParallelRefMutIterator<'data> {
-    type SeqIter: Iterator;
-    fn par_iter_mut(&'data mut self) -> ParIter<Self::SeqIter>;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    type Item: Send + 'data;
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
 }
 
-impl<'data, T: 'data> IntoParallelRefMutIterator<'data> for [T] {
-    type SeqIter = std::slice::IterMut<'data, T>;
-    fn par_iter_mut(&'data mut self) -> ParIter<Self::SeqIter> {
-        ParIter(self.iter_mut())
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Iter = ParSliceMut<'data, T>;
+    type Item = &'data mut T;
+
+    fn par_iter_mut(&'data mut self) -> ParSliceMut<'data, T> {
+        ParSliceMut { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Iter = ParSliceMut<'data, T>;
+    type Item = &'data mut T;
+
+    fn par_iter_mut(&'data mut self) -> ParSliceMut<'data, T> {
+        ParSliceMut { slice: self }
     }
 }
 
@@ -115,12 +611,76 @@ mod tests {
     }
 
     #[test]
-    fn pool_installs_on_calling_thread() {
-        let pool = crate::ThreadPoolBuilder::new()
-            .num_threads(4)
-            .build()
-            .unwrap();
-        assert_eq!(pool.current_num_threads(), 4);
-        assert_eq!(pool.install(|| 7), 7);
+    fn enumerate_indices_are_global_after_splits() {
+        let n = 10_000usize;
+        let mut out = vec![0usize; n];
+        out.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, slot)| *slot = i);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i);
+        }
+    }
+
+    #[test]
+    fn collect_preserves_order_over_large_ranges() {
+        let n = 50_000usize;
+        let v: Vec<usize> = (0..n).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(v.len(), n);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i + 1);
+        }
+    }
+
+    #[test]
+    fn with_min_len_bounds_leaf_size() {
+        // Behavioural check: results are unchanged; the bound survives
+        // the adaptors it is wrapped by.
+        let it = (0..1000usize).into_par_iter().with_min_len(128);
+        assert_eq!(it.min_len(), 128);
+        let it = (0..1000usize).into_par_iter().with_min_len(64).enumerate();
+        assert_eq!(it.min_len(), 64);
+        let s: usize = (0..1000usize)
+            .into_par_iter()
+            .with_min_len(300)
+            .map(|i| i)
+            .sum();
+        assert_eq!(s, 499_500);
+    }
+
+    #[test]
+    fn zip_truncates_to_shorter_side() {
+        let a = [1, 2, 3, 4, 5];
+        let b = [10, 20, 30];
+        let pairs: Vec<(i32, i32)> = a
+            .par_iter()
+            .zip(b.par_iter())
+            .map(|(x, y)| (*x, *y))
+            .collect();
+        assert_eq!(pairs, vec![(1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn par_iter_over_shared_slices_reads() {
+        let data: Vec<f64> = (0..10_000).map(f64::from).collect();
+        let total: f64 = data.par_iter().map(|x| *x).sum();
+        assert_eq!(total, (9_999.0 * 10_000.0) / 2.0);
+    }
+
+    #[test]
+    fn vec_into_par_iter_consumes() {
+        let v: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 100);
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[99], 2);
+    }
+
+    #[test]
+    fn sum_runs_on_global_pool_outside_install() {
+        // No install in sight: the chain must hop onto the global pool
+        // and still produce the exact integer result.
+        let s: u64 = (0..1_000_000usize).into_par_iter().map(|i| i as u64).sum();
+        assert_eq!(s, 499_999_500_000);
     }
 }

@@ -1,33 +1,55 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate — now a **real fork-join
+//! work-stealing thread pool**, not a sequential mirror.
 //!
 //! The build environment has no access to crates.io, so this crate
 //! provides the exact API subset the workspace uses — `par_iter()`,
 //! `par_iter_mut()`, `into_par_iter()`, the chain combinators
-//! (`zip`/`enumerate`/`map`/`for_each`/`reduce`/`collect`) and
-//! [`ThreadPoolBuilder`] — with a **sequential** implementation on std
-//! iterators. Call sites compile unchanged; swapping in the real rayon
-//! is a one-line change in the workspace manifest.
+//! (`zip`/`enumerate`/`map`/`with_min_len`) and consumers
+//! (`for_each`/`reduce`/`sum`/`collect`), plus [`join`],
+//! [`ThreadPoolBuilder`]/[`ThreadPool`] and [`current_num_threads`] —
+//! implemented over `std` threads and sync primitives only. Call sites
+//! compile unchanged; swapping in the real rayon remains a one-line
+//! change in the workspace manifest.
 //!
-//! Consequence for the hybrid executor: `Threading::Rayon` currently
-//! executes each rank's kernels on the rank thread itself (correctness
-//! is identical, thread-level speedup is deferred until real rayon is
-//! vendored). The flat-MPI executor's rank threads are real threads and
-//! are unaffected.
+//! How it executes (see [`pool`] and [`iter`] for details):
+//!
+//! * each [`ThreadPool`] owns persistent worker threads with per-worker
+//!   deques plus a shared injector; idle workers steal oldest-first;
+//! * [`ThreadPool::install`] moves the closure onto a worker, making
+//!   that pool the thread-local *current pool* for every nested
+//!   `par_iter`/`join` (and for [`current_num_threads`]);
+//! * indexed parallel iterators recursively split index ranges/slices
+//!   and fork with [`join`], so the hybrid executor's kernels genuinely
+//!   run across `threads_per_rank` workers inside each rank;
+//! * `par_iter` chains outside any `install` run on a lazily spawned
+//!   global pool sized to the host, exactly like real rayon;
+//! * panics in workers are captured and re-raised on the calling
+//!   thread.
+//!
+//! The split tree is a pure function of length and pool width — never
+//! of runtime stealing — so reductions combine in a fixed order and
+//! repeated runs are bitwise reproducible.
 
 pub mod iter;
+pub mod pool;
+
+pub use pool::{current_num_threads, join};
 
 pub mod prelude {
     //! Mirror of `rayon::prelude`.
     pub use crate::iter::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator,
     };
 }
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
 
-/// Error returned by [`ThreadPoolBuilder::build`]. Never produced by the
-/// shim; it exists so `?`/`map_err` call sites typecheck.
+/// Error returned by [`ThreadPoolBuilder::build`]. Produced when worker
+/// threads cannot be spawned.
 #[derive(Debug)]
 pub struct ThreadPoolBuildError(());
 
@@ -39,8 +61,7 @@ impl fmt::Display for ThreadPoolBuildError {
 
 impl Error for ThreadPoolBuildError {}
 
-/// Mirror of `rayon::ThreadPoolBuilder`; records the requested width but
-/// builds a pool that runs closures on the calling thread.
+/// Mirror of `rayon::ThreadPoolBuilder`.
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
@@ -52,40 +73,67 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
+    /// Worker count; `0` (the default) means one per available core.
     #[must_use]
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
+    /// Spawn the pool's persistent worker threads.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool {
-            num_threads: self.num_threads.max(1),
-        })
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.num_threads
+        };
+        let (registry, handles) = pool::spawn_registry(n).map_err(|_| ThreadPoolBuildError(()))?;
+        Ok(ThreadPool { registry, handles })
     }
 }
 
-/// Mirror of `rayon::ThreadPool`: `install` runs the closure immediately
-/// on the current thread.
-#[derive(Debug)]
+/// Mirror of `rayon::ThreadPool`: persistent workers; `install` runs a
+/// closure *inside* the pool and blocks until it finishes.
 pub struct ThreadPool {
-    num_threads: usize,
+    registry: Arc<pool::Registry>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.registry.num_threads())
+            .finish()
+    }
 }
 
 impl ThreadPool {
-    /// The width the pool was configured with.
+    /// The width the pool was built with.
     #[must_use]
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.registry.num_threads()
     }
 
-    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        op()
+    /// Execute `op` on a worker of this pool, establishing the pool as
+    /// the current one for every `par_iter`/`join`/
+    /// [`current_num_threads`] reached from inside it. Blocks until the
+    /// closure returns; panics inside it propagate to the caller. When
+    /// called from one of this pool's own workers the closure runs in
+    /// place (nested `install`).
+    pub fn install<R, OP>(&self, op: OP) -> R
+    where
+        R: Send,
+        OP: FnOnce() -> R + Send,
+    {
+        self.registry.install(op)
     }
 }
 
-/// The number of threads the default pool would use (always 1 here).
-#[must_use]
-pub fn current_num_threads() -> usize {
-    1
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate_and_wake();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
 }

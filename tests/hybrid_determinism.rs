@@ -1,0 +1,145 @@
+//! Scheduling-determinism pin for the hybrid executor, now that the
+//! rayon shim is a real work-stealing pool.
+//!
+//! The shim's split tree is a pure function of (length, min leaf, pool
+//! width) — never of which worker steals what — so a
+//! `Hybrid { ranks, threads_per_rank }` run must be **bitwise**
+//! reproducible across repetitions, and must agree with the serial
+//! [`Driver`] to tight tolerance even with the conflict-free parallel
+//! acceleration gather (`AccMode::GatherParallel`) enabled. Repeated
+//! runs shake out scheduling nondeterminism: any data race or
+//! steal-order-dependent reduction would eventually flip a bit.
+
+use bookleaf::core::{decks, run_distributed, Driver, ExecutorKind, RunConfig};
+use bookleaf::hydro::AccMode;
+
+const TOL: f64 = 1e-12;
+const REPEATS: usize = 3;
+
+#[test]
+fn hybrid_gather_parallel_is_deterministic_and_matches_serial() {
+    let deck = decks::sod(32, 4);
+    let mut config = RunConfig {
+        final_time: 0.03,
+        ..RunConfig::default()
+    };
+    config.lag.acc_mode = AccMode::GatherParallel;
+
+    // Serial reference (same acceleration formulation, serial loops).
+    let mut serial = Driver::new(deck.clone(), config).unwrap();
+    serial.run().unwrap();
+
+    let hybrid_config = RunConfig {
+        executor: ExecutorKind::Hybrid {
+            ranks: 2,
+            threads_per_rank: 4,
+        },
+        ..config
+    };
+
+    let reference = run_distributed(&deck, &hybrid_config).unwrap();
+
+    // Against the serial driver: tight tolerance on every field.
+    for e in 0..deck.mesh.n_elements() {
+        assert!(
+            (serial.state().rho[e] - reference.rho[e]).abs() <= TOL,
+            "rho diverged from serial at element {e}: {} vs {}",
+            serial.state().rho[e],
+            reference.rho[e]
+        );
+        assert!(
+            (serial.state().ein[e] - reference.ein[e]).abs() <= TOL,
+            "ein diverged from serial at element {e}"
+        );
+    }
+    for n in 0..deck.mesh.n_nodes() {
+        assert!(
+            (serial.state().u[n] - reference.u[n]).norm() <= TOL,
+            "velocity diverged from serial at node {n}"
+        );
+        assert!(
+            serial.mesh().nodes[n].distance(reference.nodes[n]) <= TOL,
+            "position diverged from serial at node {n}"
+        );
+    }
+
+    // Across repetitions: bitwise identical, every time.
+    for trial in 0..REPEATS {
+        let run = run_distributed(&deck, &hybrid_config).unwrap();
+        assert_eq!(run.steps, reference.steps, "trial {trial}: step count");
+        assert_eq!(
+            run.time.to_bits(),
+            reference.time.to_bits(),
+            "trial {trial}: final time"
+        );
+        for e in 0..deck.mesh.n_elements() {
+            assert_eq!(
+                run.rho[e].to_bits(),
+                reference.rho[e].to_bits(),
+                "trial {trial}: rho not bitwise stable at element {e}"
+            );
+            assert_eq!(
+                run.ein[e].to_bits(),
+                reference.ein[e].to_bits(),
+                "trial {trial}: ein not bitwise stable at element {e}"
+            );
+        }
+        for n in 0..deck.mesh.n_nodes() {
+            assert_eq!(
+                run.u[n].x.to_bits(),
+                reference.u[n].x.to_bits(),
+                "trial {trial}: u.x not bitwise stable at node {n}"
+            );
+            assert_eq!(
+                run.u[n].y.to_bits(),
+                reference.u[n].y.to_bits(),
+                "trial {trial}: u.y not bitwise stable at node {n}"
+            );
+            assert_eq!(
+                run.nodes[n].x.to_bits(),
+                reference.nodes[n].x.to_bits(),
+                "trial {trial}: node x not bitwise stable at node {n}"
+            );
+        }
+    }
+}
+
+/// The same property with the ALE remap in the loop (every phase of the
+/// remap is element/node-parallel under the hybrid executor).
+#[test]
+fn hybrid_eulerian_ale_is_bitwise_reproducible() {
+    use bookleaf::ale::{AleMode, AleOptions};
+    let deck = decks::sod(24, 3);
+    let mut config = RunConfig {
+        final_time: 0.02,
+        ale: Some(AleOptions {
+            mode: AleMode::Eulerian,
+            frequency: 1,
+        }),
+        executor: ExecutorKind::Hybrid {
+            ranks: 2,
+            threads_per_rank: 2,
+        },
+        ..RunConfig::default()
+    };
+    config.lag.acc_mode = AccMode::GatherParallel;
+
+    let reference = run_distributed(&deck, &config).unwrap();
+    for trial in 0..2 {
+        let run = run_distributed(&deck, &config).unwrap();
+        for e in 0..deck.mesh.n_elements() {
+            assert_eq!(
+                run.rho[e].to_bits(),
+                reference.rho[e].to_bits(),
+                "trial {trial}: ALE rho not bitwise stable at element {e}"
+            );
+        }
+        for n in 0..deck.mesh.n_nodes() {
+            assert_eq!(
+                run.u[n].x.to_bits(),
+                reference.u[n].x.to_bits(),
+                "trial {trial}: ALE u not bitwise stable at node {n}"
+            );
+        }
+    }
+}
