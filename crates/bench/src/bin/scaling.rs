@@ -16,6 +16,11 @@
 //! count; on a single-core host (some CI sandboxes) it stays ≈ 1 and
 //! the JSON records `host_cores` so readers can tell the difference.
 //!
+//! Each run also records the team-wide communication counters with the
+//! per-phase breakdown of the aggregated halo exchange (`comm.per_phase`
+//! — messages and doubles for `pre_viscosity` / `pre_acceleration` /
+//! `post_remap`), the message and byte terms of the cluster cost model.
+//!
 //! ```text
 //! scaling [--problems noh,sod] [--mesh 96] [--final-time 0.02]
 //!         [--ranks 1] [--threads 1,2,4] [--repeats 3]
@@ -26,6 +31,7 @@ use std::fmt::Write as _;
 
 use bookleaf_core::{decks, run_distributed, Deck, ExecutorKind, RunConfig};
 use bookleaf_hydro::AccMode;
+use bookleaf_typhon::CommStats;
 use bookleaf_util::{KernelId, TimerReport};
 
 /// The kernels the pool parallelizes — the "kernel section" of the
@@ -65,6 +71,9 @@ struct RunResult {
     kernel_s: f64,
     per_kernel: Vec<(KernelId, f64)>,
     steps: usize,
+    /// Team-wide communication totals, with the per-phase breakdown of
+    /// the aggregated halo exchange (messages + doubles per phase).
+    comm: CommStats,
 }
 
 fn deck_for(problem: &str, mesh: usize) -> Deck {
@@ -124,6 +133,7 @@ fn measure(
                 .map(|&k| (k, out.timers.seconds(k)))
                 .collect(),
             steps: out.steps,
+            comm: out.comm,
         };
         let better = best
             .as_ref()
@@ -163,7 +173,7 @@ fn emit_json(
 ) -> std::io::Result<()> {
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"bookleaf-scaling-v1\",");
+    let _ = writeln!(j, "  \"schema\": \"bookleaf-scaling-v2\",");
     let _ = writeln!(j, "  \"host_cores\": {host_cores},");
     let _ = writeln!(j, "  \"mesh\": {},", args.mesh);
     let _ = writeln!(j, "  \"final_time\": {},", args.final_time);
@@ -193,6 +203,32 @@ fn emit_json(
                     s
                 );
             }
+            let _ = writeln!(j, "          }},");
+            // Team-wide wire traffic of the kept run, broken down per
+            // aggregated exchange phase (the cost model's message and
+            // byte terms).
+            let _ = writeln!(j, "          \"comm\": {{");
+            let _ = writeln!(
+                j,
+                "            \"messages_sent\": {},",
+                r.comm.messages_sent
+            );
+            let _ = writeln!(j, "            \"doubles_sent\": {},", r.comm.doubles_sent);
+            let _ = writeln!(j, "            \"collectives\": {},", r.comm.collectives);
+            let _ = writeln!(j, "            \"per_phase\": {{");
+            for (fi, p) in r.comm.phases.iter().enumerate() {
+                let comma = if fi + 1 < r.comm.phases.len() {
+                    ","
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    j,
+                    "              \"{}\": {{ \"messages\": {}, \"doubles\": {} }}{comma}",
+                    p.name, p.messages_sent, p.doubles_sent
+                );
+            }
+            let _ = writeln!(j, "            }}");
             let _ = writeln!(j, "          }}");
             let comma = if ri + 1 < runs.len() { "," } else { "" };
             let _ = writeln!(j, "        }}{comma}");
@@ -345,6 +381,26 @@ fn main() {
         }
         if let Some((label, _)) = &base {
             println!("(speedup baseline: {label})");
+        }
+        if let Some(r) = runs.last() {
+            let phases: Vec<String> = r
+                .comm
+                .phases
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{} {} msg / {} dbl",
+                        p.name, p.messages_sent, p.doubles_sent
+                    )
+                })
+                .collect();
+            println!(
+                "comm ({}): {} messages, {} doubles [{}]",
+                r.label,
+                r.comm.messages_sent,
+                r.comm.doubles_sent,
+                phases.join("; ")
+            );
         }
         problems.push((problem.to_string(), runs));
     }

@@ -138,7 +138,10 @@ pub fn run_distributed(deck: &Deck, config: &RunConfig) -> Result<DistributedOut
             out.nodes[g as usize] = p;
         }
         out.steps = out.steps.max(r.steps);
-        out.time = r.time;
+        // Max, not last-writer-wins: every rank reports the same final
+        // time, but a reordered result vector must not leave a stale
+        // zero (or any one rank's value) in charge.
+        out.time = out.time.max(r.time);
         out.timers = out.timers.max(&r.timers);
         out.comm = out.comm.merged(&r.comm);
     }
@@ -180,7 +183,9 @@ fn run_rank(
     });
 
     let remapper = config.ale.map(|opts| Remapper::new(&mesh, opts));
-    let mut halo = TyphonHalo { ctx, sub, piston };
+    // Build the rank's aggregated exchange plan once; every halo hook
+    // then moves its whole phase as one message per neighbour.
+    let mut halo = TyphonHalo::new(ctx, sub, piston);
     let timers = TimerRegistry::new();
 
     let mut cursor = crate::driver::LoopState::default();

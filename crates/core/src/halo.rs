@@ -1,21 +1,31 @@
 //! Typhon-backed halo operations and the piston hook.
 //!
 //! [`TyphonHalo`] implements [`bookleaf_hydro::HaloOps`] over a
-//! [`bookleaf_typhon::RankCtx`] and the exchange schedules of a
-//! [`bookleaf_mesh::SubMesh`], reproducing the reference code's two
-//! exchange phases:
+//! [`bookleaf_typhon::HaloPlan`]: each hook is one registered exchange
+//! *phase*, and every field a phase needs travels in a **single packed
+//! message per neighbouring rank** (the reference Typhon's aggregated
+//! quantity registration — see `bookleaf_typhon::plan`):
 //!
-//! * **before the viscosity calculation** — node kinematics (positions
-//!   and velocities) plus ghost element thermodynamic state;
-//! * **before the acceleration** — ghost corner masses and corner
-//!   forces, so every rank can close the nodal gather for its nodes.
+//! * **`pre_viscosity`** — node kinematics (positions and velocities)
+//!   plus ghost element thermodynamic state (ρ, e, p, c²): six fields,
+//!   one message per neighbour;
+//! * **`pre_acceleration`** — ghost corner masses and corner forces, so
+//!   every rank can close the nodal gather for its nodes. Corner forces
+//!   are packed natively as `CornerVec2` — no per-component scratch
+//!   arrays;
+//! * **`post_remap`** — everything an ALE remap rewrites (masses, state,
+//!   volumes, corner masses, node kinematics): seven fields, one
+//!   message per neighbour.
 //!
-//! [`PistonHook`] (and the piston part of `TyphonHalo`) imposes the
+//! Per-phase message and volume counts land in the rank's
+//! [`bookleaf_typhon::CommStats`] breakdown under the phase names above.
+//!
+//! [`LocalPiston`] (and the piston part of `TyphonHalo`) imposes the
 //! Saltzmann driven wall after each acceleration.
 
 use bookleaf_hydro::{HaloOps, HydroState};
 use bookleaf_mesh::{Mesh, SubMesh};
-use bookleaf_typhon::{exchange_corner, exchange_scalar, exchange_vec2, RankCtx};
+use bookleaf_typhon::{Entity, FieldMut, HaloPlan, HaloPlanBuilder, PhaseId, RankCtx, SlotKind};
 use bookleaf_util::Vec2;
 
 /// Node-local piston description (local node ids).
@@ -52,46 +62,96 @@ impl HaloOps for SerialHooks {
     }
 }
 
-/// Distributed hooks: Typhon exchanges plus optional piston.
+/// Distributed hooks: phase-aggregated Typhon exchanges plus optional
+/// piston.
 pub struct TyphonHalo<'a> {
-    /// The rank's communication context.
-    pub ctx: &'a RankCtx,
-    /// The rank's submesh (schedules live here).
-    pub sub: &'a SubMesh,
+    ctx: &'a RankCtx,
+    plan: HaloPlan,
+    pre_visc: PhaseId,
+    pre_acc: PhaseId,
+    post_remap: PhaseId,
     /// Piston with *local* node ids, if any land on this rank.
     pub piston: Option<LocalPiston>,
 }
 
+impl<'a> TyphonHalo<'a> {
+    /// Build the rank's exchange plan from the submesh schedules and
+    /// register the three standard phases.
+    #[must_use]
+    pub fn new(ctx: &'a RankCtx, sub: &SubMesh, piston: Option<LocalPiston>) -> Self {
+        let mut b = HaloPlanBuilder::new(&sub.el_exchange, &sub.nd_exchange);
+        let pre_visc = b.phase(
+            "pre_viscosity",
+            &[
+                (Entity::Node, SlotKind::Vec2),      // mesh.nodes
+                (Entity::Node, SlotKind::Vec2),      // u
+                (Entity::Element, SlotKind::Scalar), // rho
+                (Entity::Element, SlotKind::Scalar), // ein
+                (Entity::Element, SlotKind::Scalar), // pressure
+                (Entity::Element, SlotKind::Scalar), // cs2
+            ],
+        );
+        let pre_acc = b.phase(
+            "pre_acceleration",
+            &[
+                (Entity::Element, SlotKind::Corner4),    // cnmass
+                (Entity::Element, SlotKind::CornerVec2), // cnforce
+            ],
+        );
+        let post_remap = b.phase(
+            "post_remap",
+            &[
+                (Entity::Node, SlotKind::Vec2),       // mesh.nodes
+                (Entity::Node, SlotKind::Vec2),       // u
+                (Entity::Element, SlotKind::Scalar),  // mass
+                (Entity::Element, SlotKind::Scalar),  // rho
+                (Entity::Element, SlotKind::Scalar),  // ein
+                (Entity::Element, SlotKind::Scalar),  // volume
+                (Entity::Element, SlotKind::Corner4), // cnmass
+            ],
+        );
+        TyphonHalo {
+            ctx,
+            plan: b.build(),
+            pre_visc,
+            pre_acc,
+            post_remap,
+            piston,
+        }
+    }
+
+    /// The rank's frozen exchange plan (for accounting and tests).
+    #[must_use]
+    pub fn plan(&self) -> &HaloPlan {
+        &self.plan
+    }
+}
+
 impl HaloOps for TyphonHalo<'_> {
     fn pre_viscosity(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
-        exchange_vec2(self.ctx, &self.sub.nd_exchange, &mut mesh.nodes);
-        exchange_vec2(self.ctx, &self.sub.nd_exchange, &mut state.u);
-        exchange_scalar(self.ctx, &self.sub.el_exchange, &mut state.rho);
-        exchange_scalar(self.ctx, &self.sub.el_exchange, &mut state.ein);
-        exchange_scalar(self.ctx, &self.sub.el_exchange, &mut state.pressure);
-        exchange_scalar(self.ctx, &self.sub.el_exchange, &mut state.cs2);
+        self.plan.execute(
+            self.ctx,
+            self.pre_visc,
+            &mut [
+                FieldMut::Vec2(&mut mesh.nodes),
+                FieldMut::Vec2(&mut state.u),
+                FieldMut::Scalar(&mut state.rho),
+                FieldMut::Scalar(&mut state.ein),
+                FieldMut::Scalar(&mut state.pressure),
+                FieldMut::Scalar(&mut state.cs2),
+            ],
+        );
     }
 
     fn pre_acceleration(&mut self, state: &mut HydroState) {
-        exchange_corner(self.ctx, &self.sub.el_exchange, &mut state.cnmass);
-        // Corner forces are Vec2 per corner: exchange the two components
-        // through scratch corner arrays.
-        let n = state.cnforce.len();
-        let mut fx = vec![[0.0f64; 4]; n];
-        let mut fy = vec![[0.0f64; 4]; n];
-        for e in 0..n {
-            for c in 0..4 {
-                fx[e][c] = state.cnforce[e][c].x;
-                fy[e][c] = state.cnforce[e][c].y;
-            }
-        }
-        exchange_corner(self.ctx, &self.sub.el_exchange, &mut fx);
-        exchange_corner(self.ctx, &self.sub.el_exchange, &mut fy);
-        for e in 0..n {
-            for c in 0..4 {
-                state.cnforce[e][c] = Vec2::new(fx[e][c], fy[e][c]);
-            }
-        }
+        self.plan.execute(
+            self.ctx,
+            self.pre_acc,
+            &mut [
+                FieldMut::Corner4(&mut state.cnmass),
+                FieldMut::CornerVec2(&mut state.cnforce),
+            ],
+        );
     }
 
     fn post_acceleration(&mut self, _mesh: &Mesh, state: &mut HydroState) {
@@ -101,15 +161,19 @@ impl HaloOps for TyphonHalo<'_> {
     }
 
     fn post_remap(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
-        // Remap changes masses and velocities; refresh every ghost field
-        // an owner may have updated.
-        exchange_vec2(self.ctx, &self.sub.nd_exchange, &mut mesh.nodes);
-        exchange_vec2(self.ctx, &self.sub.nd_exchange, &mut state.u);
-        exchange_scalar(self.ctx, &self.sub.el_exchange, &mut state.mass);
-        exchange_scalar(self.ctx, &self.sub.el_exchange, &mut state.rho);
-        exchange_scalar(self.ctx, &self.sub.el_exchange, &mut state.ein);
-        exchange_scalar(self.ctx, &self.sub.el_exchange, &mut state.volume);
-        exchange_corner(self.ctx, &self.sub.el_exchange, &mut state.cnmass);
+        self.plan.execute(
+            self.ctx,
+            self.post_remap,
+            &mut [
+                FieldMut::Vec2(&mut mesh.nodes),
+                FieldMut::Vec2(&mut state.u),
+                FieldMut::Scalar(&mut state.mass),
+                FieldMut::Scalar(&mut state.rho),
+                FieldMut::Scalar(&mut state.ein),
+                FieldMut::Scalar(&mut state.volume),
+                FieldMut::Corner4(&mut state.cnmass),
+            ],
+        );
     }
 }
 
@@ -117,7 +181,8 @@ impl HaloOps for TyphonHalo<'_> {
 mod tests {
     use super::*;
     use bookleaf_eos::{EosSpec, MaterialTable};
-    use bookleaf_mesh::{generate_rect, RectSpec};
+    use bookleaf_mesh::{generate_rect, RectSpec, SubMeshPlan};
+    use bookleaf_typhon::Typhon;
 
     #[test]
     fn piston_overrides_velocity() {
@@ -147,5 +212,55 @@ mod tests {
         };
         hooks.post_acceleration(&mesh, &mut st);
         assert_eq!(st.u[1], Vec2::new(-1.0, 0.0));
+    }
+
+    /// Each hook sends exactly one message per neighbour link, and the
+    /// corner-force exchange round-trips through the native CornerVec2
+    /// packing (no scratch arrays, bit-exact values).
+    #[test]
+    fn hooks_are_one_message_per_neighbour_per_phase() {
+        let m = generate_rect(&RectSpec::unit_square(6), |_| 0).unwrap();
+        let owner: Vec<usize> = (0..m.n_elements())
+            .map(|e| usize::from(e % 6 >= 3))
+            .collect();
+        let subs = SubMeshPlan::build(&m, &owner, 2).unwrap();
+        let mat = MaterialTable::single(EosSpec::ideal_gas(1.4));
+        let out = Typhon::run(2, |ctx| {
+            let sub = &subs[ctx.rank()];
+            let mut mesh = sub.mesh.clone();
+            let mut st = HydroState::new(&mesh, &mat, |_| 1.0, |_| 1.0, |_| Vec2::ZERO).unwrap();
+            // Distinctive owned corner forces; ghosts poisoned.
+            for e in 0..mesh.n_elements() {
+                let g = sub.el_l2g[e] as f64;
+                for c in 0..4 {
+                    st.cnforce[e][c] = if sub.owns_element(e) {
+                        Vec2::new(g + 0.1 * c as f64, -g - 0.1 * c as f64)
+                    } else {
+                        Vec2::new(f64::NAN, f64::NAN)
+                    };
+                }
+            }
+            let mut halo = TyphonHalo::new(ctx, sub, None);
+            halo.pre_viscosity(&mut mesh, &mut st);
+            halo.pre_acceleration(&mut st);
+            halo.post_remap(&mut mesh, &mut st);
+            let forces_ok = (0..mesh.n_elements()).all(|e| {
+                let g = sub.el_l2g[e] as f64;
+                (0..4)
+                    .all(|c| st.cnforce[e][c] == Vec2::new(g + 0.1 * c as f64, -g - 0.1 * c as f64))
+            });
+            (ctx.stats(), halo.plan().n_links(), forces_ok)
+        })
+        .unwrap();
+        for (stats, n_links, forces_ok) in out {
+            assert!(forces_ok, "corner forces corrupted by aggregated packing");
+            // Three phases executed once each: 3 × links messages total.
+            assert_eq!(stats.messages_sent, 3 * n_links as u64);
+            for phase in ["pre_viscosity", "pre_acceleration", "post_remap"] {
+                let p = stats.phase(phase).unwrap();
+                assert_eq!(p.messages_sent, n_links as u64, "{phase}");
+                assert!(p.doubles_sent > 0, "{phase} moved no data");
+            }
+        }
     }
 }

@@ -31,9 +31,19 @@ use crate::Threading;
 /// Communication hooks called at the paper's two exchange points (plus a
 /// post-acceleration hook used by driven-boundary decks such as the
 /// Saltzmann piston). Serial runs use [`NoComm`].
+///
+/// **Aggregation contract:** each hook is one *exchange phase*.
+/// Distributed implementations must register every field a phase needs
+/// up front and move the whole phase as a **single packed message per
+/// neighbouring rank** (see `bookleaf_typhon::plan`), so the per-step
+/// point-to-point message count is `phase executions × neighbour links`
+/// — never `fields × links`. The cluster cost model charges per message
+/// as well as per byte; a hook that sends one message per field inflates
+/// the modeled (and real) wire time several-fold.
 pub trait HaloOps {
-    /// Called immediately before each viscosity calculation: bring ghost
-    /// node kinematics and ghost element state up to date.
+    /// Called immediately before each viscosity calculation (twice per
+    /// step: predictor and corrector): bring ghost node kinematics and
+    /// ghost element thermodynamic state up to date.
     fn pre_viscosity(&mut self, _mesh: &mut Mesh, _state: &mut HydroState) {}
     /// Called immediately before the acceleration: bring ghost corner
     /// masses and forces up to date.

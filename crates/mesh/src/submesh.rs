@@ -86,6 +86,28 @@ impl SubMesh {
     pub fn n_ghost_el(&self) -> usize {
         self.mesh.n_elements() - self.n_owned_el
     }
+
+    /// The ranks this submesh exchanges halo data with: the union of the
+    /// element- and node-schedule peers, sorted ascending. One entry per
+    /// *neighbour link* — a phase-aggregated exchange sends exactly one
+    /// message per entry per phase.
+    #[must_use]
+    pub fn neighbour_ranks(&self) -> Vec<usize> {
+        neighbour_union(&self.el_exchange, &self.nd_exchange)
+    }
+}
+
+/// Sorted, deduplicated union of the peer ranks of two exchange
+/// schedules: the submesh's *neighbour links*. The single source of
+/// truth for the link set — the typhon exchange plan derives its wire
+/// format from this same function, so the message-count invariant
+/// (`messages == phases × links`) cannot drift between layers.
+#[must_use]
+pub fn neighbour_union(el: &[ExchangeList], nd: &[ExchangeList]) -> Vec<usize> {
+    let mut ranks: Vec<usize> = el.iter().chain(nd).map(|x| x.rank).collect();
+    ranks.sort_unstable();
+    ranks.dedup();
+    ranks
 }
 
 /// Builder for the set of [`SubMesh`]es of a run.
@@ -467,6 +489,30 @@ mod tests {
                 assert_eq!(s1.nd_owner[ln], 0, "seam node {g} should belong to rank 0");
             }
         }
+    }
+
+    #[test]
+    fn neighbour_ranks_is_sorted_union_of_schedules() {
+        let m = grid(6);
+        let owner: Vec<usize> = (0..m.n_elements())
+            .map(|e| {
+                let i = e % 6;
+                let j = e / 6;
+                usize::from(i >= 3) + 2 * usize::from(j >= 3)
+            })
+            .collect();
+        let subs = SubMeshPlan::build(&m, &owner, 4).unwrap();
+        for s in &subs {
+            let links = s.neighbour_ranks();
+            assert!(links.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+            assert!(!links.contains(&s.rank), "never a self-link");
+            for ex in s.el_exchange.iter().chain(&s.nd_exchange) {
+                assert!(links.contains(&ex.rank));
+            }
+        }
+        // Quadrants: every rank neighbours the other three (corner
+        // contact counts — node-complete ghost layers see it).
+        assert_eq!(subs[0].neighbour_ranks(), vec![1, 2, 3]);
     }
 
     #[test]

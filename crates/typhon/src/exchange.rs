@@ -1,79 +1,58 @@
-//! Schedule-driven halo exchange.
+//! Legacy single-field halo primitives.
 //!
 //! A [`bookleaf_mesh::SubMesh`] carries, per neighbouring rank, matched
 //! send/recv index lists (sorted by global id on both sides). The
-//! functions here pack a field along the send lists, post all sends, then
-//! receive and unpack — the non-blocking-send / blocking-receive pattern
-//! Typhon uses over MPI.
+//! functions here pack **one** field along the send lists, post all
+//! sends, then receive and unpack — the non-blocking-send /
+//! blocking-receive pattern Typhon uses over MPI.
 //!
-//! BookLeaf performs exactly **two** exchange phases per Lagrangian
-//! half-step: one immediately before the viscosity calculation (element
-//! state + node kinematics) and one immediately before the acceleration
-//! (element corner masses and forces). The driver composes those phases
-//! from these three primitives.
+//! The production exchange path is the phase-aggregated [`crate::plan`]
+//! (one packed message per neighbour *per phase*, not per field); these
+//! primitives remain for decks and tests that move a single field ad
+//! hoc. They are thin wrappers over the plan's packing machinery and
+//! draw payload buffers from the [`RankCtx`] recycle pool, so even
+//! flat-MPI code that bypasses the plan does not churn the allocator.
 
 use bookleaf_mesh::submesh::ExchangeList;
 use bookleaf_util::Vec2;
 
+use crate::plan::{pack, unpack, FieldMut};
 use crate::runtime::RankCtx;
+
+/// Exchange one field along `schedule`: a single message per neighbour
+/// containing just this field.
+fn exchange_single(ctx: &RankCtx, schedule: &[ExchangeList], field: &mut FieldMut<'_>) {
+    let width = field.kind().width();
+    let tag = ctx.next_tag();
+    for ex in schedule {
+        let mut buf = ctx.take_buffer(ex.send.len() * width);
+        pack(&mut buf, &ex.send, field);
+        ctx.send(ex.rank, tag, buf);
+    }
+    for ex in schedule {
+        let payload = ctx.recv(ex.rank, tag);
+        debug_assert_eq!(payload.len(), ex.recv.len() * width);
+        unpack(&payload, &ex.recv, field);
+        ctx.recycle_buffer(payload);
+    }
+}
 
 /// Exchange a per-entity scalar field (element- or node-indexed,
 /// depending on which schedule is passed). After the call, every `recv`
 /// position holds the owner's value.
 pub fn exchange_scalar(ctx: &RankCtx, schedule: &[ExchangeList], field: &mut [f64]) {
-    let tag = ctx.next_tag();
-    for ex in schedule {
-        let payload: Vec<f64> = ex.send.iter().map(|&l| field[l as usize]).collect();
-        ctx.send(ex.rank, tag, payload);
-    }
-    for ex in schedule {
-        let payload = ctx.recv(ex.rank, tag);
-        debug_assert_eq!(payload.len(), ex.recv.len());
-        for (&l, v) in ex.recv.iter().zip(payload) {
-            field[l as usize] = v;
-        }
-    }
+    exchange_single(ctx, schedule, &mut FieldMut::Scalar(field));
 }
 
 /// Exchange a per-entity [`Vec2`] field (positions, velocities).
 pub fn exchange_vec2(ctx: &RankCtx, schedule: &[ExchangeList], field: &mut [Vec2]) {
-    let tag = ctx.next_tag();
-    for ex in schedule {
-        let mut payload = Vec::with_capacity(ex.send.len() * 2);
-        for &l in &ex.send {
-            let v = field[l as usize];
-            payload.push(v.x);
-            payload.push(v.y);
-        }
-        ctx.send(ex.rank, tag, payload);
-    }
-    for ex in schedule {
-        let payload = ctx.recv(ex.rank, tag);
-        debug_assert_eq!(payload.len(), ex.recv.len() * 2);
-        for (i, &l) in ex.recv.iter().enumerate() {
-            field[l as usize] = Vec2::new(payload[2 * i], payload[2 * i + 1]);
-        }
-    }
+    exchange_single(ctx, schedule, &mut FieldMut::Vec2(field));
 }
 
 /// Exchange a per-element-corner field (corner masses, corner force
 /// components): four doubles per schedule entry.
 pub fn exchange_corner(ctx: &RankCtx, schedule: &[ExchangeList], field: &mut [[f64; 4]]) {
-    let tag = ctx.next_tag();
-    for ex in schedule {
-        let mut payload = Vec::with_capacity(ex.send.len() * 4);
-        for &l in &ex.send {
-            payload.extend_from_slice(&field[l as usize]);
-        }
-        ctx.send(ex.rank, tag, payload);
-    }
-    for ex in schedule {
-        let payload = ctx.recv(ex.rank, tag);
-        debug_assert_eq!(payload.len(), ex.recv.len() * 4);
-        for (i, &l) in ex.recv.iter().enumerate() {
-            field[l as usize].copy_from_slice(&payload[4 * i..4 * i + 4]);
-        }
-    }
+    exchange_single(ctx, schedule, &mut FieldMut::Corner4(field));
 }
 
 #[cfg(test)]

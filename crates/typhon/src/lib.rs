@@ -16,16 +16,23 @@
 //! ## Pieces
 //!
 //! * [`runtime`] — the rank team: spawn N rank threads, point-to-point
-//!   send/recv with tag matching, barriers and global min/sum reductions;
-//! * [`exchange`] — schedule-driven halo exchange of scalar, vector and
-//!   per-corner element fields over a [`bookleaf_mesh::SubMesh`];
+//!   send/recv with tag matching, barriers and global min/sum reductions,
+//!   plus a per-rank payload-buffer recycle pool;
+//! * [`plan`] — the phase-aggregated exchange plan: register typed field
+//!   slots per phase once, then move each phase as **one** packed message
+//!   per neighbour, with per-phase traffic accounting;
+//! * [`exchange`] — the legacy single-field halo primitives (scalar,
+//!   vector, per-corner) over a [`bookleaf_mesh::SubMesh`], thin wrappers
+//!   over the plan's packing machinery;
 //! * [`stats`] — per-rank communication counters (messages, doubles
-//!   moved) consumed by the performance models.
+//!   moved, per-phase breakdowns) consumed by the performance models.
 
 pub mod exchange;
+pub mod plan;
 pub mod runtime;
 pub mod stats;
 
 pub use exchange::{exchange_corner, exchange_scalar, exchange_vec2};
+pub use plan::{Entity, FieldMut, HaloPlan, HaloPlanBuilder, PhaseId, SlotKind};
 pub use runtime::{RankCtx, Typhon};
-pub use stats::CommStats;
+pub use stats::{CommStats, PhaseStats};

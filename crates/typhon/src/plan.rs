@@ -1,0 +1,668 @@
+//! Phase-aggregated halo exchange: one message per neighbour per phase.
+//!
+//! The reference Typhon registers every quantity a communication *phase*
+//! needs up front and then moves the whole phase in a single packed
+//! buffer per neighbouring process — the cluster cost model (see
+//! [`crate::stats`]) charges per message as well as per byte, so message
+//! count is a first-order term. The naive port sent one tagged message
+//! per field (6 before viscosity, 3 before acceleration, 7 after an ALE
+//! remap); a [`HaloPlan`] collapses each phase to exactly **one** send
+//! and **one** receive per neighbour link.
+//!
+//! ## Packed-buffer layout
+//!
+//! A plan is built once per rank from the submesh's element and node
+//! [`ExchangeList`]s. Phases are registered with
+//! [`HaloPlanBuilder::phase`] as an ordered list of typed *slots*:
+//!
+//! | [`SlotKind`]  | entity payload        | doubles per entry |
+//! |---------------|-----------------------|-------------------|
+//! | `Scalar`      | `f64`                 | 1                 |
+//! | `Vec2`        | [`Vec2`]              | 2 (`x`, `y`)      |
+//! | `Corner4`     | `[f64; 4]`            | 4 (corner order)  |
+//! | `CornerVec2`  | `[Vec2; 4]`           | 8 (`x`,`y` × 4)   |
+//!
+//! The send buffer for neighbour `r` in a phase is the concatenation of
+//! the registered slots **in registration order**; within a slot,
+//! entries follow the schedule's index list, which both ends keep sorted
+//! by global id. Because every rank registers the same phases with the
+//! same slot order (the plan is built by the same code path on all
+//! ranks), sender and receiver agree on the layout without exchanging
+//! any metadata; per-neighbour, per-slot offsets are precomputed at
+//! build time so unpacking indexes straight into the received payload.
+//!
+//! Ranks whose element or node lists are empty in one direction still
+//! exchange one (possibly empty) message per phase — that keeps the
+//! invariant `messages_sent == phase executions × neighbour links`
+//! exact, which the accounting tests and the cost model rely on.
+//!
+//! Payload buffers come from the [`RankCtx`] recycle pool and are
+//! returned to it after unpacking, so steady-state stepping performs no
+//! allocation in the exchange path.
+
+use bookleaf_mesh::submesh::ExchangeList;
+use bookleaf_util::Vec2;
+
+use crate::runtime::RankCtx;
+
+/// Which local index space a slot's field lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Entity {
+    /// Element-indexed (uses the element exchange schedule).
+    Element,
+    /// Node-indexed (uses the node exchange schedule).
+    Node,
+}
+
+/// The shape of one registered field slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotKind {
+    /// One double per entry.
+    Scalar,
+    /// A [`Vec2`] per entry.
+    Vec2,
+    /// Four doubles per entry (per-corner element data).
+    Corner4,
+    /// Four [`Vec2`]s per entry (per-corner vector data, e.g. corner
+    /// forces) — packed natively, no component scratch arrays needed.
+    CornerVec2,
+}
+
+impl SlotKind {
+    /// Doubles per schedule entry.
+    #[must_use]
+    pub fn width(self) -> usize {
+        match self {
+            SlotKind::Scalar => 1,
+            SlotKind::Vec2 => 2,
+            SlotKind::Corner4 => 4,
+            SlotKind::CornerVec2 => 8,
+        }
+    }
+}
+
+/// A mutable field bound to a slot at execution time.
+pub enum FieldMut<'a> {
+    /// Binds a [`SlotKind::Scalar`] slot.
+    Scalar(&'a mut [f64]),
+    /// Binds a [`SlotKind::Vec2`] slot.
+    Vec2(&'a mut [Vec2]),
+    /// Binds a [`SlotKind::Corner4`] slot.
+    Corner4(&'a mut [[f64; 4]]),
+    /// Binds a [`SlotKind::CornerVec2`] slot.
+    CornerVec2(&'a mut [[Vec2; 4]]),
+}
+
+impl FieldMut<'_> {
+    /// The [`SlotKind`] this binding satisfies.
+    #[must_use]
+    pub fn kind(&self) -> SlotKind {
+        match self {
+            FieldMut::Scalar(_) => SlotKind::Scalar,
+            FieldMut::Vec2(_) => SlotKind::Vec2,
+            FieldMut::Corner4(_) => SlotKind::Corner4,
+            FieldMut::CornerVec2(_) => SlotKind::CornerVec2,
+        }
+    }
+
+    /// Entries in the bound slice.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            FieldMut::Scalar(f) => f.len(),
+            FieldMut::Vec2(f) => f.len(),
+            FieldMut::Corner4(f) => f.len(),
+            FieldMut::CornerVec2(f) => f.len(),
+        }
+    }
+
+    /// True when the bound slice is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Handle for a registered phase (index into the plan's phase table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseId(usize);
+
+/// One neighbour link: the element and node index lists agreed with one
+/// peer rank. Lists are owned copies so the plan has no lifetime
+/// coupling to the submesh.
+#[derive(Debug, Clone)]
+struct Link {
+    rank: usize,
+    el_send: Vec<u32>,
+    el_recv: Vec<u32>,
+    nd_send: Vec<u32>,
+    nd_recv: Vec<u32>,
+}
+
+impl Link {
+    fn send_list(&self, entity: Entity) -> &[u32] {
+        match entity {
+            Entity::Element => &self.el_send,
+            Entity::Node => &self.nd_send,
+        }
+    }
+
+    fn recv_list(&self, entity: Entity) -> &[u32] {
+        match entity {
+            Entity::Element => &self.el_recv,
+            Entity::Node => &self.nd_recv,
+        }
+    }
+}
+
+/// Precomputed buffer layout of one phase on one link.
+#[derive(Debug, Clone)]
+struct LinkLayout {
+    /// Total doubles this rank packs for the link.
+    send_total: usize,
+    /// Total doubles this rank expects from the link.
+    recv_total: usize,
+    /// Per-slot start offsets into the received payload.
+    recv_off: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct PhasePlan {
+    name: &'static str,
+    slots: Vec<(Entity, SlotKind)>,
+    /// Parallel to [`HaloPlan::links`].
+    layouts: Vec<LinkLayout>,
+}
+
+/// Registers phases against a pair of exchange schedules, then
+/// [`HaloPlanBuilder::build`]s the immutable [`HaloPlan`].
+#[derive(Debug)]
+pub struct HaloPlanBuilder {
+    links: Vec<Link>,
+    phases: Vec<(&'static str, Vec<(Entity, SlotKind)>)>,
+}
+
+impl HaloPlanBuilder {
+    /// Start a plan over a submesh's element and node schedules. The
+    /// neighbour set is the union of both schedules' peer ranks, sorted
+    /// ascending (identical on every rank by construction) — computed by
+    /// [`bookleaf_mesh::neighbour_union`], the same helper
+    /// `SubMesh::neighbour_ranks` uses, so the plan's link set cannot
+    /// drift from the mesh layer's.
+    #[must_use]
+    pub fn new(el: &[ExchangeList], nd: &[ExchangeList]) -> Self {
+        let links = bookleaf_mesh::neighbour_union(el, nd)
+            .into_iter()
+            .map(|rank| {
+                let e = el.iter().find(|x| x.rank == rank);
+                let n = nd.iter().find(|x| x.rank == rank);
+                Link {
+                    rank,
+                    el_send: e.map(|x| x.send.clone()).unwrap_or_default(),
+                    el_recv: e.map(|x| x.recv.clone()).unwrap_or_default(),
+                    nd_send: n.map(|x| x.send.clone()).unwrap_or_default(),
+                    nd_recv: n.map(|x| x.recv.clone()).unwrap_or_default(),
+                }
+            })
+            .collect();
+        HaloPlanBuilder {
+            links,
+            phases: Vec::new(),
+        }
+    }
+
+    /// Register a phase: an ordered list of `(entity, kind)` slots.
+    /// Every rank must register the same phases in the same order with
+    /// the same slots — that shared registration *is* the wire format.
+    pub fn phase(&mut self, name: &'static str, slots: &[(Entity, SlotKind)]) -> PhaseId {
+        self.phases.push((name, slots.to_vec()));
+        PhaseId(self.phases.len() - 1)
+    }
+
+    /// Freeze registration and precompute every per-link buffer layout.
+    #[must_use]
+    pub fn build(self) -> HaloPlan {
+        // Minimum field length per entity: the largest local index any
+        // schedule touches, +1. Lets execute() reject a field bound to
+        // the wrong index space (or simply too short) with a diagnostic
+        // instead of shipping garbage or panicking deep in pack().
+        let min_len = |lists: fn(&Link) -> [&[u32]; 2]| {
+            self.links
+                .iter()
+                .flat_map(|l| lists(l).into_iter().flatten())
+                .map(|&i| i as usize + 1)
+                .max()
+                .unwrap_or(0)
+        };
+        let el_min_len = min_len(|l| [&l.el_send, &l.el_recv]);
+        let nd_min_len = min_len(|l| [&l.nd_send, &l.nd_recv]);
+        let phases = self
+            .phases
+            .into_iter()
+            .map(|(name, slots)| {
+                let layouts = self
+                    .links
+                    .iter()
+                    .map(|link| {
+                        let mut send_total = 0;
+                        let mut recv_total = 0;
+                        let mut recv_off = Vec::with_capacity(slots.len());
+                        for &(entity, kind) in &slots {
+                            send_total += link.send_list(entity).len() * kind.width();
+                            recv_off.push(recv_total);
+                            recv_total += link.recv_list(entity).len() * kind.width();
+                        }
+                        LinkLayout {
+                            send_total,
+                            recv_total,
+                            recv_off,
+                        }
+                    })
+                    .collect();
+                PhasePlan {
+                    name,
+                    slots,
+                    layouts,
+                }
+            })
+            .collect();
+        HaloPlan {
+            links: self.links,
+            phases,
+            el_min_len,
+            nd_min_len,
+        }
+    }
+}
+
+/// The frozen exchange plan of one rank: neighbour links, registered
+/// phases, and their precomputed packed-buffer layouts. See the module
+/// docs for the wire format.
+#[derive(Debug)]
+pub struct HaloPlan {
+    links: Vec<Link>,
+    phases: Vec<PhasePlan>,
+    /// Minimum length an element-indexed field must have (largest
+    /// element index any schedule touches, +1).
+    el_min_len: usize,
+    /// Minimum length a node-indexed field must have.
+    nd_min_len: usize,
+}
+
+impl HaloPlan {
+    /// Number of neighbour links (= messages sent per phase execution).
+    #[must_use]
+    pub fn n_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Peer ranks of this plan's links, ascending.
+    #[must_use]
+    pub fn link_ranks(&self) -> Vec<usize> {
+        self.links.iter().map(|l| l.rank).collect()
+    }
+
+    /// The registered name of `phase`.
+    #[must_use]
+    pub fn phase_name(&self, phase: PhaseId) -> &'static str {
+        self.phases[phase.0].name
+    }
+
+    /// Doubles this rank sends per execution of `phase` (all links).
+    #[must_use]
+    pub fn doubles_per_execution(&self, phase: PhaseId) -> usize {
+        self.phases[phase.0]
+            .layouts
+            .iter()
+            .map(|l| l.send_total)
+            .sum()
+    }
+
+    /// Execute `phase`: pack every registered slot from `fields` into
+    /// one buffer per neighbour, post all sends, then receive and unpack
+    /// one buffer per neighbour.
+    ///
+    /// `fields` must match the phase's registered slots in order and
+    /// kind (checked). Like the legacy primitives, all ranks must
+    /// execute their phases in the same global order so tags match.
+    ///
+    /// # Panics
+    ///
+    /// If `fields` disagrees with the phase registration, or a received
+    /// payload has the wrong length (peer plan mismatch).
+    pub fn execute(&self, ctx: &RankCtx, phase: PhaseId, fields: &mut [FieldMut<'_>]) {
+        let ph = &self.phases[phase.0];
+        assert_eq!(
+            fields.len(),
+            ph.slots.len(),
+            "phase {:?}: {} fields bound to {} registered slots",
+            ph.name,
+            fields.len(),
+            ph.slots.len()
+        );
+        for (i, (field, &(entity, kind))) in fields.iter().zip(&ph.slots).enumerate() {
+            assert_eq!(
+                field.kind(),
+                kind,
+                "phase {:?}: slot {i} bound to a {:?} field but registered as {kind:?}",
+                ph.name,
+                field.kind()
+            );
+            let need = match entity {
+                Entity::Element => self.el_min_len,
+                Entity::Node => self.nd_min_len,
+            };
+            assert!(
+                field.len() >= need,
+                "phase {:?}: slot {i} ({entity:?}) bound to a field of length {} \
+                 but the schedules index up to {need} — wrong index space?",
+                ph.name,
+                field.len()
+            );
+        }
+
+        let tag = ctx.next_tag();
+        for (link, layout) in self.links.iter().zip(&ph.layouts) {
+            let mut buf = ctx.take_buffer(layout.send_total);
+            for (field, &(entity, _)) in fields.iter().zip(&ph.slots) {
+                pack(&mut buf, link.send_list(entity), field);
+            }
+            debug_assert_eq!(buf.len(), layout.send_total);
+            ctx.send_in_phase(link.rank, tag, buf, ph.name);
+        }
+        for (link, layout) in self.links.iter().zip(&ph.layouts) {
+            let payload = ctx.recv(link.rank, tag);
+            assert_eq!(
+                payload.len(),
+                layout.recv_total,
+                "phase {:?}: peer {} sent {} doubles, layout expects {}",
+                ph.name,
+                link.rank,
+                payload.len(),
+                layout.recv_total
+            );
+            for ((field, &(entity, _)), &off) in
+                fields.iter_mut().zip(&ph.slots).zip(&layout.recv_off)
+            {
+                unpack(&payload[off..], link.recv_list(entity), field);
+            }
+            ctx.recycle_buffer(payload);
+        }
+    }
+}
+
+/// Append `field`'s entries along `idx` to `buf`.
+pub(crate) fn pack(buf: &mut Vec<f64>, idx: &[u32], field: &FieldMut<'_>) {
+    match field {
+        FieldMut::Scalar(f) => {
+            buf.extend(idx.iter().map(|&l| f[l as usize]));
+        }
+        FieldMut::Vec2(f) => {
+            for &l in idx {
+                let v = f[l as usize];
+                buf.push(v.x);
+                buf.push(v.y);
+            }
+        }
+        FieldMut::Corner4(f) => {
+            for &l in idx {
+                buf.extend_from_slice(&f[l as usize]);
+            }
+        }
+        FieldMut::CornerVec2(f) => {
+            for &l in idx {
+                for v in &f[l as usize] {
+                    buf.push(v.x);
+                    buf.push(v.y);
+                }
+            }
+        }
+    }
+}
+
+/// Scatter `payload` (starting at the slot's offset) into `field` along
+/// `idx`.
+pub(crate) fn unpack(payload: &[f64], idx: &[u32], field: &mut FieldMut<'_>) {
+    match field {
+        FieldMut::Scalar(f) => {
+            for (&l, &v) in idx.iter().zip(payload) {
+                f[l as usize] = v;
+            }
+        }
+        FieldMut::Vec2(f) => {
+            for (i, &l) in idx.iter().enumerate() {
+                f[l as usize] = Vec2::new(payload[2 * i], payload[2 * i + 1]);
+            }
+        }
+        FieldMut::Corner4(f) => {
+            for (i, &l) in idx.iter().enumerate() {
+                f[l as usize].copy_from_slice(&payload[4 * i..4 * i + 4]);
+            }
+        }
+        FieldMut::CornerVec2(f) => {
+            for (i, &l) in idx.iter().enumerate() {
+                for (c, v) in f[l as usize].iter_mut().enumerate() {
+                    *v = Vec2::new(payload[8 * i + 2 * c], payload[8 * i + 2 * c + 1]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Typhon;
+    use bookleaf_mesh::{generate_rect, RectSpec, SubMesh, SubMeshPlan};
+
+    /// 6x6 grid, two vertical stripes.
+    fn two_stripes() -> Vec<SubMesh> {
+        let m = generate_rect(&RectSpec::unit_square(6), |_| 0).unwrap();
+        let owner: Vec<usize> = (0..m.n_elements())
+            .map(|e| usize::from(e % 6 >= 3))
+            .collect();
+        SubMeshPlan::build(&m, &owner, 2).unwrap()
+    }
+
+    fn build_state_plan(sub: &SubMesh) -> (HaloPlan, PhaseId) {
+        let mut b = HaloPlanBuilder::new(&sub.el_exchange, &sub.nd_exchange);
+        let id = b.phase(
+            "state",
+            &[
+                (Entity::Node, SlotKind::Vec2),
+                (Entity::Element, SlotKind::Scalar),
+                (Entity::Element, SlotKind::Corner4),
+                (Entity::Element, SlotKind::CornerVec2),
+            ],
+        );
+        (b.build(), id)
+    }
+
+    #[test]
+    fn aggregated_phase_moves_every_slot_in_one_message() {
+        let subs = two_stripes();
+        let out = Typhon::run(2, |ctx| {
+            let sub = &subs[ctx.rank()];
+            let (plan, phase) = build_state_plan(sub);
+
+            let mut nd: Vec<Vec2> = (0..sub.mesh.n_nodes())
+                .map(|n| {
+                    if sub.owns_node(n) {
+                        let g = sub.nd_l2g[n] as f64;
+                        Vec2::new(g, 2.0 * g)
+                    } else {
+                        Vec2::new(-1.0, -1.0)
+                    }
+                })
+                .collect();
+            let mut sc: Vec<f64> = (0..sub.mesh.n_elements())
+                .map(|e| {
+                    if sub.owns_element(e) {
+                        sub.el_l2g[e] as f64
+                    } else {
+                        -1.0
+                    }
+                })
+                .collect();
+            let mut c4: Vec<[f64; 4]> = (0..sub.mesh.n_elements())
+                .map(|e| {
+                    let g = sub.el_l2g[e] as f64;
+                    if sub.owns_element(e) {
+                        [g, g + 0.25, g + 0.5, g + 0.75]
+                    } else {
+                        [f64::NAN; 4]
+                    }
+                })
+                .collect();
+            let mut cv: Vec<[Vec2; 4]> = (0..sub.mesh.n_elements())
+                .map(|e| {
+                    let g = sub.el_l2g[e] as f64;
+                    if sub.owns_element(e) {
+                        std::array::from_fn(|c| Vec2::new(g + c as f64, g - c as f64))
+                    } else {
+                        [Vec2::new(f64::NAN, f64::NAN); 4]
+                    }
+                })
+                .collect();
+
+            plan.execute(
+                ctx,
+                phase,
+                &mut [
+                    FieldMut::Vec2(&mut nd),
+                    FieldMut::Scalar(&mut sc),
+                    FieldMut::Corner4(&mut c4),
+                    FieldMut::CornerVec2(&mut cv),
+                ],
+            );
+
+            let nd_ok = nd.iter().enumerate().all(|(n, v)| {
+                let g = sub.nd_l2g[n] as f64;
+                *v == Vec2::new(g, 2.0 * g)
+            });
+            let sc_ok = sc
+                .iter()
+                .enumerate()
+                .all(|(e, &v)| v == sub.el_l2g[e] as f64);
+            let c4_ok = c4.iter().enumerate().all(|(e, cf)| {
+                let g = sub.el_l2g[e] as f64;
+                cf[0] == g && cf[3] == g + 0.75
+            });
+            let cv_ok = cv.iter().enumerate().all(|(e, cf)| {
+                let g = sub.el_l2g[e] as f64;
+                (0..4).all(|c| cf[c] == Vec2::new(g + c as f64, g - c as f64))
+            });
+            let stats = ctx.stats();
+            (nd_ok && sc_ok && c4_ok && cv_ok, stats, plan.n_links())
+        })
+        .unwrap();
+        for (ok, stats, n_links) in out {
+            assert!(ok, "ghost data wrong after aggregated exchange");
+            // ONE message per neighbour for the whole four-slot phase.
+            assert_eq!(stats.messages_sent, n_links as u64);
+            let ph = stats.phase("state").unwrap();
+            assert_eq!(ph.messages_sent, n_links as u64);
+            assert_eq!(ph.doubles_sent, stats.doubles_sent);
+        }
+    }
+
+    #[test]
+    fn doubles_per_execution_matches_traffic() {
+        let subs = two_stripes();
+        let out = Typhon::run(2, |ctx| {
+            let sub = &subs[ctx.rank()];
+            let (plan, phase) = build_state_plan(sub);
+            let mut nd = vec![Vec2::ZERO; sub.mesh.n_nodes()];
+            let mut sc = vec![0.0; sub.mesh.n_elements()];
+            let mut c4 = vec![[0.0; 4]; sub.mesh.n_elements()];
+            let mut cv = vec![[Vec2::ZERO; 4]; sub.mesh.n_elements()];
+            plan.execute(
+                ctx,
+                phase,
+                &mut [
+                    FieldMut::Vec2(&mut nd),
+                    FieldMut::Scalar(&mut sc),
+                    FieldMut::Corner4(&mut c4),
+                    FieldMut::CornerVec2(&mut cv),
+                ],
+            );
+            (ctx.stats().doubles_sent, plan.doubles_per_execution(phase))
+        })
+        .unwrap();
+        for (sent, predicted) in out {
+            assert_eq!(sent, predicted as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as Scalar")]
+    fn kind_mismatch_is_rejected() {
+        let subs = two_stripes();
+        let sub = &subs[0];
+        let mut b = HaloPlanBuilder::new(&sub.el_exchange, &sub.nd_exchange);
+        let phase = b.phase("p", &[(Entity::Element, SlotKind::Scalar)]);
+        let plan = b.build();
+        let wrong = vec![Vec2::ZERO; sub.mesh.n_elements()];
+        Typhon::run(1, |ctx| {
+            plan.execute(ctx, phase, &mut [FieldMut::Vec2(&mut wrong.clone())]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong index space")]
+    fn entity_misbinding_is_rejected() {
+        let subs = two_stripes();
+        let sub = &subs[0];
+        let mut b = HaloPlanBuilder::new(&sub.el_exchange, &sub.nd_exchange);
+        // Registered node-indexed, but we will bind an element-sized
+        // field: the node schedules index past the element count on
+        // this decomposition, so execute must refuse up front.
+        let phase = b.phase("p", &[(Entity::Node, SlotKind::Scalar)]);
+        let plan = b.build();
+        assert!(sub.mesh.n_elements() < sub.mesh.n_nodes());
+        let wrong = vec![0.0; sub.mesh.n_elements()];
+        Typhon::run(1, |ctx| {
+            plan.execute(ctx, phase, &mut [FieldMut::Scalar(&mut wrong.clone())]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn plan_metadata_reflects_registration() {
+        let subs = two_stripes();
+        let (plan, phase) = build_state_plan(&subs[0]);
+        assert_eq!(plan.phase_name(phase), "state");
+        // The plan's link set is exactly the submesh's neighbour set.
+        assert_eq!(plan.link_ranks(), subs[0].neighbour_ranks());
+        assert_eq!(plan.n_links(), 1, "two stripes share one link");
+    }
+
+    #[test]
+    fn single_rank_plan_is_empty_and_silent() {
+        let m = generate_rect(&RectSpec::unit_square(3), |_| 0).unwrap();
+        let subs = SubMeshPlan::build(&m, &vec![0; m.n_elements()], 1).unwrap();
+        let sub = &subs[0];
+        let (plan, phase) = build_state_plan(sub);
+        assert_eq!(plan.n_links(), 0);
+        let out = Typhon::run(1, |ctx| {
+            let mut nd = vec![Vec2::ZERO; sub.mesh.n_nodes()];
+            let mut sc = vec![0.0; sub.mesh.n_elements()];
+            let mut c4 = vec![[0.0; 4]; sub.mesh.n_elements()];
+            let mut cv = vec![[Vec2::ZERO; 4]; sub.mesh.n_elements()];
+            plan.execute(
+                ctx,
+                phase,
+                &mut [
+                    FieldMut::Vec2(&mut nd),
+                    FieldMut::Scalar(&mut sc),
+                    FieldMut::Corner4(&mut c4),
+                    FieldMut::CornerVec2(&mut cv),
+                ],
+            );
+            ctx.stats().messages_sent
+        })
+        .unwrap();
+        assert_eq!(out[0], 0);
+    }
+}

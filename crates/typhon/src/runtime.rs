@@ -81,6 +81,18 @@ impl Collective {
 /// Out-of-order messages parked by (source rank, tag).
 type Mailbox = HashMap<(usize, u64), Vec<Vec<f64>>>;
 
+/// Cap on pooled payload buffers per rank: enough for every in-flight
+/// neighbour message of a phase plus slack, small enough that a burst
+/// (e.g. the all-to-all stress tests) cannot pin unbounded memory.
+const BUFFER_POOL_CAP: usize = 64;
+
+/// Largest buffer capacity (in doubles) worth pooling: 64 Ki doubles =
+/// 512 KB, comfortably above any halo payload. One-off giant messages
+/// (restart gathers, stress tests) are freed rather than recycled, so
+/// the pool's worst-case footprint is bounded in bytes
+/// (`BUFFER_POOL_CAP × 512 KB = 32 MB` per rank), not just in count.
+const BUFFER_POOL_MAX_DOUBLES: usize = 64 * 1024;
+
 /// Per-rank handle used inside the rank closure.
 pub struct RankCtx {
     rank: usize,
@@ -94,6 +106,12 @@ pub struct RankCtx {
     collective: Arc<Collective>,
     phase: Mutex<u64>,
     stats: Mutex<CommStats>,
+    /// Recycled payload buffers. Buffers circulate through the team:
+    /// a send moves its buffer to the receiving rank, which recycles it
+    /// into *its* pool after unpacking; symmetric exchange patterns keep
+    /// the pools balanced, so steady-state halo traffic allocates
+    /// nothing.
+    pool: Mutex<Vec<Vec<f64>>>,
 }
 
 impl RankCtx {
@@ -123,10 +141,25 @@ impl RankCtx {
 
     /// Non-blocking send of `payload` to `to` under `tag`.
     pub fn send(&self, to: usize, tag: u64, payload: Vec<f64>) {
+        self.send_impl(to, tag, payload, None);
+    }
+
+    /// [`RankCtx::send`], additionally attributing the traffic to a named
+    /// exchange phase in this rank's [`CommStats`] breakdown.
+    pub fn send_in_phase(&self, to: usize, tag: u64, payload: Vec<f64>, phase: &'static str) {
+        self.send_impl(to, tag, payload, Some(phase));
+    }
+
+    fn send_impl(&self, to: usize, tag: u64, payload: Vec<f64>, phase: Option<&'static str>) {
         {
             let mut s = self.stats.lock();
             s.messages_sent += 1;
             s.doubles_sent += payload.len() as u64;
+            if let Some(name) = phase {
+                let p = s.phase_mut(name);
+                p.messages_sent += 1;
+                p.doubles_sent += payload.len() as u64;
+            }
         }
         self.senders[to]
             .send(Message {
@@ -135,6 +168,37 @@ impl RankCtx {
                 payload,
             })
             .expect("peer rank hung up");
+    }
+
+    /// A cleared payload buffer with at least `capacity` reserved, drawn
+    /// from this rank's recycle pool when possible. Pair with
+    /// [`RankCtx::recycle_buffer`] after unpacking a received payload to
+    /// keep steady-state exchange traffic allocation-free.
+    #[must_use]
+    pub fn take_buffer(&self, capacity: usize) -> Vec<f64> {
+        let recycled = self.pool.lock().pop();
+        match recycled {
+            Some(mut buf) => {
+                buf.clear();
+                buf.reserve(capacity);
+                buf
+            }
+            None => Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Return a finished payload buffer (typically one produced by
+    /// [`RankCtx::recv`]) to this rank's recycle pool. Empty and
+    /// oversized buffers are dropped instead, keeping the pool's
+    /// footprint bounded in bytes as well as count.
+    pub fn recycle_buffer(&self, buf: Vec<f64>) {
+        if buf.capacity() == 0 || buf.capacity() > BUFFER_POOL_MAX_DOUBLES {
+            return;
+        }
+        let mut pool = self.pool.lock();
+        if pool.len() < BUFFER_POOL_CAP {
+            pool.push(buf);
+        }
     }
 
     /// Blocking receive from `from` under `tag`. Out-of-order messages
@@ -165,16 +229,19 @@ impl RankCtx {
     /// Global minimum across all ranks (BookLeaf's single per-step
     /// reduction, used for the time step).
     pub fn allreduce_min(&self, value: f64) -> f64 {
+        self.stats.lock().collectives += 1;
         self.collective.reduce(value).0
     }
 
     /// Global sum across all ranks (used by diagnostics and tests).
     pub fn allreduce_sum(&self, value: f64) -> f64 {
+        self.stats.lock().collectives += 1;
         self.collective.reduce(value).1
     }
 
     /// Barrier.
     pub fn barrier(&self) {
+        self.stats.lock().collectives += 1;
         self.collective.reduce(0.0);
     }
 
@@ -225,6 +292,7 @@ impl Typhon {
                         collective: Arc::clone(&collective),
                         phase: Mutex::new(0),
                         stats: Mutex::new(CommStats::default()),
+                        pool: Mutex::new(Vec::new()),
                     };
                     let f = &f;
                     scope.spawn(move || f(&ctx))
@@ -363,6 +431,78 @@ mod tests {
         assert_eq!(out[0].messages_sent, 1);
         assert_eq!(out[0].doubles_sent, 3);
         assert_eq!(out[1].messages_sent, 0);
+    }
+
+    #[test]
+    fn phase_attributed_sends_feed_the_breakdown() {
+        let out = Typhon::run(2, |ctx| {
+            let t0 = ctx.next_tag();
+            let t1 = ctx.next_tag();
+            let t2 = ctx.next_tag();
+            if ctx.rank() == 0 {
+                ctx.send_in_phase(1, t0, vec![1.0, 2.0], "alpha");
+                ctx.send_in_phase(1, t1, vec![3.0], "beta");
+                ctx.send(1, t2, vec![4.0]);
+            } else {
+                ctx.recv(0, t0);
+                ctx.recv(0, t1);
+                ctx.recv(0, t2);
+            }
+            ctx.stats()
+        })
+        .unwrap();
+        let s = &out[0];
+        // Totals cover attributed and unattributed sends alike.
+        assert_eq!(s.messages_sent, 3);
+        assert_eq!(s.doubles_sent, 4);
+        let alpha = s.phase("alpha").unwrap();
+        assert_eq!((alpha.messages_sent, alpha.doubles_sent), (1, 2));
+        let beta = s.phase("beta").unwrap();
+        assert_eq!((beta.messages_sent, beta.doubles_sent), (1, 1));
+    }
+
+    #[test]
+    fn collectives_are_counted() {
+        let out = Typhon::run(3, |ctx| {
+            ctx.allreduce_min(1.0);
+            ctx.allreduce_sum(1.0);
+            ctx.barrier();
+            ctx.stats()
+        })
+        .unwrap();
+        for s in out {
+            assert_eq!(s.collectives, 3);
+        }
+    }
+
+    #[test]
+    fn buffer_pool_recycles_capacity() {
+        let out = Typhon::run(1, |ctx| {
+            let mut b = ctx.take_buffer(100);
+            b.resize(100, 0.0);
+            let cap = b.capacity();
+            ctx.recycle_buffer(b);
+            let again = ctx.take_buffer(10);
+            (cap, again.capacity(), again.len())
+        })
+        .unwrap();
+        let (cap, cap_again, len) = out[0];
+        assert!(cap >= 100);
+        assert_eq!(cap_again, cap, "recycled buffer should be reused");
+        assert_eq!(len, 0, "recycled buffer must come back cleared");
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_pooled() {
+        let out = Typhon::run(1, |ctx| {
+            let big = ctx.take_buffer(BUFFER_POOL_MAX_DOUBLES + 1);
+            let big_cap = big.capacity();
+            ctx.recycle_buffer(big);
+            // The oversized buffer must have been dropped, not recycled.
+            ctx.take_buffer(1).capacity() < big_cap
+        })
+        .unwrap();
+        assert!(out[0]);
     }
 
     impl RankCtx {

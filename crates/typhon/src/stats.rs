@@ -2,7 +2,22 @@
 //!
 //! The cluster performance model (Figs 3 and 4) charges wire time per
 //! message and per byte; these counters, recorded by the real in-process
-//! exchanges, supply the message/volume terms.
+//! exchanges, supply the message/volume terms. Besides the per-rank
+//! totals, traffic sent through a named exchange phase (see
+//! [`crate::plan`]) is broken down per phase, so the models — and the
+//! scaling bench — can attribute wire cost to the algorithmic step that
+//! incurred it.
+
+/// Traffic attributed to one named exchange phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Phase name (as registered with the exchange plan).
+    pub name: &'static str,
+    /// Point-to-point messages sent during this phase.
+    pub messages_sent: u64,
+    /// Total `f64` values sent during this phase.
+    pub doubles_sent: u64,
+}
 
 /// Per-rank communication totals.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -13,6 +28,10 @@ pub struct CommStats {
     pub doubles_sent: u64,
     /// Collective operations participated in.
     pub collectives: u64,
+    /// Per-phase breakdown of the point-to-point traffic. Only sends
+    /// attributed to a phase (via [`crate::RankCtx::send_in_phase`])
+    /// appear here; the totals above always cover everything.
+    pub phases: Vec<PhaseStats>,
 }
 
 impl CommStats {
@@ -22,14 +41,39 @@ impl CommStats {
         self.doubles_sent * 8
     }
 
-    /// Merge another rank's counters (for team-wide totals).
+    /// The breakdown entry for `name`, if any traffic was attributed.
+    #[must_use]
+    pub fn phase(&self, name: &str) -> Option<&PhaseStats> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// The breakdown entry for `name`, created on first use.
+    pub fn phase_mut(&mut self, name: &'static str) -> &mut PhaseStats {
+        if let Some(i) = self.phases.iter().position(|p| p.name == name) {
+            return &mut self.phases[i];
+        }
+        self.phases.push(PhaseStats {
+            name,
+            messages_sent: 0,
+            doubles_sent: 0,
+        });
+        self.phases.last_mut().expect("just pushed")
+    }
+
+    /// Merge another rank's counters (for team-wide totals). Phase
+    /// entries merge by name; `other`'s unseen phases are appended.
     #[must_use]
     pub fn merged(&self, other: &CommStats) -> CommStats {
-        CommStats {
-            messages_sent: self.messages_sent + other.messages_sent,
-            doubles_sent: self.doubles_sent + other.doubles_sent,
-            collectives: self.collectives + other.collectives,
+        let mut out = self.clone();
+        out.messages_sent += other.messages_sent;
+        out.doubles_sent += other.doubles_sent;
+        out.collectives += other.collectives;
+        for p in &other.phases {
+            let mine = out.phase_mut(p.name);
+            mine.messages_sent += p.messages_sent;
+            mine.doubles_sent += p.doubles_sent;
         }
+        out
     }
 }
 
@@ -42,7 +86,7 @@ mod tests {
         let s = CommStats {
             messages_sent: 1,
             doubles_sent: 10,
-            collectives: 0,
+            ..CommStats::default()
         };
         assert_eq!(s.bytes_sent(), 80);
     }
@@ -53,20 +97,55 @@ mod tests {
             messages_sent: 1,
             doubles_sent: 2,
             collectives: 3,
+            phases: Vec::new(),
         };
         let b = CommStats {
             messages_sent: 10,
             doubles_sent: 20,
             collectives: 30,
+            phases: Vec::new(),
         };
         let m = a.merged(&b);
-        assert_eq!(
-            m,
-            CommStats {
-                messages_sent: 11,
-                doubles_sent: 22,
-                collectives: 33
-            }
-        );
+        assert_eq!(m.messages_sent, 11);
+        assert_eq!(m.doubles_sent, 22);
+        assert_eq!(m.collectives, 33);
+    }
+
+    #[test]
+    fn phases_merge_by_name() {
+        let mut a = CommStats::default();
+        {
+            let p = a.phase_mut("pre_viscosity");
+            p.messages_sent = 2;
+            p.doubles_sent = 100;
+        }
+        let mut b = CommStats::default();
+        {
+            let p = b.phase_mut("pre_viscosity");
+            p.messages_sent = 3;
+            p.doubles_sent = 50;
+        }
+        {
+            let p = b.phase_mut("post_remap");
+            p.messages_sent = 1;
+            p.doubles_sent = 7;
+        }
+        let m = a.merged(&b);
+        let visc = m.phase("pre_viscosity").unwrap();
+        assert_eq!(visc.messages_sent, 5);
+        assert_eq!(visc.doubles_sent, 150);
+        let remap = m.phase("post_remap").unwrap();
+        assert_eq!(remap.messages_sent, 1);
+        assert!(m.phase("never_ran").is_none());
+    }
+
+    #[test]
+    fn phase_mut_is_idempotent_per_name() {
+        let mut s = CommStats::default();
+        s.phase_mut("a").messages_sent += 1;
+        s.phase_mut("a").messages_sent += 1;
+        s.phase_mut("b").messages_sent += 1;
+        assert_eq!(s.phases.len(), 2);
+        assert_eq!(s.phase("a").unwrap().messages_sent, 2);
     }
 }

@@ -1,8 +1,11 @@
 //! Stress tests for the Typhon runtime: many ranks, dense traffic,
-//! interleaved collectives — the failure modes of real message-passing
-//! layers (tag confusion, deadlock, lost messages) must not exist.
+//! interleaved collectives, asymmetric topologies — the failure modes of
+//! real message-passing layers (tag confusion, deadlock, lost messages)
+//! must not exist.
 
-use bookleaf::typhon::Typhon;
+use bookleaf::mesh::{generate_rect, RectSpec, SubMesh, SubMeshPlan};
+use bookleaf::typhon::{Entity, FieldMut, HaloPlanBuilder, SlotKind, Typhon};
+use bookleaf::util::Vec2;
 
 #[test]
 fn all_to_all_storm_with_interleaved_reductions() {
@@ -82,6 +85,165 @@ fn many_ranks_reduce_correctly() {
             // min over ranks of |rank - i| is 0 while i < n, else i - (n-1).
             let expect = if i < n { 0.0 } else { (i + 1 - n) as f64 };
             assert_eq!(m, expect, "round {i}");
+        }
+    }
+}
+
+/// A 4-rank L-shaped/unequal partition of a 6x6 grid: the bottom half is
+/// split evenly at i = 3, the top half unevenly at i = 1, so the rank
+/// neighbour sets differ (ranks 0 and 3 have three links, 1 and 2 two).
+///
+/// ```text
+///   2 | 3 3 3 3 3       (j >= 3)
+///   --+-----------
+///   0 0 0 | 1 1 1       (j <  3)
+/// ```
+fn l_shaped_submeshes() -> Vec<SubMesh> {
+    let n = 6;
+    let m = generate_rect(&RectSpec::unit_square(n), |_| 0).unwrap();
+    let owner: Vec<usize> = (0..m.n_elements())
+        .map(|e| {
+            let i = e % n;
+            let j = e / n;
+            if j < 3 {
+                usize::from(i >= 3)
+            } else if i < 1 {
+                2
+            } else {
+                3
+            }
+        })
+        .collect();
+    SubMeshPlan::build(&m, &owner, 4).unwrap()
+}
+
+#[test]
+fn l_shaped_partition_has_unequal_neighbour_sets() {
+    let subs = l_shaped_submeshes();
+    let links: Vec<Vec<usize>> = subs.iter().map(SubMesh::neighbour_ranks).collect();
+    // The asymmetry is the point of this topology.
+    assert_eq!(links[0], vec![1, 2, 3]);
+    assert_eq!(links[1], vec![0, 3]);
+    assert_eq!(links[2], vec![0, 3]);
+    assert_eq!(links[3], vec![0, 1, 2]);
+}
+
+/// Repeated-phase tag stress through the aggregated plan on the L-shaped
+/// topology: many rounds of two multi-slot phases, ghost data verified
+/// every round, and the message-count invariant
+/// `messages_sent == phase executions × neighbour links` held exactly —
+/// per rank and per phase — despite the unequal neighbour sets.
+#[test]
+fn l_shaped_halo_plan_tag_stress() {
+    let subs = l_shaped_submeshes();
+    let rounds = 25;
+    let out = Typhon::run(4, |ctx| {
+        let sub = &subs[ctx.rank()];
+        let mut b = HaloPlanBuilder::new(&sub.el_exchange, &sub.nd_exchange);
+        let state = b.phase(
+            "state",
+            &[
+                (Entity::Element, SlotKind::Scalar),
+                (Entity::Node, SlotKind::Vec2),
+            ],
+        );
+        let corners = b.phase(
+            "corners",
+            &[
+                (Entity::Element, SlotKind::Corner4),
+                (Entity::Element, SlotKind::CornerVec2),
+            ],
+        );
+        let plan = b.build();
+
+        let ne = sub.mesh.n_elements();
+        let nn = sub.mesh.n_nodes();
+        let mut ok = true;
+        for round in 0..rounds {
+            let salt = 10_000.0 * round as f64;
+            let mut sc: Vec<f64> = (0..ne)
+                .map(|e| {
+                    if sub.owns_element(e) {
+                        sub.el_l2g[e] as f64 + salt
+                    } else {
+                        -1.0
+                    }
+                })
+                .collect();
+            let mut nd: Vec<Vec2> = (0..nn)
+                .map(|n| {
+                    if sub.owns_node(n) {
+                        Vec2::new(sub.nd_l2g[n] as f64 + salt, round as f64)
+                    } else {
+                        Vec2::new(-1.0, -1.0)
+                    }
+                })
+                .collect();
+            let mut c4: Vec<[f64; 4]> = (0..ne)
+                .map(|e| {
+                    if sub.owns_element(e) {
+                        let g = sub.el_l2g[e] as f64 + salt;
+                        [g, g + 0.25, g + 0.5, g + 0.75]
+                    } else {
+                        [-1.0; 4]
+                    }
+                })
+                .collect();
+            let mut cv: Vec<[Vec2; 4]> = (0..ne)
+                .map(|e| {
+                    if sub.owns_element(e) {
+                        let g = sub.el_l2g[e] as f64 + salt;
+                        std::array::from_fn(|c| Vec2::new(g + c as f64, g - c as f64))
+                    } else {
+                        [Vec2::new(-1.0, -1.0); 4]
+                    }
+                })
+                .collect();
+
+            plan.execute(
+                ctx,
+                state,
+                &mut [FieldMut::Scalar(&mut sc), FieldMut::Vec2(&mut nd)],
+            );
+            plan.execute(
+                ctx,
+                corners,
+                &mut [FieldMut::Corner4(&mut c4), FieldMut::CornerVec2(&mut cv)],
+            );
+
+            ok &= (0..ne).all(|e| sc[e] == sub.el_l2g[e] as f64 + salt);
+            ok &= (0..nn).all(|n| nd[n] == Vec2::new(sub.nd_l2g[n] as f64 + salt, round as f64));
+            ok &= (0..ne).all(|e| {
+                let g = sub.el_l2g[e] as f64 + salt;
+                c4[e] == [g, g + 0.25, g + 0.5, g + 0.75]
+                    && (0..4).all(|c| cv[e][c] == Vec2::new(g + c as f64, g - c as f64))
+            });
+        }
+        (ctx.stats(), plan.link_ranks(), ok)
+    })
+    .unwrap();
+
+    for (rank, (stats, link_ranks, ok)) in out.into_iter().enumerate() {
+        assert!(ok, "rank {rank}: ghost data corrupted under tag stress");
+        assert_eq!(
+            link_ranks,
+            subs[rank].neighbour_ranks(),
+            "rank {rank}: plan links disagree with the submesh schedules"
+        );
+        let n_links = link_ranks.len();
+        // Two phases per round, one message per link per phase execution.
+        let expect = (2 * rounds * n_links) as u64;
+        assert_eq!(
+            stats.messages_sent, expect,
+            "rank {rank}: messages_sent != active_phases × neighbour_links"
+        );
+        for name in ["state", "corners"] {
+            let p = stats.phase(name).unwrap();
+            assert_eq!(
+                p.messages_sent,
+                (rounds * n_links) as u64,
+                "rank {rank}, phase {name}"
+            );
         }
     }
 }
