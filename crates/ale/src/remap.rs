@@ -19,11 +19,28 @@ use bookleaf_util::{BookLeafError, Result, Vec2};
 use rayon::prelude::*;
 
 use bookleaf_hydro::state::{HydroState, LocalRange};
-use bookleaf_hydro::Threading;
+use bookleaf_hydro::subset::Subset;
+use bookleaf_hydro::{HaloOps, Threading};
 
 use crate::advect::compute_fluxes;
 use crate::fluxvol::face_flux_volumes;
 use crate::mesh_motion::{target_positions, AleMode};
+
+/// Masks steering the overlapped remap ([`Remapper::step_overlapped`]):
+/// which entities must be updated **before** the post-remap exchange can
+/// pack its send buffers. Views into `bookleaf_mesh::OverlapSets`, whose
+/// construction guarantees the invariant the deferred sweeps rely on: no
+/// element outside `pre_el` is adjacent to a node in `pre_nd`.
+#[derive(Debug, Clone, Copy)]
+pub struct RemapOverlap<'a> {
+    /// Per local element (owned *and* ghost): `true` ⇒ feeds the
+    /// exchange's send buffers (send-list elements plus the adjacency of
+    /// every send-list node) and is remapped in the early sweep.
+    pub pre_el: &'a [bool],
+    /// Per active node: `true` ⇒ packed by the exchange (send-list
+    /// nodes), velocity-updated in the early sweep.
+    pub pre_nd: &'a [bool],
+}
 
 /// Remap configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,6 +104,37 @@ impl Remapper {
         range: LocalRange,
         threading: Threading,
     ) -> Result<()> {
+        self.step_overlapped(
+            mesh,
+            state,
+            range,
+            threading,
+            None,
+            &mut bookleaf_hydro::NoComm,
+        )
+    }
+
+    /// Perform one remap, overlapping the post-remap halo exchange with
+    /// the update itself (boundary-first): the entities feeding the
+    /// exchange's send buffers (`overlap.pre_*`) are updated first, the
+    /// exchange is **posted**, the rest of the mesh is updated while the
+    /// messages are in flight, and the exchange **completes** last. The
+    /// two split sweeps run the same loops with a membership skip, so
+    /// the result is bitwise identical to [`Remapper::step_threaded`]
+    /// followed by a blocking `post_remap`.
+    ///
+    /// With `overlap == None` the whole mesh is one sweep and the halo
+    /// hooks still run (post, then complete) after it — the blocking
+    /// schedule.
+    pub fn step_overlapped<H: HaloOps>(
+        &self,
+        mesh: &mut Mesh,
+        state: &mut HydroState,
+        range: LocalRange,
+        threading: Threading,
+        overlap: Option<RemapOverlap<'_>>,
+        halo: &mut H,
+    ) -> Result<()> {
         let target = target_positions(mesh, &self.x_ref, self.opts.mode);
         let fvol = face_flux_volumes(mesh, &target, threading);
 
@@ -123,117 +171,91 @@ impl Remapper {
         mesh.nodes[range.n_active_nd..nn].copy_from_slice(&target[range.n_active_nd..nn]);
 
         let mut mom_change = vec![Vec2::ZERO; ne];
-        /// What went wrong in one element's update, if anything.
-        #[derive(Clone, Copy, PartialEq, Eq)]
-        enum Fail {
-            Mass,
-            Volume,
-        }
-        // Per-element update: reads only element-local state (plus the
-        // frozen nodal velocities), writes only element-local state —
-        // safe to fan out. Failures (non-positive mass or volume) are
-        // returned, not raised, so the parallel path needs no early
-        // return; the lowest failing element is reported below. Failed
-        // elements are left untouched, so the error values can be
-        // re-derived from their (still original) state.
-        #[allow(clippy::too_many_arguments)]
-        let update = |e: usize,
-                      mass: &mut f64,
-                      volume: &mut f64,
-                      length: &mut f64,
-                      rho: &mut f64,
-                      ein: &mut f64,
-                      cnvol: &mut [f64; 4],
-                      cnmass: &mut [f64; 4],
-                      mom: &mut Vec2|
-         -> Option<(usize, Fail)> {
-            let mass_old = *mass;
-            let energy_old = mass_old * *ein;
-            let mom_old = cell_u[e] * mass_old;
+        // Pre-update nodal velocities: both the element updates (carried
+        // momentum) and the node updates read these, never the velocities
+        // the early node sweep writes — see the `RemapOverlap` invariant.
+        let u_old: Vec<Vec2> = state.u[..range.n_active_nd].to_vec();
 
-            let mass_new = mass_old - fx.d_mass[e];
-            let energy_new = energy_old - fx.d_energy[e];
-            let mom_new = mom_old - fx.d_mom[e];
-            if mass_new <= 0.0 {
-                return Some((e, Fail::Mass));
-            }
-
-            let corners = mesh.corners(e);
-            let vol = quad_area(&corners);
-            if vol <= 0.0 {
-                return Some((e, Fail::Volume));
-            }
-            *mass = mass_new;
-            *volume = vol;
-            *length = char_length(&corners);
-            *rho = mass_new / vol;
-            *ein = energy_new / mass_new;
-            let cv = corner_volumes(&corners);
-            *cnvol = cv;
-            // Uniform sub-zonal density on the fresh mesh: the remap
-            // resets sub-zonal pressure deviations (standard for
-            // single-material swept remaps; see DESIGN.md).
-            for c in 0..4 {
-                cnmass[c] = *rho * cv[c];
-            }
-            // Momentum deficit: what the element's corners must gain so
-            // that the new-mass-weighted nodal momentum matches the
-            // advected element momentum exactly.
-            let nd = mesh.elnd[e];
-            let mut carried = Vec2::ZERO;
-            for c in 0..4 {
-                carried += u[nd[c] as usize] * cnmass[c];
-            }
-            *mom = mom_new - carried;
-            None
-        };
-
-        // Keep the lowest-element failure (deterministic, and the same
-        // element the old early-returning serial loop would have named).
-        let first_fail = |a: Option<(usize, Fail)>, b: Option<(usize, Fail)>| match (a, b) {
-            (Some(x), Some(y)) => Some(if x.0 <= y.0 { x } else { y }),
-            (x, None) => x,
-            (None, y) => y,
-        };
-        let failure = match threading {
-            Threading::Serial => {
-                let mut failure = None;
-                for e in 0..ne {
-                    let f = update(
-                        e,
-                        &mut state.mass[e],
-                        &mut state.volume[e],
-                        &mut state.length[e],
-                        &mut state.rho[e],
-                        &mut state.ein[e],
-                        &mut state.cnvol[e],
-                        &mut state.cnmass[e],
-                        &mut mom_change[e],
+        let failure = match overlap {
+            None => {
+                let failure = remap_elements(
+                    mesh,
+                    state,
+                    &cell_u,
+                    &fx,
+                    &mut mom_change,
+                    threading,
+                    Subset::All,
+                );
+                if failure.is_none() {
+                    remap_nodes(
+                        mesh,
+                        state,
+                        &u_old,
+                        &mom_change,
+                        range,
+                        threading,
+                        Subset::All,
                     );
-                    failure = first_fail(failure, f);
                 }
+                halo.post_remap_post(mesh, state);
                 failure
             }
-            Threading::Rayon => state.mass[..ne]
-                .par_iter_mut()
-                .zip(state.volume[..ne].par_iter_mut())
-                .zip(state.length[..ne].par_iter_mut())
-                .zip(state.rho[..ne].par_iter_mut())
-                .zip(state.ein[..ne].par_iter_mut())
-                .zip(state.cnvol[..ne].par_iter_mut())
-                .zip(state.cnmass[..ne].par_iter_mut())
-                .zip(mom_change.par_iter_mut())
-                .enumerate()
-                .map(
-                    |(e, (((((((mass, volume), length), rho), ein), cnvol), cnmass), mom))| {
-                        update(e, mass, volume, length, rho, ein, cnvol, cnmass, mom)
-                    },
-                )
-                .reduce(|| None, first_fail),
+            Some(o) => {
+                // Early sweep: exactly what the exchange packs (and the
+                // adjacency those packed nodes gather over).
+                let pre_el = Subset::Mask {
+                    mask: o.pre_el,
+                    keep: true,
+                };
+                let pre_nd = Subset::Mask {
+                    mask: o.pre_nd,
+                    keep: true,
+                };
+                let f0 = remap_elements(
+                    mesh,
+                    state,
+                    &cell_u,
+                    &fx,
+                    &mut mom_change,
+                    threading,
+                    pre_el,
+                );
+                if f0.is_none() {
+                    remap_nodes(mesh, state, &u_old, &mom_change, range, threading, pre_nd);
+                }
+                halo.post_remap_post(mesh, state);
+                // Deferred sweep while the messages are in flight.
+                let rest_el = Subset::Mask {
+                    mask: o.pre_el,
+                    keep: false,
+                };
+                let rest_nd = Subset::Mask {
+                    mask: o.pre_nd,
+                    keep: false,
+                };
+                let f1 = remap_elements(
+                    mesh,
+                    state,
+                    &cell_u,
+                    &fx,
+                    &mut mom_change,
+                    threading,
+                    rest_el,
+                );
+                if f0.is_none() && f1.is_none() {
+                    remap_nodes(mesh, state, &u_old, &mom_change, range, threading, rest_nd);
+                }
+                first_fail(f0, f1)
+            }
         };
         if let Some((e, kind)) = failure {
             // The failing element was left untouched, so its original
-            // quantities reproduce the offending values exactly.
+            // quantities reproduce the offending values exactly. (The
+            // exchange was still posted and is completed below, keeping
+            // the team's message sequence aligned while the error
+            // propagates.)
+            halo.post_remap_complete(mesh, state);
             return Err(match kind {
                 Fail::Mass => BookLeafError::InvalidState {
                     element: e,
@@ -248,46 +270,195 @@ impl Remapper {
                 },
             });
         }
+        halo.post_remap_complete(mesh, state);
+        Ok(())
+    }
+}
 
-        // --- Distribute momentum deficits to nodal velocities. ---
-        // Each element hands its corners a share of its deficit weighted
-        // by new corner mass; a node converts received momentum to a
-        // velocity change with its new mass. By construction
-        // Σ_n m_n^new u_n^new = Σ_e mom_new[e], so total momentum is
-        // conserved to round-off. Boundary conditions are *not* applied
-        // here — the next `getacc` projects wall-normal components, as in
-        // the reference code. Node-order gather (like `getacc`'s rewrite):
-        // each node owns its own velocity slot, so this fans out too.
-        let u_old: Vec<Vec2> = state.u[..range.n_active_nd].to_vec();
-        let cnmass = &state.cnmass;
-        let mass = &state.mass;
-        let node_update = |n: usize, un: &mut Vec2| {
-            let mut dp = Vec2::ZERO;
-            let mut m_new = 0.0;
-            for &(e, c) in mesh.elements_of_node(n) {
-                let (e, c) = (e as usize, c as usize);
-                let w = cnmass[e][c] / mass[e].max(1e-300);
-                dp += mom_change[e] * w;
-                m_new += cnmass[e][c];
+/// What went wrong in one element's update, if anything.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Fail {
+    Mass,
+    Volume,
+}
+
+/// Keep the lowest-element failure (deterministic, and the same element
+/// an early-returning serial loop would have named).
+fn first_fail(a: Option<(usize, Fail)>, b: Option<(usize, Fail)>) -> Option<(usize, Fail)> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if x.0 <= y.0 { x } else { y }),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// Apply the advective fluxes to every element in `subset` (owned and
+/// ghost alike): masses, energy, geometry, corner masses, and the
+/// momentum deficit each element owes its corners. Reads the *frozen*
+/// pre-update nodal velocities; writes only element-local state.
+/// Failures (non-positive mass or volume) are returned, not raised, so
+/// the parallel path needs no early return; failed elements are left
+/// untouched.
+fn remap_elements(
+    mesh: &Mesh,
+    state: &mut HydroState,
+    cell_u: &[Vec2],
+    fx: &crate::advect::AdvectFluxes,
+    mom_change: &mut [Vec2],
+    threading: Threading,
+    subset: Subset<'_>,
+) -> Option<(usize, Fail)> {
+    let ne = mesh.n_elements();
+    let u = &state.u;
+    #[allow(clippy::too_many_arguments)]
+    let update = |e: usize,
+                  mass: &mut f64,
+                  volume: &mut f64,
+                  length: &mut f64,
+                  rho: &mut f64,
+                  ein: &mut f64,
+                  cnvol: &mut [f64; 4],
+                  cnmass: &mut [f64; 4],
+                  mom: &mut Vec2|
+     -> Option<(usize, Fail)> {
+        let mass_old = *mass;
+        let energy_old = mass_old * *ein;
+        let mom_old = cell_u[e] * mass_old;
+
+        let mass_new = mass_old - fx.d_mass[e];
+        let energy_new = energy_old - fx.d_energy[e];
+        let mom_new = mom_old - fx.d_mom[e];
+        if mass_new <= 0.0 {
+            return Some((e, Fail::Mass));
+        }
+
+        let corners = mesh.corners(e);
+        let vol = quad_area(&corners);
+        if vol <= 0.0 {
+            return Some((e, Fail::Volume));
+        }
+        *mass = mass_new;
+        *volume = vol;
+        *length = char_length(&corners);
+        *rho = mass_new / vol;
+        *ein = energy_new / mass_new;
+        let cv = corner_volumes(&corners);
+        *cnvol = cv;
+        // Uniform sub-zonal density on the fresh mesh: the remap
+        // resets sub-zonal pressure deviations (standard for
+        // single-material swept remaps; see DESIGN.md).
+        for c in 0..4 {
+            cnmass[c] = *rho * cv[c];
+        }
+        // Momentum deficit: what the element's corners must gain so
+        // that the new-mass-weighted nodal momentum matches the
+        // advected element momentum exactly.
+        let nd = mesh.elnd[e];
+        let mut carried = Vec2::ZERO;
+        for c in 0..4 {
+            carried += u[nd[c] as usize] * cnmass[c];
+        }
+        *mom = mom_new - carried;
+        None
+    };
+
+    match threading {
+        Threading::Serial => {
+            let mut failure = None;
+            for e in 0..ne {
+                if !subset.contains(e) {
+                    continue;
+                }
+                let f = update(
+                    e,
+                    &mut state.mass[e],
+                    &mut state.volume[e],
+                    &mut state.length[e],
+                    &mut state.rho[e],
+                    &mut state.ein[e],
+                    &mut state.cnvol[e],
+                    &mut state.cnmass[e],
+                    &mut mom_change[e],
+                );
+                failure = first_fail(failure, f);
             }
-            if m_new > 0.0 {
-                *un = u_old[n] + dp / m_new;
-            }
-        };
-        match threading {
-            Threading::Serial => {
-                for (n, un) in state.u[..range.n_active_nd].iter_mut().enumerate() {
+            failure
+        }
+        Threading::Rayon => state.mass[..ne]
+            .par_iter_mut()
+            .zip(state.volume[..ne].par_iter_mut())
+            .zip(state.length[..ne].par_iter_mut())
+            .zip(state.rho[..ne].par_iter_mut())
+            .zip(state.ein[..ne].par_iter_mut())
+            .zip(state.cnvol[..ne].par_iter_mut())
+            .zip(state.cnmass[..ne].par_iter_mut())
+            .zip(mom_change.par_iter_mut())
+            .enumerate()
+            .map(
+                |(e, (((((((mass, volume), length), rho), ein), cnvol), cnmass), mom))| {
+                    if subset.contains(e) {
+                        update(e, mass, volume, length, rho, ein, cnvol, cnmass, mom)
+                    } else {
+                        None
+                    }
+                },
+            )
+            .reduce(|| None, first_fail),
+    }
+}
+
+/// Distribute momentum deficits to the velocities of every node in
+/// `subset`. Each element hands its corners a share of its deficit
+/// weighted by new corner mass; a node converts received momentum to a
+/// velocity change with its new mass. By construction
+/// Σ_n m_n^new u_n^new = Σ_e mom_new[e], so total momentum is conserved
+/// to round-off. Boundary conditions are *not* applied here — the next
+/// `getacc` projects wall-normal components, as in the reference code.
+/// Node-order gather (like `getacc`'s rewrite): each node owns its own
+/// velocity slot, so this fans out too. Every adjacent element of every
+/// node in `subset` must already be remapped.
+fn remap_nodes(
+    mesh: &Mesh,
+    state: &mut HydroState,
+    u_old: &[Vec2],
+    mom_change: &[Vec2],
+    range: LocalRange,
+    threading: Threading,
+    subset: Subset<'_>,
+) {
+    let cnmass = &state.cnmass;
+    let mass = &state.mass;
+    let node_update = |n: usize, un: &mut Vec2| {
+        let mut dp = Vec2::ZERO;
+        let mut m_new = 0.0;
+        for &(e, c) in mesh.elements_of_node(n) {
+            let (e, c) = (e as usize, c as usize);
+            let w = cnmass[e][c] / mass[e].max(1e-300);
+            dp += mom_change[e] * w;
+            m_new += cnmass[e][c];
+        }
+        if m_new > 0.0 {
+            *un = u_old[n] + dp / m_new;
+        }
+    };
+    match threading {
+        Threading::Serial => {
+            for (n, un) in state.u[..range.n_active_nd].iter_mut().enumerate() {
+                if subset.contains(n) {
                     node_update(n, un);
                 }
             }
-            Threading::Rayon => {
-                state.u[..range.n_active_nd]
-                    .par_iter_mut()
-                    .enumerate()
-                    .for_each(|(n, un)| node_update(n, un));
-            }
         }
-        Ok(())
+        Threading::Rayon => {
+            state.u[..range.n_active_nd]
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(n, un)| {
+                    if subset.contains(n) {
+                        node_update(n, un);
+                    }
+                });
+        }
     }
 }
 
@@ -502,6 +673,86 @@ mod tests {
         remapper.step(&mut mesh, &mut st, range).unwrap();
         let after = assess(&mesh);
         assert!(after.max_skew <= before.max_skew + 1e-12);
+    }
+
+    /// The overlapped (boundary-first, split-sweep) remap must be
+    /// bitwise identical to the plain remap for any mask pair upholding
+    /// the `RemapOverlap` invariant (no element outside `pre_el`
+    /// adjacent to a node in `pre_nd`).
+    #[test]
+    fn overlapped_remap_is_bitwise_identical_to_plain() {
+        use bookleaf_hydro::NoComm;
+        let make = || {
+            let (mut mesh, mut st) = setup(
+                8,
+                |e| if e % 3 == 0 { 1.0 } else { 2.5 },
+                |n| Vec2::new(0.07 * (n % 5) as f64, -0.03 * (n % 7) as f64),
+            );
+            for n in 0..mesh.n_nodes() {
+                let bc = mesh.node_bc[n];
+                if !bc.fix_x {
+                    mesh.nodes[n].x += 0.006 * ((n * 7) as f64).sin();
+                }
+                if !bc.fix_y {
+                    mesh.nodes[n].y += 0.006 * ((n * 11) as f64).cos();
+                }
+            }
+            for e in 0..mesh.n_elements() {
+                let c = mesh.corners(e);
+                st.volume[e] = quad_area(&c);
+                st.rho[e] = st.mass[e] / st.volume[e];
+                let cv = corner_volumes(&c);
+                st.cnvol[e] = cv;
+                for k in 0..4 {
+                    st.cnmass[e][k] = st.rho[e] * cv[k];
+                }
+            }
+            (mesh, st)
+        };
+        // An invariant-respecting split: pre nodes = left third of the
+        // grid, pre elements = their full adjacency plus a few extras.
+        let (mesh0, _) = make();
+        let mut pre_nd = vec![false; mesh0.n_nodes()];
+        for (n, p) in mesh0.nodes.iter().enumerate() {
+            pre_nd[n] = p.x < 0.34;
+        }
+        let mut pre_el = vec![false; mesh0.n_elements()];
+        for (n, &is_pre) in pre_nd.iter().enumerate() {
+            if is_pre {
+                for &(e, _) in mesh0.elements_of_node(n) {
+                    pre_el[e as usize] = true;
+                }
+            }
+        }
+        pre_el[40] = true; // an extra early element is always legal
+
+        for th in [Threading::Serial, Threading::Rayon] {
+            let (mut mesh_a, mut st_a) = make();
+            let range = LocalRange::whole(&mesh_a);
+            let remapper = Remapper::new(&mesh_a, AleOptions::default());
+            remapper
+                .step_threaded(&mut mesh_a, &mut st_a, range, th)
+                .unwrap();
+            let (mut mesh_b, mut st_b) = make();
+            remapper
+                .step_overlapped(
+                    &mut mesh_b,
+                    &mut st_b,
+                    range,
+                    th,
+                    Some(RemapOverlap {
+                        pre_el: &pre_el,
+                        pre_nd: &pre_nd,
+                    }),
+                    &mut NoComm,
+                )
+                .unwrap();
+            assert_eq!(st_a.rho, st_b.rho, "{th:?}");
+            assert_eq!(st_a.ein, st_b.ein, "{th:?}");
+            assert_eq!(st_a.mass, st_b.mass, "{th:?}");
+            assert_eq!(st_a.cnmass, st_b.cnmass, "{th:?}");
+            assert!(st_a.u.iter().zip(&st_b.u).all(|(a, b)| a == b), "{th:?}");
+        }
     }
 
     #[test]

@@ -18,19 +18,34 @@
 //!
 //! Each run also records the team-wide communication counters with the
 //! per-phase breakdown of the aggregated halo exchange (`comm.per_phase`
-//! — messages and doubles for `pre_viscosity` / `pre_acceleration` /
-//! `post_remap`), the message and byte terms of the cluster cost model.
+//! — messages, doubles, **recv-wait seconds** and **overlap-window
+//! seconds** for `pre_viscosity` / `pre_acceleration` / `post_remap`),
+//! the message, byte and latency terms of the cluster cost model.
+//!
+//! The whole sweep runs once with the overlapped halo exchange and once
+//! with the blocking one (`--overlap both`, the default), so the JSON
+//! carries an on/off comparison: identical message counts (the overlap
+//! changes *when* messages are drained, never how many flow) with the
+//! recv-wait attribution showing how much blocking the overlap removed.
+//! `--check-overlap on` turns the invariants into hard failures: per
+//! configuration, message counts must match between modes and the
+//! per-link-per-step count must sit exactly on the PR 3 baseline
+//! (3 Lagrangian; a dedicated small ALE pair pins 4).
 //!
 //! ```text
 //! scaling [--problems noh,sod] [--mesh 96] [--final-time 0.02]
 //!         [--ranks 1] [--threads 1,2,4] [--repeats 3]
+//!         [--overlap on|off|both] [--check-overlap on|off]
 //!         [--out BENCH_scaling.json]
 //! ```
 
 use std::fmt::Write as _;
 
+use bookleaf_ale::{AleMode, AleOptions};
 use bookleaf_core::{decks, run_distributed, Deck, ExecutorKind, RunConfig};
 use bookleaf_hydro::AccMode;
+use bookleaf_mesh::SubMeshPlan;
+use bookleaf_partition::{partition, Strategy};
 use bookleaf_typhon::CommStats;
 use bookleaf_util::{KernelId, TimerReport};
 
@@ -60,6 +75,9 @@ struct Args {
     repeats: usize,
     run_noh: bool,
     run_sod: bool,
+    overlap_on: bool,
+    overlap_off: bool,
+    check_overlap: bool,
 }
 
 struct RunResult {
@@ -67,13 +85,40 @@ struct RunResult {
     executor: &'static str,
     threads_per_rank: usize,
     total_threads: usize,
+    /// Was the halo exchange overlapped (split post/complete)?
+    overlap: bool,
     wall_s: f64,
     kernel_s: f64,
     per_kernel: Vec<(KernelId, f64)>,
     steps: usize,
+    /// Directed neighbour links of this run's partition (Σ over ranks).
+    links: usize,
     /// Team-wide communication totals, with the per-phase breakdown of
-    /// the aggregated halo exchange (messages + doubles per phase).
+    /// the aggregated halo exchange (messages, doubles, recv-wait and
+    /// overlap-window seconds per phase).
     comm: CommStats,
+}
+
+impl RunResult {
+    /// Point-to-point messages per directed neighbour link per step —
+    /// the PR 3 contract (3 Lagrangian / 4 with an every-step remap).
+    fn msgs_per_link_per_step(&self) -> f64 {
+        let denom = (self.links * self.steps) as f64;
+        if denom > 0.0 {
+            self.comm.messages_sent as f64 / denom
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Total directed neighbour links of a deck's partition at `ranks`,
+/// reproduced with the same deterministic RCB decomposition the
+/// executor uses.
+fn directed_links(deck: &Deck, ranks: usize) -> usize {
+    let owner = partition(&deck.mesh, ranks, Strategy::Rcb).expect("partition");
+    let subs = SubMeshPlan::build(&deck.mesh, &owner, ranks).expect("submesh");
+    subs.iter().map(|s| s.neighbour_ranks().len()).sum()
 }
 
 fn deck_for(problem: &str, mesh: usize) -> Deck {
@@ -92,11 +137,13 @@ fn measure(
     executor: ExecutorKind,
     label: String,
     exec_name: &'static str,
+    overlap: bool,
 ) -> RunResult {
     let deck = deck_for(problem, args.mesh);
     let mut config = RunConfig {
         final_time: args.final_time,
         executor,
+        overlap,
         ..RunConfig::default()
     };
     let (threads_per_rank, total_threads) = match executor {
@@ -117,6 +164,12 @@ fn measure(
         AccMode::GatherSerial
     };
 
+    let ranks = match executor {
+        ExecutorKind::Hybrid { ranks, .. } | ExecutorKind::FlatMpi { ranks } => ranks,
+        ExecutorKind::Serial => 1,
+    };
+    let links = directed_links(&deck, ranks);
+
     let mut best: Option<RunResult> = None;
     for _ in 0..args.repeats.max(1) {
         let out = run_distributed(&deck, &config).expect("scaling run failed");
@@ -126,6 +179,7 @@ fn measure(
             executor: exec_name,
             threads_per_rank,
             total_threads,
+            overlap,
             wall_s: out.wall_seconds,
             kernel_s,
             per_kernel: PARALLEL_KERNELS
@@ -133,6 +187,7 @@ fn measure(
                 .map(|&k| (k, out.timers.seconds(k)))
                 .collect(),
             steps: out.steps,
+            links,
             comm: out.comm,
         };
         let better = best
@@ -149,13 +204,13 @@ fn json_escape_kernel(k: KernelId) -> String {
     format!("{k:?}").to_lowercase()
 }
 
-/// The speedup reference: the *narrowest* hybrid run measured, so a
-/// sweep that omits `--threads 1` still gets meaningful ratios instead
-/// of zeros.
+/// The speedup reference: the *narrowest* hybrid run measured (the
+/// overlapped one when both modes ran), so a sweep that omits
+/// `--threads 1` still gets meaningful ratios instead of zeros.
 fn baseline(runs: &[RunResult]) -> Option<&RunResult> {
     runs.iter()
         .filter(|r| r.executor == "hybrid")
-        .min_by_key(|r| r.threads_per_rank)
+        .min_by_key(|r| (r.threads_per_rank, !r.overlap))
 }
 
 fn speedup_vs(base: Option<&RunResult>, r: &RunResult) -> f64 {
@@ -173,7 +228,7 @@ fn emit_json(
 ) -> std::io::Result<()> {
     let mut j = String::new();
     let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"schema\": \"bookleaf-scaling-v2\",");
+    let _ = writeln!(j, "  \"schema\": \"bookleaf-scaling-v3\",");
     let _ = writeln!(j, "  \"host_cores\": {host_cores},");
     let _ = writeln!(j, "  \"mesh\": {},", args.mesh);
     let _ = writeln!(j, "  \"final_time\": {},", args.final_time);
@@ -190,7 +245,9 @@ fn emit_json(
             let _ = writeln!(j, "          \"executor\": \"{}\",", r.executor);
             let _ = writeln!(j, "          \"threads_per_rank\": {},", r.threads_per_rank);
             let _ = writeln!(j, "          \"total_threads\": {},", r.total_threads);
+            let _ = writeln!(j, "          \"overlap\": {},", r.overlap);
             let _ = writeln!(j, "          \"steps\": {},", r.steps);
+            let _ = writeln!(j, "          \"links\": {},", r.links);
             let _ = writeln!(j, "          \"wall_s\": {:.6},", r.wall_s);
             let _ = writeln!(j, "          \"kernel_section_s\": {:.6},", r.kernel_s);
             let _ = writeln!(j, "          \"kernels\": {{");
@@ -215,6 +272,21 @@ fn emit_json(
             );
             let _ = writeln!(j, "            \"doubles_sent\": {},", r.comm.doubles_sent);
             let _ = writeln!(j, "            \"collectives\": {},", r.comm.collectives);
+            let _ = writeln!(
+                j,
+                "            \"msgs_per_link_per_step\": {:.3},",
+                r.msgs_per_link_per_step()
+            );
+            let _ = writeln!(
+                j,
+                "            \"recv_wait_s\": {:.6},",
+                r.comm.recv_wait_seconds
+            );
+            let _ = writeln!(
+                j,
+                "            \"overlap_window_s\": {:.6},",
+                r.comm.overlap_window_seconds
+            );
             let _ = writeln!(j, "            \"per_phase\": {{");
             for (fi, p) in r.comm.phases.iter().enumerate() {
                 let comma = if fi + 1 < r.comm.phases.len() {
@@ -224,8 +296,13 @@ fn emit_json(
                 };
                 let _ = writeln!(
                     j,
-                    "              \"{}\": {{ \"messages\": {}, \"doubles\": {} }}{comma}",
-                    p.name, p.messages_sent, p.doubles_sent
+                    "              \"{}\": {{ \"messages\": {}, \"doubles\": {}, \
+                     \"recv_wait_s\": {:.6}, \"overlap_window_s\": {:.6} }}{comma}",
+                    p.name,
+                    p.messages_sent,
+                    p.doubles_sent,
+                    p.recv_wait_seconds,
+                    p.overlap_window_seconds
                 );
             }
             let _ = writeln!(j, "            }}");
@@ -244,7 +321,12 @@ fn emit_json(
             base.map_or(0, |b| b.threads_per_rank)
         );
         let _ = writeln!(j, "      \"kernel_section_speedup_vs_baseline\": {{");
-        let hybrid: Vec<&RunResult> = runs.iter().filter(|r| r.executor == "hybrid").collect();
+        // Speedups track the baseline's own overlap mode so the map has
+        // one entry per thread count even when both modes were swept.
+        let hybrid: Vec<&RunResult> = runs
+            .iter()
+            .filter(|r| r.executor == "hybrid" && base.is_none_or(|b| r.overlap == b.overlap))
+            .collect();
         for (hi, r) in hybrid.iter().enumerate() {
             let comma = if hi + 1 < hybrid.len() { "," } else { "" };
             let _ = writeln!(
@@ -271,6 +353,9 @@ fn parse_args() -> (Args, Vec<usize>, String) {
         repeats: 3,
         run_noh: true,
         run_sod: true,
+        overlap_on: true,
+        overlap_off: true,
+        check_overlap: false,
     };
     let mut threads = vec![1, 2, 4];
     let mut out_path = "BENCH_scaling.json".to_string();
@@ -307,6 +392,32 @@ fn parse_args() -> (Args, Vec<usize>, String) {
                     }
                 }
             }
+            "--overlap" => match val.as_str() {
+                "on" => {
+                    args.overlap_on = true;
+                    args.overlap_off = false;
+                }
+                "off" => {
+                    args.overlap_on = false;
+                    args.overlap_off = true;
+                }
+                "both" => {
+                    args.overlap_on = true;
+                    args.overlap_off = true;
+                }
+                other => {
+                    eprintln!("--overlap must be on, off or both (got {other:?})");
+                    std::process::exit(2);
+                }
+            },
+            "--check-overlap" => match val.as_str() {
+                "on" => args.check_overlap = true,
+                "off" => args.check_overlap = false,
+                other => {
+                    eprintln!("--check-overlap must be on or off (got {other:?})");
+                    std::process::exit(2);
+                }
+            },
             "--out" => out_path = val.clone(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -335,38 +446,52 @@ fn main() {
         .filter_map(|(p, on)| on.then_some(p))
         .collect();
 
+    let modes: Vec<bool> = [(true, args.overlap_on), (false, args.overlap_off)]
+        .into_iter()
+        .filter_map(|(mode, on)| on.then_some(mode))
+        .collect();
+    if modes.is_empty() {
+        eprintln!("nothing to run: both overlap modes disabled");
+        std::process::exit(2);
+    }
+
     for problem in selected {
         println!("--- {problem} ---");
         println!(
-            "{:<22} {:>8} {:>12} {:>12} {:>9}",
-            "configuration", "steps", "wall (s)", "kernels (s)", "speedup"
+            "{:<28} {:>8} {:>11} {:>11} {:>10} {:>8}",
+            "configuration", "steps", "wall (s)", "kernels (s)", "wait (s)", "speedup"
         );
         let mut runs: Vec<RunResult> = Vec::new();
-        for &t in &threads {
-            let label = format!("hybrid {}x{t}", args.ranks);
-            let r = measure(
+        for &overlap in &modes {
+            let suffix = if overlap { "" } else { " (no-overlap)" };
+            for &t in &threads {
+                let label = format!("hybrid {}x{t}{suffix}", args.ranks);
+                let r = measure(
+                    problem,
+                    args,
+                    ExecutorKind::Hybrid {
+                        ranks: args.ranks,
+                        threads_per_rank: t,
+                    },
+                    label,
+                    "hybrid",
+                    overlap,
+                );
+                runs.push(r);
+            }
+            // Flat-MPI at the same total core count as the widest hybrid,
+            // the paper's §V comparison axis.
+            let max_threads = threads.iter().copied().max().unwrap_or(1);
+            let flat_ranks = args.ranks * max_threads;
+            runs.push(measure(
                 problem,
                 args,
-                ExecutorKind::Hybrid {
-                    ranks: args.ranks,
-                    threads_per_rank: t,
-                },
-                label,
-                "hybrid",
-            );
-            runs.push(r);
+                ExecutorKind::FlatMpi { ranks: flat_ranks },
+                format!("flat-mpi x{flat_ranks}{suffix}"),
+                "flat_mpi",
+                overlap,
+            ));
         }
-        // Flat-MPI at the same total core count as the widest hybrid,
-        // the paper's §V comparison axis.
-        let max_threads = threads.iter().copied().max().unwrap_or(1);
-        let flat_ranks = args.ranks * max_threads;
-        runs.push(measure(
-            problem,
-            args,
-            ExecutorKind::FlatMpi { ranks: flat_ranks },
-            format!("flat-mpi x{flat_ranks}"),
-            "flat_mpi",
-        ));
 
         let base = baseline(&runs).map(|b| (b.label.clone(), b.kernel_s));
         for r in &runs {
@@ -375,8 +500,8 @@ fn main() {
                 _ => 0.0,
             };
             println!(
-                "{:<22} {:>8} {:>12.4} {:>12.4} {:>8.2}x",
-                r.label, r.steps, r.wall_s, r.kernel_s, speedup
+                "{:<28} {:>8} {:>11.4} {:>11.4} {:>10.4} {:>7.2}x",
+                r.label, r.steps, r.wall_s, r.kernel_s, r.comm.recv_wait_seconds, speedup
             );
         }
         if let Some((label, _)) = &base {
@@ -389,16 +514,20 @@ fn main() {
                 .iter()
                 .map(|p| {
                     format!(
-                        "{} {} msg / {} dbl",
-                        p.name, p.messages_sent, p.doubles_sent
+                        "{} {} msg / {} dbl / {:.4}s wait",
+                        p.name, p.messages_sent, p.doubles_sent, p.recv_wait_seconds
                     )
                 })
                 .collect();
             println!(
-                "comm ({}): {} messages, {} doubles [{}]",
+                "comm ({}): {} messages ({:.1}/link/step), {} doubles, \
+                 {:.4}s recv-wait, {:.4}s overlap window [{}]",
                 r.label,
                 r.comm.messages_sent,
+                r.msgs_per_link_per_step(),
                 r.comm.doubles_sent,
+                r.comm.recv_wait_seconds,
+                r.comm.overlap_window_seconds,
                 phases.join("; ")
             );
         }
@@ -408,4 +537,99 @@ fn main() {
     emit_json(&out_path, args, host_cores, &problems).expect("write BENCH json");
     println!("{}", "=".repeat(76));
     println!("wrote {out_path}");
+
+    if args.check_overlap {
+        let failures = check_overlap_invariants(args, &problems);
+        if !failures.is_empty() {
+            eprintln!("overlap invariant check FAILED:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("overlap invariant check passed");
+    }
+}
+
+/// The hard invariants of the overlapped exchange, as CI gates:
+///
+/// 1. for every configuration measured in both modes, the message and
+///    double counts are identical — overlap changes *when* receives
+///    drain, never what flows;
+/// 2. every Lagrangian run sits exactly on the PR 3 baseline of
+///    3 messages per directed link per step;
+/// 3. a dedicated small ALE pair (remap every step) sits exactly on 4,
+///    again identically in both modes.
+fn check_overlap_invariants(args: Args, problems: &[(String, Vec<RunResult>)]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (problem, runs) in problems {
+        for r in runs {
+            if r.links > 0 && (r.msgs_per_link_per_step() - 3.0).abs() > 1e-9 {
+                failures.push(format!(
+                    "{problem} / {}: {:.3} messages per link per step (expected exactly 3)",
+                    r.label,
+                    r.msgs_per_link_per_step()
+                ));
+            }
+        }
+        for a in runs.iter().filter(|r| r.overlap) {
+            let base_label = a.label.clone();
+            if let Some(b) = runs
+                .iter()
+                .find(|r| !r.overlap && r.label == format!("{base_label} (no-overlap)"))
+            {
+                if a.comm.messages_sent != b.comm.messages_sent
+                    || a.comm.doubles_sent != b.comm.doubles_sent
+                {
+                    failures.push(format!(
+                        "{problem} / {}: overlap on/off traffic differs \
+                         ({} vs {} msgs, {} vs {} dbls)",
+                        a.label,
+                        a.comm.messages_sent,
+                        b.comm.messages_sent,
+                        a.comm.doubles_sent,
+                        b.comm.doubles_sent
+                    ));
+                }
+            }
+        }
+    }
+
+    // ALE pair: remap every step at a deliberately small size — the
+    // point is the message accounting (4 per link per step), not time.
+    if args.ranks >= 2 {
+        let deck = decks::sod(24, 3);
+        let links = directed_links(&deck, args.ranks);
+        let mut counts = Vec::new();
+        for overlap in [true, false] {
+            let config = RunConfig {
+                final_time: 0.005,
+                ale: Some(AleOptions {
+                    mode: AleMode::Eulerian,
+                    frequency: 1,
+                }),
+                executor: ExecutorKind::FlatMpi { ranks: args.ranks },
+                overlap,
+                ..RunConfig::default()
+            };
+            let out = run_distributed(&deck, &config).expect("ALE check run failed");
+            let per_link_step = out.comm.messages_sent as f64 / (links * out.steps) as f64;
+            if (per_link_step - 4.0).abs() > 1e-9 {
+                failures.push(format!(
+                    "ALE (overlap={overlap}): {per_link_step:.3} messages per link \
+                     per step (expected exactly 4)"
+                ));
+            }
+            counts.push(out.comm.messages_sent);
+        }
+        if counts[0] != counts[1] {
+            failures.push(format!(
+                "ALE: overlap on/off message counts differ ({} vs {})",
+                counts[0], counts[1]
+            ));
+        }
+    } else {
+        println!("(ALE link check skipped: needs --ranks >= 2)");
+    }
+    failures
 }

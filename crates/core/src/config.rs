@@ -39,6 +39,13 @@ pub struct RunConfig {
     pub ale: Option<AleOptions>,
     /// Execution model.
     pub executor: ExecutorKind,
+    /// Overlap halo exchanges with computation (distributed executors
+    /// only): each phase is posted early, interior entities are swept
+    /// while its messages are in flight, and the exchange completes
+    /// before the boundary sweep. Bitwise identical to the blocking
+    /// schedule — this is purely a latency-hiding toggle, kept for
+    /// A/B measurement.
+    pub overlap: bool,
 }
 
 impl Default for RunConfig {
@@ -50,6 +57,7 @@ impl Default for RunConfig {
             lag: LagOptions::default(),
             ale: None,
             executor: ExecutorKind::Serial,
+            overlap: true,
         }
     }
 }
@@ -64,5 +72,6 @@ mod tests {
         assert_eq!(c.executor, ExecutorKind::Serial);
         assert!(c.ale.is_none());
         assert!(c.final_time > 0.0);
+        assert!(c.overlap, "overlapped halo exchange is the default");
     }
 }

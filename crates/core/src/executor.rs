@@ -186,6 +186,11 @@ fn run_rank(
     // Build the rank's aggregated exchange plan once; every halo hook
     // then moves its whole phase as one message per neighbour.
     let mut halo = TyphonHalo::new(ctx, sub, piston);
+    // Interior/boundary classification, derived once per run: with the
+    // overlap toggle on, every halo phase is posted early and completed
+    // only before the boundary sweep (latency hiding; bitwise identical
+    // physics and identical message counts).
+    let overlap_sets = config.overlap.then(|| sub.overlap_sets());
     let timers = TimerRegistry::new();
 
     let mut cursor = crate::driver::LoopState::default();
@@ -200,6 +205,7 @@ fn run_rank(
         |dt| ctx.allreduce_min(dt),
         &timers,
         &mut cursor,
+        overlap_sets.as_ref(),
     )?;
     let (steps, time) = (cursor.steps, cursor.t);
 

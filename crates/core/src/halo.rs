@@ -25,7 +25,9 @@
 
 use bookleaf_hydro::{HaloOps, HydroState};
 use bookleaf_mesh::{Mesh, SubMesh};
-use bookleaf_typhon::{Entity, FieldMut, HaloPlan, HaloPlanBuilder, PhaseId, RankCtx, SlotKind};
+use bookleaf_typhon::{
+    Entity, FieldMut, HaloPlan, HaloPlanBuilder, PendingPhase, PhaseId, RankCtx, SlotKind,
+};
 use bookleaf_util::Vec2;
 
 /// Node-local piston description (local node ids).
@@ -63,15 +65,53 @@ impl HaloOps for SerialHooks {
 }
 
 /// Distributed hooks: phase-aggregated Typhon exchanges plus optional
-/// piston.
+/// piston. Every phase also supports the split post/complete protocol
+/// (see [`bookleaf_hydro::HaloOps`]); the in-flight tickets live here
+/// so a posted phase is completed exactly once.
 pub struct TyphonHalo<'a> {
     ctx: &'a RankCtx,
     plan: HaloPlan,
     pre_visc: PhaseId,
     pre_acc: PhaseId,
     post_remap: PhaseId,
+    pending_visc: Option<PendingPhase>,
+    pending_acc: Option<PendingPhase>,
+    pending_remap: Option<PendingPhase>,
     /// Piston with *local* node ids, if any land on this rank.
     pub piston: Option<LocalPiston>,
+}
+
+/// The `pre_viscosity` phase bindings, in registration order.
+fn visc_fields<'s>(mesh: &'s mut Mesh, state: &'s mut HydroState) -> [FieldMut<'s>; 6] {
+    [
+        FieldMut::Vec2(&mut mesh.nodes),
+        FieldMut::Vec2(&mut state.u),
+        FieldMut::Scalar(&mut state.rho),
+        FieldMut::Scalar(&mut state.ein),
+        FieldMut::Scalar(&mut state.pressure),
+        FieldMut::Scalar(&mut state.cs2),
+    ]
+}
+
+/// The `pre_acceleration` phase bindings.
+fn acc_fields(state: &mut HydroState) -> [FieldMut<'_>; 2] {
+    [
+        FieldMut::Corner4(&mut state.cnmass),
+        FieldMut::CornerVec2(&mut state.cnforce),
+    ]
+}
+
+/// The `post_remap` phase bindings.
+fn remap_fields<'s>(mesh: &'s mut Mesh, state: &'s mut HydroState) -> [FieldMut<'s>; 7] {
+    [
+        FieldMut::Vec2(&mut mesh.nodes),
+        FieldMut::Vec2(&mut state.u),
+        FieldMut::Scalar(&mut state.mass),
+        FieldMut::Scalar(&mut state.rho),
+        FieldMut::Scalar(&mut state.ein),
+        FieldMut::Scalar(&mut state.volume),
+        FieldMut::Corner4(&mut state.cnmass),
+    ]
 }
 
 impl<'a> TyphonHalo<'a> {
@@ -116,6 +156,9 @@ impl<'a> TyphonHalo<'a> {
             pre_visc,
             pre_acc,
             post_remap,
+            pending_visc: None,
+            pending_acc: None,
+            pending_remap: None,
             piston,
         }
     }
@@ -129,29 +172,13 @@ impl<'a> TyphonHalo<'a> {
 
 impl HaloOps for TyphonHalo<'_> {
     fn pre_viscosity(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
-        self.plan.execute(
-            self.ctx,
-            self.pre_visc,
-            &mut [
-                FieldMut::Vec2(&mut mesh.nodes),
-                FieldMut::Vec2(&mut state.u),
-                FieldMut::Scalar(&mut state.rho),
-                FieldMut::Scalar(&mut state.ein),
-                FieldMut::Scalar(&mut state.pressure),
-                FieldMut::Scalar(&mut state.cs2),
-            ],
-        );
+        self.plan
+            .execute(self.ctx, self.pre_visc, &mut visc_fields(mesh, state));
     }
 
     fn pre_acceleration(&mut self, state: &mut HydroState) {
-        self.plan.execute(
-            self.ctx,
-            self.pre_acc,
-            &mut [
-                FieldMut::Corner4(&mut state.cnmass),
-                FieldMut::CornerVec2(&mut state.cnforce),
-            ],
-        );
+        self.plan
+            .execute(self.ctx, self.pre_acc, &mut acc_fields(state));
     }
 
     fn post_acceleration(&mut self, _mesh: &Mesh, state: &mut HydroState) {
@@ -161,19 +188,67 @@ impl HaloOps for TyphonHalo<'_> {
     }
 
     fn post_remap(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
-        self.plan.execute(
+        self.plan
+            .execute(self.ctx, self.post_remap, &mut remap_fields(mesh, state));
+    }
+
+    fn pre_viscosity_post(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
+        assert!(
+            self.pending_visc.is_none(),
+            "pre_viscosity posted twice without a complete"
+        );
+        self.pending_visc = Some(self.plan.post(
+            self.ctx,
+            self.pre_visc,
+            &visc_fields(mesh, state),
+        ));
+    }
+
+    fn pre_viscosity_complete(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
+        let pending = self
+            .pending_visc
+            .take()
+            .expect("pre_viscosity_complete without a post");
+        self.plan
+            .complete(self.ctx, pending, &mut visc_fields(mesh, state));
+    }
+
+    fn pre_acceleration_post(&mut self, state: &mut HydroState) {
+        assert!(
+            self.pending_acc.is_none(),
+            "pre_acceleration posted twice without a complete"
+        );
+        self.pending_acc = Some(self.plan.post(self.ctx, self.pre_acc, &acc_fields(state)));
+    }
+
+    fn pre_acceleration_complete(&mut self, state: &mut HydroState) {
+        let pending = self
+            .pending_acc
+            .take()
+            .expect("pre_acceleration_complete without a post");
+        self.plan
+            .complete(self.ctx, pending, &mut acc_fields(state));
+    }
+
+    fn post_remap_post(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
+        assert!(
+            self.pending_remap.is_none(),
+            "post_remap posted twice without a complete"
+        );
+        self.pending_remap = Some(self.plan.post(
             self.ctx,
             self.post_remap,
-            &mut [
-                FieldMut::Vec2(&mut mesh.nodes),
-                FieldMut::Vec2(&mut state.u),
-                FieldMut::Scalar(&mut state.mass),
-                FieldMut::Scalar(&mut state.rho),
-                FieldMut::Scalar(&mut state.ein),
-                FieldMut::Scalar(&mut state.volume),
-                FieldMut::Corner4(&mut state.cnmass),
-            ],
-        );
+            &remap_fields(mesh, state),
+        ));
+    }
+
+    fn post_remap_complete(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
+        let pending = self
+            .pending_remap
+            .take()
+            .expect("post_remap_complete without a post");
+        self.plan
+            .complete(self.ctx, pending, &mut remap_fields(mesh, state));
     }
 }
 

@@ -22,6 +22,7 @@ use bookleaf_util::Vec2;
 use rayon::prelude::*;
 
 use crate::state::{HydroState, LocalRange};
+use crate::subset::Subset;
 
 /// How to accumulate corner masses/forces onto nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,20 +44,41 @@ pub enum AccMode {
 /// phase 2) so that partition-boundary nodes see their complete
 /// adjacency.
 pub fn getacc(mesh: &Mesh, state: &mut HydroState, range: LocalRange, dt: f64, mode: AccMode) {
+    getacc_subset(mesh, state, range, dt, mode, Subset::All);
+}
+
+/// [`getacc`] over a [`Subset`] of the active nodes; velocities, `ubar`
+/// and nodal masses outside the subset are left untouched. Used by the
+/// overlapped executor: the interior subset must contain only nodes
+/// whose whole element adjacency is owned (see
+/// `bookleaf_mesh::OverlapSets`), so their gathers never read a ghost
+/// corner mass or force the in-flight exchange is about to rewrite.
+pub fn getacc_subset(
+    mesh: &Mesh,
+    state: &mut HydroState,
+    range: LocalRange,
+    dt: f64,
+    mode: AccMode,
+    subset: Subset<'_>,
+) {
     let nn = range.n_active_nd;
 
-    // Accumulate nodal mass and force.
+    // Accumulate nodal mass and force. Entries outside the subset are
+    // left at zero and never read below.
     let (nd_mass, nd_force) = match mode {
         AccMode::ScatterSerial => {
             let mut nd_mass = vec![0.0f64; nn];
             let mut nd_force = vec![Vec2::ZERO; nn];
             // The scatter runs over *all* local elements so that active
             // nodes adjacent to ghost elements receive those
-            // contributions too.
+            // contributions too. Contributions to nodes outside the
+            // subset are skipped (their slots stay zero and unread), so
+            // a split sweep accumulates each node's sums exactly once —
+            // in the same element order as the unsplit scatter.
             for e in 0..mesh.n_elements() {
                 for c in 0..4 {
                     let nd = mesh.elnd[e][c] as usize;
-                    if nd < nn {
+                    if nd < nn && subset.contains(nd) {
                         nd_mass[nd] += state.cnmass[e][c];
                         nd_force[nd] += state.cnforce[e][c];
                     }
@@ -68,6 +90,9 @@ pub fn getacc(mesh: &Mesh, state: &mut HydroState, range: LocalRange, dt: f64, m
             let mut nd_mass = vec![0.0f64; nn];
             let mut nd_force = vec![Vec2::ZERO; nn];
             for n in 0..nn {
+                if !subset.contains(n) {
+                    continue;
+                }
                 let (m, f) = gather_node(mesh, state, n);
                 nd_mass[n] = m;
                 nd_force[n] = f;
@@ -82,17 +107,22 @@ pub fn getacc(mesh: &Mesh, state: &mut HydroState, range: LocalRange, dt: f64, m
                 .zip(nd_force.par_iter_mut())
                 .enumerate()
                 .for_each(|(n, (m, f))| {
-                    let (mm, ff) = gather_node(mesh, state, n);
-                    *m = mm;
-                    *f = ff;
+                    if subset.contains(n) {
+                        let (mm, ff) = gather_node(mesh, state, n);
+                        *m = mm;
+                        *f = ff;
+                    }
                 });
             (nd_mass, nd_force)
         }
     };
 
     // Acceleration, BCs, velocity update, time-centred velocity.
-    state.nd_mass[..nn].copy_from_slice(&nd_mass);
     for n in 0..nn {
+        if !subset.contains(n) {
+            continue;
+        }
+        state.nd_mass[n] = nd_mass[n];
         let bc = mesh.node_bc[n];
         let m = nd_mass[n];
         let a = if m > 0.0 {
@@ -270,6 +300,77 @@ mod tests {
         }
         assert!(approx_eq(dp.x, expected.x, 1e-12));
         assert!(approx_eq(dp.y, expected.y, 1e-12));
+    }
+
+    #[test]
+    fn split_node_sweeps_match_full_sweep_bitwise() {
+        let (mesh, st0) = setup(5);
+        let range = LocalRange::whole(&mesh);
+        let prep = |st: &mut HydroState| {
+            for e in 0..st.n_elements() {
+                st.cnforce[e] = [
+                    Vec2::new(0.1 * e as f64, -0.05),
+                    Vec2::new(-0.2, 0.3),
+                    Vec2::new(0.05, 0.05 * e as f64),
+                    Vec2::new(0.0, -0.1),
+                ];
+            }
+        };
+        let mask: Vec<bool> = (0..mesh.n_nodes()).map(|n| n % 4 == 1).collect();
+        for mode in [
+            AccMode::ScatterSerial,
+            AccMode::GatherSerial,
+            AccMode::GatherParallel,
+        ] {
+            let mut full = st0.clone();
+            prep(&mut full);
+            getacc(&mesh, &mut full, range, 0.01, mode);
+            let mut split = st0.clone();
+            prep(&mut split);
+            for keep in [false, true] {
+                getacc_subset(
+                    &mesh,
+                    &mut split,
+                    range,
+                    0.01,
+                    mode,
+                    crate::subset::Subset::Mask { mask: &mask, keep },
+                );
+            }
+            for n in 0..mesh.n_nodes() {
+                assert_eq!(full.u[n], split.u[n], "{mode:?} u at node {n}");
+                assert_eq!(full.ubar[n], split.ubar[n], "{mode:?} ubar at node {n}");
+                assert_eq!(full.nd_mass[n], split.nd_mass[n], "{mode:?} nd_mass");
+            }
+        }
+    }
+
+    #[test]
+    fn subset_leaves_excluded_nodes_untouched() {
+        let (mesh, mut st) = setup(3);
+        set_unit_forces(&mut st);
+        let range = LocalRange::whole(&mesh);
+        let frozen = Vec2::new(9.0, -9.0);
+        st.u.fill(frozen);
+        let mask: Vec<bool> = (0..mesh.n_nodes()).map(|n| n < 6).collect();
+        getacc_subset(
+            &mesh,
+            &mut st,
+            range,
+            0.1,
+            AccMode::GatherSerial,
+            crate::subset::Subset::Mask {
+                mask: &mask,
+                keep: false,
+            },
+        );
+        for n in 0..mesh.n_nodes() {
+            if mask[n] {
+                assert_eq!(st.u[n], frozen, "masked-out node {n} was updated");
+            } else {
+                assert_ne!(st.u[n], frozen, "in-subset node {n} was skipped");
+            }
+        }
     }
 
     #[test]

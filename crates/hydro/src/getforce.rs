@@ -21,6 +21,7 @@ use bookleaf_util::Vec2;
 use rayon::prelude::*;
 
 use crate::state::{HydroState, LocalRange};
+use crate::subset::Subset;
 use crate::Threading;
 
 /// Which hourglass-suppression mechanisms are active.
@@ -68,6 +69,22 @@ pub fn getforce(
     hg: HourglassControl,
     dt: f64,
     threading: Threading,
+) {
+    getforce_subset(mesh, state, range, hg, dt, threading, Subset::All);
+}
+
+/// [`getforce`] over a [`Subset`] of the owned elements; corner forces
+/// outside the subset are left untouched. The force stencil (own
+/// corners, own nodal masses) is contained in the viscosity stencil, so
+/// the overlapped executor reuses the viscosity-phase boundary mask.
+pub fn getforce_subset(
+    mesh: &Mesh,
+    state: &mut HydroState,
+    range: LocalRange,
+    hg: HourglassControl,
+    dt: f64,
+    threading: Threading,
+    subset: Subset<'_>,
 ) {
     let n = range.n_owned_el;
     let u = &state.u;
@@ -205,6 +222,9 @@ pub fn getforce(
     match threading {
         Threading::Serial => {
             for e in 0..n {
+                if !subset.contains(e) {
+                    continue;
+                }
                 let mut f = [Vec2::ZERO; 4];
                 body(e, &mut f);
                 state.cnforce[e] = f;
@@ -214,7 +234,11 @@ pub fn getforce(
             state.cnforce[..n]
                 .par_iter_mut()
                 .enumerate()
-                .for_each(|(e, f)| body(e, f));
+                .for_each(|(e, f)| {
+                    if subset.contains(e) {
+                        body(e, f);
+                    }
+                });
         }
     }
 }
@@ -449,6 +473,53 @@ mod tests {
             st.cnforce[0][2].norm() < f.norm(),
             "far corner should feel less"
         );
+    }
+
+    #[test]
+    fn split_sweeps_match_full_sweep_bitwise() {
+        let mesh = generate_rect(&RectSpec::unit_square(6), |_| 0).unwrap();
+        let mat = MaterialTable::single(EosSpec::ideal_gas(1.4));
+        let nodes = mesh.nodes.clone();
+        let mk = || {
+            let mut st = HydroState::new(
+                &mesh,
+                &mat,
+                |e| 1.0 + 0.01 * e as f64,
+                |_| 2.0,
+                |i| Vec2::new((3.0 * nodes[i].y).sin(), (2.0 * nodes[i].x).cos()),
+            )
+            .unwrap();
+            for e in 0..st.n_elements() {
+                st.edge_q[e] = [0.1, 0.0, 0.3, 0.05];
+            }
+            st
+        };
+        let range = LocalRange::whole(&mesh);
+        let mask: Vec<bool> = (0..mesh.n_elements()).map(|e| (e / 3) % 2 == 0).collect();
+        for th in [Threading::Serial, Threading::Rayon] {
+            let mut full = mk();
+            getforce(
+                &mesh,
+                &mut full,
+                range,
+                HourglassControl::default(),
+                1.0,
+                th,
+            );
+            let mut split = mk();
+            for keep in [true, false] {
+                getforce_subset(
+                    &mesh,
+                    &mut split,
+                    range,
+                    HourglassControl::default(),
+                    1.0,
+                    th,
+                    crate::subset::Subset::Mask { mask: &mask, keep },
+                );
+            }
+            assert_eq!(full.cnforce, split.cnforce, "{th:?}");
+        }
     }
 
     #[test]

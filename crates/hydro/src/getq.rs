@@ -22,6 +22,7 @@ use bookleaf_util::Vec2;
 use rayon::prelude::*;
 
 use crate::state::{HydroState, LocalRange};
+use crate::subset::Subset;
 use crate::Threading;
 
 /// Artificial viscosity coefficients.
@@ -64,18 +65,57 @@ pub fn getq(
     coeffs: QCoeffs,
     threading: Threading,
 ) {
+    getq_subset(mesh, state, range, coeffs, threading, Subset::All);
+}
+
+/// [`getq`] over a [`Subset`] of the owned elements; entities outside
+/// the subset keep their previous `q`/`edge_q` values. Used by the
+/// overlapped executor: the interior subset must not reach any
+/// halo-received node through its own or its face neighbours' corners
+/// (see `bookleaf_mesh::OverlapSets`). The sweep structure (and the
+/// parallel split tree) is identical to the unsplit kernel.
+pub fn getq_subset(
+    mesh: &Mesh,
+    state: &mut HydroState,
+    range: LocalRange,
+    coeffs: QCoeffs,
+    threading: Threading,
+    subset: Subset<'_>,
+) {
     let n = range.n_owned_el;
 
-    // Cell-averaged velocities for every local element (owned + ghost):
-    // the limiter reaches across faces into the ghost layer.
+    // Cell-averaged velocities: the limiter reaches from each swept
+    // element into its face neighbours (ghost layer included). A split
+    // sweep only reads the entries its own elements and their
+    // neighbours touch, so restrict the precompute to those — the
+    // boundary pass then averages a handful of seam elements instead of
+    // the whole local mesh, and the interior pass never computes ghost
+    // entries from not-yet-exchanged velocities it would discard.
+    let needed: Option<Vec<bool>> = match subset {
+        Subset::All => None,
+        Subset::Mask { .. } => {
+            let mut needed = vec![false; mesh.n_elements()];
+            for e in 0..n {
+                if !subset.contains(e) {
+                    continue;
+                }
+                needed[e] = true;
+                for nb in &mesh.elel[e] {
+                    if let Neighbor::Element(en) = nb {
+                        needed[*en as usize] = true;
+                    }
+                }
+            }
+            Some(needed)
+        }
+    };
+    let entry = |e: usize| match &needed {
+        Some(needed) if !needed[e] => Vec2::ZERO, // never read
+        _ => cell_velocity(mesh, &state.u, e),
+    };
     let cell_u: Vec<Vec2> = match threading {
-        Threading::Serial => (0..mesh.n_elements())
-            .map(|e| cell_velocity(mesh, &state.u, e))
-            .collect(),
-        Threading::Rayon => (0..mesh.n_elements())
-            .into_par_iter()
-            .map(|e| cell_velocity(mesh, &state.u, e))
-            .collect(),
+        Threading::Serial => (0..mesh.n_elements()).map(entry).collect(),
+        Threading::Rayon => (0..mesh.n_elements()).into_par_iter().map(entry).collect(),
     };
 
     let u = &state.u;
@@ -142,6 +182,9 @@ pub fn getq(
     match threading {
         Threading::Serial => {
             for e in 0..n {
+                if !subset.contains(e) {
+                    continue;
+                }
                 let (mut eq, mut qv) = ([0.0; 4], 0.0);
                 body(e, &mut eq, &mut qv);
                 state.edge_q[e] = eq;
@@ -153,7 +196,11 @@ pub fn getq(
                 .par_iter_mut()
                 .zip(state.q[..n].par_iter_mut())
                 .enumerate()
-                .for_each(|(e, (eq, qv))| body(e, eq, qv));
+                .for_each(|(e, (eq, qv))| {
+                    if subset.contains(e) {
+                        body(e, eq, qv);
+                    }
+                });
         }
     }
 }
@@ -355,6 +402,76 @@ mod tests {
         );
         assert_eq!(a.q, b.q);
         assert_eq!(a.edge_q, b.edge_q);
+    }
+
+    #[test]
+    fn split_sweeps_match_full_sweep_bitwise() {
+        let mesh = generate_rect(&RectSpec::unit_square(7), |_| 0).unwrap();
+        let mat = MaterialTable::single(EosSpec::ideal_gas(1.4));
+        let nodes = mesh.nodes.clone();
+        let mk = || {
+            HydroState::new(
+                &mesh,
+                &mat,
+                |e| 1.0 + 0.02 * (e % 5) as f64,
+                |_| 1.0,
+                |i| {
+                    Vec2::new(
+                        (7.0 * nodes[i].x).sin() * 0.3,
+                        (5.0 * nodes[i].y).cos() * 0.2,
+                    )
+                },
+            )
+            .unwrap()
+        };
+        let range = LocalRange::whole(&mesh);
+        // Arbitrary split: the union of a mask's two sides must equal
+        // the full sweep exactly (per-element independence).
+        let mask: Vec<bool> = (0..mesh.n_elements()).map(|e| e % 3 == 0).collect();
+        for th in [Threading::Serial, Threading::Rayon] {
+            let mut full = mk();
+            getq(&mesh, &mut full, range, QCoeffs::default(), th);
+            let mut split = mk();
+            for keep in [false, true] {
+                getq_subset(
+                    &mesh,
+                    &mut split,
+                    range,
+                    QCoeffs::default(),
+                    th,
+                    crate::subset::Subset::Mask { mask: &mask, keep },
+                );
+            }
+            assert_eq!(full.q, split.q, "{th:?}");
+            assert_eq!(full.edge_q, split.edge_q, "{th:?}");
+        }
+    }
+
+    #[test]
+    fn subset_leaves_excluded_elements_untouched() {
+        let (mesh, mut st) = setup(4, |i| Vec2::new(i as f64 * 0.01, -0.02));
+        let range = LocalRange::whole(&mesh);
+        let poison = 7.25;
+        st.q.fill(poison);
+        let mask: Vec<bool> = (0..mesh.n_elements()).map(|e| e < 8).collect();
+        getq_subset(
+            &mesh,
+            &mut st,
+            range,
+            QCoeffs::default(),
+            Threading::Serial,
+            crate::subset::Subset::Mask {
+                mask: &mask,
+                keep: true,
+            },
+        );
+        for e in 0..mesh.n_elements() {
+            if !mask[e] {
+                assert_eq!(st.q[e], poison, "element {e} outside subset was written");
+            } else {
+                assert_ne!(st.q[e], poison, "element {e} inside subset was skipped");
+            }
+        }
     }
 
     #[test]

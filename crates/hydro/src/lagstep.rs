@@ -18,14 +18,15 @@ use bookleaf_eos::MaterialTable;
 use bookleaf_mesh::Mesh;
 use bookleaf_util::{KernelId, Result, TimerRegistry, Vec2};
 
-use crate::getacc::{getacc, move_nodes, AccMode};
+use crate::getacc::{getacc, getacc_subset, move_nodes, AccMode};
 use crate::getein::{getein, WorkVelocity};
-use crate::getforce::{getforce, HourglassControl};
+use crate::getforce::{getforce_subset, HourglassControl};
 use crate::getgeom::getgeom;
 use crate::getpc::getpc;
-use crate::getq::{getq, QCoeffs};
+use crate::getq::{getq_subset, QCoeffs};
 use crate::getrho::getrho;
 use crate::state::{HydroState, LocalRange};
+use crate::subset::Subset;
 use crate::Threading;
 
 /// Communication hooks called at the paper's two exchange points (plus a
@@ -40,6 +41,34 @@ use crate::Threading;
 /// — never `fields × links`. The cluster cost model charges per message
 /// as well as per byte; a hook that sends one message per field inflates
 /// the modeled (and real) wire time several-fold.
+///
+/// **Split (post/complete) protocol:** every exchange phase also comes
+/// as a `*_post` / `*_complete` pair so the executor can overlap
+/// communication with computation. `post` packs and sends the phase's
+/// single message per neighbour immediately; `complete` receives and
+/// unpacks it. Between a phase's `post` and its `complete` the caller
+/// may compute anything that does not read a halo-received entity of
+/// that phase — the **interior/boundary ordering invariant**:
+///
+/// 1. interior entities (no halo dependency, see
+///    `bookleaf_mesh::OverlapSets`) are swept while the messages are in
+///    flight;
+/// 2. the phase is completed;
+/// 3. boundary entities are swept with the refreshed halo.
+///
+/// Because interior sweeps touch no received value and boundary sweeps
+/// run after the same unpack a blocking exchange would have done, the
+/// split schedule is bitwise identical to the blocking one. A split
+/// pair must move exactly the messages the blocking hook moves (the
+/// message-count contract above applies per *pair*, not per call), and
+/// posts must be issued in the same global order on every rank.
+///
+/// The default implementations keep legacy hooks correct without
+/// opting into overlap: for the two Lagrangian phases `post` runs the
+/// full blocking exchange and `complete` is a no-op (every send value
+/// is final at post time); for `post_remap` — posted mid-remap, when
+/// only the pre-post entities are final — `post` is the no-op and
+/// `complete`, called after the full remap, runs the blocking exchange.
 pub trait HaloOps {
     /// Called immediately before each viscosity calculation (twice per
     /// step: predictor and corrector): bring ghost node kinematics and
@@ -54,6 +83,49 @@ pub trait HaloOps {
     /// Called after an ALE remap: refresh ghost copies of everything the
     /// remap rewrote (masses, state, node kinematics).
     fn post_remap(&mut self, _mesh: &mut Mesh, _state: &mut HydroState) {}
+
+    /// Split form of [`HaloOps::pre_viscosity`]: pack and send without
+    /// waiting for the peers' payloads.
+    fn pre_viscosity_post(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
+        self.pre_viscosity(mesh, state);
+    }
+    /// Drain and unpack the exchange posted by
+    /// [`HaloOps::pre_viscosity_post`]; must run before any boundary
+    /// entity of the phase is read.
+    fn pre_viscosity_complete(&mut self, _mesh: &mut Mesh, _state: &mut HydroState) {}
+
+    /// Split form of [`HaloOps::pre_acceleration`]: pack and send
+    /// without waiting.
+    fn pre_acceleration_post(&mut self, state: &mut HydroState) {
+        self.pre_acceleration(state);
+    }
+    /// Drain the exchange posted by [`HaloOps::pre_acceleration_post`].
+    fn pre_acceleration_complete(&mut self, _state: &mut HydroState) {}
+
+    /// Split form of [`HaloOps::post_remap`], called as soon as every
+    /// entity the pack reads (the remap pre-post sets) has been
+    /// remapped — *before* the rest of the remap runs.
+    fn post_remap_post(&mut self, _mesh: &mut Mesh, _state: &mut HydroState) {}
+    /// Drain the exchange posted by [`HaloOps::post_remap_post`], after
+    /// the full remap. The default runs the blocking exchange here, so
+    /// implementations that only provide [`HaloOps::post_remap`] stay
+    /// correct under the overlapped remap.
+    fn post_remap_complete(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
+        self.post_remap(mesh, state);
+    }
+}
+
+/// Interior/boundary masks steering the overlapped Lagrangian step.
+/// Views into `bookleaf_mesh::OverlapSets` (or anything upholding the
+/// same guarantees — see the [`HaloOps`] ordering invariant).
+#[derive(Debug, Clone, Copy)]
+pub struct KernelSplit<'a> {
+    /// Per owned element: `true` ⇒ the viscosity-phase stencil touches
+    /// a halo-received entity (swept only after the exchange completes).
+    pub el_boundary: &'a [bool],
+    /// Per active node: `true` ⇒ adjacent to a ghost element (swept
+    /// only after the corner exchange completes).
+    pub nd_boundary: &'a [bool],
 }
 
 /// No-op hooks for serial (single-rank) runs.
@@ -95,11 +167,18 @@ pub fn lagstep<H: HaloOps>(
         opts,
         halo,
         &TimerRegistry::new(),
+        None,
     )
 }
 
 /// Advance `state` by one Lagrangian step, recording per-kernel wall
 /// time into `timers` (the buckets of the paper's Table II).
+///
+/// With `split` set, each exchange phase is overlapped with the kernels
+/// it feeds: the phase is *posted*, interior entities are swept while
+/// the messages are in flight, the phase is *completed*, and the
+/// boundary entities are swept last — bitwise identical to the blocking
+/// schedule (see the [`HaloOps`] ordering invariant).
 #[allow(clippy::too_many_arguments)]
 pub fn lagstep_timed<H: HaloOps>(
     mesh: &mut Mesh,
@@ -110,6 +189,7 @@ pub fn lagstep_timed<H: HaloOps>(
     opts: &LagOptions,
     halo: &mut H,
     timers: &TimerRegistry,
+    split: Option<KernelSplit<'_>>,
 ) -> Result<()> {
     let th = opts.threading;
     // Start-of-step node positions and internal energy: the corrector
@@ -119,12 +199,48 @@ pub fn lagstep_timed<H: HaloOps>(
     let x0: Vec<Vec2> = mesh.nodes[..range.n_active_nd].to_vec();
     let ein0: Vec<f64> = state.ein[..range.n_owned_el].to_vec();
 
+    // The viscosity and force kernels share the pre_viscosity exchange
+    // (the force stencil is contained in the viscosity stencil), so one
+    // post/complete brackets both.
+    let q_and_force =
+        |mesh: &mut Mesh, state: &mut HydroState, halo: &mut H, subset: Subset<'_>| {
+            match subset {
+                Subset::All => timers.time(KernelId::Comms, || halo.pre_viscosity(mesh, state)),
+                Subset::Mask { mask, .. } => {
+                    timers.time(KernelId::Comms, || halo.pre_viscosity_post(mesh, state));
+                    let interior = Subset::Mask { mask, keep: false };
+                    timers.time(KernelId::GetQ, || {
+                        getq_subset(mesh, state, range, opts.q, th, interior);
+                    });
+                    timers.time(KernelId::GetForce, || {
+                        getforce_subset(mesh, state, range, opts.hourglass, dt, th, interior);
+                    });
+                    timers.time(KernelId::Comms, || halo.pre_viscosity_complete(mesh, state));
+                }
+            }
+            // The remaining sweep: everything for the blocking schedule,
+            // the boundary set for the overlapped one.
+            let rest = match subset {
+                Subset::All => Subset::All,
+                Subset::Mask { mask, .. } => Subset::Mask { mask, keep: true },
+            };
+            timers.time(KernelId::GetQ, || {
+                getq_subset(mesh, state, range, opts.q, th, rest);
+            });
+            timers.time(KernelId::GetForce, || {
+                getforce_subset(mesh, state, range, opts.hourglass, dt, th, rest);
+            });
+        };
+    let visc_subset = match split {
+        None => Subset::All,
+        Some(s) => Subset::Mask {
+            mask: s.el_boundary,
+            keep: true,
+        },
+    };
+
     // ---- Predictor: advance thermodynamic state to t + dt/2 ----
-    timers.time(KernelId::Comms, || halo.pre_viscosity(mesh, state));
-    timers.time(KernelId::GetQ, || getq(mesh, state, range, opts.q, th));
-    timers.time(KernelId::GetForce, || {
-        getforce(mesh, state, range, opts.hourglass, dt, th)
-    });
+    q_and_force(mesh, state, halo, visc_subset);
     // Move nodes a half step with the start-of-step velocity.
     state.ubar[..range.n_active_nd].copy_from_slice(&state.u[..range.n_active_nd]);
     move_nodes(mesh, state, range, 0.5 * dt);
@@ -136,16 +252,50 @@ pub fn lagstep_timed<H: HaloOps>(
     timers.time(KernelId::GetPc, || getpc(mesh, materials, state, range, th));
 
     // ---- Corrector: full step with time-centred quantities ----
-    timers.time(KernelId::Comms, || halo.pre_viscosity(mesh, state));
-    timers.time(KernelId::GetQ, || getq(mesh, state, range, opts.q, th));
-    timers.time(KernelId::GetForce, || {
-        getforce(mesh, state, range, opts.hourglass, dt, th)
-    });
-    timers.time(KernelId::Comms, || halo.pre_acceleration(state));
-    timers.time(KernelId::GetAcc, || {
-        getacc(mesh, state, range, dt, opts.acc_mode);
-        halo.post_acceleration(mesh, state);
-    });
+    q_and_force(mesh, state, halo, visc_subset);
+    match split {
+        None => {
+            timers.time(KernelId::Comms, || halo.pre_acceleration(state));
+            timers.time(KernelId::GetAcc, || {
+                getacc(mesh, state, range, dt, opts.acc_mode);
+                halo.post_acceleration(mesh, state);
+            });
+        }
+        Some(s) => {
+            // Post the corner exchange, gather the interior nodes while
+            // the ghost corners travel, complete, then the boundary
+            // nodes. The piston runs after both sweeps, as always.
+            timers.time(KernelId::Comms, || halo.pre_acceleration_post(state));
+            timers.time(KernelId::GetAcc, || {
+                getacc_subset(
+                    mesh,
+                    state,
+                    range,
+                    dt,
+                    opts.acc_mode,
+                    Subset::Mask {
+                        mask: s.nd_boundary,
+                        keep: false,
+                    },
+                );
+            });
+            timers.time(KernelId::Comms, || halo.pre_acceleration_complete(state));
+            timers.time(KernelId::GetAcc, || {
+                getacc_subset(
+                    mesh,
+                    state,
+                    range,
+                    dt,
+                    opts.acc_mode,
+                    Subset::Mask {
+                        mask: s.nd_boundary,
+                        keep: true,
+                    },
+                );
+                halo.post_acceleration(mesh, state);
+            });
+        }
+    }
     // Re-move nodes from the start-of-step positions by dt·ubar.
     mesh.nodes[..range.n_active_nd].copy_from_slice(&x0);
     move_nodes(mesh, state, range, dt);

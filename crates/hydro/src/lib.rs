@@ -57,10 +57,12 @@ pub mod getq;
 pub mod getrho;
 pub mod lagstep;
 pub mod state;
+pub mod subset;
 
 pub use getacc::AccMode;
-pub use lagstep::{lagstep, lagstep_timed, HaloOps, LagOptions, NoComm};
+pub use lagstep::{lagstep, lagstep_timed, HaloOps, KernelSplit, LagOptions, NoComm};
 pub use state::{HydroState, LocalRange};
+pub use subset::Subset;
 
 /// Intra-rank threading mode for the trivially parallel kernels.
 ///

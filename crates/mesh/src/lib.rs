@@ -35,7 +35,7 @@ pub mod submesh;
 mod topology;
 
 pub use generation::{generate_rect, saltzmann_distort, RectSpec};
-pub use submesh::{neighbour_union, SubMesh, SubMeshPlan};
+pub use submesh::{neighbour_union, OverlapSets, SubMesh, SubMeshPlan};
 pub use topology::{Mesh, Neighbor, NodeBc};
 
 /// Number of corners / faces of a quadrilateral element.

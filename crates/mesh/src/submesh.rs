@@ -28,7 +28,7 @@ use std::collections::HashMap;
 
 use bookleaf_util::{BookLeafError, Result};
 
-use crate::topology::Mesh;
+use crate::topology::{Mesh, Neighbor};
 use crate::NCORN;
 
 /// One direction of a per-neighbour exchange schedule: the local indices
@@ -94,6 +94,139 @@ impl SubMesh {
     #[must_use]
     pub fn neighbour_ranks(&self) -> Vec<usize> {
         neighbour_union(&self.el_exchange, &self.nd_exchange)
+    }
+
+    /// Classify this rank's entities into **interior** (no halo
+    /// dependency) and **boundary** sets, derived once per run from the
+    /// exchange schedules. The overlapped executor sweeps the interior
+    /// sets while a phase's messages are in flight and only completes
+    /// the exchange before the boundary sweep — see [`OverlapSets`] for
+    /// the exact guarantees each mask provides.
+    #[must_use]
+    pub fn overlap_sets(&self) -> OverlapSets {
+        let ne = self.mesh.n_elements();
+        let nn = self.mesh.n_nodes();
+
+        // Membership of the recv/send schedules, as O(1) lookups.
+        let mut el_recv = vec![false; ne];
+        let mut el_send = vec![false; ne];
+        for ex in &self.el_exchange {
+            for &e in &ex.recv {
+                el_recv[e as usize] = true;
+            }
+            for &e in &ex.send {
+                el_send[e as usize] = true;
+            }
+        }
+        let mut nd_recv = vec![false; nn];
+        for ex in &self.nd_exchange {
+            for &n in &ex.recv {
+                nd_recv[n as usize] = true;
+            }
+        }
+
+        // Viscosity-phase element split: the getq limiter reaches from
+        // an owned element into its own nodes, its face neighbours, and
+        // those neighbours' nodes (cell-averaged velocities). If any of
+        // them is refreshed by the exchange, the element is boundary.
+        let nodes_hit = |e: usize| self.mesh.elnd[e].iter().any(|&n| nd_recv[n as usize]);
+        let mut el_boundary = vec![false; self.n_owned_el];
+        for (e, flag) in el_boundary.iter_mut().enumerate() {
+            *flag = nodes_hit(e)
+                || self.mesh.elel[e].iter().any(|nb| match nb {
+                    Neighbor::Element(en) => el_recv[*en as usize] || nodes_hit(*en as usize),
+                    Neighbor::Boundary => false,
+                });
+        }
+
+        // Acceleration-phase node split: the nodal gather reads corner
+        // masses/forces of every adjacent element; ghost contributions
+        // arrive in the exchange.
+        let mut nd_boundary = vec![false; self.n_active_nd];
+        for (n, flag) in nd_boundary.iter_mut().enumerate() {
+            *flag = self
+                .mesh
+                .elements_of_node(n)
+                .iter()
+                .any(|&(e, _)| el_recv[e as usize]);
+        }
+
+        // Post-remap pre-post sets: everything that must be remapped
+        // *before* the exchange can pack — the send-list elements, the
+        // send-list nodes, and (because a node's velocity update gathers
+        // over its whole adjacency) every element adjacent to a
+        // send-list node, ghosts included.
+        let mut remap_pre_el = el_send;
+        let mut remap_pre_nd = vec![false; self.n_active_nd];
+        for ex in &self.nd_exchange {
+            for &n in &ex.send {
+                let n = n as usize;
+                // Send nodes are owned, and owned nodes are active.
+                remap_pre_nd[n] = true;
+                for &(e, _) in self.mesh.elements_of_node(n) {
+                    remap_pre_el[e as usize] = true;
+                }
+            }
+        }
+
+        OverlapSets {
+            el_boundary,
+            nd_boundary,
+            remap_pre_el,
+            remap_pre_nd,
+        }
+    }
+}
+
+/// Interior/boundary masks for communication/computation overlap,
+/// derived from a [`SubMesh`]'s exchange schedules by
+/// [`SubMesh::overlap_sets`].
+///
+/// The guarantees, which make split (interior-first) kernel sweeps
+/// bitwise identical to full sweeps after a completed exchange:
+///
+/// * An owned element with `el_boundary == false` reads **no** entity
+///   any recv list touches through the viscosity/force stencil (its own
+///   nodes, its face neighbours, and their nodes) — `getq`/`getforce`
+///   may process it before the `pre_viscosity` exchange completes.
+/// * An active node with `nd_boundary == false` is adjacent to owned
+///   elements only — `getacc` may gather it before the
+///   `pre_acceleration` exchange completes.
+/// * `remap_pre_el` / `remap_pre_nd` are the entities (elements owned
+///   *and* ghost; active nodes) whose remap update feeds the
+///   `post_remap` send buffers: every send-list element, every
+///   send-list node, and every element adjacent to a send-list node.
+///   Updating exactly these first makes it safe to post the exchange,
+///   remap the rest during flight, and complete at the end. By
+///   construction no element *outside* `remap_pre_el` is adjacent to a
+///   node in `remap_pre_nd`, so the deferred element sweep never reads
+///   a velocity the early node sweep rewrote.
+#[derive(Debug, Clone)]
+pub struct OverlapSets {
+    /// Per owned element (`len == n_owned_el`): `true` ⇒ the
+    /// viscosity-phase stencil reaches a halo-received entity.
+    pub el_boundary: Vec<bool>,
+    /// Per active node (`len == n_active_nd`): `true` ⇒ adjacent to at
+    /// least one ghost element.
+    pub nd_boundary: Vec<bool>,
+    /// Per local element (`len == n_elements`, ghosts included):
+    /// `true` ⇒ must be remapped before posting `post_remap`.
+    pub remap_pre_el: Vec<bool>,
+    /// Per active node: `true` ⇒ packed by the `post_remap` exchange.
+    pub remap_pre_nd: Vec<bool>,
+}
+
+impl OverlapSets {
+    /// Number of interior (overlappable) owned elements.
+    #[must_use]
+    pub fn n_interior_el(&self) -> usize {
+        self.el_boundary.iter().filter(|&&b| !b).count()
+    }
+
+    /// Number of interior (overlappable) active nodes.
+    #[must_use]
+    pub fn n_interior_nd(&self) -> usize {
+        self.nd_boundary.iter().filter(|&&b| !b).count()
     }
 }
 
@@ -513,6 +646,110 @@ mod tests {
         // Quadrants: every rank neighbours the other three (corner
         // contact counts — node-complete ghost layers see it).
         assert_eq!(subs[0].neighbour_ranks(), vec![1, 2, 3]);
+    }
+
+    /// The overlap masks' defining properties, checked exhaustively on a
+    /// 4-rank quadrant decomposition: interior entities are untouched by
+    /// any recv list through their kernel stencils, and the remap
+    /// pre-post sets cover everything the post-remap pack reads.
+    #[test]
+    fn overlap_sets_isolate_halo_dependencies() {
+        let m = grid(6);
+        let owner: Vec<usize> = (0..m.n_elements())
+            .map(|e| {
+                let i = e % 6;
+                let j = e / 6;
+                usize::from(i >= 3) + 2 * usize::from(j >= 3)
+            })
+            .collect();
+        let subs = SubMeshPlan::build(&m, &owner, 4).unwrap();
+        for s in &subs {
+            let o = s.overlap_sets();
+            assert_eq!(o.el_boundary.len(), s.n_owned_el);
+            assert_eq!(o.nd_boundary.len(), s.n_active_nd);
+            assert_eq!(o.remap_pre_el.len(), s.mesh.n_elements());
+            assert_eq!(o.remap_pre_nd.len(), s.n_active_nd);
+            // A distributed rank must have real boundary *and* real
+            // interior on this mesh size.
+            assert!(o.n_interior_el() > 0, "rank {} all boundary", s.rank);
+            assert!(o.el_boundary.iter().any(|&b| b));
+            assert!(o.nd_boundary.iter().any(|&b| b));
+
+            let mut nd_recv = vec![false; s.mesh.n_nodes()];
+            for ex in &s.nd_exchange {
+                for &n in &ex.recv {
+                    nd_recv[n as usize] = true;
+                }
+            }
+            let mut el_recv = vec![false; s.mesh.n_elements()];
+            for ex in &s.el_exchange {
+                for &e in &ex.recv {
+                    el_recv[e as usize] = true;
+                }
+            }
+            // Interior elements: stencil free of recv'd entities.
+            for e in 0..s.n_owned_el {
+                if o.el_boundary[e] {
+                    continue;
+                }
+                assert!(s.mesh.elnd[e].iter().all(|&n| !nd_recv[n as usize]));
+                for nb in &s.mesh.elel[e] {
+                    if let Neighbor::Element(en) = nb {
+                        let en = *en as usize;
+                        assert!(!el_recv[en], "interior el {e} beside ghost {en}");
+                        assert!(s.mesh.elnd[en].iter().all(|&n| !nd_recv[n as usize]));
+                    }
+                }
+            }
+            // Interior nodes: adjacency entirely owned.
+            for n in 0..s.n_active_nd {
+                if !o.nd_boundary[n] {
+                    for &(e, _) in s.mesh.elements_of_node(n) {
+                        assert!(s.owns_element(e as usize));
+                    }
+                }
+            }
+            // Remap pre-post sets cover the pack's reads: send elements,
+            // send nodes, and the full adjacency of every send node.
+            for ex in &s.el_exchange {
+                for &e in &ex.send {
+                    assert!(o.remap_pre_el[e as usize]);
+                }
+            }
+            for ex in &s.nd_exchange {
+                for &n in &ex.send {
+                    assert!(o.remap_pre_nd[n as usize]);
+                    for &(e, _) in s.mesh.elements_of_node(n as usize) {
+                        assert!(o.remap_pre_el[e as usize]);
+                    }
+                }
+            }
+            // And the complement invariant the deferred element sweep
+            // relies on: no element outside remap_pre_el touches a node
+            // in remap_pre_nd.
+            for e in 0..s.mesh.n_elements() {
+                if !o.remap_pre_el[e] {
+                    for &n in &s.mesh.elnd[e] {
+                        let n = n as usize;
+                        assert!(
+                            n >= s.n_active_nd || !o.remap_pre_nd[n],
+                            "deferred element {e} adjacent to early node {n}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_overlap_sets_are_all_interior() {
+        let m = grid(4);
+        let subs = SubMeshPlan::build(&m, &vec![0; m.n_elements()], 1).unwrap();
+        let o = subs[0].overlap_sets();
+        assert_eq!(o.n_interior_el(), m.n_elements());
+        assert_eq!(o.n_interior_nd(), m.n_nodes());
+        assert!(o.remap_pre_el.iter().all(|&b| !b));
+        assert!(o.remap_pre_nd.iter().all(|&b| !b));
     }
 
     #[test]

@@ -33,6 +33,6 @@ pub mod runtime;
 pub mod stats;
 
 pub use exchange::{exchange_corner, exchange_scalar, exchange_vec2};
-pub use plan::{Entity, FieldMut, HaloPlan, HaloPlanBuilder, PhaseId, SlotKind};
+pub use plan::{Entity, FieldMut, HaloPlan, HaloPlanBuilder, PendingPhase, PhaseId, SlotKind};
 pub use runtime::{RankCtx, Typhon};
 pub use stats::{CommStats, PhaseStats};

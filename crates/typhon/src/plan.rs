@@ -39,6 +39,28 @@
 //! Payload buffers come from the [`RankCtx`] recycle pool and are
 //! returned to it after unpacking, so steady-state stepping performs no
 //! allocation in the exchange path.
+//!
+//! ## Split-phase execution (communication/computation overlap)
+//!
+//! [`HaloPlan::execute`] is sugar for the two-step protocol:
+//!
+//! 1. [`HaloPlan::post`] packs every slot and sends one message per
+//!    neighbour immediately, returning a [`PendingPhase`] ticket;
+//! 2. [`HaloPlan::complete`] receives and unpacks one message per
+//!    neighbour, consuming the ticket.
+//!
+//! Between the two calls the caller is free to compute anything that
+//! does not *read* an entity in a recv list of the phase (interior
+//! work) — the messages are in flight meanwhile, and any time the
+//! peers' payloads are late shows up as `recv_wait_seconds` in the
+//! phase's [`crate::PhaseStats`] instead of stalling useful work. The
+//! wall time the ticket stayed open is recorded as
+//! `overlap_window_seconds`. Posts consume a tag exactly like
+//! `execute`, so every rank must issue its posts in the same global
+//! order; completes may drain in any order (out-of-order payloads park
+//! in the mailbox).
+
+use std::time::Instant;
 
 use bookleaf_mesh::submesh::ExchangeList;
 use bookleaf_util::Vec2;
@@ -318,20 +340,9 @@ impl HaloPlan {
             .sum()
     }
 
-    /// Execute `phase`: pack every registered slot from `fields` into
-    /// one buffer per neighbour, post all sends, then receive and unpack
-    /// one buffer per neighbour.
-    ///
-    /// `fields` must match the phase's registered slots in order and
-    /// kind (checked). Like the legacy primitives, all ranks must
-    /// execute their phases in the same global order so tags match.
-    ///
-    /// # Panics
-    ///
-    /// If `fields` disagrees with the phase registration, or a received
-    /// payload has the wrong length (peer plan mismatch).
-    pub fn execute(&self, ctx: &RankCtx, phase: PhaseId, fields: &mut [FieldMut<'_>]) {
-        let ph = &self.phases[phase.0];
+    /// Check `fields` against the phase registration (count, kind, and
+    /// index-space length).
+    fn validate_fields(&self, ph: &PhasePlan, fields: &[FieldMut<'_>]) {
         assert_eq!(
             fields.len(),
             ph.slots.len(),
@@ -360,7 +371,23 @@ impl HaloPlan {
                 field.len()
             );
         }
+    }
 
+    /// Pack every registered slot from `fields` and send one buffer per
+    /// neighbour link immediately, without waiting for anything. The
+    /// returned [`PendingPhase`] ticket must be handed to
+    /// [`HaloPlan::complete`] (with the same fields) before the next
+    /// use of any recv-list entity.
+    ///
+    /// Consumes one tag; every rank must post its phases in the same
+    /// global order.
+    ///
+    /// # Panics
+    ///
+    /// If `fields` disagrees with the phase registration.
+    pub fn post(&self, ctx: &RankCtx, phase: PhaseId, fields: &[FieldMut<'_>]) -> PendingPhase {
+        let ph = &self.phases[phase.0];
+        self.validate_fields(ph, fields);
         let tag = ctx.next_tag();
         for (link, layout) in self.links.iter().zip(&ph.layouts) {
             let mut buf = ctx.take_buffer(layout.send_total);
@@ -370,8 +397,30 @@ impl HaloPlan {
             debug_assert_eq!(buf.len(), layout.send_total);
             ctx.send_in_phase(link.rank, tag, buf, ph.name);
         }
+        PendingPhase {
+            phase,
+            tag,
+            posted: Instant::now(),
+        }
+    }
+
+    /// Receive and unpack one buffer per neighbour link for a phase
+    /// posted earlier, consuming its ticket. Blocked time is attributed
+    /// to the phase's `recv_wait_seconds`; the time the ticket stayed
+    /// open is recorded as its `overlap_window_seconds`.
+    ///
+    /// # Panics
+    ///
+    /// If `fields` disagrees with the phase registration, or a received
+    /// payload has the wrong length (peer plan mismatch).
+    pub fn complete(&self, ctx: &RankCtx, pending: PendingPhase, fields: &mut [FieldMut<'_>]) {
+        let ph = &self.phases[pending.phase.0];
+        self.validate_fields(ph, fields);
+        if !self.links.is_empty() {
+            ctx.record_overlap_window(ph.name, pending.posted.elapsed().as_secs_f64());
+        }
         for (link, layout) in self.links.iter().zip(&ph.layouts) {
-            let payload = ctx.recv(link.rank, tag);
+            let payload = ctx.recv_in_phase(link.rank, pending.tag, ph.name);
             assert_eq!(
                 payload.len(),
                 layout.recv_total,
@@ -388,6 +437,45 @@ impl HaloPlan {
             }
             ctx.recycle_buffer(payload);
         }
+    }
+
+    /// Execute `phase`: pack every registered slot from `fields` into
+    /// one buffer per neighbour, post all sends, then receive and unpack
+    /// one buffer per neighbour. Equivalent to [`HaloPlan::post`]
+    /// followed immediately by [`HaloPlan::complete`] (a zero-width
+    /// overlap window).
+    ///
+    /// `fields` must match the phase's registered slots in order and
+    /// kind (checked). Like the legacy primitives, all ranks must
+    /// execute their phases in the same global order so tags match.
+    ///
+    /// # Panics
+    ///
+    /// If `fields` disagrees with the phase registration, or a received
+    /// payload has the wrong length (peer plan mismatch).
+    pub fn execute(&self, ctx: &RankCtx, phase: PhaseId, fields: &mut [FieldMut<'_>]) {
+        let pending = self.post(ctx, phase, fields);
+        self.complete(ctx, pending, fields);
+    }
+}
+
+/// Ticket for a posted-but-not-completed phase execution: proof that the
+/// sends are in flight and a reminder that the receives still have to be
+/// drained. Not `Clone` — each post is completed exactly once.
+#[must_use = "a posted phase must be completed, or its receives are never drained"]
+#[derive(Debug)]
+pub struct PendingPhase {
+    phase: PhaseId,
+    tag: u64,
+    /// When the sends were posted (for the overlap-window attribution).
+    posted: Instant,
+}
+
+impl PendingPhase {
+    /// The phase this ticket belongs to.
+    #[must_use]
+    pub fn phase(&self) -> PhaseId {
+        self.phase
     }
 }
 
@@ -636,6 +724,115 @@ mod tests {
         // The plan's link set is exactly the submesh's neighbour set.
         assert_eq!(plan.link_ranks(), subs[0].neighbour_ranks());
         assert_eq!(plan.n_links(), 1, "two stripes share one link");
+    }
+
+    /// Split post/complete must move exactly the same data as execute,
+    /// even with two phases in flight at once and completes drained in
+    /// reverse order.
+    #[test]
+    fn split_post_complete_with_two_phases_in_flight() {
+        let subs = two_stripes();
+        let out = Typhon::run(2, |ctx| {
+            let sub = &subs[ctx.rank()];
+            let mut b = HaloPlanBuilder::new(&sub.el_exchange, &sub.nd_exchange);
+            let pa = b.phase("a", &[(Entity::Element, SlotKind::Scalar)]);
+            let pb = b.phase("b", &[(Entity::Node, SlotKind::Vec2)]);
+            let plan = b.build();
+
+            let mut sc: Vec<f64> = (0..sub.mesh.n_elements())
+                .map(|e| {
+                    if sub.owns_element(e) {
+                        sub.el_l2g[e] as f64
+                    } else {
+                        -1.0
+                    }
+                })
+                .collect();
+            let mut nd: Vec<Vec2> = (0..sub.mesh.n_nodes())
+                .map(|n| {
+                    if sub.owns_node(n) {
+                        Vec2::new(sub.nd_l2g[n] as f64, 0.5)
+                    } else {
+                        Vec2::new(-1.0, -1.0)
+                    }
+                })
+                .collect();
+
+            let mut fa = [FieldMut::Scalar(&mut sc)];
+            let mut fb = [FieldMut::Vec2(&mut nd)];
+            let ta = plan.post(ctx, pa, &fa);
+            let tb = plan.post(ctx, pb, &fb);
+            // Complete in reverse post order: the mailbox sorts it out.
+            plan.complete(ctx, tb, &mut fb);
+            plan.complete(ctx, ta, &mut fa);
+
+            let sc_ok = sc
+                .iter()
+                .enumerate()
+                .all(|(e, &v)| v == sub.el_l2g[e] as f64);
+            let nd_ok = nd
+                .iter()
+                .enumerate()
+                .all(|(n, v)| *v == Vec2::new(sub.nd_l2g[n] as f64, 0.5));
+            (sc_ok && nd_ok, ctx.stats(), plan.n_links())
+        })
+        .unwrap();
+        for (ok, stats, n_links) in out {
+            assert!(ok, "split exchange corrupted ghost data");
+            assert_eq!(stats.messages_sent, 2 * n_links as u64);
+            // The tickets stayed open across real work: a window was
+            // recorded for each phase.
+            assert!(stats.overlap_window_seconds > 0.0);
+            for name in ["a", "b"] {
+                let p = stats.phase(name).unwrap();
+                assert_eq!(p.messages_sent, n_links as u64);
+                assert!(p.overlap_window_seconds >= 0.0);
+            }
+        }
+    }
+
+    /// Steady-state phase execution recycles payload buffers across
+    /// phases instead of allocating: after a warm-up round the pool
+    /// level is stable and non-empty.
+    #[test]
+    fn phases_reuse_pooled_buffers() {
+        let subs = two_stripes();
+        let out = Typhon::run(2, |ctx| {
+            let sub = &subs[ctx.rank()];
+            let (plan, phase) = build_state_plan(sub);
+            let mut nd = vec![Vec2::ZERO; sub.mesh.n_nodes()];
+            let mut sc = vec![0.0; sub.mesh.n_elements()];
+            let mut c4 = vec![[0.0; 4]; sub.mesh.n_elements()];
+            let mut cv = vec![[Vec2::ZERO; 4]; sub.mesh.n_elements()];
+            let mut run_once = |ctx: &crate::runtime::RankCtx| {
+                plan.execute(
+                    ctx,
+                    phase,
+                    &mut [
+                        FieldMut::Vec2(&mut nd),
+                        FieldMut::Scalar(&mut sc),
+                        FieldMut::Corner4(&mut c4),
+                        FieldMut::CornerVec2(&mut cv),
+                    ],
+                );
+            };
+            run_once(ctx);
+            ctx.barrier(); // all first-round payloads delivered & recycled
+            let after_warmup = ctx.pool_len();
+            for _ in 0..5 {
+                run_once(ctx);
+                ctx.barrier();
+            }
+            (after_warmup, ctx.pool_len())
+        })
+        .unwrap();
+        for (warm, steady) in out {
+            assert!(warm > 0, "nothing recycled after the first phase");
+            assert!(
+                steady <= warm + 1,
+                "pool kept growing across phases: {warm} -> {steady}"
+            );
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
@@ -174,9 +175,33 @@ impl RankCtx {
     /// from this rank's recycle pool when possible. Pair with
     /// [`RankCtx::recycle_buffer`] after unpacking a received payload to
     /// keep steady-state exchange traffic allocation-free.
+    ///
+    /// Selection is **best-fit**: the smallest pooled buffer whose
+    /// capacity already covers the request, so a large recycled payload
+    /// is not burned on a tiny request. When no pooled buffer is big
+    /// enough, the largest one is grown instead (the cheapest
+    /// reallocation available).
     #[must_use]
     pub fn take_buffer(&self, capacity: usize) -> Vec<f64> {
-        let recycled = self.pool.lock().pop();
+        let recycled = {
+            let mut pool = self.pool.lock();
+            let mut best: Option<(usize, usize)> = None; // (index, capacity)
+            for (i, buf) in pool.iter().enumerate() {
+                let c = buf.capacity();
+                let better = match best {
+                    None => true,
+                    // Once a sufficient buffer is known, only a *smaller*
+                    // sufficient one improves; before that, bigger is
+                    // closer to sufficient.
+                    Some((_, bc)) if bc >= capacity => c >= capacity && c < bc,
+                    Some((_, bc)) => c > bc,
+                };
+                if better {
+                    best = Some((i, c));
+                }
+            }
+            best.map(|(i, _)| pool.swap_remove(i))
+        };
         match recycled {
             Some(mut buf) => {
                 buf.clear();
@@ -185,6 +210,12 @@ impl RankCtx {
             }
             None => Vec::with_capacity(capacity),
         }
+    }
+
+    /// Number of buffers currently pooled (accounting tests only).
+    #[cfg(test)]
+    pub(crate) fn pool_len(&self) -> usize {
+        self.pool.lock().len()
     }
 
     /// Return a finished payload buffer (typically one produced by
@@ -201,22 +232,20 @@ impl RankCtx {
         }
     }
 
-    /// Blocking receive from `from` under `tag`. Out-of-order messages
-    /// are parked until asked for.
-    pub fn recv(&self, from: usize, tag: u64) -> Vec<f64> {
-        // Check the mailbox first.
+    /// Non-blocking receive from `from` under `tag`: the matching
+    /// payload if it has already been delivered (mailbox or channel),
+    /// `None` otherwise. Messages for other `(source, tag)` pairs
+    /// encountered while draining the channel are parked in the mailbox,
+    /// exactly as the blocking receive does.
+    pub fn try_recv(&self, from: usize, tag: u64) -> Option<Vec<f64>> {
         if let Some(q) = self.mailbox.lock().get_mut(&(from, tag)) {
             if !q.is_empty() {
-                return q.remove(0);
+                return Some(q.remove(0));
             }
         }
-        loop {
-            let msg = self
-                .receiver
-                .recv()
-                .expect("team disbanded while receiving");
+        while let Ok(msg) = self.receiver.try_recv() {
             if msg.from == from && msg.tag == tag {
-                return msg.payload;
+                return Some(msg.payload);
             }
             self.mailbox
                 .lock()
@@ -224,6 +253,58 @@ impl RankCtx {
                 .or_default()
                 .push(msg.payload);
         }
+        None
+    }
+
+    /// Blocking receive from `from` under `tag`. Out-of-order messages
+    /// are parked until asked for.
+    pub fn recv(&self, from: usize, tag: u64) -> Vec<f64> {
+        self.recv_tracked(from, tag, None)
+    }
+
+    /// [`RankCtx::recv`], attributing any time spent *blocked* (payload
+    /// not yet delivered) to `phase` in this rank's [`CommStats`]. A
+    /// receive that finds its payload already here records exactly zero
+    /// and never reads a clock.
+    pub fn recv_in_phase(&self, from: usize, tag: u64, phase: &'static str) -> Vec<f64> {
+        self.recv_tracked(from, tag, Some(phase))
+    }
+
+    fn recv_tracked(&self, from: usize, tag: u64, phase: Option<&'static str>) -> Vec<f64> {
+        // Fast path: already delivered — no clock, no stats.
+        if let Some(payload) = self.try_recv(from, tag) {
+            return payload;
+        }
+        let start = Instant::now();
+        let payload = loop {
+            let msg = self
+                .receiver
+                .recv()
+                .expect("team disbanded while receiving");
+            if msg.from == from && msg.tag == tag {
+                break msg.payload;
+            }
+            self.mailbox
+                .lock()
+                .entry((msg.from, msg.tag))
+                .or_default()
+                .push(msg.payload);
+        };
+        let waited = start.elapsed().as_secs_f64();
+        let mut s = self.stats.lock();
+        s.recv_wait_seconds += waited;
+        if let Some(name) = phase {
+            s.phase_mut(name).recv_wait_seconds += waited;
+        }
+        payload
+    }
+
+    /// Record a completed post→complete overlap window for `phase` (used
+    /// by the split-phase exchange plan).
+    pub(crate) fn record_overlap_window(&self, phase: &'static str, seconds: f64) {
+        let mut s = self.stats.lock();
+        s.overlap_window_seconds += seconds;
+        s.phase_mut(phase).overlap_window_seconds += seconds;
     }
 
     /// Global minimum across all ranks (BookLeaf's single per-step
@@ -490,6 +571,173 @@ mod tests {
         assert!(cap >= 100);
         assert_eq!(cap_again, cap, "recycled buffer should be reused");
         assert_eq!(len, 0, "recycled buffer must come back cleared");
+    }
+
+    #[test]
+    fn take_buffer_is_best_fit() {
+        Typhon::run(1, |ctx| {
+            // Pool two buffers: a small one and a big one.
+            let mut small = ctx.take_buffer(100);
+            small.resize(100, 0.0);
+            let small_cap = small.capacity();
+            let mut big = ctx.take_buffer(10_000);
+            big.resize(10_000, 0.0);
+            let big_cap = big.capacity();
+            assert!(big_cap > small_cap);
+            ctx.recycle_buffer(small);
+            ctx.recycle_buffer(big);
+            assert_eq!(ctx.pool_len(), 2);
+            // A tiny request must take the *smallest sufficient* buffer,
+            // not burn the big one.
+            let got = ctx.take_buffer(50);
+            assert_eq!(
+                got.capacity(),
+                small_cap,
+                "best fit picked the wrong buffer"
+            );
+            // The big buffer is still pooled for the next big request.
+            let got_big = ctx.take_buffer(10_000);
+            assert_eq!(got_big.capacity(), big_cap);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn take_buffer_grows_the_largest_when_none_suffices() {
+        Typhon::run(1, |ctx| {
+            let mut small = ctx.take_buffer(16);
+            small.resize(16, 0.0);
+            let mut mid = ctx.take_buffer(64);
+            mid.resize(64, 0.0);
+            ctx.recycle_buffer(small);
+            ctx.recycle_buffer(mid);
+            assert_eq!(ctx.pool_len(), 2);
+            // Nothing pooled covers 1000 doubles: the largest pooled
+            // buffer is taken (and grown), leaving the small one.
+            let got = ctx.take_buffer(1000);
+            assert!(got.capacity() >= 1000);
+            assert_eq!(ctx.pool_len(), 1);
+            let leftover = ctx.take_buffer(1);
+            assert!(leftover.capacity() <= 16 * 2, "small buffer should remain");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn pool_count_is_capped() {
+        Typhon::run(1, |ctx| {
+            for _ in 0..(2 * BUFFER_POOL_CAP) {
+                ctx.recycle_buffer(vec![1.0]);
+            }
+            assert_eq!(ctx.pool_len(), BUFFER_POOL_CAP);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn recv_recycle_take_round_trip_does_not_allocate() {
+        let out = Typhon::run(2, |ctx| {
+            if ctx.rank() == 0 {
+                // Two rounds: the second send reuses the buffer that came
+                // back from the first round's receive on rank 0's side.
+                let tag = ctx.next_tag();
+                let mut payload = ctx.take_buffer(256);
+                payload.resize(256, 1.0);
+                ctx.send(1, tag, payload);
+                ctx.barrier();
+                true
+            } else {
+                let tag = ctx.next_tag();
+                let payload = ctx.recv(0, tag);
+                let ptr = payload.as_ptr();
+                let cap = payload.capacity();
+                ctx.recycle_buffer(payload);
+                // Taking a buffer of the same size must hand back the
+                // very same allocation — pointer-identical, no alloc.
+                let again = ctx.take_buffer(256);
+                let same = again.as_ptr() == ptr && again.capacity() == cap;
+                ctx.barrier();
+                same
+            }
+        })
+        .unwrap();
+        assert!(out[1], "recv → recycle → take did not reuse the allocation");
+    }
+
+    #[test]
+    fn blocked_recv_records_wait_seconds() {
+        let out = Typhon::run(2, |ctx| {
+            let tag = ctx.next_tag();
+            if ctx.rank() == 0 {
+                ctx.barrier();
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                ctx.send(1, tag, vec![1.0]);
+                ctx.stats()
+            } else {
+                ctx.barrier();
+                // The sender is still sleeping: this receive must block
+                // and the blocked time must be attributed.
+                ctx.recv_in_phase(0, tag, "late");
+                ctx.stats()
+            }
+        })
+        .unwrap();
+        assert_eq!(out[0].recv_wait_seconds, 0.0, "sender never waited");
+        assert!(
+            out[1].recv_wait_seconds > 0.0,
+            "blocked receive recorded no wait"
+        );
+        let late = out[1].phase("late").unwrap();
+        assert!(late.recv_wait_seconds > 0.0);
+        assert!((late.recv_wait_seconds - out[1].recv_wait_seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delivered_recv_records_zero_wait() {
+        let out = Typhon::run(2, |ctx| {
+            let tag = ctx.next_tag();
+            if ctx.rank() == 0 {
+                ctx.send(1, tag, vec![1.0]);
+                ctx.barrier();
+                0.0
+            } else {
+                // The barrier guarantees the message arrived before the
+                // receive is posted: the fast path must record *exactly*
+                // zero wait (it never reads a clock).
+                ctx.barrier();
+                ctx.recv_in_phase(0, tag, "early");
+                let s = ctx.stats();
+                assert!(
+                    s.phase("early").is_none()
+                        || s.phase("early").unwrap().recv_wait_seconds == 0.0
+                );
+                s.recv_wait_seconds
+            }
+        })
+        .unwrap();
+        assert_eq!(out[1], 0.0);
+    }
+
+    #[test]
+    fn try_recv_is_non_blocking_and_parks_strangers() {
+        let out = Typhon::run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 5, vec![5.0]);
+                ctx.send(1, 9, vec![9.0]);
+                ctx.barrier();
+                0.0
+            } else {
+                assert!(ctx.try_recv(0, 99).is_none(), "no such message yet");
+                ctx.barrier();
+                // Both messages are in; asking for tag 9 first drains
+                // tag 5 into the mailbox.
+                let nine = ctx.try_recv(0, 9).expect("tag 9 delivered");
+                let five = ctx.try_recv(0, 5).expect("tag 5 parked in mailbox");
+                nine[0] * 10.0 + five[0]
+            }
+        })
+        .unwrap();
+        assert_eq!(out[1], 95.0);
     }
 
     #[test]

@@ -104,6 +104,148 @@ fn hybrid_gather_parallel_is_deterministic_and_matches_serial() {
     }
 }
 
+/// The overlapped halo exchange (split post/complete with
+/// interior/boundary kernel sweeps — the default) must be **bitwise**
+/// identical to the blocking exchange: overlap changes when receives
+/// drain, never a single bit of physics. Pinned under the hybrid
+/// executor so the split sweeps also cross the work-stealing pool.
+#[test]
+fn overlap_on_is_bitwise_identical_to_overlap_off() {
+    let deck = decks::sod(32, 4);
+    let mut config = RunConfig {
+        final_time: 0.03,
+        executor: ExecutorKind::Hybrid {
+            ranks: 2,
+            threads_per_rank: 4,
+        },
+        overlap: true,
+        ..RunConfig::default()
+    };
+    config.lag.acc_mode = AccMode::GatherParallel;
+
+    let on = run_distributed(&deck, &config).unwrap();
+    let off = run_distributed(
+        &deck,
+        &RunConfig {
+            overlap: false,
+            ..config
+        },
+    )
+    .unwrap();
+
+    assert_eq!(on.steps, off.steps);
+    assert_eq!(on.time.to_bits(), off.time.to_bits());
+    for e in 0..deck.mesh.n_elements() {
+        assert_eq!(
+            on.rho[e].to_bits(),
+            off.rho[e].to_bits(),
+            "overlap changed rho at element {e}"
+        );
+        assert_eq!(
+            on.ein[e].to_bits(),
+            off.ein[e].to_bits(),
+            "overlap changed ein at element {e}"
+        );
+        assert_eq!(
+            on.pressure[e].to_bits(),
+            off.pressure[e].to_bits(),
+            "overlap changed pressure at element {e}"
+        );
+    }
+    for n in 0..deck.mesh.n_nodes() {
+        assert_eq!(
+            on.u[n].x.to_bits(),
+            off.u[n].x.to_bits(),
+            "overlap changed u.x at node {n}"
+        );
+        assert_eq!(
+            on.u[n].y.to_bits(),
+            off.u[n].y.to_bits(),
+            "overlap changed u.y at node {n}"
+        );
+        assert_eq!(
+            on.nodes[n].x.to_bits(),
+            off.nodes[n].x.to_bits(),
+            "overlap changed node x at node {n}"
+        );
+        assert_eq!(
+            on.nodes[n].y.to_bits(),
+            off.nodes[n].y.to_bits(),
+            "overlap changed node y at node {n}"
+        );
+    }
+    // And the wire contract is untouched: identical message counts,
+    // phase by phase.
+    assert_eq!(on.comm.messages_sent, off.comm.messages_sent);
+    assert_eq!(on.comm.doubles_sent, off.comm.doubles_sent);
+    for phase in ["pre_viscosity", "pre_acceleration"] {
+        let a = on.comm.phase(phase).unwrap();
+        let b = off.comm.phase(phase).unwrap();
+        assert_eq!(a.messages_sent, b.messages_sent, "{phase}");
+        assert_eq!(a.doubles_sent, b.doubles_sent, "{phase}");
+    }
+}
+
+/// The same on/off bitwise pin with the ALE remap in the loop — the
+/// remap's boundary-first split (early entities, post, interior, then
+/// complete) must not move a bit either, and the 4-messages-per-link
+/// step contract holds with overlap enabled.
+#[test]
+fn overlapped_ale_matches_blocking_ale_bitwise() {
+    use bookleaf::ale::{AleMode, AleOptions};
+    let deck = decks::sod(24, 3);
+    let mut config = RunConfig {
+        final_time: 0.02,
+        ale: Some(AleOptions {
+            mode: AleMode::Eulerian,
+            frequency: 1,
+        }),
+        executor: ExecutorKind::Hybrid {
+            ranks: 2,
+            threads_per_rank: 2,
+        },
+        overlap: true,
+        ..RunConfig::default()
+    };
+    config.lag.acc_mode = AccMode::GatherParallel;
+
+    let on = run_distributed(&deck, &config).unwrap();
+    let off = run_distributed(
+        &deck,
+        &RunConfig {
+            overlap: false,
+            ..config
+        },
+    )
+    .unwrap();
+
+    assert_eq!(on.steps, off.steps);
+    for e in 0..deck.mesh.n_elements() {
+        assert_eq!(
+            on.rho[e].to_bits(),
+            off.rho[e].to_bits(),
+            "overlapped ALE changed rho at element {e}"
+        );
+        assert_eq!(
+            on.ein[e].to_bits(),
+            off.ein[e].to_bits(),
+            "overlapped ALE changed ein at element {e}"
+        );
+    }
+    for n in 0..deck.mesh.n_nodes() {
+        assert_eq!(
+            on.u[n].x.to_bits(),
+            off.u[n].x.to_bits(),
+            "overlapped ALE changed u at node {n}"
+        );
+    }
+    assert_eq!(on.comm.messages_sent, off.comm.messages_sent);
+    let remap_on = on.comm.phase("post_remap").unwrap();
+    let remap_off = off.comm.phase("post_remap").unwrap();
+    assert_eq!(remap_on.messages_sent, remap_off.messages_sent);
+    assert_eq!(remap_on.doubles_sent, remap_off.doubles_sent);
+}
+
 /// The same property with the ALE remap in the loop (every phase of the
 /// remap is element/node-parallel under the hybrid executor).
 #[test]
