@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use bookleaf_core::{decks, Driver, RunConfig};
+use bookleaf_core::{decks, Simulation};
 use bookleaf_eos::MaterialTable;
 use bookleaf_hydro::getacc::{getacc, AccMode};
 use bookleaf_hydro::getdt::{getdt, DtControls};
@@ -23,14 +23,13 @@ const N: usize = 128;
 /// A Noh state evolved to mid-shock, so the kernels see realistic data
 /// (viscosity active, shocked plateau, moving mesh).
 fn snapshot() -> (Mesh, MaterialTable, HydroState) {
-    let deck = decks::noh(N);
-    let materials = deck.materials.clone();
-    let config = RunConfig {
-        final_time: 0.1,
-        ..RunConfig::default()
-    };
-    let mut driver = Driver::new(deck, config).expect("valid deck");
+    let mut driver = Simulation::builder()
+        .deck(decks::noh(N))
+        .final_time(0.1)
+        .build()
+        .expect("valid deck");
     driver.run().expect("noh warmup");
+    let materials = driver.deck().materials.clone();
     (driver.mesh().clone(), materials, driver.state().clone())
 }
 

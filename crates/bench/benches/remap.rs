@@ -4,18 +4,17 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use bookleaf_ale::{AleMode, AleOptions, Remapper};
-use bookleaf_core::{decks, Driver, RunConfig};
+use bookleaf_core::{decks, Simulation};
 use bookleaf_hydro::LocalRange;
 
 fn bench_remap(c: &mut Criterion) {
     // A Lagrangian Sod state mid-run: the mesh has genuinely moved, so
     // the remap computes non-trivial fluxes.
-    let deck = decks::sod(128, 16);
-    let config = RunConfig {
-        final_time: 0.1,
-        ..RunConfig::default()
-    };
-    let mut driver = Driver::new(deck, config).expect("valid deck");
+    let mut driver = Simulation::builder()
+        .deck(decks::sod(128, 16))
+        .final_time(0.1)
+        .build()
+        .expect("valid deck");
     driver.run().expect("sod warmup");
     let mesh0 = driver.mesh().clone();
     let state0 = driver.state().clone();

@@ -10,7 +10,7 @@
 //! mesh quality and the transverse-velocity noise (the hourglass
 //! signature on a 1-D problem), plus the runtime cost of the controls.
 
-use bookleaf_core::{decks, Driver, RunConfig};
+use bookleaf_core::{decks, RunConfig, Simulation};
 use bookleaf_hydro::getforce::HourglassControl;
 use bookleaf_mesh::quality::assess;
 
@@ -24,10 +24,14 @@ fn run(hg: HourglassControl) -> std::result::Result<(f64, f64, f64, usize), Stri
         },
         ..RunConfig::default()
     };
-    let mut driver = Driver::new(deck, config).map_err(|e| e.to_string())?;
-    let s = driver.run().map_err(|e| e.to_string())?;
-    let q = assess(driver.mesh());
-    let noise = driver
+    let mut sim = Simulation::builder()
+        .deck(deck)
+        .config(config)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let s = sim.run().map_err(|e| e.to_string())?;
+    let q = assess(sim.mesh());
+    let noise = sim
         .state()
         .u
         .iter()

@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use bookleaf_core::{decks, run_distributed, ExecutorKind, RunConfig};
+use bookleaf_core::{decks, ExecutorKind, RunConfig, Simulation};
 use bookleaf_hydro::getacc::getacc;
 use bookleaf_hydro::{AccMode, HydroState, LocalRange};
 use bookleaf_util::KernelId;
@@ -60,7 +60,13 @@ fn full_run(acc_mode: AccMode, threads: usize) -> (f64, f64) {
         ..RunConfig::default()
     };
     config.lag.acc_mode = acc_mode;
-    let out = run_distributed(&deck, &config).expect("noh run");
+    let out = Simulation::builder()
+        .deck(deck)
+        .config(config)
+        .build()
+        .expect("valid deck")
+        .run()
+        .expect("noh run");
     (out.timers.seconds(KernelId::GetAcc), out.wall_seconds)
 }
 

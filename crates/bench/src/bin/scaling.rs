@@ -42,7 +42,7 @@
 use std::fmt::Write as _;
 
 use bookleaf_ale::{AleMode, AleOptions};
-use bookleaf_core::{decks, run_distributed, Deck, ExecutorKind, RunConfig};
+use bookleaf_core::{decks, Deck, ExecutorKind, RunConfig, Simulation};
 use bookleaf_hydro::AccMode;
 use bookleaf_mesh::SubMeshPlan;
 use bookleaf_partition::{partition, Strategy};
@@ -172,7 +172,13 @@ fn measure(
 
     let mut best: Option<RunResult> = None;
     for _ in 0..args.repeats.max(1) {
-        let out = run_distributed(&deck, &config).expect("scaling run failed");
+        let out = Simulation::builder()
+            .deck(deck.clone())
+            .config(config)
+            .build()
+            .expect("valid deck")
+            .run()
+            .expect("scaling run failed");
         let kernel_s = kernel_section_seconds(&out.timers);
         let candidate = RunResult {
             label: label.clone(),
@@ -612,7 +618,13 @@ fn check_overlap_invariants(args: Args, problems: &[(String, Vec<RunResult>)]) -
                 overlap,
                 ..RunConfig::default()
             };
-            let out = run_distributed(&deck, &config).expect("ALE check run failed");
+            let out = Simulation::builder()
+                .deck(deck.clone())
+                .config(config)
+                .build()
+                .expect("valid deck")
+                .run()
+                .expect("ALE check run failed");
             let per_link_step = out.comm.messages_sent as f64 / (links * out.steps) as f64;
             if (per_link_step - 4.0).abs() > 1e-9 {
                 failures.push(format!(

@@ -21,7 +21,7 @@
 //! runs on the host machine. Criterion micro-benches for the kernels
 //! live under `benches/`.
 
-use bookleaf_core::{decks, run_distributed, Deck, Driver, ExecutorKind, RunConfig};
+use bookleaf_core::{decks, Deck, ExecutorKind, Simulation};
 use bookleaf_device::WorkloadCount;
 use bookleaf_util::{KernelId, TimerReport};
 
@@ -118,44 +118,26 @@ pub fn table2_header() -> String {
 /// Run a *measured* Noh problem on the host under `executor`, returning
 /// the per-kernel report and wall seconds. `n` is the mesh edge size.
 pub fn measured_noh(n: usize, t_final: f64, executor: ExecutorKind) -> (TimerReport, f64) {
-    let deck = decks::noh(n);
-    let config = RunConfig {
-        final_time: t_final,
-        executor,
-        ..RunConfig::default()
-    };
-    match executor {
-        ExecutorKind::Serial => {
-            let mut driver = Driver::new(deck, config).expect("valid deck");
-            let s = driver.run().expect("noh run");
-            (s.timers, s.wall_seconds)
-        }
-        _ => {
-            let out = run_distributed(&deck, &config).expect("distributed noh run");
-            (out.timers, out.wall_seconds)
-        }
-    }
+    measured(decks::noh(n), t_final, executor)
 }
 
 /// Run a measured Sod problem, used by the scaling figures.
 pub fn measured_sod(nx: usize, t_final: f64, executor: ExecutorKind) -> (TimerReport, f64) {
-    let deck: Deck = decks::sod(nx, nx_over_8_at_least_2(nx));
-    let config = RunConfig {
-        final_time: t_final,
-        executor,
-        ..RunConfig::default()
-    };
-    match executor {
-        ExecutorKind::Serial => {
-            let mut driver = Driver::new(deck, config).expect("valid deck");
-            let s = driver.run().expect("sod run");
-            (s.timers, s.wall_seconds)
-        }
-        _ => {
-            let out = run_distributed(&deck, &config).expect("distributed sod run");
-            (out.timers, out.wall_seconds)
-        }
-    }
+    measured(decks::sod(nx, nx_over_8_at_least_2(nx)), t_final, executor)
+}
+
+/// One builder path for every executor — serial, flat MPI and hybrid
+/// all run through `Simulation`.
+fn measured(deck: Deck, t_final: f64, executor: ExecutorKind) -> (TimerReport, f64) {
+    let report = Simulation::builder()
+        .deck(deck)
+        .final_time(t_final)
+        .executor(executor)
+        .build()
+        .expect("valid deck")
+        .run()
+        .expect("measured run");
+    (report.timers, report.wall_seconds)
 }
 
 /// Tube height used by [`measured_sod`]: an eighth of the length, at

@@ -13,7 +13,21 @@
 
 use bookleaf_eos::{EosSpec, MaterialTable};
 use bookleaf_mesh::{generate_rect, saltzmann_distort, Mesh, NodeBc, RectSpec};
-use bookleaf_util::{BookLeafError, Result, Vec2};
+use bookleaf_util::{DeckError, Vec2};
+
+pub use crate::input::{InputDeck, ProblemSpec};
+
+/// Parse a text input deck (see [`crate::input`] for the format).
+pub fn from_str(text: &str) -> Result<InputDeck, DeckError> {
+    text.parse()
+}
+
+/// Render an input deck in its canonical text form;
+/// [`from_str`]`(`[`to_string`]`(d))` reproduces `d` exactly.
+#[must_use]
+pub fn to_string(deck: &InputDeck) -> String {
+    deck.to_string()
+}
 
 /// Driven-wall (piston) specification.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,7 +40,7 @@ pub struct PistonSpec {
 
 /// A fully specified problem: mesh, materials, initial fields and any
 /// driven boundaries.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Deck {
     /// Problem name (for reports).
     pub name: &'static str,
@@ -47,22 +61,55 @@ pub struct Deck {
 }
 
 impl Deck {
-    /// Validate array lengths against the mesh.
-    pub fn validate(&self) -> Result<()> {
+    /// Validate field-array lengths, the material table and the mesh,
+    /// returning a typed [`DeckError`]. Every build path — the
+    /// `Simulation` builder, text decks, the deprecated
+    /// `Driver`/`run_distributed` wrappers — routes through this.
+    pub fn validate(&self) -> Result<(), DeckError> {
+        let shape = |message: String| DeckError::Shape {
+            deck: self.name.to_string(),
+            message,
+        };
         if self.rho.len() != self.mesh.n_elements() || self.ein.len() != self.mesh.n_elements() {
-            return Err(BookLeafError::InvalidDeck(format!(
-                "{}: element field lengths do not match mesh",
-                self.name
+            return Err(shape(format!(
+                "element fields hold {} / {} entries but the mesh has {} elements",
+                self.rho.len(),
+                self.ein.len(),
+                self.mesh.n_elements()
             )));
         }
         if self.u.len() != self.mesh.n_nodes() {
-            return Err(BookLeafError::InvalidDeck(format!(
-                "{}: node field length does not match mesh",
-                self.name
+            return Err(shape(format!(
+                "node velocity field holds {} entries but the mesh has {} nodes",
+                self.u.len(),
+                self.mesh.n_nodes()
             )));
         }
-        self.materials.check_regions(&self.mesh.region)?;
-        self.mesh.validate()
+        let invalid = |source| DeckError::Invalid {
+            deck: self.name.to_string(),
+            source: Box::new(source),
+        };
+        self.materials
+            .check_regions(&self.mesh.region)
+            .map_err(invalid)?;
+        self.mesh.validate().map_err(invalid)?;
+        Ok(())
+    }
+
+    /// The initial hydrodynamic state this deck describes, on `mesh`
+    /// (the deck's own mesh or a clone of it). The one constructor the
+    /// serial engine and the post-run assembled view both use, so the
+    /// deck-to-state mapping cannot silently diverge between them; the
+    /// distributed ranks apply the same mapping through their
+    /// local-to-global index tables.
+    pub fn initial_state(&self, mesh: &Mesh) -> bookleaf_util::Result<bookleaf_hydro::HydroState> {
+        bookleaf_hydro::HydroState::new(
+            mesh,
+            &self.materials,
+            |e| self.rho[e],
+            |e| self.ein[e],
+            |n| self.u[n],
+        )
     }
 }
 

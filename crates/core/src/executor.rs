@@ -14,24 +14,56 @@
 //! phases and the single global dt reduction per step. Results are
 //! assembled back into global element/node order so validation code can
 //! compare executors directly.
+//!
+//! This module is driven through [`crate::Simulation`]; the historical
+//! [`run_distributed`] free function survives as a thin deprecated
+//! wrapper. Observer hooks fire on every rank with the rank's partition
+//! view, and the run's energy accounting counts each owned element and
+//! owned node exactly once across the team.
 
 use std::collections::HashMap;
 
 use bookleaf_ale::Remapper;
 use bookleaf_hydro::{HydroState, LocalRange, Threading};
-use bookleaf_mesh::{SubMesh, SubMeshPlan};
+use bookleaf_mesh::{Mesh, SubMesh, SubMeshPlan};
 use bookleaf_partition::{partition, Strategy};
 use bookleaf_typhon::{CommStats, Typhon};
-use bookleaf_util::{BookLeafError, Result, TimerRegistry, TimerReport, Vec2};
+use bookleaf_util::{BookLeafError, Result, TimerReport, Vec2};
 
 use crate::config::{ExecutorKind, RunConfig};
 use crate::decks::Deck;
 use crate::driver::run_loop;
 use crate::halo::{LocalPiston, TyphonHalo};
+use crate::observer::{LoopWatch, ObserverSet};
+use crate::report::RunReport;
 
-/// A distributed run's assembled output (global ordering).
+/// The solution fields a distributed run assembles back into global
+/// element/node order.
+#[derive(Debug, Clone)]
+pub(crate) struct Assembled {
+    pub rho: Vec<f64>,
+    pub ein: Vec<f64>,
+    pub pressure: Vec<f64>,
+    pub u: Vec<Vec2>,
+    pub nodes: Vec<Vec2>,
+}
+
+/// A distributed run's output (global ordering), as returned by the
+/// deprecated [`run_distributed`]; new code reads the same data from
+/// [`crate::Simulation`] (`run()` → [`RunReport`], `state()`/`mesh()` →
+/// assembled fields). Note one source-level change from the pre-report
+/// shape: the scalar summaries moved into `report`, so what were the
+/// `steps`/`time`/`timers`/`comm` *fields* are now delegating accessor
+/// *methods* (or `out.report.steps` directly).
+#[deprecated(
+    note = "use `Simulation::builder()`: `run()` returns the unified `RunReport` and \
+                     `state()`/`mesh()` expose the assembled solution"
+)]
 #[derive(Debug, Clone)]
 pub struct DistributedOutput {
+    /// The unified run report (steps, time, merged timers, team comm
+    /// stats, global energies).
+    pub report: RunReport,
     /// Density per global element.
     pub rho: Vec<f64>,
     /// Specific internal energy per global element.
@@ -42,16 +74,33 @@ pub struct DistributedOutput {
     pub u: Vec<Vec2>,
     /// Final node positions.
     pub nodes: Vec<Vec2>,
-    /// Steps taken.
-    pub steps: usize,
-    /// Final simulated time.
-    pub time: f64,
-    /// Wall-clock seconds for the whole team.
-    pub wall_seconds: f64,
-    /// Per-kernel times, max over ranks (how MPI perceives time).
-    pub timers: TimerReport,
-    /// Total communication volume over all ranks.
-    pub comm: CommStats,
+}
+
+#[allow(deprecated)]
+impl DistributedOutput {
+    /// Steps taken (delegates to the report).
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.report.steps
+    }
+
+    /// Final simulated time (delegates to the report).
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        self.report.time
+    }
+
+    /// Per-kernel times, max over ranks (delegates to the report).
+    #[must_use]
+    pub fn timers(&self) -> &TimerReport {
+        &self.report.timers
+    }
+
+    /// Team-merged communication counters (delegates to the report).
+    #[must_use]
+    pub fn comm(&self) -> &CommStats {
+        &self.report.comm
+    }
 }
 
 struct RankOut {
@@ -65,10 +114,35 @@ struct RankOut {
     time: f64,
     timers: TimerReport,
     comm: CommStats,
+    /// Globally reduced start/end energies (identical on every rank).
+    energy_start: f64,
+    energy_end: f64,
 }
 
 /// Run `deck` under the distributed executor named by `config.executor`.
+#[deprecated(note = "use `Simulation::builder().deck(..).config(..).build()?.run()?`")]
+#[allow(deprecated)]
 pub fn run_distributed(deck: &Deck, config: &RunConfig) -> Result<DistributedOutput> {
+    let (report, fields) = run_with_observers(deck, config, &ObserverSet::default())?;
+    Ok(DistributedOutput {
+        report,
+        rho: fields.rho,
+        ein: fields.ein,
+        pressure: fields.pressure,
+        u: fields.u,
+        nodes: fields.nodes,
+    })
+}
+
+/// The distributed run machinery behind [`crate::Simulation`]:
+/// partition, spawn the rank team, run the shared loop (observers
+/// firing per rank), assemble the global solution and the unified
+/// report.
+pub(crate) fn run_with_observers(
+    deck: &Deck,
+    config: &RunConfig,
+    observers: &ObserverSet,
+) -> Result<(RunReport, Assembled)> {
     let (ranks, threads_per_rank) = match config.executor {
         ExecutorKind::FlatMpi { ranks } => (ranks, 0),
         ExecutorKind::Hybrid {
@@ -77,7 +151,7 @@ pub fn run_distributed(deck: &Deck, config: &RunConfig) -> Result<DistributedOut
         } => (ranks, threads_per_rank),
         ExecutorKind::Serial => {
             return Err(BookLeafError::InvalidDeck(
-                "run_distributed called with the serial executor; use Driver".into(),
+                "distributed run requested with the serial executor".into(),
             ))
         }
     };
@@ -95,7 +169,7 @@ pub fn run_distributed(deck: &Deck, config: &RunConfig) -> Result<DistributedOut
     let start = std::time::Instant::now();
     let results: Vec<Result<RankOut>> = Typhon::run(ranks, |ctx| {
         let sub = &subs[ctx.rank()];
-        let body = || -> Result<RankOut> { run_rank(ctx, sub, deck, &rank_config) };
+        let body = || -> Result<RankOut> { run_rank(ctx, sub, deck, &rank_config, observers) };
         if threads_per_rank > 1 {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(threads_per_rank)
@@ -111,41 +185,51 @@ pub fn run_distributed(deck: &Deck, config: &RunConfig) -> Result<DistributedOut
     // Assemble.
     let ne = deck.mesh.n_elements();
     let nn = deck.mesh.n_nodes();
-    let mut out = DistributedOutput {
+    let mut fields = Assembled {
         rho: vec![0.0; ne],
         ein: vec![0.0; ne],
         pressure: vec![0.0; ne],
         u: vec![Vec2::ZERO; nn],
         nodes: vec![Vec2::ZERO; nn],
+    };
+    let mut report = RunReport {
+        name: deck.name.to_string(),
+        executor: config.executor,
+        ranks,
         steps: 0,
         time: 0.0,
         wall_seconds: wall,
         timers: TimerReport::zero(),
         comm: CommStats::default(),
+        energy_start: 0.0,
+        energy_end: 0.0,
     };
     for r in results {
         let r = r?;
         let sub = &subs[r.rank];
         for (l, &g) in sub.el_l2g[..sub.n_owned_el].iter().enumerate() {
-            out.rho[g as usize] = r.rho[l];
-            out.ein[g as usize] = r.ein[l];
-            out.pressure[g as usize] = r.pressure[l];
+            fields.rho[g as usize] = r.rho[l];
+            fields.ein[g as usize] = r.ein[l];
+            fields.pressure[g as usize] = r.pressure[l];
         }
         for &(g, v) in &r.u_owned {
-            out.u[g as usize] = v;
+            fields.u[g as usize] = v;
         }
         for &(g, p) in &r.x_owned {
-            out.nodes[g as usize] = p;
+            fields.nodes[g as usize] = p;
         }
-        out.steps = out.steps.max(r.steps);
+        report.steps = report.steps.max(r.steps);
         // Max, not last-writer-wins: every rank reports the same final
         // time, but a reordered result vector must not leave a stale
         // zero (or any one rank's value) in charge.
-        out.time = out.time.max(r.time);
-        out.timers = out.timers.max(&r.timers);
-        out.comm = out.comm.merged(&r.comm);
+        report.time = report.time.max(r.time);
+        report.timers = report.timers.max(&r.timers);
+        report.comm = report.comm.merged(&r.comm);
+        // Already globally reduced — identical on every rank.
+        report.energy_start = r.energy_start;
+        report.energy_end = r.energy_end;
     }
-    Ok(out)
+    Ok((report, fields))
 }
 
 /// One rank's work: local state, halo hooks, the shared run loop.
@@ -154,6 +238,7 @@ fn run_rank(
     sub: &SubMesh,
     deck: &Deck,
     config: &RunConfig,
+    observers: &ObserverSet,
 ) -> Result<RankOut> {
     let mut mesh = sub.mesh.clone();
     let mut state = HydroState::new(
@@ -191,7 +276,28 @@ fn run_rank(
     // only before the boundary sweep (latency hiding; bitwise identical
     // physics and identical message counts).
     let overlap_sets = config.overlap.then(|| sub.overlap_sets());
-    let timers = TimerRegistry::new();
+    let timers = bookleaf_util::TimerRegistry::new();
+
+    // This rank's energy contribution: owned elements, owned nodes —
+    // partition-boundary nodes live on several ranks but are summed
+    // exactly once across the team.
+    let local_energy = |mesh: &Mesh, state: &HydroState| {
+        state.internal_energy(range) + state.kinetic_energy_where(mesh, range, |n| sub.owns_node(n))
+    };
+    // All collective calls below (start/end energy, dt per step, any
+    // observer-driven energy reductions inside the loop) execute in the
+    // same order on every rank.
+    let energy_start = ctx.allreduce_sum(local_energy(&mesh, &state));
+    let reduce_sum = |v: f64| ctx.allreduce_sum(v);
+    let comm_stats = || ctx.stats();
+    let watch = LoopWatch {
+        observers,
+        rank: ctx.rank(),
+        n_ranks: ctx.n_ranks(),
+        reduce_sum: &reduce_sum,
+        comm_stats: &comm_stats,
+        local_energy: &local_energy,
+    };
 
     let mut cursor = crate::driver::LoopState::default();
     run_loop(
@@ -206,7 +312,9 @@ fn run_rank(
         &timers,
         &mut cursor,
         overlap_sets.as_ref(),
+        Some(&watch),
     )?;
+    let energy_end = ctx.allreduce_sum(local_energy(&mesh, &state));
     let (steps, time) = (cursor.steps, cursor.t);
 
     let u_owned: Vec<(u32, Vec2)> = (0..sub.n_active_nd)
@@ -229,6 +337,8 @@ fn run_rank(
         time,
         timers: timers.report(),
         comm: ctx.stats(),
+        energy_start,
+        energy_end,
     })
 }
 
@@ -236,10 +346,11 @@ fn run_rank(
 mod tests {
     use super::*;
     use crate::decks;
-    use crate::driver::Driver;
+    use crate::sim::Simulation;
     use bookleaf_util::approx_eq;
 
-    /// Serial vs distributed equivalence on the Sod problem.
+    /// Serial vs distributed equivalence on the Sod problem, all
+    /// through the one `Simulation` code path.
     fn compare_with_serial(executor: ExecutorKind, tol: f64) {
         let deck = decks::sod(32, 4);
         let config = RunConfig {
@@ -247,31 +358,40 @@ mod tests {
             ..RunConfig::default()
         };
 
-        let mut serial = Driver::new(deck.clone(), config).unwrap();
+        let mut serial = Simulation::builder()
+            .deck(deck.clone())
+            .config(config)
+            .build()
+            .unwrap();
         serial.run().unwrap();
 
-        let dist_config = RunConfig { executor, ..config };
-        let out = run_distributed(&deck, &dist_config).unwrap();
+        let mut dist = Simulation::builder()
+            .deck(deck.clone())
+            .config(config)
+            .executor(executor)
+            .build()
+            .unwrap();
+        dist.run().unwrap();
 
         for e in 0..deck.mesh.n_elements() {
             assert!(
-                approx_eq(serial.state().rho[e], out.rho[e], tol),
+                approx_eq(serial.state().rho[e], dist.state().rho[e], tol),
                 "rho mismatch at {e}: {} vs {}",
                 serial.state().rho[e],
-                out.rho[e]
+                dist.state().rho[e]
             );
             assert!(
-                approx_eq(serial.state().ein[e], out.ein[e], tol),
+                approx_eq(serial.state().ein[e], dist.state().ein[e], tol),
                 "ein mismatch at {e}"
             );
         }
         for n in 0..deck.mesh.n_nodes() {
             assert!(
-                (serial.state().u[n] - out.u[n]).norm() < tol,
+                (serial.state().u[n] - dist.state().u[n]).norm() < tol,
                 "velocity mismatch at node {n}"
             );
             assert!(
-                serial.mesh().nodes[n].distance(out.nodes[n]) < tol,
+                serial.mesh().nodes[n].distance(dist.mesh().nodes[n]) < tol,
                 "position mismatch at node {n}"
             );
         }
@@ -294,41 +414,68 @@ mod tests {
     }
 
     #[test]
-    fn rank_counts_agree_on_steps() {
+    fn rank_counts_agree_on_steps_and_energy_is_global() {
         let deck = decks::noh(12);
-        let config = RunConfig {
-            final_time: 0.02,
-            executor: ExecutorKind::FlatMpi { ranks: 3 },
-            ..RunConfig::default()
-        };
-        let out = run_distributed(&deck, &config).unwrap();
-        assert!(out.steps > 0);
-        assert!((out.time - 0.02).abs() < 1e-12);
+        let mut sim = Simulation::builder()
+            .deck(deck.clone())
+            .final_time(0.02)
+            .executor(ExecutorKind::FlatMpi { ranks: 3 })
+            .build()
+            .unwrap();
+        let report = sim.run().unwrap();
+        assert!(report.steps > 0);
+        assert!((report.time - 0.02).abs() < 1e-12);
+        assert_eq!(report.ranks, 3);
         // Communication actually happened.
-        assert!(out.comm.messages_sent > 0);
-        assert!(out.comm.doubles_sent > 0);
+        assert!(report.comm.messages_sent > 0);
+        assert!(report.comm.doubles_sent > 0);
+        // The energy accounting is global (counts every partition once):
+        // it matches the serial run's to tight tolerance.
+        let mut serial = Simulation::builder()
+            .deck(deck)
+            .final_time(0.02)
+            .build()
+            .unwrap();
+        let serial_report = serial.run().unwrap();
+        assert!(
+            approx_eq(report.energy_start, serial_report.energy_start, 1e-9),
+            "start energy {} vs serial {}",
+            report.energy_start,
+            serial_report.energy_start
+        );
+        assert!(
+            approx_eq(report.energy_end, serial_report.energy_end, 1e-6),
+            "end energy {} vs serial {}",
+            report.energy_end,
+            serial_report.energy_end
+        );
     }
 
     #[test]
-    fn serial_executor_is_rejected() {
+    fn serial_executor_is_rejected_by_the_distributed_machinery() {
         let deck = decks::sod(8, 2);
         let config = RunConfig {
             executor: ExecutorKind::Serial,
             ..RunConfig::default()
         };
-        assert!(run_distributed(&deck, &config).is_err());
+        assert!(run_with_observers(&deck, &config, &ObserverSet::default()).is_err());
     }
 
     #[test]
     fn distributed_piston_works() {
-        let deck = decks::saltzmann(32, 4);
-        let config = RunConfig {
-            final_time: 0.05,
-            executor: ExecutorKind::FlatMpi { ranks: 3 },
-            ..RunConfig::default()
-        };
-        let out = run_distributed(&deck, &config).unwrap();
-        let min_x = out.nodes.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+        let mut sim = Simulation::builder()
+            .deck(decks::saltzmann(32, 4))
+            .final_time(0.05)
+            .executor(ExecutorKind::FlatMpi { ranks: 3 })
+            .build()
+            .unwrap();
+        sim.run().unwrap();
+        let min_x = sim
+            .mesh()
+            .nodes
+            .iter()
+            .map(|p| p.x)
+            .fold(f64::INFINITY, f64::min);
         assert!((min_x - 0.05).abs() < 0.02, "piston wall at {min_x}");
     }
 
@@ -344,22 +491,44 @@ mod tests {
             }),
             ..RunConfig::default()
         };
-        let mut serial = Driver::new(deck.clone(), base).unwrap();
+        let mut serial = Simulation::builder()
+            .deck(deck.clone())
+            .config(base)
+            .build()
+            .unwrap();
         serial.run().unwrap();
-        let dist = RunConfig {
-            executor: ExecutorKind::FlatMpi { ranks: 2 },
-            ..base
-        };
-        let out = run_distributed(&deck, &dist).unwrap();
+        let mut dist = Simulation::builder()
+            .deck(deck.clone())
+            .config(base)
+            .executor(ExecutorKind::FlatMpi { ranks: 2 })
+            .build()
+            .unwrap();
+        dist.run().unwrap();
         // ALE at partition boundaries falls back to first order for the
         // limiter stencil (see DESIGN.md), so agreement is looser.
         for e in 0..deck.mesh.n_elements() {
             assert!(
-                approx_eq(serial.state().rho[e], out.rho[e], 5e-2),
+                approx_eq(serial.state().rho[e], dist.state().rho[e], 5e-2),
                 "rho far off at {e}: {} vs {}",
                 serial.state().rho[e],
-                out.rho[e]
+                dist.state().rho[e]
             );
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_delegates_to_the_report() {
+        let deck = decks::sod(16, 2);
+        let config = RunConfig {
+            final_time: 0.01,
+            executor: ExecutorKind::FlatMpi { ranks: 2 },
+            ..RunConfig::default()
+        };
+        let out = run_distributed(&deck, &config).unwrap();
+        assert_eq!(out.steps(), out.report.steps);
+        assert!((out.time() - 0.01).abs() < 1e-12);
+        assert!(out.comm().messages_sent > 0);
+        assert_eq!(out.rho.len(), deck.mesh.n_elements());
     }
 }

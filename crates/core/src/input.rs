@@ -1,0 +1,854 @@
+//! Text input decks: the way real BookLeaf is driven.
+//!
+//! Every problem in the paper's evaluation is a *text file* fed to one
+//! binary. [`InputDeck`] is that file's typed form: which standard
+//! problem to set up (and at what resolution) plus every run option an
+//! input namelist would carry — time-step controls, ALE options, the
+//! executor and overlap toggle. `decks::from_str` / `decks::to_string`
+//! convert between [`InputDeck`] and a line-oriented key-value text
+//! format (a TOML subset: `key = value` entries under `[section]`
+//! headers, `#` comments), and `Simulation::builder().deck_str(..)` /
+//! `.deck_file(..)` accept the text directly — new scenarios are data,
+//! not code.
+//!
+//! The spec types carry serde derives so the format can swap to a real
+//! serde backend when the workspace vendors one; the shims' derives are
+//! no-ops (see `shims/README.md`), so the codec below is hand-rolled in
+//! the same field-per-key shape a serde TOML round trip would use.
+//!
+//! Errors are typed and line-anchored: a malformed file fails with
+//! [`DeckError::Text`] naming the 1-based offending line; an
+//! inconsistent but syntactically valid spec fails with
+//! [`DeckError::Config`].
+//!
+//! ```text
+//! # BookLeaf-rs input deck
+//! problem = sod
+//! nx = 40
+//! ny = 4
+//!
+//! [control]
+//! final_time = 0.2
+//!
+//! [executor]
+//! model = hybrid
+//! ranks = 2
+//! threads_per_rank = 2
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use bookleaf_ale::{AleMode, AleOptions};
+use bookleaf_hydro::getdt::DtControls;
+use bookleaf_util::DeckError;
+
+use crate::config::{ExecutorKind, RunConfig};
+use crate::decks::{self, Deck};
+
+/// Hard cap on a text deck's mesh dimensions: a typo'd `nx = 4000000`
+/// should fail fast, not allocate the machine away.
+pub const MAX_MESH_DIM: usize = 8192;
+
+/// Which standard problem a text deck sets up, with its resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProblemSpec {
+    /// Sod's shock tube, `nx × ny` elements.
+    Sod {
+        /// Elements along the tube.
+        nx: usize,
+        /// Elements across the tube.
+        ny: usize,
+    },
+    /// The Noh implosion, `n × n` elements.
+    Noh {
+        /// Elements per side.
+        n: usize,
+    },
+    /// The Sedov blast, `n × n` elements.
+    Sedov {
+        /// Elements per side.
+        n: usize,
+    },
+    /// Saltzmann's piston, `nx × ny` elements.
+    Saltzmann {
+        /// Elements along the tube.
+        nx: usize,
+        /// Elements across the tube.
+        ny: usize,
+    },
+    /// The underwater-explosion multi-material deck, `n × n` elements.
+    Underwater {
+        /// Elements per side.
+        n: usize,
+    },
+}
+
+impl ProblemSpec {
+    /// The problem's text-deck name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ProblemSpec::Sod { .. } => "sod",
+            ProblemSpec::Noh { .. } => "noh",
+            ProblemSpec::Sedov { .. } => "sedov",
+            ProblemSpec::Saltzmann { .. } => "saltzmann",
+            ProblemSpec::Underwater { .. } => "underwater",
+        }
+    }
+
+    /// The problem's standard end time (matches the constructed deck's
+    /// `recommended_final_time`; pinned by a test).
+    #[must_use]
+    pub fn recommended_final_time(self) -> f64 {
+        match self {
+            ProblemSpec::Sod { .. } => 0.2,
+            ProblemSpec::Noh { .. } | ProblemSpec::Saltzmann { .. } => 0.6,
+            ProblemSpec::Sedov { .. } => 1.0,
+            ProblemSpec::Underwater { .. } => 0.01,
+        }
+    }
+
+    fn dims(self) -> (usize, Option<usize>) {
+        match self {
+            ProblemSpec::Sod { nx, ny } | ProblemSpec::Saltzmann { nx, ny } => (nx, Some(ny)),
+            ProblemSpec::Noh { n } | ProblemSpec::Sedov { n } | ProblemSpec::Underwater { n } => {
+                (n, None)
+            }
+        }
+    }
+}
+
+/// A fully parsed input deck: problem spec plus every run option.
+///
+/// Converts to the runtime pair with [`InputDeck::build_deck`] (the
+/// [`Deck`]) and [`InputDeck::run_config`] (the [`RunConfig`], with
+/// `final_time` defaulting to the problem's standard end time).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputDeck {
+    /// Problem and resolution.
+    pub problem: ProblemSpec,
+    /// Stop time; `None` = the problem's recommended end time.
+    pub final_time: Option<f64>,
+    /// Hard step cap.
+    pub max_steps: usize,
+    /// Overlap halo exchange with computation (distributed executors).
+    pub overlap: bool,
+    /// Time-step controls.
+    pub dt: DtControls,
+    /// ALE remap options; `None` = pure Lagrangian.
+    pub ale: Option<AleOptions>,
+    /// Execution model.
+    pub executor: ExecutorKind,
+}
+
+impl InputDeck {
+    /// A deck for `problem` with default options (serial Lagrangian,
+    /// recommended end time).
+    #[must_use]
+    pub fn new(problem: ProblemSpec) -> Self {
+        let defaults = RunConfig::default();
+        InputDeck {
+            problem,
+            final_time: None,
+            max_steps: defaults.max_steps,
+            overlap: defaults.overlap,
+            dt: defaults.dt,
+            ale: None,
+            executor: ExecutorKind::Serial,
+        }
+    }
+
+    /// Check every option for consistency (spec-level; the constructed
+    /// [`Deck`] is checked again by `Deck::validate`).
+    pub fn validate(&self) -> Result<(), DeckError> {
+        let bad = |message: String| Err(DeckError::Config { message });
+        let (a, b) = self.problem.dims();
+        for d in [Some(a), b].into_iter().flatten() {
+            if d == 0 || d > MAX_MESH_DIM {
+                return bad(format!(
+                    "{}: mesh dimension {d} out of range 1..={MAX_MESH_DIM}",
+                    self.problem.name()
+                ));
+            }
+        }
+        if let Some(t) = self.final_time {
+            if !(t > 0.0 && t.is_finite()) {
+                return bad(format!("final_time must be positive and finite, got {t}"));
+            }
+        }
+        if self.max_steps == 0 {
+            return bad("max_steps must be at least 1".into());
+        }
+        let dt = &self.dt;
+        for (key, v) in [
+            ("cfl_sf", dt.cfl_sf),
+            ("div_sf", dt.div_sf),
+            ("dt_initial", dt.dt_initial),
+            ("dt_max", dt.dt_max),
+            ("dt_min", dt.dt_min),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                return bad(format!("dt.{key} must be positive and finite, got {v}"));
+            }
+        }
+        if !(dt.growth >= 1.0 && dt.growth.is_finite()) {
+            return bad(format!("dt.growth must be at least 1, got {}", dt.growth));
+        }
+        if dt.dt_min > dt.dt_max {
+            return bad(format!(
+                "dt.dt_min ({}) exceeds dt.dt_max ({})",
+                dt.dt_min, dt.dt_max
+            ));
+        }
+        if let Some(ale) = self.ale {
+            if ale.frequency == 0 {
+                return bad("ale.frequency must be at least 1".into());
+            }
+            if let AleMode::Smooth { alpha } = ale.mode {
+                if !(alpha > 0.0 && alpha <= 1.0) {
+                    return bad(format!("ale.alpha must be in (0, 1], got {alpha}"));
+                }
+            }
+        }
+        match self.executor {
+            ExecutorKind::Serial => {}
+            ExecutorKind::FlatMpi { ranks } => {
+                if ranks == 0 {
+                    return bad("executor.ranks must be at least 1".into());
+                }
+            }
+            ExecutorKind::Hybrid {
+                ranks,
+                threads_per_rank,
+            } => {
+                if ranks == 0 || threads_per_rank == 0 {
+                    return bad(
+                        "executor.ranks and executor.threads_per_rank must be at least 1".into(),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Construct the runtime [`Deck`] this spec describes.
+    pub fn build_deck(&self) -> Result<Deck, DeckError> {
+        self.validate()?;
+        Ok(match self.problem {
+            ProblemSpec::Sod { nx, ny } => decks::sod(nx, ny),
+            ProblemSpec::Noh { n } => decks::noh(n),
+            ProblemSpec::Sedov { n } => decks::sedov(n),
+            ProblemSpec::Saltzmann { nx, ny } => decks::saltzmann(nx, ny),
+            ProblemSpec::Underwater { n } => decks::underwater(n),
+        })
+    }
+
+    /// The run configuration this spec describes. `final_time` defaults
+    /// to the problem's recommended end time when the deck omits it.
+    #[must_use]
+    pub fn run_config(&self) -> RunConfig {
+        RunConfig {
+            final_time: self
+                .final_time
+                .unwrap_or_else(|| self.problem.recommended_final_time()),
+            max_steps: self.max_steps,
+            dt: self.dt,
+            ale: self.ale,
+            executor: self.executor,
+            overlap: self.overlap,
+            ..RunConfig::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer.
+
+impl fmt::Display for InputDeck {
+    /// Canonical text form; `deck.to_string().parse()` reproduces the
+    /// deck exactly (floats print in shortest round-trip form).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# BookLeaf-rs input deck")?;
+        writeln!(f, "problem = {}", self.problem.name())?;
+        match self.problem.dims() {
+            (nx, Some(ny)) => {
+                writeln!(f, "nx = {nx}")?;
+                writeln!(f, "ny = {ny}")?;
+            }
+            (n, None) => writeln!(f, "n = {n}")?,
+        }
+        writeln!(f)?;
+        writeln!(f, "[control]")?;
+        if let Some(t) = self.final_time {
+            writeln!(f, "final_time = {t}")?;
+        }
+        writeln!(f, "max_steps = {}", self.max_steps)?;
+        writeln!(f, "overlap = {}", self.overlap)?;
+        writeln!(f)?;
+        writeln!(f, "[dt]")?;
+        writeln!(f, "cfl_sf = {}", self.dt.cfl_sf)?;
+        writeln!(f, "div_sf = {}", self.dt.div_sf)?;
+        writeln!(f, "growth = {}", self.dt.growth)?;
+        writeln!(f, "dt_initial = {}", self.dt.dt_initial)?;
+        writeln!(f, "dt_max = {}", self.dt.dt_max)?;
+        writeln!(f, "dt_min = {}", self.dt.dt_min)?;
+        if let Some(ale) = self.ale {
+            writeln!(f)?;
+            writeln!(f, "[ale]")?;
+            match ale.mode {
+                AleMode::Eulerian => writeln!(f, "mode = eulerian")?,
+                AleMode::Smooth { alpha } => {
+                    writeln!(f, "mode = smooth")?;
+                    writeln!(f, "alpha = {alpha}")?;
+                }
+            }
+            writeln!(f, "frequency = {}", ale.frequency)?;
+        }
+        writeln!(f)?;
+        writeln!(f, "[executor]")?;
+        match self.executor {
+            ExecutorKind::Serial => writeln!(f, "model = serial")?,
+            ExecutorKind::FlatMpi { ranks } => {
+                writeln!(f, "model = flat_mpi")?;
+                writeln!(f, "ranks = {ranks}")?;
+            }
+            ExecutorKind::Hybrid {
+                ranks,
+                threads_per_rank,
+            } => {
+                writeln!(f, "model = hybrid")?;
+                writeln!(f, "ranks = {ranks}")?;
+                writeln!(f, "threads_per_rank = {threads_per_rank}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+
+/// A value with the 1-based line it came from (for anchored errors).
+#[derive(Debug, Clone, Copy)]
+struct At<T> {
+    value: T,
+    line: usize,
+}
+
+#[derive(Default)]
+struct RawDeck {
+    problem: Option<At<&'static str>>,
+    nx: Option<At<usize>>,
+    ny: Option<At<usize>>,
+    n: Option<At<usize>>,
+    final_time: Option<f64>,
+    max_steps: Option<usize>,
+    overlap: Option<bool>,
+    dt: DtControls,
+    ale_present: bool,
+    ale_mode: Option<At<&'static str>>,
+    ale_alpha: Option<At<f64>>,
+    ale_frequency: Option<usize>,
+    exec_model: Option<At<&'static str>>,
+    exec_ranks: Option<At<usize>>,
+    exec_threads: Option<At<usize>>,
+}
+
+fn text_err(line: usize, message: impl Into<String>) -> DeckError {
+    DeckError::Text {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_num<T: FromStr>(line: usize, key: &str, raw: &str, kind: &str) -> Result<T, DeckError> {
+    raw.parse::<T>()
+        .map_err(|_| text_err(line, format!("`{key}` expects {kind}, got `{raw}`")))
+}
+
+/// Floats in a deck must be finite — `inf`/`nan` parse as `f64` but
+/// would only fail later, unanchored, in `InputDeck::validate`; reject
+/// them here so the error keeps its line.
+fn parse_f64(line: usize, key: &str, raw: &str) -> Result<f64, DeckError> {
+    let v: f64 = parse_num(line, key, raw, "a number")?;
+    if !v.is_finite() {
+        return Err(text_err(
+            line,
+            format!("`{key}` expects a finite number, got `{raw}`"),
+        ));
+    }
+    Ok(v)
+}
+
+fn parse_bool(line: usize, key: &str, raw: &str) -> Result<bool, DeckError> {
+    match raw {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        _ => Err(text_err(
+            line,
+            format!("`{key}` expects `true` or `false`, got `{raw}`"),
+        )),
+    }
+}
+
+impl FromStr for InputDeck {
+    type Err = DeckError;
+
+    fn from_str(text: &str) -> Result<Self, DeckError> {
+        let mut raw = RawDeck::default();
+        let mut section: Option<&'static str> = None; // None = top level
+                                                      // Duplicate keys are last-wins in many loose formats; TOML (our
+                                                      // subset) rejects them, and a silently ignored stale `nx = ..`
+                                                      // is exactly the typo class a strict parser exists to catch.
+        let mut seen: std::collections::HashSet<(&'static str, String)> =
+            std::collections::HashSet::new();
+        for (idx, full_line) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            // Strip comments and whitespace.
+            let line = full_line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[') {
+                let Some(name) = name.strip_suffix(']') else {
+                    return Err(text_err(lineno, format!("unterminated section `{line}`")));
+                };
+                section = Some(match name.trim() {
+                    "control" => "control",
+                    "dt" => "dt",
+                    "ale" => "ale",
+                    "executor" => "executor",
+                    other => {
+                        return Err(text_err(lineno, format!("unknown section `[{other}]`")));
+                    }
+                });
+                if section == Some("ale") {
+                    raw.ale_present = true;
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(text_err(
+                    lineno,
+                    format!("expected `key = value` or `[section]`, got `{line}`"),
+                ));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            if value.is_empty() {
+                return Err(text_err(lineno, format!("`{key}` has no value")));
+            }
+            if !seen.insert((section.unwrap_or(""), key.to_string())) {
+                return Err(text_err(lineno, format!("duplicate key `{key}`")));
+            }
+            parse_entry(&mut raw, section, lineno, key, value)?;
+        }
+        assemble(&raw)
+    }
+}
+
+/// Dispatch one `key = value` entry into the raw accumulator.
+fn parse_entry(
+    raw: &mut RawDeck,
+    section: Option<&'static str>,
+    line: usize,
+    key: &str,
+    value: &str,
+) -> Result<(), DeckError> {
+    let unknown = |line: usize| {
+        let place = section.map_or_else(|| "the top level".into(), |s| format!("[{s}]"));
+        Err(text_err(line, format!("unknown key `{key}` in {place}")))
+    };
+    match section {
+        None => match key {
+            "problem" => {
+                let name = match value {
+                    "sod" => "sod",
+                    "noh" => "noh",
+                    "sedov" => "sedov",
+                    "saltzmann" => "saltzmann",
+                    "underwater" => "underwater",
+                    other => {
+                        return Err(text_err(line, format!("unknown problem `{other}`")));
+                    }
+                };
+                raw.problem = Some(At { value: name, line });
+            }
+            "nx" => {
+                raw.nx = Some(At {
+                    value: parse_num(line, key, value, "an integer")?,
+                    line,
+                })
+            }
+            "ny" => {
+                raw.ny = Some(At {
+                    value: parse_num(line, key, value, "an integer")?,
+                    line,
+                })
+            }
+            "n" => {
+                raw.n = Some(At {
+                    value: parse_num(line, key, value, "an integer")?,
+                    line,
+                })
+            }
+            _ => return unknown(line),
+        },
+        Some("control") => match key {
+            "final_time" => raw.final_time = Some(parse_f64(line, key, value)?),
+            "max_steps" => raw.max_steps = Some(parse_num(line, key, value, "an integer")?),
+            "overlap" => raw.overlap = Some(parse_bool(line, key, value)?),
+            _ => return unknown(line),
+        },
+        Some("dt") => {
+            let slot = match key {
+                "cfl_sf" => &mut raw.dt.cfl_sf,
+                "div_sf" => &mut raw.dt.div_sf,
+                "growth" => &mut raw.dt.growth,
+                "dt_initial" => &mut raw.dt.dt_initial,
+                "dt_max" => &mut raw.dt.dt_max,
+                "dt_min" => &mut raw.dt.dt_min,
+                _ => return unknown(line),
+            };
+            *slot = parse_f64(line, key, value)?;
+        }
+        Some("ale") => match key {
+            "mode" => {
+                let mode = match value {
+                    "eulerian" => "eulerian",
+                    "smooth" => "smooth",
+                    other => {
+                        return Err(text_err(
+                            line,
+                            format!("ale mode must be `eulerian` or `smooth`, got `{other}`"),
+                        ));
+                    }
+                };
+                raw.ale_mode = Some(At { value: mode, line });
+            }
+            "alpha" => {
+                raw.ale_alpha = Some(At {
+                    value: parse_f64(line, key, value)?,
+                    line,
+                });
+            }
+            "frequency" => raw.ale_frequency = Some(parse_num(line, key, value, "an integer")?),
+            _ => return unknown(line),
+        },
+        Some("executor") => match key {
+            "model" => {
+                let model = match value {
+                    "serial" => "serial",
+                    "flat_mpi" => "flat_mpi",
+                    "hybrid" => "hybrid",
+                    other => {
+                        return Err(text_err(
+                            line,
+                            format!(
+                                "executor model must be `serial`, `flat_mpi` or `hybrid`, \
+                                 got `{other}`"
+                            ),
+                        ));
+                    }
+                };
+                raw.exec_model = Some(At { value: model, line });
+            }
+            "ranks" => {
+                raw.exec_ranks = Some(At {
+                    value: parse_num(line, key, value, "an integer")?,
+                    line,
+                });
+            }
+            "threads_per_rank" => {
+                raw.exec_threads = Some(At {
+                    value: parse_num(line, key, value, "an integer")?,
+                    line,
+                });
+            }
+            _ => return unknown(line),
+        },
+        Some(_) => unreachable!("sections are interned above"),
+    }
+    Ok(())
+}
+
+/// Assemble (and cross-check) the raw key soup into a typed spec.
+fn assemble(raw: &RawDeck) -> Result<InputDeck, DeckError> {
+    let Some(problem) = raw.problem else {
+        return Err(DeckError::Config {
+            message: "deck is missing the `problem` key".into(),
+        });
+    };
+    let need = |slot: Option<At<usize>>, key: &str| {
+        slot.map(|s| s.value).ok_or_else(|| {
+            text_err(
+                problem.line,
+                format!("problem `{}` requires `{key}`", problem.value),
+            )
+        })
+    };
+    let forbid = |slot: Option<At<usize>>, key: &str| match slot {
+        Some(s) => Err(text_err(
+            s.line,
+            format!("`{key}` does not apply to problem `{}`", problem.value),
+        )),
+        None => Ok(()),
+    };
+    let spec = match problem.value {
+        "sod" | "saltzmann" => {
+            forbid(raw.n, "n")?;
+            let nx = need(raw.nx, "nx")?;
+            let ny = need(raw.ny, "ny")?;
+            if problem.value == "sod" {
+                ProblemSpec::Sod { nx, ny }
+            } else {
+                ProblemSpec::Saltzmann { nx, ny }
+            }
+        }
+        name => {
+            forbid(raw.nx, "nx")?;
+            forbid(raw.ny, "ny")?;
+            let n = need(raw.n, "n")?;
+            match name {
+                "noh" => ProblemSpec::Noh { n },
+                "sedov" => ProblemSpec::Sedov { n },
+                _ => ProblemSpec::Underwater { n },
+            }
+        }
+    };
+
+    let ale = if raw.ale_present {
+        let Some(mode) = raw.ale_mode else {
+            return Err(DeckError::Config {
+                message: "[ale] section is missing `mode`".into(),
+            });
+        };
+        let mode_value = match mode.value {
+            "eulerian" => {
+                if let Some(alpha) = raw.ale_alpha {
+                    return Err(text_err(
+                        alpha.line,
+                        "`alpha` applies only to `mode = smooth`",
+                    ));
+                }
+                AleMode::Eulerian
+            }
+            _ => {
+                let Some(alpha) = raw.ale_alpha else {
+                    return Err(text_err(mode.line, "`mode = smooth` requires `alpha`"));
+                };
+                AleMode::Smooth { alpha: alpha.value }
+            }
+        };
+        Some(AleOptions {
+            mode: mode_value,
+            frequency: raw.ale_frequency.unwrap_or(1),
+        })
+    } else {
+        None
+    };
+
+    let executor = match raw.exec_model {
+        None => {
+            if let Some(r) = raw.exec_ranks {
+                return Err(text_err(r.line, "`ranks` requires an executor `model`"));
+            }
+            if let Some(t) = raw.exec_threads {
+                return Err(text_err(
+                    t.line,
+                    "`threads_per_rank` requires an executor `model`",
+                ));
+            }
+            ExecutorKind::Serial
+        }
+        Some(model) => {
+            let forbid_threads = |slot: Option<At<usize>>| match slot {
+                Some(t) => Err(text_err(
+                    t.line,
+                    format!(
+                        "`threads_per_rank` does not apply to `model = {}`",
+                        model.value
+                    ),
+                )),
+                None => Ok(()),
+            };
+            match model.value {
+                "serial" => {
+                    if let Some(r) = raw.exec_ranks {
+                        return Err(text_err(
+                            r.line,
+                            "`ranks` does not apply to `model = serial`",
+                        ));
+                    }
+                    forbid_threads(raw.exec_threads)?;
+                    ExecutorKind::Serial
+                }
+                "flat_mpi" => {
+                    forbid_threads(raw.exec_threads)?;
+                    let Some(ranks) = raw.exec_ranks else {
+                        return Err(text_err(model.line, "`model = flat_mpi` requires `ranks`"));
+                    };
+                    ExecutorKind::FlatMpi { ranks: ranks.value }
+                }
+                _ => {
+                    let Some(ranks) = raw.exec_ranks else {
+                        return Err(text_err(model.line, "`model = hybrid` requires `ranks`"));
+                    };
+                    let Some(threads) = raw.exec_threads else {
+                        return Err(text_err(
+                            model.line,
+                            "`model = hybrid` requires `threads_per_rank`",
+                        ));
+                    };
+                    ExecutorKind::Hybrid {
+                        ranks: ranks.value,
+                        threads_per_rank: threads.value,
+                    }
+                }
+            }
+        }
+    };
+
+    let defaults = RunConfig::default();
+    let deck = InputDeck {
+        problem: spec,
+        final_time: raw.final_time,
+        max_steps: raw.max_steps.unwrap_or(defaults.max_steps),
+        overlap: raw.overlap.unwrap_or(defaults.overlap),
+        dt: raw.dt,
+        ale,
+        executor,
+    };
+    deck.validate()?;
+    Ok(deck)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_deck_parses_with_defaults() {
+        let deck: InputDeck = "problem = noh\nn = 16\n".parse().unwrap();
+        assert_eq!(deck.problem, ProblemSpec::Noh { n: 16 });
+        assert_eq!(deck.executor, ExecutorKind::Serial);
+        assert_eq!(deck.ale, None);
+        assert_eq!(deck.final_time, None);
+        assert_eq!(deck.dt, DtControls::default());
+        let config = deck.run_config();
+        assert!((config.final_time - 0.6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "\n# a comment\nproblem = sod # inline\n  nx = 8\nny = 2\n\n";
+        let deck: InputDeck = text.parse().unwrap();
+        assert_eq!(deck.problem, ProblemSpec::Sod { nx: 8, ny: 2 });
+    }
+
+    #[test]
+    fn full_deck_round_trips_exactly() {
+        let deck = InputDeck {
+            problem: ProblemSpec::Saltzmann { nx: 40, ny: 4 },
+            final_time: Some(0.37),
+            max_steps: 1234,
+            overlap: false,
+            dt: DtControls {
+                cfl_sf: 0.41,
+                dt_initial: 3.25e-6,
+                ..DtControls::default()
+            },
+            ale: Some(AleOptions {
+                mode: AleMode::Smooth { alpha: 0.625 },
+                frequency: 7,
+            }),
+            executor: ExecutorKind::Hybrid {
+                ranks: 3,
+                threads_per_rank: 2,
+            },
+        };
+        let text = deck.to_string();
+        let back: InputDeck = text.parse().unwrap();
+        assert_eq!(back, deck);
+    }
+
+    #[test]
+    fn errors_are_line_anchored() {
+        // Line 3 holds the bad value.
+        let text = "problem = sod\nnx = 8\nny = twelve\n";
+        match text.parse::<InputDeck>().unwrap_err() {
+            DeckError::Text { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("ny"), "{message}");
+            }
+            other => panic!("expected Text error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_keys_and_sections_are_rejected() {
+        let err = "problem = noh\nn = 8\nfrequncy = 3\n"
+            .parse::<InputDeck>()
+            .unwrap_err();
+        assert!(matches!(err, DeckError::Text { line: 3, .. }), "{err:?}");
+        let err = "problem = noh\nn = 8\n[advanced]\n"
+            .parse::<InputDeck>()
+            .unwrap_err();
+        assert!(matches!(err, DeckError::Text { line: 3, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn mismatched_problem_dimensions_are_rejected() {
+        let err = "problem = noh\nnx = 8\nn = 8\n"
+            .parse::<InputDeck>()
+            .unwrap_err();
+        assert!(matches!(err, DeckError::Text { line: 2, .. }), "{err:?}");
+        let err = "problem = sod\nnx = 8\n".parse::<InputDeck>().unwrap_err();
+        assert!(matches!(err, DeckError::Text { line: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn executor_key_consistency_is_enforced() {
+        let err = "problem = noh\nn = 8\n[executor]\nmodel = flat_mpi\n"
+            .parse::<InputDeck>()
+            .unwrap_err();
+        assert!(matches!(err, DeckError::Text { line: 4, .. }), "{err:?}");
+        let err = "problem = noh\nn = 8\n[executor]\nmodel = serial\nranks = 2\n"
+            .parse::<InputDeck>()
+            .unwrap_err();
+        assert!(matches!(err, DeckError::Text { line: 5, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn semantic_nonsense_fails_config_validation() {
+        let mut deck = InputDeck::new(ProblemSpec::Noh { n: 8 });
+        deck.max_steps = 0;
+        assert!(matches!(
+            deck.validate().unwrap_err(),
+            DeckError::Config { .. }
+        ));
+        let err = "problem = noh\nn = 0\n".parse::<InputDeck>().unwrap_err();
+        assert!(matches!(err, DeckError::Config { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn recommended_final_times_match_constructed_decks() {
+        for spec in [
+            ProblemSpec::Sod { nx: 4, ny: 2 },
+            ProblemSpec::Noh { n: 4 },
+            ProblemSpec::Sedov { n: 4 },
+            ProblemSpec::Saltzmann { nx: 4, ny: 2 },
+            ProblemSpec::Underwater { n: 4 },
+        ] {
+            let deck = InputDeck::new(spec).build_deck().unwrap();
+            assert_eq!(
+                deck.recommended_final_time,
+                spec.recommended_final_time(),
+                "{}",
+                spec.name()
+            );
+        }
+    }
+}

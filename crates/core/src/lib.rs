@@ -1,29 +1,51 @@
 //! # bookleaf-core
 //!
-//! The BookLeaf-rs driver: input decks, the hydro loop of Algorithm 1,
+//! The BookLeaf-rs driver layer: one front door ([`Simulation`]), text
+//! input decks, the hydro loop of Algorithm 1, the observer pipeline,
 //! and the programming-model executors of the paper's evaluation.
 //!
-//! * [`decks`] — the four standard shock-hydrodynamics test problems
+//! * [`sim`] — [`Simulation`]/[`SimulationBuilder`]: the single entry
+//!   point that drives serial, flat-MPI and hybrid execution
+//!   identically and returns one unified [`RunReport`];
+//! * [`decks`] — the five standard shock-hydrodynamics test problems
 //!   (Sod's shock tube, the Noh problem, the Sedov problem, Saltzmann's
-//!   piston) plus a generic deck builder;
-//! * [`driver`] — the serial reference driver: `getdt` → `lagstep` →
-//!   optional `alestep`, repeated to the final time;
-//! * [`executor`] — distributed execution: flat MPI (one rank thread per
-//!   "core") and hybrid MPI+OpenMP (rank threads × rayon), both built on
-//!   the Typhon runtime with real halo exchanges, plus the
-//!   device-modeled GPU configurations;
+//!   piston, the underwater-explosion multi-material deck);
+//! * [`input`] — text input decks (`decks::from_str`/`to_string`), the
+//!   way real BookLeaf is driven: new scenarios are data, not code;
+//! * [`observer`] — step-level instrumentation hooks ([`Observer`],
+//!   [`StepView`]) with shipped implementations (conservation tracer,
+//!   dt history, VTK frame dumper, progress logger);
+//! * [`driver`] — the shared hydro loop (`getdt` → `lagstep` →
+//!   optional `alestep`) every executor runs;
+//! * [`executor`] — distributed execution: flat MPI (one rank thread
+//!   per "core") and hybrid MPI+OpenMP (rank threads × rayon), both
+//!   built on the Typhon runtime with real halo exchanges;
 //! * [`halo`] — the [`bookleaf_hydro::HaloOps`] implementation backed by
-//!   Typhon exchanges (and the piston hook for Saltzmann).
+//!   Typhon exchanges (and the piston hook for Saltzmann);
+//! * [`output`] — VTK visualisation files and binary restart snapshots.
 
 pub mod config;
 pub mod decks;
 pub mod driver;
 pub mod executor;
 pub mod halo;
+pub mod input;
+pub mod observer;
 pub mod output;
+pub mod report;
+pub mod sim;
 
 pub use config::{ExecutorKind, RunConfig};
 pub use decks::Deck;
-pub use driver::{Driver, RunSummary};
+#[allow(deprecated)]
+pub use driver::{run_loop, Driver, LoopState, RunSummary};
+#[allow(deprecated)]
 pub use executor::{run_distributed, DistributedOutput};
+pub use input::{InputDeck, ProblemSpec};
+pub use observer::{
+    ConservationTracer, DtHistory, DtSample, EnergySample, FrameDumper, LoopWatch, Observer,
+    ObserverNeeds, ObserverSet, ProgressLogger, Shared, StepPhase, StepView,
+};
 pub use output::{read_snapshot, write_vtk, Snapshot};
+pub use report::RunReport;
+pub use sim::{Simulation, SimulationBuilder};

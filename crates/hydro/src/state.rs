@@ -183,8 +183,25 @@ impl HydroState {
     /// mass gathered from adjacent corner masses.
     #[must_use]
     pub fn kinetic_energy(&self, mesh: &Mesh, range: LocalRange) -> f64 {
+        self.kinetic_energy_where(mesh, range, |_| true)
+    }
+
+    /// Kinetic energy over the active nodes selected by `owns`. Serial
+    /// drivers pass `|_| true`; distributed ranks pass their node
+    /// ownership predicate so partition-boundary nodes (present on
+    /// several ranks) are counted exactly once in a global sum.
+    #[must_use]
+    pub fn kinetic_energy_where(
+        &self,
+        mesh: &Mesh,
+        range: LocalRange,
+        owns: impl Fn(usize) -> bool,
+    ) -> f64 {
         let mut s = NeumaierSum::new();
         for n in 0..range.n_active_nd {
+            if !owns(n) {
+                continue;
+            }
             let mut m = 0.0;
             for &(e, c) in mesh.elements_of_node(n) {
                 m += self.cnmass[e as usize][c as usize];

@@ -10,6 +10,64 @@ use std::fmt;
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, BookLeafError>;
 
+/// Everything that can be wrong with an input deck, as a typed value.
+///
+/// Produced by `Deck::validate` and by the text-deck parser
+/// (`bookleaf_core::decks::from_str`); every build path — the
+/// `Simulation` builder, the deprecated `Driver`/`run_distributed`
+/// wrappers, text decks — funnels through these variants rather than a
+/// stringly error, so tests and tools can distinguish a malformed file
+/// (line-anchored) from an inconsistent programmatic deck.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeckError {
+    /// Field-array lengths do not match the deck's mesh.
+    Shape {
+        /// Deck name.
+        deck: String,
+        /// Which array, and the expected/actual lengths.
+        message: String,
+    },
+    /// The deck's mesh or material table violates an invariant.
+    Invalid {
+        /// Deck name.
+        deck: String,
+        /// The underlying mesh/material error.
+        source: Box<BookLeafError>,
+    },
+    /// A text deck failed to parse; anchored to a 1-based source line.
+    Text {
+        /// 1-based line in the deck text.
+        line: usize,
+        /// What was wrong on that line.
+        message: String,
+    },
+    /// An option combination that cannot run (no source line available:
+    /// the deck was built programmatically).
+    Config {
+        /// What is inconsistent.
+        message: String,
+    },
+}
+
+impl fmt::Display for DeckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeckError::Shape { deck, message } => write!(f, "deck `{deck}`: {message}"),
+            DeckError::Invalid { deck, source } => write!(f, "deck `{deck}`: {source}"),
+            DeckError::Text { line, message } => write!(f, "line {line}: {message}"),
+            DeckError::Config { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for DeckError {}
+
+impl From<DeckError> for BookLeafError {
+    fn from(e: DeckError) -> Self {
+        BookLeafError::Deck(e)
+    }
+}
+
 /// Every fatal condition a BookLeaf run can hit.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BookLeafError {
@@ -23,7 +81,9 @@ pub enum BookLeafError {
     InvalidState { element: usize, what: String },
     /// Mesh construction or connectivity invariants were violated.
     MeshTopology(String),
-    /// An input deck was inconsistent or out of range.
+    /// An input deck was inconsistent or out of range (typed detail).
+    Deck(DeckError),
+    /// A miscellaneous input/configuration problem (snapshots, CLI…).
     InvalidDeck(String),
     /// Domain decomposition failed (empty part, unbalanced beyond limits…).
     Partition(String),
@@ -52,6 +112,7 @@ impl fmt::Display for BookLeafError {
                 )
             }
             BookLeafError::MeshTopology(msg) => write!(f, "mesh topology error: {msg}"),
+            BookLeafError::Deck(e) => write!(f, "invalid input deck: {e}"),
             BookLeafError::InvalidDeck(msg) => write!(f, "invalid input deck: {msg}"),
             BookLeafError::Partition(msg) => write!(f, "partitioning error: {msg}"),
             BookLeafError::Comm(msg) => write!(f, "communication error: {msg}"),

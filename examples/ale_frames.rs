@@ -8,28 +8,29 @@
 //! ```
 
 use bookleaf::ale::{AleMode, AleOptions};
-use bookleaf::core::{decks, Driver, RunConfig};
+use bookleaf::core::decks;
 use bookleaf::mesh::geometry::quad_centroid;
 use bookleaf::validate::norms::l1_error;
 use bookleaf::validate::riemann::ExactRiemann;
+use bookleaf::Simulation;
 
-fn run(ale: Option<AleOptions>) -> (Driver, f64) {
+fn run(ale: Option<AleOptions>) -> (Simulation, f64) {
     let deck = decks::sod(150, 3);
     let t = deck.recommended_final_time;
-    let config = RunConfig {
-        final_time: t,
-        ale,
-        ..RunConfig::default()
-    };
-    let mut driver = Driver::new(deck, config).expect("valid deck");
-    driver.run().expect("sod run");
-    (driver, t)
+    let mut sim = Simulation::builder()
+        .deck(deck)
+        .final_time(t)
+        .ale(ale)
+        .build()
+        .expect("valid deck");
+    sim.run().expect("sod run");
+    (sim, t)
 }
 
-fn report(label: &str, driver: &Driver, t: f64) {
+fn report(label: &str, sim: &Simulation, t: f64) {
     let exact = ExactRiemann::sod();
-    let mesh = driver.mesh();
-    let st = driver.state();
+    let mesh = sim.mesh();
+    let st = sim.state();
     let mut computed = Vec::new();
     let mut reference = Vec::new();
     let mut weights = Vec::new();
@@ -41,7 +42,7 @@ fn report(label: &str, driver: &Driver, t: f64) {
     }
     let err = l1_error(&computed, &reference, &weights);
     // How far has the mesh moved from its initial positions?
-    let x0 = decks::sod(150, 3).mesh;
+    let x0 = &sim.deck().mesh;
     let max_motion = mesh
         .nodes
         .iter()

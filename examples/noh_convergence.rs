@@ -5,21 +5,21 @@
 //! cargo run --release --example noh_convergence
 //! ```
 
-use bookleaf::core::{decks, Driver, RunConfig};
+use bookleaf::core::decks;
 use bookleaf::mesh::geometry::quad_centroid;
 use bookleaf::validate::noh;
 use bookleaf::validate::norms::l1_error;
+use bookleaf::Simulation;
 
 fn run(n: usize, t: f64) -> (f64, f64, f64) {
-    let deck = decks::noh(n);
-    let config = RunConfig {
-        final_time: t,
-        ..RunConfig::default()
-    };
-    let mut driver = Driver::new(deck, config).expect("valid deck");
-    driver.run().expect("noh run");
-    let mesh = driver.mesh();
-    let st = driver.state();
+    let mut sim = Simulation::builder()
+        .deck(decks::noh(n))
+        .final_time(t)
+        .build()
+        .expect("valid deck");
+    sim.run().expect("noh run");
+    let mesh = sim.mesh();
+    let st = sim.state();
 
     // L1 density error vs the exact solution, restricted to r < 0.45
     // (the outer boundary treatment differs from the infinite problem).

@@ -2,20 +2,41 @@
 //! miniature: serial reference, flat MPI (rank threads), and hybrid
 //! MPI+OpenMP (rank threads x rayon), with an equivalence check.
 //!
+//! Every model runs through the *same* `Simulation::builder()` path —
+//! only `.executor(..)` changes — and every run hands back the same
+//! unified `RunReport`, so the table below needs no per-model code.
+//!
 //! ```text
 //! cargo run --release --example programming_models
 //! ```
 
-use bookleaf::core::{decks, run_distributed, Driver, ExecutorKind, RunConfig};
+use bookleaf::core::decks;
 use bookleaf::util::KernelId;
+use bookleaf::{ExecutorKind, RunReport, Simulation};
+
+fn run(executor: ExecutorKind) -> (Simulation, RunReport) {
+    let mut sim = Simulation::builder()
+        .deck(decks::noh(80))
+        .final_time(0.15)
+        .executor(executor)
+        .build()
+        .expect("valid deck");
+    let report = sim.run().expect("noh run");
+    (sim, report)
+}
+
+fn print_row(label: &str, report: &RunReport) {
+    println!(
+        "{:<22} {:>10.3} {:>10.3}s {:>10.3}s {:>10.3}s",
+        label,
+        report.wall_seconds,
+        report.timers.seconds(KernelId::GetQ),
+        report.timers.seconds(KernelId::GetAcc),
+        report.timers.seconds(KernelId::Comms),
+    );
+}
 
 fn main() {
-    let deck = decks::noh(80);
-    let config = RunConfig {
-        final_time: 0.15,
-        ..RunConfig::default()
-    };
-
     println!("Programming models on the Noh problem (80x80, t = 0.15)");
     println!("{}", "=".repeat(76));
     println!(
@@ -23,19 +44,9 @@ fn main() {
         "model", "wall (s)", "viscosity", "accel", "comms"
     );
 
-    // Serial reference.
-    let mut serial = Driver::new(deck.clone(), config).expect("valid deck");
-    let s = serial.run().expect("serial run");
-    println!(
-        "{:<22} {:>10.3} {:>10.3}s {:>10.3}s {:>10.3}s",
-        "serial",
-        s.wall_seconds,
-        s.timers.seconds(KernelId::GetQ),
-        s.timers.seconds(KernelId::GetAcc),
-        s.timers.seconds(KernelId::Comms),
-    );
+    let (serial, serial_report) = run(ExecutorKind::Serial);
+    print_row("serial", &serial_report);
 
-    // Distributed models.
     let mut outputs = Vec::new();
     for (label, executor) in [
         ("flat MPI (4 ranks)", ExecutorKind::FlatMpi { ranks: 4 }),
@@ -47,30 +58,27 @@ fn main() {
             },
         ),
     ] {
-        let run_config = RunConfig { executor, ..config };
-        let out = run_distributed(&deck, &run_config).expect("distributed run");
-        println!(
-            "{:<22} {:>10.3} {:>10.3}s {:>10.3}s {:>10.3}s",
-            label,
-            out.wall_seconds,
-            out.timers.seconds(KernelId::GetQ),
-            out.timers.seconds(KernelId::GetAcc),
-            out.timers.seconds(KernelId::Comms),
-        );
-        outputs.push((label, out));
+        let (sim, report) = run(executor);
+        print_row(label, &report);
+        outputs.push((label, sim, report));
     }
 
     // Every model must produce the same physics.
     println!();
-    for (label, out) in &outputs {
-        let max_diff = (0..deck.mesh.n_elements())
-            .map(|e| (serial.state().rho[e] - out.rho[e]).abs())
+    let ne = serial.mesh().n_elements();
+    for (label, sim, _) in &outputs {
+        let max_diff = (0..ne)
+            .map(|e| (serial.state().rho[e] - sim.state().rho[e]).abs())
             .fold(0.0f64, f64::max);
         println!("max |rho - serial| for {label}: {max_diff:.2e}");
         assert!(max_diff < 1e-9, "executors diverged!");
     }
-    let (_, flat) = &outputs[0];
+
+    // The unified report carries the comm stats for every executor
+    // (zero for serial — no wire traffic).
     println!();
+    let (_, _, flat) = &outputs[0];
+    assert_eq!(serial_report.comm.messages_sent, 0);
     println!(
         "halo traffic (flat MPI): {} messages, {:.2} MB",
         flat.comm.messages_sent,

@@ -1,43 +1,49 @@
-//! Quickstart: run Sod's shock tube and print what happened.
+//! Quickstart: run Sod's shock tube through the one front door and
+//! print what happened.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use bookleaf::core::{decks, Driver, RunConfig};
 use bookleaf::util::KernelId;
+use bookleaf::{DtHistory, Shared, Simulation};
 
 fn main() {
     // The standard Sod deck: 200 x 4 elements, gamma = 1.4 both sides.
-    let deck = decks::sod(200, 4);
-    let final_time = deck.recommended_final_time;
-    let config = RunConfig {
-        final_time,
-        ..RunConfig::default()
-    };
-
-    let mut driver = Driver::new(deck, config).expect("valid deck");
-    let summary = driver.run().expect("run to completion");
+    // Every run goes through Simulation::builder() — swap .executor(..)
+    // for a distributed run, nothing else changes.
+    let dts = Shared::new(DtHistory::new());
+    let mut sim = Simulation::builder()
+        .deck(bookleaf::core::decks::sod(200, 4))
+        .final_time(0.2)
+        .observer(dts.clone())
+        .build()
+        .expect("valid deck");
+    let report = sim.run().expect("run to completion");
 
     println!("BookLeaf-rs quickstart: Sod's shock tube");
     println!("========================================");
-    println!("steps:           {}", summary.steps);
-    println!("simulated time:  {:.4}", summary.time);
-    println!("wall time:       {:.3} s", summary.wall_seconds);
+    println!("steps:           {}", report.steps);
+    println!("simulated time:  {:.4}", report.time);
+    println!("wall time:       {:.3} s", report.wall_seconds);
     println!(
         "energy drift:    {:.2e} (compatible discretisation)",
-        summary.energy_drift()
+        report.energy_drift()
+    );
+    println!(
+        "time step:       {:.3e} (smallest taken, via the DtHistory observer)",
+        dts.with(|d| d.min_dt())
     );
     println!();
     println!("per-kernel profile (the paper's Table II buckets):");
     for k in KernelId::ALL {
-        let s = summary.timers.seconds(k);
+        let s = report.timers.seconds(k);
         if s > 0.0 {
             println!(
                 "  {:<14} {:>8.4} s  ({:>4.1}%)",
                 k.label(),
                 s,
-                100.0 * summary.timers.fraction(k)
+                100.0 * report.timers.fraction(k)
             );
         }
     }
@@ -45,8 +51,8 @@ fn main() {
     // A peek at the solution: density along the tube axis.
     println!();
     println!("density profile (x, rho) every 20th element of the bottom row:");
-    let mesh = driver.mesh();
-    let st = driver.state();
+    let mesh = sim.mesh();
+    let st = sim.state();
     for e in (0..200).step_by(20) {
         let c = bookleaf::mesh::geometry::quad_centroid(&mesh.corners(e));
         println!("  x = {:>5.3}   rho = {:>6.4}", c.x, st.rho[e]);

@@ -1,43 +1,48 @@
 //! Write a VTK time series of the Sedov blast for ParaView/VisIt —
-//! demonstrates in-situ output with the resumable driver.
+//! in-situ output via the `FrameDumper` observer: the frames fall out
+//! of the run itself, no advance-and-probe loop needed (and the same
+//! observer writes per-rank pieces under the distributed executors).
 //!
 //! ```text
 //! cargo run --release --example sedov_movie
-//! paraview /tmp/bookleaf_sedov_*.vtk   # or visit
+//! paraview /tmp/bookleaf_sedov/sedov_step*.vtk   # or visit
 //! ```
 
-use std::fs::File;
-use std::io::BufWriter;
-
-use bookleaf::core::{decks, write_vtk, Driver, RunConfig};
+use bookleaf::core::decks;
+use bookleaf::{FrameDumper, Shared, Simulation};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let deck = decks::sedov(40);
-    let config = RunConfig {
-        final_time: 0.8,
-        ..RunConfig::default()
-    };
-    let mut driver = Driver::new(deck, config)?;
+    let dir = std::env::temp_dir().join("bookleaf_sedov");
+    // A frame every 40 steps, plus the initial and final states.
+    let dumper = Shared::new(FrameDumper::new(&dir, "sedov", 40));
+    let mut sim = Simulation::builder()
+        .deck(decks::sedov(40))
+        .final_time(0.8)
+        .observer(dumper.clone())
+        .build()?;
 
-    let frames = 8;
-    println!("Sedov blast: writing {frames} VTK frames to /tmp/bookleaf_sedov_*.vtk");
-    for frame in 0..=frames {
-        let t_target = 0.8 * frame as f64 / frames as f64;
-        let cursor = driver.advance_to(t_target)?;
-        let (t, steps) = (cursor.t, cursor.steps);
-        let path = format!("/tmp/bookleaf_sedov_{frame:03}.vtk");
-        let mut file = BufWriter::new(File::create(&path)?);
-        write_vtk(
-            &mut file,
-            driver.mesh(),
-            driver.state(),
-            &format!("sedov t={t:.3}"),
-        )?;
-        let rho_max = driver.state().rho.iter().cloned().fold(0.0f64, f64::max);
-        println!(
-            "  frame {frame:>2}: t = {t:.3} ({steps:>4} steps)  rho_max = {rho_max:.2}  -> {path}"
-        );
+    println!(
+        "Sedov blast: FrameDumper writing VTK frames to {}",
+        dir.display()
+    );
+    let report = sim.run()?;
+    if let Some(err) = dumper.with(|d| d.error().map(String::from)) {
+        return Err(err.into());
     }
+
+    dumper.with(|d| {
+        for path in d.written() {
+            println!("  {}", path.display());
+        }
+        println!(
+            "{} frames over {} steps (t = {:.3})",
+            d.written().len(),
+            report.steps,
+            report.time
+        );
+    });
+    let rho_max = sim.state().rho.iter().cloned().fold(0.0f64, f64::max);
+    println!("final rho_max = {rho_max:.2}");
     println!("done: the shock front should expand as sqrt(t) with the peak");
     println!("density near the strong-shock jump (6 for gamma = 1.4).");
     Ok(())

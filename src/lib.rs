@@ -14,23 +14,58 @@
 //!   global reductions) over rank threads;
 //! * [`hydro`] — the Lagrangian kernels (`getdt`, `getq`, `getforce`, …);
 //! * [`ale`] — the swept-volume remap;
-//! * [`core`] — the driver: predictor–corrector loop, the four standard
-//!   decks, and the programming-model executors;
+//! * [`core`] — the front door: [`Simulation`] and its builder, the
+//!   five standard decks, text input decks, observers, and the
+//!   programming-model executors;
 //! * [`device`] — hardware performance models for the paper's platforms;
 //! * [`validate`] — analytic solutions and error norms;
 //! * [`util`] — shared numerics.
 //!
 //! ## Quickstart
 //!
+//! One builder drives every executor — swap `.executor(..)` and nothing
+//! else changes:
+//!
 //! ```
-//! use bookleaf::core::{decks, Driver, RunConfig};
+//! use bookleaf::{ExecutorKind, Simulation};
+//! use bookleaf::core::decks;
 //!
 //! // Small Sod shock tube, Lagrangian frame, serial execution.
-//! let deck = decks::sod(40, 4);
-//! let config = RunConfig { final_time: 0.05, ..RunConfig::default() };
-//! let mut driver = Driver::new(deck, config).expect("valid deck");
-//! let summary = driver.run().expect("run to completion");
-//! assert!(summary.steps > 0);
+//! let mut sim = Simulation::builder()
+//!     .deck(decks::sod(40, 4))               // or .deck_str(..) / .deck_file(..)
+//!     .executor(ExecutorKind::Serial)        // or FlatMpi { .. } / Hybrid { .. }
+//!     .final_time(0.05)
+//!     .build()
+//!     .expect("valid deck");
+//! let report = sim.run().expect("run to completion");
+//! assert!(report.steps > 0);
+//! assert!(report.energy_drift() < 1e-9);
+//! // The solution (assembled globally for distributed runs):
+//! assert!(sim.state().rho.iter().all(|r| r.is_finite()));
+//! ```
+//!
+//! Runs are driven by *input decks* — text files, like the reference
+//! code — via [`SimulationBuilder::deck_file`], and instrumented with
+//! [`Observer`]s (conservation tracer, dt history, VTK frame dumper,
+//! progress logger ship in [`core::observer`]):
+//!
+//! ```
+//! use bookleaf::{ConservationTracer, Shared, Simulation};
+//!
+//! let deck = "
+//!     problem = noh
+//!     n = 12
+//!     [control]
+//!     final_time = 0.02
+//! ";
+//! let tracer = Shared::new(ConservationTracer::new());
+//! let mut sim = Simulation::builder()
+//!     .deck_str(deck)
+//!     .observer(tracer.clone())
+//!     .build()
+//!     .expect("valid deck");
+//! sim.run().expect("run to completion");
+//! assert!(tracer.with(|t| t.max_drift()) < 1e-6);
 //! ```
 
 pub use bookleaf_ale as ale;
@@ -43,3 +78,11 @@ pub use bookleaf_partition as partition;
 pub use bookleaf_typhon as typhon;
 pub use bookleaf_util as util;
 pub use bookleaf_validate as validate;
+
+// The front-door types, re-exported at the crate root so `use
+// bookleaf::Simulation;` is all a downstream user needs.
+pub use bookleaf_core::{
+    ConservationTracer, Deck, DtHistory, ExecutorKind, FrameDumper, InputDeck, Observer,
+    ProgressLogger, RunConfig, RunReport, Shared, Simulation, SimulationBuilder, StepPhase,
+    StepView,
+};

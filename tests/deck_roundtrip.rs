@@ -1,0 +1,186 @@
+//! Input-deck text round trip: `decks::from_str(decks::to_string(d))`
+//! must reproduce every field of `d` — for the five standard problems,
+//! for randomized option combinations (proptest), and the failure mode
+//! must be a typed, line-anchored error.
+
+use bookleaf::ale::{AleMode, AleOptions};
+use bookleaf::core::decks::{self, InputDeck, ProblemSpec};
+use bookleaf::core::ExecutorKind;
+use bookleaf::hydro::getdt::DtControls;
+use bookleaf::util::DeckError;
+use proptest::prelude::*;
+
+/// The five standard problems as input-deck specs.
+fn standard_specs() -> [ProblemSpec; 5] {
+    [
+        ProblemSpec::Sod { nx: 40, ny: 4 },
+        ProblemSpec::Noh { n: 20 },
+        ProblemSpec::Sedov { n: 16 },
+        ProblemSpec::Saltzmann { nx: 24, ny: 4 },
+        ProblemSpec::Underwater { n: 12 },
+    ]
+}
+
+#[test]
+fn five_standard_decks_round_trip_every_field() {
+    for spec in standard_specs() {
+        let deck = InputDeck::new(spec);
+        let text = decks::to_string(&deck);
+        let back = decks::from_str(&text)
+            .unwrap_or_else(|e| panic!("{}: re-parse failed: {e}", spec.name()));
+        assert_eq!(back, deck, "{} spec did not round trip", spec.name());
+        // And the *constructed* decks agree field for field too.
+        assert_eq!(
+            back.build_deck().unwrap(),
+            deck.build_deck().unwrap(),
+            "{} built deck did not round trip",
+            spec.name()
+        );
+    }
+}
+
+#[test]
+fn standard_decks_match_their_programmatic_constructors() {
+    let built = |spec: ProblemSpec| InputDeck::new(spec).build_deck().unwrap();
+    assert_eq!(built(ProblemSpec::Sod { nx: 40, ny: 4 }), decks::sod(40, 4));
+    assert_eq!(built(ProblemSpec::Noh { n: 20 }), decks::noh(20));
+    assert_eq!(built(ProblemSpec::Sedov { n: 16 }), decks::sedov(16));
+    assert_eq!(
+        built(ProblemSpec::Saltzmann { nx: 24, ny: 4 }),
+        decks::saltzmann(24, 4)
+    );
+    assert_eq!(
+        built(ProblemSpec::Underwater { n: 12 }),
+        decks::underwater(12)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Randomized option combinations survive the text round trip
+    /// exactly — floats included (shortest round-trip formatting).
+    #[test]
+    fn randomized_decks_round_trip(
+        problem_pick in 0usize..5,
+        nx in 1usize..300,
+        ny in 1usize..60,
+        has_final_time in 0usize..2,
+        final_time in 0.001f64..2.0,
+        max_steps in 1usize..200_000,
+        overlap_pick in 0usize..2,
+        cfl_sf in 0.05f64..0.9,
+        div_sf in 0.05f64..0.9,
+        growth in 1.0f64..1.2,
+        dt_initial in 1e-8f64..1e-3,
+        dt_scale in 1.0f64..1e6,
+        ale_pick in 0usize..3,
+        alpha in 0.05f64..1.0,
+        frequency in 1usize..20,
+        exec_pick in 0usize..3,
+        ranks in 1usize..9,
+        threads in 1usize..6,
+    ) {
+        let problem = match problem_pick {
+            0 => ProblemSpec::Sod { nx, ny },
+            1 => ProblemSpec::Noh { n: nx },
+            2 => ProblemSpec::Sedov { n: ny },
+            3 => ProblemSpec::Saltzmann { nx, ny },
+            _ => ProblemSpec::Underwater { n: nx },
+        };
+        let deck = InputDeck {
+            problem,
+            final_time: (has_final_time == 1).then_some(final_time),
+            max_steps,
+            overlap: overlap_pick == 1,
+            dt: DtControls {
+                cfl_sf,
+                div_sf,
+                growth,
+                dt_initial,
+                dt_max: dt_initial * dt_scale,
+                dt_min: dt_initial / dt_scale,
+            },
+            ale: match ale_pick {
+                0 => None,
+                1 => Some(AleOptions { mode: AleMode::Eulerian, frequency }),
+                _ => Some(AleOptions { mode: AleMode::Smooth { alpha }, frequency }),
+            },
+            executor: match exec_pick {
+                0 => ExecutorKind::Serial,
+                1 => ExecutorKind::FlatMpi { ranks },
+                _ => ExecutorKind::Hybrid { ranks, threads_per_rank: threads },
+            },
+        };
+        prop_assert!(deck.validate().is_ok(), "random deck should be valid");
+        let text = decks::to_string(&deck);
+        let back = decks::from_str(&text);
+        prop_assert!(back.is_ok(), "re-parse failed: {:?}\n{text}", back.err());
+        prop_assert_eq!(back.unwrap(), deck);
+    }
+}
+
+#[test]
+fn malformed_decks_fail_with_line_anchored_errors() {
+    // (text, expected 1-based line, fragment the message must carry)
+    let cases: &[(&str, usize, &str)] = &[
+        ("problem = sod\nnx = 40\nny = twelve\n", 3, "ny"),
+        ("problem = sod\nnx = 40\nny 4\n", 3, "key = value"),
+        ("problem = waterfall\n", 1, "waterfall"),
+        ("problem = noh\nn = 8\n[advanced]\nfoo = 1\n", 3, "advanced"),
+        ("problem = noh\nn = 8\nbogus = 1\n", 3, "bogus"),
+        (
+            "problem = noh\nn = 8\n[control]\noverlap = maybe\n",
+            4,
+            "overlap",
+        ),
+        ("problem = noh\nn = 8\n[dt]\ndt_min = tiny\n", 4, "dt_min"),
+        ("problem = noh\nn = 8\n[ale]\nmode = wavy\n", 4, "wavy"),
+        (
+            "problem = noh\nn = 8\n[executor]\nmodel = hybrid\nranks = 2\n",
+            4,
+            "threads_per_rank",
+        ),
+        ("problem = noh\nn = 8\nnx = 8\n", 3, "does not apply"),
+        ("problem = noh\nn = 8\nn = 9\n", 3, "duplicate"),
+        (
+            "problem = noh\nn = 8\n[control]\nfinal_time = inf\n",
+            4,
+            "finite",
+        ),
+        ("problem = noh\nn = 8\n[dt]\ncfl_sf = NaN\n", 4, "finite"),
+        (
+            "problem = noh\nn = 8\n[executor]\nthreads_per_rank = 4\n",
+            4,
+            "requires an executor `model`",
+        ),
+    ];
+    for (text, line, fragment) in cases {
+        match decks::from_str(text) {
+            Err(DeckError::Text { line: got, message }) => {
+                assert_eq!(got, *line, "wrong line for {text:?}: {message}");
+                assert!(
+                    message.contains(fragment),
+                    "message for {text:?} lacks `{fragment}`: {message}"
+                );
+            }
+            other => panic!("{text:?}: expected a line-anchored error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn semantic_errors_are_typed_config_errors() {
+    for text in [
+        "problem = noh\nn = 0\n",
+        "problem = noh\nn = 8\n[control]\nmax_steps = 0\n",
+        "problem = noh\nn = 8\n[control]\nfinal_time = -1.0\n",
+        "problem = noh\nn = 8\n[executor]\nmodel = flat_mpi\nranks = 0\n",
+        "problem = noh\nn = 8\n[ale]\nmode = smooth\nalpha = 7.0\n",
+    ] {
+        match decks::from_str(text) {
+            Err(DeckError::Config { .. }) => {}
+            other => panic!("{text:?}: expected a Config error, got {other:?}"),
+        }
+    }
+}

@@ -1,13 +1,13 @@
 //! Failure injection: every fatal condition must surface as a typed
 //! error, never as UB, a wrong answer, or a hang.
 
-use bookleaf::core::{decks, Driver, ExecutorKind, RunConfig};
+use bookleaf::core::{decks, ExecutorKind, RunConfig, Simulation};
 use bookleaf::eos::{EosSpec, MaterialTable};
 use bookleaf::hydro::getdt::DtControls;
 use bookleaf::hydro::{HydroState, LocalRange};
 use bookleaf::mesh::{generate_rect, Mesh, NodeBc, RectSpec, SubMeshPlan};
 use bookleaf::typhon::Typhon;
-use bookleaf::util::{BookLeafError, Vec2};
+use bookleaf::util::{BookLeafError, DeckError, Vec2};
 
 #[test]
 fn tangled_mesh_reports_negative_volume() {
@@ -40,8 +40,12 @@ fn dt_collapse_is_a_typed_error() {
         },
         ..RunConfig::default()
     };
-    let mut driver = Driver::new(deck, config).unwrap();
-    let err = driver.run().unwrap_err();
+    let mut sim = Simulation::builder()
+        .deck(deck)
+        .config(config)
+        .build()
+        .unwrap();
+    let err = sim.run().unwrap_err();
     assert!(
         matches!(err, BookLeafError::TimestepCollapse { .. }),
         "{err}"
@@ -52,16 +56,39 @@ fn dt_collapse_is_a_typed_error() {
 fn corrupt_deck_is_rejected_before_running() {
     let mut deck = decks::noh(6);
     deck.ein.truncate(3);
-    let err = Driver::new(deck, RunConfig::default()).unwrap_err();
-    assert!(matches!(err, BookLeafError::InvalidDeck(_)), "{err}");
+    // Shape corruption surfaces as the typed DeckError::Shape.
+    let err = Simulation::builder().deck(deck).build().unwrap_err();
+    assert!(
+        matches!(err, BookLeafError::Deck(DeckError::Shape { .. })),
+        "{err}"
+    );
 }
 
 #[test]
 fn deck_with_unknown_material_is_rejected() {
     let mut deck = decks::sod(8, 2);
     deck.materials = MaterialTable::single(EosSpec::ideal_gas(1.4)); // loses region 1
-    let err = Driver::new(deck, RunConfig::default()).unwrap_err();
-    assert!(matches!(err, BookLeafError::InvalidDeck(_)), "{err}");
+    let err = Simulation::builder().deck(deck).build().unwrap_err();
+    assert!(
+        matches!(err, BookLeafError::Deck(DeckError::Invalid { .. })),
+        "{err}"
+    );
+}
+
+#[test]
+fn malformed_text_deck_is_line_anchored() {
+    // Line 3 holds the typo; the typed error must carry that line.
+    let err = Simulation::builder()
+        .deck_str("problem = noh\nn = 8\nfrequenzy = 2\n")
+        .build()
+        .unwrap_err();
+    match err {
+        BookLeafError::Deck(DeckError::Text { line, ref message }) => {
+            assert_eq!(line, 3);
+            assert!(message.contains("frequenzy"), "{message}");
+        }
+        other => panic!("expected a line-anchored deck error, got {other}"),
+    }
 }
 
 #[test]
@@ -150,7 +177,13 @@ fn distributed_run_propagates_rank_errors() {
         executor: ExecutorKind::FlatMpi { ranks: 2 },
         ..RunConfig::default()
     };
-    let err = bookleaf::core::run_distributed(&deck, &config).unwrap_err();
+    let err = Simulation::builder()
+        .deck(deck)
+        .config(config)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap_err();
     assert!(
         matches!(err, BookLeafError::TimestepCollapse { .. }),
         "{err}"

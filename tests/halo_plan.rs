@@ -9,7 +9,7 @@
 //! changed only the wire format, not the physics.
 
 use bookleaf::ale::{AleMode, AleOptions};
-use bookleaf::core::{decks, run_distributed, Deck, Driver, ExecutorKind, RunConfig};
+use bookleaf::core::{decks, Deck, ExecutorKind, RunConfig, Simulation};
 use bookleaf::mesh::SubMeshPlan;
 use bookleaf::partition::{partition, Strategy};
 
@@ -31,40 +31,49 @@ fn lagrangian_step_is_three_messages_per_link() {
         executor: ExecutorKind::FlatMpi { ranks },
         ..RunConfig::default()
     };
-    let out = run_distributed(&deck, &config).unwrap();
+    let mut dist = Simulation::builder()
+        .deck(deck.clone())
+        .config(config)
+        .build()
+        .unwrap();
+    let report = dist.run().unwrap();
     let links = directed_links(&deck, ranks);
-    assert!(out.steps > 0 && links > 0);
+    assert!(report.steps > 0 && links > 0);
 
     // Pure Lagrangian: 2 × pre_viscosity + 1 × pre_acceleration.
-    assert_eq!(out.comm.messages_sent, (out.steps * 3 * links) as u64);
-    let visc = out.comm.phase("pre_viscosity").unwrap();
-    assert_eq!(visc.messages_sent, (out.steps * 2 * links) as u64);
-    let acc = out.comm.phase("pre_acceleration").unwrap();
-    assert_eq!(acc.messages_sent, (out.steps * links) as u64);
-    assert!(out.comm.phase("post_remap").is_none(), "no remap ran");
+    assert_eq!(report.comm.messages_sent, (report.steps * 3 * links) as u64);
+    let visc = report.comm.phase("pre_viscosity").unwrap();
+    assert_eq!(visc.messages_sent, (report.steps * 2 * links) as u64);
+    let acc = report.comm.phase("pre_acceleration").unwrap();
+    assert_eq!(acc.messages_sent, (report.steps * links) as u64);
+    assert!(report.comm.phase("post_remap").is_none(), "no remap ran");
     // Phase volumes account for every double on the wire.
-    assert_eq!(out.comm.doubles_sent, visc.doubles_sent + acc.doubles_sent);
+    assert_eq!(
+        report.comm.doubles_sent,
+        visc.doubles_sent + acc.doubles_sent
+    );
 
     // Aggregation must not perturb the physics: the distributed
-    // Lagrangian run still agrees with the serial driver.
-    let mut serial = Driver::new(
-        deck.clone(),
-        RunConfig {
+    // Lagrangian run still agrees with the serial executor, reached
+    // through the same builder.
+    let mut serial = Simulation::builder()
+        .deck(deck.clone())
+        .config(RunConfig {
             executor: ExecutorKind::Serial,
             ..config
-        },
-    )
-    .unwrap();
+        })
+        .build()
+        .unwrap();
     serial.run().unwrap();
     for e in 0..deck.mesh.n_elements() {
         assert!(
-            (serial.state().rho[e] - out.rho[e]).abs() <= 1e-12,
+            (serial.state().rho[e] - dist.state().rho[e]).abs() <= 1e-12,
             "rho diverged at element {e}: {} vs {}",
             serial.state().rho[e],
-            out.rho[e]
+            dist.state().rho[e]
         );
         assert!(
-            (serial.state().ein[e] - out.ein[e]).abs() <= 1e-12,
+            (serial.state().ein[e] - dist.state().ein[e]).abs() <= 1e-12,
             "ein diverged at element {e}"
         );
     }
@@ -86,14 +95,20 @@ fn ale_step_is_at_most_four_messages_per_link() {
         executor: ExecutorKind::FlatMpi { ranks },
         ..RunConfig::default()
     };
-    let out = run_distributed(&deck, &config).unwrap();
+    let report = Simulation::builder()
+        .deck(deck.clone())
+        .config(config)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
     let links = directed_links(&deck, ranks);
-    assert!(out.steps > 0 && links > 0);
+    assert!(report.steps > 0 && links > 0);
 
     // 2 × pre_viscosity + pre_acceleration + post_remap = 4 phases/step:
     // exactly 4 messages per neighbour link per step, which also pins
     // the ISSUE's ≤ 4 acceptance bound.
-    assert_eq!(out.comm.messages_sent, (out.steps * 4 * links) as u64);
-    let remap = out.comm.phase("post_remap").unwrap();
-    assert_eq!(remap.messages_sent, (out.steps * links) as u64);
+    assert_eq!(report.comm.messages_sent, (report.steps * 4 * links) as u64);
+    let remap = report.comm.phase("post_remap").unwrap();
+    assert_eq!(remap.messages_sent, (report.steps * links) as u64);
 }

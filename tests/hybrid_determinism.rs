@@ -1,20 +1,34 @@
 //! Scheduling-determinism pin for the hybrid executor, now that the
-//! rayon shim is a real work-stealing pool.
+//! rayon shim is a real work-stealing pool — routed through the one
+//! `Simulation` front door, so these tests also pin that the API
+//! redesign moved **no bits** of physics.
 //!
 //! The shim's split tree is a pure function of (length, min leaf, pool
 //! width) — never of which worker steals what — so a
 //! `Hybrid { ranks, threads_per_rank }` run must be **bitwise**
 //! reproducible across repetitions, and must agree with the serial
-//! [`Driver`] to tight tolerance even with the conflict-free parallel
+//! executor to tight tolerance even with the conflict-free parallel
 //! acceleration gather (`AccMode::GatherParallel`) enabled. Repeated
 //! runs shake out scheduling nondeterminism: any data race or
 //! steal-order-dependent reduction would eventually flip a bit.
 
-use bookleaf::core::{decks, run_distributed, Driver, ExecutorKind, RunConfig};
+use bookleaf::core::{decks, Deck, ExecutorKind, RunConfig, Simulation};
 use bookleaf::hydro::AccMode;
+use bookleaf::{ConservationTracer, RunReport, Shared};
 
 const TOL: f64 = 1e-12;
 const REPEATS: usize = 3;
+
+/// One builder path for every run in this file.
+fn run(deck: &Deck, config: RunConfig) -> (Simulation, RunReport) {
+    let mut sim = Simulation::builder()
+        .deck(deck.clone())
+        .config(config)
+        .build()
+        .unwrap();
+    let report = sim.run().unwrap();
+    (sim, report)
+}
 
 #[test]
 fn hybrid_gather_parallel_is_deterministic_and_matches_serial() {
@@ -26,8 +40,7 @@ fn hybrid_gather_parallel_is_deterministic_and_matches_serial() {
     config.lag.acc_mode = AccMode::GatherParallel;
 
     // Serial reference (same acceleration formulation, serial loops).
-    let mut serial = Driver::new(deck.clone(), config).unwrap();
-    serial.run().unwrap();
+    let (serial, _) = run(&deck, config);
 
     let hybrid_config = RunConfig {
         executor: ExecutorKind::Hybrid {
@@ -37,67 +50,84 @@ fn hybrid_gather_parallel_is_deterministic_and_matches_serial() {
         ..config
     };
 
-    let reference = run_distributed(&deck, &hybrid_config).unwrap();
+    let (reference, reference_report) = run(&deck, hybrid_config);
 
-    // Against the serial driver: tight tolerance on every field.
+    // Against the serial executor: tight tolerance on every field.
     for e in 0..deck.mesh.n_elements() {
         assert!(
-            (serial.state().rho[e] - reference.rho[e]).abs() <= TOL,
+            (serial.state().rho[e] - reference.state().rho[e]).abs() <= TOL,
             "rho diverged from serial at element {e}: {} vs {}",
             serial.state().rho[e],
-            reference.rho[e]
+            reference.state().rho[e]
         );
         assert!(
-            (serial.state().ein[e] - reference.ein[e]).abs() <= TOL,
+            (serial.state().ein[e] - reference.state().ein[e]).abs() <= TOL,
             "ein diverged from serial at element {e}"
         );
     }
     for n in 0..deck.mesh.n_nodes() {
         assert!(
-            (serial.state().u[n] - reference.u[n]).norm() <= TOL,
+            (serial.state().u[n] - reference.state().u[n]).norm() <= TOL,
             "velocity diverged from serial at node {n}"
         );
         assert!(
-            serial.mesh().nodes[n].distance(reference.nodes[n]) <= TOL,
+            serial.mesh().nodes[n].distance(reference.mesh().nodes[n]) <= TOL,
             "position diverged from serial at node {n}"
         );
     }
 
-    // Across repetitions: bitwise identical, every time.
+    // Across repetitions: bitwise identical, every time — and an
+    // attached observer must not move a bit either (observers are
+    // read-only by contract).
     for trial in 0..REPEATS {
-        let run = run_distributed(&deck, &hybrid_config).unwrap();
-        assert_eq!(run.steps, reference.steps, "trial {trial}: step count");
+        let tracer = Shared::new(ConservationTracer::new());
+        let mut sim = Simulation::builder()
+            .deck(deck.clone())
+            .config(hybrid_config)
+            .observer(tracer.clone())
+            .build()
+            .unwrap();
+        let report = sim.run().unwrap();
         assert_eq!(
-            run.time.to_bits(),
-            reference.time.to_bits(),
+            report.steps, reference_report.steps,
+            "trial {trial}: step count"
+        );
+        assert_eq!(
+            report.time.to_bits(),
+            reference_report.time.to_bits(),
             "trial {trial}: final time"
+        );
+        assert_eq!(
+            tracer.with(|t| t.samples().len()),
+            report.steps + 1,
+            "trial {trial}: observer fired on the hybrid run"
         );
         for e in 0..deck.mesh.n_elements() {
             assert_eq!(
-                run.rho[e].to_bits(),
-                reference.rho[e].to_bits(),
+                sim.state().rho[e].to_bits(),
+                reference.state().rho[e].to_bits(),
                 "trial {trial}: rho not bitwise stable at element {e}"
             );
             assert_eq!(
-                run.ein[e].to_bits(),
-                reference.ein[e].to_bits(),
+                sim.state().ein[e].to_bits(),
+                reference.state().ein[e].to_bits(),
                 "trial {trial}: ein not bitwise stable at element {e}"
             );
         }
         for n in 0..deck.mesh.n_nodes() {
             assert_eq!(
-                run.u[n].x.to_bits(),
-                reference.u[n].x.to_bits(),
+                sim.state().u[n].x.to_bits(),
+                reference.state().u[n].x.to_bits(),
                 "trial {trial}: u.x not bitwise stable at node {n}"
             );
             assert_eq!(
-                run.u[n].y.to_bits(),
-                reference.u[n].y.to_bits(),
+                sim.state().u[n].y.to_bits(),
+                reference.state().u[n].y.to_bits(),
                 "trial {trial}: u.y not bitwise stable at node {n}"
             );
             assert_eq!(
-                run.nodes[n].x.to_bits(),
-                reference.nodes[n].x.to_bits(),
+                sim.mesh().nodes[n].x.to_bits(),
+                reference.mesh().nodes[n].x.to_bits(),
                 "trial {trial}: node x not bitwise stable at node {n}"
             );
         }
@@ -123,64 +153,63 @@ fn overlap_on_is_bitwise_identical_to_overlap_off() {
     };
     config.lag.acc_mode = AccMode::GatherParallel;
 
-    let on = run_distributed(&deck, &config).unwrap();
-    let off = run_distributed(
+    let (on, on_report) = run(&deck, config);
+    let (off, off_report) = run(
         &deck,
-        &RunConfig {
+        RunConfig {
             overlap: false,
             ..config
         },
-    )
-    .unwrap();
+    );
 
-    assert_eq!(on.steps, off.steps);
-    assert_eq!(on.time.to_bits(), off.time.to_bits());
+    assert_eq!(on_report.steps, off_report.steps);
+    assert_eq!(on_report.time.to_bits(), off_report.time.to_bits());
     for e in 0..deck.mesh.n_elements() {
         assert_eq!(
-            on.rho[e].to_bits(),
-            off.rho[e].to_bits(),
+            on.state().rho[e].to_bits(),
+            off.state().rho[e].to_bits(),
             "overlap changed rho at element {e}"
         );
         assert_eq!(
-            on.ein[e].to_bits(),
-            off.ein[e].to_bits(),
+            on.state().ein[e].to_bits(),
+            off.state().ein[e].to_bits(),
             "overlap changed ein at element {e}"
         );
         assert_eq!(
-            on.pressure[e].to_bits(),
-            off.pressure[e].to_bits(),
+            on.state().pressure[e].to_bits(),
+            off.state().pressure[e].to_bits(),
             "overlap changed pressure at element {e}"
         );
     }
     for n in 0..deck.mesh.n_nodes() {
         assert_eq!(
-            on.u[n].x.to_bits(),
-            off.u[n].x.to_bits(),
+            on.state().u[n].x.to_bits(),
+            off.state().u[n].x.to_bits(),
             "overlap changed u.x at node {n}"
         );
         assert_eq!(
-            on.u[n].y.to_bits(),
-            off.u[n].y.to_bits(),
+            on.state().u[n].y.to_bits(),
+            off.state().u[n].y.to_bits(),
             "overlap changed u.y at node {n}"
         );
         assert_eq!(
-            on.nodes[n].x.to_bits(),
-            off.nodes[n].x.to_bits(),
+            on.mesh().nodes[n].x.to_bits(),
+            off.mesh().nodes[n].x.to_bits(),
             "overlap changed node x at node {n}"
         );
         assert_eq!(
-            on.nodes[n].y.to_bits(),
-            off.nodes[n].y.to_bits(),
+            on.mesh().nodes[n].y.to_bits(),
+            off.mesh().nodes[n].y.to_bits(),
             "overlap changed node y at node {n}"
         );
     }
     // And the wire contract is untouched: identical message counts,
     // phase by phase.
-    assert_eq!(on.comm.messages_sent, off.comm.messages_sent);
-    assert_eq!(on.comm.doubles_sent, off.comm.doubles_sent);
+    assert_eq!(on_report.comm.messages_sent, off_report.comm.messages_sent);
+    assert_eq!(on_report.comm.doubles_sent, off_report.comm.doubles_sent);
     for phase in ["pre_viscosity", "pre_acceleration"] {
-        let a = on.comm.phase(phase).unwrap();
-        let b = off.comm.phase(phase).unwrap();
+        let a = on_report.comm.phase(phase).unwrap();
+        let b = off_report.comm.phase(phase).unwrap();
         assert_eq!(a.messages_sent, b.messages_sent, "{phase}");
         assert_eq!(a.doubles_sent, b.doubles_sent, "{phase}");
     }
@@ -209,39 +238,38 @@ fn overlapped_ale_matches_blocking_ale_bitwise() {
     };
     config.lag.acc_mode = AccMode::GatherParallel;
 
-    let on = run_distributed(&deck, &config).unwrap();
-    let off = run_distributed(
+    let (on, on_report) = run(&deck, config);
+    let (off, off_report) = run(
         &deck,
-        &RunConfig {
+        RunConfig {
             overlap: false,
             ..config
         },
-    )
-    .unwrap();
+    );
 
-    assert_eq!(on.steps, off.steps);
+    assert_eq!(on_report.steps, off_report.steps);
     for e in 0..deck.mesh.n_elements() {
         assert_eq!(
-            on.rho[e].to_bits(),
-            off.rho[e].to_bits(),
+            on.state().rho[e].to_bits(),
+            off.state().rho[e].to_bits(),
             "overlapped ALE changed rho at element {e}"
         );
         assert_eq!(
-            on.ein[e].to_bits(),
-            off.ein[e].to_bits(),
+            on.state().ein[e].to_bits(),
+            off.state().ein[e].to_bits(),
             "overlapped ALE changed ein at element {e}"
         );
     }
     for n in 0..deck.mesh.n_nodes() {
         assert_eq!(
-            on.u[n].x.to_bits(),
-            off.u[n].x.to_bits(),
+            on.state().u[n].x.to_bits(),
+            off.state().u[n].x.to_bits(),
             "overlapped ALE changed u at node {n}"
         );
     }
-    assert_eq!(on.comm.messages_sent, off.comm.messages_sent);
-    let remap_on = on.comm.phase("post_remap").unwrap();
-    let remap_off = off.comm.phase("post_remap").unwrap();
+    assert_eq!(on_report.comm.messages_sent, off_report.comm.messages_sent);
+    let remap_on = on_report.comm.phase("post_remap").unwrap();
+    let remap_off = off_report.comm.phase("post_remap").unwrap();
     assert_eq!(remap_on.messages_sent, remap_off.messages_sent);
     assert_eq!(remap_on.doubles_sent, remap_off.doubles_sent);
 }
@@ -266,20 +294,20 @@ fn hybrid_eulerian_ale_is_bitwise_reproducible() {
     };
     config.lag.acc_mode = AccMode::GatherParallel;
 
-    let reference = run_distributed(&deck, &config).unwrap();
+    let (reference, _) = run(&deck, config);
     for trial in 0..2 {
-        let run = run_distributed(&deck, &config).unwrap();
+        let (sim, _) = run(&deck, config);
         for e in 0..deck.mesh.n_elements() {
             assert_eq!(
-                run.rho[e].to_bits(),
-                reference.rho[e].to_bits(),
+                sim.state().rho[e].to_bits(),
+                reference.state().rho[e].to_bits(),
                 "trial {trial}: ALE rho not bitwise stable at element {e}"
             );
         }
         for n in 0..deck.mesh.n_nodes() {
             assert_eq!(
-                run.u[n].x.to_bits(),
-                reference.u[n].x.to_bits(),
+                sim.state().u[n].x.to_bits(),
+                reference.state().u[n].x.to_bits(),
                 "trial {trial}: ALE u not bitwise stable at node {n}"
             );
         }

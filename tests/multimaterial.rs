@@ -2,7 +2,7 @@
 //! through the full driver (the paper's §III-A EoS menu beyond the ideal
 //! gas the standard decks use).
 
-use bookleaf::core::{decks, Driver, RunConfig};
+use bookleaf::core::{decks, RunConfig, Simulation};
 use bookleaf::mesh::geometry::quad_centroid;
 
 #[test]
@@ -12,7 +12,11 @@ fn underwater_blast_runs_and_conserves() {
         final_time: 0.004,
         ..RunConfig::default()
     };
-    let mut driver = Driver::new(deck, config).unwrap();
+    let mut driver = Simulation::builder()
+        .deck(deck)
+        .config(config)
+        .build()
+        .unwrap();
     let s = driver.run().unwrap();
     assert!(s.steps > 20, "only {} steps", s.steps);
     assert!(s.energy_drift() < 1e-8, "drift {}", s.energy_drift());
@@ -28,7 +32,11 @@ fn pressure_wave_propagates_at_water_sound_speed() {
         final_time: t,
         ..RunConfig::default()
     };
-    let mut driver = Driver::new(deck, config).unwrap();
+    let mut driver = Simulation::builder()
+        .deck(deck)
+        .config(config)
+        .build()
+        .unwrap();
     driver.run().unwrap();
     let mesh = driver.mesh();
     let st = driver.state();
@@ -53,7 +61,11 @@ fn bubble_expands_and_water_resists() {
         final_time: 0.006,
         ..RunConfig::default()
     };
-    let mut driver = Driver::new(deck, config).unwrap();
+    let mut driver = Simulation::builder()
+        .deck(deck)
+        .config(config)
+        .build()
+        .unwrap();
     driver.run().unwrap();
     let mesh = driver.mesh();
     let st = driver.state();
@@ -92,7 +104,11 @@ fn materials_keep_their_identity() {
         final_time: 0.004,
         ..RunConfig::default()
     };
-    let mut driver = Driver::new(deck, config).unwrap();
+    let mut driver = Simulation::builder()
+        .deck(deck)
+        .config(config)
+        .build()
+        .unwrap();
     driver.run().unwrap();
     assert_eq!(driver.mesh().region, regions0);
 }

@@ -7,17 +7,21 @@
 //! *property* of this class of scheme, so its absence would be a bug in
 //! the reproduction).
 
-use bookleaf::core::{decks, Driver, RunConfig};
+use bookleaf::core::{decks, RunConfig, Simulation};
 use bookleaf::mesh::geometry::quad_centroid;
 use bookleaf::validate::noh;
 
-fn run_noh(n: usize, t_final: f64) -> Driver {
+fn run_noh(n: usize, t_final: f64) -> Simulation {
     let deck = decks::noh(n);
     let config = RunConfig {
         final_time: t_final,
         ..RunConfig::default()
     };
-    let mut driver = Driver::new(deck, config).expect("valid deck");
+    let mut driver = Simulation::builder()
+        .deck(deck)
+        .config(config)
+        .build()
+        .expect("valid deck");
     driver.run().expect("noh run");
     driver
 }
@@ -29,8 +33,8 @@ const T_REF: f64 = 0.6;
 /// The 50×50, t=[`T_REF`] reference run is the workhorse of this file;
 /// four tests inspect it read-only, so it is computed once and shared
 /// (it costs ~15 s in debug builds).
-fn reference_run() -> &'static Driver {
-    static RUN: std::sync::OnceLock<Driver> = std::sync::OnceLock::new();
+fn reference_run() -> &'static Simulation {
+    static RUN: std::sync::OnceLock<Simulation> = std::sync::OnceLock::new();
     RUN.get_or_init(|| run_noh(50, T_REF))
 }
 
@@ -168,7 +172,11 @@ fn energy_conserved_through_the_implosion() {
         final_time: 0.4,
         ..RunConfig::default()
     };
-    let mut driver = Driver::new(deck, config).unwrap();
+    let mut driver = Simulation::builder()
+        .deck(deck)
+        .config(config)
+        .build()
+        .unwrap();
     let s = driver.run().unwrap();
     assert!(s.energy_drift() < 1e-8, "drift {}", s.energy_drift());
     assert!(s.steps > 50);

@@ -6,7 +6,7 @@
 //! whatever the inputs.
 
 use bookleaf::ale::{AleMode, AleOptions, Remapper};
-use bookleaf::core::{decks, Driver, ExecutorKind, RunConfig};
+use bookleaf::core::{decks, ExecutorKind, RunConfig, Simulation};
 use bookleaf::eos::{EosSpec, MaterialTable};
 use bookleaf::hydro::{HydroState, LocalRange};
 use bookleaf::mesh::{generate_rect, RectSpec};
@@ -139,13 +139,18 @@ proptest! {
     fn distributed_matches_serial_for_any_rank_count(ranks in 2usize..6) {
         let deck = decks::sod(24, 3);
         let config = RunConfig { final_time: 0.015, ..RunConfig::default() };
-        let mut serial = Driver::new(deck.clone(), config).unwrap();
+        let mut serial = Simulation::builder().deck(deck.clone()).config(config).build().unwrap();
         serial.run().unwrap();
-        let dist = RunConfig { executor: ExecutorKind::FlatMpi { ranks }, ..config };
-        let out = bookleaf::core::run_distributed(&deck, &dist).unwrap();
-        for e in 0..deck.mesh.n_elements() {
+        let mut dist = Simulation::builder()
+            .deck(deck)
+            .config(config)
+            .executor(ExecutorKind::FlatMpi { ranks })
+            .build()
+            .unwrap();
+        dist.run().unwrap();
+        for e in 0..serial.deck().mesh.n_elements() {
             prop_assert!(
-                (serial.state().rho[e] - out.rho[e]).abs() < 1e-9,
+                (serial.state().rho[e] - dist.state().rho[e]).abs() < 1e-9,
                 "rho mismatch at {} with {} ranks", e, ranks
             );
         }

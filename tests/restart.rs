@@ -2,7 +2,7 @@
 //! snapshot must continue the original trajectory.
 
 use bookleaf::core::output::read_snapshot;
-use bookleaf::core::{decks, Driver, RunConfig};
+use bookleaf::core::{decks, RunConfig, Simulation};
 use bookleaf::util::approx_eq;
 
 #[test]
@@ -14,20 +14,32 @@ fn restart_continues_the_trajectory() {
     };
 
     // Reference: one uninterrupted run.
-    let mut reference = Driver::new(deck.clone(), config).unwrap();
+    let mut reference = Simulation::builder()
+        .deck(deck.clone())
+        .config(config)
+        .build()
+        .unwrap();
     reference.run().unwrap();
 
     // Interrupted run: advance halfway, snapshot through bytes, restore
     // into a *fresh* driver, continue.
-    let mut first = Driver::new(deck.clone(), config).unwrap();
+    let mut first = Simulation::builder()
+        .deck(deck.clone())
+        .config(config)
+        .build()
+        .unwrap();
     first.advance_to(0.05).unwrap();
     let mut bytes = Vec::new();
-    first.snapshot().write(&mut bytes).unwrap();
+    first.snapshot().unwrap().write(&mut bytes).unwrap();
     drop(first);
 
     let snap = read_snapshot(&mut bytes.as_slice()).unwrap();
     assert!(approx_eq(snap.time, 0.05, 1e-12));
-    let mut resumed = Driver::new(deck.clone(), config).unwrap();
+    let mut resumed = Simulation::builder()
+        .deck(deck.clone())
+        .config(config)
+        .build()
+        .unwrap();
     resumed.restore(&snap).unwrap();
     let summary = resumed.run().unwrap();
     assert!(approx_eq(summary.time, 0.1, 1e-12));
@@ -81,10 +93,18 @@ fn advance_to_is_equivalent_to_run() {
         ..RunConfig::default()
     };
 
-    let mut whole = Driver::new(deck.clone(), config).unwrap();
+    let mut whole = Simulation::builder()
+        .deck(deck.clone())
+        .config(config)
+        .build()
+        .unwrap();
     whole.run().unwrap();
 
-    let mut stepped = Driver::new(deck, config).unwrap();
+    let mut stepped = Simulation::builder()
+        .deck(deck)
+        .config(config)
+        .build()
+        .unwrap();
     for k in 1..=6 {
         stepped.advance_to(0.01 * k as f64).unwrap();
     }
@@ -108,7 +128,11 @@ fn vtk_dump_of_a_real_run() {
         final_time: 0.05,
         ..RunConfig::default()
     };
-    let mut driver = Driver::new(deck, config).unwrap();
+    let mut driver = Simulation::builder()
+        .deck(deck)
+        .config(config)
+        .build()
+        .unwrap();
     driver.run().unwrap();
     let mut out = Vec::new();
     bookleaf::core::write_vtk(&mut out, driver.mesh(), driver.state(), "sedov t=0.05").unwrap();

@@ -6,12 +6,12 @@
 //! such modes." The exact solution is a planar strong shock: speed
 //! `D = (γ+1)/2 · u_p = 4/3`, post-shock density `(γ+1)/(γ−1) = 4`.
 
-use bookleaf::core::{decks, Driver, RunConfig};
+use bookleaf::core::{decks, RunConfig, Simulation};
 use bookleaf::hydro::getforce::HourglassControl;
 use bookleaf::mesh::geometry::quad_centroid;
 use bookleaf::mesh::quality::assess;
 
-fn run_saltzmann(t_final: f64, hg: HourglassControl) -> Result<Driver, String> {
+fn run_saltzmann(t_final: f64, hg: HourglassControl) -> Result<Simulation, String> {
     let deck = decks::saltzmann(100, 10);
     let config = RunConfig {
         final_time: t_final,
@@ -21,7 +21,11 @@ fn run_saltzmann(t_final: f64, hg: HourglassControl) -> Result<Driver, String> {
         },
         ..RunConfig::default()
     };
-    let mut driver = Driver::new(deck, config).map_err(|e| e.to_string())?;
+    let mut driver = Simulation::builder()
+        .deck(deck)
+        .config(config)
+        .build()
+        .map_err(|e| e.to_string())?;
     driver.run().map_err(|e| e.to_string())?;
     Ok(driver)
 }

@@ -7,23 +7,27 @@
 //! front density against the strong-shock jump, and — the point of the
 //! deck — that the shock stays radially symmetric on the Cartesian mesh.
 
-use bookleaf::core::{decks, Driver, RunConfig};
+use bookleaf::core::{decks, RunConfig, Simulation};
 use bookleaf::mesh::geometry::quad_centroid;
 use bookleaf::validate::sedov;
 
-fn run_sedov(n: usize, t_final: f64) -> Driver {
+fn run_sedov(n: usize, t_final: f64) -> Simulation {
     let deck = decks::sedov(n);
     let config = RunConfig {
         final_time: t_final,
         ..RunConfig::default()
     };
-    let mut driver = Driver::new(deck, config).expect("valid deck");
+    let mut driver = Simulation::builder()
+        .deck(deck)
+        .config(config)
+        .build()
+        .expect("valid deck");
     driver.run().expect("sedov run");
     driver
 }
 
 /// Binned radial density profile: (bin centre radius, mean rho).
-fn radial_profile(driver: &Driver, rmax: f64, nbins: usize) -> Vec<(f64, f64)> {
+fn radial_profile(driver: &Simulation, rmax: f64, nbins: usize) -> Vec<(f64, f64)> {
     let mesh = driver.mesh();
     let st = driver.state();
     let mut sum = vec![0.0; nbins];
@@ -135,7 +139,11 @@ fn energy_conserved_through_the_blast() {
         final_time: 0.3,
         ..RunConfig::default()
     };
-    let mut driver = Driver::new(deck, config).unwrap();
+    let mut driver = Simulation::builder()
+        .deck(deck)
+        .config(config)
+        .build()
+        .unwrap();
     let s = driver.run().unwrap();
     assert!(s.energy_drift() < 1e-8, "drift {}", s.energy_drift());
 }

@@ -1,0 +1,266 @@
+//! The front-door acceptance suite: one `Simulation::builder()` code
+//! path drives Sod serially, Noh hybrid and a 2-rank distributed Noh —
+//! observers firing in all three — and a text deck loaded via
+//! `deck_file` reproduces `decks::sod` exactly.
+
+use bookleaf::core::decks;
+use bookleaf::util::approx_eq;
+use bookleaf::{
+    ConservationTracer, Deck, ExecutorKind, Observer, RunReport, Shared, Simulation, StepPhase,
+    StepView,
+};
+
+/// Counts every hook invocation (all ranks), recording where it fired.
+#[derive(Debug, Default)]
+struct HookCounter {
+    run_begin: usize,
+    step_begin: usize,
+    lagrangian_phases: usize,
+    remap_phases: usize,
+    step_end: usize,
+    run_end: usize,
+    ranks_seen: Vec<usize>,
+}
+
+impl Observer for HookCounter {
+    fn run_begin(&mut self, view: &StepView<'_>) {
+        self.run_begin += 1;
+        if !self.ranks_seen.contains(&view.rank) {
+            self.ranks_seen.push(view.rank);
+        }
+    }
+    fn step_begin(&mut self, _view: &StepView<'_>) {
+        self.step_begin += 1;
+    }
+    fn phase_end(&mut self, phase: StepPhase, _view: &StepView<'_>) {
+        match phase {
+            StepPhase::Lagrangian => self.lagrangian_phases += 1,
+            StepPhase::Remap => self.remap_phases += 1,
+        }
+    }
+    fn step_end(&mut self, _view: &StepView<'_>) {
+        self.step_end += 1;
+    }
+    fn run_end(&mut self, _view: &StepView<'_>) {
+        self.run_end += 1;
+    }
+}
+
+/// THE one code path: every executor goes through the same builder
+/// calls; only the `executor` argument differs.
+fn run_observed(
+    deck: Deck,
+    final_time: f64,
+    executor: ExecutorKind,
+) -> (
+    Simulation,
+    RunReport,
+    Shared<HookCounter>,
+    Shared<ConservationTracer>,
+) {
+    let counter = Shared::new(HookCounter::default());
+    let tracer = Shared::new(ConservationTracer::new());
+    let mut sim = Simulation::builder()
+        .deck(deck)
+        .final_time(final_time)
+        .executor(executor)
+        .observer(counter.clone())
+        .observer(tracer.clone())
+        .build()
+        .expect("valid deck");
+    let report = sim.run().expect("run to completion");
+    (sim, report, counter, tracer)
+}
+
+#[test]
+fn one_builder_path_drives_all_three_executors_with_observers() {
+    // Sod serial; Noh hybrid; 2-rank distributed (flat MPI) Noh.
+    let runs = [
+        (decks::sod(24, 3), 0.02, ExecutorKind::Serial, 1),
+        (
+            decks::noh(12),
+            0.02,
+            ExecutorKind::Hybrid {
+                ranks: 2,
+                threads_per_rank: 2,
+            },
+            2,
+        ),
+        (decks::noh(12), 0.02, ExecutorKind::FlatMpi { ranks: 2 }, 2),
+    ];
+    for (deck, t, executor, ranks) in runs {
+        let (_, report, counter, tracer) = run_observed(deck, t, executor);
+        assert!(report.steps > 0, "{executor:?}: no steps");
+        assert_eq!(report.ranks, ranks, "{executor:?}");
+
+        counter.with(|c| {
+            // Hooks fire once per rank at run boundaries, once per rank
+            // per step inside.
+            assert_eq!(c.run_begin, ranks, "{executor:?}: run_begin");
+            assert_eq!(c.run_end, ranks, "{executor:?}: run_end");
+            assert_eq!(
+                c.step_begin,
+                ranks * report.steps,
+                "{executor:?}: step_begin"
+            );
+            assert_eq!(c.step_end, ranks * report.steps, "{executor:?}: step_end");
+            assert_eq!(
+                c.lagrangian_phases,
+                ranks * report.steps,
+                "{executor:?}: lagrangian phases"
+            );
+            assert_eq!(c.remap_phases, 0, "{executor:?}: no ALE configured");
+            assert_eq!(c.ranks_seen.len(), ranks, "{executor:?}: every rank fired");
+        });
+
+        // The conservation tracer records the globally reduced energy
+        // once per step (plus the initial state), on rank 0 only.
+        tracer.with(|tr| {
+            assert_eq!(
+                tr.samples().len(),
+                report.steps + 1,
+                "{executor:?}: tracer samples"
+            );
+            assert!(
+                tr.max_drift() < 1e-8,
+                "{executor:?}: drift {}",
+                tr.max_drift()
+            );
+            // The tracer's energies and the report's agree end to end.
+            let first = tr.samples().first().unwrap().energy;
+            let last = tr.samples().last().unwrap().energy;
+            assert!(approx_eq(first, report.energy_start, 1e-12));
+            assert!(approx_eq(last, report.energy_end, 1e-12));
+        });
+    }
+}
+
+#[test]
+fn identical_physics_across_executors_through_the_one_path() {
+    // The same Noh problem through all three executors: the serial and
+    // distributed solutions agree tightly, through identical builder
+    // code.
+    let (serial, ..) = run_observed(decks::noh(12), 0.02, ExecutorKind::Serial);
+    let (hybrid, ..) = run_observed(
+        decks::noh(12),
+        0.02,
+        ExecutorKind::Hybrid {
+            ranks: 2,
+            threads_per_rank: 2,
+        },
+    );
+    let (flat, ..) = run_observed(decks::noh(12), 0.02, ExecutorKind::FlatMpi { ranks: 2 });
+    for e in 0..serial.deck().mesh.n_elements() {
+        for (label, sim) in [("hybrid", &hybrid), ("flat", &flat)] {
+            assert!(
+                approx_eq(serial.state().rho[e], sim.state().rho[e], 1e-10),
+                "{label} diverged at element {e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn run_report_symmetry_between_serial_and_distributed() {
+    // The satellite fix: serial runs now carry (zero) comm stats and
+    // distributed runs carry merged timers + comm stats + global
+    // energies, all in the same `RunReport`.
+    let (_, serial, ..) = run_observed(decks::noh(10), 0.01, ExecutorKind::Serial);
+    let (_, dist, ..) = run_observed(decks::noh(10), 0.01, ExecutorKind::FlatMpi { ranks: 2 });
+
+    assert_eq!(serial.comm.messages_sent, 0);
+    assert!(dist.comm.messages_sent > 0);
+    assert!(dist.comm.phase("pre_viscosity").is_some());
+    assert!(serial.timers.calls(bookleaf::util::KernelId::GetQ) > 0);
+    assert!(dist.timers.calls(bookleaf::util::KernelId::GetQ) > 0);
+    // Global energy accounting on both sides, and they agree.
+    assert!(serial.energy_start > 0.0 && dist.energy_start > 0.0);
+    assert!(approx_eq(serial.energy_start, dist.energy_start, 1e-9));
+    assert!(approx_eq(serial.energy_end, dist.energy_end, 1e-6));
+}
+
+#[test]
+fn deck_file_reproduces_the_programmatic_sod_deck_exactly() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/decks/sod.deck");
+    let sim = Simulation::builder()
+        .deck_file(path)
+        .build()
+        .expect("committed deck parses");
+    // Field-for-field equality with the programmatic constructor.
+    assert_eq!(*sim.deck(), decks::sod(40, 4));
+    // The spec's options became the config (recommended end time).
+    assert!((sim.config().final_time - 0.2).abs() < 1e-15);
+    assert_eq!(sim.config().executor, ExecutorKind::Serial);
+    // And its canonical text form round-trips.
+    let input = sim.input_deck().unwrap();
+    assert_eq!(&decks::from_str(&decks::to_string(input)).unwrap(), input);
+}
+
+#[test]
+fn rerunning_a_distributed_simulation_restarts_observer_records() {
+    // Distributed simulations re-execute the whole problem on every
+    // run(); the shipped recorders must start a fresh trace instead of
+    // interleaving two runs' samples, and the frame dumper must write a
+    // fresh series rather than deduplicating everything away.
+    use bookleaf::FrameDumper;
+    let dir = std::env::temp_dir().join("bookleaf_rerun_frames");
+    let dumper = Shared::new(FrameDumper::new(&dir, "rerun", 1000));
+    let tracer = Shared::new(ConservationTracer::new());
+    let mut sim = Simulation::builder()
+        .deck(decks::noh(10))
+        .final_time(0.01)
+        .executor(ExecutorKind::FlatMpi { ranks: 2 })
+        .observer(dumper.clone())
+        .observer(tracer.clone())
+        .build()
+        .unwrap();
+    let first = sim.run().expect("first run");
+    let frames_first = dumper.with(|d| d.written().len());
+    assert!(frames_first > 0, "no frames written on the first run");
+
+    let second = sim.run().expect("second run");
+    assert_eq!(second.steps, first.steps);
+    tracer.with(|tr| {
+        assert_eq!(
+            tr.samples().len(),
+            second.steps + 1,
+            "second run must not append to the first run's trace"
+        );
+        assert_eq!(tr.samples().first().unwrap().step, 0);
+    });
+    assert_eq!(
+        dumper.with(|d| (d.written().len(), d.error().map(String::from))),
+        (frames_first, None),
+        "second run must rewrite the same frame series"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn text_deck_runs_distributed_from_its_own_executor_section() {
+    // Scenario-as-data end to end: the *deck text* selects the 2-rank
+    // executor; the builder adds only observers.
+    let text = "
+        problem = noh
+        n = 10
+
+        [control]
+        final_time = 0.01
+
+        [executor]
+        model = flat_mpi
+        ranks = 2
+    ";
+    let counter = Shared::new(HookCounter::default());
+    let mut sim = Simulation::builder()
+        .deck_str(text)
+        .observer(counter.clone())
+        .build()
+        .expect("valid deck text");
+    let report = sim.run().expect("distributed run from text deck");
+    assert_eq!(report.ranks, 2);
+    assert!(report.comm.messages_sent > 0);
+    counter.with(|c| {
+        assert_eq!(c.step_end, 2 * report.steps);
+    });
+}

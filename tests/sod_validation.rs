@@ -6,13 +6,13 @@
 //! step) frame and compare density/pressure/velocity profiles against
 //! the exact solution.
 
-use bookleaf::core::{decks, Driver, RunConfig};
+use bookleaf::core::{decks, RunConfig, Simulation};
 use bookleaf::hydro::LocalRange;
 use bookleaf::mesh::geometry::quad_centroid;
 use bookleaf::validate::norms::l1_error;
 use bookleaf::validate::riemann::ExactRiemann;
 
-fn run_sod(eulerian: bool, nx: usize) -> (Driver, f64) {
+fn run_sod(eulerian: bool, nx: usize) -> (Simulation, f64) {
     let deck = decks::sod(nx, 2);
     let t_final = 0.2;
     let config = RunConfig {
@@ -20,14 +20,18 @@ fn run_sod(eulerian: bool, nx: usize) -> (Driver, f64) {
         ale: eulerian.then(bookleaf::ale::AleOptions::default),
         ..RunConfig::default()
     };
-    let mut driver = Driver::new(deck, config).expect("valid deck");
+    let mut driver = Simulation::builder()
+        .deck(deck)
+        .config(config)
+        .build()
+        .expect("valid deck");
     let summary = driver.run().expect("run to completion");
     assert!((summary.time - t_final).abs() < 1e-12);
     (driver, t_final)
 }
 
 /// L1 density error of a finished run against the exact solution.
-fn density_l1(driver: &Driver, t: f64) -> f64 {
+fn density_l1(driver: &Simulation, t: f64) -> f64 {
     let exact = ExactRiemann::sod();
     let mesh = driver.mesh();
     let st = driver.state();
@@ -129,7 +133,11 @@ fn sod_energy_conserved_in_lagrangian_frame() {
         final_time: 0.2,
         ..RunConfig::default()
     };
-    let mut driver = Driver::new(deck, config).unwrap();
+    let mut driver = Simulation::builder()
+        .deck(deck)
+        .config(config)
+        .build()
+        .unwrap();
     let s = driver.run().unwrap();
     assert!(s.energy_drift() < 1e-9, "drift {}", s.energy_drift());
     // Mass identity: rho * V == element mass everywhere.

@@ -1,38 +1,42 @@
 //! Workspace smoke test: the Sod deck end-to-end through the serial
-//! [`Driver`], reached exclusively via the `bookleaf` facade crate's
-//! re-exports. This is the cheapest full-stack exercise of the build:
-//! deck construction (`core::decks`), mesh generation (`mesh`), the
-//! material table (`eos`), every Lagrangian kernel (`hydro`) and the
-//! timer/error plumbing (`util`) all have to work for it to pass.
+//! executor, reached exclusively via the `bookleaf` facade crate's
+//! front door (`bookleaf::Simulation`). This is the cheapest full-stack
+//! exercise of the build: deck construction (`core::decks`), mesh
+//! generation (`mesh`), the material table (`eos`), every Lagrangian
+//! kernel (`hydro`) and the timer/error plumbing (`util`) all have to
+//! work for it to pass.
 
-use bookleaf::core::{decks, Driver, RunConfig};
+use bookleaf::core::decks;
 use bookleaf::hydro::LocalRange;
+use bookleaf::Simulation;
 
 #[test]
 fn sod_runs_end_to_end_with_physical_bounds() {
-    let deck = decks::sod(60, 3);
-    let config = RunConfig {
-        final_time: 0.1,
-        ..RunConfig::default()
-    };
-    let mut driver = Driver::new(deck, config).expect("valid deck");
-    let summary = driver.run().expect("run to completion");
+    let mut sim = Simulation::builder()
+        .deck(decks::sod(60, 3))
+        .final_time(0.1)
+        .build()
+        .expect("valid deck");
+    let report = sim.run().expect("run to completion");
 
     assert!(
-        summary.steps > 10,
+        report.steps > 10,
         "suspiciously few steps: {}",
-        summary.steps
+        report.steps
     );
     assert!(
-        (summary.time - 0.1).abs() < 1e-12,
+        (report.time - 0.1).abs() < 1e-12,
         "stopped at t = {}",
-        summary.time
+        report.time
     );
+    // The unified report covers the serial case: one rank, no traffic.
+    assert_eq!(report.ranks, 1);
+    assert_eq!(report.comm.messages_sent, 0);
 
     // Density stays inside the physical envelope of the Sod problem:
     // between the driven-side and ambient initial states (1.0 / 0.125),
     // with a small tolerance for shock overshoot.
-    let st = driver.state();
+    let st = sim.state();
     for (e, &rho) in st.rho.iter().enumerate() {
         assert!(rho.is_finite(), "non-finite density in element {e}");
         assert!(
@@ -50,12 +54,12 @@ fn sod_runs_end_to_end_with_physical_bounds() {
         );
     }
     assert!(
-        summary.energy_drift() < 1e-9,
+        report.energy_drift() < 1e-9,
         "energy drift {}",
-        summary.energy_drift()
+        report.energy_drift()
     );
 
     // The facade's sibling re-exports agree about the run's extents.
-    let range = LocalRange::whole(driver.mesh());
+    let range = LocalRange::whole(sim.mesh());
     assert!(st.total_mass(range) > 0.0);
 }
