@@ -37,11 +37,21 @@
 //!         [--ranks 1] [--threads 1,2,4] [--repeats 3]
 //!         [--overlap on|off|both] [--check-overlap on|off]
 //!         [--out BENCH_scaling.json]
+//! scaling --validate BENCH_scaling.json
 //! ```
+//!
+//! `--validate` runs no benchmarks: it checks an existing artifact
+//! against schema `bookleaf-scaling-v3` (required header keys, the
+//! eight per-kernel columns, comm totals and the per-phase breakdown)
+//! and exits non-zero on the first violation, naming its JSON path. CI
+//! applies it to both the freshly measured file and the committed
+//! baseline. The writer also self-validates before touching the output
+//! file, so an emitted artifact can never violate its own schema.
 
 use std::fmt::Write as _;
 
 use bookleaf_ale::{AleMode, AleOptions};
+use bookleaf_bench::schema::SCALING_SCHEMA;
 use bookleaf_core::{decks, Deck, ExecutorKind, RunConfig, Simulation};
 use bookleaf_hydro::AccMode;
 use bookleaf_mesh::SubMeshPlan;
@@ -348,6 +358,11 @@ fn emit_json(
     }
     let _ = writeln!(j, "  ]");
     let _ = writeln!(j, "}}");
+    // The writer can never emit an artifact that violates its own
+    // schema contract.
+    if let Err(message) = bookleaf_bench::schema::validate_scaling_json(&j) {
+        panic!("emitted JSON violates {SCALING_SCHEMA}: {message}");
+    }
     std::fs::write(out_path, j)
 }
 
@@ -425,6 +440,22 @@ fn parse_args() -> (Args, Vec<usize>, String) {
                 }
             },
             "--out" => out_path = val.clone(),
+            "--validate" => {
+                let text = std::fs::read_to_string(val).unwrap_or_else(|e| {
+                    eprintln!("cannot read {val}: {e}");
+                    std::process::exit(2);
+                });
+                match bookleaf_bench::schema::validate_scaling_json(&text) {
+                    Ok(()) => {
+                        println!("{val}: valid {} ", bookleaf_bench::schema::SCALING_SCHEMA);
+                        std::process::exit(0);
+                    }
+                    Err(message) => {
+                        eprintln!("{val}: schema violation: {message}");
+                        std::process::exit(1);
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);

@@ -25,6 +25,8 @@ use bookleaf_core::{decks, Deck, ExecutorKind, Simulation};
 use bookleaf_device::WorkloadCount;
 use bookleaf_util::{KernelId, TimerReport};
 
+pub mod schema;
+
 /// The modeled workload standing in for the paper's (unpublished) Noh
 /// single-node problem size: chosen so the Skylake flat-MPI roofline
 /// lands near Table II's 76 s overall.

@@ -58,6 +58,11 @@ pub struct Deck {
     pub piston: Option<PistonSpec>,
     /// The standard end time for this problem.
     pub recommended_final_time: f64,
+    /// The [`ProblemSpec`] this deck was constructed from, when it came
+    /// from one of the standard constructors. Checkpointing needs it to
+    /// embed a rebuildable description of the problem; hand-assembled
+    /// decks carry `None` and cannot be checkpointed.
+    pub spec: Option<ProblemSpec>,
 }
 
 impl Deck {
@@ -146,6 +151,7 @@ pub fn sod(nx: usize, ny: usize) -> Deck {
     let u = vec![Vec2::ZERO; mesh.n_nodes()];
     Deck {
         name: "sod",
+        spec: Some(ProblemSpec::Sod { nx, ny }),
         mesh,
         materials,
         rho,
@@ -185,6 +191,7 @@ pub fn noh(n: usize) -> Deck {
         .collect();
     Deck {
         name: "noh",
+        spec: Some(ProblemSpec::Noh { n }),
         mesh,
         materials,
         rho,
@@ -221,6 +228,7 @@ pub fn sedov(n: usize) -> Deck {
     let u = vec![Vec2::ZERO; mesh.n_nodes()];
     Deck {
         name: "sedov",
+        spec: Some(ProblemSpec::Sedov { n }),
         mesh,
         materials,
         rho,
@@ -274,6 +282,7 @@ pub fn saltzmann(nx: usize, ny: usize) -> Deck {
         .collect();
     Deck {
         name: "saltzmann",
+        spec: Some(ProblemSpec::Saltzmann { nx, ny }),
         mesh,
         materials,
         rho,
@@ -329,6 +338,7 @@ pub fn underwater(n: usize) -> Deck {
     let u = vec![Vec2::ZERO; mesh.n_nodes()];
     Deck {
         name: "underwater",
+        spec: Some(ProblemSpec::Underwater { n }),
         mesh,
         materials,
         rho,

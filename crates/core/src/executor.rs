@@ -32,13 +32,16 @@ use bookleaf_util::{BookLeafError, Result, TimerReport, Vec2};
 
 use crate::config::{ExecutorKind, RunConfig};
 use crate::decks::Deck;
-use crate::driver::run_loop;
+use crate::driver::{run_loop, LoopState};
 use crate::halo::{LocalPiston, TyphonHalo};
 use crate::observer::{LoopWatch, ObserverSet};
+use crate::output::Snapshot;
 use crate::report::RunReport;
 
 /// The solution fields a distributed run assembles back into global
-/// element/node order.
+/// element/node order — the full checkpointable field set, so a
+/// distributed run can be checkpointed (and re-resumed at any shape)
+/// from its assembled view.
 #[derive(Debug, Clone)]
 pub(crate) struct Assembled {
     pub rho: Vec<f64>,
@@ -46,6 +49,12 @@ pub(crate) struct Assembled {
     pub pressure: Vec<f64>,
     pub u: Vec<Vec2>,
     pub nodes: Vec<Vec2>,
+    pub mass: Vec<f64>,
+    pub q: Vec<f64>,
+    pub nd_mass: Vec<f64>,
+    pub cnmass: Vec<[f64; 4]>,
+    /// The team's loop cursor after the run (identical on every rank).
+    pub cursor: LoopState,
 }
 
 /// A distributed run's output (global ordering), as returned by the
@@ -108,10 +117,15 @@ struct RankOut {
     rho: Vec<f64>,
     ein: Vec<f64>,
     pressure: Vec<f64>,
+    mass: Vec<f64>,
+    q: Vec<f64>,
+    cnmass: Vec<[f64; 4]>,
     u_owned: Vec<(u32, Vec2)>,
     x_owned: Vec<(u32, Vec2)>,
+    nd_mass_owned: Vec<(u32, f64)>,
     steps: usize,
     time: f64,
+    dt_prev: Option<f64>,
     timers: TimerReport,
     comm: CommStats,
     /// Globally reduced start/end energies (identical on every rank).
@@ -123,7 +137,7 @@ struct RankOut {
 #[deprecated(note = "use `Simulation::builder().deck(..).config(..).build()?.run()?`")]
 #[allow(deprecated)]
 pub fn run_distributed(deck: &Deck, config: &RunConfig) -> Result<DistributedOutput> {
-    let (report, fields) = run_with_observers(deck, config, &ObserverSet::default())?;
+    let (report, fields) = run_with_observers(deck, config, &ObserverSet::default(), None)?;
     Ok(DistributedOutput {
         report,
         rho: fields.rho,
@@ -138,10 +152,18 @@ pub fn run_distributed(deck: &Deck, config: &RunConfig) -> Result<DistributedOut
 /// partition, spawn the rank team, run the shared loop (observers
 /// firing per rank), assemble the global solution and the unified
 /// report.
+///
+/// With `resume` set, every rank scatters its *owned* entities from the
+/// (global) checkpoint state, fills its ghosts through the one-shot
+/// `restore` halo exchange, re-derives the dependent fields, and
+/// continues the loop from the checkpoint's cursor — this is how a
+/// serial (or any-shape) checkpoint repartitions onto this executor's
+/// rank count.
 pub(crate) fn run_with_observers(
     deck: &Deck,
     config: &RunConfig,
     observers: &ObserverSet,
+    resume: Option<&Snapshot>,
 ) -> Result<(RunReport, Assembled)> {
     let (ranks, threads_per_rank) = match config.executor {
         ExecutorKind::FlatMpi { ranks } => (ranks, 0),
@@ -169,7 +191,8 @@ pub(crate) fn run_with_observers(
     let start = std::time::Instant::now();
     let results: Vec<Result<RankOut>> = Typhon::run(ranks, |ctx| {
         let sub = &subs[ctx.rank()];
-        let body = || -> Result<RankOut> { run_rank(ctx, sub, deck, &rank_config, observers) };
+        let body =
+            || -> Result<RankOut> { run_rank(ctx, sub, deck, &rank_config, observers, resume) };
         if threads_per_rank > 1 {
             let pool = rayon::ThreadPoolBuilder::new()
                 .num_threads(threads_per_rank)
@@ -191,6 +214,11 @@ pub(crate) fn run_with_observers(
         pressure: vec![0.0; ne],
         u: vec![Vec2::ZERO; nn],
         nodes: vec![Vec2::ZERO; nn],
+        mass: vec![0.0; ne],
+        q: vec![0.0; ne],
+        nd_mass: vec![0.0; nn],
+        cnmass: vec![[0.0; 4]; ne],
+        cursor: LoopState::default(),
     };
     let mut report = RunReport {
         name: deck.name.to_string(),
@@ -211,6 +239,9 @@ pub(crate) fn run_with_observers(
             fields.rho[g as usize] = r.rho[l];
             fields.ein[g as usize] = r.ein[l];
             fields.pressure[g as usize] = r.pressure[l];
+            fields.mass[g as usize] = r.mass[l];
+            fields.q[g as usize] = r.q[l];
+            fields.cnmass[g as usize] = r.cnmass[l];
         }
         for &(g, v) in &r.u_owned {
             fields.u[g as usize] = v;
@@ -218,6 +249,14 @@ pub(crate) fn run_with_observers(
         for &(g, p) in &r.x_owned {
             fields.nodes[g as usize] = p;
         }
+        for &(g, m) in &r.nd_mass_owned {
+            fields.nd_mass[g as usize] = m;
+        }
+        fields.cursor = LoopState {
+            t: r.time,
+            steps: r.steps,
+            dt_prev: r.dt_prev,
+        };
         report.steps = report.steps.max(r.steps);
         // Max, not last-writer-wins: every rank reports the same final
         // time, but a reordered result vector must not leave a stale
@@ -239,6 +278,7 @@ fn run_rank(
     deck: &Deck,
     config: &RunConfig,
     observers: &ObserverSet,
+    resume: Option<&Snapshot>,
 ) -> Result<RankOut> {
     let mut mesh = sub.mesh.clone();
     let mut state = HydroState::new(
@@ -267,10 +307,60 @@ fn run_rank(
         }
     });
 
+    // The remapper must capture the *deck-initial* node positions
+    // (they are the Eulerian remap target), so it is built before any
+    // checkpoint overwrites the mesh.
     let remapper = config.ale.map(|opts| Remapper::new(&mesh, opts));
     // Build the rank's aggregated exchange plan once; every halo hook
     // then moves its whole phase as one message per neighbour.
     let mut halo = TyphonHalo::new(ctx, sub, piston);
+
+    let mut cursor = crate::driver::LoopState::default();
+    if let Some(snap) = resume {
+        // Scatter the global checkpoint state onto the entities this
+        // rank owns; ghosts are poised to arrive from their owners.
+        for (l, &g) in sub.el_l2g[..sub.n_owned_el].iter().enumerate() {
+            let g = g as usize;
+            state.mass[l] = snap.mass[g];
+            state.rho[l] = snap.rho[g];
+            state.ein[l] = snap.ein[g];
+            state.q[l] = snap.q[g];
+            state.cnmass[l] = snap.cnmass[g];
+        }
+        for n in 0..sub.n_active_nd {
+            if sub.owns_node(n) {
+                let g = sub.nd_l2g[n] as usize;
+                mesh.nodes[n] = snap.nodes[g];
+                state.u[n] = snap.u[g];
+                state.nd_mass[n] = snap.nd_mass[g];
+            }
+        }
+        // One-shot restore exchange: every ghost element and halo node
+        // receives its owner's checkpoint values — same plan machinery,
+        // one message per neighbour.
+        halo.exchange_restore(&mut mesh, &mut state);
+        // Re-derive the dependent fields over the whole local mesh
+        // (owned and ghost): geometry and EoS are pure per-element
+        // functions of the restored fields, so every rank reproduces
+        // the owner's values bitwise.
+        let whole = LocalRange {
+            n_owned_el: mesh.n_elements(),
+            n_active_nd: mesh.n_nodes(),
+        };
+        bookleaf_hydro::getgeom::getgeom(&mesh, &mut state, whole, config.lag.threading)?;
+        bookleaf_hydro::getpc::getpc(
+            &mesh,
+            &deck.materials,
+            &mut state,
+            whole,
+            config.lag.threading,
+        );
+        cursor = crate::driver::LoopState {
+            t: snap.time,
+            steps: snap.steps as usize,
+            dt_prev: snap.dt_prev,
+        };
+    }
     // Interior/boundary classification, derived once per run: with the
     // overlap toggle on, every halo phase is posted early and completed
     // only before the boundary sweep (latency hiding; bitwise identical
@@ -299,7 +389,6 @@ fn run_rank(
         local_energy: &local_energy,
     };
 
-    let mut cursor = crate::driver::LoopState::default();
     run_loop(
         &mut mesh,
         &deck.materials,
@@ -325,16 +414,25 @@ fn run_rank(
         .filter(|&n| sub.owns_node(n))
         .map(|n| (sub.nd_l2g[n], mesh.nodes[n]))
         .collect();
+    let nd_mass_owned: Vec<(u32, f64)> = (0..sub.n_active_nd)
+        .filter(|&n| sub.owns_node(n))
+        .map(|n| (sub.nd_l2g[n], state.nd_mass[n]))
+        .collect();
 
     Ok(RankOut {
         rank: ctx.rank(),
         rho: state.rho[..sub.n_owned_el].to_vec(),
         ein: state.ein[..sub.n_owned_el].to_vec(),
         pressure: state.pressure[..sub.n_owned_el].to_vec(),
+        mass: state.mass[..sub.n_owned_el].to_vec(),
+        q: state.q[..sub.n_owned_el].to_vec(),
+        cnmass: state.cnmass[..sub.n_owned_el].to_vec(),
         u_owned,
         x_owned,
+        nd_mass_owned,
         steps,
         time,
+        dt_prev: cursor.dt_prev,
         timers: timers.report(),
         comm: ctx.stats(),
         energy_start,
@@ -458,7 +556,7 @@ mod tests {
             executor: ExecutorKind::Serial,
             ..RunConfig::default()
         };
-        assert!(run_with_observers(&deck, &config, &ObserverSet::default()).is_err());
+        assert!(run_with_observers(&deck, &config, &ObserverSet::default(), None).is_err());
     }
 
     #[test]

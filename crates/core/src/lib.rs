@@ -46,6 +46,6 @@ pub use observer::{
     ConservationTracer, DtHistory, DtSample, EnergySample, FrameDumper, LoopWatch, Observer,
     ObserverNeeds, ObserverSet, ProgressLogger, Shared, StepPhase, StepView,
 };
-pub use output::{read_snapshot, write_vtk, Snapshot};
+pub use output::{read_snapshot, write_vtk, Checkpoint, Snapshot, CHECKPOINT_VERSION};
 pub use report::RunReport;
 pub use sim::{Simulation, SimulationBuilder};

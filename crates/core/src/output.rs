@@ -1,20 +1,73 @@
-//! Simulation output: legacy-VTK visualisation files and binary restart
-//! snapshots.
+//! Simulation output: legacy-VTK visualisation files, binary state
+//! snapshots, and the portable checkpoint format.
 //!
 //! * [`write_vtk`] emits an ASCII legacy `.vtk` unstructured-grid file
 //!   (cell data: ρ, P, ε, q; point data: velocity) loadable by ParaView
 //!   or VisIt — the standard way downstream users inspect hydro runs.
-//! * [`Snapshot`] serialises the full solver state to a compact binary
-//!   format and restores it, enabling restart runs. The format is
-//!   self-describing enough to detect truncation and version mismatch;
-//!   a restarted run continues the original trajectory (tested to
-//!   round-off in `tests/restart.rs`).
+//! * [`Snapshot`] serialises the solver state to a compact binary body
+//!   and restores it. It is the in-memory payload of a checkpoint; on
+//!   its own (via [`Snapshot::write`]/[`read_snapshot`]) it has a magic
+//!   but no deck and no checksum — use [`Checkpoint`] for files that
+//!   leave the process.
+//! * [`Checkpoint`] is the first-class restart artefact: the state
+//!   snapshot **plus the originating [`InputDeck`]**, behind a
+//!   magic+version header and guarded by a trailing CRC-32. A
+//!   checkpoint file is self-contained — `SimulationBuilder::resume`
+//!   rebuilds the problem from the embedded deck, so restarts need no
+//!   out-of-band configuration and can change executor shape (serial ↔
+//!   N ranks) freely.
+//!
+//! # Checkpoint format, version 1
+//!
+//! All integers and floats are little-endian. Layout, in order:
+//!
+//! | bytes        | field                                          |
+//! |--------------|------------------------------------------------|
+//! | 8            | magic `b"BLFCKPT\0"`                           |
+//! | 4            | format version, `u32` (currently 1)            |
+//! | 4            | deck text length `L`, `u32`                    |
+//! | `L`          | canonical [`InputDeck`] text (UTF-8)           |
+//! | 8            | simulated time, `f64`                          |
+//! | 8            | steps taken, `u64`                             |
+//! | 1            | `dt_prev` flag (0 = none, 1 = present)         |
+//! | 8            | previous dt, `f64` (zero when the flag is 0)   |
+//! | 8            | node count `NN`, `u64`                         |
+//! | 8            | element count `NE`, `u64`                      |
+//! | 16·NN        | node positions, `(f64, f64)` pairs             |
+//! | 16·NN        | node velocities, `(f64, f64)` pairs            |
+//! | 8·NN         | nodal masses                                   |
+//! | 8·NE × 4     | element mass, density, energy, viscosity `q`   |
+//! | 32·NE        | corner masses, 4 `f64` per element             |
+//! | 4            | CRC-32 (IEEE) of every preceding byte          |
+//!
+//! The field set is exactly the cross-step state of the hydro loop:
+//! positions, velocities and the thermodynamic state plus the two
+//! quantities that carry information from step *k* into step *k+1*
+//! (`q` feeds the next `getdt`; `nd_mass` feeds the next `getforce`
+//! momentum limiter). Everything else (volumes, pressures, sound
+//! speeds, corner scratch) is re-derived bitwise on load, which is what
+//! makes same-shape resume bit-exact.
+//!
+//! **Versioning policy.** The version integer identifies the byte
+//! layout above. Any change to the layout — field added, removed,
+//! reordered, re-typed — must bump [`CHECKPOINT_VERSION`] and teach the
+//! reader the old layout or reject it with
+//! [`CheckpointError::UnsupportedVersion`]. The committed golden
+//! fixture `tests/fixtures/noh_v1.ckpt` pins version 1: if it stops
+//! loading byte-exactly, the format changed and the bump must be
+//! deliberate. Corruption anywhere in the file (including the embedded
+//! deck text) is caught by the trailing CRC before any field is
+//! interpreted; every failure path is a typed
+//! [`bookleaf_util::CheckpointError`], never a panic.
 
 use std::io::{self, Read, Write};
+use std::path::Path;
 
 use bookleaf_hydro::HydroState;
 use bookleaf_mesh::Mesh;
-use bookleaf_util::{BookLeafError, Result, Vec2};
+use bookleaf_util::{BookLeafError, CheckpointError, Result, Vec2};
+
+use crate::input::{InputDeck, MAX_MESH_DIM};
 
 /// Write the current solution as a legacy ASCII VTK unstructured grid.
 pub fn write_vtk(
@@ -64,28 +117,49 @@ pub fn write_vtk(
     Ok(())
 }
 
-/// Magic + version guarding the snapshot format.
-const SNAP_MAGIC: &[u8; 8] = b"BLRSNAP1";
+/// Magic guarding the standalone snapshot body (bumped from `BLRSNAP1`
+/// when `q`/`nd_mass`/the dt-prev flag joined the field set).
+const SNAP_MAGIC: &[u8; 8] = b"BLRSNAP2";
 
-/// A binary snapshot of everything a restart needs.
+/// Magic opening a checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"BLFCKPT\0";
+
+/// The checkpoint format version this build writes (and the only one it
+/// currently reads). See the module docs for the versioning policy.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Entity counts above this are rejected as corrupt before any
+/// allocation: no valid deck can exceed `(MAX_MESH_DIM + 1)²` nodes.
+const MAX_ENTITIES: usize = (MAX_MESH_DIM + 1) * (MAX_MESH_DIM + 1);
+
+/// A binary snapshot of everything a restart needs: the cross-step
+/// solver state (see the module docs for why exactly these fields).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
     /// Simulated time.
     pub time: f64,
     /// Steps taken so far.
     pub steps: u64,
-    /// Last time step (for the growth limiter on restart).
-    pub dt_prev: f64,
+    /// Last time step (`None` before the first step; the growth limiter
+    /// ramps from it on restart, and `None` reproduces the initial-dt
+    /// path bitwise).
+    pub dt_prev: Option<f64>,
     /// Node positions.
     pub nodes: Vec<Vec2>,
     /// Node velocities.
     pub u: Vec<Vec2>,
+    /// Nodal masses (refreshed by the previous step's acceleration;
+    /// read by the next step's force limiter before it is refreshed
+    /// again).
+    pub nd_mass: Vec<f64>,
     /// Element mass, density, energy (volume/pressure are re-derived).
     pub mass: Vec<f64>,
     /// Density.
     pub rho: Vec<f64>,
     /// Specific internal energy.
     pub ein: Vec<f64>,
+    /// Element artificial viscosity (read by the next step's `getdt`).
+    pub q: Vec<f64>,
     /// Corner masses (sub-zonal state).
     pub cnmass: Vec<[f64; 4]>,
 }
@@ -93,133 +167,417 @@ pub struct Snapshot {
 impl Snapshot {
     /// Capture the solver state.
     #[must_use]
-    pub fn capture(mesh: &Mesh, state: &HydroState, time: f64, steps: u64, dt_prev: f64) -> Self {
+    pub fn capture(
+        mesh: &Mesh,
+        state: &HydroState,
+        time: f64,
+        steps: u64,
+        dt_prev: Option<f64>,
+    ) -> Self {
         Snapshot {
             time,
             steps,
             dt_prev,
             nodes: mesh.nodes.clone(),
             u: state.u.clone(),
+            nd_mass: state.nd_mass.clone(),
             mass: state.mass.clone(),
             rho: state.rho.clone(),
             ein: state.ein.clone(),
+            q: state.q.clone(),
             cnmass: state.cnmass.clone(),
         }
+    }
+
+    /// Node count of the captured state.
+    #[must_use]
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Element count of the captured state.
+    #[must_use]
+    pub fn n_elements(&self) -> usize {
+        self.mass.len()
     }
 
     /// Restore into an existing mesh/state pair (shapes must match the
     /// deck the snapshot came from).
     pub fn restore(&self, mesh: &mut Mesh, state: &mut HydroState) -> Result<()> {
         if self.nodes.len() != mesh.n_nodes() || self.mass.len() != mesh.n_elements() {
-            return Err(BookLeafError::InvalidDeck(format!(
-                "snapshot shape ({} nodes, {} elements) does not match mesh ({}, {})",
-                self.nodes.len(),
-                self.mass.len(),
-                mesh.n_nodes(),
-                mesh.n_elements()
-            )));
+            return Err(BookLeafError::Checkpoint(CheckpointError::DeckMismatch {
+                message: format!(
+                    "snapshot shape ({} nodes, {} elements) does not match mesh ({}, {})",
+                    self.nodes.len(),
+                    self.mass.len(),
+                    mesh.n_nodes(),
+                    mesh.n_elements()
+                ),
+            }));
         }
         mesh.nodes.copy_from_slice(&self.nodes);
         state.u.copy_from_slice(&self.u);
+        state.nd_mass.copy_from_slice(&self.nd_mass);
         state.mass.copy_from_slice(&self.mass);
         state.rho.copy_from_slice(&self.rho);
         state.ein.copy_from_slice(&self.ein);
+        state.q.copy_from_slice(&self.q);
         state.cnmass.copy_from_slice(&self.cnmass);
         Ok(())
     }
 
-    /// Serialise to the binary snapshot format.
+    /// Serialise to the standalone binary snapshot format (magic +
+    /// body, no checksum; files that leave the process should use
+    /// [`Checkpoint`]).
     pub fn write(&self, w: &mut impl Write) -> io::Result<()> {
-        w.write_all(SNAP_MAGIC)?;
-        w.write_all(&self.time.to_le_bytes())?;
-        w.write_all(&self.steps.to_le_bytes())?;
-        w.write_all(&self.dt_prev.to_le_bytes())?;
-        w.write_all(&(self.nodes.len() as u64).to_le_bytes())?;
-        w.write_all(&(self.mass.len() as u64).to_le_bytes())?;
-        let write_vecs = |w: &mut dyn Write, vs: &[Vec2]| -> io::Result<()> {
-            for v in vs {
-                w.write_all(&v.x.to_le_bytes())?;
-                w.write_all(&v.y.to_le_bytes())?;
+        let mut out = Vec::with_capacity(8 + self.body_len());
+        out.extend_from_slice(SNAP_MAGIC);
+        self.write_body(&mut out);
+        w.write_all(&out)
+    }
+
+    /// Serialised body length in bytes (everything after the magic).
+    fn body_len(&self) -> usize {
+        body_len(self.nodes.len(), self.mass.len())
+    }
+
+    /// Append the versioned body (shared by snapshot and checkpoint).
+    fn write_body(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.time.to_le_bytes());
+        out.extend_from_slice(&self.steps.to_le_bytes());
+        out.push(u8::from(self.dt_prev.is_some()));
+        out.extend_from_slice(&self.dt_prev.unwrap_or(0.0).to_le_bytes());
+        out.extend_from_slice(&(self.nodes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.mass.len() as u64).to_le_bytes());
+        for vs in [&self.nodes, &self.u] {
+            for v in vs.iter() {
+                out.extend_from_slice(&v.x.to_le_bytes());
+                out.extend_from_slice(&v.y.to_le_bytes());
             }
-            Ok(())
-        };
-        write_vecs(w, &self.nodes)?;
-        write_vecs(w, &self.u)?;
-        for field in [&self.mass, &self.rho, &self.ein] {
+        }
+        for field in [&self.nd_mass, &self.mass, &self.rho, &self.ein, &self.q] {
             for v in field.iter() {
-                w.write_all(&v.to_le_bytes())?;
+                out.extend_from_slice(&v.to_le_bytes());
             }
         }
         for cm in &self.cnmass {
             for v in cm {
-                w.write_all(&v.to_le_bytes())?;
+                out.extend_from_slice(&v.to_le_bytes());
             }
         }
-        Ok(())
+    }
+
+    /// Parse a body from `cur`, consuming it exactly to the end.
+    fn read_body(cur: &mut Cursor<'_>) -> std::result::Result<Snapshot, CheckpointError> {
+        let time = cur.f64("time")?;
+        let steps = cur.u64("steps")?;
+        let dt_flag = cur.u8("dt_prev flag")?;
+        let dt_raw = cur.f64("dt_prev")?;
+        let dt_prev = match dt_flag {
+            0 => None,
+            1 => Some(dt_raw),
+            other => {
+                return Err(CheckpointError::Corrupt {
+                    what: format!("dt_prev flag must be 0 or 1, found {other}"),
+                })
+            }
+        };
+        let n_nodes = cur.count("node count")?;
+        let n_elements = cur.count("element count")?;
+        let expected = body_len(n_nodes, n_elements) - BODY_HEADER_LEN;
+        if cur.remaining() != expected {
+            return Err(CheckpointError::Corrupt {
+                what: format!(
+                    "field payload holds {} bytes but {n_nodes} nodes / {n_elements} \
+                     elements need {expected}",
+                    cur.remaining()
+                ),
+            });
+        }
+        let mut vecs = |what: &'static str, n: usize| {
+            (0..n)
+                .map(|_| Ok(Vec2::new(cur.f64(what)?, cur.f64(what)?)))
+                .collect::<std::result::Result<Vec<Vec2>, CheckpointError>>()
+        };
+        let nodes = vecs("node positions", n_nodes)?;
+        let u = vecs("node velocities", n_nodes)?;
+        let mut scalars = |what: &'static str, n: usize| {
+            (0..n)
+                .map(|_| cur.f64(what))
+                .collect::<std::result::Result<Vec<f64>, CheckpointError>>()
+        };
+        let nd_mass = scalars("nodal masses", n_nodes)?;
+        let mass = scalars("element masses", n_elements)?;
+        let rho = scalars("densities", n_elements)?;
+        let ein = scalars("energies", n_elements)?;
+        let q = scalars("viscosities", n_elements)?;
+        let mut cnmass = Vec::with_capacity(n_elements);
+        for _ in 0..n_elements {
+            let mut cm = [0.0; 4];
+            for v in &mut cm {
+                *v = cur.f64("corner masses")?;
+            }
+            cnmass.push(cm);
+        }
+        Ok(Snapshot {
+            time,
+            steps,
+            dt_prev,
+            nodes,
+            u,
+            nd_mass,
+            mass,
+            rho,
+            ein,
+            q,
+            cnmass,
+        })
     }
 }
 
+/// Fixed-size prefix of the body: time, steps, dt flag + value, counts.
+const BODY_HEADER_LEN: usize = 8 + 8 + 1 + 8 + 8 + 8;
+
+/// Total body bytes for the given entity counts.
+fn body_len(n_nodes: usize, n_elements: usize) -> usize {
+    BODY_HEADER_LEN + 40 * n_nodes + 64 * n_elements
+}
+
 /// Deserialise a snapshot from the binary format written by
-/// [`Snapshot::write`].
+/// [`Snapshot::write`]. Failures are typed
+/// [`BookLeafError::Checkpoint`] values.
 pub fn read_snapshot(r: &mut impl Read) -> Result<Snapshot> {
-    let bad = |what: &str| BookLeafError::InvalidDeck(format!("snapshot: {what}"));
-    let mut buf = [0u8; 8];
-    let mut take = |r: &mut dyn Read| -> Result<[u8; 8]> {
-        r.read_exact(&mut buf).map_err(|_| bad("truncated"))?;
-        Ok(buf)
-    };
-    let magic = take(r)?;
-    if &magic != SNAP_MAGIC {
-        return Err(bad("wrong magic (not a BookLeaf-rs snapshot?)"));
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes).map_err(|e| CheckpointError::Io {
+        path: "<stream>".into(),
+        message: e.to_string(),
+    })?;
+    if bytes.len() < 8 {
+        return Err(CheckpointError::Truncated { what: "magic" }.into());
     }
-    let time = f64::from_le_bytes(take(r)?);
-    let steps = u64::from_le_bytes(take(r)?);
-    let dt_prev = f64::from_le_bytes(take(r)?);
-    let n_nodes = u64::from_le_bytes(take(r)?) as usize;
-    let n_elements = u64::from_le_bytes(take(r)?) as usize;
-    if n_nodes > 1 << 32 || n_elements > 1 << 32 {
-        return Err(bad("implausible sizes (corrupt file)"));
+    if &bytes[..8] != SNAP_MAGIC {
+        return Err(CheckpointError::BadMagic.into());
     }
-    let mut read_vecs = |r: &mut dyn Read, n: usize| -> Result<Vec<Vec2>> {
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            let x = f64::from_le_bytes(take(r)?);
-            let y = f64::from_le_bytes(take(r)?);
-            out.push(Vec2::new(x, y));
+    let mut cur = Cursor::new(&bytes[8..]);
+    let snap = Snapshot::read_body(&mut cur)?;
+    if cur.remaining() != 0 {
+        return Err(CheckpointError::Corrupt {
+            what: format!("{} trailing bytes after the snapshot body", cur.remaining()),
         }
-        Ok(out)
-    };
-    let nodes = read_vecs(r, n_nodes)?;
-    let u = read_vecs(r, n_nodes)?;
-    let mut read_scalars = |r: &mut dyn Read, n: usize| -> Result<Vec<f64>> {
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(f64::from_le_bytes(take(r)?));
-        }
-        Ok(out)
-    };
-    let mass = read_scalars(r, n_elements)?;
-    let rho = read_scalars(r, n_elements)?;
-    let ein = read_scalars(r, n_elements)?;
-    let mut cnmass = Vec::with_capacity(n_elements);
-    for _ in 0..n_elements {
-        let mut cm = [0.0; 4];
-        for v in &mut cm {
-            *v = f64::from_le_bytes(take(r)?);
-        }
-        cnmass.push(cm);
+        .into());
     }
-    Ok(Snapshot {
-        time,
-        steps,
-        dt_prev,
-        nodes,
-        u,
-        mass,
-        rho,
-        ein,
-        cnmass,
-    })
+    Ok(snap)
+}
+
+// ---------------------------------------------------------------------------
+// The checkpoint container.
+
+/// A portable, versioned restart artefact: the cross-step solver state
+/// plus the [`InputDeck`] that describes the problem it belongs to. See
+/// the module docs for the byte format and versioning policy.
+///
+/// Produced by `Simulation::checkpoint`; consumed by
+/// `SimulationBuilder::resume`/`resume_from`, which rebuild the problem
+/// from the embedded deck and may change the executor shape freely
+/// (the state is global, so any rank count can repartition it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The originating problem spec and run options.
+    pub input: InputDeck,
+    /// The captured solver state.
+    pub snap: Snapshot,
+}
+
+impl Checkpoint {
+    /// Serialise to the version-1 byte format (with trailing CRC-32).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let deck_text = self.input.to_string();
+        let mut out = Vec::with_capacity(8 + 4 + 4 + deck_text.len() + self.snap.body_len() + 4);
+        out.extend_from_slice(CHECKPOINT_MAGIC);
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(deck_text.len() as u32).to_le_bytes());
+        out.extend_from_slice(deck_text.as_bytes());
+        self.snap.write_body(&mut out);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Parse the byte format, verifying magic, version and CRC before
+    /// interpreting any field. Every failure is a typed
+    /// [`CheckpointError`]; no input can panic this parser (pinned by a
+    /// byte-flip property test).
+    pub fn from_bytes(bytes: &[u8]) -> std::result::Result<Checkpoint, CheckpointError> {
+        if bytes.len() < 8 {
+            return Err(CheckpointError::Truncated { what: "magic" });
+        }
+        if &bytes[..8] != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        if bytes.len() < 16 {
+            return Err(CheckpointError::Truncated { what: "header" });
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion {
+                found: version,
+                supported: CHECKPOINT_VERSION,
+            });
+        }
+        let (payload, tail) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(tail.try_into().expect("4 bytes"));
+        let actual = crc32(payload);
+        if stored != actual {
+            return Err(CheckpointError::Corrupt {
+                what: format!("CRC mismatch (stored {stored:#010x}, computed {actual:#010x})"),
+            });
+        }
+        let mut cur = Cursor::new(&payload[12..]);
+        let deck_len = cur.u32("deck length")? as usize;
+        let deck_bytes = cur.take(deck_len, "deck text")?;
+        let deck_text = std::str::from_utf8(deck_bytes).map_err(|_| CheckpointError::Corrupt {
+            what: "embedded deck text is not UTF-8".into(),
+        })?;
+        let input: InputDeck = deck_text.parse().map_err(|e| CheckpointError::Corrupt {
+            what: format!("embedded deck does not parse: {e}"),
+        })?;
+        let snap = Snapshot::read_body(&mut cur)?;
+        if cur.remaining() != 0 {
+            return Err(CheckpointError::Corrupt {
+                what: format!("{} trailing bytes before the CRC", cur.remaining()),
+            });
+        }
+        let deck = input.build_deck().map_err(|e| CheckpointError::Corrupt {
+            what: format!("embedded deck does not build: {e}"),
+        })?;
+        if snap.n_nodes() != deck.mesh.n_nodes() || snap.n_elements() != deck.mesh.n_elements() {
+            return Err(CheckpointError::Corrupt {
+                what: format!(
+                    "state shape ({} nodes, {} elements) does not match the embedded \
+                     deck's mesh ({}, {})",
+                    snap.n_nodes(),
+                    snap.n_elements(),
+                    deck.mesh.n_nodes(),
+                    deck.mesh.n_elements()
+                ),
+            });
+        }
+        Ok(Checkpoint { input, snap })
+    }
+
+    /// Write the checkpoint to `path` (atomically enough for restart
+    /// use: errors are typed, partial files fail the CRC on read).
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::result::Result<(), CheckpointError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_bytes()).map_err(|e| CheckpointError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })
+    }
+
+    /// Read and parse a checkpoint file.
+    pub fn read_from(path: impl AsRef<Path>) -> std::result::Result<Checkpoint, CheckpointError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| CheckpointError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Checkpoint::from_bytes(&bytes)
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice; every
+/// overrun is a typed [`CheckpointError::Truncated`].
+struct Cursor<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn take(
+        &mut self,
+        n: usize,
+        what: &'static str,
+    ) -> std::result::Result<&'a [u8], CheckpointError> {
+        if self.bytes.len() < n {
+            return Err(CheckpointError::Truncated { what });
+        }
+        let (head, tail) = self.bytes.split_at(n);
+        self.bytes = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self, what: &'static str) -> std::result::Result<u8, CheckpointError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &'static str) -> std::result::Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, what)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, what: &'static str) -> std::result::Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self, what: &'static str) -> std::result::Result<f64, CheckpointError> {
+        Ok(f64::from_le_bytes(
+            self.take(8, what)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// An entity count, rejected before allocation if implausible.
+    fn count(&mut self, what: &'static str) -> std::result::Result<usize, CheckpointError> {
+        let n = self.u64(what)?;
+        if n as usize > MAX_ENTITIES {
+            return Err(CheckpointError::Corrupt {
+                what: format!("{what} {n} exceeds the maximum mesh size"),
+            });
+        }
+        Ok(n as usize)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the same
+/// checksum gzip/zip use. Guarantees detection of any single burst of
+/// up to 32 bits, which covers every single-byte corruption.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
 }
 
 #[cfg(test)]
@@ -269,8 +627,10 @@ mod tests {
         // Perturb so the snapshot is non-trivial.
         st.u[3] = Vec2::new(0.5, -0.25);
         st.ein[2] = 9.0;
+        st.q[1] = 0.375;
+        st.nd_mass[5] = 0.0625;
         mesh.nodes[4] += Vec2::new(0.001, 0.002);
-        let snap = Snapshot::capture(&mesh, &st, 0.125, 42, 3e-4);
+        let snap = Snapshot::capture(&mesh, &st, 0.125, 42, Some(3e-4));
 
         let mut bytes = Vec::new();
         snap.write(&mut bytes).unwrap();
@@ -283,12 +643,24 @@ mod tests {
         assert_eq!(mesh2.nodes, mesh.nodes);
         assert_eq!(st2.u, st.u);
         assert_eq!(st2.ein, st.ein);
+        assert_eq!(st2.q, st.q);
+        assert_eq!(st2.nd_mass, st.nd_mass);
+    }
+
+    #[test]
+    fn snapshot_preserves_missing_dt_prev() {
+        let (mesh, st) = sample();
+        let snap = Snapshot::capture(&mesh, &st, 0.0, 0, None);
+        let mut bytes = Vec::new();
+        snap.write(&mut bytes).unwrap();
+        let back = read_snapshot(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back.dt_prev, None);
     }
 
     #[test]
     fn snapshot_rejects_corruption() {
         let (mesh, st) = sample();
-        let snap = Snapshot::capture(&mesh, &st, 0.0, 0, 1e-5);
+        let snap = Snapshot::capture(&mesh, &st, 0.0, 0, Some(1e-5));
         let mut bytes = Vec::new();
         snap.write(&mut bytes).unwrap();
 
@@ -298,13 +670,17 @@ mod tests {
         // Wrong magic.
         let mut corrupt = bytes.clone();
         corrupt[0] = b'X';
-        assert!(read_snapshot(&mut corrupt.as_slice()).is_err());
+        let err = read_snapshot(&mut corrupt.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, BookLeafError::Checkpoint(CheckpointError::BadMagic)),
+            "{err}"
+        );
     }
 
     #[test]
     fn snapshot_rejects_shape_mismatch() {
         let (mesh, st) = sample();
-        let snap = Snapshot::capture(&mesh, &st, 0.0, 0, 1e-5);
+        let snap = Snapshot::capture(&mesh, &st, 0.0, 0, Some(1e-5));
         let other = decks::sod(10, 2);
         let mut mesh2 = other.mesh.clone();
         let mut st2 = HydroState::new(
@@ -315,6 +691,85 @@ mod tests {
             |n| other.u[n],
         )
         .unwrap();
-        assert!(snap.restore(&mut mesh2, &mut st2).is_err());
+        let err = snap.restore(&mut mesh2, &mut st2).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BookLeafError::Checkpoint(CheckpointError::DeckMismatch { .. })
+            ),
+            "{err}"
+        );
+    }
+
+    fn sample_checkpoint() -> Checkpoint {
+        let input = InputDeck::new(crate::input::ProblemSpec::Sod { nx: 8, ny: 2 });
+        let (mesh, st) = sample();
+        let snap = Snapshot::capture(&mesh, &st, 0.25, 17, Some(2e-4));
+        Checkpoint { input, snap }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_exact() {
+        let ckpt = sample_checkpoint();
+        let bytes = ckpt.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ckpt);
+        // The writer is deterministic.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn checkpoint_rejects_bad_magic_version_and_crc() {
+        let bytes = sample_checkpoint().to_bytes();
+
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(Checkpoint::from_bytes(&bad), Err(CheckpointError::BadMagic));
+
+        let mut bad = bytes.clone();
+        bad[8] = 99; // version field
+        assert_eq!(
+            Checkpoint::from_bytes(&bad),
+            Err(CheckpointError::UnsupportedVersion {
+                found: 99,
+                supported: CHECKPOINT_VERSION
+            })
+        );
+
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x01;
+        assert!(matches!(
+            Checkpoint::from_bytes(&bad),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_rejects_truncation_at_any_header_boundary() {
+        let bytes = sample_checkpoint().to_bytes();
+        for cut in [0, 4, 8, 12, 15, bytes.len() / 2, bytes.len() - 1] {
+            let err = Checkpoint::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated { .. } | CheckpointError::Corrupt { .. }
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_file_io_errors_are_typed() {
+        let err = Checkpoint::read_from("/nonexistent/no/such.ckpt").unwrap_err();
+        assert!(matches!(err, CheckpointError::Io { .. }), "{err}");
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic check value: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 }

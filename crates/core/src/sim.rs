@@ -40,6 +40,8 @@ use bookleaf_mesh::Mesh;
 use bookleaf_typhon::CommStats;
 use bookleaf_util::{BookLeafError, DeckError, Result, TimerRegistry};
 
+use bookleaf_util::CheckpointError;
+
 use crate::config::{ExecutorKind, RunConfig};
 use crate::decks::Deck;
 use crate::driver::{run_loop, LoopState};
@@ -47,7 +49,7 @@ use crate::executor::run_with_observers;
 use crate::halo::{LocalPiston, SerialHooks};
 use crate::input::InputDeck;
 use crate::observer::{LoopWatch, Observer, ObserverSet};
-use crate::output::Snapshot;
+use crate::output::{Checkpoint, Snapshot};
 use crate::report::RunReport;
 
 /// Where the builder's deck comes from.
@@ -60,6 +62,10 @@ enum DeckSource {
     Text(String),
     /// A path to an input-deck file, read and parsed at build time.
     File(PathBuf),
+    /// An in-memory checkpoint: deck, config baseline and state.
+    Resume(Box<Checkpoint>),
+    /// A checkpoint file, read and parsed at build time.
+    ResumeFile(PathBuf),
 }
 
 /// Fluent constructor for [`Simulation`]; see the module docs.
@@ -101,6 +107,23 @@ impl SimulationBuilder {
     /// Use an input-deck file; read and parsed at [`Self::build`].
     pub fn deck_file(mut self, path: impl Into<PathBuf>) -> Self {
         self.source = Some(DeckSource::File(path.into()));
+        self
+    }
+
+    /// Resume from a checkpoint file (written by
+    /// [`Simulation::checkpoint_to`]). The embedded input deck supplies
+    /// the problem and the configuration baseline; the builder setters
+    /// override on top, so a checkpoint written by a serial run can
+    /// resume under `.executor(ExecutorKind::FlatMpi { ranks: 4 })` (or
+    /// any other shape) — the state is repartitioned automatically.
+    pub fn resume(mut self, path: impl Into<PathBuf>) -> Self {
+        self.source = Some(DeckSource::ResumeFile(path.into()));
+        self
+    }
+
+    /// Resume from an in-memory [`Checkpoint`] (see [`Self::resume`]).
+    pub fn resume_from(mut self, checkpoint: Checkpoint) -> Self {
+        self.source = Some(DeckSource::Resume(Box::new(checkpoint)));
         self
     }
 
@@ -159,17 +182,30 @@ impl SimulationBuilder {
     pub fn build(self) -> Result<Simulation> {
         let Some(source) = self.source else {
             return Err(BookLeafError::InvalidDeck(
-                "Simulation::builder() needs a deck: call .deck(..), .deck_str(..) \
-                 or .deck_file(..)"
+                "Simulation::builder() needs a deck: call .deck(..), .deck_str(..), \
+                 .deck_file(..) or .resume(..)"
                     .into(),
             ));
         };
+        let mut resume_snap: Option<Box<Snapshot>> = None;
         let (deck, input) = match source {
             DeckSource::Built(deck) => (*deck, None),
             DeckSource::Input(input) => (input.build_deck()?, Some(*input)),
             DeckSource::Text(text) => {
                 let input: InputDeck = text.parse::<InputDeck>()?;
                 (input.build_deck()?, Some(input))
+            }
+            DeckSource::Resume(ckpt) => {
+                let Checkpoint { input, snap } = *ckpt;
+                let deck = input.build_deck()?;
+                resume_snap = Some(Box::new(snap));
+                (deck, Some(input))
+            }
+            DeckSource::ResumeFile(path) => {
+                let ckpt = Checkpoint::read_from(&path)?;
+                let deck = ckpt.input.build_deck()?;
+                resume_snap = Some(Box::new(ckpt.snap));
+                (deck, Some(ckpt.input))
             }
             DeckSource::File(path) => {
                 let text = std::fs::read_to_string(&path).map_err(|e| {
@@ -222,10 +258,39 @@ impl SimulationBuilder {
         }
 
         deck.validate()?;
+        if let Some(snap) = &resume_snap {
+            // The file path validated the snapshot against the embedded
+            // deck already; this also covers in-memory checkpoints
+            // assembled by hand.
+            if snap.n_nodes() != deck.mesh.n_nodes() || snap.n_elements() != deck.mesh.n_elements()
+            {
+                return Err(CheckpointError::DeckMismatch {
+                    message: format!(
+                        "checkpoint carries {} nodes / {} elements but its deck builds a \
+                         {}-node / {}-element mesh",
+                        snap.n_nodes(),
+                        snap.n_elements(),
+                        deck.mesh.n_nodes(),
+                        deck.mesh.n_elements()
+                    ),
+                }
+                .into());
+            }
+        }
         let engine = match config.executor {
-            ExecutorKind::Serial => Engine::Serial(Box::new(SerialEngine::new(&deck, &config)?)),
+            ExecutorKind::Serial => {
+                let mut engine = SerialEngine::new(&deck, &config)?;
+                if let Some(snap) = &resume_snap {
+                    engine.install(snap, &deck, &config)?;
+                }
+                Engine::Serial(Box::new(engine))
+            }
             ExecutorKind::FlatMpi { .. } | ExecutorKind::Hybrid { .. } => {
-                Engine::Distributed(Box::new(AssembledView::new(&deck)?))
+                let mut view = AssembledView::new(&deck)?;
+                if let Some(snap) = &resume_snap {
+                    view.install(snap, &deck, &config)?;
+                }
+                Engine::Distributed(Box::new(view))
             }
         };
         Ok(Simulation {
@@ -234,6 +299,7 @@ impl SimulationBuilder {
             config,
             observers: ObserverSet::new(self.observers),
             engine,
+            resume: resume_snap,
         })
     }
 }
@@ -285,6 +351,28 @@ impl SerialEngine {
             energy_start: None,
             wall_seconds: 0.0,
         })
+    }
+
+    /// Load a snapshot into the live mesh/state, place the loop cursor
+    /// at its time/step, and re-derive the dependent fields the
+    /// snapshot omits (geometry, then pressure/sound speed).
+    fn install(&mut self, snap: &Snapshot, deck: &Deck, config: &RunConfig) -> Result<()> {
+        snap.restore(&mut self.mesh, &mut self.state)?;
+        self.cursor = LoopState {
+            t: snap.time,
+            steps: snap.steps as usize,
+            dt_prev: snap.dt_prev,
+        };
+        let range = LocalRange::whole(&self.mesh);
+        bookleaf_hydro::getgeom::getgeom(&self.mesh, &mut self.state, range, config.lag.threading)?;
+        bookleaf_hydro::getpc::getpc(
+            &self.mesh,
+            &deck.materials,
+            &mut self.state,
+            range,
+            config.lag.threading,
+        );
+        Ok(())
     }
 
     /// Run to `config.final_time`, firing `observers` along the way.
@@ -343,13 +431,43 @@ impl std::fmt::Debug for SerialEngine {
 struct AssembledView {
     mesh: Mesh,
     state: HydroState,
+    /// The assembled time/step/dt cursor — default before any run,
+    /// the checkpoint's cursor after a resume install, the final
+    /// cursor after a run. Feeds [`Simulation::checkpoint`].
+    cursor: LoopState,
 }
 
 impl AssembledView {
     fn new(deck: &Deck) -> Result<Self> {
         let mesh = deck.mesh.clone();
         let state = deck.initial_state(&mesh)?;
-        Ok(AssembledView { mesh, state })
+        Ok(AssembledView {
+            mesh,
+            state,
+            cursor: LoopState::default(),
+        })
+    }
+
+    /// Mirror of [`SerialEngine::install`] for the global view, so
+    /// `state()`/`checkpoint()` reflect the checkpoint even before the
+    /// resumed distributed run happens.
+    fn install(&mut self, snap: &Snapshot, deck: &Deck, config: &RunConfig) -> Result<()> {
+        snap.restore(&mut self.mesh, &mut self.state)?;
+        self.cursor = LoopState {
+            t: snap.time,
+            steps: snap.steps as usize,
+            dt_prev: snap.dt_prev,
+        };
+        let range = LocalRange::whole(&self.mesh);
+        bookleaf_hydro::getgeom::getgeom(&self.mesh, &mut self.state, range, config.lag.threading)?;
+        bookleaf_hydro::getpc::getpc(
+            &self.mesh,
+            &deck.materials,
+            &mut self.state,
+            range,
+            config.lag.threading,
+        );
+        Ok(())
     }
 }
 
@@ -369,6 +487,10 @@ pub struct Simulation {
     config: RunConfig,
     observers: ObserverSet,
     engine: Engine,
+    /// Snapshot to scatter across the ranks of a distributed run, when
+    /// the simulation was built from a checkpoint (serial engines
+    /// install it directly at build time instead).
+    resume: Option<Box<Snapshot>>,
 }
 
 impl Simulation {
@@ -410,13 +532,22 @@ impl Simulation {
                 })
             }
             Engine::Distributed(view) => {
-                let (report, fields) =
-                    run_with_observers(&self.deck, &self.config, &self.observers)?;
+                let (report, fields) = run_with_observers(
+                    &self.deck,
+                    &self.config,
+                    &self.observers,
+                    self.resume.as_deref(),
+                )?;
                 view.mesh.nodes.copy_from_slice(&fields.nodes);
                 view.state.rho.copy_from_slice(&fields.rho);
                 view.state.ein.copy_from_slice(&fields.ein);
                 view.state.pressure.copy_from_slice(&fields.pressure);
                 view.state.u.copy_from_slice(&fields.u);
+                view.state.mass.copy_from_slice(&fields.mass);
+                view.state.q.copy_from_slice(&fields.q);
+                view.state.nd_mass.copy_from_slice(&fields.nd_mass);
+                view.state.cnmass.copy_from_slice(&fields.cnmass);
+                view.cursor = fields.cursor;
                 Ok(report)
             }
         }
@@ -455,7 +586,7 @@ impl Simulation {
             &engine.state,
             engine.cursor.t,
             engine.cursor.steps as u64,
-            engine.cursor.dt_prev.unwrap_or(self.config.dt.dt_initial),
+            engine.cursor.dt_prev,
         ))
     }
 
@@ -467,27 +598,66 @@ impl Simulation {
                 "snapshots require the serial executor".into(),
             ));
         };
-        snap.restore(&mut engine.mesh, &mut engine.state)?;
-        engine.cursor = LoopState {
-            t: snap.time,
-            steps: snap.steps as usize,
-            dt_prev: Some(snap.dt_prev),
+        engine.install(snap, &self.deck, &self.config)
+    }
+
+    /// Capture a portable, versioned [`Checkpoint`]: the full restart
+    /// state plus the input deck that rebuilds this problem (so
+    /// [`SimulationBuilder::resume`] needs nothing but the file). Works
+    /// under every executor — distributed runs checkpoint their
+    /// assembled global view — but requires a deck that carries a
+    /// problem spec ([`Deck::spec`]); hand-assembled decks cannot be
+    /// checkpointed and return a typed
+    /// [`CheckpointError::DeckMismatch`].
+    pub fn checkpoint(&self) -> Result<Checkpoint> {
+        let Some(problem) = self
+            .deck
+            .spec
+            .or_else(|| self.input.as_ref().map(|i| i.problem))
+        else {
+            return Err(CheckpointError::DeckMismatch {
+                message: "this deck was assembled by hand and carries no problem spec, \
+                          so a resumed run could not rebuild it; construct the deck \
+                          via bookleaf_core::decks or an input deck to checkpoint"
+                    .into(),
+            }
+            .into());
         };
-        // Re-derive the dependent fields the snapshot omits.
-        let range = LocalRange::whole(&engine.mesh);
-        bookleaf_hydro::getgeom::getgeom(
-            &engine.mesh,
-            &mut engine.state,
-            range,
-            self.config.lag.threading,
-        )?;
-        bookleaf_hydro::getpc::getpc(
-            &engine.mesh,
-            &engine.materials,
-            &mut engine.state,
-            range,
-            self.config.lag.threading,
-        );
+        // Embed the *effective* configuration so the checkpoint is
+        // self-contained: resuming without overrides continues exactly
+        // this run (same final time, dt controls, ALE and executor).
+        let input = InputDeck {
+            problem,
+            final_time: Some(self.config.final_time),
+            max_steps: self.config.max_steps,
+            overlap: self.config.overlap,
+            dt: self.config.dt,
+            ale: self.config.ale,
+            executor: self.config.executor,
+        };
+        let snap = match &self.engine {
+            Engine::Serial(e) => Snapshot::capture(
+                &e.mesh,
+                &e.state,
+                e.cursor.t,
+                e.cursor.steps as u64,
+                e.cursor.dt_prev,
+            ),
+            Engine::Distributed(v) => Snapshot::capture(
+                &v.mesh,
+                &v.state,
+                v.cursor.t,
+                v.cursor.steps as u64,
+                v.cursor.dt_prev,
+            ),
+        };
+        Ok(Checkpoint { input, snap })
+    }
+
+    /// Write [`Simulation::checkpoint`] to a file (see
+    /// [`crate::output`] for the on-disk format).
+    pub fn checkpoint_to(&self, path: impl Into<PathBuf>) -> Result<()> {
+        self.checkpoint()?.write_to(path.into())?;
         Ok(())
     }
 

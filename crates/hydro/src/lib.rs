@@ -28,7 +28,7 @@
 //! | `getein`     | [`getein`]   | compatible internal-energy update |
 //! | `getpc`      | [`getpc`]    | EoS evaluation |
 //!
-//! [`lagstep`] composes them into the predictor–corrector step, with
+//! [`lagstep()`] composes them into the predictor–corrector step, with
 //! halo-exchange hooks at exactly the two points the paper identifies
 //! (immediately before the viscosity calculation and immediately before
 //! the acceleration).

@@ -68,6 +68,86 @@ impl From<DeckError> for BookLeafError {
     }
 }
 
+/// Everything that can go wrong loading or applying a checkpoint file,
+/// as a typed value.
+///
+/// Produced by the checkpoint codec in `bookleaf_core::output` and by
+/// `SimulationBuilder::resume`. The failure-injection suite pins the
+/// contract that a damaged file — truncated, bit-flipped, stale-version,
+/// wrong problem — always surfaces as one of these variants and never a
+/// panic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// The underlying file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error text.
+        message: String,
+    },
+    /// The byte stream ended before the section named here.
+    Truncated {
+        /// Which part of the format was cut short.
+        what: &'static str,
+    },
+    /// The leading magic bytes are not a BookLeaf-rs checkpoint.
+    BadMagic,
+    /// The file's format version is not one this reader understands.
+    UnsupportedVersion {
+        /// Version stored in the file.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+    /// The payload is internally inconsistent (failed CRC, implausible
+    /// counts, trailing garbage, unparsable embedded deck…).
+    Corrupt {
+        /// What check failed.
+        what: String,
+    },
+    /// The checkpoint is well-formed but does not fit the target
+    /// simulation (different problem, resolution, or field shapes).
+    DeckMismatch {
+        /// What disagrees.
+        message: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, message } => {
+                write!(f, "checkpoint file {path}: {message}")
+            }
+            CheckpointError::Truncated { what } => {
+                write!(f, "checkpoint truncated in {what}")
+            }
+            CheckpointError::BadMagic => {
+                write!(f, "not a BookLeaf-rs checkpoint (bad magic)")
+            }
+            CheckpointError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "checkpoint format version {found} unsupported (this build reads \
+                     version {supported})"
+                )
+            }
+            CheckpointError::Corrupt { what } => write!(f, "checkpoint corrupt: {what}"),
+            CheckpointError::DeckMismatch { message } => {
+                write!(f, "checkpoint does not match the simulation: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<CheckpointError> for BookLeafError {
+    fn from(e: CheckpointError) -> Self {
+        BookLeafError::Checkpoint(e)
+    }
+}
+
 /// Every fatal condition a BookLeaf run can hit.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BookLeafError {
@@ -87,6 +167,8 @@ pub enum BookLeafError {
     InvalidDeck(String),
     /// Domain decomposition failed (empty part, unbalanced beyond limits…).
     Partition(String),
+    /// A checkpoint file could not be read, parsed or applied.
+    Checkpoint(CheckpointError),
     /// A communication-layer failure (mismatched schedule, dead rank…).
     Comm(String),
     /// A rank thread panicked during a distributed run.
@@ -115,6 +197,7 @@ impl fmt::Display for BookLeafError {
             BookLeafError::Deck(e) => write!(f, "invalid input deck: {e}"),
             BookLeafError::InvalidDeck(msg) => write!(f, "invalid input deck: {msg}"),
             BookLeafError::Partition(msg) => write!(f, "partitioning error: {msg}"),
+            BookLeafError::Checkpoint(e) => write!(f, "{e}"),
             BookLeafError::Comm(msg) => write!(f, "communication error: {msg}"),
             BookLeafError::RankPanic { rank, message } => {
                 write!(f, "rank {rank} panicked: {message}")

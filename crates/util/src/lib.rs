@@ -14,7 +14,7 @@ pub mod sum;
 pub mod timer;
 pub mod vec2;
 
-pub use error::{BookLeafError, DeckError, Result};
+pub use error::{BookLeafError, CheckpointError, DeckError, Result};
 pub use sum::{kahan_sum, NeumaierSum};
 pub use timer::{KernelId, TimerRegistry, TimerReport};
 pub use vec2::Vec2;

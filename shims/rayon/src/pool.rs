@@ -3,18 +3,18 @@
 //! Architecture (a deliberately simple rendition of rayon's registry,
 //! built on `std` primitives only):
 //!
-//! * A [`Registry`] owns one FIFO **injector** queue for work arriving
+//! * A `Registry` owns one FIFO **injector** queue for work arriving
 //!   from outside the pool and one deque **per worker**. Workers push and
 //!   pop their own deque LIFO (newest first, for cache locality); thieves
 //!   and the injector drain FIFO (oldest first — the biggest pieces of a
 //!   recursively split range).
 //! * [`join`] is the only fork primitive: it publishes the second closure
-//!   as a [`StackJob`] on the worker's own deque, runs the first closure
+//!   as a `StackJob` on the worker's own deque, runs the first closure
 //!   inline, then either pops the second back (not stolen — run it
 //!   inline) or **helps** by stealing other work until the thief's latch
 //!   fires. Blocking never idles a worker while work exists.
 //! * `install` on a non-worker thread injects the closure as a job with a
-//!   blocking [`LockLatch`] and parks until a worker completes it; on a
+//!   blocking `LockLatch` and parks until a worker completes it; on a
 //!   worker of the same pool it simply runs the closure in place (nested
 //!   `install`).
 //! * Panics inside jobs are caught at the job boundary, carried through
@@ -23,7 +23,7 @@
 //!   aborts the pool.
 //!
 //! Everything here is `unsafe`-light: the only raw-pointer trick is the
-//! classic stack-job one (a [`JobRef`] type-erases a pointer to a
+//! classic stack-job one (a `JobRef` type-erases a pointer to a
 //! `StackJob` living on the forking thread's stack; the fork never
 //! returns before the job completed, so the pointer outlives every use).
 
@@ -127,7 +127,7 @@ impl Latch for LockLatch {
 // Jobs
 
 /// Type-erased pointer to a job awaiting execution. The pointee is a
-/// [`StackJob`] on the stack of the thread that forked it; that thread
+/// `StackJob` on the stack of the thread that forked it; that thread
 /// does not return until the job's latch fires, so the pointer is valid
 /// for as long as any queue or thief holds this ref.
 #[derive(Clone, Copy)]
@@ -156,7 +156,7 @@ enum JobResult<R> {
 }
 
 /// A closure pinned on the forking thread's stack, executable exactly
-/// once from any thread via its [`JobRef`].
+/// once from any thread via its `JobRef`.
 pub(crate) struct StackJob<L: Latch, F, R> {
     f: UnsafeCell<Option<F>>,
     result: UnsafeCell<JobResult<R>>,
@@ -447,7 +447,7 @@ impl Registry {
     }
 
     /// Run `op` inside this pool: directly when already on one of its
-    /// workers, otherwise injected + blocked on a [`LockLatch`].
+    /// workers, otherwise injected + blocked on a `LockLatch`.
     pub(crate) fn install<R, OP>(self: &Arc<Self>, op: OP) -> R
     where
         R: Send,

@@ -1,0 +1,421 @@
+//! The restart matrix: portable checkpoint/restart with elastic
+//! repartitioning, pinned shape by shape.
+//!
+//! The killer property: run Noh to t/2, checkpoint, resume under a
+//! *different* executor shape, and match the uninterrupted serial run
+//! — bitwise when the shape is unchanged, to 1e-12 across shape
+//! changes (the same tolerance `tests/hybrid_determinism.rs` pins for
+//! serial-vs-distributed agreement). CI runs this file as the
+//! `restart-matrix` job and uploads the checkpoint it produces as an
+//! artifact.
+//!
+//! Alongside the matrix: the committed golden fixture
+//! `tests/fixtures/noh_v1.ckpt` pins the on-disk format (version bumps
+//! must be deliberate), and the failure-path tests pin that malformed
+//! files always surface as typed [`CheckpointError`]s, never panics.
+
+use std::path::PathBuf;
+
+use bookleaf::core::decks;
+use bookleaf::{
+    Checkpoint, CheckpointError, ExecutorKind, ProblemSpec, Simulation, CHECKPOINT_VERSION,
+};
+use proptest::prelude::*;
+
+/// Pause/resume agreement tolerance across executor-shape changes.
+const TOL: f64 = 1e-12;
+/// The matrix problem: Noh on a 16×16 mesh to t = 0.05.
+const FINAL_TIME: f64 = 0.05;
+
+fn tmp(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name)
+}
+
+fn noh_builder() -> bookleaf::SimulationBuilder {
+    Simulation::builder()
+        .deck(decks::noh(16))
+        .final_time(FINAL_TIME)
+}
+
+/// The uninterrupted serial reference run and its step count.
+fn reference() -> (Simulation, usize) {
+    let mut sim = noh_builder().build().unwrap();
+    let report = sim.run().unwrap();
+    assert!(report.steps >= 4, "reference too short to halve");
+    (sim, report.steps)
+}
+
+/// Run to `steps` under `executor`, write a checkpoint file, return its
+/// path.
+fn checkpoint_at(steps: usize, executor: ExecutorKind, file: &str) -> PathBuf {
+    let mut sim = noh_builder()
+        .executor(executor)
+        .max_steps(steps)
+        .build()
+        .unwrap();
+    let report = sim.run().unwrap();
+    assert_eq!(report.steps, steps, "pause landed on the wrong step");
+    assert!(report.time < FINAL_TIME, "pause ran past the final time");
+    let path = tmp(file);
+    sim.checkpoint_to(&path).unwrap();
+    path
+}
+
+/// Resume a checkpoint file under `executor` and run to completion.
+fn resume(path: &PathBuf, executor: ExecutorKind) -> Simulation {
+    let mut sim = Simulation::builder()
+        .resume(path)
+        .executor(executor)
+        .max_steps(100_000)
+        .build()
+        .unwrap();
+    let report = sim.run().unwrap();
+    assert!(
+        (report.time - FINAL_TIME).abs() < 1e-12,
+        "resumed run stopped at t = {}",
+        report.time
+    );
+    sim
+}
+
+/// Every field of the resumed solution within `tol` of the reference
+/// (absolute, per entity — the hybrid-determinism contract).
+fn assert_matches(reference: &Simulation, resumed: &Simulation, tol: f64, label: &str) {
+    let (a, b) = (reference.state(), resumed.state());
+    for e in 0..a.rho.len() {
+        assert!(
+            (a.rho[e] - b.rho[e]).abs() <= tol,
+            "{label}: rho diverged at element {e}: {} vs {}",
+            a.rho[e],
+            b.rho[e]
+        );
+        assert!(
+            (a.ein[e] - b.ein[e]).abs() <= tol,
+            "{label}: ein diverged at element {e}"
+        );
+        assert!(
+            (a.pressure[e] - b.pressure[e]).abs() <= tol,
+            "{label}: pressure diverged at element {e}"
+        );
+    }
+    for n in 0..a.u.len() {
+        assert!(
+            (a.u[n] - b.u[n]).norm() <= tol,
+            "{label}: velocity diverged at node {n}"
+        );
+        assert!(
+            reference.mesh().nodes[n].distance(resumed.mesh().nodes[n]) <= tol,
+            "{label}: position diverged at node {n}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------- matrix
+
+/// Same shape, no repartition: pausing at a step boundary and resuming
+/// through the file must move **no bits** relative to never pausing.
+#[test]
+fn serial_to_serial_resume_is_bitwise() {
+    let (reference, steps) = reference();
+    let path = checkpoint_at(steps / 2, ExecutorKind::Serial, "noh_serial_half.ckpt");
+    let resumed = resume(&path, ExecutorKind::Serial);
+    let (a, b) = (reference.state(), resumed.state());
+    for e in 0..a.rho.len() {
+        assert_eq!(
+            a.rho[e].to_bits(),
+            b.rho[e].to_bits(),
+            "rho not bitwise at element {e}"
+        );
+        assert_eq!(
+            a.ein[e].to_bits(),
+            b.ein[e].to_bits(),
+            "ein not bitwise at element {e}"
+        );
+    }
+    for n in 0..a.u.len() {
+        assert_eq!(
+            a.u[n].x.to_bits(),
+            b.u[n].x.to_bits(),
+            "u.x not bitwise at node {n}"
+        );
+        assert_eq!(
+            a.u[n].y.to_bits(),
+            b.u[n].y.to_bits(),
+            "u.y not bitwise at node {n}"
+        );
+        assert_eq!(
+            reference.mesh().nodes[n].x.to_bits(),
+            resumed.mesh().nodes[n].x.to_bits(),
+            "node x not bitwise at node {n}"
+        );
+    }
+}
+
+/// Serial checkpoint, resumed across 4 ranks (the state is
+/// repartitioned through RCB + the halo machinery).
+#[test]
+fn serial_checkpoint_resumes_on_four_ranks() {
+    let (reference, steps) = reference();
+    let path = checkpoint_at(steps / 2, ExecutorKind::Serial, "noh_1to4.ckpt");
+    let resumed = resume(&path, ExecutorKind::FlatMpi { ranks: 4 });
+    assert_matches(&reference, &resumed, TOL, "1 -> 4");
+}
+
+/// 4-rank checkpoint (assembled global view), resumed serially.
+#[test]
+fn four_rank_checkpoint_resumes_serially() {
+    let (reference, steps) = reference();
+    let path = checkpoint_at(
+        steps / 2,
+        ExecutorKind::FlatMpi { ranks: 4 },
+        "noh_4to1.ckpt",
+    );
+    let resumed = resume(&path, ExecutorKind::Serial);
+    assert_matches(&reference, &resumed, TOL, "4 -> 1");
+}
+
+/// Rank-count change without passing through serial: 2 -> 4.
+#[test]
+fn two_rank_checkpoint_resumes_on_four_ranks() {
+    let (reference, steps) = reference();
+    let path = checkpoint_at(
+        steps / 2,
+        ExecutorKind::FlatMpi { ranks: 2 },
+        "noh_2to4.ckpt",
+    );
+    let resumed = resume(&path, ExecutorKind::FlatMpi { ranks: 4 });
+    assert_matches(&reference, &resumed, TOL, "2 -> 4");
+}
+
+/// A resume with no overrides continues the embedded configuration —
+/// the checkpoint is self-contained.
+#[test]
+fn resume_without_overrides_continues_the_embedded_config() {
+    let mut sim = noh_builder().build().unwrap();
+    sim.run().unwrap();
+    let path = tmp("noh_complete.ckpt");
+    sim.checkpoint_to(&path).unwrap();
+
+    // The embedded deck carries problem, final time and executor; the
+    // resumed simulation reports the same effective configuration.
+    let resumed = Simulation::builder().resume(&path).build().unwrap();
+    assert!((resumed.config().final_time - FINAL_TIME).abs() < 1e-15);
+    assert!(matches!(resumed.config().executor, ExecutorKind::Serial));
+    assert!(matches!(
+        resumed.input_deck().unwrap().problem,
+        ProblemSpec::Noh { n: 16 }
+    ));
+}
+
+// ------------------------------------------------------------- fixture
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/noh_v1.ckpt")
+}
+
+fn fixture_checkpoint() -> Checkpoint {
+    let mut sim = Simulation::builder()
+        .deck(decks::noh(8))
+        .final_time(0.03)
+        .max_steps(10)
+        .build()
+        .unwrap();
+    sim.run().unwrap();
+    sim.checkpoint().unwrap()
+}
+
+/// Format-stability pin: the committed v1 fixture must keep parsing,
+/// carry the expected contents, and re-encode **byte-identically**.
+/// If this test fails, the on-disk format changed: bump
+/// `CHECKPOINT_VERSION`, keep a reader for v1, and regenerate the
+/// fixture (`cargo test --test checkpoint_restart -- --ignored`)
+/// deliberately.
+#[test]
+fn golden_fixture_noh_v1_still_parses_and_reencodes_byte_identically() {
+    let bytes = std::fs::read(fixture_path()).expect(
+        "tests/fixtures/noh_v1.ckpt missing; regenerate with \
+         cargo test --test checkpoint_restart -- --ignored",
+    );
+    assert_eq!(CHECKPOINT_VERSION, 1, "version bumped: regenerate fixture");
+    let ckpt = Checkpoint::from_bytes(&bytes).expect("golden fixture no longer parses");
+    assert!(matches!(ckpt.input.problem, ProblemSpec::Noh { n: 8 }));
+    assert_eq!(ckpt.snap.steps, 10);
+    assert_eq!(ckpt.snap.n_nodes(), 9 * 9);
+    assert_eq!(ckpt.snap.n_elements(), 8 * 8);
+    assert!(ckpt.snap.time > 0.0);
+    assert_eq!(
+        ckpt.to_bytes(),
+        bytes,
+        "checkpoint encoding changed without a version bump"
+    );
+
+    // The fixture must also still *run*: resume and finish the problem.
+    let mut sim = Simulation::builder()
+        .resume_from(ckpt)
+        .max_steps(100_000)
+        .build()
+        .unwrap();
+    let report = sim.run().unwrap();
+    assert!((report.time - 0.03).abs() < 1e-12);
+    assert!(sim.state().rho.iter().all(|r| r.is_finite() && *r > 0.0));
+}
+
+/// The checkpoint produced today must match the committed fixture
+/// byte for byte — the writer is deterministic and format-stable.
+#[test]
+fn writer_reproduces_the_golden_fixture() {
+    let committed = std::fs::read(fixture_path()).unwrap();
+    assert_eq!(
+        fixture_checkpoint().to_bytes(),
+        committed,
+        "writer output drifted from tests/fixtures/noh_v1.ckpt"
+    );
+}
+
+/// Regenerate the committed fixture after a *deliberate* format change:
+/// `cargo test --test checkpoint_restart -- --ignored`.
+#[test]
+#[ignore = "writes tests/fixtures/noh_v1.ckpt; run only on deliberate format changes"]
+fn regenerate_golden_fixture() {
+    std::fs::create_dir_all(fixture_path().parent().unwrap()).unwrap();
+    std::fs::write(fixture_path(), fixture_checkpoint().to_bytes()).unwrap();
+}
+
+// ------------------------------------------------------- failure paths
+
+/// A cheap valid checkpoint for corruption tests (no time stepping).
+fn small_checkpoint_bytes() -> Vec<u8> {
+    Simulation::builder()
+        .deck(decks::noh(6))
+        .build()
+        .unwrap()
+        .checkpoint()
+        .unwrap()
+        .to_bytes()
+}
+
+#[test]
+fn truncated_files_are_typed_errors() {
+    let bytes = small_checkpoint_bytes();
+    for cut in [0, 1, 7, 8, 11, 15, bytes.len() / 2, bytes.len() - 1] {
+        match Checkpoint::from_bytes(&bytes[..cut]) {
+            Err(
+                CheckpointError::Truncated { .. }
+                | CheckpointError::Corrupt { .. }
+                | CheckpointError::BadMagic,
+            ) => {}
+            other => panic!("cut at {cut}: expected a typed error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn corrupted_header_is_rejected() {
+    let mut bytes = small_checkpoint_bytes();
+    bytes[0] ^= 0xFF;
+    assert!(matches!(
+        Checkpoint::from_bytes(&bytes),
+        Err(CheckpointError::BadMagic)
+    ));
+}
+
+#[test]
+fn future_versions_are_rejected_with_both_versions_named() {
+    let mut bytes = small_checkpoint_bytes();
+    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+    match Checkpoint::from_bytes(&bytes) {
+        Err(CheckpointError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, 99);
+            assert_eq!(supported, CHECKPOINT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn snapshot_not_matching_its_deck_is_rejected() {
+    // Pair a Sod snapshot with a Noh deck by hand; the builder must
+    // refuse with a typed mismatch, whatever path the checkpoint took.
+    let sod = Simulation::builder()
+        .deck(decks::sod(8, 2))
+        .build()
+        .unwrap()
+        .checkpoint()
+        .unwrap();
+    let noh = Simulation::builder()
+        .deck(decks::noh(6))
+        .build()
+        .unwrap()
+        .checkpoint()
+        .unwrap();
+    let franken = Checkpoint {
+        input: noh.input,
+        snap: sod.snap,
+    };
+    let err = Simulation::builder()
+        .resume_from(franken)
+        .build()
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("nodes"),
+        "expected a shape mismatch, got: {err}"
+    );
+}
+
+#[test]
+fn hand_built_decks_cannot_be_checkpointed() {
+    use bookleaf::eos::{EosSpec, MaterialTable};
+    use bookleaf::mesh::{generate_rect, RectSpec};
+    use bookleaf::util::Vec2;
+    let mesh = generate_rect(&RectSpec::unit_square(4), |_| 0).unwrap();
+    let deck = bookleaf::core::Deck {
+        name: "hand-built",
+        materials: MaterialTable::single(EosSpec::ideal_gas(1.4)),
+        rho: vec![1.0; mesh.n_elements()],
+        ein: vec![1.0; mesh.n_elements()],
+        u: vec![Vec2::ZERO; mesh.n_nodes()],
+        piston: None,
+        recommended_final_time: 0.1,
+        spec: None,
+        mesh,
+    };
+    let sim = Simulation::builder().deck(deck).build().unwrap();
+    let err = sim.checkpoint().unwrap_err();
+    assert!(
+        err.to_string().contains("problem spec"),
+        "expected the no-spec refusal, got: {err}"
+    );
+}
+
+#[test]
+fn missing_file_is_a_typed_io_error() {
+    let err = Simulation::builder()
+        .resume(tmp("does_not_exist.ckpt"))
+        .build()
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("does_not_exist.ckpt"),
+        "error should name the file: {err}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Any single flipped byte is *detected* (the trailing CRC-32
+    /// catches every 1-byte corruption) and surfaces as a typed error —
+    /// never a panic, never a silently-wrong resume.
+    #[test]
+    fn random_byte_flips_never_panic_and_never_parse(
+        pos in 0usize..4096,
+        flip in 1u8..255,
+    ) {
+        let mut bytes = small_checkpoint_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        prop_assert!(
+            Checkpoint::from_bytes(&bytes).is_err(),
+            "flip of byte {pos} by {flip:#04x} went undetected"
+        );
+    }
+}
