@@ -176,7 +176,7 @@ impl Remapper {
         // the early node sweep writes — see the `RemapOverlap` invariant.
         let u_old: Vec<Vec2> = state.u[..range.n_active_nd].to_vec();
 
-        let failure = match overlap {
+        let (failure, post_result) = match overlap {
             None => {
                 let failure = remap_elements(
                     mesh,
@@ -198,8 +198,7 @@ impl Remapper {
                         Subset::All,
                     );
                 }
-                halo.post_remap_post(mesh, state);
-                failure
+                (failure, halo.post_remap_post(mesh, state))
             }
             Some(o) => {
                 // Early sweep: exactly what the exchange packs (and the
@@ -224,7 +223,7 @@ impl Remapper {
                 if f0.is_none() {
                     remap_nodes(mesh, state, &u_old, &mom_change, range, threading, pre_nd);
                 }
-                halo.post_remap_post(mesh, state);
+                let post_result = halo.post_remap_post(mesh, state);
                 // Deferred sweep while the messages are in flight.
                 let rest_el = Subset::Mask {
                     mask: o.pre_el,
@@ -246,16 +245,19 @@ impl Remapper {
                 if f0.is_none() && f1.is_none() {
                     remap_nodes(mesh, state, &u_old, &mom_change, range, threading, rest_nd);
                 }
-                first_fail(f0, f1)
+                (first_fail(f0, f1), post_result)
             }
         };
         if let Some((e, kind)) = failure {
             // The failing element was left untouched, so its original
-            // quantities reproduce the offending values exactly. (The
-            // exchange was still posted and is completed below, keeping
-            // the team's message sequence aligned while the error
-            // propagates.)
-            halo.post_remap_complete(mesh, state);
+            // quantities reproduce the offending values exactly. If the
+            // exchange was posted successfully it is still completed,
+            // keeping the team's message sequence aligned while the
+            // (more causal) remap error propagates; a comm failure on
+            // this path is swallowed — the run is aborting either way.
+            if post_result.is_ok() {
+                let _ = halo.post_remap_complete(mesh, state);
+            }
             return Err(match kind {
                 Fail::Mass => BookLeafError::InvalidState {
                     element: e,
@@ -270,7 +272,8 @@ impl Remapper {
                 },
             });
         }
-        halo.post_remap_complete(mesh, state);
+        post_result?;
+        halo.post_remap_complete(mesh, state)?;
         Ok(())
     }
 }

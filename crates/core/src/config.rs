@@ -24,6 +24,64 @@ pub enum ExecutorKind {
     },
 }
 
+/// Health-sentinel controls: the cheap per-step validity sweep that
+/// turns silent corruption into a typed
+/// [`bookleaf_util::BookLeafError::Unhealthy`] abort.
+///
+/// The sweep inspects the rank-local state (NaN/Inf in ρ, ε, q, u;
+/// non-positive mass/volume), min-reduces an encoded verdict across the
+/// team so **every rank aborts together with the same diagnosis**, and
+/// checks the already-global quantities (the reduced dt against
+/// `dt_floor`; total-energy drift against `drift_tol`) without extra
+/// communication beyond the drift check's sum.
+///
+/// The sentinel is read-only: an enabled sentinel on a healthy run is
+/// bitwise identical to a disabled one. It is deliberately *not* part
+/// of the text input-deck format (and therefore not embedded in
+/// checkpoints): it configures the harness around a run, not the
+/// problem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SentinelConfig {
+    /// Sweep every `every` steps; `0` disables the sentinel entirely.
+    pub every: usize,
+    /// Abort when the globally-reduced dt falls below this floor
+    /// (checked before the step executes). The default `0.0` never
+    /// fires — `getdt`'s own `dt_min` collapse error remains the first
+    /// line of defence; the floor catches slow decay spirals earlier.
+    pub dt_floor: f64,
+    /// Abort when the relative total-energy drift from the run's start
+    /// exceeds this tolerance. `None` (default) skips the check — it
+    /// costs one extra sum-reduction per sweep in distributed runs.
+    pub drift_tol: Option<f64>,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        SentinelConfig {
+            every: 1,
+            dt_floor: 0.0,
+            drift_tol: None,
+        }
+    }
+}
+
+impl SentinelConfig {
+    /// A disabled sentinel (no sweeps, no extra collectives).
+    #[must_use]
+    pub fn disabled() -> Self {
+        SentinelConfig {
+            every: 0,
+            ..SentinelConfig::default()
+        }
+    }
+
+    /// Does the sentinel run at all?
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.every > 0
+    }
+}
+
 /// Full run configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct RunConfig {
@@ -46,6 +104,9 @@ pub struct RunConfig {
     /// schedule — this is purely a latency-hiding toggle, kept for
     /// A/B measurement.
     pub overlap: bool,
+    /// Health-sentinel controls (per-step validity sweep). On by
+    /// default with `every = 1`; never rendered into deck text.
+    pub sentinel: SentinelConfig,
 }
 
 impl Default for RunConfig {
@@ -58,6 +119,7 @@ impl Default for RunConfig {
             ale: None,
             executor: ExecutorKind::Serial,
             overlap: true,
+            sentinel: SentinelConfig::default(),
         }
     }
 }
@@ -73,5 +135,14 @@ mod tests {
         assert!(c.ale.is_none());
         assert!(c.final_time > 0.0);
         assert!(c.overlap, "overlapped halo exchange is the default");
+        assert!(c.sentinel.enabled(), "sentinel sweeps by default");
+        assert_eq!(c.sentinel.dt_floor, 0.0);
+        assert!(c.sentinel.drift_tol.is_none());
+    }
+
+    #[test]
+    fn disabled_sentinel_never_sweeps() {
+        let s = SentinelConfig::disabled();
+        assert!(!s.enabled());
     }
 }

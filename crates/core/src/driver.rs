@@ -24,7 +24,7 @@ use bookleaf_eos::MaterialTable;
 use bookleaf_hydro::getdt::getdt;
 use bookleaf_hydro::{lagstep_timed, HaloOps, HydroState, KernelSplit, LocalRange};
 use bookleaf_mesh::{Mesh, OverlapSets};
-use bookleaf_util::{KernelId, Result, TimerRegistry};
+use bookleaf_util::{BookLeafError, HealthDiagnosis, HealthField, KernelId, Result, TimerRegistry};
 
 use crate::config::RunConfig;
 use crate::decks::Deck;
@@ -48,12 +48,34 @@ pub struct LoopState {
     pub dt_prev: Option<f64>,
 }
 
+/// The collectives the health sentinel needs, plus the drift
+/// reference. Identity reductions serially; Typhon collectives on a
+/// rank. The loop calls them at identical points on every rank (gated
+/// only by the team-shared [`crate::SentinelConfig`] and the step
+/// counter), which is what keeps them deadlock-free.
+pub struct SentinelOps<'s> {
+    /// This rank's id (0 for serial) — stamped into field diagnoses.
+    pub rank: usize,
+    /// Global min reduction for the encoded health word.
+    pub reduce_min: &'s dyn Fn(f64) -> Result<f64>,
+    /// Global sum reduction for the drift check.
+    pub reduce_sum: &'s dyn Fn(f64) -> Result<f64>,
+    /// This rank's energy contribution (each partition counted once).
+    pub local_energy: &'s dyn Fn(&Mesh, &HydroState) -> f64,
+    /// The run's starting global energy — the drift reference.
+    pub energy_ref: f64,
+}
+
 /// The reusable hydro loop: serial and distributed drivers share it.
 ///
 /// `reduce_dt` turns a local dt proposal into the global step (identity
 /// for serial; Typhon `allreduce_min` for distributed runs — BookLeaf's
-/// single global reduction per step). Continues from `cursor` and leaves
-/// it at the stop point.
+/// single global reduction per step). It receives the 0-based index of
+/// the step about to execute, the one per-step point where a rank
+/// announces progress to the comm layer (`RankCtx::begin_step`) — and
+/// it is fallible, because that announcement is where a scheduled rank
+/// death fires and where a collective can time out against a dead peer.
+/// Continues from `cursor` and leaves it at the stop point.
 ///
 /// With `overlap` set (distributed ranks with the overlap toggle on),
 /// every halo phase is split: posted early, completed only before the
@@ -67,6 +89,13 @@ pub struct LoopState {
 /// one. When the observers ask for the global energy, every rank issues
 /// the extra `reduce_sum` at the same loop points — the symmetry that
 /// makes the collective safe.
+///
+/// With `sentinel` set and `config.sentinel` enabled, the health sweep
+/// runs after every `config.sentinel.every`-th step: rank-local NaN/Inf
+/// and positivity checks are min-reduced into one team-wide verdict, so
+/// **all ranks abort together** with the same typed
+/// [`BookLeafError::Unhealthy`] diagnosis; the reduced dt is checked
+/// against the configured floor before each step executes.
 #[allow(clippy::too_many_arguments)]
 pub fn run_loop<H: HaloOps>(
     mesh: &mut Mesh,
@@ -76,11 +105,12 @@ pub fn run_loop<H: HaloOps>(
     config: &RunConfig,
     remapper: Option<&Remapper>,
     halo: &mut H,
-    mut reduce_dt: impl FnMut(f64) -> f64,
+    mut reduce_dt: impl FnMut(usize, f64) -> Result<f64>,
     timers: &TimerRegistry,
     cursor: &mut LoopState,
     overlap: Option<&OverlapSets>,
     watch: Option<&LoopWatch<'_>>,
+    sentinel: Option<&SentinelOps<'_>>,
 ) -> Result<()> {
     let mut t = cursor.t;
     let mut steps = cursor.steps;
@@ -92,6 +122,7 @@ pub fn run_loop<H: HaloOps>(
 
     let watch = watch.filter(|w| !w.observers.is_empty());
     let needs = watch.map(|w| w.observers.needs()).unwrap_or_default();
+    let sentry = sentinel.filter(|_| config.sentinel.enabled());
 
     if let Some(w) = watch {
         let view = boundary_view(
@@ -103,7 +134,7 @@ pub fn run_loop<H: HaloOps>(
             mesh,
             state,
             range,
-        );
+        )?;
         w.observers.run_begin(&view);
     }
 
@@ -118,7 +149,20 @@ pub fn run_loop<H: HaloOps>(
                 config.lag.threading,
             )
         })?;
-        let mut dt = timers.time(KernelId::Comms, || reduce_dt(proposal.dt));
+        let mut dt = timers.time(KernelId::Comms, || reduce_dt(steps, proposal.dt))?;
+        // Dt-collapse floor: checked on the *pre-clamp* reduced dt (the
+        // final-step truncation below legitimately produces a tiny dt).
+        // The reduced dt is identical on every rank, so the abort is
+        // symmetric without further communication.
+        if sentry.is_some() {
+            let floor = config.sentinel.dt_floor;
+            if dt < floor {
+                return Err(BookLeafError::Unhealthy {
+                    step: steps,
+                    diagnosis: HealthDiagnosis::DtFloor { dt, floor },
+                });
+            }
+        }
         dt = dt.min(config.final_time - t);
 
         if let Some(w) = watch {
@@ -178,7 +222,7 @@ pub fn run_loop<H: HaloOps>(
                         timers.time(KernelId::Ale, || {
                             remapper.step_threaded(mesh, state, range, config.lag.threading)
                         })?;
-                        timers.time(KernelId::Comms, || halo.post_remap(mesh, state));
+                        timers.time(KernelId::Comms, || halo.post_remap(mesh, state))?;
                     }
                 }
                 if let Some(w) = watch {
@@ -192,8 +236,16 @@ pub fn run_loop<H: HaloOps>(
         dt_prev = Some(dt);
         steps += 1;
 
+        // Health sweep: gated purely by the team-shared config and the
+        // step counter, so every rank reduces (or skips) together.
+        if let Some(s) = sentry {
+            if steps.is_multiple_of(config.sentinel.every) {
+                sentinel_check(s, config, steps - 1, mesh, state, range)?;
+            }
+        }
+
         if let Some(w) = watch {
-            let view = boundary_view(w, needs, steps - 1, t, dt, mesh, state, range);
+            let view = boundary_view(w, needs, steps - 1, t, dt, mesh, state, range)?;
             w.observers.step_end(&view);
         }
     }
@@ -209,8 +261,99 @@ pub fn run_loop<H: HaloOps>(
             mesh,
             state,
             range,
-        );
+        )?;
         w.observers.run_end(&view);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// The health sentinel.
+
+/// Health-word encoding: a diagnosis packed into an f64 so one
+/// `allreduce_min` gives every rank the same verdict. Healthy is +∞;
+/// any finite word decodes to the team's lexicographically smallest
+/// `(kind, field, rank, index)` finding. The packed integer stays below
+/// 2^52, well inside f64's exact range.
+fn encode_health(kind: u64, field: HealthField, rank: usize, index: usize) -> f64 {
+    debug_assert!(kind < 4 && rank < (1 << 14) && index < (1 << 32));
+    let word = (kind << 50) | (field.code() << 46) | ((rank as u64) << 32) | index as u64;
+    word as f64
+}
+
+/// Inverse of [`encode_health`]; `None` for the healthy word (+∞) or
+/// anything malformed.
+fn decode_health(word: f64) -> Option<HealthDiagnosis> {
+    if !word.is_finite() || word < 0.0 {
+        return None;
+    }
+    let w = word as u64;
+    let field = HealthField::from_code((w >> 46) & 0xF)?;
+    let rank = ((w >> 32) & 0x3FFF) as usize;
+    let index = (w & 0xFFFF_FFFF) as usize;
+    match w >> 50 {
+        0 => Some(HealthDiagnosis::NonFinite { rank, field, index }),
+        1 => Some(HealthDiagnosis::NonPositive { rank, field, index }),
+        _ => None,
+    }
+}
+
+/// Rank-local validity sweep: first finding in a fixed scan order
+/// (deterministic), encoded; +∞ when healthy. Scans the owned elements
+/// and the active nodes — ghosts mirror their owners, so scanning them
+/// would only duplicate findings the min-reduction dedups anyway.
+fn sentinel_sweep(state: &HydroState, range: LocalRange, rank: usize) -> f64 {
+    for e in 0..range.n_owned_el {
+        if !state.rho[e].is_finite() {
+            return encode_health(0, HealthField::Rho, rank, e);
+        }
+        if !state.ein[e].is_finite() {
+            return encode_health(0, HealthField::Ein, rank, e);
+        }
+        if !state.q[e].is_finite() {
+            return encode_health(0, HealthField::Q, rank, e);
+        }
+        if state.mass[e] <= 0.0 || state.mass[e].is_nan() {
+            return encode_health(1, HealthField::Mass, rank, e);
+        }
+        if state.volume[e] <= 0.0 || state.volume[e].is_nan() {
+            return encode_health(1, HealthField::Volume, rank, e);
+        }
+    }
+    for n in 0..range.n_active_nd {
+        if !state.u[n].x.is_finite() || !state.u[n].y.is_finite() {
+            return encode_health(0, HealthField::U, rank, n);
+        }
+    }
+    f64::INFINITY
+}
+
+/// One sentinel firing: sweep, min-reduce the verdict, then (opt-in)
+/// the conservation-drift check. `step` is the 0-based index of the
+/// step whose results are being inspected.
+fn sentinel_check(
+    s: &SentinelOps<'_>,
+    config: &RunConfig,
+    step: usize,
+    mesh: &Mesh,
+    state: &HydroState,
+    range: LocalRange,
+) -> Result<()> {
+    let verdict = (s.reduce_min)(sentinel_sweep(state, range, s.rank))?;
+    if let Some(diagnosis) = decode_health(verdict) {
+        return Err(BookLeafError::Unhealthy { step, diagnosis });
+    }
+    if let Some(tol) = config.sentinel.drift_tol {
+        let energy = (s.reduce_sum)((s.local_energy)(mesh, state))?;
+        if s.energy_ref != 0.0 {
+            let drift = ((energy - s.energy_ref) / s.energy_ref).abs();
+            if drift > tol {
+                return Err(BookLeafError::Unhealthy {
+                    step,
+                    diagnosis: HealthDiagnosis::ConservationDrift { drift, tol },
+                });
+            }
+        }
     }
     Ok(())
 }
@@ -219,7 +362,8 @@ pub fn run_loop<H: HaloOps>(
 /// global energy when the observers asked for them. The energy
 /// reduction is collective, so whether it runs depends only on the
 /// team-shared observer needs and the hook point — never on anything
-/// rank-local.
+/// rank-local. Fallible because that reduction can time out against a
+/// dead rank.
 #[allow(clippy::too_many_arguments)]
 fn boundary_view<'a>(
     w: &LoopWatch<'_>,
@@ -230,8 +374,13 @@ fn boundary_view<'a>(
     mesh: &'a Mesh,
     state: &'a HydroState,
     range: LocalRange,
-) -> StepView<'a> {
-    StepView {
+) -> Result<StepView<'a>> {
+    let global_energy = if needs.global_energy {
+        Some((w.reduce_sum)((w.local_energy)(mesh, state))?)
+    } else {
+        None
+    };
+    Ok(StepView {
         step,
         time,
         dt,
@@ -241,10 +390,8 @@ fn boundary_view<'a>(
         rank: w.rank,
         n_ranks: w.n_ranks,
         comm: needs.comm_stats.then(|| (w.comm_stats)()),
-        global_energy: needs
-            .global_energy
-            .then(|| (w.reduce_sum)((w.local_energy)(mesh, state))),
-    }
+        global_energy,
+    })
 }
 
 /// Mid-step view (phase hooks): no comm snapshot, no energy reduction —
@@ -400,5 +547,176 @@ mod tests {
         let mut deck = decks::sod(8, 2);
         deck.rho.pop();
         assert!(Driver::new(deck, RunConfig::default()).is_err());
+    }
+}
+
+#[cfg(test)]
+mod sentinel_tests {
+    use super::*;
+    use crate::config::SentinelConfig;
+    use crate::decks;
+    use bookleaf_hydro::LocalRange;
+    use bookleaf_util::Vec2;
+
+    #[test]
+    fn health_words_round_trip_and_order() {
+        for (kind, field, rank, index) in [
+            (0u64, HealthField::Rho, 0usize, 0usize),
+            (0, HealthField::U, 3, 17),
+            (1, HealthField::Mass, 1, 999_999),
+            (1, HealthField::Volume, 13, u32::MAX as usize),
+        ] {
+            let w = encode_health(kind, field, rank, index);
+            assert!(w.is_finite());
+            let d = decode_health(w).expect("decodable");
+            match d {
+                HealthDiagnosis::NonFinite {
+                    rank: r,
+                    field: f,
+                    index: i,
+                } => {
+                    assert_eq!(kind, 0);
+                    assert_eq!((r, f, i), (rank, field, index));
+                }
+                HealthDiagnosis::NonPositive {
+                    rank: r,
+                    field: f,
+                    index: i,
+                } => {
+                    assert_eq!(kind, 1);
+                    assert_eq!((r, f, i), (rank, field, index));
+                }
+                other => panic!("unexpected diagnosis {other:?}"),
+            }
+        }
+        // Healthy word decodes to nothing, and every encoded word beats it
+        // in a min-reduction.
+        assert!(decode_health(f64::INFINITY).is_none());
+        assert!(encode_health(1, HealthField::Volume, 0, 7) < f64::INFINITY);
+        // NonFinite findings outrank NonPositive ones in the reduction
+        // (smaller kind ⇒ smaller word), so the most alarming diagnosis
+        // wins ties deterministically.
+        assert!(
+            encode_health(0, HealthField::U, 5, 1000) < encode_health(1, HealthField::Mass, 0, 0)
+        );
+    }
+
+    #[test]
+    fn sweep_finds_the_first_bad_entry_in_scan_order() {
+        let deck = decks::sod(8, 2);
+        let mut state = deck.initial_state(&deck.mesh).unwrap();
+        let range = LocalRange::whole(&deck.mesh);
+        assert_eq!(sentinel_sweep(&state, range, 0), f64::INFINITY);
+
+        state.u[3] = Vec2::new(f64::NAN, 0.0);
+        let d = decode_health(sentinel_sweep(&state, range, 2)).unwrap();
+        assert_eq!(
+            d,
+            HealthDiagnosis::NonFinite {
+                rank: 2,
+                field: HealthField::U,
+                index: 3
+            }
+        );
+
+        // An element finding preempts the node finding (elements scan
+        // first), and NaN rho at element 5 preempts bad mass at 6.
+        state.mass[6] = 0.0;
+        state.rho[5] = f64::NAN;
+        let d = decode_health(sentinel_sweep(&state, range, 0)).unwrap();
+        assert_eq!(
+            d,
+            HealthDiagnosis::NonFinite {
+                rank: 0,
+                field: HealthField::Rho,
+                index: 5
+            }
+        );
+    }
+
+    #[test]
+    fn dt_floor_aborts_with_a_typed_diagnosis() {
+        let deck = decks::sod(16, 2);
+        let config = RunConfig {
+            final_time: 0.05,
+            sentinel: SentinelConfig {
+                dt_floor: 1.0, // every hydro dt is far below this
+                ..SentinelConfig::default()
+            },
+            ..RunConfig::default()
+        };
+        let err = Simulation::builder()
+            .deck(deck)
+            .config(config)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap_err();
+        match err {
+            bookleaf_util::BookLeafError::Unhealthy {
+                step,
+                diagnosis: HealthDiagnosis::DtFloor { dt, floor },
+            } => {
+                assert_eq!(step, 0, "the floor trips before the first step runs");
+                assert!(dt < floor);
+                assert_eq!(floor, 1.0);
+            }
+            other => panic!("expected DtFloor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drift_tolerance_aborts_when_set_impossibly_tight() {
+        let deck = decks::sod(16, 2);
+        let config = RunConfig {
+            final_time: 0.05,
+            sentinel: SentinelConfig {
+                drift_tol: Some(0.0), // any rounding-level drift trips it
+                ..SentinelConfig::default()
+            },
+            ..RunConfig::default()
+        };
+        let err = Simulation::builder()
+            .deck(deck)
+            .config(config)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap_err();
+        match err {
+            bookleaf_util::BookLeafError::Unhealthy {
+                diagnosis: HealthDiagnosis::ConservationDrift { drift, tol },
+                ..
+            } => {
+                assert!(drift > tol);
+            }
+            other => panic!("expected ConservationDrift, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enabled_sentinel_is_bitwise_invisible_on_a_healthy_run() {
+        let run = |sentinel: SentinelConfig| {
+            let mut sim = Simulation::builder()
+                .deck(decks::sod(20, 2))
+                .final_time(0.01)
+                .config(RunConfig {
+                    final_time: 0.01,
+                    sentinel,
+                    ..RunConfig::default()
+                })
+                .build()
+                .unwrap();
+            sim.run().unwrap();
+            sim.state().rho.clone()
+        };
+        let with = run(SentinelConfig {
+            drift_tol: Some(1.0),
+            ..SentinelConfig::default()
+        });
+        let without = run(SentinelConfig::disabled());
+        for (e, (a, b)) in with.iter().zip(&without).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "sentinel moved a bit at {e}");
+        }
     }
 }

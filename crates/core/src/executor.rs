@@ -27,12 +27,12 @@ use bookleaf_ale::Remapper;
 use bookleaf_hydro::{HydroState, LocalRange, Threading};
 use bookleaf_mesh::{Mesh, SubMesh, SubMeshPlan};
 use bookleaf_partition::{partition, Strategy};
-use bookleaf_typhon::{CommStats, Typhon};
+use bookleaf_typhon::{CommStats, Typhon, TyphonOptions};
 use bookleaf_util::{BookLeafError, Result, TimerReport, Vec2};
 
 use crate::config::{ExecutorKind, RunConfig};
 use crate::decks::Deck;
-use crate::driver::{run_loop, LoopState};
+use crate::driver::{run_loop, LoopState, SentinelOps};
 use crate::halo::{LocalPiston, TyphonHalo};
 use crate::observer::{LoopWatch, ObserverSet};
 use crate::output::Snapshot;
@@ -137,7 +137,13 @@ struct RankOut {
 #[deprecated(note = "use `Simulation::builder().deck(..).config(..).build()?.run()?`")]
 #[allow(deprecated)]
 pub fn run_distributed(deck: &Deck, config: &RunConfig) -> Result<DistributedOutput> {
-    let (report, fields) = run_with_observers(deck, config, &ObserverSet::default(), None)?;
+    let (report, fields) = run_with_observers(
+        deck,
+        config,
+        &ObserverSet::default(),
+        None,
+        &TyphonOptions::default(),
+    )?;
     Ok(DistributedOutput {
         report,
         rho: fields.rho,
@@ -164,6 +170,7 @@ pub(crate) fn run_with_observers(
     config: &RunConfig,
     observers: &ObserverSet,
     resume: Option<&Snapshot>,
+    typhon: &TyphonOptions,
 ) -> Result<(RunReport, Assembled)> {
     let (ranks, threads_per_rank) = match config.executor {
         ExecutorKind::FlatMpi { ranks } => (ranks, 0),
@@ -189,7 +196,7 @@ pub(crate) fn run_with_observers(
     };
 
     let start = std::time::Instant::now();
-    let results: Vec<Result<RankOut>> = Typhon::run(ranks, |ctx| {
+    let results: Vec<Result<RankOut>> = Typhon::run_with(ranks, typhon.clone(), |ctx| {
         let sub = &subs[ctx.rank()];
         let body =
             || -> Result<RankOut> { run_rank(ctx, sub, deck, &rank_config, observers, resume) };
@@ -231,6 +238,7 @@ pub(crate) fn run_with_observers(
         comm: CommStats::default(),
         energy_start: 0.0,
         energy_end: 0.0,
+        recovery: crate::resilience::RecoveryLog::default(),
     };
     for r in results {
         let r = r?;
@@ -338,7 +346,7 @@ fn run_rank(
         // One-shot restore exchange: every ghost element and halo node
         // receives its owner's checkpoint values — same plan machinery,
         // one message per neighbour.
-        halo.exchange_restore(&mut mesh, &mut state);
+        halo.exchange_restore(&mut mesh, &mut state)?;
         // Re-derive the dependent fields over the whole local mesh
         // (owned and ghost): geometry and EoS are pure per-element
         // functions of the restored fields, so every rank reproduces
@@ -375,10 +383,11 @@ fn run_rank(
         state.internal_energy(range) + state.kinetic_energy_where(mesh, range, |n| sub.owns_node(n))
     };
     // All collective calls below (start/end energy, dt per step, any
-    // observer-driven energy reductions inside the loop) execute in the
-    // same order on every rank.
-    let energy_start = ctx.allreduce_sum(local_energy(&mesh, &state));
-    let reduce_sum = |v: f64| ctx.allreduce_sum(v);
+    // sentinel or observer-driven reductions inside the loop) execute
+    // in the same order on every rank.
+    let energy_start = ctx.allreduce_sum(local_energy(&mesh, &state))?;
+    let reduce_sum = |v: f64| -> Result<f64> { Ok(ctx.allreduce_sum(v)?) };
+    let reduce_min = |v: f64| -> Result<f64> { Ok(ctx.allreduce_min(v)?) };
     let comm_stats = || ctx.stats();
     let watch = LoopWatch {
         observers,
@@ -387,6 +396,13 @@ fn run_rank(
         reduce_sum: &reduce_sum,
         comm_stats: &comm_stats,
         local_energy: &local_energy,
+    };
+    let sentinel = SentinelOps {
+        rank: ctx.rank(),
+        reduce_min: &reduce_min,
+        reduce_sum: &reduce_sum,
+        local_energy: &local_energy,
+        energy_ref: energy_start,
     };
 
     run_loop(
@@ -397,13 +413,20 @@ fn run_rank(
         config,
         remapper.as_ref(),
         &mut halo,
-        |dt| ctx.allreduce_min(dt),
+        // The one per-step progress announcement: arms scheduled point
+        // faults for this step and fires a scheduled rank death, then
+        // the single global dt reduction.
+        |step, dt| {
+            ctx.begin_step(step)?;
+            Ok(ctx.allreduce_min(dt)?)
+        },
         &timers,
         &mut cursor,
         overlap_sets.as_ref(),
         Some(&watch),
+        Some(&sentinel),
     )?;
-    let energy_end = ctx.allreduce_sum(local_energy(&mesh, &state));
+    let energy_end = ctx.allreduce_sum(local_energy(&mesh, &state))?;
     let (steps, time) = (cursor.steps, cursor.t);
 
     let u_owned: Vec<(u32, Vec2)> = (0..sub.n_active_nd)
@@ -556,7 +579,14 @@ mod tests {
             executor: ExecutorKind::Serial,
             ..RunConfig::default()
         };
-        assert!(run_with_observers(&deck, &config, &ObserverSet::default(), None).is_err());
+        assert!(run_with_observers(
+            &deck,
+            &config,
+            &ObserverSet::default(),
+            None,
+            &TyphonOptions::default()
+        )
+        .is_err());
     }
 
     #[test]

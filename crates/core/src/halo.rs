@@ -32,7 +32,7 @@ use bookleaf_mesh::{Mesh, SubMesh};
 use bookleaf_typhon::{
     Entity, FieldMut, HaloPlan, HaloPlanBuilder, PendingPhase, PhaseId, RankCtx, SlotKind,
 };
-use bookleaf_util::Vec2;
+use bookleaf_util::{Result, Vec2};
 
 /// Node-local piston description (local node ids).
 #[derive(Debug, Clone, Default)]
@@ -61,10 +61,11 @@ pub struct SerialHooks {
 }
 
 impl HaloOps for SerialHooks {
-    fn post_acceleration(&mut self, _mesh: &Mesh, state: &mut HydroState) {
+    fn post_acceleration(&mut self, _mesh: &Mesh, state: &mut HydroState) -> Result<()> {
         if let Some(p) = &self.piston {
             p.apply(state);
         }
+        Ok(())
     }
 }
 
@@ -207,35 +208,45 @@ impl<'a> TyphonHalo<'a> {
     /// ghost element/halo node with its owner's values — one message
     /// per neighbour, through the same plan machinery as the per-step
     /// phases.
-    pub fn exchange_restore(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`bookleaf_util::CommError`] from the exchange as
+    /// a `BookLeafError::CommFault`.
+    pub fn exchange_restore(&mut self, mesh: &mut Mesh, state: &mut HydroState) -> Result<()> {
         self.plan
-            .execute(self.ctx, self.restore, &mut restore_fields(mesh, state));
+            .execute(self.ctx, self.restore, &mut restore_fields(mesh, state))?;
+        Ok(())
     }
 }
 
 impl HaloOps for TyphonHalo<'_> {
-    fn pre_viscosity(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
+    fn pre_viscosity(&mut self, mesh: &mut Mesh, state: &mut HydroState) -> Result<()> {
         self.plan
-            .execute(self.ctx, self.pre_visc, &mut visc_fields(mesh, state));
+            .execute(self.ctx, self.pre_visc, &mut visc_fields(mesh, state))?;
+        Ok(())
     }
 
-    fn pre_acceleration(&mut self, state: &mut HydroState) {
+    fn pre_acceleration(&mut self, state: &mut HydroState) -> Result<()> {
         self.plan
-            .execute(self.ctx, self.pre_acc, &mut acc_fields(state));
+            .execute(self.ctx, self.pre_acc, &mut acc_fields(state))?;
+        Ok(())
     }
 
-    fn post_acceleration(&mut self, _mesh: &Mesh, state: &mut HydroState) {
+    fn post_acceleration(&mut self, _mesh: &Mesh, state: &mut HydroState) -> Result<()> {
         if let Some(p) = &self.piston {
             p.apply(state);
         }
+        Ok(())
     }
 
-    fn post_remap(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
+    fn post_remap(&mut self, mesh: &mut Mesh, state: &mut HydroState) -> Result<()> {
         self.plan
-            .execute(self.ctx, self.post_remap, &mut remap_fields(mesh, state));
+            .execute(self.ctx, self.post_remap, &mut remap_fields(mesh, state))?;
+        Ok(())
     }
 
-    fn pre_viscosity_post(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
+    fn pre_viscosity_post(&mut self, mesh: &mut Mesh, state: &mut HydroState) -> Result<()> {
         assert!(
             self.pending_visc.is_none(),
             "pre_viscosity posted twice without a complete"
@@ -244,36 +255,40 @@ impl HaloOps for TyphonHalo<'_> {
             self.ctx,
             self.pre_visc,
             &visc_fields(mesh, state),
-        ));
+        )?);
+        Ok(())
     }
 
-    fn pre_viscosity_complete(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
+    fn pre_viscosity_complete(&mut self, mesh: &mut Mesh, state: &mut HydroState) -> Result<()> {
         let pending = self
             .pending_visc
             .take()
             .expect("pre_viscosity_complete without a post");
         self.plan
-            .complete(self.ctx, pending, &mut visc_fields(mesh, state));
+            .complete(self.ctx, pending, &mut visc_fields(mesh, state))?;
+        Ok(())
     }
 
-    fn pre_acceleration_post(&mut self, state: &mut HydroState) {
+    fn pre_acceleration_post(&mut self, state: &mut HydroState) -> Result<()> {
         assert!(
             self.pending_acc.is_none(),
             "pre_acceleration posted twice without a complete"
         );
-        self.pending_acc = Some(self.plan.post(self.ctx, self.pre_acc, &acc_fields(state)));
+        self.pending_acc = Some(self.plan.post(self.ctx, self.pre_acc, &acc_fields(state))?);
+        Ok(())
     }
 
-    fn pre_acceleration_complete(&mut self, state: &mut HydroState) {
+    fn pre_acceleration_complete(&mut self, state: &mut HydroState) -> Result<()> {
         let pending = self
             .pending_acc
             .take()
             .expect("pre_acceleration_complete without a post");
         self.plan
-            .complete(self.ctx, pending, &mut acc_fields(state));
+            .complete(self.ctx, pending, &mut acc_fields(state))?;
+        Ok(())
     }
 
-    fn post_remap_post(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
+    fn post_remap_post(&mut self, mesh: &mut Mesh, state: &mut HydroState) -> Result<()> {
         assert!(
             self.pending_remap.is_none(),
             "post_remap posted twice without a complete"
@@ -282,16 +297,18 @@ impl HaloOps for TyphonHalo<'_> {
             self.ctx,
             self.post_remap,
             &remap_fields(mesh, state),
-        ));
+        )?);
+        Ok(())
     }
 
-    fn post_remap_complete(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
+    fn post_remap_complete(&mut self, mesh: &mut Mesh, state: &mut HydroState) -> Result<()> {
         let pending = self
             .pending_remap
             .take()
             .expect("post_remap_complete without a post");
         self.plan
-            .complete(self.ctx, pending, &mut remap_fields(mesh, state));
+            .complete(self.ctx, pending, &mut remap_fields(mesh, state))?;
+        Ok(())
     }
 }
 
@@ -328,7 +345,7 @@ mod tests {
                 velocity: Vec2::new(-1.0, 0.0),
             }),
         };
-        hooks.post_acceleration(&mesh, &mut st);
+        hooks.post_acceleration(&mesh, &mut st).unwrap();
         assert_eq!(st.u[1], Vec2::new(-1.0, 0.0));
     }
 
@@ -359,9 +376,9 @@ mod tests {
                 }
             }
             let mut halo = TyphonHalo::new(ctx, sub, None);
-            halo.pre_viscosity(&mut mesh, &mut st);
-            halo.pre_acceleration(&mut st);
-            halo.post_remap(&mut mesh, &mut st);
+            halo.pre_viscosity(&mut mesh, &mut st).unwrap();
+            halo.pre_acceleration(&mut st).unwrap();
+            halo.post_remap(&mut mesh, &mut st).unwrap();
             let forces_ok = (0..mesh.n_elements()).all(|e| {
                 let g = sub.el_l2g[e] as f64;
                 (0..4)

@@ -22,7 +22,13 @@
 //!   built on the Typhon runtime with real halo exchanges;
 //! * [`halo`] — the [`bookleaf_hydro::HaloOps`] implementation backed by
 //!   Typhon exchanges (and the piston hook for Saltzmann);
-//! * [`output`] — VTK visualisation files and binary restart snapshots.
+//! * [`output`] — VTK visualisation files and binary restart snapshots;
+//! * [`resilience`] — deterministic fault drills and supervised elastic
+//!   recovery: retention-managed [`CheckpointStore`]s with atomic
+//!   writes and verified readback, the [`AutoCheckpoint`] observer, and
+//!   [`Simulation::run_resilient`] (rewind to the last good checkpoint,
+//!   reshape the executor, retry within a budget — with a deterministic
+//!   [`RecoveryLog`] on the report).
 
 pub mod config;
 pub mod decks;
@@ -33,9 +39,10 @@ pub mod input;
 pub mod observer;
 pub mod output;
 pub mod report;
+pub mod resilience;
 pub mod sim;
 
-pub use config::{ExecutorKind, RunConfig};
+pub use config::{ExecutorKind, RunConfig, SentinelConfig};
 pub use decks::Deck;
 #[allow(deprecated)]
 pub use driver::{run_loop, Driver, LoopState, RunSummary};
@@ -48,4 +55,8 @@ pub use observer::{
 };
 pub use output::{read_snapshot, write_vtk, Checkpoint, Snapshot, CHECKPOINT_VERSION};
 pub use report::RunReport;
+pub use resilience::{
+    AutoCheckpoint, CheckpointStore, RecoveryEvent, RecoveryLog, RecoveryPolicy, ReshapePolicy,
+    SaveOutcome,
+};
 pub use sim::{Simulation, SimulationBuilder};

@@ -293,7 +293,9 @@ impl ObserverSet {
 ///
 /// `reduce_sum` must be a *collective* sum in distributed runs (every
 /// rank calls it at the same loop points — the loop guarantees the
-/// symmetry) and the identity serially. `local_energy` must count every
+/// symmetry) and the identity serially; it is fallible because a
+/// distributed collective can time out against a dead rank
+/// ([`bookleaf_util::CommError`]). `local_energy` must count every
 /// partition exactly once across the team (serial: the whole problem;
 /// distributed: owned elements plus owned nodes only).
 pub struct LoopWatch<'a> {
@@ -304,7 +306,7 @@ pub struct LoopWatch<'a> {
     /// Team size.
     pub n_ranks: usize,
     /// Global sum reduction (identity for serial runs).
-    pub reduce_sum: &'a dyn Fn(f64) -> f64,
+    pub reduce_sum: &'a dyn Fn(f64) -> bookleaf_util::Result<f64>,
     /// Snapshot of this rank's communication counters.
     pub comm_stats: &'a dyn Fn() -> CommStats,
     /// This rank's energy contribution (no double-counted nodes).

@@ -65,7 +65,7 @@ use std::path::Path;
 
 use bookleaf_hydro::HydroState;
 use bookleaf_mesh::Mesh;
-use bookleaf_util::{BookLeafError, CheckpointError, Result, Vec2};
+use bookleaf_util::{crc32, BookLeafError, CheckpointError, Result, Vec2};
 
 use crate::input::{InputDeck, MAX_MESH_DIM};
 
@@ -466,13 +466,38 @@ impl Checkpoint {
         Ok(Checkpoint { input, snap })
     }
 
-    /// Write the checkpoint to `path` (atomically enough for restart
-    /// use: errors are typed, partial files fail the CRC on read).
+    /// Write the checkpoint to `path` **atomically**: the bytes go to a
+    /// sibling `<path>.tmp` first, are fsynced, and the temporary is
+    /// renamed over the destination. A crash (or any failure) mid-write
+    /// therefore never leaves a truncated file at `path` — either the
+    /// old checkpoint survives intact or the new one is complete. Every
+    /// failure surfaces as a typed [`CheckpointError::Io`] naming the
+    /// path involved, and the temporary is cleaned up on error.
     pub fn write_to(&self, path: impl AsRef<Path>) -> std::result::Result<(), CheckpointError> {
+        use std::io::Write as _;
         let path = path.as_ref();
-        std::fs::write(path, self.to_bytes()).map_err(|e| CheckpointError::Io {
-            path: path.display().to_string(),
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp_name);
+        let io_err = |at: &Path, e: std::io::Error| CheckpointError::Io {
+            path: at.display().to_string(),
             message: e.to_string(),
+        };
+        let write_tmp = || -> std::io::Result<()> {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&self.to_bytes())?;
+            // Flush to the medium before the rename publishes the file:
+            // rename is atomic in the namespace, fsync makes the
+            // content durable first.
+            file.sync_all()
+        };
+        if let Err(e) = write_tmp() {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(io_err(&tmp, e));
+        }
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            io_err(path, e)
         })
     }
 
@@ -549,36 +574,8 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the same
-/// checksum gzip/zip use. Guarantees detection of any single burst of
-/// up to 32 bits, which covers every single-byte corruption.
-const CRC_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-};
-
-fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
-    }
-    c ^ 0xFFFF_FFFF
-}
+// The CRC-32 implementation lives in `bookleaf_util::hash`, shared with
+// the typhon message-payload checksums.
 
 #[cfg(test)]
 mod tests {
@@ -767,7 +764,7 @@ mod tests {
     }
 
     #[test]
-    fn crc32_matches_known_vector() {
+    fn crc32_matches_known_vector_via_util() {
         // The classic check value: CRC-32("123456789") = 0xCBF43926.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);

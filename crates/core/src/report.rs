@@ -15,6 +15,7 @@ use bookleaf_typhon::CommStats;
 use bookleaf_util::TimerReport;
 
 use crate::config::ExecutorKind;
+use crate::resilience::RecoveryLog;
 
 /// What a completed run reports, for every executor.
 #[derive(Debug, Clone)]
@@ -39,6 +40,13 @@ pub struct RunReport {
     pub energy_start: f64,
     /// Total energy at the end (global).
     pub energy_end: f64,
+    /// What [`Simulation::run_resilient`](crate::Simulation::run_resilient)
+    /// survived to produce this report: one event per fault, plus retry
+    /// and replay accounting. Empty for plain `run()` calls and for
+    /// resilient runs that never hit a fault. Deliberately free of
+    /// wall-clock data, so two runs of the same seeded fault schedule
+    /// carry identical logs.
+    pub recovery: RecoveryLog,
 }
 
 impl RunReport {
@@ -69,6 +77,7 @@ mod tests {
             comm: CommStats::default(),
             energy_start: e0,
             energy_end: e1,
+            recovery: RecoveryLog::default(),
         }
     }
 

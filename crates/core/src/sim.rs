@@ -31,20 +31,22 @@
 //! setters (`.executor(..)`, `.final_time(..)`, …).
 
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
 
 use bookleaf_ale::{AleOptions, Remapper};
 use bookleaf_eos::MaterialTable;
 use bookleaf_hydro::getdt::DtControls;
 use bookleaf_hydro::{HydroState, LocalRange};
 use bookleaf_mesh::Mesh;
-use bookleaf_typhon::CommStats;
+use bookleaf_typhon::{CommStats, FaultPlan, TyphonOptions};
 use bookleaf_util::{BookLeafError, DeckError, Result, TimerRegistry};
 
 use bookleaf_util::CheckpointError;
 
 use crate::config::{ExecutorKind, RunConfig};
 use crate::decks::Deck;
-use crate::driver::{run_loop, LoopState};
+use crate::driver::{run_loop, LoopState, SentinelOps};
 use crate::executor::run_with_observers;
 use crate::halo::{LocalPiston, SerialHooks};
 use crate::input::InputDeck;
@@ -81,6 +83,8 @@ pub struct SimulationBuilder {
     ale: Option<Option<AleOptions>>,
     overlap: Option<bool>,
     observers: Vec<Box<dyn Observer>>,
+    fault_plan: Option<FaultPlan>,
+    comm_timeout: Option<Duration>,
 }
 
 impl SimulationBuilder {
@@ -174,6 +178,27 @@ impl SimulationBuilder {
     /// [`crate::Shared`] and keep a clone to read results afterwards.
     pub fn observer(mut self, observer: impl Observer + 'static) -> Self {
         self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Inject a deterministic [`FaultPlan`] into the communication
+    /// layer (distributed executors only; serial runs have no comm
+    /// layer to fault). Every scheduled fault surfaces as a typed
+    /// [`bookleaf_util::CommError`] — never a hang or a panic — which
+    /// is what the resilience test matrix and
+    /// [`Simulation::run_resilient`] drills are built on.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Deadline for every blocking receive and collective in
+    /// distributed runs (default 60 s — generous enough that healthy
+    /// runs never trip it, bounded enough that a dead rank surfaces as
+    /// a typed timeout instead of a hang). Fault-injection tests drop
+    /// it to keep failure paths fast.
+    pub fn comm_timeout(mut self, timeout: Duration) -> Self {
+        self.comm_timeout = Some(timeout);
         self
     }
 
@@ -293,6 +318,13 @@ impl SimulationBuilder {
                 Engine::Distributed(Box::new(view))
             }
         };
+        let mut typhon = TyphonOptions::default();
+        if let Some(plan) = self.fault_plan {
+            typhon.fault_plan = Some(Arc::new(plan));
+        }
+        if let Some(timeout) = self.comm_timeout {
+            typhon.recv_timeout = timeout;
+        }
         Ok(Simulation {
             deck,
             input,
@@ -300,6 +332,7 @@ impl SimulationBuilder {
             observers: ObserverSet::new(self.observers),
             engine,
             resume: resume_snap,
+            typhon,
         })
     }
 }
@@ -385,7 +418,10 @@ impl SerialEngine {
 
     fn run_inner(&mut self, config: &RunConfig, observers: &ObserverSet) -> Result<()> {
         let range = LocalRange::whole(&self.mesh);
-        let identity = |v: f64| v;
+        let energy_ref = *self
+            .energy_start
+            .get_or_insert_with(|| self.state.total_energy(&self.mesh, range));
+        let identity = |v: f64| -> Result<f64> { Ok(v) };
         let no_comm = CommStats::default;
         let whole_energy =
             |mesh: &Mesh, state: &HydroState| state.total_energy(mesh, LocalRange::whole(mesh));
@@ -397,6 +433,13 @@ impl SerialEngine {
             comm_stats: &no_comm,
             local_energy: &whole_energy,
         };
+        let sentinel = SentinelOps {
+            rank: 0,
+            reduce_min: &identity,
+            reduce_sum: &identity,
+            local_energy: &whole_energy,
+            energy_ref,
+        };
         run_loop(
             &mut self.mesh,
             &self.materials,
@@ -405,11 +448,12 @@ impl SerialEngine {
             config,
             self.remapper.as_ref(),
             &mut self.hooks,
-            |dt| dt,
+            |_step, dt| Ok(dt),
             &self.timers,
             &mut self.cursor,
             None,
             Some(&watch),
+            Some(&sentinel),
         )
     }
 }
@@ -491,6 +535,9 @@ pub struct Simulation {
     /// the simulation was built from a checkpoint (serial engines
     /// install it directly at build time instead).
     resume: Option<Box<Snapshot>>,
+    /// Comm-layer options for distributed runs: receive/collective
+    /// deadline, fault schedule, recovery-attempt index.
+    pub(crate) typhon: TyphonOptions,
 }
 
 impl Simulation {
@@ -529,6 +576,7 @@ impl Simulation {
                     comm: CommStats::default(),
                     energy_start: e0,
                     energy_end: e1,
+                    recovery: crate::resilience::RecoveryLog::default(),
                 })
             }
             Engine::Distributed(view) => {
@@ -537,6 +585,7 @@ impl Simulation {
                     &self.config,
                     &self.observers,
                     self.resume.as_deref(),
+                    &self.typhon,
                 )?;
                 view.mesh.nodes.copy_from_slice(&fields.nodes);
                 view.state.rho.copy_from_slice(&fields.rho);
@@ -658,6 +707,49 @@ impl Simulation {
     /// [`crate::output`] for the on-disk format).
     pub fn checkpoint_to(&self, path: impl Into<PathBuf>) -> Result<()> {
         self.checkpoint()?.write_to(path.into())?;
+        Ok(())
+    }
+
+    /// The loop cursor: where the next `run` continues from (serial
+    /// engines advance it in place; distributed engines mirror the
+    /// team's cursor into the assembled view after each run).
+    pub(crate) fn cursor(&self) -> &LoopState {
+        match &self.engine {
+            Engine::Serial(e) => &e.cursor,
+            Engine::Distributed(v) => &v.cursor,
+        }
+    }
+
+    /// Mutable configuration access for the resilience supervisor
+    /// (segment caps, executor reshapes).
+    pub(crate) fn config_mut(&mut self) -> &mut RunConfig {
+        &mut self.config
+    }
+
+    /// Make the next distributed `run` start from `snap` (serial
+    /// engines carry their state in place and ignore this).
+    pub(crate) fn prime_resume(&mut self, snap: &Snapshot) {
+        self.resume = Some(Box::new(snap.clone()));
+    }
+
+    /// Rewind for a supervised retry: rebuild the engine to match the
+    /// *current* configured executor — the supervisor may have reshaped
+    /// it, including across the serial/distributed divide — and install
+    /// `snap` as the state the retry continues from.
+    pub(crate) fn rewind_to(&mut self, snap: &Snapshot) -> Result<()> {
+        self.engine = match self.config.executor {
+            ExecutorKind::Serial => {
+                let mut engine = SerialEngine::new(&self.deck, &self.config)?;
+                engine.install(snap, &self.deck, &self.config)?;
+                Engine::Serial(Box::new(engine))
+            }
+            ExecutorKind::FlatMpi { .. } | ExecutorKind::Hybrid { .. } => {
+                let mut view = AssembledView::new(&self.deck)?;
+                view.install(snap, &self.deck, &self.config)?;
+                Engine::Distributed(Box::new(view))
+            }
+        };
+        self.resume = Some(Box::new(snap.clone()));
         Ok(())
     }
 

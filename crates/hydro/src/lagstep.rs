@@ -69,49 +69,70 @@ use crate::Threading;
 /// is final at post time); for `post_remap` — posted mid-remap, when
 /// only the pre-post entities are final — `post` is the no-op and
 /// `complete`, called after the full remap, runs the blocking exchange.
+///
+/// **Fallibility:** every hook returns a [`Result`] so that a
+/// communication failure — a dead peer, a timed-out receive, a payload
+/// that fails its checksum — aborts the step *at the exchange that saw
+/// it*, as a typed error, instead of panicking or shipping garbage into
+/// the next kernel. Serial hooks ([`NoComm`], piston drivers) simply
+/// return `Ok(())`.
 pub trait HaloOps {
     /// Called immediately before each viscosity calculation (twice per
     /// step: predictor and corrector): bring ghost node kinematics and
     /// ghost element thermodynamic state up to date.
-    fn pre_viscosity(&mut self, _mesh: &mut Mesh, _state: &mut HydroState) {}
+    fn pre_viscosity(&mut self, _mesh: &mut Mesh, _state: &mut HydroState) -> Result<()> {
+        Ok(())
+    }
     /// Called immediately before the acceleration: bring ghost corner
     /// masses and forces up to date.
-    fn pre_acceleration(&mut self, _state: &mut HydroState) {}
+    fn pre_acceleration(&mut self, _state: &mut HydroState) -> Result<()> {
+        Ok(())
+    }
     /// Called immediately after the acceleration: impose driven
     /// kinematics (piston walls) on `u`/`ubar`.
-    fn post_acceleration(&mut self, _mesh: &Mesh, _state: &mut HydroState) {}
+    fn post_acceleration(&mut self, _mesh: &Mesh, _state: &mut HydroState) -> Result<()> {
+        Ok(())
+    }
     /// Called after an ALE remap: refresh ghost copies of everything the
     /// remap rewrote (masses, state, node kinematics).
-    fn post_remap(&mut self, _mesh: &mut Mesh, _state: &mut HydroState) {}
+    fn post_remap(&mut self, _mesh: &mut Mesh, _state: &mut HydroState) -> Result<()> {
+        Ok(())
+    }
 
     /// Split form of [`HaloOps::pre_viscosity`]: pack and send without
     /// waiting for the peers' payloads.
-    fn pre_viscosity_post(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
-        self.pre_viscosity(mesh, state);
+    fn pre_viscosity_post(&mut self, mesh: &mut Mesh, state: &mut HydroState) -> Result<()> {
+        self.pre_viscosity(mesh, state)
     }
     /// Drain and unpack the exchange posted by
     /// [`HaloOps::pre_viscosity_post`]; must run before any boundary
     /// entity of the phase is read.
-    fn pre_viscosity_complete(&mut self, _mesh: &mut Mesh, _state: &mut HydroState) {}
+    fn pre_viscosity_complete(&mut self, _mesh: &mut Mesh, _state: &mut HydroState) -> Result<()> {
+        Ok(())
+    }
 
     /// Split form of [`HaloOps::pre_acceleration`]: pack and send
     /// without waiting.
-    fn pre_acceleration_post(&mut self, state: &mut HydroState) {
-        self.pre_acceleration(state);
+    fn pre_acceleration_post(&mut self, state: &mut HydroState) -> Result<()> {
+        self.pre_acceleration(state)
     }
     /// Drain the exchange posted by [`HaloOps::pre_acceleration_post`].
-    fn pre_acceleration_complete(&mut self, _state: &mut HydroState) {}
+    fn pre_acceleration_complete(&mut self, _state: &mut HydroState) -> Result<()> {
+        Ok(())
+    }
 
     /// Split form of [`HaloOps::post_remap`], called as soon as every
     /// entity the pack reads (the remap pre-post sets) has been
     /// remapped — *before* the rest of the remap runs.
-    fn post_remap_post(&mut self, _mesh: &mut Mesh, _state: &mut HydroState) {}
+    fn post_remap_post(&mut self, _mesh: &mut Mesh, _state: &mut HydroState) -> Result<()> {
+        Ok(())
+    }
     /// Drain the exchange posted by [`HaloOps::post_remap_post`], after
     /// the full remap. The default runs the blocking exchange here, so
     /// implementations that only provide [`HaloOps::post_remap`] stay
     /// correct under the overlapped remap.
-    fn post_remap_complete(&mut self, mesh: &mut Mesh, state: &mut HydroState) {
-        self.post_remap(mesh, state);
+    fn post_remap_complete(&mut self, mesh: &mut Mesh, state: &mut HydroState) -> Result<()> {
+        self.post_remap(mesh, state)
     }
 }
 
@@ -203,11 +224,11 @@ pub fn lagstep_timed<H: HaloOps>(
     // (the force stencil is contained in the viscosity stencil), so one
     // post/complete brackets both.
     let q_and_force =
-        |mesh: &mut Mesh, state: &mut HydroState, halo: &mut H, subset: Subset<'_>| {
+        |mesh: &mut Mesh, state: &mut HydroState, halo: &mut H, subset: Subset<'_>| -> Result<()> {
             match subset {
-                Subset::All => timers.time(KernelId::Comms, || halo.pre_viscosity(mesh, state)),
+                Subset::All => timers.time(KernelId::Comms, || halo.pre_viscosity(mesh, state))?,
                 Subset::Mask { mask, .. } => {
-                    timers.time(KernelId::Comms, || halo.pre_viscosity_post(mesh, state));
+                    timers.time(KernelId::Comms, || halo.pre_viscosity_post(mesh, state))?;
                     let interior = Subset::Mask { mask, keep: false };
                     timers.time(KernelId::GetQ, || {
                         getq_subset(mesh, state, range, opts.q, th, interior);
@@ -215,7 +236,7 @@ pub fn lagstep_timed<H: HaloOps>(
                     timers.time(KernelId::GetForce, || {
                         getforce_subset(mesh, state, range, opts.hourglass, dt, th, interior);
                     });
-                    timers.time(KernelId::Comms, || halo.pre_viscosity_complete(mesh, state));
+                    timers.time(KernelId::Comms, || halo.pre_viscosity_complete(mesh, state))?;
                 }
             }
             // The remaining sweep: everything for the blocking schedule,
@@ -230,6 +251,7 @@ pub fn lagstep_timed<H: HaloOps>(
             timers.time(KernelId::GetForce, || {
                 getforce_subset(mesh, state, range, opts.hourglass, dt, th, rest);
             });
+            Ok(())
         };
     let visc_subset = match split {
         None => Subset::All,
@@ -240,7 +262,7 @@ pub fn lagstep_timed<H: HaloOps>(
     };
 
     // ---- Predictor: advance thermodynamic state to t + dt/2 ----
-    q_and_force(mesh, state, halo, visc_subset);
+    q_and_force(mesh, state, halo, visc_subset)?;
     // Move nodes a half step with the start-of-step velocity.
     state.ubar[..range.n_active_nd].copy_from_slice(&state.u[..range.n_active_nd]);
     move_nodes(mesh, state, range, 0.5 * dt);
@@ -252,20 +274,20 @@ pub fn lagstep_timed<H: HaloOps>(
     timers.time(KernelId::GetPc, || getpc(mesh, materials, state, range, th));
 
     // ---- Corrector: full step with time-centred quantities ----
-    q_and_force(mesh, state, halo, visc_subset);
+    q_and_force(mesh, state, halo, visc_subset)?;
     match split {
         None => {
-            timers.time(KernelId::Comms, || halo.pre_acceleration(state));
+            timers.time(KernelId::Comms, || halo.pre_acceleration(state))?;
             timers.time(KernelId::GetAcc, || {
                 getacc(mesh, state, range, dt, opts.acc_mode);
-                halo.post_acceleration(mesh, state);
-            });
+                halo.post_acceleration(mesh, state)
+            })?;
         }
         Some(s) => {
             // Post the corner exchange, gather the interior nodes while
             // the ghost corners travel, complete, then the boundary
             // nodes. The piston runs after both sweeps, as always.
-            timers.time(KernelId::Comms, || halo.pre_acceleration_post(state));
+            timers.time(KernelId::Comms, || halo.pre_acceleration_post(state))?;
             timers.time(KernelId::GetAcc, || {
                 getacc_subset(
                     mesh,
@@ -279,7 +301,7 @@ pub fn lagstep_timed<H: HaloOps>(
                     },
                 );
             });
-            timers.time(KernelId::Comms, || halo.pre_acceleration_complete(state));
+            timers.time(KernelId::Comms, || halo.pre_acceleration_complete(state))?;
             timers.time(KernelId::GetAcc, || {
                 getacc_subset(
                     mesh,
@@ -292,8 +314,8 @@ pub fn lagstep_timed<H: HaloOps>(
                         keep: true,
                     },
                 );
-                halo.post_acceleration(mesh, state);
-            });
+                halo.post_acceleration(mesh, state)
+            })?;
         }
     }
     // Re-move nodes from the start-of-step positions by dt·ubar.
@@ -474,13 +496,14 @@ mod tests {
     fn post_acceleration_hook_drives_piston() {
         struct Piston;
         impl HaloOps for Piston {
-            fn post_acceleration(&mut self, mesh: &Mesh, state: &mut HydroState) {
+            fn post_acceleration(&mut self, mesh: &Mesh, state: &mut HydroState) -> Result<()> {
                 for n in 0..mesh.n_nodes() {
                     if mesh.nodes[n].x < 1e-12 {
                         state.u[n] = Vec2::new(1.0, 0.0);
                         state.ubar[n] = Vec2::new(1.0, 0.0);
                     }
                 }
+                Ok(())
             }
         }
         let (mut mesh, mat, mut st) = setup(4);

@@ -14,45 +14,82 @@
 //! flat-MPI code that bypasses the plan does not churn the allocator.
 
 use bookleaf_mesh::submesh::ExchangeList;
-use bookleaf_util::Vec2;
+use bookleaf_util::{CommError, Vec2};
 
 use crate::plan::{pack, unpack, FieldMut};
 use crate::runtime::RankCtx;
 
 /// Exchange one field along `schedule`: a single message per neighbour
 /// containing just this field.
-fn exchange_single(ctx: &RankCtx, schedule: &[ExchangeList], field: &mut FieldMut<'_>) {
+fn exchange_single(
+    ctx: &RankCtx,
+    schedule: &[ExchangeList],
+    field: &mut FieldMut<'_>,
+) -> Result<(), CommError> {
     let width = field.kind().width();
     let tag = ctx.next_tag();
     for ex in schedule {
         let mut buf = ctx.take_buffer(ex.send.len() * width);
         pack(&mut buf, &ex.send, field);
-        ctx.send(ex.rank, tag, buf);
+        ctx.send(ex.rank, tag, buf)?;
     }
     for ex in schedule {
-        let payload = ctx.recv(ex.rank, tag);
-        debug_assert_eq!(payload.len(), ex.recv.len() * width);
+        let payload = ctx.recv(ex.rank, tag)?;
+        if payload.len() != ex.recv.len() * width {
+            return Err(CommError::Malformed {
+                from: ex.rank,
+                tag,
+                expected: ex.recv.len() * width,
+                got: payload.len(),
+            });
+        }
         unpack(&payload, &ex.recv, field);
         ctx.recycle_buffer(payload);
     }
+    Ok(())
 }
 
 /// Exchange a per-entity scalar field (element- or node-indexed,
 /// depending on which schedule is passed). After the call, every `recv`
 /// position holds the owner's value.
-pub fn exchange_scalar(ctx: &RankCtx, schedule: &[ExchangeList], field: &mut [f64]) {
-    exchange_single(ctx, schedule, &mut FieldMut::Scalar(field));
+///
+/// # Errors
+///
+/// A [`CommError`] from the underlying send/receive (dead peer,
+/// timeout, checksum failure, or a payload of the wrong shape).
+pub fn exchange_scalar(
+    ctx: &RankCtx,
+    schedule: &[ExchangeList],
+    field: &mut [f64],
+) -> Result<(), CommError> {
+    exchange_single(ctx, schedule, &mut FieldMut::Scalar(field))
 }
 
 /// Exchange a per-entity [`Vec2`] field (positions, velocities).
-pub fn exchange_vec2(ctx: &RankCtx, schedule: &[ExchangeList], field: &mut [Vec2]) {
-    exchange_single(ctx, schedule, &mut FieldMut::Vec2(field));
+///
+/// # Errors
+///
+/// As [`exchange_scalar`].
+pub fn exchange_vec2(
+    ctx: &RankCtx,
+    schedule: &[ExchangeList],
+    field: &mut [Vec2],
+) -> Result<(), CommError> {
+    exchange_single(ctx, schedule, &mut FieldMut::Vec2(field))
 }
 
 /// Exchange a per-element-corner field (corner masses, corner force
 /// components): four doubles per schedule entry.
-pub fn exchange_corner(ctx: &RankCtx, schedule: &[ExchangeList], field: &mut [[f64; 4]]) {
-    exchange_single(ctx, schedule, &mut FieldMut::Corner4(field));
+///
+/// # Errors
+///
+/// As [`exchange_scalar`].
+pub fn exchange_corner(
+    ctx: &RankCtx,
+    schedule: &[ExchangeList],
+    field: &mut [[f64; 4]],
+) -> Result<(), CommError> {
+    exchange_single(ctx, schedule, &mut FieldMut::Corner4(field))
 }
 
 #[cfg(test)]
@@ -87,7 +124,7 @@ mod tests {
                     }
                 })
                 .collect();
-            exchange_scalar(ctx, &sub.el_exchange, &mut field);
+            exchange_scalar(ctx, &sub.el_exchange, &mut field).unwrap();
             // After exchange every ghost must hold its global id.
             field
                 .iter()
@@ -110,7 +147,7 @@ mod tests {
                     }
                 })
                 .collect();
-            exchange_vec2(ctx, &sub.nd_exchange, &mut field);
+            exchange_vec2(ctx, &sub.nd_exchange, &mut field).unwrap();
             field.iter().enumerate().all(|(n, v)| {
                 let g = sub.nd_l2g[n] as f64;
                 *v == Vec2::new(g, 2.0 * g)
@@ -132,7 +169,7 @@ mod tests {
                     }
                 })
                 .collect();
-            exchange_corner(ctx, &sub.el_exchange, &mut field);
+            exchange_corner(ctx, &sub.el_exchange, &mut field).unwrap();
             field.iter().enumerate().all(|(e, cf)| {
                 let g = sub.el_l2g[e] as f64;
                 cf[0] == g && cf[3] == g + 0.75
@@ -156,7 +193,7 @@ mod tests {
                         }
                     })
                     .collect();
-                exchange_scalar(ctx, &sub.el_exchange, &mut field);
+                exchange_scalar(ctx, &sub.el_exchange, &mut field).unwrap();
                 ok &= field
                     .iter()
                     .enumerate()
@@ -189,7 +226,7 @@ mod tests {
                     }
                 })
                 .collect();
-            exchange_scalar(ctx, &sub.el_exchange, &mut field);
+            exchange_scalar(ctx, &sub.el_exchange, &mut field).unwrap();
             field
                 .iter()
                 .enumerate()

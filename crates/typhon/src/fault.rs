@@ -1,0 +1,274 @@
+//! Deterministic fault injection for the rank team.
+//!
+//! A [`FaultPlan`] is a *schedule*: a pure function of
+//! `(attempt, step, rank)` deciding whether a fault fires at that point.
+//! It reads no clock and no RNG-of-the-day — two runs of the same plan
+//! inject byte-identical faults, which is what lets the CI fault matrix
+//! assert that two recovery logs match exactly.
+//!
+//! Faults act at the communication layer (see [`crate::runtime`]):
+//!
+//! * [`FaultKind::Corrupt`] — the rank's next outgoing payload is
+//!   bit-flipped *after* its checksum is computed, so the receiver's
+//!   verification fails with `CommError::Corrupt`;
+//! * [`FaultKind::Drop`] — the rank's next outgoing message is consumed
+//!   and never delivered; the receiver's deadline expires with
+//!   `CommError::RecvTimeout`;
+//! * [`FaultKind::Delay`] — the rank's next send is held back for a
+//!   short, seed-derived (but bounded and deterministic-in-duration)
+//!   time. A delay alone never fails a run; it exercises the overlap
+//!   and timeout machinery;
+//! * [`FaultKind::Kill`] — the rank dies at the top of the scheduled
+//!   step: [`crate::RankCtx::begin_step`] returns `CommError::Killed`,
+//!   and every later communication attempt on that rank does too. Peers
+//!   observe the death as `RecvTimeout` / `CollectiveTimeout` /
+//!   `RankUnreachable` — bounded, typed, never a hang.
+//!
+//! Point faults (`Corrupt`/`Drop`/`Delay`) are *one-shot per schedule
+//! entry*: armed when the rank enters the scheduled step, consumed by
+//! that rank's next send. Entries are scoped to a recovery `attempt`
+//! (default `0`), so a supervised re-run after rewinding to a checkpoint
+//! does not re-trip the same deterministic fault forever.
+
+/// What a scheduled fault does to the communication stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip a bit in the next outgoing payload after checksumming.
+    Corrupt,
+    /// Swallow the next outgoing message.
+    Drop,
+    /// Hold the next outgoing message back briefly.
+    Delay,
+    /// Terminate the rank at the top of the scheduled step.
+    Kill,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Drop => "drop",
+            FaultKind::Delay => "delay",
+            FaultKind::Kill => "kill",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One scheduled fault: fires for `rank` at the top of `step`, on
+/// recovery attempt `attempt` only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEntry {
+    /// Recovery attempt this entry belongs to (`0` = the first run).
+    pub attempt: usize,
+    /// Simulation step (as announced via `RankCtx::begin_step`).
+    pub step: usize,
+    /// The rank the fault acts on.
+    pub rank: usize,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault schedule. See the module docs for semantics.
+///
+/// Built either from explicit entries (the builder methods) or derived
+/// from a seed with [`FaultPlan::seeded`]; both are pure data, cheap to
+/// clone, and shared read-only by every rank of a team.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    entries: Vec<FaultEntry>,
+}
+
+/// SplitMix64: the standard 64-bit finalizer, used to derive per-entry
+/// jitter (delay durations) and seeded schedules. Pure and portable.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing). The seed feeds delay-duration
+    /// derivation for any `Delay` entries added later.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            entries: Vec::new(),
+        }
+    }
+
+    /// A pseudo-random schedule: for every `(step, rank)` in
+    /// `0..n_steps × 0..n_ranks`, a fault of `kind` fires with
+    /// probability `rate_percent`/100, decided by a pure hash of
+    /// `(seed, step, rank)`. Attempt 0 only.
+    #[must_use]
+    pub fn seeded(
+        seed: u64,
+        n_steps: usize,
+        n_ranks: usize,
+        kind: FaultKind,
+        rate_percent: u64,
+    ) -> Self {
+        let mut plan = FaultPlan::new(seed);
+        for step in 0..n_steps {
+            for rank in 0..n_ranks {
+                let h = splitmix64(seed ^ (step as u64) << 20 ^ rank as u64);
+                if h % 100 < rate_percent {
+                    plan.entries.push(FaultEntry {
+                        attempt: 0,
+                        step,
+                        rank,
+                        kind,
+                    });
+                }
+            }
+        }
+        plan
+    }
+
+    /// Schedule `kind` for `rank` at `step`, attempt 0.
+    #[must_use]
+    pub fn with(mut self, kind: FaultKind, step: usize, rank: usize) -> Self {
+        self.entries.push(FaultEntry {
+            attempt: 0,
+            step,
+            rank,
+            kind,
+        });
+        self
+    }
+
+    /// Re-scope the most recently added entry to a recovery attempt.
+    ///
+    /// # Panics
+    ///
+    /// If the plan has no entries yet.
+    #[must_use]
+    pub fn on_attempt(mut self, attempt: usize) -> Self {
+        self.entries
+            .last_mut()
+            .expect("on_attempt needs a preceding entry")
+            .attempt = attempt;
+        self
+    }
+
+    /// Shorthand: corrupt `rank`'s next payload at `step`.
+    #[must_use]
+    pub fn corrupt(self, step: usize, rank: usize) -> Self {
+        self.with(FaultKind::Corrupt, step, rank)
+    }
+
+    /// Shorthand: drop `rank`'s next message at `step`.
+    #[must_use]
+    pub fn drop_message(self, step: usize, rank: usize) -> Self {
+        self.with(FaultKind::Drop, step, rank)
+    }
+
+    /// Shorthand: delay `rank`'s next send at `step`.
+    #[must_use]
+    pub fn delay(self, step: usize, rank: usize) -> Self {
+        self.with(FaultKind::Delay, step, rank)
+    }
+
+    /// Shorthand: kill `rank` at the top of `step`.
+    #[must_use]
+    pub fn kill(self, step: usize, rank: usize) -> Self {
+        self.with(FaultKind::Kill, step, rank)
+    }
+
+    /// True when the plan schedules nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The scheduled entries, in insertion order.
+    #[must_use]
+    pub fn entries(&self) -> &[FaultEntry] {
+        &self.entries
+    }
+
+    /// The fault (if any) scheduled for `(attempt, step, rank)`. A kill
+    /// wins over point faults scheduled at the same spot.
+    #[must_use]
+    pub fn action(&self, attempt: usize, step: usize, rank: usize) -> Option<FaultKind> {
+        let mut hit = None;
+        for e in &self.entries {
+            if e.attempt == attempt && e.step == step && e.rank == rank {
+                if e.kind == FaultKind::Kill {
+                    return Some(FaultKind::Kill);
+                }
+                hit = Some(e.kind);
+            }
+        }
+        hit
+    }
+
+    /// Deterministic delay duration for a `Delay` fault at
+    /// `(attempt, step, rank)`: 1–16 ms derived from the seed. Bounded
+    /// well below any sane receive timeout, so a delay alone never
+    /// converts into a failure.
+    #[must_use]
+    pub fn delay_for(&self, attempt: usize, step: usize, rank: usize) -> std::time::Duration {
+        let h = splitmix64(self.seed ^ (attempt as u64) << 40 ^ (step as u64) << 20 ^ rank as u64);
+        std::time::Duration::from_millis(1 + h % 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_a_pure_function_of_its_inputs() {
+        let a = FaultPlan::new(7).corrupt(3, 1).kill(9, 0);
+        let b = FaultPlan::new(7).corrupt(3, 1).kill(9, 0);
+        assert_eq!(a, b);
+        assert_eq!(a.action(0, 3, 1), Some(FaultKind::Corrupt));
+        assert_eq!(b.action(0, 3, 1), Some(FaultKind::Corrupt));
+        assert_eq!(a.action(0, 9, 0), Some(FaultKind::Kill));
+        assert_eq!(a.action(0, 9, 1), None);
+        assert_eq!(a.action(1, 3, 1), None, "attempt 1 sees no attempt-0 fault");
+    }
+
+    #[test]
+    fn attempt_scoping_retargets_the_last_entry() {
+        let p = FaultPlan::new(0).drop_message(5, 2).on_attempt(1);
+        assert_eq!(p.action(0, 5, 2), None);
+        assert_eq!(p.action(1, 5, 2), Some(FaultKind::Drop));
+    }
+
+    #[test]
+    fn kill_wins_over_point_faults_at_the_same_spot() {
+        let p = FaultPlan::new(0).corrupt(4, 1).kill(4, 1);
+        assert_eq!(p.action(0, 4, 1), Some(FaultKind::Kill));
+        let p = FaultPlan::new(0).kill(4, 1).corrupt(4, 1);
+        assert_eq!(p.action(0, 4, 1), Some(FaultKind::Kill));
+    }
+
+    #[test]
+    fn seeded_schedule_is_reproducible_and_rate_bounded() {
+        let a = FaultPlan::seeded(42, 100, 4, FaultKind::Drop, 10);
+        let b = FaultPlan::seeded(42, 100, 4, FaultKind::Drop, 10);
+        assert_eq!(a, b);
+        let c = FaultPlan::seeded(43, 100, 4, FaultKind::Drop, 10);
+        assert_ne!(a, c, "different seeds should differ");
+        // 400 slots at 10%: expect roughly 40, certainly not 0 or 400.
+        let n = a.entries().len();
+        assert!(n > 5 && n < 150, "implausible seeded fault count {n}");
+    }
+
+    #[test]
+    fn delay_durations_are_deterministic_and_bounded() {
+        let p = FaultPlan::new(123).delay(2, 0);
+        let d1 = p.delay_for(0, 2, 0);
+        let d2 = p.delay_for(0, 2, 0);
+        assert_eq!(d1, d2);
+        assert!(d1 >= std::time::Duration::from_millis(1));
+        assert!(d1 <= std::time::Duration::from_millis(17));
+    }
+}

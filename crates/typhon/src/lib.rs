@@ -25,14 +25,20 @@
 //!   vector, per-corner) over a [`bookleaf_mesh::SubMesh`], thin wrappers
 //!   over the plan's packing machinery;
 //! * [`stats`] — per-rank communication counters (messages, doubles
-//!   moved, per-phase breakdowns) consumed by the performance models.
+//!   moved, per-phase breakdowns) consumed by the performance models;
+//! * [`fault`] — deterministic fault injection: a seeded [`FaultPlan`]
+//!   schedule that corrupts, drops, delays or kills at precise
+//!   `(attempt, step, rank)` points, every failure surfacing as a typed
+//!   `CommError` within one bounded timeout window.
 
 pub mod exchange;
+pub mod fault;
 pub mod plan;
 pub mod runtime;
 pub mod stats;
 
 pub use exchange::{exchange_corner, exchange_scalar, exchange_vec2};
+pub use fault::{FaultEntry, FaultKind, FaultPlan};
 pub use plan::{Entity, FieldMut, HaloPlan, HaloPlanBuilder, PendingPhase, PhaseId, SlotKind};
-pub use runtime::{RankCtx, Typhon};
+pub use runtime::{RankCtx, Typhon, TyphonOptions};
 pub use stats::{CommStats, PhaseStats};

@@ -63,7 +63,7 @@
 use std::time::Instant;
 
 use bookleaf_mesh::submesh::ExchangeList;
-use bookleaf_util::Vec2;
+use bookleaf_util::{CommError, Vec2};
 
 use crate::runtime::RankCtx;
 
@@ -382,10 +382,20 @@ impl HaloPlan {
     /// Consumes one tag; every rank must post its phases in the same
     /// global order.
     ///
+    /// # Errors
+    ///
+    /// A [`CommError`] when a send cannot be delivered (dead peer, or
+    /// this rank's own scheduled kill has fired).
+    ///
     /// # Panics
     ///
     /// If `fields` disagrees with the phase registration.
-    pub fn post(&self, ctx: &RankCtx, phase: PhaseId, fields: &[FieldMut<'_>]) -> PendingPhase {
+    pub fn post(
+        &self,
+        ctx: &RankCtx,
+        phase: PhaseId,
+        fields: &[FieldMut<'_>],
+    ) -> std::result::Result<PendingPhase, CommError> {
         let ph = &self.phases[phase.0];
         self.validate_fields(ph, fields);
         let tag = ctx.next_tag();
@@ -395,13 +405,13 @@ impl HaloPlan {
                 pack(&mut buf, link.send_list(entity), field);
             }
             debug_assert_eq!(buf.len(), layout.send_total);
-            ctx.send_in_phase(link.rank, tag, buf, ph.name);
+            ctx.send_in_phase(link.rank, tag, buf, ph.name)?;
         }
-        PendingPhase {
+        Ok(PendingPhase {
             phase,
             tag,
             posted: Instant::now(),
-        }
+        })
     }
 
     /// Receive and unpack one buffer per neighbour link for a phase
@@ -409,27 +419,36 @@ impl HaloPlan {
     /// to the phase's `recv_wait_seconds`; the time the ticket stayed
     /// open is recorded as its `overlap_window_seconds`.
     ///
+    /// # Errors
+    ///
+    /// A [`CommError`] when a receive times out, a payload fails its
+    /// checksum, or a received payload has the wrong length for the
+    /// phase layout ([`CommError::Malformed`] — peer plan mismatch).
+    ///
     /// # Panics
     ///
-    /// If `fields` disagrees with the phase registration, or a received
-    /// payload has the wrong length (peer plan mismatch).
-    pub fn complete(&self, ctx: &RankCtx, pending: PendingPhase, fields: &mut [FieldMut<'_>]) {
+    /// If `fields` disagrees with the phase registration.
+    pub fn complete(
+        &self,
+        ctx: &RankCtx,
+        pending: PendingPhase,
+        fields: &mut [FieldMut<'_>],
+    ) -> std::result::Result<(), CommError> {
         let ph = &self.phases[pending.phase.0];
         self.validate_fields(ph, fields);
         if !self.links.is_empty() {
             ctx.record_overlap_window(ph.name, pending.posted.elapsed().as_secs_f64());
         }
         for (link, layout) in self.links.iter().zip(&ph.layouts) {
-            let payload = ctx.recv_in_phase(link.rank, pending.tag, ph.name);
-            assert_eq!(
-                payload.len(),
-                layout.recv_total,
-                "phase {:?}: peer {} sent {} doubles, layout expects {}",
-                ph.name,
-                link.rank,
-                payload.len(),
-                layout.recv_total
-            );
+            let payload = ctx.recv_in_phase(link.rank, pending.tag, ph.name)?;
+            if payload.len() != layout.recv_total {
+                return Err(CommError::Malformed {
+                    from: link.rank,
+                    tag: pending.tag,
+                    expected: layout.recv_total,
+                    got: payload.len(),
+                });
+            }
             for ((field, &(entity, _)), &off) in
                 fields.iter_mut().zip(&ph.slots).zip(&layout.recv_off)
             {
@@ -437,6 +456,7 @@ impl HaloPlan {
             }
             ctx.recycle_buffer(payload);
         }
+        Ok(())
     }
 
     /// Execute `phase`: pack every registered slot from `fields` into
@@ -449,13 +469,22 @@ impl HaloPlan {
     /// kind (checked). Like the legacy primitives, all ranks must
     /// execute their phases in the same global order so tags match.
     ///
+    /// # Errors
+    ///
+    /// A [`CommError`] from either half of the exchange (see
+    /// [`HaloPlan::post`] and [`HaloPlan::complete`]).
+    ///
     /// # Panics
     ///
-    /// If `fields` disagrees with the phase registration, or a received
-    /// payload has the wrong length (peer plan mismatch).
-    pub fn execute(&self, ctx: &RankCtx, phase: PhaseId, fields: &mut [FieldMut<'_>]) {
-        let pending = self.post(ctx, phase, fields);
-        self.complete(ctx, pending, fields);
+    /// If `fields` disagrees with the phase registration.
+    pub fn execute(
+        &self,
+        ctx: &RankCtx,
+        phase: PhaseId,
+        fields: &mut [FieldMut<'_>],
+    ) -> std::result::Result<(), CommError> {
+        let pending = self.post(ctx, phase, fields)?;
+        self.complete(ctx, pending, fields)
     }
 }
 
@@ -622,7 +651,8 @@ mod tests {
                     FieldMut::Corner4(&mut c4),
                     FieldMut::CornerVec2(&mut cv),
                 ],
-            );
+            )
+            .unwrap();
 
             let nd_ok = nd.iter().enumerate().all(|(n, v)| {
                 let g = sub.nd_l2g[n] as f64;
@@ -673,7 +703,8 @@ mod tests {
                     FieldMut::Corner4(&mut c4),
                     FieldMut::CornerVec2(&mut cv),
                 ],
-            );
+            )
+            .unwrap();
             (ctx.stats().doubles_sent, plan.doubles_per_execution(phase))
         })
         .unwrap();
@@ -692,7 +723,7 @@ mod tests {
         let plan = b.build();
         let wrong = vec![Vec2::ZERO; sub.mesh.n_elements()];
         Typhon::run(1, |ctx| {
-            plan.execute(ctx, phase, &mut [FieldMut::Vec2(&mut wrong.clone())]);
+            let _ = plan.execute(ctx, phase, &mut [FieldMut::Vec2(&mut wrong.clone())]);
         })
         .unwrap();
     }
@@ -711,7 +742,7 @@ mod tests {
         assert!(sub.mesh.n_elements() < sub.mesh.n_nodes());
         let wrong = vec![0.0; sub.mesh.n_elements()];
         Typhon::run(1, |ctx| {
-            plan.execute(ctx, phase, &mut [FieldMut::Scalar(&mut wrong.clone())]);
+            let _ = plan.execute(ctx, phase, &mut [FieldMut::Scalar(&mut wrong.clone())]);
         })
         .unwrap();
     }
@@ -760,11 +791,11 @@ mod tests {
 
             let mut fa = [FieldMut::Scalar(&mut sc)];
             let mut fb = [FieldMut::Vec2(&mut nd)];
-            let ta = plan.post(ctx, pa, &fa);
-            let tb = plan.post(ctx, pb, &fb);
+            let ta = plan.post(ctx, pa, &fa).unwrap();
+            let tb = plan.post(ctx, pb, &fb).unwrap();
             // Complete in reverse post order: the mailbox sorts it out.
-            plan.complete(ctx, tb, &mut fb);
-            plan.complete(ctx, ta, &mut fa);
+            plan.complete(ctx, tb, &mut fb).unwrap();
+            plan.complete(ctx, ta, &mut fa).unwrap();
 
             let sc_ok = sc
                 .iter()
@@ -814,14 +845,15 @@ mod tests {
                         FieldMut::Corner4(&mut c4),
                         FieldMut::CornerVec2(&mut cv),
                     ],
-                );
+                )
+                .unwrap();
             };
             run_once(ctx);
-            ctx.barrier(); // all first-round payloads delivered & recycled
+            ctx.barrier().unwrap(); // all first-round payloads delivered & recycled
             let after_warmup = ctx.pool_len();
             for _ in 0..5 {
                 run_once(ctx);
-                ctx.barrier();
+                ctx.barrier().unwrap();
             }
             (after_warmup, ctx.pool_len())
         })
@@ -856,7 +888,8 @@ mod tests {
                     FieldMut::Corner4(&mut c4),
                     FieldMut::CornerVec2(&mut cv),
                 ],
-            );
+            )
+            .unwrap();
             ctx.stats().messages_sent
         })
         .unwrap();

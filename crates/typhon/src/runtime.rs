@@ -5,23 +5,42 @@
 //! tag-matched (out-of-order arrivals are parked in a local mailbox, as an
 //! MPI implementation would) and collectives use a generation-counted
 //! shared cell so they can be called any number of times.
+//!
+//! ## Resilience contract
+//!
+//! Every blocking operation is bounded: receives and collectives carry a
+//! deadline ([`TyphonOptions::recv_timeout`]) and surface expiry as a
+//! typed [`CommError`], never a hang. Every payload travels with a
+//! CRC-32 checksum, verified on arrival, so in-flight corruption —
+//! injected by a [`FaultPlan`] or real — surfaces as
+//! [`CommError::Corrupt`] instead of silently wrong physics. A rank
+//! killed by its fault schedule returns [`CommError::Killed`] from its
+//! next operation and simply exits; its peers observe the death as
+//! `RecvTimeout` / `CollectiveTimeout` / `RankUnreachable` within one
+//! timeout window. All error payloads are deterministic (ranks, tags,
+//! steps — no wall-clock durations), so two runs of the same fault
+//! schedule fail identically.
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Condvar, Mutex};
 
-use bookleaf_util::{BookLeafError, Result};
+use bookleaf_util::{crc32_f64s, BookLeafError, CommError, Result};
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::stats::CommStats;
 
-/// A point-to-point message: sender rank, tag, payload of doubles.
+/// A point-to-point message: sender rank, tag, checksummed payload.
 struct Message {
     from: usize,
     tag: u64,
     payload: Vec<f64>,
+    /// CRC-32 of the payload's bit pattern, computed at send time and
+    /// verified at the first pull from the channel.
+    checksum: u32,
 }
 
 /// Shared state for barriers and reductions (one per team).
@@ -56,8 +75,15 @@ impl Collective {
     }
 
     /// Combined barrier + reduction: every rank contributes `value`; all
-    /// receive `(min, sum)` of the contributions.
-    fn reduce(&self, value: f64) -> (f64, f64) {
+    /// receive `(min, sum)` of the contributions — or
+    /// [`CommError::CollectiveTimeout`] if some rank never arrives
+    /// within `timeout` (it died or hung).
+    fn reduce(
+        &self,
+        rank: usize,
+        value: f64,
+        timeout: Duration,
+    ) -> std::result::Result<(f64, f64), CommError> {
         let mut st = self.lock.lock();
         let gen = st.generation;
         st.acc_min = st.acc_min.min(value);
@@ -72,14 +98,22 @@ impl Collective {
             st.acc_sum = 0.0;
             st.last_result = out;
             self.cv.notify_all();
-            return out;
+            return Ok(out);
         }
-        self.cv.wait_while(&mut st, |s| s.generation == gen);
-        st.last_result
+        let timed_out = self
+            .cv
+            .wait_while_for(&mut st, |s| s.generation == gen, timeout);
+        // A timeout can race with the last arrival: trust the generation
+        // counter, not the timeout flag.
+        if timed_out && st.generation == gen {
+            return Err(CommError::CollectiveTimeout { rank });
+        }
+        Ok(st.last_result)
     }
 }
 
-/// Out-of-order messages parked by (source rank, tag).
+/// Out-of-order messages parked by (source rank, tag). Parked payloads
+/// have already passed checksum verification.
 type Mailbox = HashMap<(usize, u64), Vec<Vec<f64>>>;
 
 /// Cap on pooled payload buffers per rank: enough for every in-flight
@@ -93,6 +127,58 @@ const BUFFER_POOL_CAP: usize = 64;
 /// the pool's worst-case footprint is bounded in bytes
 /// (`BUFFER_POOL_CAP × 512 KB = 32 MB` per rank), not just in count.
 const BUFFER_POOL_MAX_DOUBLES: usize = 64 * 1024;
+
+/// Team-wide execution options: timeouts and the fault schedule.
+#[derive(Clone, Debug)]
+pub struct TyphonOptions {
+    /// Deadline for every blocking receive and collective. Generous by
+    /// default — a healthy step never waits seconds — so real deadlocks
+    /// and dead ranks surface as typed timeouts instead of hangs, while
+    /// slow-but-alive peers are never false-flagged.
+    pub recv_timeout: Duration,
+    /// Deterministic fault schedule shared by every rank; `None`
+    /// injects nothing.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Recovery attempt index the schedule is evaluated against (a
+    /// supervised re-run after rewind increments this, so attempt-0
+    /// faults do not re-fire forever).
+    pub attempt: usize,
+}
+
+impl Default for TyphonOptions {
+    fn default() -> Self {
+        TyphonOptions {
+            recv_timeout: Duration::from_secs(60),
+            fault_plan: None,
+            attempt: 0,
+        }
+    }
+}
+
+impl TyphonOptions {
+    /// Options with a fault plan attached (attempt 0, default timeout).
+    #[must_use]
+    pub fn with_faults(plan: FaultPlan) -> Self {
+        TyphonOptions {
+            fault_plan: Some(Arc::new(plan)),
+            ..TyphonOptions::default()
+        }
+    }
+
+    /// Replace the receive/collective deadline.
+    #[must_use]
+    pub fn timeout(mut self, recv_timeout: Duration) -> Self {
+        self.recv_timeout = recv_timeout;
+        self
+    }
+
+    /// Evaluate the fault schedule against a recovery attempt index.
+    #[must_use]
+    pub fn on_attempt(mut self, attempt: usize) -> Self {
+        self.attempt = attempt;
+        self
+    }
+}
 
 /// Per-rank handle used inside the rank closure.
 pub struct RankCtx {
@@ -113,6 +199,19 @@ pub struct RankCtx {
     /// the pools balanced, so steady-state halo traffic allocates
     /// nothing.
     pool: Mutex<Vec<Vec<f64>>>,
+    /// Receive/collective deadline (from [`TyphonOptions`]).
+    recv_timeout: Duration,
+    /// Shared fault schedule, if any.
+    fault: Option<Arc<FaultPlan>>,
+    /// Recovery attempt the schedule is evaluated against.
+    attempt: usize,
+    /// Current simulation step, advanced by [`RankCtx::begin_step`].
+    step: Mutex<usize>,
+    /// One-shot point fault armed for this rank's next send.
+    armed: Mutex<Option<FaultKind>>,
+    /// `Some(step)` once this rank's kill fired: every subsequent
+    /// communication attempt returns [`CommError::Killed`].
+    killed_at: Mutex<Option<usize>>,
 }
 
 impl RankCtx {
@@ -130,6 +229,48 @@ impl RankCtx {
         self.n_ranks
     }
 
+    /// The receive/collective deadline this team runs under.
+    #[inline]
+    #[must_use]
+    pub fn recv_timeout(&self) -> Duration {
+        self.recv_timeout
+    }
+
+    /// Announce the top of simulation step `step`: advances the fault
+    /// schedule. A scheduled kill fires here (and poisons every later
+    /// communication attempt); a scheduled point fault is armed for this
+    /// rank's next send. Ranks not running a stepped simulation never
+    /// need to call this.
+    pub fn begin_step(&self, step: usize) -> std::result::Result<(), CommError> {
+        *self.step.lock() = step;
+        self.check_killed()?;
+        if let Some(plan) = &self.fault {
+            match plan.action(self.attempt, step, self.rank) {
+                Some(FaultKind::Kill) => {
+                    *self.killed_at.lock() = Some(step);
+                    return Err(CommError::Killed {
+                        rank: self.rank,
+                        step,
+                    });
+                }
+                Some(point) => *self.armed.lock() = Some(point),
+                None => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// `Err(Killed)` once this rank's scheduled death has fired.
+    fn check_killed(&self) -> std::result::Result<(), CommError> {
+        if let Some(step) = *self.killed_at.lock() {
+            return Err(CommError::Killed {
+                rank: self.rank,
+                step,
+            });
+        }
+        Ok(())
+    }
+
     /// Next phase tag. Every rank must call the tag-consuming collective
     /// operations in the same order, so matching calls draw matching tags
     /// — exactly the discipline an MPI code with per-phase tags follows.
@@ -141,17 +282,35 @@ impl RankCtx {
     }
 
     /// Non-blocking send of `payload` to `to` under `tag`.
-    pub fn send(&self, to: usize, tag: u64, payload: Vec<f64>) {
-        self.send_impl(to, tag, payload, None);
+    pub fn send(
+        &self,
+        to: usize,
+        tag: u64,
+        payload: Vec<f64>,
+    ) -> std::result::Result<(), CommError> {
+        self.send_impl(to, tag, payload, None)
     }
 
     /// [`RankCtx::send`], additionally attributing the traffic to a named
     /// exchange phase in this rank's [`CommStats`] breakdown.
-    pub fn send_in_phase(&self, to: usize, tag: u64, payload: Vec<f64>, phase: &'static str) {
-        self.send_impl(to, tag, payload, Some(phase));
+    pub fn send_in_phase(
+        &self,
+        to: usize,
+        tag: u64,
+        payload: Vec<f64>,
+        phase: &'static str,
+    ) -> std::result::Result<(), CommError> {
+        self.send_impl(to, tag, payload, Some(phase))
     }
 
-    fn send_impl(&self, to: usize, tag: u64, payload: Vec<f64>, phase: Option<&'static str>) {
+    fn send_impl(
+        &self,
+        to: usize,
+        tag: u64,
+        mut payload: Vec<f64>,
+        phase: Option<&'static str>,
+    ) -> std::result::Result<(), CommError> {
+        self.check_killed()?;
         {
             let mut s = self.stats.lock();
             s.messages_sent += 1;
@@ -162,13 +321,36 @@ impl RankCtx {
                 p.doubles_sent += payload.len() as u64;
             }
         }
+        // Checksum the *true* payload; injected corruption mutates it
+        // afterwards so the receiver's verification must fail.
+        let mut checksum = crc32_f64s(&payload);
+        match self.armed.lock().take() {
+            Some(FaultKind::Corrupt) => {
+                if let Some(first) = payload.first_mut() {
+                    *first = f64::from_bits(first.to_bits() ^ 1);
+                } else {
+                    // Nothing to flip in an empty payload: lie about the
+                    // checksum instead.
+                    checksum ^= 1;
+                }
+            }
+            Some(FaultKind::Drop) => return Ok(()), // lost in flight
+            Some(FaultKind::Delay) => {
+                if let Some(plan) = &self.fault {
+                    let step = *self.step.lock();
+                    std::thread::sleep(plan.delay_for(self.attempt, step, self.rank));
+                }
+            }
+            Some(FaultKind::Kill) | None => {}
+        }
         self.senders[to]
             .send(Message {
                 from: self.rank,
                 tag,
                 payload,
+                checksum,
             })
-            .expect("peer rank hung up");
+            .map_err(|_| CommError::RankUnreachable { to })
     }
 
     /// A cleared payload buffer with at least `capacity` reserved, drawn
@@ -232,20 +414,39 @@ impl RankCtx {
         }
     }
 
+    /// Verify an incoming message's checksum before it is handed out or
+    /// parked. A mismatch is in-flight corruption.
+    fn verify(msg: &Message) -> std::result::Result<(), CommError> {
+        if crc32_f64s(&msg.payload) != msg.checksum {
+            return Err(CommError::Corrupt {
+                from: msg.from,
+                tag: msg.tag,
+            });
+        }
+        Ok(())
+    }
+
     /// Non-blocking receive from `from` under `tag`: the matching
     /// payload if it has already been delivered (mailbox or channel),
     /// `None` otherwise. Messages for other `(source, tag)` pairs
     /// encountered while draining the channel are parked in the mailbox,
-    /// exactly as the blocking receive does.
-    pub fn try_recv(&self, from: usize, tag: u64) -> Option<Vec<f64>> {
+    /// exactly as the blocking receive does. Corruption of *any* drained
+    /// message (matching or stranger) surfaces here.
+    pub fn try_recv(
+        &self,
+        from: usize,
+        tag: u64,
+    ) -> std::result::Result<Option<Vec<f64>>, CommError> {
+        self.check_killed()?;
         if let Some(q) = self.mailbox.lock().get_mut(&(from, tag)) {
             if !q.is_empty() {
-                return Some(q.remove(0));
+                return Ok(Some(q.remove(0)));
             }
         }
         while let Ok(msg) = self.receiver.try_recv() {
+            Self::verify(&msg)?;
             if msg.from == from && msg.tag == tag {
-                return Some(msg.payload);
+                return Ok(Some(msg.payload));
             }
             self.mailbox
                 .lock()
@@ -253,12 +454,14 @@ impl RankCtx {
                 .or_default()
                 .push(msg.payload);
         }
-        None
+        Ok(None)
     }
 
     /// Blocking receive from `from` under `tag`. Out-of-order messages
-    /// are parked until asked for.
-    pub fn recv(&self, from: usize, tag: u64) -> Vec<f64> {
+    /// are parked until asked for. Bounded: returns
+    /// [`CommError::RecvTimeout`] when no matching message arrives
+    /// within the team's deadline.
+    pub fn recv(&self, from: usize, tag: u64) -> std::result::Result<Vec<f64>, CommError> {
         self.recv_tracked(from, tag, None)
     }
 
@@ -266,21 +469,42 @@ impl RankCtx {
     /// not yet delivered) to `phase` in this rank's [`CommStats`]. A
     /// receive that finds its payload already here records exactly zero
     /// and never reads a clock.
-    pub fn recv_in_phase(&self, from: usize, tag: u64, phase: &'static str) -> Vec<f64> {
+    pub fn recv_in_phase(
+        &self,
+        from: usize,
+        tag: u64,
+        phase: &'static str,
+    ) -> std::result::Result<Vec<f64>, CommError> {
         self.recv_tracked(from, tag, Some(phase))
     }
 
-    fn recv_tracked(&self, from: usize, tag: u64, phase: Option<&'static str>) -> Vec<f64> {
+    fn recv_tracked(
+        &self,
+        from: usize,
+        tag: u64,
+        phase: Option<&'static str>,
+    ) -> std::result::Result<Vec<f64>, CommError> {
         // Fast path: already delivered — no clock, no stats.
-        if let Some(payload) = self.try_recv(from, tag) {
-            return payload;
+        if let Some(payload) = self.try_recv(from, tag)? {
+            return Ok(payload);
         }
         let start = Instant::now();
+        let deadline = start + self.recv_timeout;
         let payload = loop {
-            let msg = self
-                .receiver
-                .recv()
-                .expect("team disbanded while receiving");
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(CommError::RecvTimeout { from, tag });
+            }
+            let msg = match self.receiver.recv_timeout(remaining) {
+                Ok(msg) => msg,
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::RecvTimeout { from, tag });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::Disconnected { rank: self.rank });
+                }
+            };
+            Self::verify(&msg)?;
             if msg.from == from && msg.tag == tag {
                 break msg.payload;
             }
@@ -296,7 +520,7 @@ impl RankCtx {
         if let Some(name) = phase {
             s.phase_mut(name).recv_wait_seconds += waited;
         }
-        payload
+        Ok(payload)
     }
 
     /// Record a completed post→complete overlap window for `phase` (used
@@ -308,22 +532,33 @@ impl RankCtx {
     }
 
     /// Global minimum across all ranks (BookLeaf's single per-step
-    /// reduction, used for the time step).
-    pub fn allreduce_min(&self, value: f64) -> f64 {
+    /// reduction, used for the time step). Bounded: a peer that never
+    /// contributes surfaces as [`CommError::CollectiveTimeout`].
+    pub fn allreduce_min(&self, value: f64) -> std::result::Result<f64, CommError> {
+        self.check_killed()?;
         self.stats.lock().collectives += 1;
-        self.collective.reduce(value).0
+        Ok(self
+            .collective
+            .reduce(self.rank, value, self.recv_timeout)?
+            .0)
     }
 
     /// Global sum across all ranks (used by diagnostics and tests).
-    pub fn allreduce_sum(&self, value: f64) -> f64 {
+    pub fn allreduce_sum(&self, value: f64) -> std::result::Result<f64, CommError> {
+        self.check_killed()?;
         self.stats.lock().collectives += 1;
-        self.collective.reduce(value).1
+        Ok(self
+            .collective
+            .reduce(self.rank, value, self.recv_timeout)?
+            .1)
     }
 
     /// Barrier.
-    pub fn barrier(&self) {
+    pub fn barrier(&self) -> std::result::Result<(), CommError> {
+        self.check_killed()?;
         self.stats.lock().collectives += 1;
-        self.collective.reduce(0.0);
+        self.collective.reduce(self.rank, 0.0, self.recv_timeout)?;
+        Ok(())
     }
 
     /// Snapshot of this rank's communication counters.
@@ -339,8 +574,19 @@ pub struct Typhon;
 impl Typhon {
     /// Run `f` on `n_ranks` rank threads and collect the per-rank results
     /// in rank order. Panics inside a rank are converted into
-    /// [`BookLeafError::RankPanic`].
+    /// [`BookLeafError::RankPanic`]. Default [`TyphonOptions`]: generous
+    /// timeout, no fault injection.
     pub fn run<R, F>(n_ranks: usize, f: F) -> Result<Vec<R>>
+    where
+        R: Send,
+        F: Fn(&RankCtx) -> R + Sync,
+    {
+        Self::run_with(n_ranks, TyphonOptions::default(), f)
+    }
+
+    /// [`Typhon::run`] with explicit [`TyphonOptions`] — timeouts and a
+    /// deterministic fault schedule.
+    pub fn run_with<R, F>(n_ranks: usize, options: TyphonOptions, f: F) -> Result<Vec<R>>
     where
         R: Send,
         F: Fn(&RankCtx) -> R + Sync,
@@ -374,6 +620,12 @@ impl Typhon {
                         phase: Mutex::new(0),
                         stats: Mutex::new(CommStats::default()),
                         pool: Mutex::new(Vec::new()),
+                        recv_timeout: options.recv_timeout,
+                        fault: options.fault_plan.clone(),
+                        attempt: options.attempt,
+                        step: Mutex::new(0),
+                        armed: Mutex::new(None),
+                        killed_at: Mutex::new(None),
                     };
                     let f = &f;
                     scope.spawn(move || f(&ctx))
@@ -421,8 +673,8 @@ mod tests {
             let to = (ctx.rank() + 1) % 3;
             let from = (ctx.rank() + 2) % 3;
             let tag = ctx.next_tag();
-            ctx.send(to, tag, vec![ctx.rank() as f64]);
-            let got = ctx.recv(from, tag);
+            ctx.send(to, tag, vec![ctx.rank() as f64]).unwrap();
+            let got = ctx.recv(from, tag).unwrap();
             got[0] as usize
         })
         .unwrap();
@@ -435,12 +687,12 @@ mod tests {
         // them in the opposite order.
         let out = Typhon::run(2, |ctx| {
             if ctx.rank() == 0 {
-                ctx.send(1, 7, vec![7.0]);
-                ctx.send(1, 8, vec![8.0]);
+                ctx.send(1, 7, vec![7.0]).unwrap();
+                ctx.send(1, 8, vec![8.0]).unwrap();
                 0.0
             } else {
-                let b = ctx.recv(0, 8);
-                let a = ctx.recv(0, 7);
+                let b = ctx.recv(0, 8).unwrap();
+                let a = ctx.recv(0, 7).unwrap();
                 a[0] * 10.0 + b[0]
             }
         })
@@ -452,8 +704,8 @@ mod tests {
     fn allreduce_min_and_sum() {
         let out = Typhon::run(5, |ctx| {
             let v = (ctx.rank() + 1) as f64;
-            let mn = ctx.allreduce_min(v);
-            let sm = ctx.allreduce_sum(v);
+            let mn = ctx.allreduce_min(v).unwrap();
+            let sm = ctx.allreduce_sum(v).unwrap();
             (mn, sm)
         })
         .unwrap();
@@ -468,7 +720,7 @@ mod tests {
         let out = Typhon::run(3, |ctx| {
             let mut acc = 0.0;
             for i in 0..100 {
-                acc += ctx.allreduce_min((ctx.rank() + i) as f64);
+                acc += ctx.allreduce_min((ctx.rank() + i) as f64).unwrap();
             }
             acc
         })
@@ -502,9 +754,9 @@ mod tests {
         let out = Typhon::run(2, |ctx| {
             let tag = ctx.next_tag();
             if ctx.rank() == 0 {
-                ctx.send(1, tag, vec![1.0, 2.0, 3.0]);
+                ctx.send(1, tag, vec![1.0, 2.0, 3.0]).unwrap();
             } else {
-                ctx.recv(0, tag);
+                ctx.recv(0, tag).unwrap();
             }
             ctx.stats()
         })
@@ -521,13 +773,13 @@ mod tests {
             let t1 = ctx.next_tag();
             let t2 = ctx.next_tag();
             if ctx.rank() == 0 {
-                ctx.send_in_phase(1, t0, vec![1.0, 2.0], "alpha");
-                ctx.send_in_phase(1, t1, vec![3.0], "beta");
-                ctx.send(1, t2, vec![4.0]);
+                ctx.send_in_phase(1, t0, vec![1.0, 2.0], "alpha").unwrap();
+                ctx.send_in_phase(1, t1, vec![3.0], "beta").unwrap();
+                ctx.send(1, t2, vec![4.0]).unwrap();
             } else {
-                ctx.recv(0, t0);
-                ctx.recv(0, t1);
-                ctx.recv(0, t2);
+                ctx.recv(0, t0).unwrap();
+                ctx.recv(0, t1).unwrap();
+                ctx.recv(0, t2).unwrap();
             }
             ctx.stats()
         })
@@ -545,9 +797,9 @@ mod tests {
     #[test]
     fn collectives_are_counted() {
         let out = Typhon::run(3, |ctx| {
-            ctx.allreduce_min(1.0);
-            ctx.allreduce_sum(1.0);
-            ctx.barrier();
+            ctx.allreduce_min(1.0).unwrap();
+            ctx.allreduce_sum(1.0).unwrap();
+            ctx.barrier().unwrap();
             ctx.stats()
         })
         .unwrap();
@@ -643,12 +895,12 @@ mod tests {
                 let tag = ctx.next_tag();
                 let mut payload = ctx.take_buffer(256);
                 payload.resize(256, 1.0);
-                ctx.send(1, tag, payload);
-                ctx.barrier();
+                ctx.send(1, tag, payload).unwrap();
+                ctx.barrier().unwrap();
                 true
             } else {
                 let tag = ctx.next_tag();
-                let payload = ctx.recv(0, tag);
+                let payload = ctx.recv(0, tag).unwrap();
                 let ptr = payload.as_ptr();
                 let cap = payload.capacity();
                 ctx.recycle_buffer(payload);
@@ -656,7 +908,7 @@ mod tests {
                 // very same allocation — pointer-identical, no alloc.
                 let again = ctx.take_buffer(256);
                 let same = again.as_ptr() == ptr && again.capacity() == cap;
-                ctx.barrier();
+                ctx.barrier().unwrap();
                 same
             }
         })
@@ -669,15 +921,15 @@ mod tests {
         let out = Typhon::run(2, |ctx| {
             let tag = ctx.next_tag();
             if ctx.rank() == 0 {
-                ctx.barrier();
+                ctx.barrier().unwrap();
                 std::thread::sleep(std::time::Duration::from_millis(20));
-                ctx.send(1, tag, vec![1.0]);
+                ctx.send(1, tag, vec![1.0]).unwrap();
                 ctx.stats()
             } else {
-                ctx.barrier();
+                ctx.barrier().unwrap();
                 // The sender is still sleeping: this receive must block
                 // and the blocked time must be attributed.
-                ctx.recv_in_phase(0, tag, "late");
+                ctx.recv_in_phase(0, tag, "late").unwrap();
                 ctx.stats()
             }
         })
@@ -697,15 +949,15 @@ mod tests {
         let out = Typhon::run(2, |ctx| {
             let tag = ctx.next_tag();
             if ctx.rank() == 0 {
-                ctx.send(1, tag, vec![1.0]);
-                ctx.barrier();
+                ctx.send(1, tag, vec![1.0]).unwrap();
+                ctx.barrier().unwrap();
                 0.0
             } else {
                 // The barrier guarantees the message arrived before the
                 // receive is posted: the fast path must record *exactly*
                 // zero wait (it never reads a clock).
-                ctx.barrier();
-                ctx.recv_in_phase(0, tag, "early");
+                ctx.barrier().unwrap();
+                ctx.recv_in_phase(0, tag, "early").unwrap();
                 let s = ctx.stats();
                 assert!(
                     s.phase("early").is_none()
@@ -722,17 +974,23 @@ mod tests {
     fn try_recv_is_non_blocking_and_parks_strangers() {
         let out = Typhon::run(2, |ctx| {
             if ctx.rank() == 0 {
-                ctx.send(1, 5, vec![5.0]);
-                ctx.send(1, 9, vec![9.0]);
-                ctx.barrier();
+                ctx.send(1, 5, vec![5.0]).unwrap();
+                ctx.send(1, 9, vec![9.0]).unwrap();
+                ctx.barrier().unwrap();
                 0.0
             } else {
-                assert!(ctx.try_recv(0, 99).is_none(), "no such message yet");
-                ctx.barrier();
+                assert!(
+                    ctx.try_recv(0, 99).unwrap().is_none(),
+                    "no such message yet"
+                );
+                ctx.barrier().unwrap();
                 // Both messages are in; asking for tag 9 first drains
                 // tag 5 into the mailbox.
-                let nine = ctx.try_recv(0, 9).expect("tag 9 delivered");
-                let five = ctx.try_recv(0, 5).expect("tag 5 parked in mailbox");
+                let nine = ctx.try_recv(0, 9).unwrap().expect("tag 9 delivered");
+                let five = ctx
+                    .try_recv(0, 5)
+                    .unwrap()
+                    .expect("tag 5 parked in mailbox");
                 nine[0] * 10.0 + five[0]
             }
         })
@@ -751,6 +1009,215 @@ mod tests {
         })
         .unwrap();
         assert!(out[0]);
+    }
+
+    // ---- fault injection ------------------------------------------------
+
+    use crate::fault::FaultPlan;
+
+    /// Short deadline for tests that *expect* a timeout: long enough for
+    /// healthy traffic, short enough to keep the suite fast.
+    fn fast(plan: FaultPlan) -> TyphonOptions {
+        TyphonOptions::with_faults(plan).timeout(Duration::from_millis(250))
+    }
+
+    #[test]
+    fn corrupt_fault_surfaces_at_the_receiver() {
+        let plan = FaultPlan::new(1).corrupt(0, 0);
+        let out = Typhon::run_with(2, fast(plan), |ctx| {
+            ctx.begin_step(0)?;
+            let tag = ctx.next_tag();
+            if ctx.rank() == 0 {
+                ctx.send(1, tag, vec![1.0, 2.0, 3.0])?;
+                Ok(0.0)
+            } else {
+                ctx.recv(0, tag).map(|p| p[0])
+            }
+        })
+        .unwrap();
+        assert_eq!(out[0], Ok(0.0), "sender proceeds normally");
+        assert_eq!(
+            out[1],
+            Err(CommError::Corrupt { from: 0, tag: 0 }),
+            "receiver must detect the bit flip"
+        );
+    }
+
+    #[test]
+    fn corrupt_fault_on_empty_payload_still_detected() {
+        let plan = FaultPlan::new(1).corrupt(0, 0);
+        let out = Typhon::run_with(2, fast(plan), |ctx| {
+            ctx.begin_step(0)?;
+            let tag = ctx.next_tag();
+            if ctx.rank() == 0 {
+                ctx.send(1, tag, Vec::new())?;
+                Ok(0)
+            } else {
+                ctx.recv(0, tag).map(|p| p.len())
+            }
+        })
+        .unwrap();
+        assert_eq!(out[1], Err(CommError::Corrupt { from: 0, tag: 0 }));
+    }
+
+    #[test]
+    fn dropped_message_times_out_typed() {
+        let plan = FaultPlan::new(2).drop_message(0, 0);
+        let out = Typhon::run_with(2, fast(plan), |ctx| {
+            ctx.begin_step(0)?;
+            let tag = ctx.next_tag();
+            if ctx.rank() == 0 {
+                ctx.send(1, tag, vec![42.0])?;
+                Ok(0.0)
+            } else {
+                ctx.recv(0, tag).map(|p| p[0])
+            }
+        })
+        .unwrap();
+        assert_eq!(out[1], Err(CommError::RecvTimeout { from: 0, tag: 0 }));
+    }
+
+    #[test]
+    fn delayed_message_still_arrives() {
+        let plan = FaultPlan::new(3).delay(0, 0);
+        let out = Typhon::run_with(2, fast(plan), |ctx| {
+            ctx.begin_step(0)?;
+            let tag = ctx.next_tag();
+            if ctx.rank() == 0 {
+                ctx.send(1, tag, vec![42.0])?;
+                Ok(0.0)
+            } else {
+                ctx.recv(0, tag).map(|p| p[0])
+            }
+        })
+        .unwrap();
+        assert_eq!(out[1], Ok(42.0), "a delay alone must not fail the run");
+    }
+
+    #[test]
+    fn killed_rank_and_peers_all_fail_typed() {
+        let plan = FaultPlan::new(4).kill(1, 1);
+        let out = Typhon::run_with(2, fast(plan), |ctx| -> std::result::Result<(), CommError> {
+            for step in 0..3 {
+                ctx.begin_step(step)?;
+                let tag = ctx.next_tag();
+                let peer = 1 - ctx.rank();
+                ctx.send(peer, tag, vec![step as f64])?;
+                ctx.recv(peer, tag)?;
+                ctx.allreduce_min(step as f64)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            out[1],
+            Err(CommError::Killed { rank: 1, step: 1 }),
+            "the killed rank learns of its own death at the step top"
+        );
+        // The survivor fails *typed and bounded* — at the recv or the
+        // collective, depending on timing — never hangs, never panics.
+        let survivor = out[0].clone().unwrap_err();
+        assert!(
+            matches!(
+                survivor,
+                CommError::RecvTimeout { from: 1, .. }
+                    | CommError::CollectiveTimeout { rank: 0 }
+                    | CommError::RankUnreachable { to: 1 }
+            ),
+            "unexpected survivor error: {survivor:?}"
+        );
+    }
+
+    #[test]
+    fn send_to_dead_rank_is_unreachable() {
+        // Rank 1 exits immediately; rank 0 waits for it to be gone (via
+        // the channel disconnect visible in its own recv) then sends.
+        let out = Typhon::run_with(
+            2,
+            TyphonOptions::default().timeout(Duration::from_millis(100)),
+            |ctx| {
+                if ctx.rank() == 1 {
+                    return Ok(());
+                }
+                // Wait out the receive deadline: by then rank 1 has exited
+                // and dropped its receiver.
+                let _ = ctx.recv(1, 0);
+                match ctx.send(1, 1, vec![1.0]) {
+                    Err(CommError::RankUnreachable { to: 1 }) => Ok(()),
+                    other => Err(CommError::Disconnected {
+                        rank: other.is_ok() as usize,
+                    }),
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(out[0], Ok(()));
+    }
+
+    #[test]
+    fn fault_errors_are_identical_across_runs() {
+        let run = || {
+            let plan = FaultPlan::new(7).corrupt(0, 0).kill(2, 1);
+            Typhon::run_with(
+                2,
+                fast(plan),
+                |ctx| -> std::result::Result<f64, CommError> {
+                    let mut acc = 0.0;
+                    for step in 0..4 {
+                        ctx.begin_step(step)?;
+                        let tag = ctx.next_tag();
+                        let peer = 1 - ctx.rank();
+                        ctx.send(peer, tag, vec![step as f64])?;
+                        acc += ctx.recv(peer, tag)?[0];
+                    }
+                    Ok(acc)
+                },
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same fault schedule must fail byte-identically");
+        assert_eq!(a[1], Err(CommError::Corrupt { from: 0, tag: 0 }));
+    }
+
+    #[test]
+    fn attempt_scoped_fault_does_not_refire() {
+        let plan = FaultPlan::new(5).drop_message(0, 0);
+        let round = |attempt: usize| {
+            Typhon::run_with(
+                2,
+                fast(plan.clone()).on_attempt(attempt),
+                |ctx| -> std::result::Result<f64, CommError> {
+                    ctx.begin_step(0)?;
+                    let tag = ctx.next_tag();
+                    let peer = 1 - ctx.rank();
+                    ctx.send(peer, tag, vec![1.0])?;
+                    ctx.recv(peer, tag).map(|p| p[0])
+                },
+            )
+            .unwrap()
+        };
+        assert_eq!(round(0)[1], Err(CommError::RecvTimeout { from: 0, tag: 0 }));
+        assert_eq!(round(1)[1], Ok(1.0), "attempt 1 must run clean");
+    }
+
+    #[test]
+    fn operations_after_kill_keep_failing() {
+        let plan = FaultPlan::new(6).kill(0, 0);
+        let out = Typhon::run_with(1, fast(plan), |ctx| {
+            let first = ctx.begin_step(0);
+            let second = ctx.send(0, 0, vec![1.0]);
+            let third = ctx.allreduce_min(1.0).map(|_| ());
+            let fourth = ctx.try_recv(0, 0).map(|_| ());
+            (first, second, third, fourth)
+        })
+        .unwrap();
+        let killed = Err(CommError::Killed { rank: 0, step: 0 });
+        assert_eq!(out[0].0, killed);
+        assert_eq!(out[0].1, killed);
+        assert_eq!(out[0].2, killed);
+        assert_eq!(out[0].3, killed);
     }
 
     impl RankCtx {

@@ -148,6 +148,247 @@ impl From<CheckpointError> for BookLeafError {
     }
 }
 
+/// A typed point-to-point / collective communication failure.
+///
+/// The typhon layer bounds every blocking operation (receives and
+/// collectives carry deadlines) and checksums every payload, so a dead
+/// rank, a dropped message or in-flight corruption — injected by a
+/// `FaultPlan` or real — surfaces as one of these variants, never as a
+/// hang or a panic. All fields are deterministic (rank ids, tags,
+/// scheduled steps — no wall-clock durations), so two runs of the same
+/// seeded fault schedule produce byte-identical error values and the
+/// recovery log built from them is reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// This rank was killed by its fault schedule: the first
+    /// communication it attempts at or after the scheduled point
+    /// returns this instead of touching the wire.
+    Killed {
+        /// The killed rank (== the rank reporting the error).
+        rank: usize,
+        /// The step the kill was scheduled at.
+        step: usize,
+    },
+    /// A receive's deadline expired with no matching message — the
+    /// peer is dead, the message was dropped, or it is later than the
+    /// configured timeout allows.
+    RecvTimeout {
+        /// Rank the message was expected from.
+        from: usize,
+        /// Tag of the missing message.
+        tag: u64,
+    },
+    /// A collective's deadline expired: at least one rank never
+    /// contributed (died or hung before the reduction).
+    CollectiveTimeout {
+        /// The rank reporting the timeout.
+        rank: usize,
+    },
+    /// A received payload failed its checksum: corrupted in flight.
+    Corrupt {
+        /// Sending rank.
+        from: usize,
+        /// Tag of the corrupt message.
+        tag: u64,
+    },
+    /// A received payload had the wrong shape for its exchange phase.
+    Malformed {
+        /// Sending rank.
+        from: usize,
+        /// Tag of the malformed message.
+        tag: u64,
+        /// Doubles the phase layout expects.
+        expected: usize,
+        /// Doubles actually received.
+        got: usize,
+    },
+    /// A send could not be delivered: the destination rank is gone.
+    RankUnreachable {
+        /// The unreachable destination rank.
+        to: usize,
+    },
+    /// The team's channels disconnected while this rank was receiving
+    /// (every peer exited — typically after another rank failed).
+    Disconnected {
+        /// The rank reporting the disconnect.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Killed { rank, step } => {
+                write!(f, "rank {rank} killed by fault schedule at step {step}")
+            }
+            CommError::RecvTimeout { from, tag } => {
+                write!(f, "receive from rank {from} (tag {tag}) timed out")
+            }
+            CommError::CollectiveTimeout { rank } => {
+                write!(f, "collective timed out on rank {rank}")
+            }
+            CommError::Corrupt { from, tag } => {
+                write!(
+                    f,
+                    "payload from rank {from} (tag {tag}) failed its checksum"
+                )
+            }
+            CommError::Malformed {
+                from,
+                tag,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "payload from rank {from} (tag {tag}) malformed: expected {expected} \
+                     doubles, got {got}"
+                )
+            }
+            CommError::RankUnreachable { to } => {
+                write!(f, "rank {to} unreachable (hung up)")
+            }
+            CommError::Disconnected { rank } => {
+                write!(f, "team disconnected while rank {rank} was receiving")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+impl From<CommError> for BookLeafError {
+    fn from(e: CommError) -> Self {
+        BookLeafError::CommFault(e)
+    }
+}
+
+/// Which field the health sentinel flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthField {
+    /// Density.
+    Rho,
+    /// Specific internal energy.
+    Ein,
+    /// Artificial viscosity.
+    Q,
+    /// Nodal velocity.
+    U,
+    /// Element Lagrangian mass.
+    Mass,
+    /// Element volume.
+    Volume,
+}
+
+impl HealthField {
+    /// Stable small integer code, used to pack a diagnosis into the
+    /// f64 the sentinel min-reduces across ranks.
+    #[must_use]
+    pub fn code(self) -> u64 {
+        match self {
+            HealthField::Rho => 0,
+            HealthField::Ein => 1,
+            HealthField::Q => 2,
+            HealthField::U => 3,
+            HealthField::Mass => 4,
+            HealthField::Volume => 5,
+        }
+    }
+
+    /// Inverse of [`HealthField::code`].
+    #[must_use]
+    pub fn from_code(code: u64) -> Option<HealthField> {
+        Some(match code {
+            0 => HealthField::Rho,
+            1 => HealthField::Ein,
+            2 => HealthField::Q,
+            3 => HealthField::U,
+            4 => HealthField::Mass,
+            5 => HealthField::Volume,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for HealthField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HealthField::Rho => "rho",
+            HealthField::Ein => "ein",
+            HealthField::Q => "q",
+            HealthField::U => "u",
+            HealthField::Mass => "mass",
+            HealthField::Volume => "volume",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// What the health sentinel found, carried inside
+/// [`BookLeafError::Unhealthy`].
+///
+/// Field diagnoses name the offending field and the element/node index
+/// on the reporting rank; the dt and conservation diagnoses carry the
+/// globally-reduced values (identical on every rank by construction).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealthDiagnosis {
+    /// A NaN or infinity appeared in a state field.
+    NonFinite {
+        /// Rank that saw it (0 for serial runs).
+        rank: usize,
+        /// The offending field.
+        field: HealthField,
+        /// Element index (or node index for [`HealthField::U`]) local
+        /// to `rank`.
+        index: usize,
+    },
+    /// A quantity that must stay positive went non-positive.
+    NonPositive {
+        /// Rank that saw it (0 for serial runs).
+        rank: usize,
+        /// The offending field.
+        field: HealthField,
+        /// Element index local to `rank`.
+        index: usize,
+    },
+    /// The globally-reduced time step fell below the sentinel floor.
+    DtFloor {
+        /// The reduced dt.
+        dt: f64,
+        /// The configured floor.
+        floor: f64,
+    },
+    /// Total energy drifted beyond the configured tolerance.
+    ConservationDrift {
+        /// Relative drift from the run's starting energy.
+        drift: f64,
+        /// The configured tolerance.
+        tol: f64,
+    },
+}
+
+impl fmt::Display for HealthDiagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthDiagnosis::NonFinite { rank, field, index } => {
+                write!(f, "non-finite {field} at index {index} on rank {rank}")
+            }
+            HealthDiagnosis::NonPositive { rank, field, index } => {
+                write!(f, "non-positive {field} at index {index} on rank {rank}")
+            }
+            HealthDiagnosis::DtFloor { dt, floor } => {
+                write!(f, "dt {dt:.6e} collapsed below sentinel floor {floor:.6e}")
+            }
+            HealthDiagnosis::ConservationDrift { drift, tol } => {
+                write!(
+                    f,
+                    "energy drift {drift:.6e} beyond sentinel tolerance {tol:.6e}"
+                )
+            }
+        }
+    }
+}
+
 /// Every fatal condition a BookLeaf run can hit.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BookLeafError {
@@ -171,8 +412,34 @@ pub enum BookLeafError {
     Checkpoint(CheckpointError),
     /// A communication-layer failure (mismatched schedule, dead rank…).
     Comm(String),
+    /// A typed communication failure: timeout, corruption, dead rank…
+    /// (see [`CommError`]). The comm layer's bounded waits and payload
+    /// checksums make these the *only* way comm failures surface —
+    /// never hangs or panics.
+    CommFault(CommError),
+    /// The health sentinel found an invalid state: NaN/Inf fields,
+    /// non-positive mass/volume, dt collapse, conservation drift. All
+    /// ranks of a team abort together with the same diagnosis.
+    Unhealthy {
+        /// The step at which the sweep flagged the state (0-based; the
+        /// step whose results were inspected).
+        step: usize,
+        /// What was wrong, with the offending field and index.
+        diagnosis: HealthDiagnosis,
+    },
     /// A rank thread panicked during a distributed run.
     RankPanic { rank: usize, message: String },
+}
+
+impl BookLeafError {
+    /// The typed comm failure inside, if this is one.
+    #[must_use]
+    pub fn as_comm_fault(&self) -> Option<&CommError> {
+        match self {
+            BookLeafError::CommFault(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for BookLeafError {
@@ -199,6 +466,10 @@ impl fmt::Display for BookLeafError {
             BookLeafError::Partition(msg) => write!(f, "partitioning error: {msg}"),
             BookLeafError::Checkpoint(e) => write!(f, "{e}"),
             BookLeafError::Comm(msg) => write!(f, "communication error: {msg}"),
+            BookLeafError::CommFault(e) => write!(f, "communication error: {e}"),
+            BookLeafError::Unhealthy { step, diagnosis } => {
+                write!(f, "unhealthy state after step {step}: {diagnosis}")
+            }
             BookLeafError::RankPanic { rank, message } => {
                 write!(f, "rank {rank} panicked: {message}")
             }

@@ -1,0 +1,86 @@
+//! Checksums shared across the workspace.
+//!
+//! One CRC-32 implementation serves both durable artefacts (the
+//! checkpoint codec in `bookleaf_core::output`) and in-flight message
+//! integrity (the typhon layer checksums every payload so injected or
+//! real corruption surfaces as a typed `CommError` instead of silently
+//! wrong physics).
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the same
+/// checksum gzip/zip use. Guarantees detection of any single burst of
+/// up to 32 bits, which covers every single-byte corruption.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 of `bytes` (IEEE, reflected). See [`crc32_f64s`] for the
+/// payload-of-doubles flavour the comm layer uses.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// CRC-32 over the little-endian byte representation of a slice of
+/// doubles — the message-payload checksum of the typhon layer. Bitwise:
+/// `-0.0` and `0.0` differ, NaN payloads checksum by their exact bit
+/// pattern, so any in-flight bit flip is detected.
+#[must_use]
+pub fn crc32_f64s(values: &[f64]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for v in values {
+        for b in v.to_le_bytes() {
+            c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic check value: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn f64_flavour_matches_byte_flavour() {
+        let values = [1.0f64, -0.0, f64::NAN, 3.5e-120];
+        let mut bytes = Vec::new();
+        for v in &values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        assert_eq!(crc32_f64s(&values), crc32(&bytes));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_the_checksum() {
+        let a = [1.0f64, 2.0, 3.0];
+        let mut b = a;
+        b[1] = f64::from_bits(b[1].to_bits() ^ 1);
+        assert_ne!(crc32_f64s(&a), crc32_f64s(&b));
+    }
+}

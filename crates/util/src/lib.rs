@@ -9,12 +9,16 @@
 
 pub mod constants;
 pub mod error;
+pub mod hash;
 pub mod stats;
 pub mod sum;
 pub mod timer;
 pub mod vec2;
 
-pub use error::{BookLeafError, CheckpointError, DeckError, Result};
+pub use error::{
+    BookLeafError, CheckpointError, CommError, DeckError, HealthDiagnosis, HealthField, Result,
+};
+pub use hash::{crc32, crc32_f64s};
 pub use sum::{kahan_sum, NeumaierSum};
 pub use timer::{KernelId, TimerRegistry, TimerReport};
 pub use vec2::Vec2;

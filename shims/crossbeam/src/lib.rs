@@ -7,7 +7,7 @@
 pub mod channel {
     //! Mirror of `crossbeam::channel` (unbounded flavour only).
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
     /// Mirror of `crossbeam::channel::unbounded`.
     #[must_use]
@@ -63,6 +63,31 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.0.lock().expect("receiver poisoned").try_recv()
         }
+
+        /// Blocking receive with a deadline, same slicing discipline as
+        /// [`Receiver::recv`]: the internal lock is released between
+        /// bounded waits so concurrent `try_recv` calls stay prompt.
+        /// Returns `Err(Timeout)` once `timeout` has elapsed without a
+        /// message, `Err(Disconnected)` when every sender is gone.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            loop {
+                let guard = self.0.lock().expect("receiver poisoned");
+                match guard.recv_timeout(std::time::Duration::from_millis(1)) {
+                    Ok(v) => return Ok(v),
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(RecvTimeoutError::Disconnected)
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        drop(guard);
+                        if std::time::Instant::now() >= deadline {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
     }
 
     #[cfg(test)]
@@ -77,6 +102,19 @@ pub mod channel {
             std::thread::spawn(move || tx2.send(41).unwrap());
             tx.send(1).unwrap();
             assert_eq!(rx.recv().unwrap() + rx.recv().unwrap(), 42);
+        }
+
+        #[test]
+        fn recv_timeout_bounds_the_wait() {
+            let (tx, rx) = super::unbounded::<u32>();
+            let start = std::time::Instant::now();
+            let r = rx.recv_timeout(Duration::from_millis(20));
+            assert!(r.is_err(), "nothing was sent");
+            let waited = start.elapsed();
+            assert!(waited >= Duration::from_millis(15), "returned early");
+            assert!(waited < Duration::from_secs(5), "wait was unbounded");
+            tx.send(3).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(20)).unwrap(), 3);
         }
 
         #[test]

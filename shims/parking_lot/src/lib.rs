@@ -73,6 +73,25 @@ impl Condvar {
         guard.0 = Some(inner);
     }
 
+    /// Block until `condition(&mut *guard)` returns `false` or `timeout`
+    /// elapses. Returns `true` if the wait **timed out** with the
+    /// condition still holding (mirrors parking_lot's
+    /// `wait_while_for(..).timed_out()`).
+    pub fn wait_while_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        condition: impl FnMut(&mut T) -> bool,
+        timeout: std::time::Duration,
+    ) -> bool {
+        let inner = guard.0.take().expect("guard present before wait");
+        let (inner, result) = self
+            .0
+            .wait_timeout_while(inner, timeout, condition)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(inner);
+        result.timed_out()
+    }
+
     pub fn notify_one(&self) {
         self.0.notify_one();
     }
@@ -106,6 +125,38 @@ impl<T: ?Sized> RwLock<T> {
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn condvar_wait_while_for_times_out() {
+        let pair = (Mutex::new(false), Condvar::new());
+        let (lock, cv) = &pair;
+        let mut started = lock.lock();
+        let start = std::time::Instant::now();
+        let timed_out =
+            cv.wait_while_for(&mut started, |s| !*s, std::time::Duration::from_millis(20));
+        assert!(timed_out, "nobody notified: the wait must time out");
+        assert!(start.elapsed() >= std::time::Duration::from_millis(15));
+        assert!(!*started, "condition untouched");
+    }
+
+    #[test]
+    fn condvar_wait_while_for_wakes_before_deadline() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            *lock.lock() = true;
+            cv.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let mut started = lock.lock();
+        let timed_out =
+            cv.wait_while_for(&mut started, |s| !*s, std::time::Duration::from_secs(30));
+        assert!(!timed_out);
+        assert!(*started);
+        h.join().unwrap();
+    }
 
     #[test]
     fn condvar_wait_while_wakes() {

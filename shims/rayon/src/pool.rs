@@ -20,7 +20,11 @@
 //! * Panics inside jobs are caught at the job boundary, carried through
 //!   the latch as a payload, and re-raised on the thread that joins on
 //!   the result — a panic in any worker propagates to the caller, never
-//!   aborts the pool.
+//!   aborts the pool. Pool-internal mutexes recover from poisoning
+//!   (`lock_recover`) rather than propagating it, so even a panic that
+//!   somehow unwinds across pool internals leaves the pool usable: the
+//!   process-wide contract is *poison-and-recover* — one panicked
+//!   parallel sweep must never wedge later runs on the same pool.
 //!
 //! Everything here is `unsafe`-light: the only raw-pointer trick is the
 //! classic stack-job one (a `JobRef` type-erases a pointer to a
@@ -32,8 +36,27 @@ use std::cell::{Cell, UnsafeCell};
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
+
+/// Lock a pool-internal mutex, recovering the guard from a poisoned
+/// lock instead of propagating. Every value guarded here (job deques,
+/// latch flags, the sleep event counter) is valid at each intermediate
+/// point of its critical sections — there is no in-flight invariant a
+/// mid-section unwind could break — so recovery is always sound. This
+/// is what keeps the pool usable for later `Simulation` runs after a
+/// kernel sweep panicked: the panic propagates to the caller (poison),
+/// and the next run simply locks on through (recover), rather than
+/// hitting a `PoisonError` panic cascade on every subsequent job.
+fn lock_recover<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison-recovery policy as
+/// [`lock_recover`].
+fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
 
 // ---------------------------------------------------------------------------
 // Latches
@@ -86,9 +109,9 @@ impl LockLatch {
     }
 
     fn wait(&self) {
-        let mut done = self.done.lock().unwrap();
+        let mut done = lock_recover(&self.done);
         while !*done {
-            done = self.cv.wait(done).unwrap();
+            done = wait_recover(&self.cv, done);
         }
     }
 }
@@ -117,7 +140,7 @@ impl Latch for SpinLatch {
 
 impl Latch for LockLatch {
     fn set(&self) {
-        let mut done = self.done.lock().unwrap();
+        let mut done = lock_recover(&self.done);
         *done = true;
         self.cv.notify_all();
     }
@@ -242,7 +265,7 @@ impl Sleep {
 
     fn notify(&self) {
         if self.sleepers.load(Ordering::SeqCst) > 0 {
-            let mut events = self.events.lock().unwrap();
+            let mut events = lock_recover(&self.events);
             *events += 1;
             self.cv.notify_all();
         }
@@ -327,7 +350,7 @@ fn worker_loop(registry: &Arc<Registry>, index: usize) {
         // Idle: declare intent to sleep *before* a final scan, so a
         // pusher that misses that scan is guaranteed to see
         // `sleepers > 0` and bump the event counter we captured first.
-        let seen = *registry.sleep.events.lock().unwrap();
+        let seen = *lock_recover(&registry.sleep.events);
         registry.sleep.sleepers.fetch_add(1, Ordering::SeqCst);
         if let Some(job) = registry.find_work(index) {
             registry.sleep.sleepers.fetch_sub(1, Ordering::SeqCst);
@@ -339,9 +362,9 @@ fn worker_loop(registry: &Arc<Registry>, index: usize) {
             registry.sleep.sleepers.fetch_sub(1, Ordering::SeqCst);
             break;
         }
-        let mut events = registry.sleep.events.lock().unwrap();
+        let mut events = lock_recover(&registry.sleep.events);
         while *events == seen && !registry.terminate.load(Ordering::SeqCst) {
-            events = registry.sleep.cv.wait(events).unwrap();
+            events = wait_recover(&registry.sleep.cv, events);
         }
         drop(events);
         registry.sleep.sleepers.fetch_sub(1, Ordering::SeqCst);
@@ -354,12 +377,12 @@ impl Registry {
     }
 
     fn push_local(&self, index: usize, job: JobRef) {
-        self.queues[index].lock().unwrap().push_back(job);
+        lock_recover(&self.queues[index]).push_back(job);
         self.sleep.notify();
     }
 
     fn inject(&self, job: JobRef) {
-        self.injector.lock().unwrap().push_back(job);
+        lock_recover(&self.injector).push_back(job);
         self.sleep.notify();
     }
 
@@ -367,7 +390,7 @@ impl Registry {
     /// discipline means the back of the deque is exactly the job this
     /// stack frame pushed (inner joins have already popped theirs).
     fn pop_local_if(&self, index: usize, job: JobRef) -> bool {
-        let mut q = self.queues[index].lock().unwrap();
+        let mut q = lock_recover(&self.queues[index]);
         if q.back().is_some_and(|j| std::ptr::eq(j.data, job.data)) {
             q.pop_back();
             true
@@ -379,16 +402,16 @@ impl Registry {
     /// Newest local work, else injected work, else steal oldest-first
     /// from the other workers.
     fn find_work(&self, index: usize) -> Option<JobRef> {
-        if let Some(job) = self.queues[index].lock().unwrap().pop_back() {
+        if let Some(job) = lock_recover(&self.queues[index]).pop_back() {
             return Some(job);
         }
-        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+        if let Some(job) = lock_recover(&self.injector).pop_front() {
             return Some(job);
         }
         let n = self.queues.len();
         for k in 1..n {
             let victim = (index + k) % n;
-            if let Some(job) = self.queues[victim].lock().unwrap().pop_front() {
+            if let Some(job) = lock_recover(&self.queues[victim]).pop_front() {
                 return Some(job);
             }
         }
@@ -422,7 +445,7 @@ impl Registry {
             // sleeper first, then re-probe with SeqCst so either the
             // setter sees `sleepers > 0` (and bumps the event counter)
             // or we see the latch already set.
-            let seen = *self.sleep.events.lock().unwrap();
+            let seen = *lock_recover(&self.sleep.events);
             self.sleep.sleepers.fetch_add(1, Ordering::SeqCst);
             if latch.probe_strong() {
                 self.sleep.sleepers.fetch_sub(1, Ordering::SeqCst);
@@ -436,9 +459,9 @@ impl Registry {
                 unsafe { job.execute() };
                 continue;
             }
-            let mut events = self.sleep.events.lock().unwrap();
+            let mut events = lock_recover(&self.sleep.events);
             while *events == seen && !latch.probe() {
-                events = self.sleep.cv.wait(events).unwrap();
+                events = wait_recover(&self.sleep.cv, events);
             }
             drop(events);
             self.sleep.sleepers.fetch_sub(1, Ordering::SeqCst);
@@ -466,7 +489,7 @@ impl Registry {
 
     pub(crate) fn terminate_and_wake(&self) {
         self.terminate.store(true, Ordering::SeqCst);
-        let mut events = self.sleep.events.lock().unwrap();
+        let mut events = lock_recover(&self.sleep.events);
         *events += 1;
         self.sleep.cv.notify_all();
     }

@@ -1,0 +1,305 @@
+//! The resilience fault matrix: every injected fault class — corrupt,
+//! drop, delay, rank death — against both frames (Lagrangian and ALE),
+//! must surface as a **typed error** (or, for a survivable delay, no
+//! error and no perturbation): zero panics, zero hangs, and recovery
+//! that is deterministic down to the byte.
+//!
+//! The killer test injects a rank death mid-Noh and recovers
+//! *elastically* onto half the ranks, then demands the recovered
+//! trajectory match a fault-free run of the same shape sequence
+//! bitwise.
+
+use std::time::Duration;
+
+use bookleaf::ale::{AleMode, AleOptions};
+use bookleaf::core::{
+    decks, ExecutorKind, Observer, RecoveryPolicy, ReshapePolicy, Simulation, SimulationBuilder,
+    StepView,
+};
+use bookleaf::typhon::{FaultKind, FaultPlan};
+use bookleaf::util::BookLeafError;
+
+/// A Noh builder on 4 ranks; `ale` switches the frame (the remap adds
+/// its own halo phases, widening the faultable surface).
+fn noh4(ale: bool) -> SimulationBuilder {
+    let mut b = Simulation::builder()
+        .deck(decks::noh(12))
+        .executor(ExecutorKind::FlatMpi { ranks: 4 })
+        .final_time(0.1)
+        .max_steps(12);
+    if ale {
+        b = b.ale(Some(AleOptions {
+            mode: AleMode::Eulerian,
+            frequency: 1,
+        }));
+    }
+    b
+}
+
+/// Fast failure detection: injected faults should resolve in hundreds
+/// of milliseconds, not the production 60 s deadline.
+const FAST: Duration = Duration::from_millis(300);
+
+#[test]
+fn every_fault_class_surfaces_as_a_typed_error_in_both_frames() {
+    for ale in [false, true] {
+        for kind in [FaultKind::Corrupt, FaultKind::Drop, FaultKind::Kill] {
+            let plan = FaultPlan::new(11).with(kind, 3, 1);
+            let err = noh4(ale)
+                .fault_plan(plan)
+                .comm_timeout(FAST)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap_err();
+            assert!(
+                matches!(err, BookLeafError::CommFault(_)),
+                "{kind} fault in {} frame surfaced as {err:?}, not a CommFault",
+                if ale { "ALE" } else { "Lagrangian" }
+            );
+        }
+    }
+}
+
+#[test]
+fn blocking_schedule_fails_just_as_typed_as_the_overlapped_one() {
+    // The overlap toggle changes message scheduling, not the failure
+    // contract: the same injected fault class must surface either way.
+    for overlap in [true, false] {
+        let err = noh4(false)
+            .overlap(overlap)
+            .fault_plan(FaultPlan::new(5).corrupt(2, 2))
+            .comm_timeout(FAST)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert!(
+            matches!(err, BookLeafError::CommFault(_)),
+            "overlap={overlap}: {err:?}"
+        );
+    }
+}
+
+#[test]
+fn delays_are_survivable_and_bitwise_invisible() {
+    for ale in [false, true] {
+        let clean = {
+            let mut sim = noh4(ale).build().unwrap();
+            sim.run().unwrap();
+            sim.state().rho.clone()
+        };
+        // Several delays, spread over ranks and steps, on the default
+        // (generous) timeout: latency must never change an answer.
+        let plan = FaultPlan::new(77).delay(2, 0).delay(4, 3).delay(7, 1);
+        let mut sim = noh4(ale).fault_plan(plan).build().unwrap();
+        let report = sim.run().unwrap();
+        assert_eq!(report.steps, 12);
+        for (e, (a, b)) in clean.iter().zip(&sim.state().rho).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "delay moved a bit at {e} (ale={ale})"
+            );
+        }
+    }
+}
+
+#[test]
+fn recovery_log_is_identical_across_two_runs_of_the_same_schedule() {
+    let dir_for = |tag: &str| {
+        let d = std::env::temp_dir().join(format!("bl_fault_matrix_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    };
+    let run = |dir: &std::path::Path| {
+        // Kill rank 0 at step 6: the supervisor itself sees the typed
+        // `Killed {rank: 0, step: 6}`, which also exercises the
+        // steps-replayed accounting.
+        let plan = FaultPlan::new(21).kill(6, 0);
+        let mut sim = noh4(false)
+            .fault_plan(plan)
+            .comm_timeout(FAST)
+            .build()
+            .unwrap();
+        let policy = RecoveryPolicy::new(dir)
+            .checkpoint_every_steps(4)
+            .max_retries(2)
+            .reshape(ReshapePolicy::Halve);
+        sim.run_resilient(&policy).unwrap()
+    };
+    let (da, db) = (dir_for("a"), dir_for("b"));
+    let a = run(&da);
+    let b = run(&db);
+    assert_eq!(
+        a.recovery, b.recovery,
+        "recovery logs must be byte-identical"
+    );
+    assert_eq!(a.recovery.retries(), 1);
+    assert!(a.recovery.warnings.is_empty());
+    let event = &a.recovery.events[0];
+    assert_eq!(event.from_step, 4, "rewind target is the step-4 checkpoint");
+    assert_eq!(event.retry_executor, ExecutorKind::FlatMpi { ranks: 2 });
+    assert!(event.error.contains("rank 0"), "{}", event.error);
+    // The kill named its step, so the replay is accounted: 6 - 4 = 2.
+    assert_eq!(a.recovery.steps_replayed, 2);
+    assert_eq!(a.steps, 12);
+    let _ = std::fs::remove_dir_all(&da);
+    let _ = std::fs::remove_dir_all(&db);
+}
+
+/// The killer test: rank death mid-Noh, elastic recovery 4 → 2 ranks,
+/// and the recovered trajectory matches a fault-free run of the same
+/// shape sequence **bitwise**.
+#[test]
+fn elastic_recovery_from_rank_death_matches_the_uninterrupted_run() {
+    let dir = std::env::temp_dir().join(format!("bl_elastic_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Supervised run: 4 ranks, segments of 5 steps, rank 3 dies at
+    // step 8 (mid second segment). Recovery rewinds to the step-5
+    // checkpoint and finishes on 2 ranks.
+    let mut supervised = noh4(false)
+        .max_steps(14)
+        .fault_plan(FaultPlan::new(42).kill(8, 3))
+        .comm_timeout(FAST)
+        .build()
+        .unwrap();
+    let policy = RecoveryPolicy::new(&dir)
+        .checkpoint_every_steps(5)
+        .max_retries(2)
+        .reshape(ReshapePolicy::Halve);
+    let report = supervised.run_resilient(&policy).unwrap();
+    assert_eq!(report.steps, 14);
+    assert_eq!(report.recovery.retries(), 1);
+    assert_eq!(report.recovery.events[0].from_step, 5);
+    assert_eq!(
+        report.recovery.events[0].retry_executor,
+        ExecutorKind::FlatMpi { ranks: 2 }
+    );
+
+    // Fault-free reference reproducing the exact shape sequence the
+    // supervisor produced: 4 ranks for steps 0–5, then 2 ranks for
+    // 5–10 and 10–14, handing over through the same checkpoint
+    // machinery at the same steps.
+    let mut seg0 = noh4(false).max_steps(5).build().unwrap();
+    seg0.run().unwrap();
+    let ckpt5 = seg0.checkpoint().unwrap();
+    let mut seg1 = Simulation::builder()
+        .resume_from(ckpt5)
+        .executor(ExecutorKind::FlatMpi { ranks: 2 })
+        .final_time(0.1)
+        .max_steps(10)
+        .build()
+        .unwrap();
+    seg1.run().unwrap();
+    let ckpt10 = seg1.checkpoint().unwrap();
+    let mut seg2 = Simulation::builder()
+        .resume_from(ckpt10)
+        .executor(ExecutorKind::FlatMpi { ranks: 2 })
+        .final_time(0.1)
+        .max_steps(14)
+        .build()
+        .unwrap();
+    seg2.run().unwrap();
+
+    // Same shapes at the same steps: the match must be bitwise (the
+    // issue's 1e-12 bound, met exactly).
+    for (e, (a, b)) in seg2
+        .state()
+        .rho
+        .iter()
+        .zip(&supervised.state().rho)
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "recovered run diverged from the uninterrupted one at element {e}: {a} vs {b}"
+        );
+    }
+    for (n, (a, b)) in seg2.state().u.iter().zip(&supervised.state().u).enumerate() {
+        assert_eq!(a.x.to_bits(), b.x.to_bits(), "u.x diverged at node {n}");
+        assert_eq!(a.y.to_bits(), b.y.to_bits(), "u.y diverged at node {n}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retry_budget_exhaustion_returns_the_typed_error() {
+    let dir = std::env::temp_dir().join(format!("bl_budget_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // A kill rescheduled on every attempt the budget allows: the
+    // supervisor must give up with the typed error, not loop forever.
+    let plan = FaultPlan::new(9)
+        .kill(3, 1)
+        .kill(3, 1)
+        .on_attempt(1)
+        .kill(3, 1)
+        .on_attempt(2);
+    let mut sim = noh4(false)
+        .fault_plan(plan)
+        .comm_timeout(FAST)
+        .build()
+        .unwrap();
+    let policy = RecoveryPolicy::new(&dir)
+        .checkpoint_every_steps(10)
+        .max_retries(2)
+        .backoff(Duration::from_millis(1));
+    let err = sim.run_resilient(&policy).unwrap_err();
+    assert!(matches!(err, BookLeafError::CommFault(_)), "{err:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An observer that panics at a chosen step on rank 0 — stands in for
+/// any bug that unwinds a rank thread mid-run.
+struct PanicAt(usize);
+
+impl Observer for PanicAt {
+    fn step_end(&mut self, view: &StepView<'_>) {
+        assert!(
+            !(view.rank == 0 && view.step + 1 == self.0),
+            "injected observer panic"
+        );
+    }
+}
+
+#[test]
+fn a_panicked_hybrid_run_is_typed_and_the_next_run_is_healthy() {
+    // Rank 0 unwinds inside its rayon pool mid-run; the team must
+    // surface a typed RankPanic (peers time out, the scope joins) …
+    let err = Simulation::builder()
+        .deck(decks::noh(12))
+        .executor(ExecutorKind::Hybrid {
+            ranks: 2,
+            threads_per_rank: 2,
+        })
+        .final_time(0.1)
+        .max_steps(8)
+        .comm_timeout(FAST)
+        .observer(PanicAt(3))
+        .build()
+        .unwrap()
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, BookLeafError::RankPanic { rank: 0, .. }),
+        "{err:?}"
+    );
+
+    // … and a fresh simulation right after must run to completion:
+    // nothing global — rayon pools, locks, channels — stays poisoned.
+    let mut healthy = Simulation::builder()
+        .deck(decks::noh(12))
+        .executor(ExecutorKind::Hybrid {
+            ranks: 2,
+            threads_per_rank: 2,
+        })
+        .final_time(0.1)
+        .max_steps(8)
+        .build()
+        .unwrap();
+    let report = healthy.run().unwrap();
+    assert_eq!(report.steps, 8);
+    assert!(report.energy_end.is_finite());
+}

@@ -21,18 +21,18 @@ fn all_to_all_storm_with_interleaved_reductions() {
             let tag = ctx.next_tag();
             for to in 0..n {
                 if to != me {
-                    ctx.send(to, tag, vec![(me * 1000 + round) as f64]);
+                    ctx.send(to, tag, vec![(me * 1000 + round) as f64]).unwrap();
                 }
             }
             for from in (0..n).rev() {
                 if from != me {
-                    let got = ctx.recv(from, tag);
+                    let got = ctx.recv(from, tag).unwrap();
                     assert_eq!(got[0], (from * 1000 + round) as f64);
                     checksum += got[0];
                 }
             }
             // A reduction mid-storm must not cross wires with the p2p tags.
-            let s = ctx.allreduce_sum(1.0);
+            let s = ctx.allreduce_sum(1.0).unwrap();
             assert_eq!(s, n as f64);
         }
         checksum
@@ -57,10 +57,10 @@ fn large_payloads_survive() {
         let tag = ctx.next_tag();
         if ctx.rank() == 0 {
             let big: Vec<f64> = (0..1_000_000).map(|i| i as f64).collect();
-            ctx.send(1, tag, big);
+            ctx.send(1, tag, big).unwrap();
             0.0
         } else {
-            let got = ctx.recv(0, tag);
+            let got = ctx.recv(0, tag).unwrap();
             assert_eq!(got.len(), 1_000_000);
             got[999_999]
         }
@@ -75,7 +75,10 @@ fn many_ranks_reduce_correctly() {
     let out = Typhon::run(n, |ctx| {
         let mut mins = Vec::new();
         for i in 0..50 {
-            mins.push(ctx.allreduce_min((ctx.rank() as f64 - i as f64).abs()));
+            mins.push(
+                ctx.allreduce_min((ctx.rank() as f64 - i as f64).abs())
+                    .unwrap(),
+            );
         }
         mins
     })
@@ -204,12 +207,14 @@ fn l_shaped_halo_plan_tag_stress() {
                 ctx,
                 state,
                 &mut [FieldMut::Scalar(&mut sc), FieldMut::Vec2(&mut nd)],
-            );
+            )
+            .unwrap();
             plan.execute(
                 ctx,
                 corners,
                 &mut [FieldMut::Corner4(&mut c4), FieldMut::CornerVec2(&mut cv)],
-            );
+            )
+            .unwrap();
 
             ok &= (0..ne).all(|e| sc[e] == sub.el_l2g[e] as f64 + salt);
             ok &= (0..nn).all(|n| nd[n] == Vec2::new(sub.nd_l2g[n] as f64 + salt, round as f64));
@@ -326,10 +331,10 @@ fn l_shaped_split_post_complete_interleaved_phases() {
             // them out of order.
             let mut f_state = [FieldMut::Scalar(&mut sc), FieldMut::Vec2(&mut nd)];
             let mut f_corners = [FieldMut::Corner4(&mut c4), FieldMut::CornerVec2(&mut cv)];
-            let t_state = plan.post(ctx, state, &f_state);
-            let t_corners = plan.post(ctx, corners, &f_corners);
-            plan.complete(ctx, t_corners, &mut f_corners);
-            plan.complete(ctx, t_state, &mut f_state);
+            let t_state = plan.post(ctx, state, &f_state).unwrap();
+            let t_corners = plan.post(ctx, corners, &f_corners).unwrap();
+            plan.complete(ctx, t_corners, &mut f_corners).unwrap();
+            plan.complete(ctx, t_state, &mut f_state).unwrap();
 
             ok &= (0..ne).all(|e| sc[e] == sub.el_l2g[e] as f64 + salt);
             ok &= (0..nn).all(|n| nd[n] == Vec2::new(sub.nd_l2g[n] as f64 + salt, round as f64));
@@ -385,19 +390,19 @@ fn unbalanced_send_patterns_do_not_deadlock() {
         }
         if ctx.rank() == 0 {
             for &t in &tags {
-                ctx.send(1, t, vec![t as f64]);
+                ctx.send(1, t, vec![t as f64]).unwrap();
             }
             let mut sum = 0.0;
             for &t in &tags {
-                sum += ctx.recv(1, t)[0];
+                sum += ctx.recv(1, t).unwrap()[0];
             }
             sum
         } else {
             // Receive in reverse, replying as we go.
             let mut sum = 0.0;
             for &t in tags.iter().rev() {
-                sum += ctx.recv(0, t)[0];
-                ctx.send(0, t, vec![t as f64 * 2.0]);
+                sum += ctx.recv(0, t).unwrap()[0];
+                ctx.send(0, t, vec![t as f64 * 2.0]).unwrap();
             }
             sum
         }
