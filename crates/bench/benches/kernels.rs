@@ -15,7 +15,8 @@ use bookleaf_hydro::getgeom::getgeom;
 use bookleaf_hydro::getpc::getpc;
 use bookleaf_hydro::getq::{getq, QCoeffs};
 use bookleaf_hydro::getrho::getrho;
-use bookleaf_hydro::{HydroState, LocalRange, Threading};
+use bookleaf_hydro::reference::{getforce_reference, getq_reference};
+use bookleaf_hydro::{eos_fused, EosStages, FusedEos, HydroState, LocalRange, Threading};
 use bookleaf_mesh::Mesh;
 
 const N: usize = 128;
@@ -84,6 +85,47 @@ fn bench_kernels(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("getpc", tag), |b| {
             let mut st = state.clone();
             b.iter(|| getpc(&mesh, &materials, &mut st, range, threading));
+        });
+        // The fused EOS chain against its four-kernel baseline (the
+        // getgeom/getrho/getein/getpc entries above time the parts).
+        group.bench_function(BenchmarkId::new("eos_fused", tag), |b| {
+            let mut st = state.clone();
+            b.iter(|| {
+                eos_fused(
+                    &mesh,
+                    &materials,
+                    &mut st,
+                    range,
+                    FusedEos {
+                        dt: 1e-6,
+                        which: WorkVelocity::Current,
+                        ein_from: None,
+                        stages: EosStages::all(),
+                    },
+                    threading,
+                )
+                .unwrap();
+            });
+        });
+        // The kept pre-optimisation shapes, for before/after ratios.
+        group.bench_function(BenchmarkId::new("getq_reference", tag), |b| {
+            let mut st = state.clone();
+            b.iter(|| getq_reference(&mesh, &mut st, range, QCoeffs::default(), threading));
+        });
+        group.bench_function(BenchmarkId::new("getforce_reference", tag), |b| {
+            let st = state.clone();
+            let mut aos = Vec::new();
+            b.iter(|| {
+                getforce_reference(
+                    &mesh,
+                    &st,
+                    range,
+                    HourglassControl::default(),
+                    1e-4,
+                    threading,
+                    &mut aos,
+                );
+            });
         });
         group.bench_function(BenchmarkId::new("getdt", tag), |b| {
             let mut st = state.clone();

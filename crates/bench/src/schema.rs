@@ -1,11 +1,13 @@
-//! Schema validation for `BENCH_scaling.json` (schema
-//! `bookleaf-scaling-v3`).
+//! Schema validation for the measured-benchmark artifacts:
+//! `BENCH_scaling.json` (schema `bookleaf-scaling-v3`) and
+//! `BENCH_kernels.json` (schema `bookleaf-kernels-v1`).
 //!
-//! The scaling artifact is consumed by trend-tracking outside this
-//! repository, so its shape is a contract: CI validates both the
-//! freshly measured file and the committed baseline against this
-//! checker (`scaling --validate <file>`), and any shape change must
-//! come with a deliberate schema-version bump here.
+//! The artifacts are consumed by trend-tracking outside this
+//! repository, so their shapes are contracts: CI validates both the
+//! freshly measured files and the committed baselines against these
+//! checkers (`scaling --validate <file>`, `kernels --validate <file>`),
+//! and any shape change must come with a deliberate schema-version bump
+//! here.
 //!
 //! The workspace has no JSON dependency (the serde shim is a no-op), so
 //! this module carries a small recursive-descent JSON parser — enough
@@ -14,6 +16,9 @@
 
 /// The schema version this checker (and the `scaling` writer) emit.
 pub const SCALING_SCHEMA: &str = "bookleaf-scaling-v3";
+
+/// The schema version the per-kernel roofline bench (`kernels`) emits.
+pub const KERNELS_SCHEMA: &str = "bookleaf-kernels-v1";
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -334,6 +339,83 @@ pub fn validate_scaling_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validate a `BENCH_kernels.json` document against schema v1: the
+/// header keys (host peaks, threading, repeats), one entry per timed
+/// kernel carrying its per-element counts, arithmetic intensity and
+/// roofline bound next to the per-mesh achieved GFLOP/s and GB/s, and
+/// the optimised-vs-reference speedup records.
+pub fn validate_kernels_json(text: &str) -> Result<(), String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err("top level must be an object".into());
+    }
+    match expect(&doc, "schema", "string", "top level")? {
+        Json::Str(s) if s == KERNELS_SCHEMA => {}
+        Json::Str(s) => {
+            return Err(format!(
+                "schema is {s:?} but this checker validates {KERNELS_SCHEMA:?}"
+            ))
+        }
+        _ => unreachable!(),
+    }
+    expect(&doc, "threading", "string", "top level")?;
+    for key in ["host_cores", "peak_gflops", "peak_gbs", "repeats"] {
+        expect(&doc, key, "number", "top level")?;
+    }
+    let Json::Arr(kernels) = expect(&doc, "kernels", "array", "top level")? else {
+        unreachable!()
+    };
+    if kernels.is_empty() {
+        return Err("kernels array is empty".into());
+    }
+    for (k, kernel) in kernels.iter().enumerate() {
+        let at = format!("kernels[{k}]");
+        expect(kernel, "kernel", "string", &at)?;
+        expect(kernel, "counts", "string", &at)?;
+        for key in [
+            "flops_per_element",
+            "bytes_per_element",
+            "arithmetic_intensity",
+            "roofline_gflops",
+        ] {
+            expect(kernel, key, "number", &at)?;
+        }
+        let Json::Arr(runs) = expect(kernel, "runs", "array", &at)? else {
+            unreachable!()
+        };
+        if runs.is_empty() {
+            return Err(format!("{at}: runs array is empty"));
+        }
+        for (r, run) in runs.iter().enumerate() {
+            let at = format!("{at}.runs[{r}]");
+            for key in [
+                "mesh",
+                "elements",
+                "seconds_per_call",
+                "gflops",
+                "gbs",
+                "roofline_fraction",
+            ] {
+                expect(run, key, "number", &at)?;
+            }
+        }
+    }
+    let Json::Arr(speedups) = expect(&doc, "speedups", "array", "top level")? else {
+        unreachable!()
+    };
+    if speedups.is_empty() {
+        return Err("speedups array is empty".into());
+    }
+    for (s, speedup) in speedups.iter().enumerate() {
+        let at = format!("speedups[{s}]");
+        expect(speedup, "name", "string", &at)?;
+        for key in ["mesh", "baseline_s", "optimised_s", "speedup"] {
+            expect(speedup, key, "number", &at)?;
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,5 +463,36 @@ mod tests {
         let wrong_schema = text.replacen("bookleaf-scaling-v3", "bookleaf-scaling-v2", 1);
         let err = validate_scaling_json(&wrong_schema).unwrap_err();
         assert!(err.contains("v2"), "{err}");
+    }
+
+    #[test]
+    fn committed_kernels_baseline_passes_schema_v1() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_kernels.json"
+        ))
+        .expect("committed BENCH_kernels.json");
+        validate_kernels_json(&text).unwrap();
+    }
+
+    #[test]
+    fn kernels_violations_are_named_with_their_path() {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../BENCH_kernels.json"
+        ))
+        .unwrap();
+        let broken = text.replacen("\"roofline_fraction\"", "\"roofline_was\"", 1);
+        let err = validate_kernels_json(&broken).unwrap_err();
+        assert!(err.contains("roofline_fraction"), "{err}");
+        assert!(err.contains("runs[0]"), "{err}");
+
+        let wrong_schema = text.replacen("bookleaf-kernels-v1", "bookleaf-kernels-v0", 1);
+        let err = validate_kernels_json(&wrong_schema).unwrap_err();
+        assert!(err.contains("v0"), "{err}");
+
+        let no_speedups = text.replacen("\"speedups\"", "\"speedwas\"", 1);
+        let err = validate_kernels_json(&no_speedups).unwrap_err();
+        assert!(err.contains("speedups"), "{err}");
     }
 }

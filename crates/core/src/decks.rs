@@ -68,8 +68,7 @@ pub struct Deck {
 impl Deck {
     /// Validate field-array lengths, the material table and the mesh,
     /// returning a typed [`DeckError`]. Every build path — the
-    /// `Simulation` builder, text decks, the deprecated
-    /// `Driver`/`run_distributed` wrappers — routes through this.
+    /// `Simulation` builder, text decks — routes through this.
     pub fn validate(&self) -> Result<(), DeckError> {
         let shape = |message: String| DeckError::Shape {
             deck: self.name.to_string(),

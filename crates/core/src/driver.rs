@@ -16,8 +16,6 @@
 //! hooks, the dt reduction, and (optionally) a [`LoopWatch`] through
 //! which the simulation's observers fire at run/step/phase boundaries.
 //!
-//! [`Driver`] is the pre-`Simulation` serial entry point, kept as a
-//! thin deprecated wrapper over [`crate::Simulation`].
 
 use bookleaf_ale::{RemapOverlap, Remapper};
 use bookleaf_eos::MaterialTable;
@@ -27,14 +25,7 @@ use bookleaf_mesh::{Mesh, OverlapSets};
 use bookleaf_util::{BookLeafError, HealthDiagnosis, HealthField, KernelId, Result, TimerRegistry};
 
 use crate::config::RunConfig;
-use crate::decks::Deck;
 use crate::observer::{LoopWatch, StepPhase, StepView};
-use crate::report::RunReport;
-use crate::sim::Simulation;
-
-/// What a completed run reports.
-#[deprecated(note = "use `RunReport` (the unified report for every executor)")]
-pub type RunSummary = RunReport;
 
 /// Mutable loop bookkeeping, persisted across [`run_loop`] calls so
 /// drivers can resume (restart files, incremental advancement).
@@ -421,140 +412,12 @@ fn mid_view<'a>(
     }
 }
 
-/// Serial driver owning the whole problem.
-///
-/// Deprecated: [`Simulation`] is the single front door for every
-/// executor. `Driver` survives as a thin wrapper so existing code keeps
-/// compiling; it *is* a serial `Simulation`. One intentional semantic
-/// change rides along: the report's `energy_start` (and therefore
-/// `energy_drift`) is pinned at t = 0 for the whole trajectory, where
-/// the old `Driver::run` recomputed it at the top of every call — an
-/// `advance_to`-then-`run` sequence now reports whole-run drift, not
-/// last-segment drift, consistent with the report's cumulative
-/// steps/timers/wall clock.
-#[deprecated(note = "use `Simulation::builder().deck(..).config(..).build()`")]
-#[derive(Debug)]
-pub struct Driver {
-    sim: Simulation,
-}
-
-#[allow(deprecated)]
-impl Driver {
-    /// Build a driver from a deck and a configuration.
-    pub fn new(deck: Deck, config: RunConfig) -> Result<Driver> {
-        let config = RunConfig {
-            executor: crate::config::ExecutorKind::Serial,
-            ..config
-        };
-        Ok(Driver {
-            sim: Simulation::builder().deck(deck).config(config).build()?,
-        })
-    }
-
-    /// Run (or continue) to the configured final time.
-    pub fn run(&mut self) -> Result<RunReport> {
-        self.sim.run()
-    }
-
-    /// Advance to `t_target` (clamped to the configured final time),
-    /// leaving the driver resumable. Useful for in-situ output loops.
-    pub fn advance_to(&mut self, t_target: f64) -> Result<&LoopState> {
-        self.sim.advance_to(t_target)
-    }
-
-    /// Capture a restart snapshot of the current state.
-    #[must_use]
-    pub fn snapshot(&self) -> crate::output::Snapshot {
-        self.sim.snapshot().expect("serial simulation can snapshot")
-    }
-
-    /// Restore a snapshot (shapes must match this driver's deck) and
-    /// resume from its time/step cursor.
-    pub fn restore(&mut self, snap: &crate::output::Snapshot) -> Result<()> {
-        self.sim.restore(snap)
-    }
-
-    /// The current mesh.
-    #[must_use]
-    pub fn mesh(&self) -> &Mesh {
-        self.sim.mesh()
-    }
-
-    /// The current state.
-    #[must_use]
-    pub fn state(&self) -> &HydroState {
-        self.sim.state()
-    }
-}
-
-#[cfg(test)]
-#[allow(deprecated)]
-mod tests {
-    use super::*;
-    use crate::decks;
-
-    // The serial physics tests live in `crate::sim`; these pin only the
-    // wrapper contract: `Driver` delegates to `Simulation` unchanged.
-
-    #[test]
-    fn driver_wrapper_matches_simulation() {
-        let deck = decks::sod(24, 2);
-        let config = RunConfig {
-            final_time: 0.02,
-            ..RunConfig::default()
-        };
-
-        let mut driver = Driver::new(deck.clone(), config).unwrap();
-        let via_driver = driver.run().unwrap();
-
-        let mut sim = Simulation::builder()
-            .deck(deck)
-            .config(config)
-            .build()
-            .unwrap();
-        let via_sim = sim.run().unwrap();
-
-        assert_eq!(via_driver.steps, via_sim.steps);
-        assert_eq!(via_driver.time.to_bits(), via_sim.time.to_bits());
-        for e in 0..driver.state().rho.len() {
-            assert_eq!(
-                driver.state().rho[e].to_bits(),
-                sim.state().rho[e].to_bits(),
-                "wrapper diverged at element {e}"
-            );
-        }
-    }
-
-    #[test]
-    fn driver_wrapper_snapshots_and_advances() {
-        let deck = decks::sod(16, 2);
-        let config = RunConfig {
-            final_time: 0.02,
-            ..RunConfig::default()
-        };
-        let mut driver = Driver::new(deck, config).unwrap();
-        let cursor = driver.advance_to(0.01).unwrap();
-        assert!(cursor.t >= 0.01 - 1e-12);
-        let snap = driver.snapshot();
-        driver.run().unwrap();
-        driver.restore(&snap).unwrap();
-        let report = driver.run().unwrap();
-        assert!((report.time - 0.02).abs() < 1e-12);
-    }
-
-    #[test]
-    fn driver_rejects_corrupt_decks() {
-        let mut deck = decks::sod(8, 2);
-        deck.rho.pop();
-        assert!(Driver::new(deck, RunConfig::default()).is_err());
-    }
-}
-
 #[cfg(test)]
 mod sentinel_tests {
     use super::*;
     use crate::config::SentinelConfig;
     use crate::decks;
+    use crate::sim::Simulation;
     use bookleaf_hydro::LocalRange;
     use bookleaf_util::Vec2;
 

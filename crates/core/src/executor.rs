@@ -15,11 +15,10 @@
 //! assembled back into global element/node order so validation code can
 //! compare executors directly.
 //!
-//! This module is driven through [`crate::Simulation`]; the historical
-//! [`run_distributed`] free function survives as a thin deprecated
-//! wrapper. Observer hooks fire on every rank with the rank's partition
-//! view, and the run's energy accounting counts each owned element and
-//! owned node exactly once across the team.
+//! This module is driven through [`crate::Simulation`]. Observer hooks
+//! fire on every rank with the rank's partition view, and the run's
+//! energy accounting counts each owned element and owned node exactly
+//! once across the team.
 
 use std::collections::HashMap;
 
@@ -57,61 +56,6 @@ pub(crate) struct Assembled {
     pub cursor: LoopState,
 }
 
-/// A distributed run's output (global ordering), as returned by the
-/// deprecated [`run_distributed`]; new code reads the same data from
-/// [`crate::Simulation`] (`run()` → [`RunReport`], `state()`/`mesh()` →
-/// assembled fields). Note one source-level change from the pre-report
-/// shape: the scalar summaries moved into `report`, so what were the
-/// `steps`/`time`/`timers`/`comm` *fields* are now delegating accessor
-/// *methods* (or `out.report.steps` directly).
-#[deprecated(
-    note = "use `Simulation::builder()`: `run()` returns the unified `RunReport` and \
-                     `state()`/`mesh()` expose the assembled solution"
-)]
-#[derive(Debug, Clone)]
-pub struct DistributedOutput {
-    /// The unified run report (steps, time, merged timers, team comm
-    /// stats, global energies).
-    pub report: RunReport,
-    /// Density per global element.
-    pub rho: Vec<f64>,
-    /// Specific internal energy per global element.
-    pub ein: Vec<f64>,
-    /// Pressure per global element.
-    pub pressure: Vec<f64>,
-    /// Velocity per global node.
-    pub u: Vec<Vec2>,
-    /// Final node positions.
-    pub nodes: Vec<Vec2>,
-}
-
-#[allow(deprecated)]
-impl DistributedOutput {
-    /// Steps taken (delegates to the report).
-    #[must_use]
-    pub fn steps(&self) -> usize {
-        self.report.steps
-    }
-
-    /// Final simulated time (delegates to the report).
-    #[must_use]
-    pub fn time(&self) -> f64 {
-        self.report.time
-    }
-
-    /// Per-kernel times, max over ranks (delegates to the report).
-    #[must_use]
-    pub fn timers(&self) -> &TimerReport {
-        &self.report.timers
-    }
-
-    /// Team-merged communication counters (delegates to the report).
-    #[must_use]
-    pub fn comm(&self) -> &CommStats {
-        &self.report.comm
-    }
-}
-
 struct RankOut {
     rank: usize,
     rho: Vec<f64>,
@@ -131,27 +75,6 @@ struct RankOut {
     /// Globally reduced start/end energies (identical on every rank).
     energy_start: f64,
     energy_end: f64,
-}
-
-/// Run `deck` under the distributed executor named by `config.executor`.
-#[deprecated(note = "use `Simulation::builder().deck(..).config(..).build()?.run()?`")]
-#[allow(deprecated)]
-pub fn run_distributed(deck: &Deck, config: &RunConfig) -> Result<DistributedOutput> {
-    let (report, fields) = run_with_observers(
-        deck,
-        config,
-        &ObserverSet::default(),
-        None,
-        &TyphonOptions::default(),
-    )?;
-    Ok(DistributedOutput {
-        report,
-        rho: fields.rho,
-        ein: fields.ein,
-        pressure: fields.pressure,
-        u: fields.u,
-        nodes: fields.nodes,
-    })
 }
 
 /// The distributed run machinery behind [`crate::Simulation`]:
@@ -642,21 +565,5 @@ mod tests {
                 dist.state().rho[e]
             );
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrapper_delegates_to_the_report() {
-        let deck = decks::sod(16, 2);
-        let config = RunConfig {
-            final_time: 0.01,
-            executor: ExecutorKind::FlatMpi { ranks: 2 },
-            ..RunConfig::default()
-        };
-        let out = run_distributed(&deck, &config).unwrap();
-        assert_eq!(out.steps(), out.report.steps);
-        assert!((out.time() - 0.01).abs() < 1e-12);
-        assert!(out.comm().messages_sent > 0);
-        assert_eq!(out.rho.len(), deck.mesh.n_elements());
     }
 }

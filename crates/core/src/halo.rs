@@ -11,8 +11,9 @@
 //!   one message per neighbour;
 //! * **`pre_acceleration`** — ghost corner masses and corner forces, so
 //!   every rank can close the nodal gather for its nodes. Corner forces
-//!   are packed natively as `CornerVec2` — no per-component scratch
-//!   arrays;
+//!   travel as `CornerVec2` wire entries packed straight from the SoA
+//!   component rows (`FieldMut::CornerPair`) — no scratch arrays, and
+//!   the bytes on the wire are identical to the interleaved layout's;
 //! * **`post_remap`** — everything an ALE remap rewrites (masses, state,
 //!   volumes, corner masses, node kinematics): seven fields, one
 //!   message per neighbour;
@@ -103,7 +104,7 @@ fn visc_fields<'s>(mesh: &'s mut Mesh, state: &'s mut HydroState) -> [FieldMut<'
 fn acc_fields(state: &mut HydroState) -> [FieldMut<'_>; 2] {
     [
         FieldMut::Corner4(&mut state.cnmass),
-        FieldMut::CornerVec2(&mut state.cnforce),
+        FieldMut::CornerPair(&mut state.cnforce_x, &mut state.cnforce_y),
     ]
 }
 
@@ -368,11 +369,12 @@ mod tests {
             for e in 0..mesh.n_elements() {
                 let g = sub.el_l2g[e] as f64;
                 for c in 0..4 {
-                    st.cnforce[e][c] = if sub.owns_element(e) {
+                    let f = if sub.owns_element(e) {
                         Vec2::new(g + 0.1 * c as f64, -g - 0.1 * c as f64)
                     } else {
                         Vec2::new(f64::NAN, f64::NAN)
                     };
+                    st.set_cnforce(e, c, f);
                 }
             }
             let mut halo = TyphonHalo::new(ctx, sub, None);
@@ -382,7 +384,7 @@ mod tests {
             let forces_ok = (0..mesh.n_elements()).all(|e| {
                 let g = sub.el_l2g[e] as f64;
                 (0..4)
-                    .all(|c| st.cnforce[e][c] == Vec2::new(g + 0.1 * c as f64, -g - 0.1 * c as f64))
+                    .all(|c| st.cnforce(e, c) == Vec2::new(g + 0.1 * c as f64, -g - 0.1 * c as f64))
             });
             (ctx.stats(), halo.plan().n_links(), forces_ok)
         })

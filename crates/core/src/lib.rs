@@ -44,10 +44,7 @@ pub mod sim;
 
 pub use config::{ExecutorKind, RunConfig, SentinelConfig};
 pub use decks::Deck;
-#[allow(deprecated)]
-pub use driver::{run_loop, Driver, LoopState, RunSummary};
-#[allow(deprecated)]
-pub use executor::{run_distributed, DistributedOutput};
+pub use driver::{run_loop, LoopState};
 pub use input::{InputDeck, ProblemSpec};
 pub use observer::{
     ConservationTracer, DtHistory, DtSample, EnergySample, FrameDumper, LoopWatch, Observer,

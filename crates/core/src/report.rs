@@ -1,10 +1,7 @@
 //! The unified run report: what every completed run hands back,
 //! regardless of executor.
 //!
-//! Before the `Simulation` front door, serial runs returned a
-//! `RunSummary` with timers but no communication counters, and
-//! distributed runs returned a `DistributedOutput` with per-team
-//! counters but no energy accounting. [`RunReport`] carries both for
+//! [`RunReport`] carries the full accounting for
 //! every executor: merged per-kernel timers (max over ranks — how an
 //! MPI code experiences time), team-merged [`CommStats`] (all zeros for
 //! a serial run: no wire traffic), and the global start/end energies

@@ -118,7 +118,10 @@ impl GpuModel {
                 }
             }
             KernelId::GetDt => 5.6, // offload only; CUDA runs on the host
-            KernelId::GetRho | KernelId::GetEin | KernelId::Ale => 8.0,
+            // EosFused never launches in the paper-platform models
+            // (calls_per_step is 0); the bandwidth-bound penalty matches
+            // its streaming constituents.
+            KernelId::GetRho | KernelId::GetEin | KernelId::EosFused | KernelId::Ale => 8.0,
             KernelId::Comms | KernelId::Other => 0.0,
         }
     }

@@ -80,7 +80,7 @@ pub fn getacc_subset(
                     let nd = mesh.elnd[e][c] as usize;
                     if nd < nn && subset.contains(nd) {
                         nd_mass[nd] += state.cnmass[e][c];
-                        nd_force[nd] += state.cnforce[e][c];
+                        nd_force[nd] += state.cnforce(e, c);
                     }
                 }
             }
@@ -148,7 +148,7 @@ fn gather_node(mesh: &Mesh, state: &HydroState, n: usize) -> (f64, Vec2) {
     let mut f = Vec2::ZERO;
     for &(e, c) in mesh.elements_of_node(n) {
         m += state.cnmass[e as usize][c as usize];
-        f += state.cnforce[e as usize][c as usize];
+        f += state.cnforce(e as usize, c as usize);
     }
     (m, f)
 }
@@ -178,7 +178,8 @@ mod tests {
     /// Set a known force field: every corner of every element pushes +x.
     fn set_unit_forces(st: &mut HydroState) {
         for e in 0..st.n_elements() {
-            st.cnforce[e] = [Vec2::new(1.0, 0.0); 4];
+            st.cnforce_x[e] = [1.0; 4];
+            st.cnforce_y[e] = [0.0; 4];
         }
     }
 
@@ -194,12 +195,8 @@ mod tests {
         ] {
             let mut st = st0.clone();
             for e in 0..st.n_elements() {
-                st.cnforce[e] = [
-                    Vec2::new(0.1 * e as f64, -0.05),
-                    Vec2::new(-0.2, 0.3),
-                    Vec2::new(0.05, 0.05 * e as f64),
-                    Vec2::new(0.0, -0.1),
-                ];
+                st.cnforce_x[e] = [0.1 * e as f64, -0.2, 0.05, 0.0];
+                st.cnforce_y[e] = [-0.05, 0.3, 0.05 * e as f64, -0.1];
             }
             getacc(&mesh, &mut st, range, 0.01, mode);
             outputs.push((st.u.clone(), st.ubar.clone()));
@@ -236,7 +233,8 @@ mod tests {
         let (mesh, mut st) = setup(2);
         set_unit_forces(&mut st);
         for e in 0..st.n_elements() {
-            st.cnforce[e] = [Vec2::new(1.0, 1.0); 4];
+            st.cnforce_x[e] = [1.0; 4];
+            st.cnforce_y[e] = [1.0; 4];
         }
         let range = LocalRange::whole(&mesh);
         getacc(&mesh, &mut st, range, 0.1, AccMode::GatherSerial);
@@ -282,12 +280,8 @@ mod tests {
         let range = LocalRange::whole(&mesh);
         // Interior-only synthetic forces.
         for e in 0..st.n_elements() {
-            st.cnforce[e] = [
-                Vec2::new(0.3, 0.1),
-                Vec2::new(-0.3, 0.1),
-                Vec2::new(0.3, -0.1),
-                Vec2::new(-0.3, -0.1),
-            ];
+            st.cnforce_x[e] = [0.3, -0.3, 0.3, -0.3];
+            st.cnforce_y[e] = [0.1, 0.1, -0.1, -0.1];
         }
         getacc(&mesh, &mut st, range, 0.2, AccMode::GatherSerial);
         let mut dp = Vec2::ZERO; // Σ m du over free nodes
@@ -308,12 +302,8 @@ mod tests {
         let range = LocalRange::whole(&mesh);
         let prep = |st: &mut HydroState| {
             for e in 0..st.n_elements() {
-                st.cnforce[e] = [
-                    Vec2::new(0.1 * e as f64, -0.05),
-                    Vec2::new(-0.2, 0.3),
-                    Vec2::new(0.05, 0.05 * e as f64),
-                    Vec2::new(0.0, -0.1),
-                ];
+                st.cnforce_x[e] = [0.1 * e as f64, -0.2, 0.05, 0.0];
+                st.cnforce_y[e] = [-0.05, 0.3, 0.05 * e as f64, -0.1];
             }
         };
         let mask: Vec<bool> = (0..mesh.n_nodes()).map(|n| n % 4 == 1).collect();

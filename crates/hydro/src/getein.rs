@@ -44,14 +44,21 @@ pub fn getein(
         WorkVelocity::Current => &state.u,
         WorkVelocity::TimeCentred => &state.ubar,
     };
-    let cnforce = &state.cnforce;
+    let fx = &state.cnforce_x;
+    let fy = &state.cnforce_y;
     let mass = &state.mass;
 
+    // The work term reads the two dense SoA component rows of the
+    // element; each corner contributes `fx·vx + fy·vy` — the same
+    // grouping as the former `Vec2::dot`, so the sum is bitwise
+    // identical to the interleaved layout.
     let body = |e: usize, ein: &mut f64| {
         let nd = mesh.elnd[e];
+        let (rx, ry) = (&fx[e], &fy[e]);
         let mut work = 0.0;
         for c in 0..4 {
-            work += cnforce[e][c].dot(vel[nd[c] as usize]);
+            let v = vel[nd[c] as usize];
+            work += rx[c] * v.x + ry[c] * v.y;
         }
         *ein -= dt * work / mass[e];
     };
@@ -92,7 +99,8 @@ mod tests {
     fn zero_velocity_means_no_work() {
         let (mesh, mut st) = setup(2);
         for e in 0..st.n_elements() {
-            st.cnforce[e] = [Vec2::new(1.0, 1.0); 4];
+            st.cnforce_x[e] = [1.0; 4];
+            st.cnforce_y[e] = [1.0; 4];
         }
         let before = st.ein.clone();
         getein(
@@ -115,7 +123,7 @@ mod tests {
         st.pressure[0] = p;
         let g = area_gradient(&mesh.corners(0));
         for c in 0..4 {
-            st.cnforce[0][c] = g[c] * p;
+            st.set_cnforce(0, c, g[c] * p);
         }
         // u = position (pure expansion about the origin).
         for n in 0..mesh.n_nodes() {
@@ -145,7 +153,7 @@ mod tests {
         let (mesh, mut st) = setup(1);
         let g = area_gradient(&mesh.corners(0));
         for c in 0..4 {
-            st.cnforce[0][c] = g[c] * 1.0;
+            st.set_cnforce(0, c, g[c] * 1.0);
         }
         for n in 0..mesh.n_nodes() {
             st.u[n] = -mesh.nodes[n]; // converging flow
@@ -166,7 +174,7 @@ mod tests {
     fn time_centred_uses_ubar() {
         let (mesh, mut st) = setup(1);
         for c in 0..4 {
-            st.cnforce[0][c] = Vec2::new(1.0, 0.0);
+            st.set_cnforce(0, c, Vec2::new(1.0, 0.0));
         }
         // u says "no work", ubar says "work".
         for n in 0..mesh.n_nodes() {
@@ -200,12 +208,8 @@ mod tests {
     fn serial_matches_rayon() {
         let (mesh, mut a) = setup(5);
         for e in 0..a.n_elements() {
-            a.cnforce[e] = [
-                Vec2::new(0.1, 0.2),
-                Vec2::new(-0.1, 0.3),
-                Vec2::new(0.2, -0.2),
-                Vec2::new(-0.2, -0.3),
-            ];
+            a.cnforce_x[e] = [0.1, -0.1, 0.2, -0.2];
+            a.cnforce_y[e] = [0.2, 0.3, -0.2, -0.3];
         }
         for n in 0..a.n_nodes() {
             a.u[n] = Vec2::new((n as f64).sin(), (n as f64).cos());

@@ -87,15 +87,19 @@ pub fn getforce_subset(
     subset: Subset<'_>,
 ) {
     let n = range.n_owned_el;
+    // Element-indexed reads sliced to the owned range so the sweeps
+    // (bounded by the same `n` through the force-row zip) index them
+    // without bounds checks; `u` and `nd_mass` stay full-length — they
+    // are gathered through node ids.
     let u = &state.u;
-    let rho = &state.rho;
-    let cs2 = &state.cs2;
-    let pressure = &state.pressure;
-    let edge_q = &state.edge_q;
+    let rho = &state.rho[..n];
+    let cs2 = &state.cs2[..n];
+    let pressure = &state.pressure[..n];
+    let edge_q = &state.edge_q[..n];
     let nd_mass = &state.nd_mass;
-    let cnmass = &state.cnmass;
-    let cnvol = &state.cnvol;
-    let volume = &state.volume;
+    let cnmass = &state.cnmass[..n];
+    let cnvol = &state.cnvol[..n];
+    let volume = &state.volume[..n];
 
     let body = |e: usize, force: &mut [Vec2; 4]| {
         let corners = mesh.corners(e);
@@ -219,24 +223,38 @@ pub fn getforce_subset(
         }
     };
 
+    // Store the assembled forces as SoA component rows (one dense
+    // `[f64; 4]` row per element and component — the state layout
+    // contract the energy update and halo pack rely on).
+    let store = |f: &[Vec2; 4], fx: &mut [f64; 4], fy: &mut [f64; 4]| {
+        for c in 0..4 {
+            fx[c] = f[c].x;
+            fy[c] = f[c].y;
+        }
+    };
     match threading {
         Threading::Serial => {
-            for e in 0..n {
+            let fx_rows = &mut state.cnforce_x[..n];
+            let fy_rows = &mut state.cnforce_y[..n];
+            for (e, (fx, fy)) in fx_rows.iter_mut().zip(fy_rows.iter_mut()).enumerate() {
                 if !subset.contains(e) {
                     continue;
                 }
                 let mut f = [Vec2::ZERO; 4];
                 body(e, &mut f);
-                state.cnforce[e] = f;
+                store(&f, fx, fy);
             }
         }
         Threading::Rayon => {
-            state.cnforce[..n]
+            state.cnforce_x[..n]
                 .par_iter_mut()
+                .zip(state.cnforce_y[..n].par_iter_mut())
                 .enumerate()
-                .for_each(|(e, f)| {
+                .for_each(|(e, (fx, fy))| {
                     if subset.contains(e) {
-                        body(e, f);
+                        let mut f = [Vec2::ZERO; 4];
+                        body(e, &mut f);
+                        store(&f, fx, fy);
                     }
                 });
         }
@@ -272,8 +290,8 @@ mod tests {
             let g = area_gradient(&mesh.corners(e));
             for c in 0..4 {
                 let expect = g[c] * st.pressure[e];
-                assert!(approx_eq(st.cnforce[e][c].x, expect.x, 1e-13));
-                assert!(approx_eq(st.cnforce[e][c].y, expect.y, 1e-13));
+                assert!(approx_eq(st.cnforce(e, c).x, expect.x, 1e-13));
+                assert!(approx_eq(st.cnforce(e, c).y, expect.y, 1e-13));
             }
         }
     }
@@ -290,7 +308,7 @@ mod tests {
             Threading::Serial,
         );
         for e in 0..st.n_elements() {
-            let total: Vec2 = st.cnforce[e].into_iter().sum();
+            let total: Vec2 = (0..4).map(|c| st.cnforce(e, c)).sum();
             assert!(total.norm() < 1e-13, "element {e}: net force {total:?}");
         }
     }
@@ -310,7 +328,7 @@ mod tests {
         let n = 2 * 5 + 2; // interior node of the 5x5 node grid
         let mut f = Vec2::ZERO;
         for &(e, c) in mesh.elements_of_node(n) {
-            f += st.cnforce[e as usize][c as usize];
+            f += st.cnforce(e as usize, c as usize);
         }
         assert!(f.norm() < 1e-13);
     }
@@ -335,21 +353,21 @@ mod tests {
         // du = (-2, 0), |du| = 2, edge length 1: pair = du/|du| * q * L
         // = (-2, 0). Corner 0 gets +pair, corner 1 gets -pair — each
         // force opposes that corner's motion.
-        assert!(approx_eq(st.cnforce[0][0].x, -2.0, 1e-13));
-        assert!(approx_eq(st.cnforce[0][1].x, 2.0, 1e-13));
+        assert!(approx_eq(st.cnforce(0, 0).x, -2.0, 1e-13));
+        assert!(approx_eq(st.cnforce(0, 1).x, 2.0, 1e-13));
         assert!(
-            st.cnforce[0][0].x * st.u[0].x < 0.0,
+            st.cnforce(0, 0).x * st.u[0].x < 0.0,
             "must decelerate corner 0"
         );
         assert!(
-            st.cnforce[0][1].x * st.u[1].x < 0.0,
+            st.cnforce(0, 1).x * st.u[1].x < 0.0,
             "must decelerate corner 1"
         );
         // Pair force: zero net on the element.
-        let net: Vec2 = st.cnforce[0].into_iter().sum();
+        let net: Vec2 = (0..4).map(|c| st.cnforce(0, c)).sum();
         assert!(net.norm() < 1e-13);
-        assert_eq!(st.cnforce[0][2], Vec2::ZERO);
-        assert_eq!(st.cnforce[0][3], Vec2::ZERO);
+        assert_eq!(st.cnforce(0, 2), Vec2::ZERO);
+        assert_eq!(st.cnforce(0, 3), Vec2::ZERO);
         // Expanding corners feel nothing even with q set.
         st.u[0] = Vec2::new(-1.0, 0.0);
         st.u[1] = Vec2::new(1.0, 0.0);
@@ -361,7 +379,7 @@ mod tests {
             0.01,
             Threading::Serial,
         );
-        assert_eq!(st.cnforce[0][0], Vec2::ZERO);
+        assert_eq!(st.cnforce(0, 0), Vec2::ZERO);
     }
 
     #[test]
@@ -382,7 +400,7 @@ mod tests {
         );
         // Nodal masses on a single element are the corner masses (0.25);
         // mu = 0.125, cap = 0.25 * 0.125 * 2 / 0.1 = 0.625.
-        let mag = st.cnforce[0][0].norm();
+        let mag = st.cnforce(0, 0).norm();
         assert!(approx_eq(mag, 0.625, 1e-12), "capped magnitude {mag}");
         // The applied impulse never reverses the relative velocity.
         assert!(mag * dt <= 0.125 * 2.0 + 1e-12);
@@ -418,8 +436,8 @@ mod tests {
         );
         // Force must oppose the mode: sign opposite to GAMMA * u_hg.
         for c in 0..4 {
-            assert!(st.cnforce[0][c].x * GAMMA[c] < 0.0, "corner {c} not damped");
-            assert!(st.cnforce[0][c].y.abs() < 1e-13);
+            assert!(st.cnforce(0, c).x * GAMMA[c] < 0.0, "corner {c} not damped");
+            assert!(st.cnforce(0, c).y.abs() < 1e-13);
         }
         // And a rigid translation is untouched by the filter.
         let mut st2 =
@@ -434,7 +452,7 @@ mod tests {
             Threading::Serial,
         );
         for c in 0..4 {
-            assert!(st2.cnforce[0][c].norm() < 1e-13);
+            assert!(st2.cnforce(0, c).norm() < 1e-13);
         }
     }
 
@@ -459,7 +477,7 @@ mod tests {
         );
         // The restoring force must push corner 0 outward (towards -x,-y
         // for the bottom-left corner of a unit square).
-        let f = st.cnforce[0][0];
+        let f = st.cnforce(0, 0);
         assert!(
             f.x < 0.0 && f.y < 0.0,
             "restoring force {f:?} should point outward"
@@ -467,10 +485,10 @@ mod tests {
         // The variational force distributes over all corners but sums to
         // zero (no net thrust on the element) and is dominated by the
         // compressed corner.
-        let net: Vec2 = st.cnforce[0].into_iter().sum();
+        let net: Vec2 = (0..4).map(|c| st.cnforce(0, c)).sum();
         assert!(net.norm() < 1e-13, "net subzonal force {net:?}");
         assert!(
-            st.cnforce[0][2].norm() < f.norm(),
+            st.cnforce(0, 2).norm() < f.norm(),
             "far corner should feel less"
         );
     }
@@ -518,7 +536,8 @@ mod tests {
                     crate::subset::Subset::Mask { mask: &mask, keep },
                 );
             }
-            assert_eq!(full.cnforce, split.cnforce, "{th:?}");
+            assert_eq!(full.cnforce_x, split.cnforce_x, "{th:?}");
+            assert_eq!(full.cnforce_y, split.cnforce_y, "{th:?}");
         }
     }
 
@@ -555,6 +574,7 @@ mod tests {
             1.0,
             Threading::Rayon,
         );
-        assert_eq!(a.cnforce, b.cnforce);
+        assert_eq!(a.cnforce_x, b.cnforce_x);
+        assert_eq!(a.cnforce_y, b.cnforce_y);
     }
 }

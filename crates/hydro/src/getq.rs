@@ -16,14 +16,28 @@
 //! kernel (≈ 64–70 % of single-node runtime on CPUs, Table II).
 
 use bookleaf_mesh::geometry::quad_centroid;
-use bookleaf_mesh::{Mesh, Neighbor};
+use bookleaf_mesh::{Mesh, Neighbor, STENCIL_BOUNDARY};
 use bookleaf_util::constants::ZERO_CUT;
 use bookleaf_util::Vec2;
 use rayon::prelude::*;
+use std::cell::RefCell;
 
 use crate::state::{HydroState, LocalRange};
 use crate::subset::Subset;
 use crate::Threading;
+
+/// Reusable per-thread scratch for the cell-velocity precompute. The
+/// table is a megabyte-plus at production mesh sizes; reusing it skips
+/// a per-call allocation. Reuse is invisible to results: every entry
+/// the sweep reads is written first on every call.
+#[derive(Default)]
+struct Scratch {
+    cell_u: Vec<Vec2>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
 
 /// Artificial viscosity coefficients.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -109,100 +123,129 @@ pub fn getq_subset(
             Some(needed)
         }
     };
-    let entry = |e: usize| match &needed {
-        Some(needed) if !needed[e] => Vec2::ZERO, // never read
-        _ => cell_velocity(mesh, &state.u, e),
-    };
-    let cell_u: Vec<Vec2> = match threading {
-        Threading::Serial => (0..mesh.n_elements()).map(entry).collect(),
-        Threading::Rayon => (0..mesh.n_elements()).into_par_iter().map(entry).collect(),
-    };
+    // The viscosity stencil's neighbour gathers, hoisted out of the
+    // face loop: the *indices* (and the boundary discrimination) are
+    // the packed per-edge table precomputed once per mesh —
+    // `Mesh::face_stencil` — streamed stride-1 here at half the bytes
+    // of the tagged `elel` rows; the *values* are the cell-averaged
+    // velocities precomputed below, so the heavy sqrt/divide face loop
+    // performs exactly one indexed read per compressive interior face.
+    // Both tables hold exactly the values the in-loop reads produced,
+    // so results are bitwise identical.
+    let stencil = &mesh.face_stencil()[..n];
 
-    let u = &state.u;
-    let rho = &state.rho;
-    let cs2 = &state.cs2;
-    let body = |e: usize, edge_q: &mut [f64; 4], q: &mut f64| {
-        let corners = mesh.corners(e);
-        let centre = quad_centroid(&corners);
-        let uc = cell_u[e];
-        let cs = cs2[e].max(0.0).sqrt();
-        let nd = mesh.elnd[e];
-        let mut qmax = 0.0f64;
-        for f in 0..4 {
-            let a = nd[f] as usize;
-            let b = nd[(f + 1) % 4] as usize;
-            // Edge-centred velocity jump (Caramana et al.): the two
-            // corners of side f approaching each other is compression
-            // along that edge, whatever the mode (radial crush, shear
-            // sliver, hourglass) — this is what makes the edge form
-            // robust where a purely face-normal measure is blind.
-            let du = u[b] - u[a];
-            let dx = corners[(f + 1) % 4] - corners[f];
-            if du.dot(dx) >= -ZERO_CUT {
-                edge_q[f] = 0.0;
-                continue;
-            }
-            let du_mag = du.norm();
-            if du_mag <= ZERO_CUT {
-                edge_q[f] = 0.0;
-                continue;
-            }
+    SCRATCH.with(|scratch| {
+        let mut scratch = scratch.borrow_mut();
+        let cell_u = &mut scratch.cell_u;
+        cell_u.resize(mesh.n_elements(), Vec2::ZERO);
 
-            // Limiter 1: smoothness across the face, measured by the
-            // continuation of the centre→face velocity difference into
-            // the neighbour (the term that needs the halo exchange).
-            let xf = corners[f].midpoint(corners[(f + 1) % 4]);
-            let uf = u[a].midpoint_vel(u[b]);
-            let dir = (xf - centre).normalized();
-            let du_face = (uf - uc).dot(dir);
-            let psi_face = match mesh.elel[e][f] {
-                Neighbor::Element(en) if du_face.abs() > ZERO_CUT => {
-                    let du_nbr = (cell_u[en as usize] - uf).dot(dir);
-                    monotonic_limiter(du_nbr / du_face)
+        let entry = |e: usize| match &needed {
+            Some(needed) if !needed[e] => Vec2::ZERO, // never read
+            _ => cell_velocity(mesh, &state.u, e),
+        };
+        match threading {
+            Threading::Serial => {
+                for (e, cu) in cell_u.iter_mut().enumerate() {
+                    *cu = entry(e);
                 }
-                Neighbor::Element(_) => 1.0,
-                // Boundary faces: no smooth continuation exists; apply
-                // full viscosity so wall shocks (Noh) stay stable.
-                Neighbor::Boundary => 0.0,
-            };
-            // Limiter 2: smoothness along the element, comparing this
-            // edge's jump with the opposite edge traversed in the same
-            // sense (linear fields give ratio 1; oscillatory modes give
-            // negative ratios and full viscosity).
-            let du_opp = u[nd[(f + 3) % 4] as usize] - u[nd[(f + 2) % 4] as usize];
-            let r2 = -du_opp.dot(du) / (du_mag * du_mag);
-            let psi = psi_face.min(monotonic_limiter(r2));
-
-            edge_q[f] = (1.0 - psi) * rho[e] * du_mag * (coeffs.cq2 * du_mag + coeffs.cq1 * cs);
-            qmax = qmax.max(edge_q[f]);
+            }
+            Threading::Rayon => {
+                cell_u
+                    .par_iter_mut()
+                    .enumerate()
+                    .for_each(|(e, cu)| *cu = entry(e));
+            }
         }
-        *q = qmax;
-    };
 
-    match threading {
-        Threading::Serial => {
-            for e in 0..n {
-                if !subset.contains(e) {
+        let cell_u = &*cell_u;
+        let u = &state.u;
+        let rho = &state.rho[..n];
+        let cs2 = &state.cs2[..n];
+        let body = |e: usize, edge_q: &mut [f64; 4], q: &mut f64| {
+            let corners = mesh.corners(e);
+            let centre = quad_centroid(&corners);
+            let uc = cell_u[e];
+            let cs = cs2[e].max(0.0).sqrt();
+            let nd = mesh.elnd[e];
+            let nbr = &stencil[e];
+            let mut qmax = 0.0f64;
+            for f in 0..4 {
+                let a = nd[f] as usize;
+                let b = nd[(f + 1) % 4] as usize;
+                // Edge-centred velocity jump (Caramana et al.): the two
+                // corners of side f approaching each other is compression
+                // along that edge, whatever the mode (radial crush, shear
+                // sliver, hourglass) — this is what makes the edge form
+                // robust where a purely face-normal measure is blind.
+                let du = u[b] - u[a];
+                let dx = corners[(f + 1) % 4] - corners[f];
+                if du.dot(dx) >= -ZERO_CUT {
+                    edge_q[f] = 0.0;
                     continue;
                 }
-                let (mut eq, mut qv) = ([0.0; 4], 0.0);
-                body(e, &mut eq, &mut qv);
-                state.edge_q[e] = eq;
-                state.q[e] = qv;
+                let du_mag = du.norm();
+                if du_mag <= ZERO_CUT {
+                    edge_q[f] = 0.0;
+                    continue;
+                }
+
+                // Limiter 1: smoothness across the face, measured by the
+                // continuation of the centre→face velocity difference into
+                // the neighbour (the term that needs the halo exchange),
+                // reached through the packed stencil row.
+                let xf = corners[f].midpoint(corners[(f + 1) % 4]);
+                let uf = u[a].midpoint_vel(u[b]);
+                let dir = (xf - centre).normalized();
+                let du_face = (uf - uc).dot(dir);
+                let psi_face = if nbr[f] == STENCIL_BOUNDARY {
+                    // Boundary faces: no smooth continuation exists; apply
+                    // full viscosity so wall shocks (Noh) stay stable.
+                    0.0
+                } else if du_face.abs() > ZERO_CUT {
+                    let du_nbr = (cell_u[nbr[f] as usize] - uf).dot(dir);
+                    monotonic_limiter(du_nbr / du_face)
+                } else {
+                    1.0
+                };
+                // Limiter 2: smoothness along the element, comparing this
+                // edge's jump with the opposite edge traversed in the same
+                // sense (linear fields give ratio 1; oscillatory modes give
+                // negative ratios and full viscosity).
+                let du_opp = u[nd[(f + 3) % 4] as usize] - u[nd[(f + 2) % 4] as usize];
+                let r2 = -du_opp.dot(du) / (du_mag * du_mag);
+                let psi = psi_face.min(monotonic_limiter(r2));
+
+                edge_q[f] = (1.0 - psi) * rho[e] * du_mag * (coeffs.cq2 * du_mag + coeffs.cq1 * cs);
+                qmax = qmax.max(edge_q[f]);
             }
-        }
-        Threading::Rayon => {
-            state.edge_q[..n]
-                .par_iter_mut()
-                .zip(state.q[..n].par_iter_mut())
-                .enumerate()
-                .for_each(|(e, (eq, qv))| {
+            *q = qmax;
+        };
+
+        match threading {
+            Threading::Serial => {
+                for (e, (eq, qv)) in state.edge_q[..n]
+                    .iter_mut()
+                    .zip(state.q[..n].iter_mut())
+                    .enumerate()
+                {
                     if subset.contains(e) {
                         body(e, eq, qv);
                     }
-                });
+                }
+            }
+            Threading::Rayon => {
+                state.edge_q[..n]
+                    .par_iter_mut()
+                    .zip(state.q[..n].par_iter_mut())
+                    .enumerate()
+                    .for_each(|(e, (eq, qv))| {
+                        if subset.contains(e) {
+                            body(e, eq, qv);
+                        }
+                    });
+            }
         }
-    }
+    });
 }
 
 /// Cell-averaged velocity of element `e`.

@@ -33,6 +33,40 @@
 //! (immediately before the viscosity calculation and immediately before
 //! the acceleration).
 //!
+//! ## Corner-data layout
+//!
+//! Corner forces are stored as SoA component rows
+//! (`cnforce_x`/`cnforce_y: Vec<[f64; 4]>`) so the force-assembly and
+//! work-term inner loops stream dense stride-1 rows; see the layout
+//! contract in [`state`]'s module docs. Checkpoint bytes and the halo
+//! wire format are unaffected — corner forces are re-derived on restart
+//! and packed per corner in the order the interleaved layout used.
+//!
+//! The viscosity kernel's neighbour gathers are likewise shaped for
+//! streaming: [`getq`] walks a packed per-edge index table
+//! (`Mesh::face_stencil`, built lazily once per mesh — element→element
+//! topology is fixed at construction) instead of matching on the tagged
+//! `elel` rows in the face loop, and gathers cell velocities from a
+//! per-call dense scratch row. Indices only — the gathered *values* are
+//! exactly the in-loop reads' values, so the output is bitwise
+//! unchanged.
+//!
+//! ## Kernel fusion rules
+//!
+//! The four EOS-chain kernels (`getgeom → getrho → getein → getpc`) are
+//! per-element independent with no floating-point reductions, so they
+//! fuse into one element sweep — [`fn@eos_fused`] — that is *bitwise
+//! identical* to running the chain unfused under any serial/rayon/subset
+//! split. The unfused kernels remain the reference implementation; a
+//! [`EosStages`] mask fuses any subset of the chain, with a disabled
+//! stage reading current state exactly as the skipped kernel sequence
+//! would. `getq` and `getforce` must **not** be fused into this sweep:
+//! `getq` reads face-neighbour cell velocities (a halo-synchronised
+//! stencil), and `getforce` consumes `getq`'s output — both break the
+//! per-element-independence precondition. Pre-optimisation kernel shapes
+//! are preserved in [`mod@reference`] for the roofline bench and the
+//! equivalence suite.
+//!
 //! ## Threading
 //!
 //! Per the paper's §IV-B, most kernels are trivially parallelisable and
@@ -47,6 +81,7 @@
 // visible); the clippy style lint fires on every one.
 #![allow(clippy::needless_range_loop)]
 
+pub mod eos_fused;
 pub mod getacc;
 pub mod getdt;
 pub mod getein;
@@ -56,9 +91,11 @@ pub mod getpc;
 pub mod getq;
 pub mod getrho;
 pub mod lagstep;
+pub mod reference;
 pub mod state;
 pub mod subset;
 
+pub use eos_fused::{eos_fused, EosStages, FusedEos};
 pub use getacc::AccMode;
 pub use lagstep::{lagstep, lagstep_timed, HaloOps, KernelSplit, LagOptions, NoComm};
 pub use state::{HydroState, LocalRange};

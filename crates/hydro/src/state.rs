@@ -5,6 +5,23 @@
 //! by local node id, corner fields by `[element][corner]`. In distributed
 //! runs the arrays cover owned *and* ghost entities; [`LocalRange`] says
 //! which prefix is owned (serial runs own everything).
+//!
+//! ## Corner-data layout contract
+//!
+//! Corner fields are stored as **`[f64; 4]`-chunked rows** — one
+//! contiguous 4-wide row of doubles per element — so the per-element
+//! inner loops of `getforce` and the fused EOS sweep run stride-1 and
+//! autovectorize. Corner *vector* data (the corner forces) is split
+//! into separate x and y row arrays ([`HydroState::cnforce_x`] /
+//! [`HydroState::cnforce_y`]) rather than stored as `[Vec2; 4]`: a
+//! component sweep then touches one dense `[f64; 4]` row per element
+//! with no interleaving. The [`HydroState::cnforce`] /
+//! [`HydroState::set_cnforce`] accessors give `Vec2`-typed access for
+//! code (and tests) that are not on the hot path. The halo layer packs
+//! the pair in the same `x, y` per-corner wire order as an interleaved
+//! `[Vec2; 4]` field, so the split is invisible on the wire, and the
+//! checkpoint body never contains corner forces (they are re-derived),
+//! so the layout is invisible to the checkpoint format too.
 
 use bookleaf_eos::MaterialTable;
 use bookleaf_mesh::geometry::{char_length, corner_volumes, quad_area};
@@ -61,8 +78,12 @@ pub struct HydroState {
     pub cnmass: Vec<[f64; 4]>,
     /// Current corner volumes.
     pub cnvol: Vec<[f64; 4]>,
-    /// Total corner force on each corner node from this element.
-    pub cnforce: Vec<[Vec2; 4]>,
+    /// x component of the total corner force on each corner node from
+    /// this element (SoA row; see the module-level layout contract).
+    pub cnforce_x: Vec<[f64; 4]>,
+    /// y component of the corner forces (SoA row, paired with
+    /// [`HydroState::cnforce_x`]).
+    pub cnforce_y: Vec<[f64; 4]>,
 
     // --- node-centred (length = n local nodes) ---
     /// Node velocity.
@@ -104,7 +125,8 @@ impl HydroState {
             edge_q: vec![[0.0; 4]; ne],
             cnmass: vec![[0.0; 4]; ne],
             cnvol: vec![[0.0; 4]; ne],
-            cnforce: vec![[Vec2::ZERO; 4]; ne],
+            cnforce_x: vec![[0.0; 4]; ne],
+            cnforce_y: vec![[0.0; 4]; ne],
             u: (0..nn).map(&u_of).collect(),
             ubar: vec![Vec2::ZERO; nn],
             nd_mass: vec![0.0; nn],
@@ -161,6 +183,22 @@ impl HydroState {
     #[must_use]
     pub fn n_elements(&self) -> usize {
         self.rho.len()
+    }
+
+    /// Corner force `c` of element `e` as a vector (convenience view
+    /// over the SoA rows; not for hot loops).
+    #[inline]
+    #[must_use]
+    pub fn cnforce(&self, e: usize, c: usize) -> Vec2 {
+        Vec2::new(self.cnforce_x[e][c], self.cnforce_y[e][c])
+    }
+
+    /// Set corner force `c` of element `e` (convenience over the SoA
+    /// rows; not for hot loops).
+    #[inline]
+    pub fn set_cnforce(&mut self, e: usize, c: usize, f: Vec2) {
+        self.cnforce_x[e][c] = f.x;
+        self.cnforce_y[e][c] = f.y;
     }
 
     /// Number of local nodes.

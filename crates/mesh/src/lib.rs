@@ -36,7 +36,7 @@ mod topology;
 
 pub use generation::{generate_rect, saltzmann_distort, RectSpec};
 pub use submesh::{neighbour_union, OverlapSets, SubMesh, SubMeshPlan};
-pub use topology::{Mesh, Neighbor, NodeBc};
+pub use topology::{Mesh, Neighbor, NodeBc, STENCIL_BOUNDARY};
 
 /// Number of corners / faces of a quadrilateral element.
 pub const NCORN: usize = bookleaf_util::constants::NCORN;

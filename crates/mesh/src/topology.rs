@@ -14,8 +14,35 @@
 
 use bookleaf_util::{BookLeafError, Result, Vec2};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 use crate::NCORN;
+
+/// Sentinel in [`Mesh::face_stencil`] rows marking a boundary face.
+pub const STENCIL_BOUNDARY: u32 = u32::MAX;
+
+/// Lazily built packed face stencil (see [`Mesh::face_stencil`]).
+///
+/// Pure derived data: excluded from equality (two meshes with the same
+/// topology are equal whether or not either has built its cache) and
+/// from serialization (a restored mesh rebuilds on first use).
+#[derive(Default, Clone)]
+struct StencilCache(OnceLock<Vec<[u32; NCORN]>>);
+
+impl PartialEq for StencilCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl std::fmt::Debug for StencilCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self.0.get() {
+            Some(_) => "StencilCache(built)",
+            None => "StencilCache(empty)",
+        })
+    }
+}
 
 /// What lies across a face of an element.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -108,6 +135,11 @@ pub struct Mesh {
     pub node_bc: Vec<NodeBc>,
     /// Region (material) id per element.
     pub region: Vec<u32>,
+    /// Packed face-neighbour table, built on first [`Mesh::face_stencil`]
+    /// call. `elel` is fixed at construction (no kernel mutates
+    /// topology), so the cache can never go stale.
+    #[serde(skip)]
+    stencil: StencilCache,
 }
 
 impl Mesh {
@@ -143,6 +175,32 @@ impl Mesh {
     #[must_use]
     pub fn elements_of_node(&self, n: usize) -> &[(u32, u8)] {
         &self.ndel[self.ndel_off[n] as usize..self.ndel_off[n + 1] as usize]
+    }
+
+    /// The face-neighbour table packed for stride-1 sweeps: row `e`
+    /// holds the element across each face of `e`, with
+    /// [`STENCIL_BOUNDARY`] marking boundary faces. Semantically
+    /// identical to `elel`, but half the bytes (a bare `u32` per face
+    /// instead of a tagged `Neighbor`), so stencil-hungry inner loops
+    /// (the artificial viscosity limiter) stream it instead of matching
+    /// on the enum. Built lazily, once per mesh — topology never
+    /// changes after construction.
+    #[must_use]
+    pub fn face_stencil(&self) -> &[[u32; NCORN]] {
+        self.stencil.0.get_or_init(|| {
+            self.elel
+                .iter()
+                .map(|row| {
+                    let mut packed = [STENCIL_BOUNDARY; NCORN];
+                    for (slot, nb) in packed.iter_mut().zip(row.iter()) {
+                        if let Neighbor::Element(en) = *nb {
+                            *slot = en;
+                        }
+                    }
+                    packed
+                })
+                .collect()
+        })
     }
 
     /// The face of `e` that joins it to neighbour `nb`, if the two
@@ -253,6 +311,7 @@ impl Mesh {
             ndel,
             node_bc,
             region,
+            stencil: StencilCache::default(),
         };
         mesh.validate()?;
         Ok(mesh)
@@ -395,6 +454,25 @@ mod tests {
     #[test]
     fn validate_accepts_good_mesh() {
         assert!(two_quads().validate().is_ok());
+    }
+
+    #[test]
+    fn face_stencil_packs_elel() {
+        let m = two_quads();
+        let st = m.face_stencil();
+        assert_eq!(st.len(), m.n_elements());
+        for e in 0..m.n_elements() {
+            for f in 0..NCORN {
+                match m.elel[e][f] {
+                    Neighbor::Element(en) => assert_eq!(st[e][f], en),
+                    Neighbor::Boundary => assert_eq!(st[e][f], STENCIL_BOUNDARY),
+                }
+            }
+        }
+        // Cache survives clone and equality ignores it.
+        let fresh = two_quads();
+        assert_eq!(m, fresh);
+        assert_eq!(m.clone().face_stencil(), st);
     }
 
     #[test]

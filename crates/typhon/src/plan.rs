@@ -113,6 +113,12 @@ pub enum FieldMut<'a> {
     Corner4(&'a mut [[f64; 4]]),
     /// Binds a [`SlotKind::CornerVec2`] slot.
     CornerVec2(&'a mut [[Vec2; 4]]),
+    /// Binds a [`SlotKind::CornerVec2`] slot from a *pair* of SoA
+    /// component rows (x, y) — the corner-force layout `HydroState`
+    /// uses. The wire format is byte-identical to
+    /// [`FieldMut::CornerVec2`]: per entry, `(x, y)` interleaved corner
+    /// by corner.
+    CornerPair(&'a mut [[f64; 4]], &'a mut [[f64; 4]]),
 }
 
 impl FieldMut<'_> {
@@ -123,7 +129,7 @@ impl FieldMut<'_> {
             FieldMut::Scalar(_) => SlotKind::Scalar,
             FieldMut::Vec2(_) => SlotKind::Vec2,
             FieldMut::Corner4(_) => SlotKind::Corner4,
-            FieldMut::CornerVec2(_) => SlotKind::CornerVec2,
+            FieldMut::CornerVec2(_) | FieldMut::CornerPair(..) => SlotKind::CornerVec2,
         }
     }
 
@@ -135,6 +141,7 @@ impl FieldMut<'_> {
             FieldMut::Vec2(f) => f.len(),
             FieldMut::Corner4(f) => f.len(),
             FieldMut::CornerVec2(f) => f.len(),
+            FieldMut::CornerPair(fx, fy) => fx.len().min(fy.len()),
         }
     }
 
@@ -534,6 +541,16 @@ pub(crate) fn pack(buf: &mut Vec<f64>, idx: &[u32], field: &FieldMut<'_>) {
                 }
             }
         }
+        FieldMut::CornerPair(fx, fy) => {
+            // Same wire order as CornerVec2: (x, y) per corner.
+            for &l in idx {
+                let (rx, ry) = (&fx[l as usize], &fy[l as usize]);
+                for c in 0..4 {
+                    buf.push(rx[c]);
+                    buf.push(ry[c]);
+                }
+            }
+        }
     }
 }
 
@@ -560,6 +577,14 @@ pub(crate) fn unpack(payload: &[f64], idx: &[u32], field: &mut FieldMut<'_>) {
             for (i, &l) in idx.iter().enumerate() {
                 for (c, v) in f[l as usize].iter_mut().enumerate() {
                     *v = Vec2::new(payload[8 * i + 2 * c], payload[8 * i + 2 * c + 1]);
+                }
+            }
+        }
+        FieldMut::CornerPair(fx, fy) => {
+            for (i, &l) in idx.iter().enumerate() {
+                for c in 0..4 {
+                    fx[l as usize][c] = payload[8 * i + 2 * c];
+                    fy[l as usize][c] = payload[8 * i + 2 * c + 1];
                 }
             }
         }

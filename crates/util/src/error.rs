@@ -14,10 +14,10 @@ pub type Result<T> = std::result::Result<T, BookLeafError>;
 ///
 /// Produced by `Deck::validate` and by the text-deck parser
 /// (`bookleaf_core::decks::from_str`); every build path — the
-/// `Simulation` builder, the deprecated `Driver`/`run_distributed`
-/// wrappers, text decks — funnels through these variants rather than a
-/// stringly error, so tests and tools can distinguish a malformed file
-/// (line-anchored) from an inconsistent programmatic deck.
+/// `Simulation` builder, text decks — funnels through these variants
+/// rather than a stringly error, so tests and tools can distinguish a
+/// malformed file (line-anchored) from an inconsistent programmatic
+/// deck.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DeckError {
     /// Field-array lengths do not match the deck's mesh.

@@ -32,6 +32,10 @@ pub enum KernelId {
     GetEin,
     /// Pressure / sound-speed EoS evaluation.
     GetPc,
+    /// The fused `getgeom→getrho→getein→getpc` element sweep (one pass
+    /// over corner coordinates and masses; the unfused kernels above
+    /// remain the reference implementation).
+    EosFused,
     /// ALE remap phase (all four sub-steps).
     Ale,
     /// Halo exchanges and reductions.
@@ -42,7 +46,7 @@ pub enum KernelId {
 
 impl KernelId {
     /// All kernel ids in table order.
-    pub const ALL: [KernelId; 11] = [
+    pub const ALL: [KernelId; 12] = [
         KernelId::GetDt,
         KernelId::GetQ,
         KernelId::GetForce,
@@ -51,6 +55,7 @@ impl KernelId {
         KernelId::GetRho,
         KernelId::GetEin,
         KernelId::GetPc,
+        KernelId::EosFused,
         KernelId::Ale,
         KernelId::Comms,
         KernelId::Other,
@@ -68,6 +73,7 @@ impl KernelId {
             KernelId::GetRho => "getrho",
             KernelId::GetEin => "getein",
             KernelId::GetPc => "getpc",
+            KernelId::EosFused => "eos_fused",
             KernelId::Ale => "ale",
             KernelId::Comms => "comms",
             KernelId::Other => "other",
@@ -91,7 +97,7 @@ struct Bucket {
 /// Thread-safe accumulator of per-kernel wall time.
 #[derive(Debug, Default)]
 pub struct TimerRegistry {
-    buckets: Mutex<[Bucket; 11]>,
+    buckets: Mutex<[Bucket; 12]>,
 }
 
 impl TimerRegistry {
@@ -137,8 +143,8 @@ impl TimerRegistry {
 /// Immutable snapshot of a [`TimerRegistry`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimerReport {
-    seconds: [f64; 11],
-    calls: [u64; 11],
+    seconds: [f64; 12],
+    calls: [u64; 12],
 }
 
 impl TimerReport {
@@ -146,8 +152,8 @@ impl TimerReport {
     #[must_use]
     pub fn zero() -> Self {
         TimerReport {
-            seconds: [0.0; 11],
-            calls: [0; 11],
+            seconds: [0.0; 12],
+            calls: [0; 12],
         }
     }
 

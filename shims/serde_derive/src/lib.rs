@@ -2,16 +2,18 @@
 //! emit nothing, so `#[derive(Serialize, Deserialize)]` compiles without
 //! generating trait impls. Nothing in the workspace consumes the traits
 //! as bounds (I/O is hand-rolled VTK/binary), so empty expansions are
-//! sufficient until the real serde is vendored.
+//! sufficient until the real serde is vendored. The derives register
+//! the `serde` helper attribute so field annotations like
+//! `#[serde(skip)]` parse (and are ignored, like everything else).
 
 use proc_macro::TokenStream;
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
     TokenStream::new()
 }

@@ -1,0 +1,331 @@
+//! Bitwise equivalence of the fused EOS sweep against the unfused
+//! `getgeom → getrho → getein → getpc` chain.
+//!
+//! The fused sweep's contract (see `bookleaf::hydro::eos_fused`) is that
+//! it produces *bitwise identical* state to running the four kernels in
+//! sequence — fusion may only change how the arrays are streamed, never
+//! the arithmetic. This suite pins that contract:
+//!
+//! * the full chain, on every standard deck, serial and rayon;
+//! * the corrector form (`ein_from`) against restore-then-advance;
+//! * every one of the 16 stage-subset masks against the matching
+//!   kernel subsequence;
+//! * a property test over randomised valid states;
+//! * the error path on a tangled mesh (same error value, both routes).
+
+use bookleaf::core::decks::{self, Deck};
+use bookleaf::eos::MaterialTable;
+use bookleaf::hydro::getein::{getein, WorkVelocity};
+use bookleaf::hydro::getforce::{getforce, HourglassControl};
+use bookleaf::hydro::getgeom::getgeom;
+use bookleaf::hydro::getpc::getpc;
+use bookleaf::hydro::getq::{getq, QCoeffs};
+use bookleaf::hydro::getrho::getrho;
+use bookleaf::hydro::{eos_fused, EosStages, FusedEos, HydroState, LocalRange, Threading};
+use bookleaf::mesh::{generate_rect, Mesh, RectSpec};
+use bookleaf::util::Vec2;
+use proptest::prelude::*;
+
+const DT: f64 = 1e-6;
+
+/// A mid-flow state on `deck`: geometry, density, pressure, viscosity
+/// and corner forces populated, `ubar` distinct from `u`, so every
+/// chain stage sees realistic, non-trivial inputs.
+fn prepared(deck: &Deck) -> (Mesh, MaterialTable, HydroState, LocalRange) {
+    let mesh = deck.mesh.clone();
+    let mut st = HydroState::new(
+        &mesh,
+        &deck.materials,
+        |e| deck.rho[e],
+        |e| deck.ein[e],
+        |nd| deck.u[nd],
+    )
+    .expect("state");
+    let range = LocalRange::whole(&mesh);
+    let th = Threading::Serial;
+    getgeom(&mesh, &mut st, range, th).expect("geom");
+    getrho(&mut st, range, th).expect("rho");
+    getpc(&mesh, &deck.materials, &mut st, range, th);
+    getq(&mesh, &mut st, range, QCoeffs::default(), th);
+    getforce(&mesh, &mut st, range, HourglassControl::default(), DT, th);
+    for i in 0..st.n_nodes() {
+        st.ubar[i] = Vec2::new(0.5 * st.u[i].x, 0.5 * st.u[i].y);
+    }
+    (mesh, deck.materials.clone(), st, range)
+}
+
+/// The unfused kernel subsequence selected by `stages`.
+fn run_chain(
+    mesh: &Mesh,
+    materials: &MaterialTable,
+    st: &mut HydroState,
+    range: LocalRange,
+    stages: EosStages,
+    which: WorkVelocity,
+    th: Threading,
+) {
+    if stages.geom {
+        getgeom(mesh, st, range, th).expect("geom");
+    }
+    if stages.rho {
+        getrho(st, range, th).expect("rho");
+    }
+    if stages.ein {
+        getein(mesh, st, range, DT, which, th);
+    }
+    if stages.pc {
+        getpc(mesh, materials, st, range, th);
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // mirrors the full eos_fused surface
+fn run_fused(
+    mesh: &Mesh,
+    materials: &MaterialTable,
+    st: &mut HydroState,
+    range: LocalRange,
+    stages: EosStages,
+    which: WorkVelocity,
+    ein_from: Option<&[f64]>,
+    th: Threading,
+) {
+    eos_fused(
+        mesh,
+        materials,
+        st,
+        range,
+        FusedEos {
+            dt: DT,
+            which,
+            ein_from,
+            stages,
+        },
+        th,
+    )
+    .expect("fused");
+}
+
+/// Every output array of the chain, compared bit for bit.
+fn assert_bits_eq(a: &HydroState, b: &HydroState, what: &str) {
+    let scalars: [(&str, &[f64], &[f64]); 6] = [
+        ("volume", &a.volume, &b.volume),
+        ("length", &a.length, &b.length),
+        ("rho", &a.rho, &b.rho),
+        ("ein", &a.ein, &b.ein),
+        ("pressure", &a.pressure, &b.pressure),
+        ("cs2", &a.cs2, &b.cs2),
+    ];
+    for (name, xs, ys) in scalars {
+        assert_eq!(xs.len(), ys.len(), "{what}: {name} length");
+        for (i, (x, y)) in xs.iter().zip(ys).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: {name}[{i}] {x:e} vs {y:e}"
+            );
+        }
+    }
+    for (i, (x, y)) in a.cnvol.iter().zip(&b.cnvol).enumerate() {
+        for c in 0..4 {
+            assert_eq!(
+                x[c].to_bits(),
+                y[c].to_bits(),
+                "{what}: cnvol[{i}][{c}] {:e} vs {:e}",
+                x[c],
+                y[c]
+            );
+        }
+    }
+}
+
+fn standard_decks() -> Vec<(&'static str, Deck)> {
+    vec![
+        ("sod", decks::sod(24, 4)),
+        ("noh", decks::noh(12)),
+        ("sedov", decks::sedov(12)),
+        ("saltzmann", decks::saltzmann(20, 5)),
+        ("underwater", decks::underwater(12)),
+    ]
+}
+
+#[test]
+fn full_chain_matches_on_every_standard_deck() {
+    for (name, deck) in standard_decks() {
+        for th in [Threading::Serial, Threading::Rayon] {
+            let (mesh, mat, st0, range) = prepared(&deck);
+            for which in [WorkVelocity::Current, WorkVelocity::TimeCentred] {
+                let mut a = st0.clone();
+                let mut b = st0.clone();
+                run_fused(
+                    &mesh,
+                    &mat,
+                    &mut a,
+                    range,
+                    EosStages::all(),
+                    which,
+                    None,
+                    th,
+                );
+                run_chain(&mesh, &mat, &mut b, range, EosStages::all(), which, th);
+                assert_bits_eq(&a, &b, &format!("{name} {th:?} {which:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn corrector_ein_from_matches_restore_then_advance() {
+    for (name, deck) in standard_decks() {
+        let (mesh, mat, st0, range) = prepared(&deck);
+        let n = range.n_owned_el;
+        let ein0: Vec<f64> = st0.ein[..n].to_vec();
+        let th = Threading::Serial;
+
+        // Perturb the live energies so the restore is observable.
+        let mut a = st0.clone();
+        let mut b = st0.clone();
+        for e in 0..n {
+            a.ein[e] *= 1.25;
+            b.ein[e] *= 1.25;
+        }
+
+        // Fused corrector: integrate from the saved energies directly.
+        run_fused(
+            &mesh,
+            &mat,
+            &mut a,
+            range,
+            EosStages::all(),
+            WorkVelocity::TimeCentred,
+            Some(&ein0),
+            th,
+        );
+        // Unfused corrector: restore, then advance in place.
+        b.ein[..n].copy_from_slice(&ein0);
+        run_chain(
+            &mesh,
+            &mat,
+            &mut b,
+            range,
+            EosStages::all(),
+            WorkVelocity::TimeCentred,
+            th,
+        );
+        assert_bits_eq(&a, &b, name);
+    }
+}
+
+#[test]
+fn every_stage_subset_matches_its_kernel_subsequence() {
+    // All 16 masks, including the empty one (a no-op on both routes).
+    let (mesh, mat, st0, range) = prepared(&decks::noh(12));
+    for bits in 0u8..16 {
+        let stages = EosStages {
+            geom: bits & 1 != 0,
+            rho: bits & 2 != 0,
+            ein: bits & 4 != 0,
+            pc: bits & 8 != 0,
+        };
+        for th in [Threading::Serial, Threading::Rayon] {
+            let mut a = st0.clone();
+            let mut b = st0.clone();
+            run_fused(
+                &mesh,
+                &mat,
+                &mut a,
+                range,
+                stages,
+                WorkVelocity::Current,
+                None,
+                th,
+            );
+            run_chain(
+                &mesh,
+                &mat,
+                &mut b,
+                range,
+                stages,
+                WorkVelocity::Current,
+                th,
+            );
+            assert_bits_eq(&a, &b, &format!("mask {bits:04b} {th:?}"));
+        }
+    }
+}
+
+#[test]
+fn tangled_mesh_reports_the_same_error_on_both_routes() {
+    let (mut mesh, mat, st0, range) = prepared(&decks::noh(8));
+    // Collapse element 0: drag its third corner across the quad so the
+    // signed area goes negative.
+    let nd = mesh.elnd[0][2] as usize;
+    mesh.nodes[nd] = mesh.nodes[mesh.elnd[0][0] as usize] - Vec2::new(0.05, 0.05);
+    let th = Threading::Serial;
+
+    let mut a = st0.clone();
+    let fused_err = eos_fused(
+        &mesh,
+        &mat,
+        &mut a,
+        range,
+        FusedEos {
+            dt: DT,
+            which: WorkVelocity::Current,
+            ein_from: None,
+            stages: EosStages::all(),
+        },
+        th,
+    )
+    .expect_err("tangled mesh must fail");
+    let mut b = st0.clone();
+    let chain_err = getgeom(&mesh, &mut b, range, th).expect_err("tangled mesh must fail");
+    assert_eq!(format!("{fused_err:?}"), format!("{chain_err:?}"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Random valid states — random density/energy fields, a random
+    /// smooth velocity field, random dt-independent force state — fuse
+    /// to the same bits as the chain, for every threading.
+    #[test]
+    fn random_states_fuse_bitwise(
+        seed_rho in 0.1f64..5.0,
+        seed_ein in 0.1f64..5.0,
+        amp in 0.0f64..0.8,
+        stride in 1usize..7,
+        gamma in 1.1f64..2.0,
+    ) {
+        let mesh = generate_rect(&RectSpec::unit_square(8), |_| 0).unwrap();
+        let mat = MaterialTable::single(bookleaf::eos::EosSpec::ideal_gas(gamma));
+        let mut st = HydroState::new(
+            &mesh,
+            &mat,
+            |e| seed_rho * (1.0 + 0.3 * ((e * stride % 7) as f64) / 7.0),
+            |e| seed_ein * (1.0 + 0.5 * ((e * 3 % 5) as f64) / 5.0),
+            |nd| Vec2::new(
+                amp * ((nd * stride % 9) as f64 / 9.0 - 0.5),
+                amp * ((nd * 5 % 11) as f64 / 11.0 - 0.5),
+            ),
+        ).unwrap();
+        let range = LocalRange::whole(&mesh);
+        let th = Threading::Serial;
+        getgeom(&mesh, &mut st, range, th).unwrap();
+        getrho(&mut st, range, th).unwrap();
+        getpc(&mesh, &mat, &mut st, range, th);
+        getq(&mesh, &mut st, range, QCoeffs::default(), th);
+        getforce(&mesh, &mut st, range, HourglassControl::default(), DT, th);
+        for i in 0..st.n_nodes() {
+            st.ubar[i] = Vec2::new(0.5 * st.u[i].x, 0.5 * st.u[i].y);
+        }
+        for th in [Threading::Serial, Threading::Rayon] {
+            let mut a = st.clone();
+            let mut b = st.clone();
+            run_fused(&mesh, &mat, &mut a, range, EosStages::all(),
+                      WorkVelocity::Current, None, th);
+            run_chain(&mesh, &mat, &mut b, range, EosStages::all(),
+                      WorkVelocity::Current, th);
+            assert_bits_eq(&a, &b, &format!("random {th:?}"));
+        }
+    }
+}
