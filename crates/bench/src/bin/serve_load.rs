@@ -1,0 +1,272 @@
+//! Measured **serve throughput and tail latency** — including the
+//! healthy tail *under chaos*.
+//!
+//! Starts an in-process [`bookleaf_serve::Server`] and drives it with
+//! closed-loop client threads through the real TCP wire path, in
+//! phases:
+//!
+//! * `baseline` — healthy tenants only, small Noh/Sod decks;
+//! * `cache_warm` — the same decks again, now deck-cache hits;
+//! * `chaos` — the same healthy load, plus a chaos tenant submitting
+//!   fault-injected and limit-violating requests. The latency columns
+//!   of this phase are computed **over the healthy responses only**:
+//!   the number that matters is how much the adversarial fraction
+//!   perturbs the healthy tail (`p999`), not how fast errors return.
+//!
+//! Every phase records requests, completions, typed errors, throughput
+//! and p50/p99/p999 latency into `BENCH_serve.json` (schema
+//! `bookleaf-serve-v1`). The writer self-validates before touching the
+//! output file; `--validate <file>` checks an existing artifact and
+//! exits non-zero on the first violation.
+//!
+//! ```text
+//! serve_load [--requests 40] [--clients 4] [--out BENCH_serve.json]
+//! serve_load --validate BENCH_serve.json
+//! ```
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bookleaf_bench::schema::{validate_serve_json, SERVE_SCHEMA};
+use bookleaf_serve::{client, QuarantinePolicy, ServeConfig, Server};
+
+const HEALTHY_DECKS: [&str; 2] = [
+    "problem = noh\nn = 10\n[control]\nmax_steps = 12\n",
+    "problem = sod\nnx = 24\nny = 3\n[control]\nmax_steps = 12\n",
+];
+
+/// A deck the sentinel kills quickly and deterministically: the dt
+/// floor is forced above the stable step so the collapse is typed.
+const POISON_DECK: &str = "problem = noh\nn = 8\n[control]\nmax_steps = 40\n[dt]\ndt_initial = 0.1\ndt_min = 0.09\ndt_max = 0.5\n";
+
+struct PhaseResult {
+    name: &'static str,
+    requests: usize,
+    completed: usize,
+    typed_errors: usize,
+    wall: Duration,
+    healthy_latencies_ms: Vec<f64>,
+}
+
+fn quantile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Closed-loop: `clients` threads each issue deck requests round-robin
+/// until `requests` total have been answered.
+fn drive(
+    addr: std::net::SocketAddr,
+    name: &'static str,
+    requests: usize,
+    clients: usize,
+    chaos: bool,
+) -> PhaseResult {
+    let issued = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let issued = Arc::clone(&issued);
+            std::thread::spawn(move || {
+                let mut completed = 0usize;
+                let mut typed_errors = 0usize;
+                let mut latencies = Vec::new();
+                loop {
+                    let i = issued.fetch_add(1, Ordering::SeqCst);
+                    if i >= requests {
+                        break;
+                    }
+                    // In the chaos phase, client 0 is the adversary.
+                    let adversarial = chaos && c == 0;
+                    let (deck, headers): (&str, Vec<(&str, &str)>) = if adversarial {
+                        match i % 3 {
+                            0 => (POISON_DECK, vec![("X-Tenant", "mallory")]),
+                            1 => (
+                                HEALTHY_DECKS[0],
+                                vec![("X-Tenant", "mallory"), ("X-Fault-Inject", "corrupt:2:0")],
+                            ),
+                            _ => ("problem = noh\nn = 4096\n", vec![("X-Tenant", "mallory")]),
+                        }
+                    } else {
+                        (
+                            HEALTHY_DECKS[i % HEALTHY_DECKS.len()],
+                            vec![("X-Tenant", "alice")],
+                        )
+                    };
+                    let t0 = Instant::now();
+                    let resp = client::post_run(addr, deck, &headers, Duration::from_secs(30));
+                    let dt_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    match resp {
+                        Ok(resp) if resp.status == 200 => {
+                            completed += 1;
+                            if !adversarial {
+                                latencies.push(dt_ms);
+                            }
+                        }
+                        Ok(_) => typed_errors += 1,
+                        Err(_) => typed_errors += 1,
+                    }
+                }
+                (completed, typed_errors, latencies)
+            })
+        })
+        .collect();
+    let mut completed = 0;
+    let mut typed_errors = 0;
+    let mut healthy_latencies_ms = Vec::new();
+    for handle in handles {
+        let (c, e, l) = handle.join().expect("client thread panicked");
+        completed += c;
+        typed_errors += e;
+        healthy_latencies_ms.extend(l);
+    }
+    healthy_latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    PhaseResult {
+        name,
+        requests,
+        completed,
+        typed_errors,
+        wall: started.elapsed(),
+        healthy_latencies_ms,
+    }
+}
+
+fn render(config: &ServeConfig, phases: &[PhaseResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"{SERVE_SCHEMA}\",");
+    let _ = writeln!(
+        out,
+        "  \"host_cores\": {},",
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+    );
+    let _ = writeln!(out, "  \"workers\": {},", config.workers);
+    let _ = writeln!(out, "  \"queue_depth\": {},", config.queue_depth);
+    let _ = writeln!(out, "  \"pool_threads\": {},", config.pool_threads);
+    let _ = writeln!(out, "  \"phases\": [");
+    for (i, p) in phases.iter().enumerate() {
+        let rps = p.completed as f64 / p.wall.as_secs_f64().max(1e-9);
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", p.name);
+        let _ = writeln!(out, "      \"requests\": {},", p.requests);
+        let _ = writeln!(out, "      \"completed\": {},", p.completed);
+        let _ = writeln!(out, "      \"typed_errors\": {},", p.typed_errors);
+        let _ = writeln!(out, "      \"throughput_rps\": {rps:.3},");
+        let _ = writeln!(
+            out,
+            "      \"p50_ms\": {:.3},",
+            quantile(&p.healthy_latencies_ms, 0.50)
+        );
+        let _ = writeln!(
+            out,
+            "      \"p99_ms\": {:.3},",
+            quantile(&p.healthy_latencies_ms, 0.99)
+        );
+        let _ = writeln!(
+            out,
+            "      \"p999_ms\": {:.3}",
+            quantile(&p.healthy_latencies_ms, 0.999)
+        );
+        let _ = write!(
+            out,
+            "    }}{}",
+            if i + 1 < phases.len() { ",\n" } else { "\n" }
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut requests = 40usize;
+    let mut clients = 4usize;
+    let mut out_path = String::from("BENCH_serve.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--validate" => {
+                let path = args.get(i + 1).expect("--validate needs a file");
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+                match validate_serve_json(&text) {
+                    Ok(()) => {
+                        println!("{path}: valid {SERVE_SCHEMA}");
+                        return;
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: INVALID: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            "--requests" => {
+                requests = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--requests needs an integer");
+                i += 1;
+            }
+            "--clients" => {
+                clients = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--clients needs an integer");
+                i += 1;
+            }
+            "--out" => {
+                out_path = args.get(i + 1).expect("--out needs a path").clone();
+                i += 1;
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+
+    let config = ServeConfig {
+        workers: clients.max(2),
+        allow_fault_injection: true,
+        // Keep mallory sending: this bench measures the healthy tail
+        // *under* sustained adversarial load, so quarantine must not
+        // silence the adversary halfway through the phase.
+        quarantine: QuarantinePolicy {
+            threshold: u32::MAX,
+            ..QuarantinePolicy::default()
+        },
+        default_deadline: Some(Duration::from_secs(30)),
+        drain_dir: std::env::temp_dir().join(format!("bookleaf_serve_load_{}", std::process::id())),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config.clone()).expect("server start");
+    let addr = server.addr();
+    eprintln!("serve_load: {requests} requests x {clients} clients on {addr}");
+
+    let phases = vec![
+        drive(addr, "baseline", requests, clients, false),
+        drive(addr, "cache_warm", requests, clients, false),
+        drive(addr, "chaos", requests, clients, true),
+    ];
+    for p in &phases {
+        eprintln!(
+            "  {}: {}/{} ok, {} typed errors, {:.1} rps, p99 {:.1} ms",
+            p.name,
+            p.completed,
+            p.requests,
+            p.typed_errors,
+            p.completed as f64 / p.wall.as_secs_f64().max(1e-9),
+            quantile(&p.healthy_latencies_ms, 0.99),
+        );
+    }
+    server.shutdown();
+
+    let json = render(&config, &phases);
+    validate_serve_json(&json).expect("emitted artifact must satisfy its own schema");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("serve_load: wrote {out_path}");
+}

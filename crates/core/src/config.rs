@@ -107,6 +107,16 @@ pub struct RunConfig {
     /// Health-sentinel controls (per-step validity sweep). On by
     /// default with `every = 1`; never rendered into deck text.
     pub sentinel: SentinelConfig,
+    /// Wall-clock deadline for the run; `None` (default) never fires.
+    /// When the deadline expires mid-run, the rank that notices
+    /// proposes a negative dt through the per-step reduction, so every
+    /// rank of a team aborts together with a typed
+    /// [`bookleaf_util::BookLeafError::DeadlineExceeded`] — the same
+    /// symmetric-abort pattern the health sentinel uses. Like the
+    /// sentinel, this configures the harness around a run, not the
+    /// problem: it is never rendered into deck text or checkpoints,
+    /// and an unexpired deadline is bitwise invisible.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for RunConfig {
@@ -120,6 +130,7 @@ impl Default for RunConfig {
             executor: ExecutorKind::Serial,
             overlap: true,
             sentinel: SentinelConfig::default(),
+            deadline: None,
         }
     }
 }
@@ -138,6 +149,7 @@ mod tests {
         assert!(c.sentinel.enabled(), "sentinel sweeps by default");
         assert_eq!(c.sentinel.dt_floor, 0.0);
         assert!(c.sentinel.drift_tol.is_none());
+        assert!(c.deadline.is_none(), "no wall-clock deadline by default");
     }
 
     #[test]

@@ -140,7 +140,22 @@ pub fn run_loop<H: HaloOps>(
                 config.lag.threading,
             )
         })?;
-        let mut dt = timers.time(KernelId::Comms, || reduce_dt(steps, proposal.dt))?;
+        // Wall-clock deadline: expiry is rank-local knowledge (clocks
+        // are not synchronized), so the rank that notices proposes a
+        // negative dt through the reduction every rank already
+        // performs — the whole team sees the same negative verdict and
+        // aborts together, no extra collective. A hydro dt is always
+        // positive, so a negative proposal is unambiguous.
+        let mut local_dt = proposal.dt;
+        if let Some(deadline) = config.deadline {
+            if std::time::Instant::now() >= deadline {
+                local_dt = -1.0;
+            }
+        }
+        let mut dt = timers.time(KernelId::Comms, || reduce_dt(steps, local_dt))?;
+        if dt < 0.0 {
+            return Err(BookLeafError::DeadlineExceeded { step: steps });
+        }
         // Dt-collapse floor: checked on the *pre-clamp* reduced dt (the
         // final-step truncation below legitimately produces a tiny dt).
         // The reduced dt is identical on every rank, so the abort is

@@ -75,6 +75,18 @@ pub enum SaveOutcome {
     /// The checkpoint was written atomically, read back, verified, and
     /// now lives at this path.
     Written(PathBuf),
+    /// The checkpoint was written and verified, but this single file is
+    /// larger than the store's whole byte budget. It is kept — deleting
+    /// the only rewind point to satisfy a quota would be worse — while
+    /// every older checkpoint was evicted. A warning, not an abort.
+    WrittenOverBudget {
+        /// Where the oversized checkpoint lives.
+        path: PathBuf,
+        /// Size of the written file in bytes.
+        bytes: u64,
+        /// The store's configured byte budget it exceeds.
+        budget: u64,
+    },
     /// The checkpoint was written but failed its verification readback;
     /// the file was deleted so it can never be resumed from. The run
     /// keeps going — a rejected rewind point is a warning, not an
@@ -104,6 +116,7 @@ pub struct CheckpointStore {
     dir: PathBuf,
     prefix: String,
     keep: usize,
+    max_total_bytes: Option<u64>,
 }
 
 impl CheckpointStore {
@@ -115,7 +128,27 @@ impl CheckpointStore {
             dir: dir.into(),
             prefix: prefix.into(),
             keep: keep.max(1),
+            max_total_bytes: None,
         }
+    }
+
+    /// Additionally cap the store's total on-disk size: retention keeps
+    /// the newest checkpoints while they fit in **both** the keep-K
+    /// count and this byte budget, evicting oldest-first. The newest
+    /// checkpoint always survives, even alone over budget — the save
+    /// then reports [`SaveOutcome::WrittenOverBudget`] instead of
+    /// silently breaking the quota. This is what keeps a draining
+    /// server's emergency checkpoints from filling the disk.
+    #[must_use]
+    pub fn max_total_bytes(mut self, budget: u64) -> Self {
+        self.max_total_bytes = Some(budget);
+        self
+    }
+
+    /// The configured byte budget, if any.
+    #[must_use]
+    pub fn byte_budget(&self) -> Option<u64> {
+        self.max_total_bytes
     }
 
     /// The directory this store writes into.
@@ -163,14 +196,35 @@ impl CheckpointStore {
             });
         }
         // Only a verified write earns the right to evict older files.
-        for (_, old) in self
-            .list()
-            .into_iter()
-            .rev()
-            .skip(self.keep)
-            .collect::<Vec<_>>()
-        {
-            let _ = std::fs::remove_file(old);
+        // Newest-first, a file survives while it fits in both the
+        // keep-K count and the byte budget; the just-written file
+        // always survives (a quota must never delete the only rewind
+        // point).
+        let mut kept = 0usize;
+        let mut kept_bytes = 0u64;
+        for (_, old) in self.list().into_iter().rev() {
+            let size = std::fs::metadata(&old).map_or(0, |m| m.len());
+            let survives = old == path
+                || (kept < self.keep
+                    && self
+                        .max_total_bytes
+                        .is_none_or(|budget| kept_bytes + size <= budget));
+            if survives {
+                kept += 1;
+                kept_bytes += size;
+            } else {
+                let _ = std::fs::remove_file(&old);
+            }
+        }
+        if let Some(budget) = self.max_total_bytes {
+            let bytes = std::fs::metadata(&path).map_or(0, |m| m.len());
+            if bytes > budget {
+                return Ok(SaveOutcome::WrittenOverBudget {
+                    path,
+                    bytes,
+                    budget,
+                });
+            }
         }
         Ok(SaveOutcome::Written(path))
     }
@@ -324,6 +378,21 @@ impl AutoCheckpoint {
                     self.written.push(path);
                 }
             }
+            Ok(SaveOutcome::WrittenOverBudget {
+                path,
+                bytes,
+                budget,
+            }) => {
+                self.last_write = Some(std::time::Instant::now());
+                self.warnings.push(format!(
+                    "auto-checkpoint: step {step}: {} is {bytes} B, over the \
+                     store's {budget} B budget",
+                    path.display()
+                ));
+                if !self.written.contains(&path) {
+                    self.written.push(path);
+                }
+            }
             Ok(SaveOutcome::Rejected { path, reason }) => self.warnings.push(format!(
                 "auto-checkpoint: skipped step {step}: {} failed readback: {reason}",
                 path.display()
@@ -408,6 +477,13 @@ pub struct RecoveryPolicy {
     pub backoff: Duration,
     /// Executor reshaping applied on each retry.
     pub reshape: ReshapePolicy,
+    /// Wall-clock deadline for the whole supervised run. `None`
+    /// (default) never fires. When set, it is merged (earliest wins)
+    /// into [`crate::RunConfig::deadline`] for the duration of the
+    /// supervision, and the retry backoff becomes deadline-aware: a
+    /// backoff that would sleep past the deadline returns a typed
+    /// [`BookLeafError::DeadlineExceeded`] immediately instead.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl RecoveryPolicy {
@@ -423,6 +499,7 @@ impl RecoveryPolicy {
             max_retries: 3,
             backoff: Duration::from_millis(10),
             reshape: ReshapePolicy::Keep,
+            deadline: None,
         }
     }
 
@@ -458,6 +535,14 @@ impl RecoveryPolicy {
     #[must_use]
     pub fn reshape(mut self, reshape: ReshapePolicy) -> Self {
         self.reshape = reshape;
+        self
+    }
+
+    /// Set a wall-clock deadline for the whole supervised run (see the
+    /// [`RecoveryPolicy::deadline`] field).
+    #[must_use]
+    pub fn deadline(mut self, at: std::time::Instant) -> Self {
+        self.deadline = Some(at);
         self
     }
 }
@@ -536,12 +621,26 @@ impl Simulation {
     ///
     /// The last attempt's error once the retry budget is exhausted, or
     /// any checkpoint-store I/O error (failing to write a rewind point
-    /// is itself a fault the supervisor cannot absorb).
+    /// is itself a fault the supervisor cannot absorb). When
+    /// [`RecoveryPolicy::deadline`] (or the simulation's own
+    /// [`crate::RunConfig::deadline`]) is set, a segment that outlives
+    /// it — or a retry backoff that would sleep past it — returns a
+    /// typed [`BookLeafError::DeadlineExceeded`] instead of running or
+    /// sleeping on.
     pub fn run_resilient(&mut self, policy: &RecoveryPolicy) -> Result<RunReport> {
         let store = CheckpointStore::new(&policy.dir, "auto", policy.keep);
         let goal_time = self.config().final_time;
         let goal_steps = self.config().max_steps;
         let base_attempt = self.typhon.attempt;
+        // Merge the policy deadline into the run config (earliest
+        // wins): the running segments abort symmetrically on it, and
+        // the backoff below refuses to sleep past it.
+        let base_deadline = self.config().deadline;
+        let deadline = match (base_deadline, policy.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.config_mut().deadline = deadline;
         let mut log = RecoveryLog::default();
         let mut failures = 0usize;
         // The rewind target that predates the first segment boundary:
@@ -566,6 +665,16 @@ impl Simulation {
                     let ckpt = self.checkpoint()?;
                     match store.save(&ckpt)? {
                         SaveOutcome::Written(_) => {}
+                        SaveOutcome::WrittenOverBudget {
+                            path,
+                            bytes,
+                            budget,
+                        } => log.warnings.push(format!(
+                            "segment checkpoint at step {}: {} is {bytes} B, over the \
+                             store's {budget} B budget",
+                            ckpt.snap.steps,
+                            path.display()
+                        )),
                         SaveOutcome::Rejected { path, reason } => log.warnings.push(format!(
                             "segment checkpoint at step {} skipped: {} failed readback: {reason}",
                             ckpt.snap.steps,
@@ -578,6 +687,7 @@ impl Simulation {
                     last_good = Some(ckpt);
                     if done {
                         self.typhon.attempt = base_attempt;
+                        self.config_mut().deadline = base_deadline;
                         report.recovery = log;
                         return Ok(report);
                     }
@@ -585,6 +695,7 @@ impl Simulation {
                 Err(err) => {
                     if failures >= policy.max_retries {
                         self.typhon.attempt = base_attempt;
+                        self.config_mut().deadline = base_deadline;
                         return Err(err);
                     }
                     let target = last_good.as_ref().unwrap_or(&initial);
@@ -600,13 +711,24 @@ impl Simulation {
                         retry_executor,
                     });
                     // Bounded exponential backoff: pure supervision
-                    // wall time, never recorded anywhere.
+                    // wall time, never recorded anywhere. A backoff
+                    // that would sleep past the deadline gives up now
+                    // with the typed error the sleep would earn anyway.
                     let exp = u32::try_from(failures.min(8)).unwrap_or(8);
                     let delay = policy
                         .backoff
                         .checked_mul(1 << exp)
                         .unwrap_or(Duration::from_secs(5))
                         .min(Duration::from_secs(5));
+                    if let Some(at) = deadline {
+                        if std::time::Instant::now() + delay >= at {
+                            self.typhon.attempt = base_attempt;
+                            self.config_mut().deadline = base_deadline;
+                            return Err(BookLeafError::DeadlineExceeded {
+                                step: self.cursor().steps,
+                            });
+                        }
+                    }
                     std::thread::sleep(delay);
                     failures += 1;
                     self.config_mut().executor = retry_executor;
@@ -678,6 +800,91 @@ mod tests {
         let (step, latest) = store.latest_valid().unwrap();
         assert_eq!(step, 6);
         assert_eq!(latest.snap.steps, 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_first() {
+        let dir = tmp_dir("byte_budget");
+        // Learn one checkpoint's on-disk size, then budget for ~1.5 of
+        // them: keep-K alone would retain three, the byte budget must
+        // trim that to the newest one.
+        let probe = CheckpointStore::new(&dir, "probe", 1);
+        let SaveOutcome::Written(path) = probe.save(&noh_checkpoint(2)).unwrap() else {
+            panic!("probe write rejected");
+        };
+        let one = std::fs::metadata(&path).unwrap().len();
+        let _ = std::fs::remove_file(&path);
+
+        let store = CheckpointStore::new(&dir, "auto", 3).max_total_bytes(one + one / 2);
+        for step in [2u64, 4, 6] {
+            assert!(matches!(
+                store.save(&noh_checkpoint(step)).unwrap(),
+                SaveOutcome::Written(_)
+            ));
+        }
+        assert_eq!(
+            store.list().iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![6],
+            "byte budget must evict oldest-first down to the newest"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn single_over_budget_checkpoint_survives_with_typed_warning() {
+        let dir = tmp_dir("over_budget");
+        let store = CheckpointStore::new(&dir, "auto", 3).max_total_bytes(16);
+        match store.save(&noh_checkpoint(2)).unwrap() {
+            SaveOutcome::WrittenOverBudget {
+                path,
+                bytes,
+                budget,
+            } => {
+                assert!(path.exists(), "the only rewind point must survive");
+                assert!(bytes > budget);
+                assert_eq!(budget, 16);
+            }
+            other => panic!("expected WrittenOverBudget, got {other:?}"),
+        }
+        // And it still resumes.
+        let (step, _) = store.latest_valid().unwrap();
+        assert_eq!(step, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backoff_never_sleeps_past_the_deadline() {
+        use bookleaf_typhon::FaultPlan;
+        let dir = tmp_dir("deadline");
+        let mut sim = Simulation::builder()
+            .deck(decks::noh(8))
+            .executor(ExecutorKind::FlatMpi { ranks: 2 })
+            .final_time(1.0)
+            .max_steps(10)
+            .fault_plan(FaultPlan::new(7).kill(3, 1))
+            .comm_timeout(Duration::from_millis(300))
+            .build()
+            .unwrap();
+        // A backoff of a minute against a deadline milliseconds away:
+        // the supervisor must return the typed error immediately
+        // instead of sleeping.
+        let policy = RecoveryPolicy::new(&dir)
+            .max_retries(3)
+            .backoff(Duration::from_secs(60))
+            .deadline(std::time::Instant::now() + Duration::from_millis(50));
+        let t0 = std::time::Instant::now();
+        let err = sim.run_resilient(&policy).unwrap_err();
+        assert!(
+            matches!(err, BookLeafError::DeadlineExceeded { .. }),
+            "{err}"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "must not sleep the full backoff"
+        );
+        // Supervision must restore the run's own (unset) deadline.
+        assert!(sim.config().deadline.is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -85,6 +85,7 @@ pub struct SimulationBuilder {
     observers: Vec<Box<dyn Observer>>,
     fault_plan: Option<FaultPlan>,
     comm_timeout: Option<Duration>,
+    deadline: Option<std::time::Instant>,
 }
 
 impl SimulationBuilder {
@@ -202,6 +203,16 @@ impl SimulationBuilder {
         self
     }
 
+    /// Wall-clock deadline for the run (see [`RunConfig::deadline`]):
+    /// once `at` passes, the run aborts symmetrically on every rank
+    /// with a typed [`BookLeafError::DeadlineExceeded`], checked once
+    /// per step at the dt reduction. The per-request supervision knob
+    /// of `bookleaf serve`.
+    pub fn deadline(mut self, at: std::time::Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
     /// Resolve the deck, merge the configuration layers, validate, and
     /// construct the [`Simulation`].
     pub fn build(self) -> Result<Simulation> {
@@ -280,6 +291,9 @@ impl SimulationBuilder {
         }
         if let Some(overlap) = self.overlap {
             config.overlap = overlap;
+        }
+        if let Some(deadline) = self.deadline {
+            config.deadline = Some(deadline);
         }
 
         deck.validate()?;
@@ -600,6 +614,59 @@ impl Simulation {
                 Ok(report)
             }
         }
+    }
+
+    /// Has the run reached its goal — the configured final time or the
+    /// step cap — according to the loop cursor?
+    #[must_use]
+    pub fn complete(&self) -> bool {
+        let c = self.cursor();
+        c.t >= self.config.final_time - 1e-15 || c.steps >= self.config.max_steps
+    }
+
+    /// Advance up to `steps` more steps (at least one) under **any**
+    /// executor, leaving the simulation resumable: the next
+    /// [`Simulation::run`] or `run_segment` continues where this one
+    /// stopped. Segments stop at step boundaries — no dt truncation —
+    /// so a segmented run reproduces the unsegmented trajectory
+    /// **bitwise** on the same executor shape (the mechanism
+    /// [`Simulation::run_resilient`] pins in its tests). This is the
+    /// cooperative-scheduling primitive `bookleaf serve` drains with:
+    /// a worker can pause between segments, checkpoint, and hand the
+    /// request back as a resumable handle.
+    ///
+    /// The returned report spans the whole trajectory so far (steps,
+    /// time, cumulative timers), not just this segment.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Simulation::run`] can return.
+    pub fn run_segment(&mut self, steps: usize) -> Result<RunReport> {
+        let goal_steps = self.config.max_steps;
+        let seg_start = self.cursor().steps;
+        let cap = goal_steps.min(seg_start.saturating_add(steps.max(1)));
+        self.config_mut().max_steps = cap;
+        let result = self.run();
+        self.config_mut().max_steps = goal_steps;
+        let report = result?;
+        // Distributed engines re-execute from their resume snapshot on
+        // every `run` call; re-prime it from the assembled segment
+        // state so the next segment continues instead of restarting.
+        let done = self.complete();
+        let snap = match &self.engine {
+            Engine::Distributed(v) if !done => Some(Snapshot::capture(
+                &v.mesh,
+                &v.state,
+                v.cursor.t,
+                v.cursor.steps as u64,
+                v.cursor.dt_prev,
+            )),
+            _ => None,
+        };
+        if let Some(snap) = snap {
+            self.resume = Some(Box::new(snap));
+        }
+        Ok(report)
     }
 
     /// Advance a **serial** simulation to `t_target` (clamped to the

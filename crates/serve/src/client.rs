@@ -1,0 +1,181 @@
+//! A minimal blocking client for the serve protocol.
+//!
+//! Std-TCP only, like the server. This is the client the chaos suite,
+//! the load bench and the quickstart example all drive the server
+//! through, so its decoding (fixed `Content-Length` and chunked
+//! transfer) is exercised against the real wire format on every CI run.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::protocol::ProtocolError;
+
+/// A decoded response: status code, headers (names lowercased), body.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Header name/value pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The response body (chunked transfer already decoded).
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// The first header named `name` (case-insensitive), if any.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    #[must_use]
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn read_line(reader: &mut impl BufRead) -> Result<String, ProtocolError> {
+    let mut line = String::new();
+    let n = reader
+        .read_line(&mut line)
+        .map_err(|e| crate::protocol::io_error(&e))?;
+    if n == 0 {
+        return Err(ProtocolError::ConnectionClosed);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Send one request and decode the response. `timeout` bounds both the
+/// connect and every read, so a wedged server surfaces as
+/// [`ProtocolError::Timeout`], never a hang.
+///
+/// # Errors
+///
+/// [`ProtocolError`] for connect/read failures and malformed responses.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Duration,
+) -> Result<HttpResponse, ProtocolError> {
+    let stream =
+        TcpStream::connect_timeout(&addr, timeout).map_err(|e| crate::protocol::io_error(&e))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| crate::protocol::io_error(&e))?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(|e| crate::protocol::io_error(&e))?;
+    let mut w = &stream;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: bookleaf\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    // Write errors are tolerated: a shedding/draining server responds
+    // and closes without reading the request, so the interesting bytes
+    // are the early response, not our half-sent body.
+    let _ = w
+        .write_all(head.as_bytes())
+        .and_then(|()| w.write_all(body))
+        .and_then(|()| w.flush());
+
+    let mut reader = BufReader::new(&stream);
+    let status_line = read_line(&mut reader)?;
+    let mut parts = status_line.splitn(3, ' ');
+    let (Some(_version), Some(code), _) = (parts.next(), parts.next(), parts.next()) else {
+        return Err(ProtocolError::MalformedRequestLine);
+    };
+    let status: u16 = code
+        .parse()
+        .map_err(|_| ProtocolError::MalformedRequestLine)?;
+
+    let mut headers_out = Vec::new();
+    loop {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ProtocolError::MalformedHeader);
+        };
+        headers_out.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let chunked = headers_out
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let mut body_out = Vec::new();
+    if chunked {
+        loop {
+            let size_line = read_line(&mut reader)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| ProtocolError::MalformedHeader)?;
+            if size == 0 {
+                // Trailing CRLF after the last-chunk marker (if the
+                // peer closed already, the body is complete anyway).
+                let _ = read_line(&mut reader);
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader
+                .read_exact(&mut chunk)
+                .map_err(|e| crate::protocol::io_error(&e))?;
+            body_out.extend_from_slice(&chunk);
+            // CRLF chunk terminator.
+            let _ = read_line(&mut reader)?;
+        }
+    } else {
+        let length: usize = headers_out
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .ok_or(ProtocolError::MissingContentLength)?
+            .1
+            .parse()
+            .map_err(|_| ProtocolError::BadContentLength("unparsable".into()))?;
+        body_out.resize(length, 0);
+        reader
+            .read_exact(&mut body_out)
+            .map_err(|e| crate::protocol::io_error(&e))?;
+    }
+    Ok(HttpResponse {
+        status,
+        headers: headers_out,
+        body: body_out,
+    })
+}
+
+/// POST a deck to `/run` with extra headers (tenant, supervision, …).
+///
+/// # Errors
+///
+/// [`ProtocolError`] for transport failures; server-side rejections
+/// come back as the response's status/body, not as `Err`.
+pub fn post_run(
+    addr: SocketAddr,
+    deck: &str,
+    headers: &[(&str, &str)],
+    timeout: Duration,
+) -> Result<HttpResponse, ProtocolError> {
+    request(addr, "POST", "/run", headers, deck.as_bytes(), timeout)
+}
+
+/// GET `/health`.
+///
+/// # Errors
+///
+/// [`ProtocolError`] for transport failures.
+pub fn get_health(addr: SocketAddr, timeout: Duration) -> Result<HttpResponse, ProtocolError> {
+    request(addr, "GET", "/health", &[], &[], timeout)
+}

@@ -55,6 +55,25 @@ impl std::fmt::Display for FaultKind {
     }
 }
 
+impl std::str::FromStr for FaultKind {
+    type Err = String;
+
+    /// Parse the exact lowercase names `Display` renders — the wire
+    /// spelling `bookleaf serve` accepts in its `X-Fault-Inject`
+    /// header and the fault-matrix sweep passes on the command line.
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        match s {
+            "corrupt" => Ok(FaultKind::Corrupt),
+            "drop" => Ok(FaultKind::Drop),
+            "delay" => Ok(FaultKind::Delay),
+            "kill" => Ok(FaultKind::Kill),
+            other => Err(format!(
+                "unknown fault kind {other:?} (expected corrupt|drop|delay|kill)"
+            )),
+        }
+    }
+}
+
 /// One scheduled fault: fires for `rank` at the top of `step`, on
 /// recovery attempt `attempt` only.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -222,6 +241,23 @@ impl FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_kind_round_trips_through_display_and_from_str() {
+        for kind in [
+            FaultKind::Corrupt,
+            FaultKind::Drop,
+            FaultKind::Delay,
+            FaultKind::Kill,
+        ] {
+            assert_eq!(kind.to_string().parse::<FaultKind>(), Ok(kind));
+        }
+        assert!("nuke".parse::<FaultKind>().is_err());
+        assert!(
+            "Kill".parse::<FaultKind>().is_err(),
+            "wire spelling is exact lowercase"
+        );
+    }
 
     #[test]
     fn plan_is_a_pure_function_of_its_inputs() {

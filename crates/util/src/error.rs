@@ -429,6 +429,16 @@ pub enum BookLeafError {
     },
     /// A rank thread panicked during a distributed run.
     RankPanic { rank: usize, message: String },
+    /// The run's wall-clock deadline expired before completion. The
+    /// abort is symmetric: the rank that notices the expiry proposes a
+    /// negative dt through the per-step reduction every rank already
+    /// performs, so the whole team returns this error at the same step.
+    /// Also returned by supervised retries whose backoff would sleep
+    /// past the deadline.
+    DeadlineExceeded {
+        /// The 0-based step about to execute when the deadline fired.
+        step: usize,
+    },
 }
 
 impl BookLeafError {
@@ -472,6 +482,9 @@ impl fmt::Display for BookLeafError {
             }
             BookLeafError::RankPanic { rank, message } => {
                 write!(f, "rank {rank} panicked: {message}")
+            }
+            BookLeafError::DeadlineExceeded { step } => {
+                write!(f, "wall-clock deadline exceeded before step {step}")
             }
         }
     }

@@ -1,0 +1,95 @@
+//! Serve quickstart: start a multi-tenant server in-process, submit a
+//! deck over the wire, print the digest, then drain gracefully.
+//!
+//! ```text
+//! cargo run --release --example serve_quickstart
+//! ```
+//!
+//! Everything below goes through the real TCP path — the same frames,
+//! admission checks and supervision a remote tenant would hit.
+
+use std::time::Duration;
+
+use bookleaf::serve::{client, ServeConfig, Server};
+
+const DECK: &str = "\
+problem = noh
+n = 12
+[control]
+max_steps = 20
+";
+
+fn main() {
+    // An ephemeral port keeps the example runnable anywhere; a real
+    // deployment would pin `addr` and raise the worker/pool counts.
+    let config = ServeConfig {
+        drain_dir: std::env::temp_dir().join(format!("bookleaf_quickstart_{}", std::process::id())),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config).expect("server start");
+    let addr = server.addr();
+    println!("BookLeaf-rs serve quickstart");
+    println!("============================");
+    println!("listening on {addr}");
+
+    // Health first: every deployment's readiness probe.
+    let health =
+        client::get_health(addr, Duration::from_secs(5)).expect("health endpoint reachable");
+    println!(
+        "GET /health      -> {} {}",
+        health.status,
+        health.text().trim()
+    );
+
+    // Submit a deck as tenant "alice" and read the digest back.
+    let resp = client::post_run(
+        addr,
+        DECK,
+        &[("X-Tenant", "alice"), ("X-Deadline-Ms", "30000")],
+        Duration::from_secs(30),
+    )
+    .expect("run request");
+    assert_eq!(
+        resp.status,
+        200,
+        "healthy deck must complete: {}",
+        resp.text()
+    );
+    println!("POST /run        -> {} {}", resp.status, resp.text().trim());
+
+    // The same deck again is a deck-cache hit (see `cached_deck`).
+    let again = client::post_run(
+        addr,
+        DECK,
+        &[("X-Tenant", "alice")],
+        Duration::from_secs(30),
+    )
+    .expect("cached run request");
+    println!(
+        "POST /run (warm) -> {} {}",
+        again.status,
+        again.text().trim()
+    );
+
+    // A deck over the resource ceiling is rejected before any compute,
+    // with the offending line named in the error.
+    let rejected = client::post_run(
+        addr,
+        "problem = noh\nn = 600\n",
+        &[("X-Tenant", "alice")],
+        Duration::from_secs(5),
+    )
+    .expect("rejection still answers");
+    assert_eq!(rejected.status, 400);
+    println!(
+        "POST /run (huge) -> {} {}",
+        rejected.status,
+        rejected.text().trim()
+    );
+
+    // Graceful drain: stop admitting, checkpoint anything in flight.
+    let drained = server.drain(Duration::from_secs(10));
+    println!("drain            -> {drained} in-flight run(s) checkpointed");
+    server.shutdown();
+    println!("server stopped.");
+}

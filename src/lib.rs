@@ -19,7 +19,9 @@
 //!   programming-model executors;
 //! * [`device`] — hardware performance models for the paper's platforms;
 //! * [`validate`] — analytic solutions and error norms;
-//! * [`util`] — shared numerics.
+//! * [`util`] — shared numerics;
+//! * [`serve`] — the hardened multi-tenant simulation service
+//!   (admission control, deadlines, tenant quarantine, graceful drain).
 //!
 //! ## Quickstart
 //!
@@ -75,6 +77,7 @@ pub use bookleaf_eos as eos;
 pub use bookleaf_hydro as hydro;
 pub use bookleaf_mesh as mesh;
 pub use bookleaf_partition as partition;
+pub use bookleaf_serve as serve;
 pub use bookleaf_typhon as typhon;
 pub use bookleaf_util as util;
 pub use bookleaf_validate as validate;

@@ -1,0 +1,144 @@
+//! Property-based hardening of the serve wire layer and cache keys.
+//!
+//! The frame parser faces the network, so its contract is absolute:
+//! *any* byte stream yields either a parsed request or a typed
+//! [`ProtocolError`] — never a panic, never an unbounded read (the
+//! inputs here are EOF-bounded cursors; socket reads are bounded by
+//! the server's read deadline). The proptest shim generates numbers
+//! only, so byte soup is derived from `u64` seeds through a
+//! splitmix-style generator — deterministic and shrinkable.
+
+use std::io::Cursor;
+
+use bookleaf::serve::cache::deck_cache_key;
+use bookleaf::serve::protocol::parse_request;
+use bookleaf::InputDeck;
+use proptest::prelude::*;
+
+/// splitmix64: tiny, high-quality, seedable — the byte source for all
+/// fuzz inputs in this file.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn random_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| (splitmix(&mut state) & 0xff) as u8)
+        .collect()
+}
+
+/// A well-formed small POST the mutation tests start from.
+fn valid_request() -> Vec<u8> {
+    b"POST /run HTTP/1.1\r\nHost: x\r\nX-Tenant: alice\r\nContent-Length: 20\r\n\r\nproblem = noh\nn = 8\n".to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Pure byte soup: the parser returns a typed result, never panics.
+    #[test]
+    fn parser_survives_arbitrary_bytes(seed in 0u64..u64::MAX / 2, len in 0usize..2048) {
+        let bytes = random_bytes(seed, len);
+        let mut reader = Cursor::new(bytes);
+        match parse_request(&mut reader, 512, 4096) {
+            Ok(req) => prop_assert!(req.method == "GET" || req.method == "POST"),
+            Err(err) => prop_assert!(!err.to_string().is_empty()),
+        }
+    }
+
+    /// Structured corruption: flip a few bytes of a valid request at
+    /// seeded positions. Still no panics, and whatever parses obeys
+    /// the frame bounds.
+    #[test]
+    fn parser_survives_mutated_valid_requests(seed in 0u64..u64::MAX / 2, flips in 1usize..8) {
+        let mut bytes = valid_request();
+        let mut state = seed;
+        for _ in 0..flips {
+            let pos = (splitmix(&mut state) as usize) % bytes.len();
+            bytes[pos] = (splitmix(&mut state) & 0xff) as u8;
+        }
+        let mut reader = Cursor::new(bytes);
+        if let Ok(req) = parse_request(&mut reader, 512, 4096) {
+            prop_assert!(req.body.len() <= 4096);
+            prop_assert!(req.path.starts_with('/'));
+        }
+    }
+
+    /// Truncation at every prefix length of a valid frame: typed error
+    /// or complete parse, nothing else.
+    #[test]
+    fn parser_survives_truncation(cut in 0usize..90) {
+        let bytes = valid_request();
+        let cut = cut.min(bytes.len());
+        let mut reader = Cursor::new(bytes[..cut].to_vec());
+        if let Ok(req) = parse_request(&mut reader, 512, 4096) {
+            // Only the full frame can parse: the body is the last part.
+            prop_assert_eq!(req.body.len(), 20);
+        }
+    }
+
+    /// Cache keys are canonical: cosmetic differences (whitespace,
+    /// comments, blank lines) hash identically…
+    #[test]
+    fn cosmetic_deck_noise_shares_a_cache_key(n in 2usize..40, pad in 0usize..6) {
+        let base: InputDeck = format!("problem = noh\nn = {n}\n").parse().unwrap();
+        let noisy_text = format!(
+            "# header comment\n{}  problem =   noh   # trailing\n\nn = {n}\t\n",
+            "\n".repeat(pad),
+        );
+        let noisy: InputDeck = noisy_text.parse().unwrap();
+        prop_assert_eq!(deck_cache_key(&base), deck_cache_key(&noisy));
+    }
+
+    /// …while any semantic difference lands on a different key.
+    #[test]
+    fn semantic_deck_changes_split_cache_keys(n in 2usize..40, steps in 1usize..500) {
+        let base: InputDeck = format!("problem = noh\nn = {n}\n").parse().unwrap();
+        let bigger: InputDeck = format!("problem = noh\nn = {}\n", n + 1).parse().unwrap();
+        let capped: InputDeck =
+            format!("problem = noh\nn = {n}\n[control]\nmax_steps = {steps}\n")
+                .parse()
+                .unwrap();
+        let other: InputDeck = format!("problem = sedov\nn = {n}\n").parse().unwrap();
+        prop_assert!(deck_cache_key(&base) != deck_cache_key(&bigger));
+        prop_assert!(deck_cache_key(&base) != deck_cache_key(&other));
+        if capped.max_steps != base.max_steps {
+            prop_assert!(deck_cache_key(&base) != deck_cache_key(&capped));
+        }
+    }
+}
+
+#[test]
+fn parser_rejects_the_classic_abuse_cases_typed() {
+    use bookleaf::serve::ProtocolError;
+    type Check = fn(&ProtocolError) -> bool;
+    let cases: [(&[u8], Check); 5] = [
+        (b"GARBAGE\r\n\r\n", |e| {
+            matches!(e, ProtocolError::MalformedRequestLine)
+        }),
+        (b"DELETE /run HTTP/1.1\r\n\r\n", |e| {
+            matches!(e, ProtocolError::UnsupportedMethod(_))
+        }),
+        (
+            b"POST /run HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n",
+            |e| matches!(e, ProtocolError::BodyTooLarge { .. }),
+        ),
+        (b"POST /run HTTP/1.1\r\nContent-Length: nope\r\n\r\n", |e| {
+            matches!(e, ProtocolError::BadContentLength(_))
+        }),
+        (
+            b"POST /run HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort",
+            |e| matches!(e, ProtocolError::TruncatedBody { .. }),
+        ),
+    ];
+    for (bytes, check) in cases {
+        let mut reader = Cursor::new(bytes.to_vec());
+        let err = parse_request(&mut reader, 512, 4096).unwrap_err();
+        assert!(check(&err), "wrong error class for {bytes:?}: {err}");
+    }
+}
