@@ -1,4 +1,6 @@
-//! The four standard test problems (paper §III-B).
+//! Problem decks: the four standard test problems (paper §III-B) plus
+//! the multi-material underwater deck, all expressed through the
+//! generic scenario vocabulary of [`crate::scenario`].
 //!
 //! * **Sod's shock tube** — two gases at rest separated by a diaphragm;
 //!   removing it launches a shock, contact and rarefaction. Tests basic
@@ -10,10 +12,27 @@
 //!   non-mesh-aligned shock propagation.
 //! * **Saltzmann's piston** — a 1-D piston driven through a deliberately
 //!   distorted mesh, designed to excite hourglass modes.
+//! * **Underwater explosion** — a JWL product bubble in Tait water, the
+//!   two-material configuration.
+//!
+//! Each named constructor below is a thin wrapper: it builds the
+//! equivalent [`crate::scenario::GenericSpec`] (see
+//! `scenario::sod_generic` and friends) and stamps the standard end
+//! time and the named [`ProblemSpec`]. The wrappers are *bitwise*
+//! equivalent to the pre-scenario hand-rolled constructors — pinned by
+//! `tests/deck_generic_parity.rs` — so nothing downstream (checkpoint
+//! fixtures, equivalence suites) moves.
+//!
+//! A [`Deck`] itself stays the fully *resolved* form: mesh, material
+//! table, per-element/node initial fields, optional piston. Text decks
+//! (named or generic — the full grammar is in [`crate::input`]) resolve
+//! to a `Deck` via [`from_str`] + `InputDeck::build_deck`.
 
-use bookleaf_eos::{EosSpec, MaterialTable};
-use bookleaf_mesh::{generate_rect, saltzmann_distort, Mesh, NodeBc, RectSpec};
+use bookleaf_eos::MaterialTable;
+use bookleaf_mesh::Mesh;
 use bookleaf_util::{DeckError, Vec2};
+
+use crate::scenario::{self, GenericSpec};
 
 pub use crate::input::{InputDeck, ProblemSpec};
 
@@ -43,7 +62,7 @@ pub struct PistonSpec {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Deck {
     /// Problem name (for reports).
-    pub name: &'static str,
+    pub name: String,
     /// The initial mesh.
     pub mesh: Mesh,
     /// Region-indexed EoS table.
@@ -59,9 +78,10 @@ pub struct Deck {
     /// The standard end time for this problem.
     pub recommended_final_time: f64,
     /// The [`ProblemSpec`] this deck was constructed from, when it came
-    /// from one of the standard constructors. Checkpointing needs it to
-    /// embed a rebuildable description of the problem; hand-assembled
-    /// decks carry `None` and cannot be checkpointed.
+    /// from a standard constructor or a generic scenario build.
+    /// Checkpointing needs it to embed a rebuildable description of the
+    /// problem; hand-assembled decks carry `None` and cannot be
+    /// checkpointed.
     pub spec: Option<ProblemSpec>,
 }
 
@@ -71,7 +91,7 @@ impl Deck {
     /// `Simulation` builder, text decks — routes through this.
     pub fn validate(&self) -> Result<(), DeckError> {
         let shape = |message: String| DeckError::Shape {
-            deck: self.name.to_string(),
+            deck: self.name.clone(),
             message,
         };
         if self.rho.len() != self.mesh.n_elements() || self.ein.len() != self.mesh.n_elements() {
@@ -90,7 +110,7 @@ impl Deck {
             )));
         }
         let invalid = |source| DeckError::Invalid {
-            deck: self.name.to_string(),
+            deck: self.name.clone(),
             source: Box::new(source),
         };
         self.materials
@@ -122,43 +142,29 @@ impl Deck {
 /// comparisons in tests degenerate).
 pub const COLD: f64 = 1.0e-12;
 
+/// Sedov blast-wave energy constant for 2-D (cylindrical) γ = 1.4:
+/// with total (full-plane) energy `E = SEDOV_ALPHA` the shock reaches
+/// r = 1 at t = 1 (Kamm & Timmes cylindrical similarity constant).
+pub const SEDOV_ALPHA: f64 = 0.9839;
+
+/// Resolve a standard problem's generic spec and stamp the named
+/// [`ProblemSpec`] (with its standard end time) onto the result. The
+/// generic builders are written so this is bitwise identical to the
+/// old hand-rolled constructors.
+fn named(generic: GenericSpec, spec: ProblemSpec) -> Deck {
+    let mut deck = generic
+        .build()
+        .unwrap_or_else(|e| panic!("standard deck `{}` must build: {e}", spec.name()));
+    deck.recommended_final_time = spec.recommended_final_time();
+    deck.spec = Some(spec);
+    deck
+}
+
 /// Sod's shock tube on `[0,1] × [0,h]` with `nx × ny` elements
 /// (`h = ny/nx` keeps elements square). Left state (ρ=1, p=1), right
 /// state (ρ=0.125, p=0.1), γ = 1.4 both sides. Standard end time 0.2.
 pub fn sod(nx: usize, ny: usize) -> Deck {
-    let h = ny as f64 / nx as f64;
-    let spec = RectSpec {
-        nx,
-        ny,
-        origin: Vec2::ZERO,
-        extent: Vec2::new(1.0, h),
-    };
-    let mesh = generate_rect(&spec, |c| u32::from(c.x > 0.5)).expect("valid Sod spec");
-    let gamma = 1.4;
-    let materials = MaterialTable::new(vec![EosSpec::ideal_gas(gamma); 2]);
-    let rho: Vec<f64> = mesh
-        .region
-        .iter()
-        .map(|&r| if r == 0 { 1.0 } else { 0.125 })
-        .collect();
-    // ein = p / ((γ-1) ρ): left 1/(0.4·1) = 2.5, right 0.1/(0.4·0.125) = 2.
-    let ein: Vec<f64> = mesh
-        .region
-        .iter()
-        .map(|&r| if r == 0 { 2.5 } else { 2.0 })
-        .collect();
-    let u = vec![Vec2::ZERO; mesh.n_nodes()];
-    Deck {
-        name: "sod",
-        spec: Some(ProblemSpec::Sod { nx, ny }),
-        mesh,
-        materials,
-        rho,
-        ein,
-        u,
-        piston: None,
-        recommended_final_time: 0.2,
-    }
+    named(scenario::sod_generic(nx, ny), ProblemSpec::Sod { nx, ny })
 }
 
 /// The Noh problem on the quarter-plane `[0,1]²`, `n × n` elements:
@@ -166,133 +172,25 @@ pub fn sod(nx: usize, ny: usize) -> Deck {
 /// The x = 0 and y = 0 walls are the symmetry planes. Standard end time
 /// 0.6 (shock at r = 0.2).
 pub fn noh(n: usize) -> Deck {
-    let mesh = generate_rect(&RectSpec::unit_square(n), |_| 0).expect("valid Noh spec");
-    let materials = MaterialTable::single(EosSpec::ideal_gas(5.0 / 3.0));
-    let rho = vec![1.0; mesh.n_elements()];
-    let ein = vec![COLD; mesh.n_elements()];
-    // Initial velocities are projected through the wall constraints
-    // (the outer walls are reflective; an unprojected inward velocity
-    // there would be destroyed by the first acceleration's BC
-    // application, showing up as a spurious kinetic-energy drop). The
-    // outer-wall region only matters long after the shock comparisons.
-    let u: Vec<Vec2> = mesh
-        .nodes
-        .iter()
-        .enumerate()
-        .map(|(n, &p)| {
-            let r = p.norm();
-            if r > 1e-12 {
-                mesh.node_bc[n].apply(-p / r)
-            } else {
-                Vec2::ZERO
-            }
-        })
-        .collect();
-    Deck {
-        name: "noh",
-        spec: Some(ProblemSpec::Noh { n }),
-        mesh,
-        materials,
-        rho,
-        ein,
-        u,
-        piston: None,
-        recommended_final_time: 0.6,
-    }
+    named(scenario::noh_generic(n), ProblemSpec::Noh { n })
 }
-
-/// Sedov blast-wave energy constant for 2-D (cylindrical) γ = 1.4:
-/// with total (full-plane) energy `E = SEDOV_ALPHA` the shock reaches
-/// r = 1 at t = 1 (Kamm & Timmes cylindrical similarity constant).
-pub const SEDOV_ALPHA: f64 = 0.9839;
 
 /// The Sedov problem on the quarter-plane `[0,1.1]²`, `n × n` elements:
 /// γ = 1.4, ρ = 1, cold everywhere except the origin cell, which receives
 /// the quarter share of the blast energy. Standard end time 1.0 (shock
 /// at r = 1).
 pub fn sedov(n: usize) -> Deck {
-    let spec = RectSpec {
-        nx: n,
-        ny: n,
-        origin: Vec2::ZERO,
-        extent: Vec2::new(1.1, 1.1),
-    };
-    let mesh = generate_rect(&spec, |_| 0).expect("valid Sedov spec");
-    let materials = MaterialTable::single(EosSpec::ideal_gas(1.4));
-    let rho = vec![1.0; mesh.n_elements()];
-    let cell_vol = (1.1 / n as f64) * (1.1 / n as f64);
-    let e_deposit = SEDOV_ALPHA / 4.0; // quarter plane
-    let mut ein = vec![COLD; mesh.n_elements()];
-    ein[0] = e_deposit / (rho[0] * cell_vol); // origin-corner cell
-    let u = vec![Vec2::ZERO; mesh.n_nodes()];
-    Deck {
-        name: "sedov",
-        spec: Some(ProblemSpec::Sedov { n }),
-        mesh,
-        materials,
-        rho,
-        ein,
-        u,
-        piston: None,
-        recommended_final_time: 1.0,
-    }
+    named(scenario::sedov_generic(n), ProblemSpec::Sedov { n })
 }
 
 /// Saltzmann's piston on `[0,1] × [0,0.1]`, `nx × ny` elements with the
 /// canonical skewed mesh: γ = 5/3 cold gas, a unit-velocity piston
 /// driving from the left wall. Standard end time 0.6.
 pub fn saltzmann(nx: usize, ny: usize) -> Deck {
-    let origin = Vec2::ZERO;
-    let extent = Vec2::new(1.0, 0.1);
-    let spec = RectSpec {
-        nx,
-        ny,
-        origin,
-        extent,
-    };
-    let mut mesh = generate_rect(&spec, |_| 0).expect("valid Saltzmann spec");
-    saltzmann_distort(&mut mesh, origin, extent);
-
-    // The left wall is the piston: nodes there are *driven*, not fixed —
-    // release the x constraint and record them.
-    let mut piston_nodes = Vec::new();
-    for n in 0..mesh.n_nodes() {
-        if mesh.nodes[n].x.abs() < 1e-12 {
-            mesh.node_bc[n] = NodeBc {
-                fix_x: false,
-                fix_y: mesh.node_bc[n].fix_y,
-            };
-            piston_nodes.push(n as u32);
-        }
-    }
-
-    let materials = MaterialTable::single(EosSpec::ideal_gas(5.0 / 3.0));
-    let rho = vec![1.0; mesh.n_elements()];
-    let ein = vec![COLD; mesh.n_elements()];
-    let piston_velocity = Vec2::new(1.0, 0.0);
-    let u: Vec<Vec2> = (0..mesh.n_nodes())
-        .map(|n| {
-            if piston_nodes.contains(&(n as u32)) {
-                piston_velocity
-            } else {
-                Vec2::ZERO
-            }
-        })
-        .collect();
-    Deck {
-        name: "saltzmann",
-        spec: Some(ProblemSpec::Saltzmann { nx, ny }),
-        mesh,
-        materials,
-        rho,
-        ein,
-        u,
-        piston: Some(PistonSpec {
-            nodes: piston_nodes,
-            velocity: piston_velocity,
-        }),
-        recommended_final_time: 0.6,
-    }
+    named(
+        scenario::saltzmann_generic(nx, ny),
+        ProblemSpec::Saltzmann { nx, ny },
+    )
 }
 
 /// Underwater-explosion deck: a JWL detonation-product bubble in Tait
@@ -300,57 +198,21 @@ pub fn saltzmann(nx: usize, ny: usize) -> Deck {
 /// two non-trivial EoS options (§III-A lists ideal gas, Tait and JWL)
 /// through the full driver.
 ///
-/// Quarter-plane `[0,1]²`, `n × n` elements. Region 0 (r < 0.15):
+/// Quarter-plane `[0,1]²`, `n × n` elements. Region 0 (r ≤ 0.15):
 /// compressed JWL products; region 1: Tait water at reference density.
 /// The bubble drives a pressure wave into the water at the water sound
 /// speed. Scaled (non-physical) parameters keep the time step civil.
 pub fn underwater(n: usize) -> Deck {
-    let bubble_radius = 0.15;
-    let mesh = generate_rect(&RectSpec::unit_square(n), move |c| {
-        u32::from(c.norm() > bubble_radius)
-    })
-    .expect("valid underwater spec");
-    let jwl = EosSpec::Jwl {
-        a: 8.0,
-        b: 0.2,
-        r1: 4.5,
-        r2: 1.5,
-        omega: 0.3,
-        rho0: 1.6,
-    };
-    let tait = EosSpec::Tait {
-        p0: 1.0e2,
-        rho0: 1.0,
-        gamma: 7.0,
-    };
-    let materials = MaterialTable::new(vec![jwl, tait]);
-    let rho: Vec<f64> = mesh
-        .region
-        .iter()
-        .map(|&r| if r == 0 { 1.6 } else { 1.0 })
-        .collect();
-    let ein: Vec<f64> = mesh
-        .region
-        .iter()
-        .map(|&r| if r == 0 { 40.0 } else { COLD })
-        .collect();
-    let u = vec![Vec2::ZERO; mesh.n_nodes()];
-    Deck {
-        name: "underwater",
-        spec: Some(ProblemSpec::Underwater { n }),
-        mesh,
-        materials,
-        rho,
-        ein,
-        u,
-        piston: None,
-        recommended_final_time: 0.01,
-    }
+    named(
+        scenario::underwater_generic(n),
+        ProblemSpec::Underwater { n },
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bookleaf_mesh::{generate_rect, NodeBc, RectSpec};
     use bookleaf_util::approx_eq;
 
     #[test]

@@ -1,15 +1,15 @@
 //! Text input decks: the way real BookLeaf is driven.
 //!
 //! Every problem in the paper's evaluation is a *text file* fed to one
-//! binary. [`InputDeck`] is that file's typed form: which standard
-//! problem to set up (and at what resolution) plus every run option an
-//! input namelist would carry — time-step controls, ALE options, the
-//! executor and overlap toggle. `decks::from_str` / `decks::to_string`
-//! convert between [`InputDeck`] and a line-oriented key-value text
-//! format (a TOML subset: `key = value` entries under `[section]`
-//! headers, `#` comments), and `Simulation::builder().deck_str(..)` /
-//! `.deck_file(..)` accept the text directly — new scenarios are data,
-//! not code.
+//! binary. [`InputDeck`] is that file's typed form: the scenario (a
+//! named standard problem *or* a fully generic mesh/region/material
+//! description) plus every run option an input namelist would carry —
+//! time-step controls, ALE options, the executor and overlap toggle.
+//! `decks::from_str` / `decks::to_string` convert between [`InputDeck`]
+//! and a line-oriented key-value text format (a TOML subset:
+//! `key = value` entries under `[section]` headers, `#` comments), and
+//! `Simulation::builder().deck_str(..)` / `.deck_file(..)` accept the
+//! text directly — new scenarios are data, not code.
 //!
 //! The spec types carry serde derives so the format can swap to a real
 //! serde backend when the workspace vendors one; the shims' derives are
@@ -20,6 +20,11 @@
 //! [`DeckError::Text`] naming the 1-based offending line; an
 //! inconsistent but syntactically valid spec fails with
 //! [`DeckError::Config`].
+//!
+//! # Named decks
+//!
+//! A deck with a top-level `problem` key selects one of the five
+//! standard problems at a resolution:
 //!
 //! ```text
 //! # BookLeaf-rs input deck
@@ -35,6 +40,81 @@
 //! ranks = 2
 //! threads_per_rank = 2
 //! ```
+//!
+//! # Generic decks
+//!
+//! A deck with a `[mesh]` section (and no `problem` key) describes the
+//! scenario itself — see [`crate::scenario`] for the semantics. The
+//! full grammar:
+//!
+//! | section | key | type | default | meaning |
+//! |---|---|---|---|---|
+//! | top level | `name` | ident | `generic` | scenario name (reports) |
+//! | `[mesh]` | `nx`, `ny` | int | required | elements per direction (≤ [`MAX_MESH_DIM`]) |
+//! | | `x0`, `y0` | float | `0` | domain lower-left corner |
+//! | | `x1`, `y1` | float | `1` | domain upper-right corner |
+//! | | `skew` | `saltzmann` | none | optional mesh distortion |
+//! | `[material.<name>]` | `eos` | `ideal_gas` \| `tait` \| `jwl` \| `void` | required | EoS form (`void` takes no parameters) |
+//! | | `gamma` | float | — | `ideal_gas` (> 1) and `tait` (≥ 1) |
+//! | | `p0`, `rho0` | float | — | `tait` reference pressure scale / density |
+//! | | `a`, `b`, `r1`, `r2`, `omega`, `rho0` | float | — | `jwl` parameters |
+//! | `[region.<name>]` | `shape` | `rect` \| `circle` \| `halfplane` | required | spatial predicate |
+//! | | `x0`, `y0`, `x1`, `y1` | float | — | `rect` bounds (inclusive) |
+//! | | `cx`, `cy`, `r` | float | — | `circle` centre and radius |
+//! | | `normal_x`, `normal_y`, `offset` | float | — | `halfplane`: inside iff `n·p ≤ offset` |
+//! | | `material` | ident | required | a `[material.<name>]` handle |
+//! | | `rho` | float | required | initial density (> 0) |
+//! | | `ein` *or* `p` | float | required | initial energy, direct or via pressure (exactly one) |
+//! | | `ux`, `uy` | float | `0` | uniform initial velocity |
+//! | | `u_radial` | float | — | radial velocity about the origin (excludes `ux`/`uy`) |
+//! | `[boundary]` | `left`, `right`, `bottom`, `top` | `reflective` \| `free` \| `piston` | `reflective` | per-side condition (≤ 1 piston) |
+//! | | `piston_ux`, `piston_uy` | float | `0` | piston velocity (piston side only) |
+//!
+//! Sections may repeat `[material.<name>]`/`[region.<name>]` with
+//! distinct names; region order is significant (first match wins, see
+//! [`crate::scenario`]). Generic decks must set `final_time` under
+//! `[control]` — there is no standard end time to fall back on. The
+//! `[control]`/`[dt]`/`[ale]`/`[executor]` sections and their defaults
+//! are shared with named decks.
+//!
+//! Every value error is anchored to the offending line: a negative
+//! `rho` points at the `rho = ...` line, an unknown material at the
+//! `material = ...` line, a shadowed region is a [`DeckError::Config`]
+//! naming the region (mesh-dependent checks have no single line).
+//!
+//! ```text
+//! name = hot-bubble
+//!
+//! [mesh]
+//! nx = 40
+//! ny = 40
+//!
+//! [material.gas]
+//! eos = ideal_gas
+//! gamma = 1.4
+//!
+//! [region.bubble]
+//! shape = circle
+//! cx = 0.5
+//! cy = 0.5
+//! r = 0.2
+//! material = gas
+//! rho = 1
+//! p = 10
+//!
+//! [region.ambient]
+//! shape = rect
+//! x0 = 0
+//! y0 = 0
+//! x1 = 1
+//! y1 = 1
+//! material = gas
+//! rho = 1
+//! p = 0.1
+//!
+//! [control]
+//! final_time = 0.2
+//! ```
 
 use std::fmt;
 use std::str::FromStr;
@@ -43,17 +123,23 @@ use serde::{Deserialize, Serialize};
 
 use bookleaf_ale::{AleMode, AleOptions};
 use bookleaf_hydro::getdt::DtControls;
-use bookleaf_util::DeckError;
+use bookleaf_util::{DeckError, Vec2};
 
 use crate::config::{ExecutorKind, RunConfig};
 use crate::decks::{self, Deck};
+use crate::scenario::{
+    is_ident, BoundarySpec, EnergyInit, GenericSpec, MeshSpec, NamedMaterial, RegionSpec, Shape,
+    SideBc, SkewKind, VelocityInit,
+};
+use bookleaf_eos::EosSpec;
 
 /// Hard cap on a text deck's mesh dimensions: a typo'd `nx = 4000000`
 /// should fail fast, not allocate the machine away.
 pub const MAX_MESH_DIM: usize = 8192;
 
-/// Which standard problem a text deck sets up, with its resolution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Which scenario a text deck sets up: one of the five standard
+/// problems at a resolution, or a fully generic description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ProblemSpec {
     /// Sod's shock tube, `nx × ny` elements.
     Sod {
@@ -84,39 +170,67 @@ pub enum ProblemSpec {
         /// Elements per side.
         n: usize,
     },
+    /// A generic scenario: mesh, regions, materials and boundary
+    /// conditions as data (see [`crate::scenario`]).
+    Generic(Box<GenericSpec>),
 }
 
 impl ProblemSpec {
-    /// The problem's text-deck name.
+    /// The scenario's name: the text-deck `problem` value for named
+    /// problems, the deck's own `name` for generic scenarios.
     #[must_use]
-    pub fn name(self) -> &'static str {
+    pub fn name(&self) -> &str {
         match self {
             ProblemSpec::Sod { .. } => "sod",
             ProblemSpec::Noh { .. } => "noh",
             ProblemSpec::Sedov { .. } => "sedov",
             ProblemSpec::Saltzmann { .. } => "saltzmann",
             ProblemSpec::Underwater { .. } => "underwater",
+            ProblemSpec::Generic(g) => &g.name,
         }
     }
 
     /// The problem's standard end time (matches the constructed deck's
-    /// `recommended_final_time`; pinned by a test).
+    /// `recommended_final_time`; pinned by a test). Generic scenarios
+    /// have no standard end time — they must set `final_time`
+    /// explicitly (enforced by [`InputDeck::validate`]) and report a
+    /// placeholder `1.0` here.
     #[must_use]
-    pub fn recommended_final_time(self) -> f64 {
+    pub fn recommended_final_time(&self) -> f64 {
         match self {
             ProblemSpec::Sod { .. } => 0.2,
             ProblemSpec::Noh { .. } | ProblemSpec::Saltzmann { .. } => 0.6,
             ProblemSpec::Sedov { .. } => 1.0,
             ProblemSpec::Underwater { .. } => 0.01,
+            ProblemSpec::Generic(_) => 1.0,
         }
     }
 
-    fn dims(self) -> (usize, Option<usize>) {
+    /// Total element count of the mesh this spec would build
+    /// (saturating) — what admission control budgets against.
+    #[must_use]
+    pub fn cells(&self) -> usize {
         match self {
-            ProblemSpec::Sod { nx, ny } | ProblemSpec::Saltzmann { nx, ny } => (nx, Some(ny)),
-            ProblemSpec::Noh { n } | ProblemSpec::Sedov { n } | ProblemSpec::Underwater { n } => {
-                (n, None)
+            ProblemSpec::Sod { nx, ny } | ProblemSpec::Saltzmann { nx, ny } => {
+                nx.saturating_mul(*ny)
             }
+            ProblemSpec::Noh { n } | ProblemSpec::Sedov { n } | ProblemSpec::Underwater { n } => {
+                n.saturating_mul(*n)
+            }
+            ProblemSpec::Generic(g) => g.mesh.cells(),
+        }
+    }
+
+    /// Named-problem resolution keys; `None` for generic scenarios.
+    fn dims(&self) -> Option<(usize, Option<usize>)> {
+        match *self {
+            ProblemSpec::Sod { nx, ny } | ProblemSpec::Saltzmann { nx, ny } => {
+                (nx, Some(ny)).into()
+            }
+            ProblemSpec::Noh { n } | ProblemSpec::Sedov { n } | ProblemSpec::Underwater { n } => {
+                (n, None).into()
+            }
+            ProblemSpec::Generic(_) => None,
         }
     }
 }
@@ -130,7 +244,8 @@ impl ProblemSpec {
 pub struct InputDeck {
     /// Problem and resolution.
     pub problem: ProblemSpec,
-    /// Stop time; `None` = the problem's recommended end time.
+    /// Stop time; `None` = the problem's recommended end time
+    /// (required for generic scenarios, which have none).
     pub final_time: Option<f64>,
     /// Hard step cap.
     pub max_steps: usize,
@@ -165,13 +280,25 @@ impl InputDeck {
     /// [`Deck`] is checked again by `Deck::validate`).
     pub fn validate(&self) -> Result<(), DeckError> {
         let bad = |message: String| Err(DeckError::Config { message });
-        let (a, b) = self.problem.dims();
-        for d in [Some(a), b].into_iter().flatten() {
-            if d == 0 || d > MAX_MESH_DIM {
-                return bad(format!(
-                    "{}: mesh dimension {d} out of range 1..={MAX_MESH_DIM}",
-                    self.problem.name()
-                ));
+        match &self.problem {
+            ProblemSpec::Generic(g) => {
+                g.validate()?;
+                if self.final_time.is_none() {
+                    return bad("generic decks must set `final_time` in [control] \
+                         (no standard end time to fall back on)"
+                        .into());
+                }
+            }
+            named => {
+                let (a, b) = named.dims().expect("named problems have dims");
+                for d in [Some(a), b].into_iter().flatten() {
+                    if d == 0 || d > MAX_MESH_DIM {
+                        return bad(format!(
+                            "{}: mesh dimension {d} out of range 1..={MAX_MESH_DIM}",
+                            named.name()
+                        ));
+                    }
+                }
             }
         }
         if let Some(t) = self.final_time {
@@ -237,12 +364,20 @@ impl InputDeck {
     /// Construct the runtime [`Deck`] this spec describes.
     pub fn build_deck(&self) -> Result<Deck, DeckError> {
         self.validate()?;
-        Ok(match self.problem {
-            ProblemSpec::Sod { nx, ny } => decks::sod(nx, ny),
-            ProblemSpec::Noh { n } => decks::noh(n),
-            ProblemSpec::Sedov { n } => decks::sedov(n),
-            ProblemSpec::Saltzmann { nx, ny } => decks::saltzmann(nx, ny),
-            ProblemSpec::Underwater { n } => decks::underwater(n),
+        Ok(match &self.problem {
+            ProblemSpec::Sod { nx, ny } => decks::sod(*nx, *ny),
+            ProblemSpec::Noh { n } => decks::noh(*n),
+            ProblemSpec::Sedov { n } => decks::sedov(*n),
+            ProblemSpec::Saltzmann { nx, ny } => decks::saltzmann(*nx, *ny),
+            ProblemSpec::Underwater { n } => decks::underwater(*n),
+            ProblemSpec::Generic(g) => {
+                let mut deck = g.build()?;
+                // validate() above guarantees an explicit final_time.
+                if let Some(t) = self.final_time {
+                    deck.recommended_final_time = t;
+                }
+                deck
+            }
         })
     }
 
@@ -269,16 +404,23 @@ impl InputDeck {
 
 impl fmt::Display for InputDeck {
     /// Canonical text form; `deck.to_string().parse()` reproduces the
-    /// deck exactly (floats print in shortest round-trip form).
+    /// deck exactly (floats print in shortest round-trip form). Named
+    /// decks keep the exact byte form the versioned checkpoint format
+    /// embeds — do not reorder their keys.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "# BookLeaf-rs input deck")?;
-        writeln!(f, "problem = {}", self.problem.name())?;
-        match self.problem.dims() {
-            (nx, Some(ny)) => {
-                writeln!(f, "nx = {nx}")?;
-                writeln!(f, "ny = {ny}")?;
+        match &self.problem {
+            ProblemSpec::Generic(g) => write_generic(f, g)?,
+            named => {
+                writeln!(f, "problem = {}", named.name())?;
+                match named.dims().expect("named problems have dims") {
+                    (nx, Some(ny)) => {
+                        writeln!(f, "nx = {nx}")?;
+                        writeln!(f, "ny = {ny}")?;
+                    }
+                    (n, None) => writeln!(f, "n = {n}")?,
+                }
             }
-            (n, None) => writeln!(f, "n = {n}")?,
         }
         writeln!(f)?;
         writeln!(f, "[control]")?;
@@ -328,14 +470,158 @@ impl fmt::Display for InputDeck {
     }
 }
 
+fn write_generic(f: &mut fmt::Formatter<'_>, g: &GenericSpec) -> fmt::Result {
+    writeln!(f, "name = {}", g.name)?;
+    writeln!(f)?;
+    writeln!(f, "[mesh]")?;
+    writeln!(f, "nx = {}", g.mesh.nx)?;
+    writeln!(f, "ny = {}", g.mesh.ny)?;
+    writeln!(f, "x0 = {}", g.mesh.origin.x)?;
+    writeln!(f, "y0 = {}", g.mesh.origin.y)?;
+    writeln!(f, "x1 = {}", g.mesh.extent.x)?;
+    writeln!(f, "y1 = {}", g.mesh.extent.y)?;
+    if let Some(SkewKind::Saltzmann) = g.mesh.skew {
+        writeln!(f, "skew = saltzmann")?;
+    }
+    for mat in &g.materials {
+        writeln!(f)?;
+        writeln!(f, "[material.{}]", mat.name)?;
+        match mat.eos {
+            EosSpec::Void => writeln!(f, "eos = void")?,
+            EosSpec::IdealGas { gamma } => {
+                writeln!(f, "eos = ideal_gas")?;
+                writeln!(f, "gamma = {gamma}")?;
+            }
+            EosSpec::Tait { p0, rho0, gamma } => {
+                writeln!(f, "eos = tait")?;
+                writeln!(f, "p0 = {p0}")?;
+                writeln!(f, "rho0 = {rho0}")?;
+                writeln!(f, "gamma = {gamma}")?;
+            }
+            EosSpec::Jwl {
+                a,
+                b,
+                r1,
+                r2,
+                omega,
+                rho0,
+            } => {
+                writeln!(f, "eos = jwl")?;
+                writeln!(f, "a = {a}")?;
+                writeln!(f, "b = {b}")?;
+                writeln!(f, "r1 = {r1}")?;
+                writeln!(f, "r2 = {r2}")?;
+                writeln!(f, "omega = {omega}")?;
+                writeln!(f, "rho0 = {rho0}")?;
+            }
+        }
+    }
+    for reg in &g.regions {
+        writeln!(f)?;
+        writeln!(f, "[region.{}]", reg.name)?;
+        match reg.shape {
+            Shape::Rect { x0, y0, x1, y1 } => {
+                writeln!(f, "shape = rect")?;
+                writeln!(f, "x0 = {x0}")?;
+                writeln!(f, "y0 = {y0}")?;
+                writeln!(f, "x1 = {x1}")?;
+                writeln!(f, "y1 = {y1}")?;
+            }
+            Shape::Circle { cx, cy, r } => {
+                writeln!(f, "shape = circle")?;
+                writeln!(f, "cx = {cx}")?;
+                writeln!(f, "cy = {cy}")?;
+                writeln!(f, "r = {r}")?;
+            }
+            Shape::HalfPlane {
+                normal_x,
+                normal_y,
+                offset,
+            } => {
+                writeln!(f, "shape = halfplane")?;
+                writeln!(f, "normal_x = {normal_x}")?;
+                writeln!(f, "normal_y = {normal_y}")?;
+                writeln!(f, "offset = {offset}")?;
+            }
+        }
+        writeln!(f, "material = {}", reg.material)?;
+        writeln!(f, "rho = {}", reg.rho)?;
+        match reg.energy {
+            EnergyInit::Ein(e) => writeln!(f, "ein = {e}")?,
+            EnergyInit::Pressure(p) => writeln!(f, "p = {p}")?,
+        }
+        match reg.velocity {
+            VelocityInit::Constant(v) => {
+                writeln!(f, "ux = {}", v.x)?;
+                writeln!(f, "uy = {}", v.y)?;
+            }
+            VelocityInit::Radial { speed } => writeln!(f, "u_radial = {speed}")?,
+        }
+    }
+    if g.boundary != BoundarySpec::default() {
+        writeln!(f)?;
+        writeln!(f, "[boundary]")?;
+        for (side, bc) in [
+            ("left", g.boundary.left),
+            ("right", g.boundary.right),
+            ("bottom", g.boundary.bottom),
+            ("top", g.boundary.top),
+        ] {
+            let word = match bc {
+                SideBc::Reflective => "reflective",
+                SideBc::Free => "free",
+                SideBc::Piston => "piston",
+            };
+            writeln!(f, "{side} = {word}")?;
+        }
+        if let Some(u) = g.boundary.piston_u {
+            writeln!(f, "piston_ux = {}", u.x)?;
+            writeln!(f, "piston_uy = {}", u.y)?;
+        }
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------------
 // Parser.
 
 /// A value with the 1-based line it came from (for anchored errors).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct At<T> {
     value: T,
     line: usize,
+}
+
+/// Which section the parser is inside. `Material`/`Region` index into
+/// the raw accumulator's vectors (one entry per section header).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Sec {
+    Top,
+    Control,
+    Dt,
+    Ale,
+    Executor,
+    Mesh,
+    Boundary,
+    Material(usize),
+    Region(usize),
+}
+
+#[derive(Default)]
+struct RawMaterial {
+    name: String,
+    line: usize,
+    eos: Option<At<&'static str>>,
+    params: Vec<(String, At<f64>)>,
+}
+
+#[derive(Default)]
+struct RawRegion {
+    name: String,
+    line: usize,
+    shape: Option<At<&'static str>>,
+    material: Option<At<String>>,
+    nums: Vec<(String, At<f64>)>,
 }
 
 #[derive(Default)]
@@ -344,6 +630,21 @@ struct RawDeck {
     nx: Option<At<usize>>,
     ny: Option<At<usize>>,
     n: Option<At<usize>>,
+    name: Option<At<String>>,
+    mesh: Option<usize>, // [mesh] header line
+    mesh_nx: Option<At<usize>>,
+    mesh_ny: Option<At<usize>>,
+    mesh_x0: Option<At<f64>>,
+    mesh_y0: Option<At<f64>>,
+    mesh_x1: Option<At<f64>>,
+    mesh_y1: Option<At<f64>>,
+    mesh_skew: Option<At<&'static str>>,
+    materials: Vec<RawMaterial>,
+    regions: Vec<RawRegion>,
+    boundary: Option<usize>,                  // [boundary] header line
+    bnd_sides: [Option<At<&'static str>>; 4], // left, right, bottom, top
+    bnd_piston_ux: Option<At<f64>>,
+    bnd_piston_uy: Option<At<f64>>,
     final_time: Option<f64>,
     max_steps: Option<usize>,
     overlap: Option<bool>,
@@ -394,17 +695,35 @@ fn parse_bool(line: usize, key: &str, raw: &str) -> Result<bool, DeckError> {
     }
 }
 
+/// The section label used for duplicate-key tracking and line lookups
+/// (`material.<name>`-style for the dynamic sections).
+fn sec_label(raw: &RawDeck, sec: Sec) -> String {
+    match sec {
+        Sec::Top => String::new(),
+        Sec::Control => "control".into(),
+        Sec::Dt => "dt".into(),
+        Sec::Ale => "ale".into(),
+        Sec::Executor => "executor".into(),
+        Sec::Mesh => "mesh".into(),
+        Sec::Boundary => "boundary".into(),
+        Sec::Material(i) => format!("material.{}", raw.materials[i].name),
+        Sec::Region(i) => format!("region.{}", raw.regions[i].name),
+    }
+}
+
 impl FromStr for InputDeck {
     type Err = DeckError;
 
     fn from_str(text: &str) -> Result<Self, DeckError> {
         let mut raw = RawDeck::default();
-        let mut section: Option<&'static str> = None; // None = top level
-                                                      // Duplicate keys are last-wins in many loose formats; TOML (our
-                                                      // subset) rejects them, and a silently ignored stale `nx = ..`
-                                                      // is exactly the typo class a strict parser exists to catch.
-        let mut seen: std::collections::HashSet<(&'static str, String)> =
-            std::collections::HashSet::new();
+        let mut section = Sec::Top;
+        // Duplicate keys are last-wins in many loose formats; TOML (our
+        // subset) rejects them, and a silently ignored stale `nx = ..`
+        // is exactly the typo class a strict parser exists to catch.
+        // The map doubles as the source-line index for anchoring
+        // value errors found after assembly.
+        let mut seen: std::collections::HashMap<(String, String), usize> =
+            std::collections::HashMap::new();
         for (idx, full_line) in text.lines().enumerate() {
             let lineno = idx + 1;
             // Strip comments and whitespace.
@@ -416,18 +735,7 @@ impl FromStr for InputDeck {
                 let Some(name) = name.strip_suffix(']') else {
                     return Err(text_err(lineno, format!("unterminated section `{line}`")));
                 };
-                section = Some(match name.trim() {
-                    "control" => "control",
-                    "dt" => "dt",
-                    "ale" => "ale",
-                    "executor" => "executor",
-                    other => {
-                        return Err(text_err(lineno, format!("unknown section `[{other}]`")));
-                    }
-                });
-                if section == Some("ale") {
-                    raw.ale_present = true;
-                }
+                section = parse_section(&mut raw, lineno, name.trim())?;
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
@@ -440,29 +748,107 @@ impl FromStr for InputDeck {
             if value.is_empty() {
                 return Err(text_err(lineno, format!("`{key}` has no value")));
             }
-            if !seen.insert((section.unwrap_or(""), key.to_string())) {
+            if seen
+                .insert((sec_label(&raw, section), key.to_string()), lineno)
+                .is_some()
+            {
                 return Err(text_err(lineno, format!("duplicate key `{key}`")));
             }
             parse_entry(&mut raw, section, lineno, key, value)?;
         }
-        assemble(&raw)
+        assemble(&raw, &seen)
     }
 }
+
+/// Parse one `[section]` header, registering dynamic
+/// `material.<name>`/`region.<name>` sections in the accumulator.
+fn parse_section(raw: &mut RawDeck, line: usize, name: &str) -> Result<Sec, DeckError> {
+    Ok(match name {
+        "control" => Sec::Control,
+        "dt" => Sec::Dt,
+        "ale" => {
+            raw.ale_present = true;
+            Sec::Ale
+        }
+        "executor" => Sec::Executor,
+        "mesh" => {
+            raw.mesh.get_or_insert(line);
+            Sec::Mesh
+        }
+        "boundary" => {
+            raw.boundary.get_or_insert(line);
+            Sec::Boundary
+        }
+        other => {
+            if let Some(mat) = other.strip_prefix("material.") {
+                if !is_ident(mat) {
+                    return Err(text_err(
+                        line,
+                        format!("material name `{mat}` must be non-empty [A-Za-z0-9_-]"),
+                    ));
+                }
+                if raw.materials.iter().any(|m| m.name == mat) {
+                    return Err(text_err(line, format!("duplicate section `[{other}]`")));
+                }
+                raw.materials.push(RawMaterial {
+                    name: mat.to_string(),
+                    line,
+                    ..RawMaterial::default()
+                });
+                return Ok(Sec::Material(raw.materials.len() - 1));
+            }
+            if let Some(reg) = other.strip_prefix("region.") {
+                if !is_ident(reg) {
+                    return Err(text_err(
+                        line,
+                        format!("region name `{reg}` must be non-empty [A-Za-z0-9_-]"),
+                    ));
+                }
+                if raw.regions.iter().any(|r| r.name == reg) {
+                    return Err(text_err(line, format!("duplicate section `[{other}]`")));
+                }
+                raw.regions.push(RawRegion {
+                    name: reg.to_string(),
+                    line,
+                    ..RawRegion::default()
+                });
+                return Ok(Sec::Region(raw.regions.len() - 1));
+            }
+            return Err(text_err(line, format!("unknown section `[{other}]`")));
+        }
+    })
+}
+
+/// Every numeric key a `[region.*]` section understands, for
+/// unknown-key detection (applicability per shape is checked at
+/// assembly, anchored to the offending line).
+const REGION_NUM_KEYS: [&str; 16] = [
+    "x0", "y0", "x1", "y1", "cx", "cy", "r", "normal_x", "normal_y", "offset", "rho", "ein", "p",
+    "ux", "uy", "u_radial",
+];
+
+/// Every numeric key a `[material.*]` section understands.
+const MATERIAL_NUM_KEYS: [&str; 8] = ["gamma", "p0", "rho0", "a", "b", "r1", "r2", "omega"];
 
 /// Dispatch one `key = value` entry into the raw accumulator.
 fn parse_entry(
     raw: &mut RawDeck,
-    section: Option<&'static str>,
+    section: Sec,
     line: usize,
     key: &str,
     value: &str,
 ) -> Result<(), DeckError> {
+    let place = sec_label(raw, section);
     let unknown = |line: usize| {
-        let place = section.map_or_else(|| "the top level".into(), |s| format!("[{s}]"));
+        let place = if place.is_empty() {
+            "the top level".to_string()
+        } else {
+            format!("[{place}]")
+        };
         Err(text_err(line, format!("unknown key `{key}` in {place}")))
     };
     match section {
-        None => match key {
+        Sec::Top => match key {
             "problem" => {
                 let name = match value {
                     "sod" => "sod",
@@ -494,15 +880,27 @@ fn parse_entry(
                     line,
                 })
             }
+            "name" => {
+                if !is_ident(value) {
+                    return Err(text_err(
+                        line,
+                        format!("deck name `{value}` must be non-empty [A-Za-z0-9_-]"),
+                    ));
+                }
+                raw.name = Some(At {
+                    value: value.to_string(),
+                    line,
+                });
+            }
             _ => return unknown(line),
         },
-        Some("control") => match key {
+        Sec::Control => match key {
             "final_time" => raw.final_time = Some(parse_f64(line, key, value)?),
             "max_steps" => raw.max_steps = Some(parse_num(line, key, value, "an integer")?),
             "overlap" => raw.overlap = Some(parse_bool(line, key, value)?),
             _ => return unknown(line),
         },
-        Some("dt") => {
+        Sec::Dt => {
             let slot = match key {
                 "cfl_sf" => &mut raw.dt.cfl_sf,
                 "div_sf" => &mut raw.dt.div_sf,
@@ -514,7 +912,7 @@ fn parse_entry(
             };
             *slot = parse_f64(line, key, value)?;
         }
-        Some("ale") => match key {
+        Sec::Ale => match key {
             "mode" => {
                 let mode = match value {
                     "eulerian" => "eulerian",
@@ -537,7 +935,7 @@ fn parse_entry(
             "frequency" => raw.ale_frequency = Some(parse_num(line, key, value, "an integer")?),
             _ => return unknown(line),
         },
-        Some("executor") => match key {
+        Sec::Executor => match key {
             "model" => {
                 let model = match value {
                     "serial" => "serial",
@@ -569,65 +967,164 @@ fn parse_entry(
             }
             _ => return unknown(line),
         },
-        Some(_) => unreachable!("sections are interned above"),
+        Sec::Mesh => match key {
+            "nx" => {
+                raw.mesh_nx = Some(At {
+                    value: parse_num(line, key, value, "an integer")?,
+                    line,
+                })
+            }
+            "ny" => {
+                raw.mesh_ny = Some(At {
+                    value: parse_num(line, key, value, "an integer")?,
+                    line,
+                })
+            }
+            "x0" | "y0" | "x1" | "y1" => {
+                let v = At {
+                    value: parse_f64(line, key, value)?,
+                    line,
+                };
+                match key {
+                    "x0" => raw.mesh_x0 = Some(v),
+                    "y0" => raw.mesh_y0 = Some(v),
+                    "x1" => raw.mesh_x1 = Some(v),
+                    _ => raw.mesh_y1 = Some(v),
+                }
+            }
+            "skew" => {
+                let skew = match value {
+                    "saltzmann" => "saltzmann",
+                    other => {
+                        return Err(text_err(
+                            line,
+                            format!("mesh skew must be `saltzmann`, got `{other}`"),
+                        ));
+                    }
+                };
+                raw.mesh_skew = Some(At { value: skew, line });
+            }
+            _ => return unknown(line),
+        },
+        Sec::Boundary => match key {
+            "left" | "right" | "bottom" | "top" => {
+                let bc = match value {
+                    "reflective" => "reflective",
+                    "free" => "free",
+                    "piston" => "piston",
+                    other => {
+                        return Err(text_err(
+                            line,
+                            format!(
+                                "boundary side must be `reflective`, `free` or `piston`, \
+                                 got `{other}`"
+                            ),
+                        ));
+                    }
+                };
+                let slot = match key {
+                    "left" => 0,
+                    "right" => 1,
+                    "bottom" => 2,
+                    _ => 3,
+                };
+                raw.bnd_sides[slot] = Some(At { value: bc, line });
+            }
+            "piston_ux" => {
+                raw.bnd_piston_ux = Some(At {
+                    value: parse_f64(line, key, value)?,
+                    line,
+                })
+            }
+            "piston_uy" => {
+                raw.bnd_piston_uy = Some(At {
+                    value: parse_f64(line, key, value)?,
+                    line,
+                })
+            }
+            _ => return unknown(line),
+        },
+        Sec::Material(i) => match key {
+            "eos" => {
+                let kind = match value {
+                    "ideal_gas" => "ideal_gas",
+                    "tait" => "tait",
+                    "jwl" => "jwl",
+                    "void" => "void",
+                    other => {
+                        return Err(text_err(
+                            line,
+                            format!(
+                                "eos must be `ideal_gas`, `tait`, `jwl` or `void`, got `{other}`"
+                            ),
+                        ));
+                    }
+                };
+                raw.materials[i].eos = Some(At { value: kind, line });
+            }
+            _ if MATERIAL_NUM_KEYS.contains(&key) => {
+                let v = At {
+                    value: parse_f64(line, key, value)?,
+                    line,
+                };
+                raw.materials[i].params.push((key.to_string(), v));
+            }
+            _ => return unknown(line),
+        },
+        Sec::Region(i) => match key {
+            "shape" => {
+                let kind = match value {
+                    "rect" => "rect",
+                    "circle" => "circle",
+                    "halfplane" => "halfplane",
+                    other => {
+                        return Err(text_err(
+                            line,
+                            format!("shape must be `rect`, `circle` or `halfplane`, got `{other}`"),
+                        ));
+                    }
+                };
+                raw.regions[i].shape = Some(At { value: kind, line });
+            }
+            "material" => {
+                raw.regions[i].material = Some(At {
+                    value: value.to_string(),
+                    line,
+                });
+            }
+            _ if REGION_NUM_KEYS.contains(&key) => {
+                let v = At {
+                    value: parse_f64(line, key, value)?,
+                    line,
+                };
+                raw.regions[i].nums.push((key.to_string(), v));
+            }
+            _ => return unknown(line),
+        },
     }
     Ok(())
 }
 
 /// Assemble (and cross-check) the raw key soup into a typed spec.
-fn assemble(raw: &RawDeck) -> Result<InputDeck, DeckError> {
-    let Some(problem) = raw.problem else {
-        return Err(DeckError::Config {
-            message: "deck is missing the `problem` key".into(),
-        });
-    };
-    let need = |slot: Option<At<usize>>, key: &str| {
-        slot.map(|s| s.value).ok_or_else(|| {
-            text_err(
-                problem.line,
-                format!("problem `{}` requires `{key}`", problem.value),
-            )
-        })
-    };
-    let forbid = |slot: Option<At<usize>>, key: &str| match slot {
-        Some(s) => Err(text_err(
-            s.line,
-            format!("`{key}` does not apply to problem `{}`", problem.value),
-        )),
-        None => Ok(()),
-    };
-    let spec = match problem.value {
-        "sod" | "saltzmann" => {
-            forbid(raw.n, "n")?;
-            let nx = need(raw.nx, "nx")?;
-            let ny = need(raw.ny, "ny")?;
-            if problem.value == "sod" {
-                ProblemSpec::Sod { nx, ny }
-            } else {
-                ProblemSpec::Saltzmann { nx, ny }
-            }
-        }
-        name => {
-            forbid(raw.nx, "nx")?;
-            forbid(raw.ny, "ny")?;
-            let n = need(raw.n, "n")?;
-            match name {
-                "noh" => ProblemSpec::Noh { n },
-                "sedov" => ProblemSpec::Sedov { n },
-                _ => ProblemSpec::Underwater { n },
-            }
-        }
+fn assemble(
+    raw: &RawDeck,
+    seen: &std::collections::HashMap<(String, String), usize>,
+) -> Result<InputDeck, DeckError> {
+    let problem = if raw.mesh.is_some() {
+        assemble_generic(raw, seen)?
+    } else {
+        assemble_named(raw)?
     };
 
     let ale = if raw.ale_present {
-        let Some(mode) = raw.ale_mode else {
+        let Some(mode) = &raw.ale_mode else {
             return Err(DeckError::Config {
                 message: "[ale] section is missing `mode`".into(),
             });
         };
         let mode_value = match mode.value {
             "eulerian" => {
-                if let Some(alpha) = raw.ale_alpha {
+                if let Some(alpha) = &raw.ale_alpha {
                     return Err(text_err(
                         alpha.line,
                         "`alpha` applies only to `mode = smooth`",
@@ -636,7 +1133,7 @@ fn assemble(raw: &RawDeck) -> Result<InputDeck, DeckError> {
                 AleMode::Eulerian
             }
             _ => {
-                let Some(alpha) = raw.ale_alpha else {
+                let Some(alpha) = &raw.ale_alpha else {
                     return Err(text_err(mode.line, "`mode = smooth` requires `alpha`"));
                 };
                 AleMode::Smooth { alpha: alpha.value }
@@ -650,12 +1147,12 @@ fn assemble(raw: &RawDeck) -> Result<InputDeck, DeckError> {
         None
     };
 
-    let executor = match raw.exec_model {
+    let executor = match &raw.exec_model {
         None => {
-            if let Some(r) = raw.exec_ranks {
+            if let Some(r) = &raw.exec_ranks {
                 return Err(text_err(r.line, "`ranks` requires an executor `model`"));
             }
-            if let Some(t) = raw.exec_threads {
+            if let Some(t) = &raw.exec_threads {
                 return Err(text_err(
                     t.line,
                     "`threads_per_rank` requires an executor `model`",
@@ -664,7 +1161,7 @@ fn assemble(raw: &RawDeck) -> Result<InputDeck, DeckError> {
             ExecutorKind::Serial
         }
         Some(model) => {
-            let forbid_threads = |slot: Option<At<usize>>| match slot {
+            let forbid_threads = |slot: &Option<At<usize>>| match slot {
                 Some(t) => Err(text_err(
                     t.line,
                     format!(
@@ -676,27 +1173,27 @@ fn assemble(raw: &RawDeck) -> Result<InputDeck, DeckError> {
             };
             match model.value {
                 "serial" => {
-                    if let Some(r) = raw.exec_ranks {
+                    if let Some(r) = &raw.exec_ranks {
                         return Err(text_err(
                             r.line,
                             "`ranks` does not apply to `model = serial`",
                         ));
                     }
-                    forbid_threads(raw.exec_threads)?;
+                    forbid_threads(&raw.exec_threads)?;
                     ExecutorKind::Serial
                 }
                 "flat_mpi" => {
-                    forbid_threads(raw.exec_threads)?;
-                    let Some(ranks) = raw.exec_ranks else {
+                    forbid_threads(&raw.exec_threads)?;
+                    let Some(ranks) = &raw.exec_ranks else {
                         return Err(text_err(model.line, "`model = flat_mpi` requires `ranks`"));
                     };
                     ExecutorKind::FlatMpi { ranks: ranks.value }
                 }
                 _ => {
-                    let Some(ranks) = raw.exec_ranks else {
+                    let Some(ranks) = &raw.exec_ranks else {
                         return Err(text_err(model.line, "`model = hybrid` requires `ranks`"));
                     };
-                    let Some(threads) = raw.exec_threads else {
+                    let Some(threads) = &raw.exec_threads else {
                         return Err(text_err(
                             model.line,
                             "`model = hybrid` requires `threads_per_rank`",
@@ -713,7 +1210,7 @@ fn assemble(raw: &RawDeck) -> Result<InputDeck, DeckError> {
 
     let defaults = RunConfig::default();
     let deck = InputDeck {
-        problem: spec,
+        problem,
         final_time: raw.final_time,
         max_steps: raw.max_steps.unwrap_or(defaults.max_steps),
         overlap: raw.overlap.unwrap_or(defaults.overlap),
@@ -723,6 +1220,313 @@ fn assemble(raw: &RawDeck) -> Result<InputDeck, DeckError> {
     };
     deck.validate()?;
     Ok(deck)
+}
+
+/// Assemble a named-problem deck (`problem = ...` at the top level).
+fn assemble_named(raw: &RawDeck) -> Result<ProblemSpec, DeckError> {
+    // Generic-only pieces without a [mesh] section are misplaced.
+    if let Some(name) = &raw.name {
+        return Err(text_err(
+            name.line,
+            "`name` applies only to generic decks (add a [mesh] section)",
+        ));
+    }
+    if let Some(line) = raw
+        .materials
+        .first()
+        .map(|m| m.line)
+        .or_else(|| raw.regions.first().map(|r| r.line))
+        .or(raw.boundary)
+    {
+        return Err(text_err(
+            line,
+            "this section applies only to generic decks (add a [mesh] section)",
+        ));
+    }
+    let Some(problem) = &raw.problem else {
+        return Err(DeckError::Config {
+            message: "deck needs a top-level `problem` key (named) or a [mesh] section (generic)"
+                .into(),
+        });
+    };
+    let need = |slot: &Option<At<usize>>, key: &str| {
+        slot.as_ref().map(|s| s.value).ok_or_else(|| {
+            text_err(
+                problem.line,
+                format!("problem `{}` requires `{key}`", problem.value),
+            )
+        })
+    };
+    let forbid = |slot: &Option<At<usize>>, key: &str| match slot {
+        Some(s) => Err(text_err(
+            s.line,
+            format!("`{key}` does not apply to problem `{}`", problem.value),
+        )),
+        None => Ok(()),
+    };
+    Ok(match problem.value {
+        "sod" | "saltzmann" => {
+            forbid(&raw.n, "n")?;
+            let nx = need(&raw.nx, "nx")?;
+            let ny = need(&raw.ny, "ny")?;
+            if problem.value == "sod" {
+                ProblemSpec::Sod { nx, ny }
+            } else {
+                ProblemSpec::Saltzmann { nx, ny }
+            }
+        }
+        name => {
+            forbid(&raw.nx, "nx")?;
+            forbid(&raw.ny, "ny")?;
+            let n = need(&raw.n, "n")?;
+            match name {
+                "noh" => ProblemSpec::Noh { n },
+                "sedov" => ProblemSpec::Sedov { n },
+                _ => ProblemSpec::Underwater { n },
+            }
+        }
+    })
+}
+
+/// Take a named parameter out of a raw key list.
+fn take_param(params: &mut Vec<(String, At<f64>)>, key: &str) -> Option<At<f64>> {
+    params
+        .iter()
+        .position(|(k, _)| k == key)
+        .map(|i| params.remove(i).1)
+}
+
+/// Assemble a generic deck (`[mesh]` present): build the
+/// [`GenericSpec`] from the dynamic sections, then run the shared
+/// value validation with every error anchored to its source line.
+fn assemble_generic(
+    raw: &RawDeck,
+    seen: &std::collections::HashMap<(String, String), usize>,
+) -> Result<ProblemSpec, DeckError> {
+    let mesh_line = raw.mesh.expect("checked by caller");
+    if let Some(problem) = &raw.problem {
+        return Err(text_err(
+            problem.line,
+            "a deck gives either `problem` (named) or [mesh] (generic), not both",
+        ));
+    }
+    if let Some(s) = [&raw.nx, &raw.ny, &raw.n].into_iter().flatten().next() {
+        return Err(text_err(
+            s.line,
+            "top-level resolution keys apply to named problems; \
+             generic decks size the mesh in [mesh]",
+        ));
+    }
+    let name = raw
+        .name
+        .as_ref()
+        .map_or_else(|| "generic".to_string(), |n| n.value.clone());
+    let Some(nx) = &raw.mesh_nx else {
+        return Err(text_err(mesh_line, "[mesh] requires `nx`"));
+    };
+    let Some(ny) = &raw.mesh_ny else {
+        return Err(text_err(mesh_line, "[mesh] requires `ny`"));
+    };
+    let mesh = MeshSpec {
+        nx: nx.value,
+        ny: ny.value,
+        origin: Vec2::new(
+            raw.mesh_x0.as_ref().map_or(0.0, |v| v.value),
+            raw.mesh_y0.as_ref().map_or(0.0, |v| v.value),
+        ),
+        extent: Vec2::new(
+            raw.mesh_x1.as_ref().map_or(1.0, |v| v.value),
+            raw.mesh_y1.as_ref().map_or(1.0, |v| v.value),
+        ),
+        skew: raw.mesh_skew.as_ref().map(|_| SkewKind::Saltzmann),
+    };
+
+    let mut materials = Vec::with_capacity(raw.materials.len());
+    for m in &raw.materials {
+        let Some(eos) = &m.eos else {
+            return Err(text_err(
+                m.line,
+                format!(
+                    "[material.{}] requires `eos = ideal_gas`, `tait` or `jwl`",
+                    m.name
+                ),
+            ));
+        };
+        let mut params = m.params.clone();
+        let mut need = |key: &str| {
+            take_param(&mut params, key)
+                .map(|v| v.value)
+                .ok_or_else(|| text_err(eos.line, format!("eos `{}` requires `{key}`", eos.value)))
+        };
+        let spec = match eos.value {
+            "void" => EosSpec::Void,
+            "ideal_gas" => EosSpec::IdealGas {
+                gamma: need("gamma")?,
+            },
+            "tait" => EosSpec::Tait {
+                p0: need("p0")?,
+                rho0: need("rho0")?,
+                gamma: need("gamma")?,
+            },
+            _ => EosSpec::Jwl {
+                a: need("a")?,
+                b: need("b")?,
+                r1: need("r1")?,
+                r2: need("r2")?,
+                omega: need("omega")?,
+                rho0: need("rho0")?,
+            },
+        };
+        if let Some((key, v)) = params.first() {
+            return Err(text_err(
+                v.line,
+                format!("`{key}` does not apply to eos `{}`", eos.value),
+            ));
+        }
+        materials.push(NamedMaterial {
+            name: m.name.clone(),
+            eos: spec,
+        });
+    }
+
+    let mut regions = Vec::with_capacity(raw.regions.len());
+    for r in &raw.regions {
+        let Some(shape_kind) = &r.shape else {
+            return Err(text_err(
+                r.line,
+                format!(
+                    "[region.{}] requires `shape = rect`, `circle` or `halfplane`",
+                    r.name
+                ),
+            ));
+        };
+        let mut nums = r.nums.clone();
+        let mut need = |key: &str| {
+            take_param(&mut nums, key).map(|v| v.value).ok_or_else(|| {
+                text_err(
+                    shape_kind.line,
+                    format!("shape `{}` requires `{key}`", shape_kind.value),
+                )
+            })
+        };
+        let shape = match shape_kind.value {
+            "rect" => Shape::Rect {
+                x0: need("x0")?,
+                y0: need("y0")?,
+                x1: need("x1")?,
+                y1: need("y1")?,
+            },
+            "circle" => Shape::Circle {
+                cx: need("cx")?,
+                cy: need("cy")?,
+                r: need("r")?,
+            },
+            _ => Shape::HalfPlane {
+                normal_x: need("normal_x")?,
+                normal_y: need("normal_y")?,
+                offset: need("offset")?,
+            },
+        };
+        let Some(material) = &r.material else {
+            return Err(text_err(
+                r.line,
+                format!("[region.{}] requires `material`", r.name),
+            ));
+        };
+        let Some(rho) = take_param(&mut nums, "rho") else {
+            return Err(text_err(
+                r.line,
+                format!("[region.{}] requires `rho`", r.name),
+            ));
+        };
+        let ein = take_param(&mut nums, "ein");
+        let p = take_param(&mut nums, "p");
+        let energy = match (ein, p) {
+            (Some(e), None) => EnergyInit::Ein(e.value),
+            (None, Some(p)) => EnergyInit::Pressure(p.value),
+            (Some(_), Some(p)) => {
+                return Err(text_err(
+                    p.line,
+                    format!("[region.{}] gives both `ein` and `p`; pick one", r.name),
+                ));
+            }
+            (None, None) => {
+                return Err(text_err(
+                    r.line,
+                    format!("[region.{}] requires `ein` or `p`", r.name),
+                ));
+            }
+        };
+        let u_radial = take_param(&mut nums, "u_radial");
+        let ux = take_param(&mut nums, "ux");
+        let uy = take_param(&mut nums, "uy");
+        let velocity = match u_radial {
+            Some(speed) => {
+                if let Some(c) = ux.or(uy) {
+                    return Err(text_err(c.line, "`ux`/`uy` do not combine with `u_radial`"));
+                }
+                VelocityInit::Radial { speed: speed.value }
+            }
+            None => VelocityInit::Constant(Vec2::new(
+                ux.map_or(0.0, |v| v.value),
+                uy.map_or(0.0, |v| v.value),
+            )),
+        };
+        if let Some((key, v)) = nums.first() {
+            return Err(text_err(
+                v.line,
+                format!("`{key}` does not apply to shape `{}`", shape_kind.value),
+            ));
+        }
+        regions.push(RegionSpec {
+            name: r.name.clone(),
+            shape,
+            material: material.value.clone(),
+            rho: rho.value,
+            energy,
+            velocity,
+        });
+    }
+
+    let side = |i: usize| match &raw.bnd_sides[i] {
+        None => SideBc::Reflective,
+        Some(s) => match s.value {
+            "reflective" => SideBc::Reflective,
+            "free" => SideBc::Free,
+            _ => SideBc::Piston,
+        },
+    };
+    let boundary = BoundarySpec {
+        left: side(0),
+        right: side(1),
+        bottom: side(2),
+        top: side(3),
+        piston_u: if raw.bnd_piston_ux.is_some()
+            || raw.bnd_piston_uy.is_some()
+            || (0..4).any(|i| side(i) == SideBc::Piston)
+        {
+            Some(Vec2::new(
+                raw.bnd_piston_ux.as_ref().map_or(0.0, |v| v.value),
+                raw.bnd_piston_uy.as_ref().map_or(0.0, |v| v.value),
+            ))
+        } else {
+            None
+        },
+    };
+
+    let spec = GenericSpec {
+        name,
+        mesh,
+        materials,
+        regions,
+        boundary,
+    };
+    // Value checks, anchored back to the offending source line where
+    // one exists.
+    spec.validate_anchored(&|section: &str, key: &str| {
+        seen.get(&(section.to_string(), key.to_string())).copied()
+    })?;
+    Ok(ProblemSpec::Generic(Box::new(spec)))
 }
 
 #[cfg(test)]
@@ -772,6 +1576,208 @@ mod tests {
         let text = deck.to_string();
         let back: InputDeck = text.parse().unwrap();
         assert_eq!(back, deck);
+    }
+
+    #[test]
+    fn generic_deck_parses_and_round_trips() {
+        let text = "\
+name = shocktube
+
+[mesh]
+nx = 8
+ny = 2
+x0 = 0
+y0 = 0
+x1 = 1
+y1 = 0.25
+
+[material.gas]
+eos = ideal_gas
+gamma = 1.4
+
+[region.left]
+shape = rect
+x0 = 0
+y0 = 0
+x1 = 0.5
+y1 = 0.25
+material = gas
+rho = 1
+ein = 2.5
+
+[region.right]
+shape = rect
+x0 = 0.5
+y0 = 0
+x1 = 1
+y1 = 0.25
+material = gas
+rho = 0.125
+p = 0.1
+
+[control]
+final_time = 0.2
+";
+        let deck: InputDeck = text.parse().unwrap();
+        let ProblemSpec::Generic(g) = &deck.problem else {
+            panic!("expected generic, got {:?}", deck.problem);
+        };
+        assert_eq!(g.name, "shocktube");
+        assert_eq!(g.mesh.nx, 8);
+        assert_eq!(g.materials.len(), 1);
+        assert_eq!(g.regions.len(), 2);
+        assert_eq!(g.regions[1].energy, EnergyInit::Pressure(0.1));
+        // Canonical form round trips exactly.
+        let canon = deck.to_string();
+        let back: InputDeck = canon.parse().unwrap();
+        assert_eq!(back, deck);
+        assert_eq!(back.to_string(), canon);
+        // And builds a runnable deck.
+        let built = deck.build_deck().unwrap();
+        built.validate().unwrap();
+        assert_eq!(built.name, "shocktube");
+        assert_eq!(built.mesh.n_elements(), 16);
+    }
+
+    #[test]
+    fn generic_value_errors_are_line_anchored() {
+        // rho on line 12 is negative.
+        let text = "\
+[mesh]
+nx = 4
+ny = 4
+
+[material.gas]
+eos = ideal_gas
+gamma = 1.4
+
+[region.all]
+shape = rect
+x0 = 0
+rho = -1
+y0 = 0
+x1 = 1
+y1 = 1
+material = gas
+ein = 1
+
+[control]
+final_time = 0.1
+";
+        match text.parse::<InputDeck>().unwrap_err() {
+            DeckError::Text { line, message } => {
+                assert_eq!(line, 12, "{message}");
+                assert!(message.contains("rho"), "{message}");
+            }
+            other => panic!("expected Text error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generic_unknown_material_is_anchored_to_the_reference() {
+        let text = "\
+[mesh]
+nx = 4
+ny = 4
+
+[material.gas]
+eos = ideal_gas
+gamma = 1.4
+
+[region.all]
+shape = rect
+x0 = 0
+y0 = 0
+x1 = 1
+y1 = 1
+material = steel
+rho = 1
+ein = 1
+
+[control]
+final_time = 0.1
+";
+        match text.parse::<InputDeck>().unwrap_err() {
+            DeckError::Text { line, message } => {
+                assert_eq!(line, 15, "{message}");
+                assert!(message.contains("steel"), "{message}");
+            }
+            other => panic!("expected Text error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generic_requires_final_time() {
+        let text = "\
+[mesh]
+nx = 4
+ny = 4
+
+[material.gas]
+eos = ideal_gas
+gamma = 1.4
+
+[region.all]
+shape = rect
+x0 = 0
+y0 = 0
+x1 = 1
+y1 = 1
+material = gas
+rho = 1
+ein = 1
+";
+        let err = text.parse::<InputDeck>().unwrap_err();
+        assert!(
+            matches!(&err, DeckError::Config { message } if message.contains("final_time")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn problem_and_mesh_are_mutually_exclusive() {
+        let err = "problem = noh\nn = 4\n[mesh]\nnx = 2\nny = 2\n"
+            .parse::<InputDeck>()
+            .unwrap_err();
+        assert!(matches!(err, DeckError::Text { line: 1, .. }), "{err:?}");
+        // Generic-only sections without [mesh] are rejected too.
+        let err = "problem = noh\nn = 4\n[boundary]\nleft = free\n"
+            .parse::<InputDeck>()
+            .unwrap_err();
+        assert!(matches!(err, DeckError::Text { line: 3, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn eos_and_shape_key_sets_are_policed() {
+        let base = "[mesh]\nnx = 2\nny = 2\n\n[material.m]\n";
+        // tait parameter on an ideal gas (line 7).
+        let err = format!("{base}eos = ideal_gas\np0 = 3\ngamma = 1.4\n")
+            .parse::<InputDeck>()
+            .unwrap_err();
+        assert!(matches!(err, DeckError::Text { line: 7, .. }), "{err:?}");
+        // Missing circle radius: anchored at the shape line.
+        let text = "\
+[mesh]
+nx = 2
+ny = 2
+
+[material.m]
+eos = ideal_gas
+gamma = 1.4
+
+[region.all]
+shape = circle
+cx = 0
+cy = 0
+material = m
+rho = 1
+ein = 1
+
+[control]
+final_time = 0.1
+";
+        let err = text.parse::<InputDeck>().unwrap_err();
+        assert!(matches!(err, DeckError::Text { line: 10, .. }), "{err:?}");
     }
 
     #[test]
@@ -842,7 +1848,7 @@ mod tests {
             ProblemSpec::Saltzmann { nx: 4, ny: 2 },
             ProblemSpec::Underwater { n: 4 },
         ] {
-            let deck = InputDeck::new(spec).build_deck().unwrap();
+            let deck = InputDeck::new(spec.clone()).build_deck().unwrap();
             assert_eq!(
                 deck.recommended_final_time,
                 spec.recommended_final_time(),

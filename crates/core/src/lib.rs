@@ -12,6 +12,9 @@
 //!   piston, the underwater-explosion multi-material deck);
 //! * [`input`] — text input decks (`decks::from_str`/`to_string`), the
 //!   way real BookLeaf is driven: new scenarios are data, not code;
+//! * [`scenario`] — the generic deck vocabulary behind [`input`]:
+//!   [`GenericSpec`] (mesh + regions + materials + boundary conditions
+//!   as data) and its resolution into a runnable [`Deck`];
 //! * [`observer`] — step-level instrumentation hooks ([`Observer`],
 //!   [`StepView`]) with shipped implementations (conservation tracer,
 //!   dt history, VTK frame dumper, progress logger);
@@ -40,6 +43,7 @@ pub mod observer;
 pub mod output;
 pub mod report;
 pub mod resilience;
+pub mod scenario;
 pub mod sim;
 
 pub use config::{ExecutorKind, RunConfig, SentinelConfig};
@@ -55,5 +59,9 @@ pub use report::RunReport;
 pub use resilience::{
     AutoCheckpoint, CheckpointStore, RecoveryEvent, RecoveryLog, RecoveryPolicy, ReshapePolicy,
     SaveOutcome,
+};
+pub use scenario::{
+    generic_equivalent, BoundarySpec, EnergyInit, GenericSpec, MeshSpec, NamedMaterial, RegionSpec,
+    Shape, SideBc, SkewKind, VelocityInit,
 };
 pub use sim::{Simulation, SimulationBuilder};

@@ -729,7 +729,8 @@ impl Simulation {
         let Some(problem) = self
             .deck
             .spec
-            .or_else(|| self.input.as_ref().map(|i| i.problem))
+            .clone()
+            .or_else(|| self.input.as_ref().map(|i| i.problem.clone()))
         else {
             return Err(CheckpointError::DeckMismatch {
                 message: "this deck was assembled by hand and carries no problem spec, \

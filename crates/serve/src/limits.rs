@@ -46,15 +46,6 @@ fn anchor_line(text: &str, key: &str) -> Option<usize> {
         .map(|i| i + 1)
 }
 
-fn mesh_cells(spec: ProblemSpec) -> usize {
-    match spec {
-        ProblemSpec::Sod { nx, ny } | ProblemSpec::Saltzmann { nx, ny } => nx.saturating_mul(ny),
-        ProblemSpec::Noh { n } | ProblemSpec::Sedov { n } | ProblemSpec::Underwater { n } => {
-            n.saturating_mul(n)
-        }
-    }
-}
-
 /// Parse and validate deck `text` against `limits`.
 ///
 /// # Errors
@@ -76,11 +67,15 @@ pub fn admit_deck(text: &str, limits: &ResourceLimits) -> Result<InputDeck, Deck
         });
     }
     let input: InputDeck = text.parse()?;
-    let cells = mesh_cells(input.problem);
+    let cells = input.problem.cells();
     if cells > limits.max_mesh_cells {
+        // Generic decks size the mesh with [mesh] nx/ny; anchor_line
+        // finds the first `nx = ...` assignment either way.
         let key = match input.problem {
-            ProblemSpec::Sod { .. } | ProblemSpec::Saltzmann { .. } => "nx",
-            _ => "n",
+            ProblemSpec::Noh { .. }
+            | ProblemSpec::Sedov { .. }
+            | ProblemSpec::Underwater { .. } => "n",
+            _ => "nx",
         };
         return Err(DeckError::Text {
             line: anchor_line(text, key).unwrap_or(1),
@@ -124,6 +119,45 @@ mod tests {
         };
         assert_eq!(line, 3, "must anchor at the `n = 64` assignment");
         assert!(message.contains("4096 elements"), "{message}");
+    }
+
+    #[test]
+    fn generic_deck_mesh_budget_is_rejected_at_its_line() {
+        let limits = ResourceLimits {
+            max_mesh_cells: 100,
+            ..ResourceLimits::default()
+        };
+        let text = "\
+[mesh]
+nx = 64
+ny = 64
+
+[material.gas]
+eos = ideal_gas
+gamma = 1.4
+
+[region.all]
+shape = rect
+x0 = 0
+y0 = 0
+x1 = 1
+y1 = 1
+material = gas
+rho = 1
+ein = 1
+
+[control]
+final_time = 0.1
+";
+        let err = admit_deck(text, &limits).unwrap_err();
+        let DeckError::Text { line, message } = err else {
+            panic!("want line-anchored rejection, got {err:?}");
+        };
+        assert_eq!(line, 2, "must anchor at the [mesh] `nx = 64` assignment");
+        assert!(message.contains("4096 elements"), "{message}");
+        // A fitting generic deck is admitted.
+        let ok = admit_deck(text, &ResourceLimits::default()).unwrap();
+        assert_eq!(ok.problem.cells(), 4096);
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! `bookleaf` — the real-BookLeaf driver shape: one binary, scenarios
+//! as input decks.
+//!
+//! ```text
+//! bookleaf run <deck> [--ranks N] [--threads N] [--final-time T]
+//!                     [--max-steps N] [--checkpoint-every N]
+//!                     [--checkpoint-to PATH] [--resume CKPT]
+//! ```
+//!
+//! The deck file is a text input deck — a named problem or the full
+//! generic vocabulary (see `bookleaf::core::input`). Typed errors land
+//! on stderr with the deck path and, where the parser anchored one, the
+//! 1-based line (`path:line: message`); a completed run prints a
+//! one-line JSON report digest (steps, time, energy accounting, a
+//! CRC-32 over the full solution state) to stdout. Exit codes: 0 on
+//! success, 1 for deck/run errors, 2 for usage errors.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bookleaf::serve::state_crc;
+use bookleaf::util::DeckError;
+use bookleaf::{Checkpoint, ExecutorKind, InputDeck, RunReport, Simulation};
+
+const USAGE: &str = "\
+usage: bookleaf run <deck> [options]
+
+Run the input deck at <deck> to completion and print a report digest.
+
+options:
+  --ranks N             distributed ranks (flat MPI unless --threads)
+  --threads N           threads per rank (hybrid executor)
+  --final-time T        override the deck's final time
+  --max-steps N         override the deck's step budget
+  --checkpoint-every N  checkpoint every N steps while running
+  --checkpoint-to PATH  checkpoint path (default: <deck>.ckpt)
+  --resume CKPT         resume from a checkpoint written by this deck
+";
+
+struct RunArgs {
+    deck: PathBuf,
+    ranks: Option<usize>,
+    threads: Option<usize>,
+    final_time: Option<f64>,
+    max_steps: Option<usize>,
+    checkpoint_every: Option<usize>,
+    checkpoint_to: Option<PathBuf>,
+    resume: Option<PathBuf>,
+}
+
+fn usage_err(message: impl Into<String>) -> String {
+    format!("bookleaf: {}\n\n{USAGE}", message.into())
+}
+
+fn parse_args(mut args: std::env::Args) -> Result<RunArgs, String> {
+    args.next(); // argv[0]
+    let Some(command) = args.next() else {
+        return Err(usage_err("no command given"));
+    };
+    match command.as_str() {
+        "run" => {}
+        "--help" | "-h" | "help" => return Err(USAGE.to_string()),
+        other => return Err(usage_err(format!("unknown command `{other}`"))),
+    }
+    let mut parsed = RunArgs {
+        deck: PathBuf::new(),
+        ranks: None,
+        threads: None,
+        final_time: None,
+        max_steps: None,
+        checkpoint_every: None,
+        checkpoint_to: None,
+        resume: None,
+    };
+    let mut deck: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| usage_err(format!("{flag} needs a value")))
+        };
+        let num = |flag: &str, v: String| {
+            v.parse::<usize>()
+                .map_err(|_| usage_err(format!("{flag} expects an integer, got `{v}`")))
+        };
+        match arg.as_str() {
+            "--ranks" => parsed.ranks = Some(num("--ranks", value("--ranks")?)?),
+            "--threads" => parsed.threads = Some(num("--threads", value("--threads")?)?),
+            "--max-steps" => parsed.max_steps = Some(num("--max-steps", value("--max-steps")?)?),
+            "--checkpoint-every" => {
+                parsed.checkpoint_every =
+                    Some(num("--checkpoint-every", value("--checkpoint-every")?)?);
+            }
+            "--checkpoint-to" => parsed.checkpoint_to = Some(value("--checkpoint-to")?.into()),
+            "--resume" => parsed.resume = Some(value("--resume")?.into()),
+            "--final-time" => {
+                let v = value("--final-time")?;
+                let t = v
+                    .parse::<f64>()
+                    .map_err(|_| usage_err(format!("--final-time expects a number, got `{v}`")))?;
+                parsed.final_time = Some(t);
+            }
+            other if other.starts_with('-') => {
+                return Err(usage_err(format!("unknown option `{other}`")));
+            }
+            _ => {
+                if deck.replace(arg.into()).is_some() {
+                    return Err(usage_err("more than one deck path given"));
+                }
+            }
+        }
+    }
+    let Some(deck) = deck else {
+        return Err(usage_err("no deck path given"));
+    };
+    parsed.deck = deck;
+    Ok(parsed)
+}
+
+/// Render a deck error with the deck path (and line where anchored).
+fn deck_error(path: &std::path::Path, err: &DeckError) -> String {
+    match err {
+        DeckError::Text { line, message } => {
+            format!("bookleaf: {}:{line}: {message}", path.display())
+        }
+        other => format!("bookleaf: {}: {other}", path.display()),
+    }
+}
+
+fn executor_override(args: &RunArgs) -> Option<ExecutorKind> {
+    match (args.ranks, args.threads) {
+        (None, None) => None,
+        (Some(ranks), None) => Some(ExecutorKind::FlatMpi { ranks }),
+        (Some(ranks), Some(threads)) => Some(ExecutorKind::Hybrid {
+            ranks,
+            threads_per_rank: threads,
+        }),
+        (None, Some(threads)) => Some(ExecutorKind::Hybrid {
+            ranks: 1,
+            threads_per_rank: threads,
+        }),
+    }
+}
+
+fn digest(deck_path: &std::path::Path, report: &RunReport, crc: u32) -> String {
+    let executor = match report.executor {
+        ExecutorKind::Serial => "serial".to_string(),
+        ExecutorKind::FlatMpi { ranks } => format!("flat_mpi:{ranks}"),
+        ExecutorKind::Hybrid {
+            ranks,
+            threads_per_rank,
+        } => format!("hybrid:{ranks}x{threads_per_rank}"),
+    };
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"status\":\"ok\",\"deck\":\"{}\",\"name\":\"{}\",\"executor\":\"{executor}\",\
+         \"ranks\":{},\"steps\":{},\"time\":{:.17e},\"time_bits\":\"0x{:016x}\",\
+         \"energy_start\":{:.17e},\"energy_end\":{:.17e},\"energy_drift\":{:.3e},\
+         \"state_crc\":{crc},\"wall_ms\":{:.3}}}",
+        deck_path.display(),
+        report.name,
+        report.ranks,
+        report.steps,
+        report.time,
+        report.time.to_bits(),
+        report.energy_start,
+        report.energy_end,
+        report.energy_drift(),
+        report.wall_seconds * 1e3,
+    );
+    out
+}
+
+fn run(args: &RunArgs) -> Result<(), String> {
+    let text = std::fs::read_to_string(&args.deck)
+        .map_err(|e| format!("bookleaf: {}: {e}", args.deck.display()))?;
+    let input: InputDeck = text.parse().map_err(|e| deck_error(&args.deck, &e))?;
+
+    let mut builder = Simulation::builder();
+    if let Some(ckpt_path) = &args.resume {
+        // The checkpoint embeds the deck it was written under; the deck
+        // on the command line must describe the same problem, so a
+        // stale path fails loudly instead of silently resuming
+        // something else.
+        let ckpt = Checkpoint::read_from(ckpt_path)
+            .map_err(|e| format!("bookleaf: {}: {e}", ckpt_path.display()))?;
+        if ckpt.input.problem != input.problem {
+            return Err(format!(
+                "bookleaf: {}: checkpoint was written by deck `{}`, but {} describes `{}`",
+                ckpt_path.display(),
+                ckpt.input.problem.name(),
+                args.deck.display(),
+                input.problem.name()
+            ));
+        }
+        builder = builder.resume_from(ckpt);
+    } else {
+        builder = builder.deck_input(input);
+    }
+    if let Some(executor) = executor_override(args) {
+        builder = builder.executor(executor);
+    }
+    if let Some(t) = args.final_time {
+        builder = builder.final_time(t);
+    }
+    if let Some(n) = args.max_steps {
+        builder = builder.max_steps(n);
+    }
+
+    let mut sim = builder
+        .build()
+        .map_err(|e| format!("bookleaf: {}: {e}", args.deck.display()))?;
+
+    let run_err = |e| format!("bookleaf: {}: run failed: {e}", args.deck.display());
+    let report = match args.checkpoint_every {
+        None => sim.run().map_err(run_err)?,
+        Some(every) => {
+            let ckpt_path = args.checkpoint_to.clone().unwrap_or_else(|| {
+                let mut p = args.deck.clone().into_os_string();
+                p.push(".ckpt");
+                PathBuf::from(p)
+            });
+            let every = every.max(1);
+            loop {
+                let report = sim.run_segment(every).map_err(run_err)?;
+                if sim.complete() {
+                    break report;
+                }
+                sim.checkpoint_to(&ckpt_path)
+                    .map_err(|e| format!("bookleaf: {}: {e}", ckpt_path.display()))?;
+            }
+        }
+    };
+
+    println!("{}", digest(&args.deck, &report, state_crc(&sim)));
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args()) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -85,8 +85,8 @@ pub use bookleaf_validate as validate;
 // The front-door types, re-exported at the crate root so `use
 // bookleaf::Simulation;` is all a downstream user needs.
 pub use bookleaf_core::{
-    Checkpoint, ConservationTracer, Deck, DtHistory, ExecutorKind, FrameDumper, InputDeck,
-    Observer, ProblemSpec, ProgressLogger, RunConfig, RunReport, Shared, Simulation,
+    Checkpoint, ConservationTracer, Deck, DtHistory, ExecutorKind, FrameDumper, GenericSpec,
+    InputDeck, Observer, ProblemSpec, ProgressLogger, RunConfig, RunReport, Shared, Simulation,
     SimulationBuilder, StepPhase, StepView, CHECKPOINT_VERSION,
 };
 pub use bookleaf_util::CheckpointError;

@@ -15,7 +15,7 @@ fn every_standard_deck_conserves_energy() {
         (decks::sedov(24), 0.3),
         (decks::underwater(24), 0.004),
     ] {
-        let name = deck.name;
+        let name = deck.name.clone();
         let config = RunConfig {
             final_time: t,
             ..RunConfig::default()

@@ -24,7 +24,7 @@ fn standard_specs() -> [ProblemSpec; 5] {
 #[test]
 fn five_standard_decks_round_trip_every_field() {
     for spec in standard_specs() {
-        let deck = InputDeck::new(spec);
+        let deck = InputDeck::new(spec.clone());
         let text = decks::to_string(&deck);
         let back = decks::from_str(&text)
             .unwrap_or_else(|e| panic!("{}: re-parse failed: {e}", spec.name()));

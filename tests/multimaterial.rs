@@ -112,3 +112,65 @@ fn materials_keep_their_identity() {
     driver.run().unwrap();
     assert_eq!(driver.mesh().region, regions0);
 }
+
+/// The committed two-material example deck (an ideal-gas driver slab
+/// pushing into Tait water, mixed EoS across one interface) runs under
+/// the generic vocabulary, and the hybrid executor matches serial at
+/// 1e-12 on every field — the same bar `tests/hybrid_determinism.rs`
+/// pins for the single-material decks.
+#[test]
+fn two_material_interface_deck_serial_matches_hybrid() {
+    use bookleaf::ExecutorKind;
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/decks/two_material.deck"
+    );
+    let run = |executor: ExecutorKind| {
+        let mut sim = Simulation::builder()
+            .deck_file(path)
+            .executor(executor)
+            .build()
+            .unwrap();
+        let report = sim.run().unwrap();
+        assert!(report.steps > 10, "only {} steps", report.steps);
+        sim
+    };
+    let serial = run(ExecutorKind::Serial);
+    let hybrid = run(ExecutorKind::Hybrid {
+        ranks: 2,
+        threads_per_rank: 2,
+    });
+
+    // Both materials are actually on the mesh: the driver slab paints
+    // region 0 (gas), the water region 1 (Tait).
+    let regions = &serial.mesh().region;
+    assert!(
+        regions.contains(&0) && regions.contains(&1),
+        "lost a material"
+    );
+
+    const TOL: f64 = 1e-12;
+    let (a, b) = (serial.state(), hybrid.state());
+    for e in 0..a.rho.len() {
+        assert!(
+            (a.rho[e] - b.rho[e]).abs() <= TOL,
+            "rho diverged at element {e}: {} vs {}",
+            a.rho[e],
+            b.rho[e]
+        );
+        assert!(
+            (a.ein[e] - b.ein[e]).abs() <= TOL,
+            "ein diverged at element {e}"
+        );
+        assert!(
+            (a.pressure[e] - b.pressure[e]).abs() <= TOL,
+            "pressure diverged at element {e}"
+        );
+    }
+    for n in 0..a.u.len() {
+        assert!(
+            (a.u[n] - b.u[n]).norm() <= TOL,
+            "velocity diverged at node {n}"
+        );
+    }
+}

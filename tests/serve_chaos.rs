@@ -255,6 +255,35 @@ fn admission_rejections_are_line_anchored_and_typed() {
     assert!(error.contains("line 3"), "not line-anchored: {error}");
     assert!(error.contains("4096"), "should name the size: {error}");
 
+    // The generic vocabulary is admitted through the same budget: a
+    // [mesh] section over the cell ceiling is rejected at its `nx`
+    // line, not at run time.
+    let generic = "name = big\n\
+                   [mesh]\n\
+                   nx = 64\n\
+                   ny = 64\n\
+                   [material.gas]\n\
+                   eos = ideal_gas\n\
+                   gamma = 1.4\n\
+                   [region.all]\n\
+                   shape = rect\n\
+                   x0 = 0\n\
+                   y0 = 0\n\
+                   x1 = 1\n\
+                   y1 = 1\n\
+                   material = gas\n\
+                   rho = 1\n\
+                   ein = 1\n\
+                   [control]\n\
+                   final_time = 0.01\n";
+    let resp = client::post_run(addr, generic, &[("X-Tenant", "alice")], T).unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.text());
+    let doc = body_json(&resp);
+    assert_eq!(str_field(&doc, "kind"), "deck");
+    let error = str_field(&doc, "error");
+    assert!(error.contains("line 3"), "not line-anchored: {error}");
+    assert!(error.contains("4096"), "should name the size: {error}");
+
     // A deck typo never counts against the tenant's health.
     for _ in 0..5 {
         let resp = client::post_run(addr, "problem = nope\n", &[("X-Tenant", "alice")], T).unwrap();
